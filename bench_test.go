@@ -1,0 +1,308 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§8.1), plus the extension experiments (§8.3) and design ablations. Each
+// run reports the measured series/rows via b.Log and custom metrics
+// (virtual seconds, speedup, bytes) via b.ReportMetric:
+//
+//	go test -bench=. -benchmem
+//
+// The same experiments are available as a standalone tool: cmd/shadow-bench.
+package shadow_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"shadowedit/internal/diff"
+	"shadowedit/internal/experiment"
+	"shadowedit/internal/netsim"
+	"shadowedit/internal/wire"
+	"shadowedit/internal/workload"
+
+	shadow "shadowedit"
+)
+
+// BenchmarkFigure1Cypress regenerates Figure 1: total transfer times over
+// the 9600 bps Cypress network for 100k/200k/500k files as the modification
+// percentage sweeps 1-80%, with the conventional E-time horizontal lines.
+func BenchmarkFigure1Cypress(b *testing.B) {
+	cfg := experiment.Config{Link: netsim.Cypress, Seed: 1987}
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.RunTransferFigure(cfg, "Figure 1: Cypress Transfer Times",
+			workload.FigureSizes, workload.SweepPercents)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var buf bytes.Buffer
+			fig.Render(&buf)
+			b.Logf("\n%s", buf.String())
+			report20Percent(b, fig)
+		}
+	}
+}
+
+// BenchmarkFigure2ARPANET regenerates Figure 2: the same sweep over the
+// 56 kbps ARPANET path to the University of Illinois.
+func BenchmarkFigure2ARPANET(b *testing.B) {
+	cfg := experiment.Config{Link: netsim.ARPANET, Seed: 1987}
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.RunTransferFigure(cfg, "Figure 2: ARPANET Transfer Times (to Univ Ill.)",
+			workload.FigureSizes, workload.SweepPercents)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var buf bytes.Buffer
+			fig.Render(&buf)
+			b.Logf("\n%s", buf.String())
+			report20Percent(b, fig)
+		}
+	}
+}
+
+// report20Percent surfaces the paper's headline check: at <= 20% modified,
+// shadow processing is at least ~4x faster than conventional batch.
+func report20Percent(b *testing.B, fig *experiment.TransferFigure) {
+	for _, s := range fig.Sizes {
+		for _, p := range s.Points {
+			if p.Percent == 20 {
+				b.ReportMetric(p.Speedup(), fmt.Sprintf("speedup@20%%/%dk", p.Size/1024))
+			}
+		}
+	}
+}
+
+// BenchmarkFigure3Speedup regenerates Figure 3: the speedup-factor table
+// (E-time/S-time on ARPANET) for 10k/50k/100k/500k files at 1/5/10/20%
+// modified, printed next to the paper's values.
+func BenchmarkFigure3Speedup(b *testing.B) {
+	cfg := experiment.Config{Link: netsim.ARPANET, Seed: 1987}
+	for i := 0; i < b.N; i++ {
+		table, err := experiment.RunSpeedupTable(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var buf bytes.Buffer
+			table.Render(&buf)
+			b.Logf("\n%s", buf.String())
+			for _, cell := range table.Cells {
+				b.ReportMetric(cell.Speedup(),
+					fmt.Sprintf("speedup/%dk@%g%%", cell.Size/1024, cell.Percent))
+			}
+		}
+	}
+}
+
+// BenchmarkReverseShadow measures the §8.3 extension: output deltas on
+// repeated runs of a job with large, slowly changing output.
+func BenchmarkReverseShadow(b *testing.B) {
+	cfg := experiment.Config{Link: netsim.ARPANET, Seed: 1987}
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunReverseShadow(cfg, 50*1024, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var buf bytes.Buffer
+			experiment.RenderReverseShadow(&buf, res)
+			b.Logf("\n%s", buf.String())
+			b.ReportMetric(res.Savings(), "output-byte-reduction")
+		}
+	}
+}
+
+// BenchmarkDiffAlgorithms compares the prototype's Hunt-McIlroy algorithm
+// with the Miller-Myers and Tichy block-move alternatives named in §8.3:
+// delta wire size across modification levels, plus CPU per diff.
+func BenchmarkDiffAlgorithms(b *testing.B) {
+	gen := workload.NewGenerator(1987)
+	base := gen.File(100 * 1024)
+	edits := map[string][]byte{
+		"1pct":  gen.Modify(base, 1, workload.EditMixed),
+		"10pct": gen.Modify(base, 10, workload.EditMixed),
+		"40pct": gen.Modify(base, 40, workload.EditMixed),
+	}
+	for _, alg := range []diff.Algorithm{diff.HuntMcIlroy, diff.Myers, diff.TichyBlockMove} {
+		for name, edited := range edits {
+			b.Run(fmt.Sprintf("%v/%s", alg, name), func(b *testing.B) {
+				var wireBytes int
+				for i := 0; i < b.N; i++ {
+					d, err := diff.Compute(alg, base, edited)
+					if err != nil {
+						b.Fatal(err)
+					}
+					wireBytes = d.WireSize()
+				}
+				b.ReportMetric(float64(wireBytes), "delta-bytes")
+			})
+		}
+	}
+}
+
+// BenchmarkCompressionAblation re-times transfer cells with the §8.3
+// compression layer on and off.
+func BenchmarkCompressionAblation(b *testing.B) {
+	cfg := experiment.Config{Link: netsim.ARPANET, Seed: 1987}
+	for i := 0; i < b.N; i++ {
+		cells, err := experiment.RunCompressionAblation(cfg, []int{100 * 1024}, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var buf bytes.Buffer
+			experiment.RenderCompressionAblation(&buf, 5, cells)
+			b.Logf("\n%s", buf.String())
+			for _, c := range cells {
+				if c.ZBytes > 0 {
+					b.ReportMetric(float64(c.PlainBytes)/float64(c.ZBytes), "byte-reduction")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFlowControl compares pull policies (§5.2 ablation): how long a
+// burst of notifies takes to become cached while the server is busy.
+func BenchmarkFlowControl(b *testing.B) {
+	cfg := experiment.Config{Link: netsim.LAN, Seed: 1987}
+	for i := 0; i < b.N; i++ {
+		results, err := experiment.RunFlowControl(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var buf bytes.Buffer
+			experiment.RenderFlowControl(&buf, results)
+			b.Logf("\n%s", buf.String())
+			for _, r := range results {
+				b.ReportMetric(float64(r.DeferredDuringBusy), fmt.Sprintf("deferred/%v", r.Policy))
+			}
+		}
+	}
+}
+
+// BenchmarkCacheSize sweeps the shadow cache capacity (§5.1 ablation):
+// traffic as the best-effort cache shrinks below the working set.
+func BenchmarkCacheSize(b *testing.B) {
+	cfg := experiment.Config{Link: netsim.LAN, Seed: 1987}
+	capacities := []int64{0, 256 * 1024, 64 * 1024, 16 * 1024}
+	for i := 0; i < b.N; i++ {
+		cells, err := experiment.RunCacheSweep(cfg, 16*1024, 4, capacities)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var buf bytes.Buffer
+			experiment.RenderCacheSweep(&buf, 16*1024, 4, cells)
+			b.Logf("\n%s", buf.String())
+			for _, c := range cells {
+				label := "unbounded"
+				if c.CapacityBytes > 0 {
+					label = fmt.Sprintf("%dk", c.CapacityBytes/1024)
+				}
+				b.ReportMetric(float64(c.FullBytes), "full-bytes/"+label)
+			}
+		}
+	}
+}
+
+// BenchmarkEndToEndCycle measures one complete shadow edit-submit-fetch
+// cycle (wall time of the whole simulated stack), the unit of work every
+// figure is built from.
+func BenchmarkEndToEndCycle(b *testing.B) {
+	cluster, err := shadow.NewCluster(shadow.ClusterConfig{Link: shadow.LAN})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	ws := cluster.NewWorkstation("ws")
+	c, err := ws.Connect("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	gen := workload.NewGenerator(1)
+	content := gen.File(64 * 1024)
+	if err := ws.WriteFile("/run.job", []byte("checksum data.dat\n")); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ws.WriteFile("/data.dat", content); err != nil {
+			b.Fatal(err)
+		}
+		job, err := c.Submit("/run.job", []string{"/data.dat"}, shadow.SubmitOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Wait(job); err != nil {
+			b.Fatal(err)
+		}
+		content = gen.Modify(content, 2, workload.EditMixed)
+	}
+}
+
+// BenchmarkWireMarshal measures protocol codec throughput for the two
+// message shapes that dominate: tiny control messages and bulk deltas.
+func BenchmarkWireMarshal(b *testing.B) {
+	ref := wire.FileRef{Domain: "nfs.purdue", FileID: "arthur:/u/comer/heat.f"}
+	msgs := map[string]wire.Message{
+		"notify": &wire.Notify{File: ref, Version: 7, Size: 102400, Sum: 42},
+		"delta-4k": &wire.FileDelta{
+			File: ref, BaseVersion: 6, Version: 7,
+			Encoded: bytes.Repeat([]byte{0xAB}, 4096),
+		},
+	}
+	for name, msg := range msgs {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				buf := wire.Marshal(msg)
+				if _, err := wire.Unmarshal(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLoadSweep measures multi-client throughput as the server's
+// concurrent job slots grow (admission-control scaling).
+func BenchmarkLoadSweep(b *testing.B) {
+	cfg := experiment.Config{Link: netsim.LAN, Seed: 1987}
+	for i := 0; i < b.N; i++ {
+		cells, err := experiment.RunLoadSweep(cfg, 4, 3, []int{1, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var buf bytes.Buffer
+			experiment.RenderLoadSweep(&buf, cells)
+			b.Logf("\n%s", buf.String())
+			for _, c := range cells {
+				b.ReportMetric(c.JobsPerSec, fmt.Sprintf("jobs-per-sec/%dworkers", c.Workers))
+			}
+		}
+	}
+}
+
+// BenchmarkBackgroundOverlap measures §5.1's concurrency claim: how much of
+// the transfer time hides behind the user's editing pauses when the shadow
+// editor notifies at each session's end.
+func BenchmarkBackgroundOverlap(b *testing.B) {
+	cfg := experiment.Config{Link: netsim.Cypress, Seed: 1987}
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunBackgroundOverlap(cfg, 100*1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var buf bytes.Buffer
+			experiment.RenderOverlap(&buf, []experiment.OverlapResult{res})
+			b.Logf("\n%s", buf.String())
+			b.ReportMetric(res.Overlap()*100, "pct-hidden")
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Command shadow-bench regenerates the paper's evaluation (§8.1) and the
+// extension experiments (§8.3) as printed tables and series.
+//
+// Usage:
+//
+//	shadow-bench -fig 1          Figure 1: Cypress transfer times
+//	shadow-bench -fig 2          Figure 2: ARPANET transfer times
+//	shadow-bench -fig 3          Figure 3: speedup factors vs the paper
+//	shadow-bench -fig reverse    Reverse shadow processing (output deltas)
+//	shadow-bench -fig algorithms Delta algorithm comparison
+//	shadow-bench -fig compress   Compression ablation
+//	shadow-bench -fig flow       Flow-control (pull policy) ablation
+//	shadow-bench -fig cache      Cache-size ablation
+//	shadow-bench -fig load       Multi-client throughput vs job slots
+//	shadow-bench -fig overlap    Background transfer hidden behind editing
+//	shadow-bench -fig all        Everything
+//
+// Times are virtual seconds on the simulated link (9600 bps Cypress,
+// 56 kbps ARPANET); wall-clock runtime is a few seconds for everything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"shadowedit/internal/experiment"
+	"shadowedit/internal/netsim"
+	"shadowedit/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "shadow-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("shadow-bench", flag.ContinueOnError)
+	var (
+		fig  = fs.String("fig", "all", "which figure/experiment to regenerate")
+		seed = fs.Int64("seed", 1987, "workload seed")
+		plot = fs.Bool("plot", false, "draw Figures 1-2 as ASCII plots like the paper")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	runner := &runner{w: w, seed: *seed, plot: *plot}
+	switch *fig {
+	case "1":
+		return runner.figure1()
+	case "2":
+		return runner.figure2()
+	case "3":
+		return runner.figure3()
+	case "reverse":
+		return runner.reverse()
+	case "algorithms":
+		return runner.algorithms()
+	case "compress":
+		return runner.compress()
+	case "flow":
+		return runner.flow()
+	case "cache":
+		return runner.cache()
+	case "load":
+		return runner.load()
+	case "overlap":
+		return runner.overlap()
+	case "all":
+		for _, f := range []func() error{
+			runner.figure1, runner.figure2, runner.figure3,
+			runner.reverse, runner.algorithms, runner.compress,
+			runner.flow, runner.cache, runner.load, runner.overlap,
+		} {
+			if err := f(); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown figure %q", *fig)
+	}
+}
+
+type runner struct {
+	w    io.Writer
+	seed int64
+	plot bool
+}
+
+func (r *runner) cfg(link netsim.Spec) experiment.Config {
+	return experiment.Config{Link: link, Seed: r.seed}
+}
+
+func (r *runner) figure1() error {
+	fig, err := experiment.RunTransferFigure(r.cfg(netsim.Cypress),
+		"Figure 1: Cypress Transfer Times (100k/200k/500k file sizes)",
+		workload.FigureSizes, workload.SweepPercents)
+	if err != nil {
+		return err
+	}
+	fig.Render(r.w)
+	if r.plot {
+		fig.RenderPlot(r.w, 72, 22)
+	}
+	return nil
+}
+
+func (r *runner) figure2() error {
+	fig, err := experiment.RunTransferFigure(r.cfg(netsim.ARPANET),
+		"Figure 2: ARPANET Transfer Times to Univ Ill. (100k/200k/500k file sizes)",
+		workload.FigureSizes, workload.SweepPercents)
+	if err != nil {
+		return err
+	}
+	fig.Render(r.w)
+	if r.plot {
+		fig.RenderPlot(r.w, 72, 22)
+	}
+	return nil
+}
+
+func (r *runner) figure3() error {
+	table, err := experiment.RunSpeedupTable(r.cfg(netsim.ARPANET))
+	if err != nil {
+		return err
+	}
+	table.Render(r.w)
+	return nil
+}
+
+func (r *runner) reverse() error {
+	res, err := experiment.RunReverseShadow(r.cfg(netsim.ARPANET), 50*1024, 4)
+	if err != nil {
+		return err
+	}
+	experiment.RenderReverseShadow(r.w, res)
+	return nil
+}
+
+func (r *runner) algorithms() error {
+	const size = 100 * 1024
+	cells, err := experiment.RunAlgorithmComparison(r.cfg(netsim.ARPANET), size,
+		[]float64{1, 5, 10, 20, 40, 80})
+	if err != nil {
+		return err
+	}
+	experiment.RenderAlgorithmComparison(r.w, size, cells)
+	return nil
+}
+
+func (r *runner) compress() error {
+	cells, err := experiment.RunCompressionAblation(r.cfg(netsim.ARPANET), workload.TableSizes, 5)
+	if err != nil {
+		return err
+	}
+	experiment.RenderCompressionAblation(r.w, 5, cells)
+	return nil
+}
+
+func (r *runner) flow() error {
+	results, err := experiment.RunFlowControl(r.cfg(netsim.LAN))
+	if err != nil {
+		return err
+	}
+	experiment.RenderFlowControl(r.w, results)
+	return nil
+}
+
+func (r *runner) load() error {
+	cells, err := experiment.RunLoadSweep(r.cfg(netsim.LAN), 4, 4, []int{1, 2, 4, 8})
+	if err != nil {
+		return err
+	}
+	experiment.RenderLoadSweep(r.w, cells)
+	return nil
+}
+
+func (r *runner) overlap() error {
+	var results []experiment.OverlapResult
+	for _, size := range []int{50 * 1024, 100 * 1024} {
+		res, err := experiment.RunBackgroundOverlap(r.cfg(netsim.Cypress), size)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+	}
+	experiment.RenderOverlap(r.w, results)
+	return nil
+}
+
+func (r *runner) cache() error {
+	const fileSize, files = 16 * 1024, 4
+	cells, err := experiment.RunCacheSweep(r.cfg(netsim.LAN), fileSize, files,
+		[]int64{0, 256 * 1024, 64 * 1024, 32 * 1024, 16 * 1024})
+	if err != nil {
+		return err
+	}
+	experiment.RenderCacheSweep(r.w, fileSize, files, cells)
+	fmt.Fprintln(r.w)
+	policies, err := experiment.RunCachePolicyComparison(r.cfg(netsim.LAN), 20*1024)
+	if err != nil {
+		return err
+	}
+	experiment.RenderCachePolicyComparison(r.w, 20*1024, policies)
+	return nil
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestUnknownFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "99"}, &buf); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestFlowFigureRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "flow"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"eager", "lazy", "load-aware"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("flow output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAlgorithmsFigureRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "algorithms"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "hunt-mcilroy") {
+		t.Fatalf("algorithms output:\n%s", buf.String())
+	}
+}
+
+func TestFigure3Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure grid")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Speedup Factor", "500k", "paper"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure 3 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReverseFigureRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "reverse"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "reduction") {
+		t.Fatalf("reverse output:\n%s", buf.String())
+	}
+}
+
+func TestCacheFigureRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "cache"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"unbounded", "largest-first"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("cache output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoadFigureRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "load"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "jobs/sec") {
+		t.Fatalf("load output:\n%s", buf.String())
+	}
+}
+
+func TestCompressFigureRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compression ablation sweeps four sizes")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "compress"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "flate") {
+		t.Fatalf("compress output:\n%s", buf.String())
+	}
+}
+
+func TestFigure1WithPlot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "1", "-plot"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "E-time") || !strings.Contains(out, "S-time 100k") {
+		t.Fatalf("figure 1 plot output:\n%s", out)
+	}
+}

@@ -1,0 +1,238 @@
+// Command shadow is the user-facing client CLI (§6.2): it submits jobs to a
+// shadowd server over TCP, queries their status, and retrieves results.
+//
+// Usage:
+//
+//	shadow -server host:4217 run JOBFILE [DATAFILE...]
+//	shadow -server host:4217 listen [-n 1]
+//	shadow -server host:4217 env
+//	shadow commands
+//
+// "run" reads the job command file and data files from the local file
+// system, submits the job, waits for completion, prints stdout, and writes
+// the output/error files beside the inputs. Data files are referenced in
+// the job file by base name.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"shadowedit/internal/jobs"
+
+	shadow "shadowedit"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "shadow:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("shadow", flag.ContinueOnError)
+	var (
+		server   = fs.String("server", "localhost:4217", "shadowd address")
+		user     = fs.String("user", currentUser(), "submitting user")
+		domain   = fs.String("domain", "local", "naming domain id")
+		hostname = fs.String("host", clientHostname(), "client host name")
+		outFile  = fs.String("o", "", "output file (default job-ID.out)")
+		errFile  = fs.String("e", "", "error file (default job-ID.err)")
+		route    = fs.String("route", "", "deliver output to a session from this host")
+		compress = fs.Bool("compress", false, "compress transfers")
+		alg      = fs.String("algorithm", "hunt-mcilroy", "delta algorithm: hunt-mcilroy, myers, tichy")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return errors.New("usage: shadow [flags] run JOBFILE [DATAFILE...] | listen | env | commands")
+	}
+
+	switch rest[0] {
+	case "commands":
+		fmt.Fprintln(out, strings.Join(jobs.Commands(), " "))
+		return nil
+	case "env":
+		environment := shadow.DefaultEnvironment(*user)
+		_, err := out.Write(environment.Marshal())
+		return err
+	case "run":
+		if len(rest) < 2 {
+			return errors.New("usage: shadow run JOBFILE [DATAFILE...]")
+		}
+		return runJob(*server, *user, *domain, *hostname, rest[1], rest[2:], runOptions{
+			outFile: *outFile, errFile: *errFile, route: *route,
+			compress: *compress, algorithm: *alg,
+		}, out)
+	case "listen":
+		n := 1
+		if len(rest) > 1 {
+			v, err := strconv.Atoi(rest[1])
+			if err != nil || v < 1 {
+				return fmt.Errorf("usage: shadow listen [COUNT]; bad count %q", rest[1])
+			}
+			n = v
+		}
+		return listenForOutputs(*server, *user, *domain, *hostname, n, out)
+	default:
+		return fmt.Errorf("unknown command %q", rest[0])
+	}
+}
+
+type runOptions struct {
+	outFile, errFile, route string
+	compress                bool
+	algorithm               string
+}
+
+// runJob performs one submit-and-wait over TCP. Local disk files are staged
+// into an in-memory naming universe (the CLI's view of its domain), and
+// results are written back to disk.
+func runJob(server, user, domain, hostname, jobFile string, dataFiles []string, opts runOptions, out io.Writer) error {
+	universe := shadow.NewUniverse(domain)
+	universe.AddHost(hostname)
+
+	stage := func(p string) (string, error) {
+		abs, err := filepath.Abs(p)
+		if err != nil {
+			return "", err
+		}
+		content, err := os.ReadFile(p)
+		if err != nil {
+			return "", err
+		}
+		vpath := filepath.ToSlash(abs)
+		return vpath, universe.WriteFile(hostname, vpath, content)
+	}
+
+	scriptPath, err := stage(jobFile)
+	if err != nil {
+		return err
+	}
+	paths := make([]string, 0, len(dataFiles))
+	for _, f := range dataFiles {
+		p, err := stage(f)
+		if err != nil {
+			return err
+		}
+		paths = append(paths, p)
+	}
+
+	environment := shadow.DefaultEnvironment(user)
+	environment.Compress = opts.compress
+	algorithm, err := shadow.ParseAlgorithm(opts.algorithm)
+	if err != nil {
+		return err
+	}
+	environment.Algorithm = algorithm
+
+	c, err := shadow.DialTCP(server, shadow.ClientConfig{
+		User:     user,
+		Universe: universe,
+		Host:     hostname,
+		Env:      environment,
+		WorkDir:  "/results",
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	job, err := c.Submit(scriptPath, paths, shadow.SubmitOptions{
+		OutputFile: opts.outFile,
+		ErrorFile:  opts.errFile,
+		RouteHost:  opts.route,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "job %d submitted to %s\n", job, c.ServerName())
+	if opts.route != "" {
+		fmt.Fprintf(out, "output routed to host %q\n", opts.route)
+		return nil
+	}
+	rec, err := c.Wait(job)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "job %d %v (exit %d)\n", job, rec.State, rec.ExitCode)
+	if _, err := out.Write(rec.Stdout); err != nil {
+		return err
+	}
+	if len(rec.Stderr) > 0 {
+		fmt.Fprintf(os.Stderr, "%s", rec.Stderr)
+	}
+	// Persist results beside the inputs on the real disk.
+	if err := saveResult(rec.OutputFile, rec.Stdout); err != nil {
+		return err
+	}
+	if len(rec.Stderr) > 0 {
+		if err := saveResult(rec.ErrorFile, rec.Stderr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// listenForOutputs holds a session open as a routing target: jobs submitted
+// elsewhere with -route pointing at this host deliver their output here
+// (§8.3 "routing the output to different hosts"). It exits after n outputs.
+func listenForOutputs(server, user, domain, hostname string, n int, out io.Writer) error {
+	universe := shadow.NewUniverse(domain)
+	universe.AddHost(hostname)
+	c, err := shadow.DialTCP(server, shadow.ClientConfig{
+		User:     user,
+		Universe: universe,
+		Host:     hostname,
+		WorkDir:  "/results",
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	fmt.Fprintf(out, "listening on %s as host %q for %d routed output(s)\n", c.ServerName(), hostname, n)
+	for i := 0; i < n; i++ {
+		rec, err := c.WaitAny()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "routed job %d %v (exit %d):\n", rec.ID, rec.State, rec.ExitCode)
+		if _, err := out.Write(rec.Stdout); err != nil {
+			return err
+		}
+		if err := saveResult(rec.OutputFile, rec.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func saveResult(name string, content []byte) error {
+	if name == "" {
+		return nil
+	}
+	return os.WriteFile(filepath.Base(name), content, 0o644)
+}
+
+func currentUser() string {
+	if u := os.Getenv("USER"); u != "" {
+		return u
+	}
+	return "anonymous"
+}
+
+func clientHostname() string {
+	if h, err := os.Hostname(); err == nil && h != "" {
+		return h
+	}
+	return "workstation"
+}

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	shadow "shadowedit"
+)
+
+func TestCommandsSubcommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"commands"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"wc", "sort", "matmul"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("commands output missing %q: %s", want, buf.String())
+		}
+	}
+}
+
+func TestEnvSubcommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-user", "alice", "env"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "user=alice") {
+		t.Fatalf("env output: %s", buf.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	tests := [][]string{
+		nil,
+		{"run"},
+		{"frobnicate"},
+	}
+	for _, args := range tests {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Fatalf("run(%v) succeeded, want usage error", args)
+		}
+	}
+}
+
+func TestBadAlgorithmFlag(t *testing.T) {
+	dir := t.TempDir()
+	job := filepath.Join(dir, "j.job")
+	if err := os.WriteFile(job, []byte("echo hi\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-algorithm", "psychic", "run", job}, &buf); err == nil {
+		t.Fatal("bad algorithm accepted")
+	}
+}
+
+func TestRunJobEndToEnd(t *testing.T) {
+	// A real shadowd-shaped server on loopback.
+	srv := shadow.NewServer(shadow.DefaultServerConfig("cli-super"))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- shadow.ServeTCP(srv, ln) }()
+	defer func() {
+		_ = ln.Close()
+		srv.Close()
+		<-done
+	}()
+
+	dir := t.TempDir()
+	jobFile := filepath.Join(dir, "count.job")
+	dataFile := filepath.Join(dir, "data.txt")
+	if err := os.WriteFile(jobFile, []byte("sort data.txt\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dataFile, []byte("c\na\nb\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Results are written to the working directory.
+	t.Chdir(dir)
+
+	var buf bytes.Buffer
+	err = run([]string{
+		"-server", ln.Addr().String(),
+		"-user", "cliuser",
+		"run", jobFile, dataFile,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "submitted to cli-super") {
+		t.Fatalf("output: %s", out)
+	}
+	if !strings.Contains(out, "a\nb\nc\n") {
+		t.Fatalf("job stdout missing: %s", out)
+	}
+	saved, err := os.ReadFile(filepath.Join(dir, "job-1.out"))
+	if err != nil || string(saved) != "a\nb\nc\n" {
+		t.Fatalf("saved result: %q, %v", saved, err)
+	}
+}
+
+func TestRunJobMissingDataFile(t *testing.T) {
+	dir := t.TempDir()
+	job := filepath.Join(dir, "j.job")
+	if err := os.WriteFile(job, []byte("echo x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"run", job, filepath.Join(dir, "ghost.dat")}, &buf); err == nil {
+		t.Fatal("missing data file accepted")
+	}
+}
+
+func TestListenReceivesRoutedOutput(t *testing.T) {
+	srv := shadow.NewServer(shadow.DefaultServerConfig("route-super"))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- shadow.ServeTCP(srv, ln) }()
+	defer func() {
+		_ = ln.Close()
+		srv.Close()
+		<-done
+	}()
+
+	dir := t.TempDir()
+	t.Chdir(dir)
+	jobFile := filepath.Join(dir, "say.job")
+	if err := os.WriteFile(jobFile, []byte("echo routed hello\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The listener (printer host) connects first.
+	var listenOut bytes.Buffer
+	listenDone := make(chan error, 1)
+	go func() {
+		listenDone <- run([]string{
+			"-server", ln.Addr().String(),
+			"-user", "operator",
+			"-host", "printer-host",
+			"listen", "1",
+		}, &listenOut)
+	}()
+	// Give the listener a moment to establish its session.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.SessionCount() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var runOut bytes.Buffer
+	err = run([]string{
+		"-server", ln.Addr().String(),
+		"-user", "submitter",
+		"-host", "lab-host",
+		"-route", "printer-host",
+		"run", jobFile,
+	}, &runOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-listenDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("listener never received the routed output")
+	}
+	if !strings.Contains(listenOut.String(), "routed hello") {
+		t.Fatalf("listener output:\n%s", listenOut.String())
+	}
+	if !strings.Contains(runOut.String(), "routed to host") {
+		t.Fatalf("submitter output:\n%s", runOut.String())
+	}
+}
+
+func TestListenBadCount(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"listen", "zero"}, &buf); err == nil {
+		t.Fatal("bad listen count accepted")
+	}
+}

@@ -1,0 +1,109 @@
+// Command shadowd runs a shadow server over real TCP: the daemon that would
+// run at a supercomputer site, listening at a well-known port for client
+// connections (§7).
+//
+// Usage:
+//
+//	shadowd [-addr :4217] [-name super] [-cache 256M] [-cache-policy lru]
+//	        [-pull eager|lazy|load-aware] [-jobs 2] [-compress]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+
+	shadow "shadowedit"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("shadowd", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", ":4217", "listen address")
+		name        = fs.String("name", "super", "advertised server name")
+		cacheSize   = fs.String("cache", "0", "shadow cache capacity (bytes; K/M/G suffix; 0 = unbounded)")
+		cachePolicy = fs.String("cache-policy", "lru", "cache eviction policy: lru or largest-first")
+		pull        = fs.String("pull", "eager", "update retrieval policy: eager, lazy or load-aware")
+		jobsN       = fs.Int("jobs", 2, "maximum concurrent jobs")
+		loadThresh  = fs.Int("load-threshold", 4, "queue depth at which load-aware pulling defers")
+		compress    = fs.Bool("compress", false, "compress output transfers")
+		verbose     = fs.Bool("v", false, "log per-event server activity")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := shadow.DefaultServerConfig(*name)
+	capacity, err := parseSize(*cacheSize)
+	if err != nil {
+		return fmt.Errorf("shadowd: -cache: %w", err)
+	}
+	cfg.CacheCapacity = capacity
+	switch strings.ToLower(*cachePolicy) {
+	case "lru":
+		cfg.CachePolicy = shadow.CacheLRU
+	case "largest-first", "largest":
+		cfg.CachePolicy = shadow.CacheLargestFirst
+	default:
+		return fmt.Errorf("shadowd: unknown cache policy %q", *cachePolicy)
+	}
+	switch strings.ToLower(*pull) {
+	case "eager":
+		cfg.Pull = shadow.PullEager
+	case "lazy":
+		cfg.Pull = shadow.PullLazy
+	case "load-aware":
+		cfg.Pull = shadow.PullLoadAware
+	default:
+		return fmt.Errorf("shadowd: unknown pull policy %q", *pull)
+	}
+	cfg.MaxConcurrentJobs = *jobsN
+	cfg.LoadThreshold = *loadThresh
+	cfg.Compress = *compress
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+
+	srv := shadow.NewServer(cfg)
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("shadowd: %w", err)
+	}
+	log.Printf("shadowd %q listening on %s (pull=%s, jobs=%d, cache=%s/%s)",
+		*name, ln.Addr(), *pull, *jobsN, *cacheSize, *cachePolicy)
+	return shadow.ServeTCP(srv, ln)
+}
+
+// parseSize parses "0", "1024", "64K", "256M", "2G".
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "K")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "G")
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative size %q", s)
+	}
+	return n * mult, nil
+}

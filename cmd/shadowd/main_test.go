@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    int64
+		wantErr bool
+	}{
+		{give: "0", want: 0},
+		{give: "1024", want: 1024},
+		{give: "64K", want: 64 << 10},
+		{give: "64k", want: 64 << 10},
+		{give: "256M", want: 256 << 20},
+		{give: "2G", want: 2 << 30},
+		{give: " 8K ", want: 8 << 10},
+		{give: "junk", wantErr: true},
+		{give: "-5", wantErr: true},
+		{give: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.give, func(t *testing.T) {
+			got, err := parseSize(tt.give)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("parseSize(%q) = %d, want error", tt.give, got)
+				}
+				return
+			}
+			if err != nil || got != tt.want {
+				t.Fatalf("parseSize(%q) = (%d, %v), want %d", tt.give, got, err, tt.want)
+			}
+		})
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	tests := [][]string{
+		{"-cache", "lots"},
+		{"-cache-policy", "random"},
+		{"-pull", "psychic"},
+	}
+	for _, args := range tests {
+		if err := run(args); err == nil {
+			t.Fatalf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package shadow_test
+
+import (
+	"fmt"
+	"log"
+
+	shadow "shadowedit"
+)
+
+// Example shows the complete edit–submit–fetch flow on a simulated
+// deployment: one supercomputer behind an ARPANET-speed link, one
+// workstation, one job.
+func Example() {
+	cluster, err := shadow.NewCluster(shadow.ClusterConfig{Link: shadow.ARPANET})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	ws := cluster.NewWorkstation("sun3")
+	c, err := ws.Connect("comer")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	_ = ws.WriteFile("/u/comer/stars.dat", []byte("vega 0.03\nsirius -1.46\n"))
+	_ = ws.WriteFile("/u/comer/run.job", []byte("sort stars.dat\n"))
+
+	job, err := c.Submit("/u/comer/run.job", []string{"/u/comer/stars.dat"}, shadow.SubmitOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := c.Wait(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%v exit=%d\n%s", rec.State, rec.ExitCode, rec.Stdout)
+	// Output:
+	// done exit=0
+	// sirius -1.46
+	// vega 0.03
+}
+
+// ExampleWorkstation_NewShadowEditor shows the shadow editor: each editing
+// session's postprocessor versions the file and notifies the server, so the
+// next submission travels as a delta.
+func ExampleWorkstation_NewShadowEditor() {
+	cluster, err := shadow.NewCluster(shadow.ClusterConfig{Link: shadow.LAN})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	ws := cluster.NewWorkstation("vax")
+	c, err := ws.Connect("rajendra")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	sed := ws.NewShadowEditor(c)
+	_, v1, _ := sed.Edit("/u/r/params.dat", shadow.EditorFunc(func(b []byte) ([]byte, error) {
+		return []byte("epsilon = 0.01\n"), nil
+	}))
+	_, v2, _ := sed.Edit("/u/r/params.dat", shadow.EditorFunc(func(b []byte) ([]byte, error) {
+		return append(b, []byte("iterations = 500\n")...), nil
+	}))
+	fmt.Printf("versions created: %d then %d\n", v1, v2)
+	// Output:
+	// versions created: 1 then 2
+}
+
+// ExampleUniverse_Resolve shows NFS-style name resolution: two workstations
+// mounting the same export see one canonical file name, so the server
+// caches one shadow copy.
+func ExampleUniverse_Resolve() {
+	u := shadow.NewUniverse("nfs.purdue")
+	u.AddHost("c")
+	a := u.AddHost("a")
+	b := u.AddHost("b")
+	a.Mount("/proj1", "c", "/usr")
+	b.Mount("/others", "c", "/usr")
+
+	na, _ := u.Resolve("a", "/proj1/foo")
+	nb, _ := u.Resolve("b", "/others/foo")
+	fmt.Println(na, nb, na == nb)
+	// Output:
+	// c:/usr/foo c:/usr/foo true
+}

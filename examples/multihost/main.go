@@ -1,0 +1,132 @@
+// Multihost: the naming and routing machinery of §5.3, §6.5 and §8.3 in one
+// deployment:
+//
+//   - an NFS domain where a file server exports /usr and two workstations
+//     mount it at different mount points — the same physical file is
+//     submitted under two different local names and must be cached ONCE at
+//     the supercomputer;
+//
+//   - two supercomputers, with one client submitting to both ("a client can
+//     have simultaneous connections to multiple servers");
+//
+//   - output routing: a job's results delivered to a third host (one "with
+//     special facilities such as a high-speed printer").
+//
+//     go run ./examples/multihost
+package main
+
+import (
+	"fmt"
+	"log"
+
+	shadow "shadowedit"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cluster, err := shadow.NewCluster(shadow.ClusterConfig{
+		Domain:     "nfs.purdue",
+		ServerName: "cyber205",
+		Link:       shadow.ARPANET,
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	if _, err := cluster.AddServer("cray-xmp", shadow.DefaultServerConfig("cray-xmp")); err != nil {
+		return err
+	}
+
+	// The NFS universe: fileserver exports /usr; arthur mounts it as
+	// /proj1, merlin mounts it as /others (the paper's §5.3 example).
+	fileServer := cluster.NewWorkstation("fileserver")
+	arthur := cluster.NewWorkstation("arthur")
+	merlin := cluster.NewWorkstation("merlin")
+	printer := cluster.NewWorkstation("printer-host")
+	arthur.FS().Mount("/proj1", "fileserver", "/usr")
+	merlin.FS().Mount("/others", "fileserver", "/usr")
+
+	if err := fileServer.WriteFile("/usr/shared/mesh.dat",
+		[]byte("node 1 0.0 0.0\nnode 2 1.0 0.0\nnode 3 0.0 1.0\n")); err != nil {
+		return err
+	}
+	if err := arthur.WriteFile("/u/run.job", []byte("wc mesh.dat\nchecksum mesh.dat\n")); err != nil {
+		return err
+	}
+	if err := merlin.WriteFile("/u/run.job", []byte("wc mesh.dat\nchecksum mesh.dat\n")); err != nil {
+		return err
+	}
+
+	// Alice on arthur and Bob on merlin submit the SAME file under
+	// DIFFERENT names.
+	alice, err := arthur.Connect("alice")
+	if err != nil {
+		return err
+	}
+	defer alice.Close()
+	bob, err := merlin.Connect("bob")
+	if err != nil {
+		return err
+	}
+	defer bob.Close()
+
+	ja, err := alice.Submit("/u/run.job", []string{"/proj1/shared/mesh.dat"}, shadow.SubmitOptions{})
+	if err != nil {
+		return err
+	}
+	if _, err := alice.Wait(ja); err != nil {
+		return err
+	}
+	jb, err := bob.Submit("/u/run.job", []string{"/others/shared/mesh.dat"}, shadow.SubmitOptions{})
+	if err != nil {
+		return err
+	}
+	if _, err := bob.Wait(jb); err != nil {
+		return err
+	}
+	fmt.Printf("alice submitted /proj1/shared/mesh.dat, bob submitted /others/shared/mesh.dat\n")
+	fmt.Printf("shadow files cached at cyber205: %d (one copy — names resolved to the same file)\n\n",
+		cluster.Server().Directory().Len())
+
+	// The same client talks to a second supercomputer.
+	envB := shadow.DefaultEnvironment("alice")
+	envB.DefaultHost = "cray-xmp"
+	aliceCray, err := arthur.ConnectEnv(envB)
+	if err != nil {
+		return err
+	}
+	defer aliceCray.Close()
+	jc, err := aliceCray.Submit("/u/run.job", []string{"/proj1/shared/mesh.dat"}, shadow.SubmitOptions{})
+	if err != nil {
+		return err
+	}
+	rec, err := aliceCray.Wait(jc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("alice also ran job %d on %s: %v\n\n", jc, aliceCray.ServerName(), rec.State)
+
+	// Output routing: results of a job go to the printer host's session.
+	printerClient, err := printer.Connect("operator")
+	if err != nil {
+		return err
+	}
+	defer printerClient.Close()
+	jr, err := alice.Submit("/u/run.job", []string{"/proj1/shared/mesh.dat"},
+		shadow.SubmitOptions{RouteHost: "printer-host"})
+	if err != nil {
+		return err
+	}
+	routed, err := printerClient.Wait(jr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %d output routed to printer-host (%d bytes):\n%s",
+		jr, len(routed.Stdout), routed.Stdout)
+	return nil
+}

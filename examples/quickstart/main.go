@@ -1,0 +1,66 @@
+// Quickstart: the smallest complete shadow-editing session.
+//
+// It builds an in-process simulated deployment (one supercomputer, one
+// workstation, an ARPANET-speed link), writes a data file and a job command
+// file, submits the job, and prints the results — the whole edit–submit–
+// fetch experience of §4 in about thirty lines of API use.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	shadow "shadowedit"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cluster, err := shadow.NewCluster(shadow.ClusterConfig{Link: shadow.ARPANET})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	ws := cluster.NewWorkstation("sun3")
+	c, err := ws.Connect("comer")
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	// A scientist's files: a small data set and a job command file whose
+	// commands reference the data file by base name.
+	if err := ws.WriteFile("/u/comer/stars.dat", []byte(
+		"sirius -1.46\ncanopus -0.74\narcturus -0.05\nvega 0.03\n")); err != nil {
+		return err
+	}
+	if err := ws.WriteFile("/u/comer/run.job", []byte(
+		"sort stars.dat\nwc stars.dat\n")); err != nil {
+		return err
+	}
+
+	job, err := c.Submit("/u/comer/run.job", []string{"/u/comer/stars.dat"}, shadow.SubmitOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitted job %d to %s\n", job, c.ServerName())
+
+	rec, err := c.Wait(job)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %d finished: %v (exit %d)\n", job, rec.State, rec.ExitCode)
+	fmt.Printf("--- output (%s) ---\n%s", rec.OutputFile, rec.Stdout)
+
+	m := c.Metrics()
+	fmt.Printf("--- traffic ---\n%s\n", m)
+	fmt.Printf("virtual time elapsed on the 56 kbps link: %v\n", ws.Host().Now().Round(1000000))
+	return nil
+}

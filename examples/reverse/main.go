@@ -1,0 +1,96 @@
+// Reverse: shadow processing applied in reverse (§8.3) — "cache the output
+// on supercomputer, and, next time the same job is run, send the differences
+// between the current output and the previous output to the client."
+//
+// A simulation job produces ~200 KB of output that changes only slightly
+// between runs (its input is edited 1% each time). The example reruns it
+// four times over a 9600 bps line, once with reverse shadowing off and once
+// with it on, and prints the output bytes that crossed the link each way.
+//
+//	go run ./examples/reverse
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"shadowedit/internal/workload"
+
+	shadow "shadowedit"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+const (
+	inputSize = 50 * 1024
+	runs      = 4
+)
+
+func run() error {
+	fmt.Printf("job: expand 4 sim.dat  (%d KB in, ~%d KB out), %d runs, 1%% input edit between runs\n\n",
+		inputSize/1024, 4*inputSize/1024, runs)
+	var plain, delta int64
+	for _, wantDelta := range []bool{false, true} {
+		moved, vtime, err := measure(wantDelta)
+		if err != nil {
+			return err
+		}
+		mode := "full output every run "
+		if wantDelta {
+			mode = "reverse shadow deltas"
+			delta = moved
+		} else {
+			plain = moved
+		}
+		fmt.Printf("%s: %8d output bytes moved, %10v virtual time\n",
+			mode, moved, vtime.Round(time.Millisecond))
+	}
+	if delta > 0 {
+		fmt.Printf("\nreverse shadowing moved %.1fx fewer output bytes\n",
+			float64(plain)/float64(delta))
+	}
+	return nil
+}
+
+func measure(wantDelta bool) (int64, time.Duration, error) {
+	cluster, err := shadow.NewCluster(shadow.ClusterConfig{Link: shadow.Cypress})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cluster.Close()
+	ws := cluster.NewWorkstation("ws")
+
+	environment := shadow.DefaultEnvironment("sci")
+	environment.WantOutputDelta = wantDelta
+	c, err := ws.ConnectEnv(environment)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer c.Close()
+
+	gen := workload.NewGenerator(42)
+	content := gen.File(inputSize)
+	if err := ws.WriteFile("/u/sci/run.job", []byte("expand 4 sim.dat\n")); err != nil {
+		return 0, 0, err
+	}
+	start := ws.Host().Now()
+	for run := 0; run < runs; run++ {
+		if err := ws.WriteFile("/u/sci/sim.dat", content); err != nil {
+			return 0, 0, err
+		}
+		job, err := c.Submit("/u/sci/run.job", []string{"/u/sci/sim.dat"}, shadow.SubmitOptions{})
+		if err != nil {
+			return 0, 0, err
+		}
+		if _, err := c.Wait(job); err != nil {
+			return 0, 0, err
+		}
+		content = gen.Modify(content, 1, workload.EditReplace)
+	}
+	return c.Metrics().OutputBytes, ws.Host().Now() - start, nil
+}

@@ -1,0 +1,3 @@
+module shadowedit
+
+go 1.22

@@ -1,0 +1,298 @@
+// Package cache implements the server-side shadow store: the best-effort
+// cache of submitted files kept at the supercomputer site (§5.1).
+//
+// "Caching does not guarantee that a duplicate copy of the user's file will
+// always be available at the remote host. ... The software takes advantage of
+// a cached file if it is at the remote host, but in the worst case it would
+// have to send the entire file." Accordingly, the cache may refuse or evict
+// any entry at any time; correctness never depends on a hit. The remote host
+// decides how much disk to spend and which files leave first — here a byte
+// capacity plus a pluggable eviction policy.
+//
+// Entries hold the newest version of each shadow file; files pinned by
+// running jobs are never evicted until unpinned.
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"shadowedit/internal/naming"
+)
+
+// Policy selects which unpinned entry leaves first under pressure.
+type Policy int
+
+// Eviction policies.
+const (
+	// LRU evicts the least recently used entry first.
+	LRU Policy = iota + 1
+	// LargestFirst evicts the biggest entry first, maximizing the count
+	// of files that stay cached (small files benefit the most per byte
+	// from shadowing's avoided round trips).
+	LargestFirst
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case LargestFirst:
+		return "largest-first"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ErrTooLarge reports content bigger than the whole cache; best-effort
+// semantics mean the caller simply proceeds uncached.
+var ErrTooLarge = errors.New("cache: content exceeds capacity")
+
+// Entry is one cached shadow file version.
+type Entry struct {
+	ID      naming.ShadowID
+	Version uint64
+	Content []byte
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Rejected  int64
+	Bytes     int64
+	Entries   int
+}
+
+// Cache is a bounded, concurrency-safe shadow store.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int64
+	policy   Policy
+	entries  map[naming.ShadowID]*slot
+	bytes    int64
+	seq      int64
+	stats    Stats
+}
+
+type slot struct {
+	entry    Entry
+	lastUsed int64
+	pins     int
+}
+
+// New returns a cache bounded to capacity bytes of content (<= 0 means
+// unbounded) with the given eviction policy.
+func New(capacity int64, policy Policy) *Cache {
+	if policy != LRU && policy != LargestFirst {
+		policy = LRU
+	}
+	return &Cache{
+		capacity: capacity,
+		policy:   policy,
+		entries:  make(map[naming.ShadowID]*slot),
+	}
+}
+
+// Get returns the cached entry for id, if present, and refreshes its
+// recency. The returned content must not be modified.
+func (c *Cache) Get(id naming.ShadowID) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.entries[id]
+	if !ok {
+		c.stats.Misses++
+		return Entry{}, false
+	}
+	c.seq++
+	s.lastUsed = c.seq
+	c.stats.Hits++
+	return s.entry, true
+}
+
+// Peek is Get without touching recency or hit statistics.
+func (c *Cache) Peek(id naming.ShadowID) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.entries[id]
+	if !ok {
+		return Entry{}, false
+	}
+	return s.entry, true
+}
+
+// Put stores version content for id, replacing any older version, evicting
+// other unpinned entries as needed. Best-effort: if the content cannot fit
+// (bigger than capacity, or everything else is pinned), Put returns
+// ErrTooLarge and the cache simply does not hold the file — callers must not
+// treat that as fatal.
+func (c *Cache) Put(id naming.ShadowID, version uint64, content []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	size := int64(len(content))
+	old := c.entries[id]
+	var oldSize int64
+	if old != nil {
+		oldSize = int64(len(old.entry.Content))
+	}
+	// Content that can never fit is rejected up front — evicting the
+	// whole cache first would sacrifice everyone else's entries for
+	// nothing.
+	if c.capacity > 0 && size > c.capacity {
+		c.stats.Rejected++
+		if old != nil && old.pins == 0 {
+			c.bytes -= oldSize
+			delete(c.entries, id)
+		}
+		return ErrTooLarge
+	}
+	// Guarantee room before mutating anything: the entry's own old bytes
+	// are reusable, everything else must be evicted per policy.
+	if c.capacity > 0 {
+		for c.bytes-oldSize+size > c.capacity {
+			if c.evictOneLocked(id) {
+				continue
+			}
+			// No victim available. Best effort: the cache simply
+			// does not hold the new version. A stale unpinned old
+			// version is dropped rather than silently served; a
+			// pinned one stays (a job still needs it) and remains
+			// accurately versioned.
+			c.stats.Rejected++
+			if old != nil && old.pins == 0 {
+				c.bytes -= oldSize
+				delete(c.entries, id)
+			}
+			return ErrTooLarge
+		}
+	}
+	c.seq++
+	if old != nil {
+		c.bytes += size - oldSize
+		old.entry.Version = version
+		old.entry.Content = append([]byte(nil), content...)
+		old.lastUsed = c.seq
+		return nil
+	}
+	c.entries[id] = &slot{
+		entry:    Entry{ID: id, Version: version, Content: append([]byte(nil), content...)},
+		lastUsed: c.seq,
+	}
+	c.bytes += size
+	return nil
+}
+
+// evictOneLocked removes one unpinned victim per policy. Returns false when
+// no victim exists.
+func (c *Cache) evictOneLocked(keep naming.ShadowID) bool {
+	var victim naming.ShadowID
+	found := false
+	switch c.policy {
+	case LargestFirst:
+		var best int64 = -1
+		for id, s := range c.entries {
+			if s.pins > 0 || id == keep {
+				continue
+			}
+			if int64(len(s.entry.Content)) > best {
+				best = int64(len(s.entry.Content))
+				victim = id
+				found = true
+			}
+		}
+	default: // LRU
+		var oldest int64 = 1<<63 - 1
+		for id, s := range c.entries {
+			if s.pins > 0 || id == keep {
+				continue
+			}
+			if s.lastUsed < oldest {
+				oldest = s.lastUsed
+				victim = id
+				found = true
+			}
+		}
+	}
+	if !found {
+		return false
+	}
+	c.bytes -= int64(len(c.entries[victim].entry.Content))
+	delete(c.entries, victim)
+	c.stats.Evictions++
+	return true
+}
+
+// Pin marks id in use (for example by a queued or running job); pinned
+// entries survive eviction. Pins nest.
+func (c *Cache) Pin(id naming.ShadowID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.entries[id]
+	if !ok {
+		return false
+	}
+	s.pins++
+	return true
+}
+
+// Unpin releases one pin.
+func (c *Cache) Unpin(id naming.ShadowID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.entries[id]; ok && s.pins > 0 {
+		s.pins--
+	}
+}
+
+// Evict forcibly removes an entry (even a pinned one); used by tests and by
+// operators reclaiming disk. Reports whether the entry existed.
+func (c *Cache) Evict(id naming.ShadowID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.entries[id]
+	if !ok {
+		return false
+	}
+	c.bytes -= int64(len(s.entry.Content))
+	delete(c.entries, id)
+	c.stats.Evictions++
+	return true
+}
+
+// Flush empties the cache (server restart, disk scrubbed).
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[naming.ShadowID]*slot)
+	c.bytes = 0
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Bytes = c.bytes
+	st.Entries = len(c.entries)
+	return st
+}
+
+// Bytes returns the cached content bytes.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Capacity returns the configured byte capacity (<= 0 means unbounded).
+func (c *Cache) Capacity() int64 { return c.capacity }

@@ -1,0 +1,465 @@
+// Package client implements the shadow client that runs at a user's
+// workstation (§6.1): it hides all communication detail, versions edited
+// files, answers the server's demand-driven pulls with deltas, submits jobs,
+// tracks their status, and receives their output.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sync"
+
+	"shadowedit/internal/core"
+	"shadowedit/internal/diff"
+	"shadowedit/internal/env"
+	"shadowedit/internal/metrics"
+	"shadowedit/internal/naming"
+	"shadowedit/internal/vcs"
+	"shadowedit/internal/wire"
+)
+
+// Errors reported by the client.
+var (
+	// ErrClosed reports use after Close.
+	ErrClosed = errors.New("client: closed")
+	// ErrNoSession reports a client whose connection ended.
+	ErrNoSession = errors.New("client: session ended")
+)
+
+// Config parametrizes a Client.
+type Config struct {
+	// User is the submitting user.
+	User string
+	// Universe is the local naming domain and file storage.
+	Universe *naming.Universe
+	// Host is the workstation's name within the universe.
+	Host string
+	// Env holds the user's shadow environment (customization).
+	Env env.Environment
+	// WorkDir is where job results are written when output file names are
+	// relative; defaults to /home/<user>.
+	WorkDir string
+	// Tilde optionally holds the user's tilde-tree bindings; file names
+	// of the form "~tree/path" resolve through it (§5.3 Tilde naming).
+	Tilde *naming.TildeSpace
+	// Store optionally seeds the version store — typically one restored
+	// with vcs.Load after a client restart, so retained versions (and
+	// with them the ability to answer pulls with deltas) survive. Nil
+	// creates a fresh store.
+	Store *vcs.Store
+	// Jobs optionally seeds the job database — typically one restored
+	// with env.LoadJobDB, so job records survive restarts. Nil creates a
+	// fresh database.
+	Jobs *env.JobDB
+	// Clock receives local compute charges (diff runs) in simulations.
+	Clock core.Clock
+}
+
+// SubmitOptions are the per-submission optional arguments of the submit
+// command (§6.2): result file names, an alternate execution host is chosen
+// by connecting to a different server, and output routing.
+type SubmitOptions struct {
+	// OutputFile and ErrorFile override the environment's defaults.
+	OutputFile string
+	ErrorFile  string
+	// RouteHost delivers output to a session from another host.
+	RouteHost string
+	// OutputDelta requests reverse shadow processing for this job; the
+	// environment's WantOutputDelta is the default.
+	OutputDelta *bool
+}
+
+// Client is one workstation's connection to one shadow server. A user may
+// hold several clients, one per supercomputer.
+type Client struct {
+	cfg      Config
+	conn     wire.Conn
+	store    *vcs.Store
+	jobdb    *env.JobDB
+	counters *metrics.Counters
+
+	session    uint64
+	serverName string
+
+	reqMu sync.Mutex // serializes synchronous request/response exchanges
+
+	mu        sync.Mutex
+	awaiting  chan wire.Message // live only while a request is outstanding
+	outPrev   map[uint32][]byte // script checksum -> last received stdout
+	jobMeta   map[uint64]jobMeta
+	jobDone   map[uint64]chan struct{}
+	delivered []uint64      // job ids delivered but not yet taken by WaitAny
+	arrivals  chan struct{} // signaled on each delivery
+	closed    bool
+	lastErr   error
+
+	readerDone chan struct{}
+}
+
+type jobMeta struct {
+	scriptSum  uint32
+	outputFile string
+	errorFile  string
+}
+
+// Connect establishes a session over conn: it sends HELLO, waits for
+// HELLO_OK, and starts the background reader that answers server pulls.
+func Connect(conn wire.Conn, cfg Config) (*Client, error) {
+	if cfg.Universe == nil {
+		return nil, errors.New("client: Config.Universe is required")
+	}
+	if cfg.User == "" {
+		cfg.User = cfg.Env.User
+	}
+	if cfg.Env.User == "" {
+		cfg.Env = env.Default(cfg.User)
+	}
+	if err := cfg.Env.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.WorkDir == "" {
+		cfg.WorkDir = "/home/" + cfg.User
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = core.NopClock{}
+	}
+
+	store := cfg.Store
+	if store == nil {
+		store = vcs.NewStore(cfg.Env.RetainVersions)
+	} else {
+		store.SetRetain(cfg.Env.RetainVersions)
+	}
+	jobdb := cfg.Jobs
+	if jobdb == nil {
+		jobdb = env.NewJobDB()
+	}
+	c := &Client{
+		cfg:        cfg,
+		conn:       conn,
+		store:      store,
+		jobdb:      jobdb,
+		counters:   &metrics.Counters{},
+		outPrev:    make(map[uint32][]byte),
+		jobMeta:    make(map[uint64]jobMeta),
+		jobDone:    make(map[uint64]chan struct{}),
+		arrivals:   make(chan struct{}, 1),
+		readerDone: make(chan struct{}),
+	}
+	hello := &wire.Hello{
+		Protocol:   wire.ProtocolVersion,
+		User:       cfg.User,
+		Domain:     cfg.Universe.Domain(),
+		ClientHost: cfg.Host,
+	}
+	if err := wire.Send(conn, hello); err != nil {
+		return nil, fmt.Errorf("client: hello: %w", err)
+	}
+	reply, err := wire.Recv(conn)
+	if err != nil {
+		return nil, fmt.Errorf("client: hello: %w", err)
+	}
+	switch m := reply.(type) {
+	case *wire.HelloOK:
+		c.session = m.Session
+		c.serverName = m.ServerName
+	case *wire.ErrorMsg:
+		return nil, fmt.Errorf("client: hello rejected: %w", m)
+	default:
+		return nil, fmt.Errorf("client: unexpected hello reply %v", reply.Kind())
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// ServerName returns the connected server's advertised name.
+func (c *Client) ServerName() string { return c.serverName }
+
+// Store exposes the version store (tests and the editor integration).
+func (c *Client) Store() *vcs.Store { return c.store }
+
+// Jobs exposes the client's job database.
+func (c *Client) Jobs() *env.JobDB { return c.jobdb }
+
+// Metrics returns the client's transfer counters.
+func (c *Client) Metrics() metrics.Snapshot { return c.counters.Snapshot() }
+
+// Environment returns the active shadow environment.
+func (c *Client) Environment() env.Environment { return c.cfg.Env }
+
+// CommitAndNotify registers the current content of the named local file as a
+// new version and notifies the server (the shadow editor's postprocessor
+// calls this at the end of every editing session). Unchanged content sends
+// nothing.
+func (c *Client) CommitAndNotify(filePath string) (wire.FileRef, uint64, error) {
+	ref, err := c.refFor(filePath)
+	if err != nil {
+		return wire.FileRef{}, 0, err
+	}
+	content, err := c.readFile(filePath)
+	if err != nil {
+		return wire.FileRef{}, 0, err
+	}
+	version, changed := c.store.Commit(ref, content)
+	if !changed {
+		return ref, version, nil
+	}
+	notify := &wire.Notify{
+		File:    ref,
+		Version: version,
+		Size:    int64(len(content)),
+		Sum:     diff.Checksum(content),
+	}
+	c.counters.AddControl(0)
+	if err := c.send(notify); err != nil {
+		return wire.FileRef{}, 0, err
+	}
+	return ref, version, nil
+}
+
+// Submit sends a job: scriptPath names the job command file, dataPaths the
+// data files its commands read (referenced by base name). It returns the
+// server-assigned job id.
+func (c *Client) Submit(scriptPath string, dataPaths []string, opts SubmitOptions) (uint64, error) {
+	script, err := c.readFile(scriptPath)
+	if err != nil {
+		return 0, fmt.Errorf("client: read script: %w", err)
+	}
+	inputs := make([]wire.JobInput, 0, len(dataPaths))
+	for _, p := range dataPaths {
+		ref, version, err := c.CommitAndNotify(p)
+		if err != nil {
+			return 0, fmt.Errorf("client: prepare %s: %w", p, err)
+		}
+		inputs = append(inputs, wire.JobInput{File: ref, Version: version, As: path.Base(p)})
+	}
+	wantDelta := c.cfg.Env.WantOutputDelta
+	if opts.OutputDelta != nil {
+		wantDelta = *opts.OutputDelta
+	}
+	req := &wire.Submit{
+		Script:          script,
+		Inputs:          inputs,
+		OutputFile:      opts.OutputFile,
+		ErrorFile:       opts.ErrorFile,
+		RouteHost:       opts.RouteHost,
+		WantOutputDelta: wantDelta,
+	}
+	reply, err := c.roundTrip(req)
+	if err != nil {
+		return 0, err
+	}
+	ok, isOK := reply.(*wire.SubmitOK)
+	if !isOK {
+		return 0, replyError(reply)
+	}
+
+	outputFile := opts.OutputFile
+	if outputFile == "" {
+		outputFile = c.cfg.Env.ExpandOutput(ok.Job)
+	}
+	errorFile := opts.ErrorFile
+	if errorFile == "" {
+		errorFile = c.cfg.Env.ExpandError(ok.Job)
+	}
+	c.mu.Lock()
+	c.jobMeta[ok.Job] = jobMeta{
+		scriptSum:  diff.Checksum(script),
+		outputFile: outputFile,
+		errorFile:  errorFile,
+	}
+	if _, exists := c.jobDone[ok.Job]; !exists {
+		c.jobDone[ok.Job] = make(chan struct{})
+	}
+	c.mu.Unlock()
+	c.jobdb.Record(env.JobRecord{
+		Server:     c.serverName,
+		ID:         ok.Job,
+		State:      wire.JobQueued,
+		OutputFile: outputFile,
+		ErrorFile:  errorFile,
+	})
+	return ok.Job, nil
+}
+
+// Status queries one job's state at the server.
+func (c *Client) Status(job uint64) (wire.JobStatus, error) {
+	reply, err := c.roundTrip(&wire.StatusReq{Job: job})
+	if err != nil {
+		return wire.JobStatus{}, err
+	}
+	sr, ok := reply.(*wire.StatusReply)
+	if !ok {
+		return wire.JobStatus{}, replyError(reply)
+	}
+	if len(sr.Jobs) != 1 {
+		return wire.JobStatus{}, fmt.Errorf("client: status returned %d entries", len(sr.Jobs))
+	}
+	st := sr.Jobs[0]
+	c.jobdb.UpdateState(c.serverName, st.Job, st.State, st.Detail)
+	return st, nil
+}
+
+// StatusAll queries every job of this session.
+func (c *Client) StatusAll() ([]wire.JobStatus, error) {
+	reply, err := c.roundTrip(&wire.StatusReq{All: true})
+	if err != nil {
+		return nil, err
+	}
+	sr, ok := reply.(*wire.StatusReply)
+	if !ok {
+		return nil, replyError(reply)
+	}
+	for _, st := range sr.Jobs {
+		c.jobdb.UpdateState(c.serverName, st.Job, st.State, st.Detail)
+	}
+	return sr.Jobs, nil
+}
+
+// Wait blocks until the job's output has been delivered and returns its
+// record. The system "retrieves the output at the end of job execution and
+// notifies the user of job completion" — Wait is that notification.
+func (c *Client) Wait(job uint64) (env.JobRecord, error) {
+	c.mu.Lock()
+	done, ok := c.jobDone[job]
+	if !ok {
+		done = make(chan struct{})
+		c.jobDone[job] = done
+	}
+	c.mu.Unlock()
+	select {
+	case <-done:
+	case <-c.readerDone:
+		if rec, ok := c.jobdb.Get(c.serverName, job); ok && rec.Delivered {
+			return rec, nil
+		}
+		return env.JobRecord{}, c.sessionErr()
+	}
+	rec, ok := c.jobdb.Get(c.serverName, job)
+	if !ok {
+		return env.JobRecord{}, fmt.Errorf("client: job %d vanished", job)
+	}
+	return rec, nil
+}
+
+// WaitAny blocks until any job output is delivered to this session that no
+// previous WaitAny call has returned — including output routed here from
+// jobs submitted by other hosts (§8.3). It returns the job's record.
+func (c *Client) WaitAny() (env.JobRecord, error) {
+	for {
+		c.mu.Lock()
+		if len(c.delivered) > 0 {
+			id := c.delivered[0]
+			c.delivered = c.delivered[1:]
+			c.mu.Unlock()
+			rec, ok := c.jobdb.Get(c.serverName, id)
+			if !ok {
+				continue
+			}
+			return rec, nil
+		}
+		c.mu.Unlock()
+		select {
+		case <-c.arrivals:
+		case <-c.readerDone:
+			return env.JobRecord{}, c.sessionErr()
+		}
+	}
+}
+
+// Close ends the session.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	_ = wire.Send(c.conn, &wire.Bye{})
+	err := c.conn.Close()
+	<-c.readerDone
+	return err
+}
+
+func (c *Client) sessionErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lastErr != nil {
+		return c.lastErr
+	}
+	if c.closed {
+		return ErrClosed
+	}
+	return ErrNoSession
+}
+
+func (c *Client) send(m wire.Message) error {
+	if err := wire.Send(c.conn, m); err != nil {
+		return fmt.Errorf("client: send %v: %w", m.Kind(), err)
+	}
+	return nil
+}
+
+// roundTrip performs one synchronous request/response exchange. Server
+// pushes (pulls, acks, output) arriving in between are handled by the read
+// loop without disturbing the pending request.
+func (c *Client) roundTrip(req wire.Message) (wire.Message, error) {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+
+	ch := make(chan wire.Message, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.awaiting = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.awaiting = nil
+		c.mu.Unlock()
+	}()
+
+	if err := c.send(req); err != nil {
+		return nil, err
+	}
+	select {
+	case reply := <-ch:
+		return reply, nil
+	case <-c.readerDone:
+		return nil, c.sessionErr()
+	}
+}
+
+func replyError(reply wire.Message) error {
+	if em, ok := reply.(*wire.ErrorMsg); ok {
+		return em
+	}
+	return fmt.Errorf("client: unexpected reply %v", reply.Kind())
+}
+
+// refFor resolves a local file name — ordinary or tilde — to its globally
+// unique protocol reference.
+func (c *Client) refFor(filePath string) (wire.FileRef, error) {
+	if naming.IsTilde(filePath) {
+		if c.cfg.Tilde == nil {
+			return wire.FileRef{}, fmt.Errorf("client: tilde name %q but no tilde space configured", filePath)
+		}
+		return c.cfg.Tilde.FileRef(filePath)
+	}
+	return c.cfg.Universe.FileRef(c.cfg.Host, filePath)
+}
+
+// readFile reads a local file by ordinary or tilde name.
+func (c *Client) readFile(filePath string) ([]byte, error) {
+	if naming.IsTilde(filePath) {
+		if c.cfg.Tilde == nil {
+			return nil, fmt.Errorf("client: tilde name %q but no tilde space configured", filePath)
+		}
+		return c.cfg.Tilde.ReadFile(filePath)
+	}
+	return c.cfg.Universe.ReadFile(c.cfg.Host, filePath)
+}

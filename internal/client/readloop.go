@@ -1,0 +1,193 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"path"
+
+	"shadowedit/internal/core"
+	"shadowedit/internal/wire"
+)
+
+// readLoop is the client's background receiver: it answers server pulls
+// (that is where shadow deltas are produced), applies acks to the version
+// store, receives job output, and routes request replies to the waiting
+// caller. It exits when the connection ends.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	for {
+		msg, err := wire.Recv(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			if c.lastErr == nil && !c.closed {
+				c.lastErr = fmt.Errorf("client: connection lost: %w", err)
+			}
+			c.mu.Unlock()
+			return
+		}
+		switch m := msg.(type) {
+		case *wire.Pull:
+			c.handlePull(m)
+		case *wire.FileAck:
+			c.store.Ack(m.File, m.Version)
+		case *wire.Output:
+			c.handleOutput(m)
+		case *wire.SubmitOK, *wire.StatusReply:
+			c.routeReply(msg)
+		case *wire.ErrorMsg:
+			c.handleError(m)
+		default:
+			// Unknown pushes are ignored for forward compatibility.
+		}
+	}
+}
+
+// routeReply hands a response to the caller blocked in roundTrip, if any.
+func (c *Client) routeReply(msg wire.Message) {
+	c.mu.Lock()
+	ch := c.awaiting
+	c.mu.Unlock()
+	if ch == nil {
+		return
+	}
+	select {
+	case ch <- msg:
+	default:
+	}
+}
+
+func (c *Client) handleError(m *wire.ErrorMsg) {
+	c.mu.Lock()
+	ch := c.awaiting
+	c.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- m:
+			return
+		default:
+		}
+	}
+	c.mu.Lock()
+	c.lastErr = m
+	c.mu.Unlock()
+}
+
+// handlePull answers a server pull with a delta when possible, a full copy
+// otherwise. This runs in the background, so "the changes could be sent in
+// the background while the user is modifying the second file" (§5.1).
+func (c *Client) handlePull(m *wire.Pull) {
+	reply, err := core.AnswerPull(c.store, m, c.cfg.Env.Algorithm, c.cfg.Env.Compress, c.cfg.Clock)
+	if err != nil {
+		// The version store cannot satisfy the pull — typically a
+		// client that restarted without restoring state. The named
+		// file still exists in the user's environment, so re-read it
+		// from disk and register it at (at least) the version the
+		// server expects; transparency means the user never has to
+		// repair this by hand.
+		if content, rerr := c.cfg.Universe.ReadFileRef(m.File); rerr == nil {
+			c.store.CommitAtLeast(m.File, content, m.WantVersion)
+			reply, err = core.AnswerPull(c.store, m, c.cfg.Env.Algorithm, c.cfg.Env.Compress, c.cfg.Clock)
+		}
+	}
+	if err != nil {
+		// Truly gone (file deleted locally). Tell the server so it
+		// does not wait forever.
+		_ = c.send(&wire.ErrorMsg{Code: wire.CodeUnknownFile, Text: err.Error()})
+		return
+	}
+	switch r := reply.(type) {
+	case *wire.FileDelta:
+		c.counters.AddDelta(len(r.Encoded))
+	case *wire.FileFull:
+		c.counters.AddFull(len(r.Content))
+	}
+	_ = c.send(reply)
+}
+
+// handleOutput receives a finished job's results, reconstructing them from
+// an output delta when reverse shadow processing is active.
+func (c *Client) handleOutput(m *wire.Output) {
+	c.mu.Lock()
+	meta, known := c.jobMeta[m.Job]
+	c.mu.Unlock()
+
+	var prev []byte
+	if known {
+		c.mu.Lock()
+		prev = c.outPrev[meta.scriptSum]
+		c.mu.Unlock()
+	}
+	stdout, err := core.ApplyOutput(m.Mode, m.Stdout, prev, m.Compressed)
+	if errors.Is(err, core.ErrStaleBase) || (m.Mode == wire.OutputDelta && !known) {
+		// Our base for the delta is gone: ask for the full output.
+		_ = c.send(&wire.OutputFullReq{Job: m.Job})
+		return
+	}
+	if err != nil {
+		c.mu.Lock()
+		c.lastErr = err
+		c.mu.Unlock()
+		return
+	}
+	c.counters.AddOutput(len(m.Stdout) + len(m.Stderr))
+
+	if known {
+		c.mu.Lock()
+		c.outPrev[meta.scriptSum] = stdout
+		c.mu.Unlock()
+	} else {
+		// Routed output from a job submitted elsewhere; store under
+		// default names.
+		meta = jobMeta{
+			outputFile: fmt.Sprintf("routed-job-%d.out", m.Job),
+			errorFile:  fmt.Sprintf("routed-job-%d.err", m.Job),
+		}
+	}
+
+	// Store results where the user asked ("optional arguments allow the
+	// user to specify the names of files into which the system stores
+	// output and error messages").
+	if err := c.writeResult(meta.outputFile, stdout); err != nil {
+		c.mu.Lock()
+		c.lastErr = err
+		c.mu.Unlock()
+	}
+	if len(m.Stderr) > 0 {
+		if err := c.writeResult(meta.errorFile, m.Stderr); err != nil {
+			c.mu.Lock()
+			c.lastErr = err
+			c.mu.Unlock()
+		}
+	}
+
+	c.jobdb.SetOutput(c.serverName, m.Job, m.State, m.ExitCode, stdout, m.Stderr)
+	_ = c.send(&wire.OutputAck{Job: m.Job})
+
+	c.mu.Lock()
+	done, ok := c.jobDone[m.Job]
+	if !ok {
+		done = make(chan struct{})
+		c.jobDone[m.Job] = done
+	}
+	select {
+	case <-done:
+		// already closed (duplicate delivery)
+	default:
+		close(done)
+		c.delivered = append(c.delivered, m.Job)
+	}
+	c.mu.Unlock()
+	select {
+	case c.arrivals <- struct{}{}:
+	default:
+	}
+}
+
+// writeResult stores a result file, anchoring relative names in WorkDir.
+func (c *Client) writeResult(name string, content []byte) error {
+	p := name
+	if !path.IsAbs(p) {
+		p = path.Join(c.cfg.WorkDir, p)
+	}
+	return c.cfg.Universe.WriteFile(c.cfg.Host, p, content)
+}

@@ -1,0 +1,23 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip checks Decode(Encode(x)) == x for arbitrary payloads and
+// that Decode never panics on arbitrary framed input.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte("hello world"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		got, err := Decode(Encode(payload))
+		if err != nil {
+			t.Fatalf("Decode(Encode): %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("round trip mismatch")
+		}
+		_, _ = Decode(payload) // arbitrary input must not panic
+	})
+}

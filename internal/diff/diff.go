@@ -1,0 +1,325 @@
+// Package diff implements the differential file comparison substrate used by
+// shadow editing.
+//
+// The paper's prototype computes changes between successive versions of a
+// file with the Hunt–McIlroy differential comparison algorithm (the algorithm
+// behind UNIX diff) and ships them "in a form suitable for an editor (like ed
+// in Unix) to apply the changes to a previous version". This package provides
+// that algorithm from scratch, plus the two alternatives the paper names as
+// future work: the Miller–Myers O(ND) algorithm and Tichy's block-move
+// string-to-string correction. All three produce a Delta, which can be
+// rendered as a classic ed script, applied to a base version to reconstruct
+// the new version byte-for-byte, and encoded compactly for the wire.
+package diff
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Algorithm selects which differential comparison algorithm computes a Delta.
+type Algorithm int
+
+// Supported differencing algorithms.
+const (
+	// HuntMcIlroy is the LCS-based algorithm of Hunt & McIlroy (1975),
+	// the algorithm used by the paper's prototype (UNIX diff).
+	HuntMcIlroy Algorithm = iota + 1
+	// Myers is the O(ND) greedy LCS algorithm of Myers (1986), named by
+	// the paper (as Miller–Myers) as a candidate replacement.
+	Myers
+	// TichyBlockMove is Tichy's string-to-string correction with block
+	// moves (1984), also named by the paper as a candidate replacement.
+	TichyBlockMove
+)
+
+// String returns the conventional name of the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case HuntMcIlroy:
+		return "hunt-mcilroy"
+	case Myers:
+		return "myers"
+	case TichyBlockMove:
+		return "tichy"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// OpKind identifies the effect of a single delta operation.
+type OpKind int
+
+// Delta operation kinds. A Delta built from an LCS algorithm uses Delete,
+// Insert and Change; a Delta built by the block-move algorithm uses Copy and
+// Insert.
+const (
+	// OpDelete removes lines BaseStart..BaseEnd of the base version.
+	OpDelete OpKind = iota + 1
+	// OpInsert inserts Lines after base line BaseStart (0 = at the top).
+	OpInsert
+	// OpChange replaces lines BaseStart..BaseEnd of the base with Lines.
+	OpChange
+	// OpCopy copies lines BaseStart..BaseEnd of the base to the output
+	// (used only by block-move deltas, which rebuild the target
+	// left-to-right instead of patching the base in place).
+	OpCopy
+)
+
+// String returns the single-letter ed-style mnemonic for the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpDelete:
+		return "d"
+	case OpInsert:
+		return "a"
+	case OpChange:
+		return "c"
+	case OpCopy:
+		return "y"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// Op is one delta operation. Line numbers are 1-based, matching ed
+// conventions; BaseEnd is inclusive.
+type Op struct {
+	Kind      OpKind
+	BaseStart int
+	BaseEnd   int
+	Lines     [][]byte
+}
+
+// Delta is the difference between a base version and a target version of a
+// file. Applying the Delta to the exact base bytes reproduces the target
+// bytes. Deltas self-verify: checksums of both sides travel with the ops.
+type Delta struct {
+	// Algorithm records which algorithm produced the delta.
+	Algorithm Algorithm
+	// Ops holds the operations. For LCS deltas they are ordered by
+	// descending base line (the order `diff -e` emits, so each op's line
+	// numbers stay valid while earlier ops are applied). For block-move
+	// deltas they are ordered left-to-right over the target.
+	Ops []Op
+	// BaseLen and TargetLen are the byte lengths of the two versions.
+	BaseLen   int
+	TargetLen int
+	// BaseSum and TargetSum are CRC-32C checksums of the two versions,
+	// used to detect application against the wrong base.
+	BaseSum   uint32
+	TargetSum uint32
+}
+
+// Errors reported by Apply and the wire codec.
+var (
+	// ErrBaseMismatch reports that the base given to Apply is not the
+	// base the delta was computed from.
+	ErrBaseMismatch = errors.New("diff: base does not match delta checksum")
+	// ErrCorruptDelta reports a structurally invalid delta.
+	ErrCorruptDelta = errors.New("diff: corrupt delta")
+	// ErrVerifyFailed reports that applying a delta produced bytes whose
+	// checksum differs from the recorded target checksum.
+	ErrVerifyFailed = errors.New("diff: applied result fails target checksum")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC-32C checksum this package uses to identify file
+// contents.
+func Checksum(b []byte) uint32 { return crc32.Checksum(b, crcTable) }
+
+// Compute computes the delta that transforms base into target using the given
+// algorithm.
+func Compute(algorithm Algorithm, base, target []byte) (*Delta, error) {
+	d := &Delta{
+		Algorithm: algorithm,
+		BaseLen:   len(base),
+		TargetLen: len(target),
+		BaseSum:   Checksum(base),
+		TargetSum: Checksum(target),
+	}
+	a, b := SplitLines(base), SplitLines(target)
+	switch algorithm {
+	case HuntMcIlroy:
+		d.Ops = opsFromMatches(huntMcIlroyMatches(a, b), a, b)
+	case Myers:
+		d.Ops = opsFromMatches(myersMatches(a, b), a, b)
+	case TichyBlockMove:
+		d.Ops = tichyOps(a, b)
+	default:
+		return nil, fmt.Errorf("diff: unknown algorithm %v", algorithm)
+	}
+	return d, nil
+}
+
+// Apply reconstructs the target version from the base version. It verifies
+// the base checksum before applying and the target checksum afterwards, so a
+// non-nil error means the result must be discarded.
+func (d *Delta) Apply(base []byte) ([]byte, error) {
+	if len(base) != d.BaseLen || Checksum(base) != d.BaseSum {
+		return nil, ErrBaseMismatch
+	}
+	lines := SplitLines(base)
+	var out []byte
+	var err error
+	switch {
+	case d.isBlockMove():
+		out, err = applyBlockMove(d.Ops, lines)
+	default:
+		out, err = applyEdits(d.Ops, lines)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(out) != d.TargetLen || Checksum(out) != d.TargetSum {
+		return nil, ErrVerifyFailed
+	}
+	return out, nil
+}
+
+// WireSize returns the encoded size of the delta in bytes, the quantity the
+// shadow protocol actually sends. Experiments use it to account for network
+// traffic.
+func (d *Delta) WireSize() int { return len(d.Encode()) }
+
+// OpCount returns the number of operations in the delta.
+func (d *Delta) OpCount() int { return len(d.Ops) }
+
+func (d *Delta) isBlockMove() bool {
+	for _, op := range d.Ops {
+		if op.Kind == OpCopy {
+			return true
+		}
+	}
+	return d.Algorithm == TichyBlockMove
+}
+
+// applyEdits applies LCS-style ops (ordered by descending base line) the way
+// ed would: later-in-file edits first, so line numbers never shift under an
+// op that has not run yet.
+func applyEdits(ops []Op, lines [][]byte) ([]byte, error) {
+	work := make([][]byte, len(lines))
+	copy(work, lines)
+	for _, op := range ops {
+		start, end := op.BaseStart, op.BaseEnd
+		switch op.Kind {
+		case OpDelete, OpChange:
+			if start < 1 || end < start || end > len(work) {
+				return nil, fmt.Errorf("%w: %s %d,%d outside 1..%d",
+					ErrCorruptDelta, op.Kind, start, end, len(work))
+			}
+			var repl [][]byte
+			if op.Kind == OpChange {
+				repl = op.Lines
+			}
+			rest := make([][]byte, 0, len(work)-(end-start+1)+len(repl))
+			rest = append(rest, work[:start-1]...)
+			rest = append(rest, repl...)
+			rest = append(rest, work[end:]...)
+			work = rest
+		case OpInsert:
+			if start < 0 || start > len(work) {
+				return nil, fmt.Errorf("%w: %s after %d outside 0..%d",
+					ErrCorruptDelta, op.Kind, start, len(work))
+			}
+			rest := make([][]byte, 0, len(work)+len(op.Lines))
+			rest = append(rest, work[:start]...)
+			rest = append(rest, op.Lines...)
+			rest = append(rest, work[start:]...)
+			work = rest
+		default:
+			return nil, fmt.Errorf("%w: op kind %v in edit delta", ErrCorruptDelta, op.Kind)
+		}
+	}
+	return JoinLines(work), nil
+}
+
+// applyBlockMove rebuilds the target from Copy and Insert ops in order.
+func applyBlockMove(ops []Op, lines [][]byte) ([]byte, error) {
+	var out [][]byte
+	for _, op := range ops {
+		switch op.Kind {
+		case OpCopy:
+			if op.BaseStart < 1 || op.BaseEnd < op.BaseStart || op.BaseEnd > len(lines) {
+				return nil, fmt.Errorf("%w: copy %d,%d outside 1..%d",
+					ErrCorruptDelta, op.BaseStart, op.BaseEnd, len(lines))
+			}
+			out = append(out, lines[op.BaseStart-1:op.BaseEnd]...)
+		case OpInsert:
+			out = append(out, op.Lines...)
+		default:
+			return nil, fmt.Errorf("%w: op kind %v in block-move delta", ErrCorruptDelta, op.Kind)
+		}
+	}
+	return JoinLines(out), nil
+}
+
+// match is a run of identical lines: a[ai..ai+n) == b[bi..bi+n), 0-based.
+type match struct {
+	ai, bi, n int
+}
+
+// opsFromMatches converts an LCS (as maximal runs of matching lines, in
+// ascending order) into ed-style ops ordered by descending base line.
+func opsFromMatches(matches []match, a, b [][]byte) []Op {
+	// Walk the gap between consecutive matches; each gap is a delete,
+	// insert or change region. Collect ascending, then reverse.
+	var fwd []Op
+	ai, bi := 0, 0
+	emit := func(aEnd, bEnd int) {
+		// Region a[ai:aEnd) replaced by b[bi:bEnd).
+		delN, insN := aEnd-ai, bEnd-bi
+		switch {
+		case delN > 0 && insN > 0:
+			fwd = append(fwd, Op{
+				Kind:      OpChange,
+				BaseStart: ai + 1,
+				BaseEnd:   aEnd,
+				Lines:     copyLines(b[bi:bEnd]),
+			})
+		case delN > 0:
+			fwd = append(fwd, Op{Kind: OpDelete, BaseStart: ai + 1, BaseEnd: aEnd})
+		case insN > 0:
+			fwd = append(fwd, Op{
+				Kind:      OpInsert,
+				BaseStart: ai, // insert after line ai (0 = top)
+				Lines:     copyLines(b[bi:bEnd]),
+			})
+		}
+	}
+	for _, m := range matches {
+		emit(m.ai, m.bi)
+		ai, bi = m.ai+m.n, m.bi+m.n
+	}
+	emit(len(a), len(b))
+	// Reverse to descending base order.
+	for i, j := 0, len(fwd)-1; i < j; i, j = i+1, j-1 {
+		fwd[i], fwd[j] = fwd[j], fwd[i]
+	}
+	return fwd
+}
+
+func copyLines(src [][]byte) [][]byte {
+	out := make([][]byte, len(src))
+	for i, l := range src {
+		out[i] = append([]byte(nil), l...)
+	}
+	return out
+}
+
+// matchesFromPairs coalesces individual matched line pairs (ascending in both
+// coordinates) into maximal runs.
+func matchesFromPairs(ais, bis []int) []match {
+	var ms []match
+	for i := 0; i < len(ais); {
+		j := i + 1
+		for j < len(ais) && ais[j] == ais[j-1]+1 && bis[j] == bis[j-1]+1 {
+			j++
+		}
+		ms = append(ms, match{ai: ais[i], bi: bis[i], n: j - i})
+		i = j
+	}
+	return ms
+}

@@ -1,0 +1,149 @@
+package diff
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestEdScriptRendering(t *testing.T) {
+	base := "one\ntwo\nthree\nfour\nfive\n"
+	target := "one\nTWO\nthree\nfive\nsix\n"
+	d := mustCompute(t, HuntMcIlroy, []byte(base), []byte(target))
+	script, err := d.EdScript()
+	if err != nil {
+		t.Fatalf("EdScript: %v", err)
+	}
+	// The script must contain the commands in descending order with
+	// text blocks terminated by ".".
+	if !strings.Contains(script, "c\n") {
+		t.Errorf("script missing change command:\n%s", script)
+	}
+	if !strings.HasSuffix(script, ".\n") && !strings.Contains(script, "d\n") {
+		t.Errorf("script looks malformed:\n%s", script)
+	}
+
+	ops, err := ParseEdScript(script)
+	if err != nil {
+		t.Fatalf("ParseEdScript: %v", err)
+	}
+	got, err := ApplyOps(ops, []byte(base))
+	if err != nil {
+		t.Fatalf("ApplyOps: %v", err)
+	}
+	if string(got) != target {
+		t.Fatalf("ed round trip = %q, want %q", got, target)
+	}
+}
+
+func TestEdScriptSingleLineAddress(t *testing.T) {
+	d := mustCompute(t, HuntMcIlroy, []byte("a\nb\nc\n"), []byte("a\nc\n"))
+	script, err := d.EdScript()
+	if err != nil {
+		t.Fatalf("EdScript: %v", err)
+	}
+	if script != "2d\n" {
+		t.Fatalf("script = %q, want %q", script, "2d\n")
+	}
+}
+
+func TestEdScriptUnrepresentable(t *testing.T) {
+	tests := []struct {
+		name   string
+		base   string
+		target string
+	}{
+		{name: "lone dot line", base: "a\n", target: "a\n.\n"},
+		{name: "missing final newline", base: "a\n", target: "a\nb"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := mustCompute(t, HuntMcIlroy, []byte(tt.base), []byte(tt.target))
+			if _, err := d.EdScript(); err == nil {
+				t.Fatal("EdScript succeeded on unrepresentable content, want error")
+			}
+			// The binary encoding must still handle it.
+			d2, err := Decode(d.Encode())
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			got, err := d2.Apply([]byte(tt.base))
+			if err != nil || string(got) != tt.target {
+				t.Fatalf("binary round trip failed: %v", err)
+			}
+		})
+	}
+}
+
+func TestEdScriptBlockMoveRejected(t *testing.T) {
+	d := mustCompute(t, TichyBlockMove, []byte("a\nb\n"), []byte("b\na\n"))
+	if _, err := d.EdScript(); err == nil {
+		t.Fatal("EdScript succeeded on block-move delta, want error")
+	}
+}
+
+func TestParseEdScriptErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		script string
+	}{
+		{name: "unknown command", script: "3x\n"},
+		{name: "bad address", script: "zd\n"},
+		{name: "bad range", script: "1,zd\n"},
+		{name: "unterminated text", script: "1a\nhello\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseEdScript(tt.script); err == nil {
+				t.Fatalf("ParseEdScript(%q) succeeded, want error", tt.script)
+			}
+		})
+	}
+}
+
+func TestParseEdScriptEmpty(t *testing.T) {
+	ops, err := ParseEdScript("")
+	if err != nil {
+		t.Fatalf("ParseEdScript(\"\"): %v", err)
+	}
+	if len(ops) != 0 {
+		t.Fatalf("ParseEdScript(\"\") = %v, want empty", ops)
+	}
+}
+
+func TestPropertyEdScriptRoundTrip(t *testing.T) {
+	// Property: for newline-terminated docs without "." lines, the ed
+	// script round-trips through parse+apply.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		base := randomTerminatedDoc(rng)
+		target := mutateDoc(rng, base)
+		d, err := Compute(HuntMcIlroy, base, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		script, err := d.EdScript()
+		if err != nil {
+			t.Fatalf("trial %d: EdScript: %v", trial, err)
+		}
+		ops, err := ParseEdScript(script)
+		if err != nil {
+			t.Fatalf("trial %d: ParseEdScript: %v\n%s", trial, err, script)
+		}
+		got, err := ApplyOps(ops, base)
+		if err != nil || !bytes.Equal(got, target) {
+			t.Fatalf("trial %d: round trip mismatch: %v", trial, err)
+		}
+	}
+}
+
+func randomTerminatedDoc(rng *rand.Rand) []byte {
+	var buf bytes.Buffer
+	for i, n := 0, rng.Intn(30); i < n; i++ {
+		buf.WriteString("doc-line-")
+		buf.WriteByte(byte('a' + rng.Intn(6)))
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,101 @@
+package diff
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	tests := []struct {
+		name string
+		give []byte
+	}{
+		{name: "empty", give: nil},
+		{name: "short", give: []byte("SD")},
+		{name: "bad magic", give: []byte("XXX\x01")},
+		{name: "truncated header", give: []byte("SD1\x01")},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Decode(tt.give); err == nil {
+				t.Fatalf("Decode(%q) succeeded, want error", tt.give)
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsTruncations(t *testing.T) {
+	d := mustCompute(t, HuntMcIlroy, []byte("a\nb\nc\n"), []byte("a\nX\nY\nc\n"))
+	enc := d.Encode()
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Fatalf("Decode of %d/%d byte prefix succeeded, want error", cut, len(enc))
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	d := mustCompute(t, HuntMcIlroy, []byte("a\n"), []byte("b\n"))
+	enc := append(d.Encode(), 0xEE)
+	if _, err := Decode(enc); err == nil {
+		t.Fatal("Decode with trailing bytes succeeded, want error")
+	}
+}
+
+func TestDecodeNeverPanicsQuick(t *testing.T) {
+	// Property: Decode must reject or accept arbitrary input without
+	// panicking or over-allocating.
+	f := func(b []byte) bool {
+		_, _ = Decode(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodePrefixedNeverPanicsQuick(t *testing.T) {
+	// Property: same with a valid magic prefix so the body parser runs.
+	f := func(b []byte) bool {
+		_, _ = Decode(append([]byte("SD1"), b...))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeFieldFidelity(t *testing.T) {
+	d := mustCompute(t, Myers, []byte("p\nq\nr\n"), []byte("p\nZ\n"))
+	d2, err := Decode(d.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if d2.Algorithm != d.Algorithm {
+		t.Errorf("Algorithm = %v, want %v", d2.Algorithm, d.Algorithm)
+	}
+	if d2.BaseLen != d.BaseLen || d2.TargetLen != d.TargetLen {
+		t.Errorf("lengths = (%d,%d), want (%d,%d)", d2.BaseLen, d2.TargetLen, d.BaseLen, d.TargetLen)
+	}
+	if d2.BaseSum != d.BaseSum || d2.TargetSum != d.TargetSum {
+		t.Errorf("checksums differ after round trip")
+	}
+	if len(d2.Ops) != len(d.Ops) {
+		t.Fatalf("op count = %d, want %d", len(d2.Ops), len(d.Ops))
+	}
+	for i := range d.Ops {
+		if d2.Ops[i].Kind != d.Ops[i].Kind ||
+			d2.Ops[i].BaseStart != d.Ops[i].BaseStart ||
+			d2.Ops[i].BaseEnd != d.Ops[i].BaseEnd ||
+			len(d2.Ops[i].Lines) != len(d.Ops[i].Lines) {
+			t.Errorf("op %d differs: %+v vs %+v", i, d2.Ops[i], d.Ops[i])
+		}
+	}
+}
+
+func TestWireSizeMatchesEncodeLen(t *testing.T) {
+	d := mustCompute(t, HuntMcIlroy, []byte("a\nb\n"), []byte("a\nc\nd\n"))
+	if d.WireSize() != len(d.Encode()) {
+		t.Fatalf("WireSize %d != len(Encode) %d", d.WireSize(), len(d.Encode()))
+	}
+}

@@ -1,0 +1,55 @@
+package diff_test
+
+import (
+	"fmt"
+	"log"
+
+	"shadowedit/internal/diff"
+)
+
+// ExampleCompute shows the edit-resubmit core: compute a delta, ship its
+// compact encoding, apply it to the cached base at the far end.
+func ExampleCompute() {
+	base := []byte("velocity 1.0\npressure 2.0\nflux 3.0\n")
+	edited := []byte("velocity 1.0\npressure 2.5\nflux 3.0\n")
+
+	d, err := diff.Compute(diff.HuntMcIlroy, base, edited)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wire := d.Encode() // what actually crosses the network
+
+	received, err := diff.Decode(wire)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reconstructed, err := received.Apply(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delta: %d bytes for a %d byte file\n", len(wire), len(edited))
+	fmt.Printf("reconstructed: %v\n", string(reconstructed) == string(edited))
+	// Output:
+	// delta: 33 bytes for a 35 byte file
+	// reconstructed: true
+}
+
+// ExampleDelta_EdScript renders a delta the way the 1987 prototype shipped
+// it: as an ed script.
+func ExampleDelta_EdScript() {
+	base := []byte("one\ntwo\nthree\n")
+	edited := []byte("one\nTWO\nthree\n")
+	d, err := diff.Compute(diff.HuntMcIlroy, base, edited)
+	if err != nil {
+		log.Fatal(err)
+	}
+	script, err := d.EdScript()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(script)
+	// Output:
+	// 2c
+	// TWO
+	// .
+}

@@ -1,0 +1,62 @@
+package diff
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzComputeApply is the core correctness property under arbitrary inputs:
+// for every algorithm, Apply(Compute(base, target), base) == target.
+func FuzzComputeApply(f *testing.F) {
+	f.Add([]byte("a\nb\nc\n"), []byte("a\nX\nc\n"))
+	f.Add([]byte(""), []byte("x"))
+	f.Add([]byte("no newline"), []byte("no newline either"))
+	f.Add([]byte("\n\n\n"), []byte("\n"))
+	f.Fuzz(func(t *testing.T, base, target []byte) {
+		if len(base) > 1<<16 || len(target) > 1<<16 {
+			return
+		}
+		for _, alg := range allAlgorithms {
+			d, err := Compute(alg, base, target)
+			if err != nil {
+				t.Fatalf("%v: Compute: %v", alg, err)
+			}
+			got, err := d.Apply(base)
+			if err != nil {
+				t.Fatalf("%v: Apply: %v", alg, err)
+			}
+			if !bytes.Equal(got, target) {
+				t.Fatalf("%v: Apply produced wrong bytes", alg)
+			}
+			// The wire form must round trip too.
+			d2, err := Decode(d.Encode())
+			if err != nil {
+				t.Fatalf("%v: Decode: %v", alg, err)
+			}
+			got2, err := d2.Apply(base)
+			if err != nil || !bytes.Equal(got2, target) {
+				t.Fatalf("%v: decoded delta broken: %v", alg, err)
+			}
+		}
+	})
+}
+
+// FuzzDecode explores the delta decoder with arbitrary bytes: it must
+// reject or accept without panicking, and never accept-then-crash in Apply.
+func FuzzDecode(f *testing.F) {
+	d, _ := Compute(HuntMcIlroy, []byte("a\nb\n"), []byte("a\nc\nd\n"))
+	f.Add(d.Encode())
+	f.Add([]byte("SD1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must apply-or-error cleanly against a few
+		// bases.
+		for _, base := range [][]byte{nil, []byte("a\nb\n"), bytes.Repeat([]byte("x\n"), 50)} {
+			_, _ = dec.Apply(base)
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package diff
+
+import "sort"
+
+// huntMcIlroyMatches computes an LCS of a and b as maximal runs of matching
+// lines using the Hunt–McIlroy candidate-threshold technique (Hunt & McIlroy,
+// "An Algorithm for Differential File Comparison", Bell Labs CSTR 41, 1975).
+//
+// Lines are interned to integer symbols, a common prefix and suffix are
+// trimmed (the dominant case in an edit–resubmit cycle), and the middle is
+// solved in O((R+N) log N) where R is the number of matching line pairs. For
+// degenerate inputs where R explodes (files of near-identical lines) it falls
+// back to the Myers algorithm, which is insensitive to R.
+func huntMcIlroyMatches(a, b [][]byte) []match {
+	sa, sb := internBoth(a, b)
+	prefix, suffix := commonAffixes(sa, sb)
+	ma := sa[prefix : len(sa)-suffix]
+	mb := sb[prefix : len(sb)-suffix]
+
+	var ms []match
+	if prefix > 0 {
+		ms = append(ms, match{ai: 0, bi: 0, n: prefix})
+	}
+	mid, ok := huntMiddle(ma, mb)
+	if !ok {
+		// Pathological match density; the O(ND) algorithm bounds work
+		// by edit distance instead.
+		mid = myersMiddle(ma, mb)
+	}
+	for _, m := range mid {
+		ms = append(ms, match{ai: m.ai + prefix, bi: m.bi + prefix, n: m.n})
+	}
+	if suffix > 0 {
+		ms = append(ms, match{ai: len(sa) - suffix, bi: len(sb) - suffix, n: suffix})
+	}
+	return coalesce(ms)
+}
+
+// maxMatchPairs bounds the candidate work before falling back to Myers.
+const maxMatchPairs = 1 << 22
+
+// candidate is a k-candidate in Hunt–McIlroy's terminology: the head of a
+// chain of matched pairs of length k.
+type candidate struct {
+	ai, bi int
+	prev   *candidate
+}
+
+// huntMiddle runs the candidate algorithm on the trimmed middle region.
+// ok is false when the match density exceeds maxMatchPairs.
+func huntMiddle(a, b []int) ([]match, bool) {
+	if len(a) == 0 || len(b) == 0 {
+		return nil, true
+	}
+	// Equivalence classes: symbol -> ascending positions in b.
+	occ := make(map[int][]int, len(b))
+	for j, s := range b {
+		occ[s] = append(occ[s], j)
+	}
+	// Abort early if total match pairs would be pathological.
+	pairs := 0
+	for _, s := range a {
+		pairs += len(occ[s])
+		if pairs > maxMatchPairs {
+			return nil, false
+		}
+	}
+
+	// thresh[k] = smallest b-index j ending a common subsequence of
+	// length k+1; link[k] = the corresponding candidate chain head.
+	var (
+		thresh []int
+		link   []*candidate
+	)
+	for i, s := range a {
+		js := occ[s]
+		// Descending j so updates within one a-line don't feed each
+		// other (Hunt–Szymanski refinement).
+		for idx := len(js) - 1; idx >= 0; idx-- {
+			j := js[idx]
+			// Find lowest k with thresh[k] >= j.
+			k := sort.SearchInts(thresh, j)
+			if k < len(thresh) && thresh[k] == j {
+				continue // same endpoint, no improvement
+			}
+			var prev *candidate
+			if k > 0 {
+				prev = link[k-1]
+			}
+			c := &candidate{ai: i, bi: j, prev: prev}
+			if k == len(thresh) {
+				thresh = append(thresh, j)
+				link = append(link, c)
+			} else {
+				thresh[k] = j
+				link[k] = c
+			}
+		}
+	}
+	if len(link) == 0 {
+		return nil, true
+	}
+	// Backtrack the longest chain into ascending matched pairs.
+	n := len(link)
+	ais := make([]int, n)
+	bis := make([]int, n)
+	for c, k := link[n-1], n-1; c != nil; c, k = c.prev, k-1 {
+		ais[k], bis[k] = c.ai, c.bi
+	}
+	return matchesFromPairs(ais, bis), true
+}
+
+// coalesce merges adjacent runs that abut exactly, which can happen at the
+// prefix/suffix seams.
+func coalesce(ms []match) []match {
+	if len(ms) == 0 {
+		return nil
+	}
+	out := ms[:1]
+	for _, m := range ms[1:] {
+		last := &out[len(out)-1]
+		if m.ai == last.ai+last.n && m.bi == last.bi+last.n {
+			last.n += m.n
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
+}

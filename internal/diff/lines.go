@@ -1,0 +1,94 @@
+package diff
+
+import "bytes"
+
+// SplitLines splits content into lines, each retaining its trailing newline.
+// A final byte sequence without a trailing newline forms a line of its own,
+// so JoinLines(SplitLines(b)) == b for every input, including inputs that do
+// not end in a newline and the empty input (which yields no lines).
+func SplitLines(content []byte) [][]byte {
+	if len(content) == 0 {
+		return nil
+	}
+	// Count lines first so one allocation fits.
+	n := bytes.Count(content, nlByte)
+	if content[len(content)-1] != '\n' {
+		n++
+	}
+	lines := make([][]byte, 0, n)
+	for len(content) > 0 {
+		i := bytes.IndexByte(content, '\n')
+		if i < 0 {
+			lines = append(lines, content)
+			break
+		}
+		lines = append(lines, content[:i+1])
+		content = content[i+1:]
+	}
+	return lines
+}
+
+var nlByte = []byte{'\n'}
+
+// JoinLines concatenates lines back into file content. It is the inverse of
+// SplitLines.
+func JoinLines(lines [][]byte) []byte {
+	total := 0
+	for _, l := range lines {
+		total += len(l)
+	}
+	out := make([]byte, 0, total)
+	for _, l := range lines {
+		out = append(out, l...)
+	}
+	return out
+}
+
+// lineTable assigns a small integer symbol to every distinct line so the LCS
+// algorithms compare ints instead of byte slices. Both files share one table,
+// mirroring the equivalence-class construction in Hunt & McIlroy (1975).
+type lineTable struct {
+	symbols map[string]int
+}
+
+func newLineTable() *lineTable {
+	return &lineTable{symbols: make(map[string]int)}
+}
+
+func (t *lineTable) intern(lines [][]byte) []int {
+	out := make([]int, len(lines))
+	for i, l := range lines {
+		s, ok := t.symbols[string(l)]
+		if !ok {
+			s = len(t.symbols) + 1
+			t.symbols[string(l)] = s
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// internBoth interns both files in a shared table and returns their symbol
+// sequences.
+func internBoth(a, b [][]byte) (sa, sb []int) {
+	t := newLineTable()
+	return t.intern(a), t.intern(b)
+}
+
+// commonAffixes trims a common prefix and suffix of a and b, returning the
+// trimmed lengths. Both LCS algorithms use this: identical ends are by far
+// the common case in an edit-resubmit cycle, and trimming them keeps the
+// interesting region small.
+func commonAffixes(a, b []int) (prefix, suffix int) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for prefix < n && a[prefix] == b[prefix] {
+		prefix++
+	}
+	for suffix < n-prefix && a[len(a)-1-suffix] == b[len(b)-1-suffix] {
+		suffix++
+	}
+	return prefix, suffix
+}

@@ -1,0 +1,70 @@
+package diff
+
+// tichyOps computes a block-move delta per Tichy, "The String-to-String
+// Correction Problem with Block Moves" (ACM TOCS 1984): the target is rebuilt
+// left-to-right from blocks copied out of the base (from anywhere, including
+// reordered or repeated blocks — which LCS deltas cannot express) plus
+// inserted lines. Tichy proves the greedy choice — always take the longest
+// base block matching the remaining target prefix — minimizes the number of
+// ops.
+//
+// To keep worst-case cost bounded on low-entropy inputs, at most
+// maxTichyCandidates base occurrences are tried per target line; this can
+// make the delta slightly non-minimal but never incorrect.
+func tichyOps(a, b [][]byte) []Op {
+	sa, sb := internBoth(a, b)
+	// Index base: symbol -> ascending positions.
+	occ := make(map[int][]int, len(sa))
+	for i, s := range sa {
+		occ[s] = append(occ[s], i)
+	}
+
+	var ops []Op
+	var pendingInsert [][]byte
+	flushInsert := func() {
+		if len(pendingInsert) > 0 {
+			ops = append(ops, Op{Kind: OpInsert, Lines: copyLines(pendingInsert)})
+			pendingInsert = nil
+		}
+	}
+
+	j := 0
+	for j < len(sb) {
+		bestStart, bestLen := -1, 0
+		cands := occ[sb[j]]
+		tried := 0
+		for _, i := range cands {
+			if tried >= maxTichyCandidates {
+				break
+			}
+			tried++
+			l := 0
+			for i+l < len(sa) && j+l < len(sb) && sa[i+l] == sb[j+l] {
+				l++
+			}
+			if l > bestLen {
+				bestStart, bestLen = i, l
+				if j+l == len(sb) {
+					break // cannot do better
+				}
+			}
+		}
+		if bestLen == 0 {
+			pendingInsert = append(pendingInsert, b[j])
+			j++
+			continue
+		}
+		flushInsert()
+		ops = append(ops, Op{
+			Kind:      OpCopy,
+			BaseStart: bestStart + 1,
+			BaseEnd:   bestStart + bestLen,
+		})
+		j += bestLen
+	}
+	flushInsert()
+	return ops
+}
+
+// maxTichyCandidates bounds the base occurrences examined per target line.
+const maxTichyCandidates = 64

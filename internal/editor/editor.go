@@ -1,0 +1,101 @@
+// Package editor implements the shadow editor (§6.2): a wrapper that
+// "encapsulates a conventional editor of the user's choice ... It does not
+// modify an existing editor and the user's view of the editor remains
+// unchanged. It contains a postprocessor responsible for carrying out tasks
+// related to shadow processing at the end of an editing session."
+//
+// An Editor is anything that transforms file content; the Shadow wrapper
+// runs it against the local file, writes the result back, and invokes the
+// postprocessor (version commit + server notification) exactly as the
+// prototype's wrapper invoked its own after /usr/ucb/vi exited.
+package editor
+
+import (
+	"errors"
+	"fmt"
+
+	"shadowedit/internal/diff"
+	"shadowedit/internal/naming"
+	"shadowedit/internal/wire"
+)
+
+// Editor is a conventional editor: it maps old file content to new file
+// content. Implementations may be interactive in a real deployment; tests
+// and experiments use scripted editors.
+type Editor interface {
+	// Edit runs one editing session over content.
+	Edit(content []byte) ([]byte, error)
+}
+
+// Func adapts a function to Editor.
+type Func func([]byte) ([]byte, error)
+
+// Edit implements Editor.
+func (f Func) Edit(content []byte) ([]byte, error) { return f(content) }
+
+// Append returns an Editor that appends text — the smallest useful edit.
+func Append(text string) Editor {
+	return Func(func(content []byte) ([]byte, error) {
+		return append(append([]byte(nil), content...), text...), nil
+	})
+}
+
+// EdScript returns an Editor that applies a classic ed script (the dialect
+// `diff -e` emits: a/c/d commands in descending line order, text blocks
+// terminated by "."). The prototype's environment was built around ed
+// (§7); this editor lets a scripted session express its changes the same
+// way the protocol's deltas do.
+func EdScript(script string) Editor {
+	return Func(func(content []byte) ([]byte, error) {
+		ops, err := diff.ParseEdScript(script)
+		if err != nil {
+			return nil, err
+		}
+		return diff.ApplyOps(ops, content)
+	})
+}
+
+// Notifier is the postprocessor's hook into the shadow client; *client.Client
+// implements it.
+type Notifier interface {
+	// CommitAndNotify versions the named file and notifies the server.
+	CommitAndNotify(path string) (wire.FileRef, uint64, error)
+}
+
+// Shadow is the shadow editor: an Editor wrapper bound to a workstation's
+// files and a shadow client.
+type Shadow struct {
+	universe *naming.Universe
+	host     string
+	notifier Notifier
+}
+
+// NewShadow builds the wrapper for files of host within universe, notifying
+// through notifier.
+func NewShadow(universe *naming.Universe, host string, notifier Notifier) *Shadow {
+	return &Shadow{universe: universe, host: host, notifier: notifier}
+}
+
+// Edit runs one editing session on the named file with the user's editor,
+// then runs the shadow postprocessor. Editing a file that does not exist
+// yet starts from empty content, like any editor would.
+func (s *Shadow) Edit(path string, ed Editor) (wire.FileRef, uint64, error) {
+	content, err := s.universe.ReadFile(s.host, path)
+	if err != nil && !errors.Is(err, naming.ErrNotExist) {
+		return wire.FileRef{}, 0, fmt.Errorf("shadow editor: %w", err)
+	}
+	edited, err := ed.Edit(content)
+	if err != nil {
+		return wire.FileRef{}, 0, fmt.Errorf("shadow editor: editor failed: %w", err)
+	}
+	if err := s.universe.WriteFile(s.host, path, edited); err != nil {
+		return wire.FileRef{}, 0, fmt.Errorf("shadow editor: %w", err)
+	}
+	// The postprocessor: new version, server notification. The transfer
+	// itself happens later, in the background, when the server pulls.
+	ref, version, err := s.notifier.CommitAndNotify(path)
+	if err != nil {
+		return wire.FileRef{}, 0, fmt.Errorf("shadow editor: postprocess: %w", err)
+	}
+	return ref, version, nil
+}

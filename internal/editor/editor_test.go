@@ -1,0 +1,144 @@
+package editor
+
+import (
+	"errors"
+	"testing"
+
+	"shadowedit/internal/naming"
+	"shadowedit/internal/wire"
+)
+
+// recordingNotifier captures postprocessor invocations.
+type recordingNotifier struct {
+	calls []string
+	fail  error
+}
+
+func (r *recordingNotifier) CommitAndNotify(path string) (wire.FileRef, uint64, error) {
+	if r.fail != nil {
+		return wire.FileRef{}, 0, r.fail
+	}
+	r.calls = append(r.calls, path)
+	return wire.FileRef{Domain: "d", FileID: "ws:" + path}, uint64(len(r.calls)), nil
+}
+
+func newShadowRig() (*Shadow, *naming.Universe, *recordingNotifier) {
+	u := naming.NewUniverse("d")
+	u.AddHost("ws")
+	n := &recordingNotifier{}
+	return NewShadow(u, "ws", n), u, n
+}
+
+func TestEditCreatesFileAndNotifies(t *testing.T) {
+	sed, u, n := newShadowRig()
+	ref, v, err := sed.Edit("/u/new.txt", Func(func(b []byte) ([]byte, error) {
+		if b != nil {
+			t.Errorf("fresh file editor got content %q", b)
+		}
+		return []byte("created\n"), nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 || ref.FileID != "ws:/u/new.txt" {
+		t.Fatalf("edit = %v v%d", ref, v)
+	}
+	got, err := u.ReadFile("ws", "/u/new.txt")
+	if err != nil || string(got) != "created\n" {
+		t.Fatalf("file = %q, %v", got, err)
+	}
+	if len(n.calls) != 1 || n.calls[0] != "/u/new.txt" {
+		t.Fatalf("postprocessor calls = %v", n.calls)
+	}
+}
+
+func TestEditPassesExistingContent(t *testing.T) {
+	sed, u, _ := newShadowRig()
+	if err := u.WriteFile("ws", "/f", []byte("old\n")); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := sed.Edit("/f", Append("appended\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := u.ReadFile("ws", "/f")
+	if string(got) != "old\nappended\n" {
+		t.Fatalf("file = %q", got)
+	}
+}
+
+func TestEditEditorFailureDoesNotWrite(t *testing.T) {
+	sed, u, n := newShadowRig()
+	if err := u.WriteFile("ws", "/f", []byte("keep\n")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("editor crashed")
+	_, _, err := sed.Edit("/f", Func(func([]byte) ([]byte, error) { return nil, boom }))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want editor failure", err)
+	}
+	got, _ := u.ReadFile("ws", "/f")
+	if string(got) != "keep\n" {
+		t.Fatal("failed edit modified the file")
+	}
+	if len(n.calls) != 0 {
+		t.Fatal("postprocessor ran after editor failure")
+	}
+}
+
+func TestEditNotifierFailureSurfaces(t *testing.T) {
+	sed, _, n := newShadowRig()
+	n.fail = errors.New("server unreachable")
+	_, _, err := sed.Edit("/f", Append("x\n"))
+	if err == nil || !errors.Is(err, n.fail) {
+		t.Fatalf("err = %v, want notifier failure", err)
+	}
+}
+
+func TestEditBadPath(t *testing.T) {
+	sed, _, _ := newShadowRig()
+	if _, _, err := sed.Edit("relative/path", Append("x\n")); err == nil {
+		t.Fatal("relative path accepted")
+	}
+}
+
+func TestAppendEditor(t *testing.T) {
+	got, err := Append("tail\n").Edit([]byte("head\n"))
+	if err != nil || string(got) != "head\ntail\n" {
+		t.Fatalf("Append = %q, %v", got, err)
+	}
+}
+
+func TestEdScriptEditor(t *testing.T) {
+	ed := EdScript("2c\nTWO\n.\n")
+	got, err := ed.Edit([]byte("one\ntwo\nthree\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "one\nTWO\nthree\n" {
+		t.Fatalf("EdScript edit = %q", got)
+	}
+}
+
+func TestEdScriptEditorErrors(t *testing.T) {
+	if _, err := EdScript("9x\n").Edit([]byte("a\n")); err == nil {
+		t.Fatal("bad script accepted")
+	}
+	if _, err := EdScript("5d\n").Edit([]byte("a\n")); err == nil {
+		t.Fatal("out-of-range delete accepted")
+	}
+}
+
+func TestEdScriptEditorThroughShadow(t *testing.T) {
+	sed, u, _ := newShadowRig()
+	if err := u.WriteFile("ws", "/f", []byte("keep\ndrop\nkeep\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sed.Edit("/f", EdScript("2d\n")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := u.ReadFile("ws", "/f")
+	if string(got) != "keep\nkeep\n" {
+		t.Fatalf("file after ed edit = %q", got)
+	}
+}

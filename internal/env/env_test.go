@@ -1,0 +1,146 @@
+package env
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"shadowedit/internal/diff"
+)
+
+func TestDefaultValid(t *testing.T) {
+	e := Default("comer")
+	if err := e.Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	if e.Algorithm != diff.HuntMcIlroy {
+		t.Error("default algorithm should be hunt-mcilroy (the prototype's diff)")
+	}
+	if e.RetainVersions < 0 {
+		t.Error("negative default retention")
+	}
+}
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	e := Default("yavatkar")
+	e.DefaultHost = "cyber205"
+	e.Editor = "vi"
+	e.RetainVersions = 3
+	e.Algorithm = diff.TichyBlockMove
+	e.Compress = true
+	e.OutputFile = "res-%J.txt"
+	e.ErrorFile = "res-%J.err"
+	e.WantOutputDelta = true
+
+	got, err := Parse(e.Marshal())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got != e {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, e)
+	}
+}
+
+func TestParsePartialKeepsDefaults(t *testing.T) {
+	got, err := Parse([]byte("user=griffioen\ndefault-host=cray\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.User != "griffioen" || got.DefaultHost != "cray" {
+		t.Fatalf("parsed = %+v", got)
+	}
+	def := Default("")
+	if got.Editor != def.Editor || got.Algorithm != def.Algorithm {
+		t.Fatal("unspecified keys lost their defaults")
+	}
+}
+
+func TestParseIgnoresCommentsAndBlanks(t *testing.T) {
+	text := "# a comment\n\nuser=x\n   \n# another\n"
+	got, err := Parse([]byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.User != "x" {
+		t.Fatalf("user = %q", got.User)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+	}{
+		{name: "no equals", give: "user=x\njunk line\n"},
+		{name: "unknown key", give: "user=x\ncolour=blue\n"},
+		{name: "bad retain", give: "user=x\nretain=lots\n"},
+		{name: "negative retain", give: "user=x\nretain=-2\n"},
+		{name: "bad bool", give: "user=x\ncompress=sometimes\n"},
+		{name: "bad algorithm", give: "user=x\nalgorithm=psychic\n"},
+		{name: "empty user", give: "user=\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse([]byte(tt.give)); !errors.Is(err, ErrBadEnvironment) {
+				t.Fatalf("Parse = %v, want ErrBadEnvironment", err)
+			}
+		})
+	}
+}
+
+func TestParseAlgorithmAliases(t *testing.T) {
+	tests := []struct {
+		give string
+		want diff.Algorithm
+	}{
+		{"hunt-mcilroy", diff.HuntMcIlroy},
+		{"HM", diff.HuntMcIlroy},
+		{"diff", diff.HuntMcIlroy},
+		{"myers", diff.Myers},
+		{"Miller-Myers", diff.Myers},
+		{"tichy", diff.TichyBlockMove},
+		{"block-move", diff.TichyBlockMove},
+	}
+	for _, tt := range tests {
+		got, err := ParseAlgorithm(tt.give)
+		if err != nil || got != tt.want {
+			t.Errorf("ParseAlgorithm(%q) = (%v, %v), want %v", tt.give, got, err, tt.want)
+		}
+	}
+	if _, err := ParseAlgorithm("nope"); err == nil {
+		t.Error("ParseAlgorithm accepted garbage")
+	}
+}
+
+func TestExpandTemplates(t *testing.T) {
+	e := Default("u")
+	if got := e.ExpandOutput(17); got != "job-17.out" {
+		t.Errorf("ExpandOutput = %q", got)
+	}
+	if got := e.ExpandError(17); got != "job-17.err" {
+		t.Errorf("ExpandError = %q", got)
+	}
+	e.OutputFile = "fixed.out"
+	if got := e.ExpandOutput(17); got != "fixed.out" {
+		t.Errorf("template without %%J = %q", got)
+	}
+}
+
+func TestValidateRejectsBadAlgorithm(t *testing.T) {
+	e := Default("u")
+	e.Algorithm = diff.Algorithm(77)
+	if err := e.Validate(); !errors.Is(err, ErrBadEnvironment) {
+		t.Fatalf("Validate = %v, want ErrBadEnvironment", err)
+	}
+}
+
+func TestMarshalIsStableAndCommented(t *testing.T) {
+	e := Default("u")
+	a, b := string(e.Marshal()), string(e.Marshal())
+	if a != b {
+		t.Fatal("Marshal not deterministic")
+	}
+	if !strings.HasPrefix(a, "#") {
+		t.Fatal("Marshal output missing header comment")
+	}
+}

@@ -1,0 +1,144 @@
+package env
+
+import (
+	"sort"
+	"sync"
+
+	"shadowedit/internal/wire"
+)
+
+// JobRecord is the client-side record of one submitted job. "The client
+// maintains the information on the status of all the jobs" (§6.2).
+type JobRecord struct {
+	// Server is the supercomputer host the job was submitted to (a user
+	// may access more than one).
+	Server string
+	// ID is the server-assigned job identifier.
+	ID uint64
+	// State is the last known lifecycle state.
+	State wire.JobState
+	// Detail is the server's last status text.
+	Detail string
+	// OutputFile and ErrorFile are where results are stored locally.
+	OutputFile string
+	ErrorFile  string
+	// Stdout, Stderr and ExitCode hold the delivered results once the
+	// job completes.
+	Stdout   []byte
+	Stderr   []byte
+	ExitCode int32
+	// Delivered marks that output arrived and was acknowledged.
+	Delivered bool
+}
+
+// jobKey identifies a job across servers.
+type jobKey struct {
+	server string
+	id     uint64
+}
+
+// JobDB tracks every job a client has submitted, across all servers.
+type JobDB struct {
+	mu   sync.Mutex
+	jobs map[jobKey]*JobRecord
+}
+
+// NewJobDB returns an empty database.
+func NewJobDB() *JobDB {
+	return &JobDB{jobs: make(map[jobKey]*JobRecord)}
+}
+
+// Record stores a new job entry (typically at submit time). If output for
+// the job was already delivered — possible when a job with no inputs
+// finishes before the submitter's bookkeeping runs — the delivered results
+// are preserved and only the metadata fields are filled in.
+func (db *JobDB) Record(rec JobRecord) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	k := jobKey{server: rec.Server, id: rec.ID}
+	if old, ok := db.jobs[k]; ok && old.Delivered {
+		old.OutputFile = rec.OutputFile
+		old.ErrorFile = rec.ErrorFile
+		return
+	}
+	cp := rec
+	db.jobs[k] = &cp
+}
+
+// UpdateState records a state transition reported by the server.
+func (db *JobDB) UpdateState(server string, id uint64, state wire.JobState, detail string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	k := jobKey{server: server, id: id}
+	rec, ok := db.jobs[k]
+	if !ok {
+		rec = &JobRecord{Server: server, ID: id}
+		db.jobs[k] = rec
+	}
+	rec.State = state
+	rec.Detail = detail
+}
+
+// SetOutput stores a job's delivered results and marks it delivered.
+func (db *JobDB) SetOutput(server string, id uint64, state wire.JobState, exitCode int32, stdout, stderr []byte) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	k := jobKey{server: server, id: id}
+	rec, ok := db.jobs[k]
+	if !ok {
+		rec = &JobRecord{Server: server, ID: id}
+		db.jobs[k] = rec
+	}
+	rec.State = state
+	rec.ExitCode = exitCode
+	rec.Stdout = append([]byte(nil), stdout...)
+	rec.Stderr = append([]byte(nil), stderr...)
+	rec.Delivered = true
+}
+
+// Get returns a copy of the record for (server, id).
+func (db *JobDB) Get(server string, id uint64) (JobRecord, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rec, ok := db.jobs[jobKey{server: server, id: id}]
+	if !ok {
+		return JobRecord{}, false
+	}
+	return cloneRecord(rec), true
+}
+
+// List returns copies of all records, ordered by server then id.
+func (db *JobDB) List() []JobRecord {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]JobRecord, 0, len(db.jobs))
+	for _, rec := range db.jobs {
+		out = append(out, cloneRecord(rec))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Server != out[j].Server {
+			return out[i].Server < out[j].Server
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Pending returns the jobs not yet in a terminal state.
+func (db *JobDB) Pending() []JobRecord {
+	all := db.List()
+	var out []JobRecord
+	for _, rec := range all {
+		if !rec.State.Terminal() {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+func cloneRecord(rec *JobRecord) JobRecord {
+	cp := *rec
+	cp.Stdout = append([]byte(nil), rec.Stdout...)
+	cp.Stderr = append([]byte(nil), rec.Stderr...)
+	return cp
+}

@@ -1,0 +1,153 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderPlot draws the figure as an ASCII plot in the manner of the paper's
+// Figures 1 and 2: the x axis is % of file modified, the y axis is total
+// time, one letter per file size for the S-time curves, and horizontal
+// lines of the same letter (upper-case) for the conventional E-times.
+func (f *TransferFigure) RenderPlot(w io.Writer, width, height int) {
+	if width < 30 {
+		width = 30
+	}
+	if height < 10 {
+		height = 10
+	}
+	if len(f.Sizes) == 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+
+	var maxTime float64
+	maxPercent := 0.0
+	for _, s := range f.Sizes {
+		if t := s.ETime.Seconds(); t > maxTime {
+			maxTime = t
+		}
+		for _, p := range s.Points {
+			if p.Percent > maxPercent {
+				maxPercent = p.Percent
+			}
+		}
+	}
+	if maxTime <= 0 || maxPercent <= 0 {
+		fmt.Fprintln(w, "(degenerate data)")
+		return
+	}
+	maxTime *= 1.05 // headroom so the top E-line is visible
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	toX := func(percent float64) int {
+		x := int(percent / maxPercent * float64(width-1))
+		if x >= width {
+			x = width - 1
+		}
+		return x
+	}
+	toY := func(seconds float64) int {
+		y := height - 1 - int(seconds/maxTime*float64(height-1))
+		if y < 0 {
+			y = 0
+		}
+		if y >= height {
+			y = height - 1
+		}
+		return y
+	}
+
+	markers := []byte{'a', 'b', 'c', 'd', 'e', 'f'}
+	for si, s := range f.Sizes {
+		marker := markers[si%len(markers)]
+		// E-time horizontal line.
+		ey := toY(s.ETime.Seconds())
+		for x := 0; x < width; x++ {
+			if grid[ey][x] == ' ' {
+				grid[ey][x] = '-'
+			}
+		}
+		upper := marker - 'a' + 'A'
+		grid[ey][width-1] = upper
+		// S-time curve with linear interpolation between points.
+		var prevX, prevY int
+		for pi, p := range s.Points {
+			x, y := toX(p.Percent), toY(p.STime.Seconds())
+			if pi > 0 {
+				drawLine(grid, prevX, prevY, x, y, '.')
+			}
+			grid[y][x] = marker
+			prevX, prevY = x, y
+		}
+	}
+
+	fmt.Fprintf(w, "%s\n", f.Title)
+	fmt.Fprintf(w, "time (s); x axis: %% of file modified (0..%g%%)\n", maxPercent)
+	for i, row := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%7.0fs", maxTime)
+		case height - 1:
+			label = fmt.Sprintf("%7.0fs", 0.0)
+		case height / 2:
+			label = fmt.Sprintf("%7.0fs", maxTime/2)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, row)
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
+	var legend strings.Builder
+	for si, s := range f.Sizes {
+		if si > 0 {
+			legend.WriteString("   ")
+		}
+		m := markers[si%len(markers)]
+		fmt.Fprintf(&legend, "%c: S-time %s (%c: E-time)", m, sizeLabel(s.Size), m-'a'+'A')
+	}
+	fmt.Fprintf(w, "%s %s\n", strings.Repeat(" ", 9), legend.String())
+}
+
+// drawLine plots a straight segment with the given rune, skipping cells
+// already holding a data marker.
+func drawLine(grid [][]byte, x0, y0, x1, y1 int, ch byte) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	x, y := x0, y0
+	for {
+		if grid[y][x] == ' ' || grid[y][x] == '-' {
+			grid[y][x] = ch
+		}
+		if x == x1 && y == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,90 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"shadowedit/internal/netsim"
+)
+
+func syntheticFigure() *TransferFigure {
+	return &TransferFigure{
+		Title: "Synthetic",
+		Link:  netsim.Cypress,
+		Sizes: []Series{
+			{
+				Size:  100 * 1024,
+				ETime: 90 * time.Second,
+				Points: []Cycle{
+					{Size: 100 * 1024, Percent: 1, STime: 2 * time.Second, ETime: 90 * time.Second},
+					{Size: 100 * 1024, Percent: 40, STime: 30 * time.Second, ETime: 90 * time.Second},
+					{Size: 100 * 1024, Percent: 80, STime: 50 * time.Second, ETime: 90 * time.Second},
+				},
+			},
+			{
+				Size:  500 * 1024,
+				ETime: 450 * time.Second,
+				Points: []Cycle{
+					{Size: 500 * 1024, Percent: 1, STime: 7 * time.Second, ETime: 450 * time.Second},
+					{Size: 500 * 1024, Percent: 40, STime: 140 * time.Second, ETime: 450 * time.Second},
+					{Size: 500 * 1024, Percent: 80, STime: 235 * time.Second, ETime: 450 * time.Second},
+				},
+			},
+		},
+	}
+}
+
+func TestRenderPlot(t *testing.T) {
+	var buf bytes.Buffer
+	syntheticFigure().RenderPlot(&buf, 60, 20)
+	out := buf.String()
+	for _, want := range []string{"Synthetic", "a: S-time 100k", "b: S-time 500k", "A", "B", "-", "|"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 20 {
+		t.Fatalf("plot only %d lines", len(lines))
+	}
+	// The E-line marker 'B' (500k) must sit above 'A' (100k), and both
+	// above the curve markers' bottom rows.
+	rowOf := func(marker string) int {
+		for i, l := range lines {
+			if strings.Contains(l, marker) && strings.Contains(l, "---") {
+				return i
+			}
+		}
+		return -1
+	}
+	aRow, bRow := rowOf("A"), rowOf("B")
+	if aRow < 0 || bRow < 0 {
+		t.Fatalf("E-lines not drawn:\n%s", out)
+	}
+	if bRow >= aRow {
+		t.Fatalf("500k E-line (row %d) not above 100k E-line (row %d)", bRow, aRow)
+	}
+}
+
+func TestRenderPlotDegenerateInputs(t *testing.T) {
+	var buf bytes.Buffer
+	(&TransferFigure{Title: "empty"}).RenderPlot(&buf, 10, 5)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatalf("empty figure plot: %q", buf.String())
+	}
+	buf.Reset()
+	(&TransferFigure{Title: "zero", Sizes: []Series{{Size: 1}}}).RenderPlot(&buf, 10, 5)
+	if !strings.Contains(buf.String(), "degenerate") {
+		t.Fatalf("degenerate figure plot: %q", buf.String())
+	}
+}
+
+func TestRenderPlotClampsTinyDimensions(t *testing.T) {
+	var buf bytes.Buffer
+	syntheticFigure().RenderPlot(&buf, 1, 1) // clamped to minimums, no panic
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+}

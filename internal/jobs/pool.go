@@ -1,0 +1,90 @@
+package jobs
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrPoolClosed reports submission to a closed pool.
+var ErrPoolClosed = errors.New("jobs: pool closed")
+
+// Pool runs queued work with bounded concurrency — the server's admission
+// control. The paper's demand-driven design lets the remote host "decide
+// when is the best time to ... schedule and run the jobs" by monitoring its
+// load; Pool is that mechanism: at most workers jobs run at once, the rest
+// wait in FIFO order.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+
+	mu      sync.Mutex
+	closed  bool
+	queued  int
+	running int
+}
+
+// poolBacklog bounds the queue; submissions beyond it block, applying
+// backpressure instead of growing without bound.
+const poolBacklog = 1024
+
+// NewPool starts a pool of the given concurrency (minimum 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{tasks: make(chan func(), poolBacklog)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for task := range p.tasks {
+		p.mu.Lock()
+		p.queued--
+		p.running++
+		p.mu.Unlock()
+		task()
+		p.mu.Lock()
+		p.running--
+		p.mu.Unlock()
+	}
+}
+
+// Submit queues work. It blocks when the backlog is full.
+func (p *Pool) Submit(task func()) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrPoolClosed
+	}
+	p.queued++
+	p.mu.Unlock()
+	p.tasks <- task
+	return nil
+}
+
+// Load returns the queued and running task counts — the load signal the
+// server's flow-control policy consults.
+func (p *Pool) Load() (queued, running int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.queued, p.running
+}
+
+// Close stops intake and waits for queued work to drain.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.tasks)
+	p.wg.Wait()
+}

@@ -1,0 +1,112 @@
+package jobs
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsEverything(t *testing.T) {
+	p := NewPool(4)
+	var count atomic.Int64
+	for i := 0; i < 100; i++ {
+		if err := p.Submit(func() { count.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	if count.Load() != 100 {
+		t.Fatalf("ran %d tasks, want 100", count.Load())
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	defer p.Close()
+
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		err := p.Submit(func() {
+			defer wg.Done()
+			n := cur.Add(1)
+			for {
+				old := peak.Load()
+				if n <= old || peak.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if got := peak.Load(); got > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", got, workers)
+	}
+}
+
+func TestPoolSubmitAfterClose(t *testing.T) {
+	p := NewPool(1)
+	p.Close()
+	if err := p.Submit(func() {}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrPoolClosed", err)
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(2)
+	if err := p.Submit(func() {}); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	p.Close() // must not panic or deadlock
+}
+
+func TestPoolLoad(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.Submit(func() { close(started); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if err := p.Submit(func() {}); err != nil {
+		t.Fatal(err)
+	}
+	// One running, one queued.
+	deadline := time.After(2 * time.Second)
+	for {
+		queued, running := p.Load()
+		if queued == 1 && running == 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("Load = (%d, %d), want (1, 1)", queued, running)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(release)
+}
+
+func TestPoolMinimumOneWorker(t *testing.T) {
+	p := NewPool(0)
+	var ran atomic.Bool
+	if err := p.Submit(func() { ran.Store(true) }); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if !ran.Load() {
+		t.Fatal("task never ran with clamped worker count")
+	}
+}

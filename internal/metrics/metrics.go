@@ -1,0 +1,116 @@
+// Package metrics provides the byte, message and timing accounting shared by
+// the client, the server and the experiment harness. The paper's evaluation
+// reports total elapsed time per edit–submit–fetch cycle; the harness
+// additionally reports the traffic breakdown that explains it (delta bytes
+// vs. full bytes vs. control messages).
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Counters aggregates transfer activity. The zero value is ready to use.
+type Counters struct {
+	mu sync.Mutex
+
+	deltaBytes   int64
+	fullBytes    int64
+	controlBytes int64
+	outputBytes  int64
+	messages     int64
+	deltaSends   int64
+	fullSends    int64
+	busy         time.Duration
+}
+
+// AddDelta records a delta transfer of n payload bytes.
+func (c *Counters) AddDelta(n int) {
+	c.mu.Lock()
+	c.deltaBytes += int64(n)
+	c.deltaSends++
+	c.messages++
+	c.mu.Unlock()
+}
+
+// AddFull records a full-content transfer of n payload bytes.
+func (c *Counters) AddFull(n int) {
+	c.mu.Lock()
+	c.fullBytes += int64(n)
+	c.fullSends++
+	c.messages++
+	c.mu.Unlock()
+}
+
+// AddControl records a control message of n payload bytes (notify, pull,
+// ack, submit, status).
+func (c *Counters) AddControl(n int) {
+	c.mu.Lock()
+	c.controlBytes += int64(n)
+	c.messages++
+	c.mu.Unlock()
+}
+
+// AddOutput records delivered job output bytes.
+func (c *Counters) AddOutput(n int) {
+	c.mu.Lock()
+	c.outputBytes += int64(n)
+	c.messages++
+	c.mu.Unlock()
+}
+
+// AddBusy accumulates virtual time spent.
+func (c *Counters) AddBusy(d time.Duration) {
+	c.mu.Lock()
+	c.busy += d
+	c.mu.Unlock()
+}
+
+// Snapshot is an immutable view of the counters.
+type Snapshot struct {
+	DeltaBytes   int64
+	FullBytes    int64
+	ControlBytes int64
+	OutputBytes  int64
+	Messages     int64
+	DeltaSends   int64
+	FullSends    int64
+	Busy         time.Duration
+}
+
+// TotalBytes sums all payload bytes.
+func (s Snapshot) TotalBytes() int64 {
+	return s.DeltaBytes + s.FullBytes + s.ControlBytes + s.OutputBytes
+}
+
+// String renders a compact human-readable summary.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("bytes: %d delta, %d full, %d control, %d output; msgs %d (%d delta, %d full sends)",
+		s.DeltaBytes, s.FullBytes, s.ControlBytes, s.OutputBytes, s.Messages, s.DeltaSends, s.FullSends)
+}
+
+// Snapshot returns the current totals.
+func (c *Counters) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Snapshot{
+		DeltaBytes:   c.deltaBytes,
+		FullBytes:    c.fullBytes,
+		ControlBytes: c.controlBytes,
+		OutputBytes:  c.outputBytes,
+		Messages:     c.messages,
+		DeltaSends:   c.deltaSends,
+		FullSends:    c.fullSends,
+		Busy:         c.busy,
+	}
+}
+
+// Reset zeroes the counters.
+func (c *Counters) Reset() {
+	c.mu.Lock()
+	c.deltaBytes, c.fullBytes, c.controlBytes, c.outputBytes = 0, 0, 0, 0
+	c.messages, c.deltaSends, c.fullSends = 0, 0, 0
+	c.busy = 0
+	c.mu.Unlock()
+}

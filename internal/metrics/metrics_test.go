@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersAccumulate(t *testing.T) {
+	var c Counters
+	c.AddDelta(100)
+	c.AddDelta(50)
+	c.AddFull(1000)
+	c.AddControl(10)
+	c.AddOutput(30)
+	c.AddBusy(2 * time.Second)
+
+	s := c.Snapshot()
+	if s.DeltaBytes != 150 || s.FullBytes != 1000 || s.ControlBytes != 10 || s.OutputBytes != 30 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Messages != 5 || s.DeltaSends != 2 || s.FullSends != 1 {
+		t.Fatalf("message counts = %+v", s)
+	}
+	if s.TotalBytes() != 1190 {
+		t.Fatalf("TotalBytes = %d, want 1190", s.TotalBytes())
+	}
+	if s.Busy != 2*time.Second {
+		t.Fatalf("Busy = %v", s.Busy)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var c Counters
+	c.AddDelta(5)
+	c.AddBusy(time.Second)
+	c.Reset()
+	s := c.Snapshot()
+	if s.TotalBytes() != 0 || s.Messages != 0 || s.Busy != 0 {
+		t.Fatalf("after reset: %+v", s)
+	}
+	// Counter must remain usable after Reset.
+	c.AddFull(7)
+	if c.Snapshot().FullBytes != 7 {
+		t.Fatal("counter unusable after Reset")
+	}
+}
+
+func TestString(t *testing.T) {
+	var c Counters
+	c.AddDelta(1)
+	got := c.Snapshot().String()
+	if !strings.Contains(got, "1 delta") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.AddDelta(1)
+				c.AddControl(1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.DeltaBytes != 8000 || s.ControlBytes != 8000 || s.Messages != 16000 {
+		t.Fatalf("lost updates: %+v", s)
+	}
+}

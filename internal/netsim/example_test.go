@@ -1,0 +1,50 @@
+package netsim_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"shadowedit/internal/netsim"
+)
+
+// Example shows the virtual clock: shipping 12 KB over a 9600 bps line
+// takes ten virtual seconds and essentially zero wall time.
+func Example() {
+	nw := netsim.New()
+	ws := nw.Host("workstation")
+	super := nw.Host("super")
+	nw.Connect(ws, super, netsim.Spec{BitsPerSecond: 9600, OverheadBytes: 0})
+
+	lst, err := super.Listen(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lst.Close()
+	received := make(chan int, 1)
+	go func() {
+		conn, err := lst.Accept()
+		if err != nil {
+			return
+		}
+		msg, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		received <- len(msg)
+	}()
+
+	conn, err := ws.Dial("super", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(make([]byte, 12000)); err != nil {
+		log.Fatal(err)
+	}
+	n := <-received
+	fmt.Printf("delivered %d bytes; supercomputer clock: %v\n",
+		n, super.Now().Round(time.Second))
+	// Output:
+	// delivered 12000 bytes; supercomputer clock: 10s
+}

@@ -1,0 +1,340 @@
+// Package netsim is a discrete virtual-time network simulator.
+//
+// The paper evaluates shadow editing over two real long-haul networks: the
+// Cypress network (9600 baud lines) and the ARPANET (56 kbps). Reproducing
+// those experiments in real time would take minutes per data point, so this
+// package models the quantities that dominated the paper's measurements —
+// serialization delay (bytes × 8 / bandwidth), propagation latency, and
+// per-message protocol overhead — under a virtual clock that advances only
+// when simulated work happens.
+//
+// The model: every Host owns a virtual clock. Messages sent on a Conn carry a
+// virtual arrival time computed from the sender's clock, the link's busy
+// state (transmissions on one direction of a link serialize), the message
+// size, and the link's bandwidth and latency. Receiving a message advances
+// the receiver's clock to the arrival time. Sequential request–response
+// protocols therefore accumulate exactly the round trips and transmission
+// times they would on the real link, while wall-clock time stays in
+// microseconds.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Spec describes a link's characteristics.
+type Spec struct {
+	// BitsPerSecond is the line speed (9600 for Cypress, 56_000 for
+	// ARPANET).
+	BitsPerSecond int64
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// OverheadBytes is charged per message for lower-layer framing
+	// (TCP/IP headers and the like).
+	OverheadBytes int
+}
+
+// Standard link specs used by the experiments.
+var (
+	// Cypress models the 9600 baud Cypress network of the paper's
+	// Figure 1 (dial-up capillary connections to the Internet).
+	Cypress = Spec{BitsPerSecond: 9600, Latency: 80 * time.Millisecond, OverheadBytes: 40}
+	// ARPANET models the 56 kbps ARPANET path from Purdue to the
+	// University of Illinois of Figures 2 and 3 ("a supercomputing site
+	// close to Purdue"): high line speed, short propagation. The latency
+	// is calibrated so the fixed per-cycle cost matches the paper's
+	// small-file speedups (Figure 3's 10k column).
+	ARPANET = Spec{BitsPerSecond: 56000, Latency: 18 * time.Millisecond, OverheadBytes: 40}
+	// LAN models a fast local network, useful for tests that should not
+	// be dominated by link time.
+	LAN = Spec{BitsPerSecond: 10_000_000, Latency: time.Millisecond, OverheadBytes: 40}
+)
+
+// TransmitTime returns the serialization delay for a payload of n bytes.
+func (s Spec) TransmitTime(n int) time.Duration {
+	bits := 8 * int64(n+s.OverheadBytes)
+	return time.Duration(bits * int64(time.Second) / s.BitsPerSecond)
+}
+
+// Network is a collection of hosts joined by point-to-point links.
+type Network struct {
+	mu    sync.Mutex
+	hosts map[string]*Host
+	links map[linkKey]*Link
+}
+
+type linkKey struct{ a, b string }
+
+func keyFor(a, b string) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a: a, b: b}
+}
+
+// New returns an empty network.
+func New() *Network {
+	return &Network{
+		hosts: make(map[string]*Host),
+		links: make(map[linkKey]*Link),
+	}
+}
+
+// Host adds (or returns the existing) host with the given name.
+func (n *Network) Host(name string) *Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if h, ok := n.hosts[name]; ok {
+		return h
+	}
+	h := &Host{name: name, net: n, listeners: make(map[int]*Listener)}
+	n.hosts[name] = h
+	return h
+}
+
+// Connect joins two hosts with a link of the given spec. Both directions
+// share the spec but serialize independently (full duplex). Connecting the
+// same pair again replaces the spec.
+func (n *Network) Connect(a, b *Host, spec Spec) *Link {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l := &Link{spec: spec}
+	n.links[keyFor(a.name, b.name)] = l
+	return l
+}
+
+func (n *Network) link(a, b string) (*Link, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l, ok := n.links[keyFor(a, b)]
+	return l, ok
+}
+
+// LinkBetween returns the link joining two hosts, if any — for inspecting
+// stats or injecting outages.
+func (n *Network) LinkBetween(a, b string) (*Link, bool) {
+	return n.link(a, b)
+}
+
+// Host is a machine with a virtual clock.
+type Host struct {
+	name string
+	net  *Network
+
+	mu        sync.Mutex
+	now       time.Duration
+	listeners map[int]*Listener
+}
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+// Now returns the host's virtual time.
+func (h *Host) Now() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.now
+}
+
+// Process advances the host's virtual clock by d, modeling local computation
+// (editing, diffing, job execution).
+func (h *Host) Process(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	h.mu.Lock()
+	h.now += d
+	h.mu.Unlock()
+}
+
+// advanceTo moves the clock forward to t (never backward).
+func (h *Host) advanceTo(t time.Duration) {
+	h.mu.Lock()
+	if t > h.now {
+		h.now = t
+	}
+	h.mu.Unlock()
+}
+
+// Errors returned by the simulator.
+var (
+	// ErrNoRoute reports that no link joins the two hosts.
+	ErrNoRoute = errors.New("netsim: no link between hosts")
+	// ErrClosed reports use of a closed connection or listener.
+	ErrClosed = errors.New("netsim: closed")
+	// ErrRefused reports a dial to a port nobody listens on.
+	ErrRefused = errors.New("netsim: connection refused")
+)
+
+// Listen starts accepting connections on the given port of the host.
+func (h *Host) Listen(port int) (*Listener, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, busy := h.listeners[port]; busy {
+		return nil, fmt.Errorf("netsim: %s port %d already in use", h.name, port)
+	}
+	l := &Listener{
+		host:    h,
+		port:    port,
+		backlog: make(chan *Conn, 16),
+		closed:  make(chan struct{}),
+	}
+	h.listeners[port] = l
+	return l, nil
+}
+
+func (h *Host) listener(port int) (*Listener, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	l, ok := h.listeners[port]
+	return l, ok
+}
+
+func (h *Host) dropListener(port int) {
+	h.mu.Lock()
+	delete(h.listeners, port)
+	h.mu.Unlock()
+}
+
+// Path finds the shortest link path (fewest hops) between two hosts, for
+// multi-hop connections — e.g. a workstation reaching a supercomputer over
+// a Cypress capillary link into an ARPANET backbone. Each returned hop is a
+// link plus the direction of travel on it.
+func (n *Network) Path(from, to string) ([]Hop, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.hosts[from]; !ok {
+		return nil, fmt.Errorf("%w: unknown host %q", ErrNoRoute, from)
+	}
+	if _, ok := n.hosts[to]; !ok {
+		return nil, fmt.Errorf("%w: unknown host %q", ErrNoRoute, to)
+	}
+	if from == to {
+		return nil, fmt.Errorf("%w: %s to itself", ErrNoRoute, from)
+	}
+	// Adjacency from the link table.
+	adj := make(map[string][]string)
+	for k := range n.links {
+		adj[k.a] = append(adj[k.a], k.b)
+		adj[k.b] = append(adj[k.b], k.a)
+	}
+	// BFS.
+	prev := map[string]string{from: from}
+	queue := []string{from}
+	for len(queue) > 0 && prev[to] == "" {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range adj[cur] {
+			if _, seen := prev[next]; seen {
+				continue
+			}
+			prev[next] = cur
+			queue = append(queue, next)
+		}
+	}
+	if _, ok := prev[to]; !ok {
+		return nil, fmt.Errorf("%w: %s <-> %s", ErrNoRoute, from, to)
+	}
+	// Walk back and build hops.
+	var rev []string
+	for cur := to; cur != from; cur = prev[cur] {
+		rev = append(rev, cur)
+	}
+	hops := make([]Hop, 0, len(rev))
+	cur := from
+	for i := len(rev) - 1; i >= 0; i-- {
+		next := rev[i]
+		l := n.links[keyFor(cur, next)]
+		hops = append(hops, Hop{Link: l, Dir: dirBetween(cur, next)})
+		cur = next
+	}
+	return hops, nil
+}
+
+// dirBetween gives the direction index for travel from a to b on their link
+// (links store per-direction state keyed by lexical host order).
+func dirBetween(from, to string) int {
+	if from < to {
+		return 0
+	}
+	return 1
+}
+
+// Dial opens a connection from h to the named host and port, routing over
+// the fewest-hop link path (each intermediate hop stores and forwards,
+// paying its own serialization and latency). It costs one round trip of
+// virtual time, like a TCP handshake.
+func (h *Host) Dial(remote string, port int) (*Conn, error) {
+	h.net.mu.Lock()
+	rh, ok := h.net.hosts[remote]
+	h.net.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown host %q", ErrNoRoute, remote)
+	}
+	path, err := h.net.Path(h.name, remote)
+	if err != nil {
+		return nil, err
+	}
+	lst, ok := rh.listener(port)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s:%d", ErrRefused, remote, port)
+	}
+
+	local, peer := newConnPath(h, rh, path)
+	// Handshake: SYN out, ACK back — one RTT on the virtual clock.
+	if err := local.send(nil, true); err != nil {
+		return nil, err
+	}
+	select {
+	case lst.backlog <- peer:
+	default:
+		local.Close()
+		return nil, fmt.Errorf("%w: %s:%d backlog full", ErrRefused, remote, port)
+	}
+	if _, err := local.recvControl(); err != nil {
+		return nil, fmt.Errorf("netsim: handshake: %w", err)
+	}
+	return local, nil
+}
+
+// Listener accepts simulated connections.
+type Listener struct {
+	host    *Host
+	port    int
+	backlog chan *Conn
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// Accept blocks until a connection arrives, completing the handshake.
+func (l *Listener) Accept() (*Conn, error) {
+	select {
+	case c := <-l.backlog:
+		// Consume the SYN (advances our clock) and reply.
+		if _, err := c.recvControl(); err != nil {
+			return nil, err
+		}
+		if err := c.send(nil, true); err != nil {
+			return nil, err
+		}
+		return c, nil
+	case <-l.closed:
+		return nil, ErrClosed
+	}
+}
+
+// Close stops the listener.
+func (l *Listener) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.closed)
+		l.host.dropListener(l.port)
+	})
+	return nil
+}
+
+// Addr returns "host:port".
+func (l *Listener) Addr() string { return fmt.Sprintf("%s:%d", l.host.name, l.port) }

@@ -1,0 +1,248 @@
+// Package rje implements the conventional remote-job-entry baseline the
+// paper measures shadow editing against: "In a naive implementation, the
+// client must transfer all the files needed for remote processing over the
+// network every time he submits a job" (§1). It speaks the same protocol to
+// the same server but never uses notifies, deltas, or the cache — every
+// submission ships every file in full, exactly like the batch systems of
+// Figure 1's horizontal lines.
+package rje
+
+import (
+	"errors"
+	"fmt"
+	"path"
+
+	"shadowedit/internal/core"
+	"shadowedit/internal/diff"
+	"shadowedit/internal/metrics"
+	"shadowedit/internal/naming"
+	"shadowedit/internal/wire"
+)
+
+// ErrProtocol reports an unexpected server message.
+var ErrProtocol = errors.New("rje: protocol error")
+
+// Client is a conventional batch RJE client.
+type Client struct {
+	conn     wire.Conn
+	universe *naming.Universe
+	host     string
+	counters *metrics.Counters
+
+	versions map[string]uint64 // ref -> last sent version
+	results  map[uint64]Result
+}
+
+// Result is a finished job's output.
+type Result struct {
+	Job      uint64
+	State    wire.JobState
+	ExitCode int32
+	Stdout   []byte
+	Stderr   []byte
+}
+
+// Connect opens a conventional session.
+func Connect(conn wire.Conn, user string, universe *naming.Universe, host string) (*Client, error) {
+	hello := &wire.Hello{
+		Protocol:   wire.ProtocolVersion,
+		User:       user,
+		Domain:     universe.Domain(),
+		ClientHost: host,
+	}
+	if err := wire.Send(conn, hello); err != nil {
+		return nil, err
+	}
+	reply, err := wire.Recv(conn)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := reply.(*wire.HelloOK); !ok {
+		return nil, fmt.Errorf("%w: hello reply %v", ErrProtocol, reply.Kind())
+	}
+	return &Client{
+		conn:     conn,
+		universe: universe,
+		host:     host,
+		counters: &metrics.Counters{},
+		versions: make(map[string]uint64),
+		results:  make(map[uint64]Result),
+	}, nil
+}
+
+// Metrics returns the transfer counters.
+func (c *Client) Metrics() metrics.Snapshot { return c.counters.Snapshot() }
+
+// Submit ships the script's data files in full — all of them, every time —
+// then submits the job. It returns the job id.
+func (c *Client) Submit(scriptPath string, dataPaths []string) (uint64, error) {
+	script, err := c.universe.ReadFile(c.host, scriptPath)
+	if err != nil {
+		return 0, err
+	}
+	inputs := make([]wire.JobInput, 0, len(dataPaths))
+	for _, p := range dataPaths {
+		ref, err := c.universe.FileRef(c.host, p)
+		if err != nil {
+			return 0, err
+		}
+		content, err := c.universe.ReadFile(c.host, p)
+		if err != nil {
+			return 0, err
+		}
+		version := c.versions[ref.String()] + 1
+		c.versions[ref.String()] = version
+		full := &wire.FileFull{
+			File:    ref,
+			Version: version,
+			Content: content,
+			Sum:     diff.Checksum(content),
+		}
+		c.counters.AddFull(len(content))
+		if err := wire.Send(c.conn, full); err != nil {
+			return 0, err
+		}
+		if err := c.awaitAck(ref, version); err != nil {
+			return 0, err
+		}
+		inputs = append(inputs, wire.JobInput{File: ref, Version: version, As: path.Base(p)})
+	}
+	c.counters.AddControl(len(script))
+	if err := wire.Send(c.conn, &wire.Submit{Script: script, Inputs: inputs}); err != nil {
+		return 0, err
+	}
+	for {
+		msg, err := wire.Recv(c.conn)
+		if err != nil {
+			return 0, err
+		}
+		switch m := msg.(type) {
+		case *wire.SubmitOK:
+			return m.Job, nil
+		case *wire.ErrorMsg:
+			return 0, m
+		case *wire.FileAck:
+			// Late ack; ignore.
+		case *wire.Output:
+			c.stashOutput(m)
+		default:
+			return 0, fmt.Errorf("%w: awaiting submit ok, got %v", ErrProtocol, msg.Kind())
+		}
+	}
+}
+
+// awaitAck consumes messages until the server acknowledges (ref, version).
+func (c *Client) awaitAck(ref wire.FileRef, version uint64) error {
+	for {
+		msg, err := wire.Recv(c.conn)
+		if err != nil {
+			return err
+		}
+		switch m := msg.(type) {
+		case *wire.FileAck:
+			if m.File == ref && m.Version == version {
+				return nil
+			}
+		case *wire.Output:
+			c.stashOutput(m)
+		case *wire.ErrorMsg:
+			return m
+		case *wire.Pull:
+			// A conventional client has no deltas; resend in full.
+			content, rerr := c.contentFor(m.File)
+			if rerr != nil {
+				return rerr
+			}
+			full := &wire.FileFull{
+				File:    m.File,
+				Version: m.WantVersion,
+				Content: content,
+				Sum:     diff.Checksum(content),
+			}
+			c.counters.AddFull(len(content))
+			if err := wire.Send(c.conn, full); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: awaiting ack, got %v", ErrProtocol, msg.Kind())
+		}
+	}
+}
+
+func (c *Client) contentFor(ref wire.FileRef) ([]byte, error) {
+	// The ref's file id is host:path within our universe.
+	for _, p := range []string{ref.FileID} {
+		host, pth, ok := splitFileID(p)
+		if !ok {
+			continue
+		}
+		content, err := c.universe.ReadFile(host, pth)
+		if err == nil {
+			return content, nil
+		}
+	}
+	return nil, fmt.Errorf("rje: cannot reread %s", ref)
+}
+
+func splitFileID(id string) (host, pth string, ok bool) {
+	for i := 0; i < len(id); i++ {
+		if id[i] == ':' {
+			return id[:i], id[i+1:], true
+		}
+	}
+	return "", "", false
+}
+
+// Wait blocks until the job's output arrives and acknowledges it.
+func (c *Client) Wait(job uint64) (Result, error) {
+	if res, ok := c.results[job]; ok {
+		delete(c.results, job)
+		return res, nil
+	}
+	for {
+		msg, err := wire.Recv(c.conn)
+		if err != nil {
+			return Result{}, err
+		}
+		switch m := msg.(type) {
+		case *wire.Output:
+			res := c.stashOutput(m)
+			if m.Job == job {
+				delete(c.results, job)
+				return res, nil
+			}
+		case *wire.FileAck:
+			// Stale ack; ignore.
+		case *wire.ErrorMsg:
+			return Result{}, m
+		default:
+			return Result{}, fmt.Errorf("%w: awaiting output, got %v", ErrProtocol, msg.Kind())
+		}
+	}
+}
+
+func (c *Client) stashOutput(m *wire.Output) Result {
+	stdout := m.Stdout
+	// A conventional client never requests output deltas, but the server
+	// may still compress; unwrap if so.
+	if decoded, err := core.ApplyOutput(m.Mode, m.Stdout, nil, m.Compressed); err == nil {
+		stdout = decoded
+	}
+	res := Result{
+		Job:      m.Job,
+		State:    m.State,
+		ExitCode: m.ExitCode,
+		Stdout:   stdout,
+		Stderr:   m.Stderr,
+	}
+	c.results[m.Job] = res
+	c.counters.AddOutput(len(m.Stdout) + len(m.Stderr))
+	_ = wire.Send(c.conn, &wire.OutputAck{Job: m.Job})
+	return res
+}
+
+// Close ends the session.
+func (c *Client) Close() error {
+	_ = wire.Send(c.conn, &wire.Bye{})
+	return c.conn.Close()
+}

@@ -1,0 +1,263 @@
+package server
+
+import (
+	"fmt"
+
+	"shadowedit/internal/core"
+	"shadowedit/internal/jobs"
+	"shadowedit/internal/wire"
+)
+
+// feedWaitingJobs delivers a freshly arrived file version to every job still
+// waiting for it. A newer version than requested also satisfies the wait:
+// the cache holds only the latest version, and by connection ordering a
+// newer version means the user resubmitted meanwhile — running with fresher
+// input matches what a new submit would see.
+func (s *Server) feedWaitingJobs(ref wire.FileRef, version uint64, content []byte) {
+	key := ref.String()
+	s.mu.Lock()
+	waiting := make([]*job, 0, 2)
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		want, ok := j.waiting[key]
+		if ok && version >= want {
+			j.snapshot[j.byRef[key]] = content
+			delete(j.waiting, key)
+			waiting = append(waiting, j)
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	for _, j := range waiting {
+		s.maybeSchedule(j)
+	}
+}
+
+// maybeSchedule queues the job for execution once every input is in hand.
+func (s *Server) maybeSchedule(j *job) {
+	j.mu.Lock()
+	if j.state != wire.JobFetching && j.state != wire.JobQueued {
+		j.mu.Unlock()
+		return
+	}
+	if len(j.waiting) > 0 {
+		j.mu.Unlock()
+		return
+	}
+	j.state = wire.JobQueued
+	j.detail = "waiting for a processor"
+	j.mu.Unlock()
+
+	if err := s.pool.Submit(func() { s.runJob(j) }); err != nil {
+		j.setState(wire.JobFailed, "server shutting down")
+	}
+}
+
+// runJob executes a ready job on the simulated supercomputer and delivers
+// its output.
+func (s *Server) runJob(j *job) {
+	j.mu.Lock()
+	if j.state != wire.JobQueued {
+		j.mu.Unlock()
+		return
+	}
+	j.state = wire.JobRunning
+	j.detail = "executing"
+	inputs := make(map[string][]byte, len(j.snapshot))
+	for name, content := range j.snapshot {
+		inputs[name] = content
+	}
+	script := j.script
+	j.mu.Unlock()
+
+	s.logf("job %d: running for %s@%s", j.id, j.owner.user, j.owner.host)
+	res := jobs.Execute(jobs.Request{Script: script, Inputs: inputs})
+	s.cfg.Clock.Process(res.CPUTime)
+
+	j.mu.Lock()
+	j.result = res
+	j.state = wire.JobDone
+	j.detail = fmt.Sprintf("exit %d, %d output bytes", res.ExitCode, len(res.Stdout))
+	if res.ExitCode != 0 {
+		j.detail = fmt.Sprintf("exit %d (errors), %d output bytes", res.ExitCode, len(res.Stdout))
+	}
+	j.mu.Unlock()
+	s.logf("job %d: done (exit %d, %d output bytes, %v cpu)", j.id, res.ExitCode, len(res.Stdout), res.CPUTime)
+
+	s.deliverOutput(j)
+
+	// A finished job frees capacity: the load-aware policy may now pull
+	// deferred updates.
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		sessions = append(sessions, ss)
+	}
+	s.mu.Unlock()
+	for _, ss := range sessions {
+		ss.drainDeferred()
+	}
+}
+
+// deliverOutput pushes a finished job's results to the right client. "When
+// remote execution of a job completes, the shadow server contacts the client
+// to transfer the output" (§6.2); with RouteHost set, delivery goes to a
+// session from that host instead (§8.3 output routing). Output for a client
+// that is not connected — routed hosts without a session, or submitters that
+// disconnected mid-job — is held and flushed when a matching session says
+// hello.
+func (s *Server) deliverOutput(j *job) {
+	if j.routeHost != "" {
+		s.deliverOrHold(j,
+			func(ss *session) bool { return ss.clientHost == j.routeHost },
+			func() { s.routed[j.routeHost] = append(s.routed[j.routeHost], j.id) },
+			fmt.Sprintf("done; output held for host %q", j.routeHost))
+		return
+	}
+	s.deliverOrHold(j,
+		func(ss *session) bool { return ss.identity() == j.owner },
+		func() { s.undelivered[j.owner] = append(s.undelivered[j.owner], j.id) },
+		"done; output held until the client reconnects")
+}
+
+// deliverOrHold sends a job's output to a live session matching the
+// predicate, or records it in a hold queue. The lookup and the queueing
+// happen under the server mutex — the same mutex the hello handler holds
+// while it registers a session's identity and drains the queue — so an
+// output can never fall between "no session yet" and "queue already
+// drained". Dead sessions discovered mid-send are dropped and the lookup
+// retried, so a racing disconnect degrades to queueing, never to loss.
+func (s *Server) deliverOrHold(j *job, match func(*session) bool, hold func(), holdMsg string) {
+	for {
+		s.mu.Lock()
+		var target *session
+		for _, sess := range s.sessions {
+			if !match(sess) {
+				continue
+			}
+			if target == nil || sess.id > target.id {
+				target = sess
+			}
+		}
+		if target == nil {
+			hold()
+			s.mu.Unlock()
+			j.setState(wire.JobDone, holdMsg)
+			return
+		}
+		s.mu.Unlock()
+		if s.sendOutput(target, j, false) == nil {
+			return
+		}
+		// The chosen session died mid-send; forget it and look again.
+		s.dropSession(target)
+	}
+}
+
+// deliverRoutedTo flushes outputs held for the host a new session arrived
+// from. Caller must hold s.mu.
+func (s *Server) deliverRoutedToLocked(ss *session) []uint64 {
+	if ss.clientHost == "" {
+		return nil
+	}
+	ids := s.routed[ss.clientHost]
+	delete(s.routed, ss.clientHost)
+	return ids
+}
+
+// deliverUndeliveredToLocked takes outputs that completed while their owner
+// was disconnected. Caller must hold s.mu.
+func (s *Server) deliverUndeliveredToLocked(ss *session) []uint64 {
+	owner := ss.identity()
+	ids := s.undelivered[owner]
+	delete(s.undelivered, owner)
+	return ids
+}
+
+// repullWaitingInputs re-issues pulls for inputs of the owner's jobs that
+// are still waiting for file content — the previous session may have died
+// with pulls outstanding, which would otherwise strand the jobs in the
+// fetching state forever.
+func (s *Server) repullWaitingInputs(ss *session) {
+	for _, j := range s.jobsOfOwner(ss.identity()) {
+		j.mu.Lock()
+		var pending []wire.JobInput
+		for _, in := range j.inputs {
+			if want, ok := j.waiting[in.File.String()]; ok {
+				pending = append(pending, wire.JobInput{File: in.File, Version: want})
+			}
+		}
+		j.mu.Unlock()
+		for _, in := range pending {
+			// The content may have arrived just as the old session
+			// died; feed it straight from the cache rather than
+			// asking the client again.
+			id := s.dir.Intern(in.File)
+			if e, ok := s.cache.Get(id); ok && e.Version >= in.Version {
+				s.feedWaitingJobs(in.File, e.Version, e.Content)
+				continue
+			}
+			if ss.pullFile(in.File, in.Version) != nil {
+				return
+			}
+		}
+	}
+}
+
+// sendHeld transmits previously held outputs to a freshly identified
+// session. Failed sends re-enter the hold queues via deliverOutput's normal
+// path.
+func (s *Server) sendHeld(ss *session, ids []uint64) {
+	for _, id := range ids {
+		j, ok := s.lookupJob(id)
+		if !ok {
+			continue
+		}
+		if s.sendOutput(ss, j, false) != nil {
+			// This session is already gone again; requeue for the
+			// next one.
+			s.dropSession(ss)
+			s.deliverOutput(j)
+		}
+	}
+}
+
+// sendOutput transmits a job's results to a session, using reverse shadow
+// processing when the submitter asked for it and the receiving session holds
+// the previous output of the same script.
+func (s *Server) sendOutput(target *session, j *job, forceFull bool) error {
+	j.mu.Lock()
+	res := j.result
+	state := j.state
+	scriptSum := j.scriptSum
+	wantDelta := j.wantOutputDelta
+	j.mu.Unlock()
+
+	mode := wire.OutputFull
+	payload := res.Stdout
+	compressOn := s.cfg.Compress
+
+	if compressOn || (wantDelta && !forceFull) {
+		var prev []byte
+		if wantDelta && !forceFull {
+			prev = target.prevOutput(scriptSum)
+		}
+		m, p, err := core.OutputTransfer(prev, res.Stdout, s.cfg.Algorithm, compressOn, s.cfg.Clock)
+		if err == nil {
+			mode, payload = m, p
+		} else {
+			compressOn = false
+		}
+	}
+
+	s.counters.AddOutput(len(payload) + len(res.Stderr))
+	return target.send(&wire.Output{
+		Job:        j.id,
+		State:      state,
+		ExitCode:   res.ExitCode,
+		Mode:       mode,
+		Stdout:     payload,
+		Stderr:     res.Stderr,
+		Compressed: compressOn,
+	})
+}

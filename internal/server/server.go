@@ -1,0 +1,360 @@
+// Package server implements the shadow server that runs at each
+// supercomputer site (§6.1): it accepts connections from clients, maintains
+// the per-domain shadow cache and its name directory, retrieves file updates
+// under demand-driven flow control, schedules and executes batch jobs, and
+// transfers results back to the appropriate client.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"shadowedit/internal/cache"
+	"shadowedit/internal/core"
+	"shadowedit/internal/diff"
+	"shadowedit/internal/jobs"
+	"shadowedit/internal/metrics"
+	"shadowedit/internal/naming"
+	"shadowedit/internal/wire"
+)
+
+// PullPolicy decides when the server retrieves a newly notified file version
+// (§5.2): the demand-driven model leaves the timing entirely to the server.
+type PullPolicy int
+
+// Pull policies.
+const (
+	// PullEager retrieves updates as soon as the notify arrives, so they
+	// travel in the background while the user keeps editing.
+	PullEager PullPolicy = iota + 1
+	// PullLazy retrieves updates only when a submitted job needs them.
+	PullLazy
+	// PullLoadAware behaves eagerly while the job queue is short and
+	// defers retrievals while the host is busy — the overload protection
+	// the paper credits the demand-driven design with.
+	PullLoadAware
+)
+
+// String names the policy.
+func (p PullPolicy) String() string {
+	switch p {
+	case PullEager:
+		return "eager"
+	case PullLazy:
+		return "lazy"
+	case PullLoadAware:
+		return "load-aware"
+	default:
+		return fmt.Sprintf("pull-policy(%d)", int(p))
+	}
+}
+
+// Config parametrizes a Server. The zero value is not valid; use Defaults.
+type Config struct {
+	// Name is the server's advertised host name.
+	Name string
+	// CacheCapacity bounds the shadow cache in bytes (<= 0: unbounded).
+	CacheCapacity int64
+	// CachePolicy selects the cache eviction policy.
+	CachePolicy cache.Policy
+	// Pull selects the update retrieval policy.
+	Pull PullPolicy
+	// LoadThreshold is the queued+running job count at which PullLoadAware
+	// begins deferring retrievals.
+	LoadThreshold int
+	// MaxConcurrentJobs bounds simultaneous job execution.
+	MaxConcurrentJobs int
+	// Algorithm is the differencing algorithm for reverse shadow output.
+	Algorithm diff.Algorithm
+	// Compress enables compression of output transfers.
+	Compress bool
+	// Clock receives job CPU charges (the supercomputer's virtual clock
+	// in simulations). Nil means no charging.
+	Clock core.Clock
+	// Logf, when set, receives one line per notable server event
+	// (sessions, pulls, transfers, job transitions) — the operational
+	// log a daemon writes. Nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// Defaults returns a production-shaped configuration.
+func Defaults(name string) Config {
+	return Config{
+		Name:              name,
+		CacheCapacity:     0,
+		CachePolicy:       cache.LRU,
+		Pull:              PullEager,
+		LoadThreshold:     4,
+		MaxConcurrentJobs: 2,
+		Algorithm:         diff.HuntMcIlroy,
+		Compress:          false,
+	}
+}
+
+// Server is one shadow server instance.
+type Server struct {
+	cfg      Config
+	dir      *naming.Directory
+	cache    *cache.Cache
+	pool     *jobs.Pool
+	counters *metrics.Counters
+
+	mu          sync.Mutex
+	nextSession uint64
+	nextJob     uint64
+	jobs        map[uint64]*job
+	sessions    map[uint64]*session
+	routed      map[string][]uint64   // client host -> undelivered routed job ids
+	undelivered map[identity][]uint64 // owner -> outputs awaiting reconnection
+	closed      bool
+
+	pullsIssued   atomic.Int64
+	pullsDeferred atomic.Int64
+
+	wg sync.WaitGroup
+}
+
+// FlowStats reports how many update retrievals were issued and how many the
+// pull policy postponed — the observable of the §5.2 flow-control design.
+func (s *Server) FlowStats() (issued, deferred int64) {
+	return s.pullsIssued.Load(), s.pullsDeferred.Load()
+}
+
+// logf emits one operational log line if logging is configured.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// New creates a server from cfg.
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrentJobs < 1 {
+		cfg.MaxConcurrentJobs = 1
+	}
+	if cfg.Algorithm == 0 {
+		cfg.Algorithm = diff.HuntMcIlroy
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = core.NopClock{}
+	}
+	return &Server{
+		cfg:         cfg,
+		dir:         naming.NewDirectory(),
+		cache:       cache.New(cfg.CacheCapacity, cfg.CachePolicy),
+		pool:        jobs.NewPool(cfg.MaxConcurrentJobs),
+		counters:    &metrics.Counters{},
+		jobs:        make(map[uint64]*job),
+		sessions:    make(map[uint64]*session),
+		routed:      make(map[string][]uint64),
+		undelivered: make(map[identity][]uint64),
+	}
+}
+
+// Name returns the server's advertised name.
+func (s *Server) Name() string { return s.cfg.Name }
+
+// Cache exposes the shadow cache (read-mostly: stats, test injection of
+// evictions — the paper's "remote machine ran out of disk space" scenario).
+func (s *Server) Cache() *cache.Cache { return s.cache }
+
+// Directory exposes the per-domain name directory.
+func (s *Server) Directory() *naming.Directory { return s.dir }
+
+// Metrics returns the server's transfer counters.
+func (s *Server) Metrics() metrics.Snapshot { return s.counters.Snapshot() }
+
+// Load returns the job queue length and running count.
+func (s *Server) Load() (queued, running int) { return s.pool.Load() }
+
+// SessionCount returns the number of live sessions.
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Acceptor yields inbound protocol connections; it abstracts the transport
+// (netsim listener, TCP listener).
+type Acceptor interface {
+	Accept() (wire.Conn, error)
+}
+
+// AcceptorFunc adapts a function to Acceptor.
+type AcceptorFunc func() (wire.Conn, error)
+
+// Accept implements Acceptor.
+func (f AcceptorFunc) Accept() (wire.Conn, error) { return f() }
+
+// Serve accepts and serves connections until the acceptor fails (listener
+// closed) or the server is closed. It blocks; run it in a goroutine.
+func (s *Server) Serve(a Acceptor) error {
+	for {
+		conn, err := a.Accept()
+		if err != nil {
+			if s.isClosed() {
+				return nil
+			}
+			return err
+		}
+		if !s.startSession(conn) {
+			_ = conn.Close()
+			return nil
+		}
+	}
+}
+
+// ServeConn serves a single pre-established connection (in-process setups);
+// it returns when the session ends.
+func (s *Server) ServeConn(conn wire.Conn) {
+	if !s.startSession(conn) {
+		_ = conn.Close()
+		return
+	}
+	// startSession spawned the handler; nothing else to do. The method
+	// exists so callers don't depend on session internals.
+}
+
+func (s *Server) startSession(conn wire.Conn) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	s.nextSession++
+	sess := &session{
+		srv:      s,
+		conn:     conn,
+		id:       s.nextSession,
+		deferred: make(map[string]*wire.Notify),
+		pulled:   make(map[string]uint64),
+		outPrev:  make(map[uint32][]byte),
+	}
+	s.sessions[sess.id] = sess
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.wg.Done()
+		sess.run()
+		s.logf("session %d: closed", sess.id)
+	}()
+	return true
+}
+
+func (s *Server) dropSession(sess *session) {
+	s.mu.Lock()
+	delete(s.sessions, sess.id)
+	s.mu.Unlock()
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Close stops the server: no new sessions, queued jobs drain, open sessions
+// are disconnected.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	open := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		open = append(open, sess)
+	}
+	s.mu.Unlock()
+
+	for _, sess := range open {
+		_ = sess.conn.Close()
+	}
+	s.wg.Wait()
+	s.pool.Close()
+}
+
+// identity names a client across sessions: a user at a workstation. Jobs
+// belong to identities, not connections, so a client that reconnects after
+// a network failure finds its jobs and receives outputs that completed
+// while it was away.
+type identity struct {
+	user string
+	host string
+}
+
+// job is one submitted batch job.
+type job struct {
+	id    uint64
+	owner identity
+	sess  *session
+
+	script    []byte
+	scriptSum uint32
+	inputs    []wire.JobInput
+
+	outputFile      string
+	errorFile       string
+	routeHost       string
+	wantOutputDelta bool
+
+	mu       sync.Mutex
+	state    wire.JobState
+	detail   string
+	waiting  map[string]uint64 // ref key -> version still needed
+	byRef    map[string]string // ref key -> input name
+	snapshot map[string][]byte // input name -> content
+	result   jobs.Result
+	// lastFullStdout holds the most recent full stdout so re-sends and
+	// reverse-shadow bases are available after delivery.
+	delivered bool
+}
+
+func (j *job) setState(state wire.JobState, detail string) {
+	j.mu.Lock()
+	j.state = state
+	j.detail = detail
+	j.mu.Unlock()
+}
+
+func (j *job) status() wire.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return wire.JobStatus{Job: j.id, State: j.state, Detail: j.detail}
+}
+
+var errSessionGone = errors.New("server: session gone")
+
+// lookupJob fetches a job by id.
+func (s *Server) lookupJob(id uint64) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// jobsOfOwner returns the jobs an identity submitted (across sessions),
+// ascending by id.
+func (s *Server) jobsOfOwner(owner identity) []*job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*job
+	for id := uint64(1); id <= s.nextJob; id++ {
+		if j, ok := s.jobs[id]; ok && j.owner == owner {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// ignoreEOF maps clean disconnects to nil.
+func ignoreEOF(err error) error {
+	if errors.Is(err, io.EOF) {
+		return nil
+	}
+	return err
+}

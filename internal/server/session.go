@@ -1,0 +1,395 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"shadowedit/internal/cache"
+	"shadowedit/internal/core"
+	"shadowedit/internal/diff"
+	"shadowedit/internal/jobs"
+	"shadowedit/internal/naming"
+	"shadowedit/internal/wire"
+)
+
+// session is one client connection's server-side state.
+type session struct {
+	srv  *Server
+	conn wire.Conn
+	id   uint64
+
+	user       string
+	domain     string
+	clientHost string
+
+	// mu guards the maps below: the session goroutine and pool workers
+	// (job completion → drainDeferred/sendOutput) both touch them.
+	mu sync.Mutex
+	// deferred holds notifies whose pulls the load-aware policy postponed,
+	// keyed by file ref.
+	deferred map[string]*wire.Notify
+	// pulled tracks the highest version already requested per file, so
+	// notify+submit bursts do not issue duplicate pulls (a duplicate
+	// delta would look stale on arrival and trigger a wasteful full
+	// retransmission).
+	pulled map[string]uint64
+	// outPrev maps script checksum -> last acknowledged delivered stdout,
+	// the base for reverse shadow processing.
+	outPrev map[uint32][]byte
+}
+
+func (ss *session) prevOutput(scriptSum uint32) []byte {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.outPrev[scriptSum]
+}
+
+func (ss *session) setPrevOutput(scriptSum uint32, stdout []byte) {
+	ss.mu.Lock()
+	ss.outPrev[scriptSum] = stdout
+	ss.mu.Unlock()
+}
+
+// run is the session's receive loop. It exits on disconnect or protocol
+// failure; either way the session is unregistered.
+func (ss *session) run() {
+	defer ss.srv.dropSession(ss)
+	defer ss.conn.Close()
+	for {
+		msg, err := wire.Recv(ss.conn)
+		if err != nil {
+			return // disconnect (io.EOF) or transport failure
+		}
+		if err := ss.dispatch(msg); err != nil {
+			if errors.Is(err, errSessionGone) {
+				return
+			}
+			// Protocol-level problems are reported to the client;
+			// transport failures end the session.
+			if sendErr := ss.sendError(wire.CodeBadRequest, err.Error()); sendErr != nil {
+				return
+			}
+		}
+	}
+}
+
+func (ss *session) dispatch(msg wire.Message) error {
+	switch m := msg.(type) {
+	case *wire.Hello:
+		return ss.handleHello(m)
+	case *wire.Notify:
+		return ss.handleNotify(m)
+	case *wire.FileDelta:
+		return ss.handleFileDelta(m)
+	case *wire.FileFull:
+		return ss.handleFileFull(m)
+	case *wire.Submit:
+		return ss.handleSubmit(m)
+	case *wire.StatusReq:
+		return ss.handleStatus(m)
+	case *wire.OutputAck:
+		return ss.handleOutputAck(m)
+	case *wire.OutputFullReq:
+		return ss.handleOutputFullReq(m)
+	case *wire.Bye:
+		return errSessionGone
+	default:
+		return fmt.Errorf("unexpected message %v", msg.Kind())
+	}
+}
+
+func (ss *session) send(m wire.Message) error {
+	if err := wire.Send(ss.conn, m); err != nil {
+		return errSessionGone
+	}
+	return nil
+}
+
+func (ss *session) sendError(code uint32, text string) error {
+	return ss.send(&wire.ErrorMsg{Code: code, Text: text})
+}
+
+func (ss *session) handleHello(m *wire.Hello) error {
+	if m.Protocol != wire.ProtocolVersion {
+		_ = ss.sendError(wire.CodeBadRequest, fmt.Sprintf("protocol %d unsupported", m.Protocol))
+		return errSessionGone
+	}
+	// Identity registration and the claim of held outputs share one
+	// critical section with deliverOrHold's lookup-or-queue: an output
+	// finishing concurrently with this hello is either claimed here or
+	// sees the registered identity — it cannot fall in between.
+	ss.srv.mu.Lock()
+	ss.user = m.User
+	ss.domain = m.Domain
+	ss.clientHost = m.ClientHost
+	held := append(ss.srv.deliverRoutedToLocked(ss), ss.srv.deliverUndeliveredToLocked(ss)...)
+	ss.srv.mu.Unlock()
+	ss.srv.logf("session %d: hello from %s@%s (domain %s), %d held outputs",
+		ss.id, ss.user, ss.clientHost, ss.domain, len(held))
+	if err := ss.send(&wire.HelloOK{Session: ss.id, ServerName: ss.srv.cfg.Name}); err != nil {
+		return err
+	}
+	// Deliver any output routed to this host before we were connected,
+	// and any output that finished while this user was disconnected; then
+	// restart any input retrievals the previous session left dangling.
+	ss.srv.sendHeld(ss, held)
+	ss.srv.repullWaitingInputs(ss)
+	return nil
+}
+
+// identity returns the session's owner key.
+func (ss *session) identity() identity {
+	return identity{user: ss.user, host: ss.clientHost}
+}
+
+// handleNotify implements the demand-driven choice (§6.4): "The server ...
+// may request the client to supply the updates immediately, or may postpone
+// such a retrieval for a later time."
+func (ss *session) handleNotify(m *wire.Notify) error {
+	ss.srv.counters.AddControl(0)
+	switch ss.srv.cfg.Pull {
+	case PullLazy:
+		ss.deferNotify(m)
+		return nil
+	case PullLoadAware:
+		queued, running := ss.srv.pool.Load()
+		if queued+running >= ss.srv.cfg.LoadThreshold {
+			ss.deferNotify(m)
+			return nil
+		}
+	}
+	return ss.pullFile(m.File, m.Version)
+}
+
+func (ss *session) deferNotify(m *wire.Notify) {
+	ss.srv.pullsDeferred.Add(1)
+	ss.mu.Lock()
+	ss.deferred[m.File.String()] = m
+	ss.mu.Unlock()
+}
+
+// pullFile asks the client for a version, telling it which base we hold.
+// Pulls already in flight for the same or a newer version are not repeated.
+func (ss *session) pullFile(ref wire.FileRef, want uint64) error {
+	id := ss.srv.dir.Intern(ref)
+	var have uint64
+	if e, ok := ss.srv.cache.Peek(id); ok {
+		have = e.Version
+	}
+	if have >= want {
+		return nil // already current
+	}
+	key := ref.String()
+	ss.mu.Lock()
+	if ss.pulled[key] >= want {
+		ss.mu.Unlock()
+		return nil // a pull covering this version is in flight
+	}
+	ss.pulled[key] = want
+	delete(ss.deferred, key)
+	ss.mu.Unlock()
+	ss.srv.pullsIssued.Add(1)
+	ss.srv.logf("session %d: pull %s v%d (have v%d)", ss.id, ref, want, have)
+	return ss.send(&wire.Pull{File: ref, HaveVersion: have, WantVersion: want})
+}
+
+// drainDeferred issues pulls that were postponed, if the load allows now.
+func (ss *session) drainDeferred() {
+	if ss.srv.cfg.Pull == PullLazy {
+		return
+	}
+	queued, running := ss.srv.pool.Load()
+	if queued+running >= ss.srv.cfg.LoadThreshold {
+		return
+	}
+	ss.mu.Lock()
+	pending := make([]*wire.Notify, 0, len(ss.deferred))
+	for _, n := range ss.deferred {
+		pending = append(pending, n)
+	}
+	ss.mu.Unlock()
+	for _, n := range pending {
+		if ss.pullFile(n.File, n.Version) != nil {
+			return
+		}
+	}
+}
+
+func (ss *session) handleFileDelta(m *wire.FileDelta) error {
+	ss.srv.counters.AddDelta(len(m.Encoded))
+	id := ss.srv.dir.Intern(m.File)
+	entry, ok := ss.srv.cache.Get(id)
+	if ok && entry.Version >= m.Version {
+		// A duplicate or overtaken transfer; what we have is already
+		// at least as new. Re-acknowledge idempotently.
+		return ss.send(&wire.FileAck{File: m.File, Version: entry.Version})
+	}
+	if !ok || entry.Version != m.BaseVersion {
+		// Our base is gone or different — the best-effort cache at
+		// work. Ask for the whole file.
+		return ss.forcePullFull(m.File, m.Version)
+	}
+	content, err := core.ApplyDelta(entry.Content, m)
+	if errors.Is(err, core.ErrStaleBase) {
+		return ss.forcePullFull(m.File, m.Version)
+	}
+	if err != nil {
+		return fmt.Errorf("apply delta for %s: %w", m.File, err)
+	}
+	return ss.storeArrived(m.File, id, m.Version, content)
+}
+
+// forcePullFull requests a complete copy, bypassing the duplicate-pull
+// suppression (the previous pull's answer was unusable).
+func (ss *session) forcePullFull(ref wire.FileRef, want uint64) error {
+	ss.mu.Lock()
+	ss.pulled[ref.String()] = want
+	ss.mu.Unlock()
+	ss.srv.pullsIssued.Add(1)
+	return ss.send(&wire.Pull{File: ref, HaveVersion: 0, WantVersion: want})
+}
+
+func (ss *session) handleFileFull(m *wire.FileFull) error {
+	ss.srv.counters.AddFull(len(m.Content))
+	content, err := core.ApplyFull(m)
+	if err != nil {
+		return fmt.Errorf("apply full for %s: %w", m.File, err)
+	}
+	id := ss.srv.dir.Intern(m.File)
+	if entry, ok := ss.srv.cache.Peek(id); ok && entry.Version > m.Version {
+		// Overtaken by a newer version; do not regress the cache.
+		return ss.send(&wire.FileAck{File: m.File, Version: entry.Version})
+	}
+	return ss.storeArrived(m.File, id, m.Version, content)
+}
+
+// storeArrived caches an arrived version (best effort), acknowledges it, and
+// feeds any jobs waiting for the file.
+func (ss *session) storeArrived(ref wire.FileRef, id naming.ShadowID, version uint64, content []byte) error {
+	if err := ss.srv.cache.Put(id, version, content); err != nil && !errors.Is(err, cache.ErrTooLarge) {
+		return err
+	}
+	ss.mu.Lock()
+	if ss.pulled[ref.String()] <= version {
+		delete(ss.pulled, ref.String())
+	}
+	ss.mu.Unlock()
+	// Feed jobs before acknowledging: the ack can fail (the client may
+	// have disconnected right after sending), but the content is here
+	// and jobs waiting for it must proceed regardless.
+	ss.srv.feedWaitingJobs(ref, version, content)
+	return ss.send(&wire.FileAck{File: ref, Version: version})
+}
+
+func (ss *session) handleSubmit(m *wire.Submit) error {
+	ss.srv.counters.AddControl(len(m.Script))
+	cmds, err := jobs.ParseScript(m.Script)
+	if err != nil {
+		return ss.sendError(wire.CodeBadRequest, err.Error())
+	}
+	// Every file the script references must be supplied.
+	supplied := make(map[string]wire.JobInput, len(m.Inputs))
+	for _, in := range m.Inputs {
+		if _, dup := supplied[in.As]; dup {
+			return ss.sendError(wire.CodeBadRequest, fmt.Sprintf("duplicate input name %q", in.As))
+		}
+		supplied[in.As] = in
+	}
+	for _, name := range jobs.InputNames(cmds) {
+		if _, ok := supplied[name]; !ok {
+			return ss.sendError(wire.CodeBadRequest, fmt.Sprintf("script references %q but it was not submitted", name))
+		}
+	}
+
+	j := &job{
+		sess:            ss,
+		owner:           ss.identity(),
+		script:          append([]byte(nil), m.Script...),
+		scriptSum:       diff.Checksum(m.Script),
+		inputs:          m.Inputs,
+		outputFile:      m.OutputFile,
+		errorFile:       m.ErrorFile,
+		routeHost:       m.RouteHost,
+		wantOutputDelta: m.WantOutputDelta,
+		state:           wire.JobQueued,
+		waiting:         make(map[string]uint64),
+		byRef:           make(map[string]string),
+		snapshot:        make(map[string][]byte),
+	}
+	ss.srv.mu.Lock()
+	ss.srv.nextJob++
+	j.id = ss.srv.nextJob
+	ss.srv.jobs[j.id] = j
+	ss.srv.mu.Unlock()
+
+	if err := ss.send(&wire.SubmitOK{Job: j.id}); err != nil {
+		return err
+	}
+
+	// Gather inputs: snapshot what the cache has, pull the rest on
+	// demand. "The updates for the files involved may be obtained in the
+	// background even before a submit request is received and processed"
+	// — eager pulls often make this loop find everything cached already.
+	j.setState(wire.JobFetching, "collecting input files")
+	for _, in := range m.Inputs {
+		id := ss.srv.dir.Intern(in.File)
+		key := in.File.String()
+		j.byRef[key] = in.As
+		if e, ok := ss.srv.cache.Get(id); ok && e.Version >= in.Version {
+			j.mu.Lock()
+			j.snapshot[in.As] = e.Content
+			j.mu.Unlock()
+			continue
+		}
+		j.mu.Lock()
+		j.waiting[key] = in.Version
+		j.mu.Unlock()
+		if err := ss.pullFile(in.File, in.Version); err != nil {
+			return err
+		}
+	}
+	ss.srv.maybeSchedule(j)
+	return nil
+}
+
+func (ss *session) handleStatus(m *wire.StatusReq) error {
+	ss.srv.counters.AddControl(0)
+	var reply wire.StatusReply
+	if m.All {
+		for _, j := range ss.srv.jobsOfOwner(ss.identity()) {
+			reply.Jobs = append(reply.Jobs, j.status())
+		}
+		return ss.send(&reply)
+	}
+	j, ok := ss.srv.lookupJob(m.Job)
+	if !ok || j.owner != ss.identity() {
+		return ss.sendError(wire.CodeUnknownJob, fmt.Sprintf("job %d unknown", m.Job))
+	}
+	reply.Jobs = append(reply.Jobs, j.status())
+	return ss.send(&reply)
+}
+
+func (ss *session) handleOutputAck(m *wire.OutputAck) error {
+	j, ok := ss.srv.lookupJob(m.Job)
+	if !ok {
+		return nil
+	}
+	j.mu.Lock()
+	j.delivered = true
+	stdout := j.result.Stdout
+	sum := j.scriptSum
+	j.mu.Unlock()
+	// The acknowledged stdout becomes the base for the next run's output
+	// delta (reverse shadow processing).
+	ss.setPrevOutput(sum, stdout)
+	return nil
+}
+
+func (ss *session) handleOutputFullReq(m *wire.OutputFullReq) error {
+	j, ok := ss.srv.lookupJob(m.Job)
+	if !ok {
+		return ss.sendError(wire.CodeUnknownJob, fmt.Sprintf("job %d unknown", m.Job))
+	}
+	return ss.srv.sendOutput(ss, j, true /* forceFull */)
+}

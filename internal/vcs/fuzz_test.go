@@ -1,0 +1,32 @@
+package vcs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad explores the store loader with arbitrary streams: reject or
+// accept without panicking; accepted stores must round trip through Save.
+func FuzzLoad(f *testing.F) {
+	s := NewStore(2)
+	s.Commit(ref, []byte("v1\n"))
+	s.Commit(ref, []byte("v2\n"))
+	s.Ack(ref, 2)
+	var buf bytes.Buffer
+	_ = s.Save(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte("SVS1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := Load(bytes.NewReader(data), 1)
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := loaded.Save(&out); err != nil {
+			t.Fatalf("Save of accepted store: %v", err)
+		}
+		if _, err := Load(&out, 1); err != nil {
+			t.Fatalf("re-Load of saved store: %v", err)
+		}
+	})
+}

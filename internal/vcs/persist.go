@@ -1,0 +1,169 @@
+package vcs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"shadowedit/internal/diff"
+)
+
+// Persistence for the version store. The paper's prototype kept old
+// versions as ordinary files in the shadow environment so they survived
+// between sessions; here the whole store serializes to a single stream so a
+// restarting client keeps its retained versions — and therefore its ability
+// to answer server pulls with deltas instead of full transfers.
+//
+// Layout (all integers uvarint unless noted):
+//
+//	magic "SVS1"
+//	nfiles
+//	per file:
+//	  domain string, fileID string   (uvarint length + bytes)
+//	  acked
+//	  nversions
+//	  per version: number, content (uvarint length + bytes)
+//
+// Checksums are recomputed on load, so a corrupted stream is rejected
+// rather than silently trusted.
+
+const persistMagic = "SVS1"
+
+// ErrCorruptStore reports an unreadable serialized store.
+var ErrCorruptStore = errors.New("vcs: corrupt store stream")
+
+// Save serializes the store.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(persistMagic); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(s.files))
+	for k := range s.files {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	writeUvarint(bw, uint64(len(keys)))
+	for _, k := range keys {
+		h := s.files[k]
+		writeString(bw, h.ref.Domain)
+		writeString(bw, h.ref.FileID)
+		writeUvarint(bw, h.acked)
+		writeUvarint(bw, uint64(len(h.versions)))
+		for _, v := range h.versions {
+			writeUvarint(bw, v.Number)
+			writeBytes(bw, v.Content)
+		}
+	}
+	return bw.Flush()
+}
+
+// Load restores a store saved with Save, applying the given retention limit
+// from now on.
+func Load(r io.Reader, retain int) (*Store, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(persistMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != persistMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorruptStore)
+	}
+	s := NewStore(retain)
+	nfiles, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptStore, err)
+	}
+	for i := uint64(0); i < nfiles; i++ {
+		h := &history{}
+		h.ref.Domain, err = readString(br)
+		if err != nil {
+			return nil, err
+		}
+		h.ref.FileID, err = readString(br)
+		if err != nil {
+			return nil, err
+		}
+		h.acked, err = binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorruptStore, err)
+		}
+		nvers, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorruptStore, err)
+		}
+		var prev uint64
+		for j := uint64(0); j < nvers; j++ {
+			number, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorruptStore, err)
+			}
+			if number <= prev {
+				return nil, fmt.Errorf("%w: version numbers not ascending", ErrCorruptStore)
+			}
+			prev = number
+			content, err := readBytes(br)
+			if err != nil {
+				return nil, err
+			}
+			h.versions = append(h.versions, Version{
+				Number:  number,
+				Content: content,
+				Sum:     diff.Checksum(content),
+			})
+		}
+		if h.acked != 0 && !h.retains(h.acked) {
+			return nil, fmt.Errorf("%w: acked version %d missing for %s", ErrCorruptStore, h.acked, h.ref)
+		}
+		s.files[h.ref.String()] = h
+	}
+	return s, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, _ = w.Write(buf[:n])
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	_, _ = w.WriteString(s)
+}
+
+func writeBytes(w *bufio.Writer, b []byte) {
+	writeUvarint(w, uint64(len(b)))
+	_, _ = w.Write(b)
+}
+
+// maxPersistChunk bounds a single string/content read while loading.
+const maxPersistChunk = 1 << 30
+
+func readString(br *bufio.Reader) (string, error) {
+	b, err := readBytes(br)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func readBytes(br *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptStore, err)
+	}
+	if n > maxPersistChunk {
+		return nil, fmt.Errorf("%w: chunk of %d bytes", ErrCorruptStore, n)
+	}
+	// Grow with the data actually present rather than trusting the
+	// declared length with one big allocation: a corrupt or hostile
+	// stream could otherwise demand gigabytes up front.
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, br, int64(n)); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptStore, err)
+	}
+	return buf.Bytes(), nil
+}

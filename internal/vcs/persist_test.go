@@ -1,0 +1,137 @@
+package vcs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"shadowedit/internal/diff"
+	"shadowedit/internal/wire"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := NewStore(2)
+	refs := []wire.FileRef{
+		{Domain: "d", FileID: "h:/a"},
+		{Domain: "d", FileID: "h:/b"},
+	}
+	for i := 1; i <= 4; i++ {
+		for _, r := range refs {
+			s.Commit(r, []byte(fmt.Sprintf("%s content v%d\n", r.FileID, i)))
+		}
+	}
+	s.Ack(refs[0], 3)
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, r := range refs {
+		wantVers := s.Versions(r)
+		gotVers := loaded.Versions(r)
+		if fmt.Sprint(gotVers) != fmt.Sprint(wantVers) {
+			t.Fatalf("%s versions = %v, want %v", r, gotVers, wantVers)
+		}
+		for _, v := range wantVers {
+			orig, err := s.Get(r, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := loaded.Get(r, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Content, orig.Content) || got.Sum != orig.Sum {
+				t.Fatalf("%s v%d content mismatch after load", r, v)
+			}
+		}
+	}
+	if loaded.Acked(refs[0]) != 3 || loaded.Acked(refs[1]) != 0 {
+		t.Fatalf("acked state lost: %d, %d", loaded.Acked(refs[0]), loaded.Acked(refs[1]))
+	}
+	// The loaded store can still produce deltas from the acked base.
+	if _, err := loaded.DeltaFrom(refs[0], 3, 4, diff.HuntMcIlroy); err != nil {
+		t.Fatalf("DeltaFrom after load: %v", err)
+	}
+	// And committing continues from the right version number.
+	v, changed := loaded.Commit(refs[0], []byte("new content\n"))
+	if !changed || v != 5 {
+		t.Fatalf("post-load commit = v%d (changed %v), want v5", v, changed)
+	}
+}
+
+func TestSaveLoadEmptyStore(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewStore(1).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Files()) != 0 {
+		t.Fatal("empty store loaded non-empty")
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	s := NewStore(1)
+	s.Commit(ref, []byte("abc\n"))
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	tests := []struct {
+		name string
+		give []byte
+	}{
+		{name: "empty", give: nil},
+		{name: "bad magic", give: []byte("XXXX")},
+		{name: "truncated", give: valid[:len(valid)-2]},
+		{name: "truncated header", give: valid[:5]},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Load(bytes.NewReader(tt.give), 1); !errors.Is(err, ErrCorruptStore) {
+				t.Fatalf("Load = %v, want ErrCorruptStore", err)
+			}
+		})
+	}
+}
+
+func TestLoadNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = Load(bytes.NewReader(b), 1)
+		_, _ = Load(bytes.NewReader(append([]byte("SVS1"), b...)), 1)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveDeterministic(t *testing.T) {
+	s := NewStore(3)
+	for i := 0; i < 5; i++ {
+		s.Commit(wire.FileRef{Domain: "d", FileID: fmt.Sprintf("f%d", i)}, []byte("x\n"))
+	}
+	var a, b bytes.Buffer
+	if err := s.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("Save not deterministic")
+	}
+}

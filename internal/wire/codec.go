@@ -1,0 +1,164 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"sync"
+)
+
+// encoder appends primitive fields to a buffer.
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) byte(b byte)       { e.buf = append(e.buf, b) }
+func (e *encoder) uvarint(v uint64)  { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *encoder) uint32(v uint32)   { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *encoder) string(s string)   { e.uvarint(uint64(len(s))); e.buf = append(e.buf, s...) }
+func (e *encoder) bytes(b []byte)    { e.uvarint(uint64(len(b))); e.buf = append(e.buf, b...) }
+func (e *encoder) fileRef(f FileRef) { e.string(f.Domain); e.string(f.FileID) }
+func (e *encoder) bool(v bool) {
+	if v {
+		e.byte(1)
+	} else {
+		e.byte(0)
+	}
+}
+
+// decoder reads primitive fields, latching the first error.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail(msg string) {
+	if d.err == nil {
+		d.err = errors.New(msg)
+	}
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.buf) {
+		d.fail("truncated")
+		return nil
+	}
+	out := d.buf[:n]
+	d.buf = d.buf[n:]
+	return out
+}
+
+func (d *decoder) byte() byte {
+	b := d.take(1)
+	if len(b) != 1 {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) uint32() uint32 {
+	b := d.take(4)
+	if len(b) != 4 {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(d.buf)) {
+		d.fail("string length exceeds frame")
+		return ""
+	}
+	return string(d.take(int(n)))
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(d.buf)) {
+		d.fail("byte length exceeds frame")
+		return nil
+	}
+	b := d.take(int(n))
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+func (d *decoder) bool() bool { return d.byte() != 0 }
+
+func (d *decoder) fileRef() FileRef {
+	return FileRef{Domain: d.string(), FileID: d.string()}
+}
+
+// StreamConn adapts a reliable byte stream (a real TCP connection, a
+// net.Pipe, a file) to the message-oriented Conn interface using 4-byte
+// big-endian length framing.
+type StreamConn struct {
+	rw io.ReadWriteCloser
+
+	sendMu sync.Mutex
+	recvMu sync.Mutex
+}
+
+var _ Conn = (*StreamConn)(nil)
+
+// NewStreamConn frames messages over rw.
+func NewStreamConn(rw io.ReadWriteCloser) *StreamConn {
+	return &StreamConn{rw: rw}
+}
+
+// Send writes one length-prefixed frame.
+func (s *StreamConn) Send(payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := s.rw.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := s.rw.Write(payload)
+	return err
+}
+
+// Recv reads one length-prefixed frame.
+func (s *StreamConn) Recv() ([]byte, error) {
+	s.recvMu.Lock()
+	defer s.recvMu.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(s.rw, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(s.rw, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// Close closes the underlying stream.
+func (s *StreamConn) Close() error { return s.rw.Close() }

@@ -1,0 +1,239 @@
+// Package wire defines the shadow protocol: the messages exchanged between
+// the client at a user's workstation and the shadow server at a
+// supercomputer site, and their binary encoding.
+//
+// The protocol follows the paper's demand-driven design (§5.2, §6.4):
+// notifications and submit requests are short messages that carry no bulk
+// data; the server decides when to PULL file contents, and bulk transfer
+// happens as deltas against cached versions whenever possible, falling back
+// to full contents when the cache has no usable base. Job output is pushed
+// to the client on completion (or routed to a third host), optionally as a
+// delta against previously delivered output ("reverse shadow processing",
+// §8.3).
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ProtocolVersion identifies this revision of the shadow protocol.
+const ProtocolVersion = 1
+
+// MaxFrame bounds a single protocol frame; larger transfers are rejected
+// rather than buffered without limit.
+const MaxFrame = 64 << 20
+
+// Conn is the message transport the protocol runs over. netsim.Conn
+// implements it for simulated links; StreamConn adapts any reliable byte
+// stream (for example a *net.TCPConn) for real deployments.
+type Conn interface {
+	// Send transmits one message payload.
+	Send(payload []byte) error
+	// Recv blocks for the next message payload.
+	Recv() ([]byte, error)
+	// Close releases the transport.
+	Close() error
+}
+
+// Kind discriminates protocol messages.
+type Kind uint8
+
+// Protocol message kinds.
+const (
+	KindHello Kind = iota + 1
+	KindHelloOK
+	KindNotify
+	KindPull
+	KindFileDelta
+	KindFileFull
+	KindFileAck
+	KindSubmit
+	KindSubmitOK
+	KindStatusReq
+	KindStatusReply
+	KindOutput
+	KindOutputAck
+	KindOutputFullReq
+	KindError
+	KindBye
+)
+
+var kindNames = map[Kind]string{
+	KindHello:         "HELLO",
+	KindHelloOK:       "HELLO_OK",
+	KindNotify:        "NOTIFY",
+	KindPull:          "PULL",
+	KindFileDelta:     "FILE_DELTA",
+	KindFileFull:      "FILE_FULL",
+	KindFileAck:       "FILE_ACK",
+	KindSubmit:        "SUBMIT",
+	KindSubmitOK:      "SUBMIT_OK",
+	KindStatusReq:     "STATUS_REQ",
+	KindStatusReply:   "STATUS_REPLY",
+	KindOutput:        "OUTPUT",
+	KindOutputAck:     "OUTPUT_ACK",
+	KindOutputFullReq: "OUTPUT_FULL_REQ",
+	KindError:         "ERROR",
+	KindBye:           "BYE",
+}
+
+// String returns the protocol name of the kind.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("KIND(%d)", uint8(k))
+}
+
+// Errors reported by the codec.
+var (
+	// ErrBadMessage reports an undecodable message.
+	ErrBadMessage = errors.New("wire: bad message")
+	// ErrFrameTooLarge reports a frame exceeding MaxFrame.
+	ErrFrameTooLarge = errors.New("wire: frame too large")
+)
+
+// FileRef is the globally unique name of a user file: the (domain id, file
+// id) pair of the paper's naming design (§5.3). Domain identifies a naming
+// domain (for example one NFS universe); FileID is unique within it (for
+// example "host:/abs/path" after alias and mount resolution).
+type FileRef struct {
+	Domain string
+	FileID string
+}
+
+// String renders the reference as domain//fileid.
+func (f FileRef) String() string { return f.Domain + "//" + f.FileID }
+
+// JobState is the lifecycle state of a submitted job.
+type JobState uint8
+
+// Job lifecycle states.
+const (
+	// JobQueued means the job awaits scheduling (the server may still be
+	// retrieving its files).
+	JobQueued JobState = iota + 1
+	// JobFetching means the server is pulling input files it needs.
+	JobFetching
+	// JobRunning means the job is executing at the supercomputer.
+	JobRunning
+	// JobDone means the job finished and output is available/delivered.
+	JobDone
+	// JobFailed means the job could not be run or exited with an error.
+	JobFailed
+)
+
+var jobStateNames = map[JobState]string{
+	JobQueued:   "queued",
+	JobFetching: "fetching",
+	JobRunning:  "running",
+	JobDone:     "done",
+	JobFailed:   "failed",
+}
+
+// String returns the lower-case state name.
+func (s JobState) String() string {
+	if n, ok := jobStateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool { return s == JobDone || s == JobFailed }
+
+// Message is one protocol message.
+type Message interface {
+	// Kind returns the message discriminator.
+	Kind() Kind
+	// encode appends the message body (not the kind byte).
+	encode(e *encoder)
+	// decode parses the message body.
+	decode(d *decoder)
+}
+
+// Marshal serializes a message, kind byte first.
+func Marshal(m Message) []byte {
+	e := &encoder{buf: make([]byte, 0, 64)}
+	e.byte(byte(m.Kind()))
+	m.encode(e)
+	return e.buf
+}
+
+// Unmarshal parses a message produced by Marshal.
+func Unmarshal(buf []byte) (Message, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("%w: empty", ErrBadMessage)
+	}
+	kind := Kind(buf[0])
+	m := newMessage(kind)
+	if m == nil {
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrBadMessage, kind)
+	}
+	d := &decoder{buf: buf[1:]}
+	m.decode(d)
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrBadMessage, kind, d.err)
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("%w: %s: %d trailing bytes", ErrBadMessage, kind, len(d.buf))
+	}
+	return m, nil
+}
+
+func newMessage(k Kind) Message {
+	switch k {
+	case KindHello:
+		return &Hello{}
+	case KindHelloOK:
+		return &HelloOK{}
+	case KindNotify:
+		return &Notify{}
+	case KindPull:
+		return &Pull{}
+	case KindFileDelta:
+		return &FileDelta{}
+	case KindFileFull:
+		return &FileFull{}
+	case KindFileAck:
+		return &FileAck{}
+	case KindSubmit:
+		return &Submit{}
+	case KindSubmitOK:
+		return &SubmitOK{}
+	case KindStatusReq:
+		return &StatusReq{}
+	case KindStatusReply:
+		return &StatusReply{}
+	case KindOutput:
+		return &Output{}
+	case KindOutputAck:
+		return &OutputAck{}
+	case KindOutputFullReq:
+		return &OutputFullReq{}
+	case KindError:
+		return &ErrorMsg{}
+	case KindBye:
+		return &Bye{}
+	default:
+		return nil
+	}
+}
+
+// Send marshals and transmits a message.
+func Send(c Conn, m Message) error {
+	return c.Send(Marshal(m))
+}
+
+// Recv receives and unmarshals the next message.
+func Recv(c Conn) (Message, error) {
+	buf, err := c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	return Unmarshal(buf)
+}

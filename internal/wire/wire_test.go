@@ -1,0 +1,230 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// sampleMessages is one fully-populated instance of every message type.
+func sampleMessages() []Message {
+	ref := FileRef{Domain: "nfs.purdue", FileID: "arthur:/u/comer/heat.f"}
+	return []Message{
+		&Hello{Protocol: ProtocolVersion, User: "comer", Domain: "nfs.purdue", ClientHost: "arthur"},
+		&HelloOK{Session: 42, ServerName: "cyber205"},
+		&Notify{File: ref, Version: 7, Size: 102400, Sum: 0xDEADBEEF},
+		&Pull{File: ref, HaveVersion: 6, WantVersion: 7},
+		&FileDelta{File: ref, BaseVersion: 6, Version: 7, Encoded: []byte{1, 2, 3}, Compressed: true},
+		&FileFull{File: ref, Version: 7, Content: []byte("hello\nworld\n"), Sum: 99, Compressed: false},
+		&FileAck{File: ref, Version: 7},
+		&Submit{
+			Script: []byte("wc heat.f\n"),
+			Inputs: []JobInput{
+				{File: ref, Version: 7, As: "heat.f"},
+				{File: FileRef{Domain: "nfs.purdue", FileID: "arthur:/u/comer/mesh.dat"}, Version: 2, As: "mesh.dat"},
+			},
+			OutputFile:      "run.out",
+			ErrorFile:       "run.err",
+			RouteHost:       "printer-host",
+			WantOutputDelta: true,
+		},
+		&SubmitOK{Job: 1001},
+		&StatusReq{Job: 1001, All: false},
+		&StatusReq{All: true},
+		&StatusReply{Jobs: []JobStatus{
+			{Job: 1001, State: JobRunning, Detail: "running for 3s"},
+			{Job: 1002, State: JobQueued, Detail: ""},
+		}},
+		&Output{Job: 1001, State: JobDone, ExitCode: 0, Mode: OutputFull,
+			Stdout: []byte("120 heat.f\n"), Stderr: nil, Compressed: false},
+		&Output{Job: 1002, State: JobFailed, ExitCode: -1, Mode: OutputDelta,
+			Stdout: []byte{9, 9}, Stderr: []byte("no such command\n"), Compressed: true},
+		&OutputAck{Job: 1001},
+		&OutputFullReq{Job: 1002},
+		&ErrorMsg{Code: CodeUnknownFile, Text: "never heard of it"},
+		&Bye{},
+	}
+}
+
+func TestMarshalRoundTripEveryMessage(t *testing.T) {
+	for _, m := range sampleMessages() {
+		t.Run(m.Kind().String(), func(t *testing.T) {
+			buf := Marshal(m)
+			got, err := Unmarshal(buf)
+			if err != nil {
+				t.Fatalf("Unmarshal: %v", err)
+			}
+			if !reflect.DeepEqual(got, m) {
+				t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", got, m)
+			}
+		})
+	}
+}
+
+func TestUnmarshalRejectsTruncations(t *testing.T) {
+	for _, m := range sampleMessages() {
+		buf := Marshal(m)
+		for cut := 0; cut < len(buf); cut++ {
+			if _, err := Unmarshal(buf[:cut]); err == nil {
+				// Some prefixes happen to decode as a shorter
+				// valid message of the same kind only if all
+				// fields were consumed; trailing-byte checks
+				// make that impossible, so any success is a
+				// bug.
+				t.Fatalf("%s: %d/%d byte prefix decoded", m.Kind(), cut, len(buf))
+			}
+		}
+	}
+}
+
+func TestUnmarshalRejectsTrailing(t *testing.T) {
+	buf := append(Marshal(&Bye{}), 0xFF)
+	if _, err := Unmarshal(buf); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestUnmarshalRejectsUnknownKind(t *testing.T) {
+	if _, err := Unmarshal([]byte{0xEE}); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("err = %v, want ErrBadMessage", err)
+	}
+	if _, err := Unmarshal(nil); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("err = %v, want ErrBadMessage", err)
+	}
+}
+
+func TestUnmarshalNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = Unmarshal(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalFuzzEveryKindPrefix(t *testing.T) {
+	// Force the body decoder of each kind to run against random bodies.
+	f := func(kindSeed uint8, body []byte) bool {
+		kind := byte(kindSeed%16 + 1)
+		_, _ = Unmarshal(append([]byte{kind}, body...))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindNotify.String() != "NOTIFY" {
+		t.Errorf("KindNotify = %q", KindNotify.String())
+	}
+	if Kind(200).String() != "KIND(200)" {
+		t.Errorf("unknown kind = %q", Kind(200).String())
+	}
+}
+
+func TestJobStateHelpers(t *testing.T) {
+	tests := []struct {
+		state    JobState
+		name     string
+		terminal bool
+	}{
+		{JobQueued, "queued", false},
+		{JobFetching, "fetching", false},
+		{JobRunning, "running", false},
+		{JobDone, "done", true},
+		{JobFailed, "failed", true},
+		{JobState(99), "state(99)", false},
+	}
+	for _, tt := range tests {
+		if got := tt.state.String(); got != tt.name {
+			t.Errorf("%d.String() = %q, want %q", tt.state, got, tt.name)
+		}
+		if got := tt.state.Terminal(); got != tt.terminal {
+			t.Errorf("%v.Terminal() = %v, want %v", tt.state, got, tt.terminal)
+		}
+	}
+}
+
+func TestFileRefString(t *testing.T) {
+	ref := FileRef{Domain: "d", FileID: "h:/p"}
+	if ref.String() != "d//h:/p" {
+		t.Errorf("String = %q", ref.String())
+	}
+}
+
+func TestErrorMsgIsError(t *testing.T) {
+	var err error = &ErrorMsg{Code: CodeOverloaded, Text: "busy"}
+	if err.Error() != "shadow server error 6: busy" {
+		t.Errorf("Error() = %q", err.Error())
+	}
+}
+
+func TestStreamConnRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewStreamConn(a), NewStreamConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		msg, err := Recv(cb)
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- Send(cb, msg)
+	}()
+	want := &Notify{File: FileRef{Domain: "d", FileID: "f"}, Version: 3, Size: 10, Sum: 7}
+	if err := Send(ca, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Recv(ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("echo = %#v, want %#v", got, want)
+	}
+}
+
+func TestStreamConnRejectsOversizedSend(t *testing.T) {
+	a, _ := net.Pipe()
+	c := NewStreamConn(a)
+	defer c.Close()
+	if err := c.Send(make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestStreamConnRejectsOversizedRecv(t *testing.T) {
+	a, b := net.Pipe()
+	c := NewStreamConn(b)
+	defer c.Close()
+	go func() {
+		// Header advertising a giant frame.
+		_, _ = a.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	}()
+	if _, err := c.Recv(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestStreamConnEmptyFrame(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewStreamConn(a), NewStreamConn(b)
+	go func() { _ = ca.Send(nil) }()
+	got, err := cb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("Recv = %v, want empty", got)
+	}
+}

@@ -1,0 +1,276 @@
+// Package workload generates the synthetic editing workloads used by the
+// experiments. The paper evaluates with "files of different sizes (ranging
+// from 10K to 500K bytes)" where "the amount of text modified varied from 1%
+// of the text to 80% of the text" between submissions. This package produces
+// deterministic, seedable files of an exact byte size and applies edits that
+// touch a requested percentage of the bytes, mimicking a scientist revising
+// program and data files between runs.
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+)
+
+// Paper parameter space: file sizes and modification percentages used in
+// Figures 1–3.
+var (
+	// FigureSizes are the file sizes plotted in Figures 1 and 2.
+	FigureSizes = []int{100 * 1024, 200 * 1024, 500 * 1024}
+	// TableSizes are the file sizes tabulated in Figure 3.
+	TableSizes = []int{10 * 1024, 50 * 1024, 100 * 1024, 500 * 1024}
+	// SweepPercents are the modification percentages swept in Figures 1–2.
+	SweepPercents = []float64{1, 5, 10, 20, 40, 60, 80}
+	// TablePercents are the modification percentages of Figure 3.
+	TablePercents = []float64{1, 5, 10, 20}
+)
+
+// Generator produces deterministic synthetic files and edits.
+type Generator struct {
+	rng *rand.Rand
+}
+
+// NewGenerator returns a generator seeded for reproducible output.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// words is the vocabulary for synthetic "scientific" text: plausible tokens
+// from a numerical program and its data.
+var words = []string{
+	"velocity", "pressure", "gradient", "tensor", "iterate", "converge",
+	"matrix", "eigenvalue", "boundary", "mesh", "node", "flux", "solver",
+	"residual", "epsilon", "delta", "alpha", "beta", "gamma", "lambda",
+	"0.001", "1.5e-6", "42", "3.14159", "grid(i,j)", "call", "subroutine",
+	"do", "continue", "end", "real*8", "integer", "dimension", "common",
+}
+
+// File generates a text file of exactly size bytes made of newline-terminated
+// lines of space-separated tokens (roughly 40–70 bytes per line, like source
+// code or columned data).
+func (g *Generator) File(size int) []byte {
+	var buf bytes.Buffer
+	buf.Grow(size + 80)
+	ln := 0
+	for buf.Len() < size {
+		ln++
+		fmt.Fprintf(&buf, "%05d", ln)
+		target := 40 + g.rng.Intn(31)
+		for {
+			w := words[g.rng.Intn(len(words))]
+			if buf.Len()+len(w)+2 >= size {
+				break
+			}
+			lineLen := buf.Len() - lineStart(&buf)
+			if lineLen+len(w)+1 > target {
+				break
+			}
+			buf.WriteByte(' ')
+			buf.WriteString(w)
+		}
+		buf.WriteByte('\n')
+	}
+	out := buf.Bytes()
+	if len(out) > size {
+		out = out[:size]
+		// Keep the invariant that the file is newline-terminated so
+		// line-oriented edits behave uniformly.
+		out[size-1] = '\n'
+	}
+	return out
+}
+
+func lineStart(buf *bytes.Buffer) int {
+	b := buf.Bytes()
+	i := bytes.LastIndexByte(b, '\n')
+	return i + 1
+}
+
+// Table generates a columned numeric data file of the given shape: rows
+// lines, each with a row label and cols floating-point values. The shape
+// suits the jobs package's stats/colsum commands and mimics instrument or
+// simulation output.
+func (g *Generator) Table(rows, cols int) []byte {
+	var buf bytes.Buffer
+	for r := 0; r < rows; r++ {
+		fmt.Fprintf(&buf, "r%05d", r)
+		for c := 0; c < cols; c++ {
+			fmt.Fprintf(&buf, " %9.4f", g.rng.Float64()*1000)
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// EditKind selects the mix of edit operations Modify applies.
+type EditKind int
+
+// Edit mixes.
+const (
+	// EditReplace rewrites lines in place (same line count).
+	EditReplace EditKind = iota + 1
+	// EditMixed applies a mix of replacements, insertions and deletions,
+	// the realistic case for an editing session.
+	EditMixed
+	// EditInsert only inserts new lines.
+	EditInsert
+	// EditDelete only deletes lines.
+	EditDelete
+)
+
+// Modify returns an edited copy of content in which approximately percent% of
+// the bytes are affected, emulating one editing session. Edits cluster into
+// contiguous runs (as human edits do) spread across the file. The original is
+// not modified.
+func (g *Generator) Modify(content []byte, percent float64, kind EditKind) []byte {
+	lines := splitLines(content)
+	if len(lines) == 0 || percent <= 0 {
+		return append([]byte(nil), content...)
+	}
+	budget := int(float64(len(content)) * percent / 100)
+	if budget <= 0 {
+		budget = 1
+	}
+
+	out := make([][]byte, len(lines))
+	copy(out, lines)
+	spent := 0
+	guard := 0
+	for spent < budget && guard < 10*len(lines)+100 {
+		guard++
+		// Pick a cluster of 1–8 lines at a random position.
+		runLen := 1 + g.rng.Intn(8)
+		if runLen > len(out) {
+			runLen = len(out)
+		}
+		pos := 0
+		if len(out) > runLen {
+			pos = g.rng.Intn(len(out) - runLen)
+		}
+		op := kind
+		if kind == EditMixed {
+			switch g.rng.Intn(10) {
+			case 0:
+				op = EditDelete
+			case 1, 2:
+				op = EditInsert
+			default:
+				op = EditReplace
+			}
+		}
+		switch op {
+		case EditReplace:
+			for i := pos; i < pos+runLen; i++ {
+				nl := g.editedLine(out[i])
+				spent += len(nl)
+				out[i] = nl
+			}
+		case EditInsert:
+			ins := make([][]byte, runLen)
+			for i := range ins {
+				ins[i] = g.freshLine()
+				spent += len(ins[i])
+			}
+			out = append(out[:pos], append(ins, out[pos:]...)...)
+		case EditDelete:
+			if len(out) <= runLen {
+				continue
+			}
+			for i := pos; i < pos+runLen; i++ {
+				spent += len(out[i])
+			}
+			out = append(out[:pos], out[pos+runLen:]...)
+		}
+	}
+	return join(out)
+}
+
+// editedLine returns a changed version of a line, preserving its rough shape.
+func (g *Generator) editedLine(line []byte) []byte {
+	nl := append([]byte(nil), line...)
+	// Tweak a token region deterministically per call.
+	tag := []byte(fmt.Sprintf("~v%04d", g.rng.Intn(10000)))
+	if len(nl) > len(tag)+1 {
+		copy(nl[len(nl)-1-len(tag):len(nl)-1], tag)
+	} else {
+		nl = append(tag, '\n')
+	}
+	return nl
+}
+
+// freshLine returns a brand-new line.
+func (g *Generator) freshLine() []byte {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "+new%04d", g.rng.Intn(10000))
+	for i, n := 0, 3+g.rng.Intn(5); i < n; i++ {
+		buf.WriteByte(' ')
+		buf.WriteString(words[g.rng.Intn(len(words))])
+	}
+	buf.WriteByte('\n')
+	return buf.Bytes()
+}
+
+// ModifiedFraction reports the fraction of bytes of b that are not part of a
+// longest common subsequence with a — a measure of how much Modify actually
+// changed. It is O(lines²) and intended for tests, not production.
+func ModifiedFraction(a, b []byte) float64 {
+	if len(b) == 0 {
+		return 0
+	}
+	la, lb := splitLines(a), splitLines(b)
+	common := make(map[string]int, len(la))
+	for _, l := range la {
+		common[string(l)]++
+	}
+	matched := 0
+	for _, l := range lb {
+		if common[string(l)] > 0 {
+			common[string(l)]--
+			matched += len(l)
+		}
+	}
+	return 1 - float64(matched)/float64(len(b))
+}
+
+func splitLines(content []byte) [][]byte {
+	if len(content) == 0 {
+		return nil
+	}
+	var lines [][]byte
+	for len(content) > 0 {
+		i := bytes.IndexByte(content, '\n')
+		if i < 0 {
+			lines = append(lines, content)
+			break
+		}
+		lines = append(lines, content[:i+1])
+		content = content[i+1:]
+	}
+	return lines
+}
+
+func join(lines [][]byte) []byte {
+	total := 0
+	for _, l := range lines {
+		total += len(l)
+	}
+	out := make([]byte, 0, total)
+	for _, l := range lines {
+		out = append(out, l...)
+	}
+	return out
+}
+
+// JobScript returns a small job command file exercising the executor over the
+// named data files — the "set of commands" a paper user submits with a job.
+func JobScript(files ...string) []byte {
+	var buf bytes.Buffer
+	for _, f := range files {
+		fmt.Fprintf(&buf, "wc %s\n", f)
+	}
+	if len(files) > 0 {
+		fmt.Fprintf(&buf, "checksum %s\n", files[0])
+	}
+	return buf.Bytes()
+}

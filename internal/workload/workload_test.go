@@ -1,0 +1,214 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"shadowedit/internal/diff"
+	"shadowedit/internal/jobs"
+)
+
+func TestFileExactSize(t *testing.T) {
+	g := NewGenerator(1)
+	for _, size := range []int{1, 10, 100, 1024, 10 * 1024, 100 * 1024} {
+		t.Run(fmt.Sprint(size), func(t *testing.T) {
+			f := g.File(size)
+			if len(f) != size {
+				t.Fatalf("File(%d) returned %d bytes", size, len(f))
+			}
+			if f[len(f)-1] != '\n' {
+				t.Error("file not newline-terminated")
+			}
+		})
+	}
+}
+
+func TestFileDeterministicBySeed(t *testing.T) {
+	a := NewGenerator(42).File(4096)
+	b := NewGenerator(42).File(4096)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different files")
+	}
+	c := NewGenerator(43).File(4096)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical files")
+	}
+}
+
+func TestFileLooksLikeText(t *testing.T) {
+	f := NewGenerator(7).File(8192)
+	lines := bytes.Split(bytes.TrimSuffix(f, []byte("\n")), []byte("\n"))
+	if len(lines) < 50 {
+		t.Fatalf("only %d lines in 8K file", len(lines))
+	}
+	for i, l := range lines {
+		if len(l) > 120 {
+			t.Fatalf("line %d too long: %d bytes", i, len(l))
+		}
+	}
+}
+
+func TestModifyTouchesRoughlyPercent(t *testing.T) {
+	g := NewGenerator(11)
+	base := g.File(100 * 1024)
+	for _, p := range []float64{1, 5, 10, 20, 40, 80} {
+		t.Run(fmt.Sprintf("%g%%", p), func(t *testing.T) {
+			mod := g.Modify(base, p, EditMixed)
+			frac := ModifiedFraction(base, mod) * 100
+			// The target is approximate; allow generous bounds but
+			// require the right order of magnitude.
+			if frac < p/3 || frac > p*3+2 {
+				t.Fatalf("asked for %g%%, measured %.2f%%", p, frac)
+			}
+		})
+	}
+}
+
+func TestModifyPreservesOriginal(t *testing.T) {
+	g := NewGenerator(3)
+	base := g.File(4096)
+	orig := append([]byte(nil), base...)
+	_ = g.Modify(base, 50, EditMixed)
+	if !bytes.Equal(base, orig) {
+		t.Fatal("Modify mutated its input")
+	}
+}
+
+func TestModifyZeroPercentIsCopy(t *testing.T) {
+	g := NewGenerator(4)
+	base := g.File(1024)
+	mod := g.Modify(base, 0, EditMixed)
+	if !bytes.Equal(mod, base) {
+		t.Fatal("Modify(0%) changed content")
+	}
+	mod[0] = 'X'
+	if base[0] == 'X' {
+		t.Fatal("Modify(0%) aliases its input")
+	}
+}
+
+func TestModifyKinds(t *testing.T) {
+	g := NewGenerator(5)
+	base := g.File(16 * 1024)
+	baseLines := bytes.Count(base, []byte("\n"))
+
+	ins := g.Modify(base, 10, EditInsert)
+	if bytes.Count(ins, []byte("\n")) <= baseLines {
+		t.Error("EditInsert did not add lines")
+	}
+	del := g.Modify(base, 10, EditDelete)
+	if bytes.Count(del, []byte("\n")) >= baseLines {
+		t.Error("EditDelete did not remove lines")
+	}
+	rep := g.Modify(base, 10, EditReplace)
+	if bytes.Count(rep, []byte("\n")) != baseLines {
+		t.Error("EditReplace changed the line count")
+	}
+	if len(rep) == len(base) && bytes.Equal(rep, base) {
+		t.Error("EditReplace changed nothing")
+	}
+}
+
+func TestModifyDeltaScalesWithPercent(t *testing.T) {
+	// The premise behind Figure 1: delta size grows with % modified and
+	// stays far below file size for small percentages.
+	g := NewGenerator(6)
+	base := g.File(50 * 1024)
+	var prev int
+	for _, p := range []float64{1, 10, 40} {
+		mod := g.Modify(base, p, EditMixed)
+		d, err := diff.Compute(diff.HuntMcIlroy, base, mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := d.WireSize()
+		if ws <= prev {
+			t.Errorf("delta size did not grow: %d bytes at %g%% (prev %d)", ws, p, prev)
+		}
+		prev = ws
+	}
+	mod := g.Modify(base, 1, EditMixed)
+	d, err := diff.Compute(diff.HuntMcIlroy, base, mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.WireSize() > len(base)/10 {
+		t.Errorf("1%% delta is %d bytes of a %d byte file", d.WireSize(), len(base))
+	}
+}
+
+func TestModifiedFractionBounds(t *testing.T) {
+	g := NewGenerator(8)
+	base := g.File(2048)
+	if f := ModifiedFraction(base, base); f != 0 {
+		t.Errorf("ModifiedFraction(x, x) = %v, want 0", f)
+	}
+	other := NewGenerator(9).File(2048)
+	if f := ModifiedFraction(base, other); f < 0.5 {
+		t.Errorf("ModifiedFraction of unrelated files = %v, want high", f)
+	}
+	if f := ModifiedFraction(base, nil); f != 0 {
+		t.Errorf("ModifiedFraction(x, empty) = %v, want 0", f)
+	}
+}
+
+func TestJobScript(t *testing.T) {
+	s := JobScript("a.dat", "b.dat")
+	want := "wc a.dat\nwc b.dat\nchecksum a.dat\n"
+	if string(s) != want {
+		t.Fatalf("JobScript = %q, want %q", s, want)
+	}
+	if len(JobScript()) != 0 {
+		t.Fatal("JobScript() with no files should be empty")
+	}
+}
+
+func TestPaperParameterSpace(t *testing.T) {
+	if len(FigureSizes) != 3 || FigureSizes[2] != 500*1024 {
+		t.Error("FigureSizes does not match the paper")
+	}
+	if len(TableSizes) != 4 || TableSizes[0] != 10*1024 {
+		t.Error("TableSizes does not match the paper")
+	}
+	if TablePercents[0] != 1 || TablePercents[len(TablePercents)-1] != 20 {
+		t.Error("TablePercents does not match the paper")
+	}
+}
+
+func TestTableShape(t *testing.T) {
+	g := NewGenerator(12)
+	table := g.Table(50, 3)
+	lines := bytes.Split(bytes.TrimSuffix(table, []byte("\n")), []byte("\n"))
+	if len(lines) != 50 {
+		t.Fatalf("rows = %d, want 50", len(lines))
+	}
+	for i, l := range lines {
+		fields := bytes.Fields(l)
+		if len(fields) != 4 { // label + 3 columns
+			t.Fatalf("row %d has %d fields: %q", i, len(fields), l)
+		}
+	}
+	// Deterministic per seed.
+	if !bytes.Equal(NewGenerator(12).Table(50, 3), table) {
+		t.Fatal("Table not deterministic")
+	}
+}
+
+func TestTableFeedsStatsCommands(t *testing.T) {
+	g := NewGenerator(13)
+	table := g.Table(20, 2)
+	res := jobsExecute(t, "stats t.dat\ncolsum 2 t.dat\n", map[string][]byte{"t.dat": table})
+	if res.ExitCode != 0 {
+		t.Fatalf("stats over table failed: %s", res.Stderr)
+	}
+	if !bytes.Contains(res.Stdout, []byte("n=40")) { // 20 rows x 2 numeric cols
+		t.Fatalf("stats output: %s", res.Stdout)
+	}
+}
+
+// jobsExecute runs a script through the batch executor.
+func jobsExecute(t *testing.T, script string, inputs map[string][]byte) jobs.Result {
+	t.Helper()
+	return jobs.Execute(jobs.Request{Script: []byte(script), Inputs: inputs})
+}

@@ -1,0 +1,1375 @@
+package shadow
+
+import (
+	"math/rand"
+	"sync"
+
+	"bytes"
+	"fmt"
+	"shadowedit/internal/naming"
+	"strings"
+	"testing"
+	"time"
+
+	"shadowedit/internal/jobs"
+	"shadowedit/internal/wire"
+	"shadowedit/internal/workload"
+)
+
+// newTestCluster builds a LAN cluster with one workstation, failing the test
+// on error.
+func newTestCluster(t *testing.T, cfg ClusterConfig) (*Cluster, *Workstation) {
+	t.Helper()
+	if cfg.Link.BitsPerSecond == 0 {
+		cfg.Link = LAN
+	}
+	cluster, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	return cluster, cluster.NewWorkstation("ws1")
+}
+
+func connect(t *testing.T, ws *Workstation, user string) *Client {
+	t.Helper()
+	c, err := ws.Connect(user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func write(t *testing.T, ws *Workstation, path string, content []byte) {
+	t.Helper()
+	if err := ws.WriteFile(path, content); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndToEndSubmitAndWait(t *testing.T) {
+	_, ws := newTestCluster(t, ClusterConfig{})
+	c := connect(t, ws, "comer")
+
+	data := []byte("gamma\nalpha\nbeta\n")
+	write(t, ws, "/u/comer/data.txt", data)
+	write(t, ws, "/u/comer/run.job", []byte("sort data.txt\nwc data.txt\n"))
+
+	job, err := c.Submit("/u/comer/run.job", []string{"/u/comer/data.txt"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.Wait(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != wire.JobDone || rec.ExitCode != 0 {
+		t.Fatalf("job record = %+v", rec)
+	}
+	// Remote output must equal a local run over the same inputs.
+	local := jobs.Execute(jobs.Request{
+		Script: []byte("sort data.txt\nwc data.txt\n"),
+		Inputs: map[string][]byte{"data.txt": data},
+	})
+	if !bytes.Equal(rec.Stdout, local.Stdout) {
+		t.Fatalf("remote stdout %q != local %q", rec.Stdout, local.Stdout)
+	}
+	// Results are stored in the default output file.
+	out, err := ws.ReadFile("/home/comer/job-" + fmt.Sprint(job) + ".out")
+	if err != nil {
+		t.Fatalf("output file: %v", err)
+	}
+	if !bytes.Equal(out, local.Stdout) {
+		t.Fatal("stored output file differs from delivered stdout")
+	}
+}
+
+func TestEditResubmitUsesDeltas(t *testing.T) {
+	// The paper's core scenario: second submission of a slightly edited
+	// file must move delta bytes, not the whole file.
+	_, ws := newTestCluster(t, ClusterConfig{})
+	c := connect(t, ws, "comer")
+
+	gen := workload.NewGenerator(1)
+	content := gen.File(100 * 1024)
+	write(t, ws, "/u/comer/heat.f", content)
+	write(t, ws, "/u/comer/run.job", []byte("wc heat.f\n"))
+
+	job1, err := c.Submit("/u/comer/run.job", []string{"/u/comer/heat.f"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(job1); err != nil {
+		t.Fatal(err)
+	}
+	m1 := c.Metrics()
+	if m1.FullBytes < int64(len(content)) {
+		t.Fatalf("first submission moved %d full bytes, want >= %d", m1.FullBytes, len(content))
+	}
+
+	// Edit 1% and resubmit.
+	edited := gen.Modify(content, 1, workload.EditMixed)
+	write(t, ws, "/u/comer/heat.f", edited)
+	job2, err := c.Submit("/u/comer/run.job", []string{"/u/comer/heat.f"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.Wait(job2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := c.Metrics()
+	deltaMoved := m2.DeltaBytes - m1.DeltaBytes
+	fullMoved := m2.FullBytes - m1.FullBytes
+	if fullMoved != 0 {
+		t.Fatalf("resubmission moved %d full bytes, want 0 (delta expected)", fullMoved)
+	}
+	if deltaMoved <= 0 || deltaMoved > int64(len(content))/5 {
+		t.Fatalf("resubmission delta bytes = %d, want small and positive", deltaMoved)
+	}
+	// And the job must have seen the *edited* content.
+	local := jobs.Execute(jobs.Request{
+		Script: []byte("wc heat.f\n"),
+		Inputs: map[string][]byte{"heat.f": edited},
+	})
+	if !bytes.Equal(rec.Stdout, local.Stdout) {
+		t.Fatalf("remote ran stale content:\nremote %q\nlocal  %q", rec.Stdout, local.Stdout)
+	}
+}
+
+func TestShadowEditorCycle(t *testing.T) {
+	_, ws := newTestCluster(t, ClusterConfig{})
+	c := connect(t, ws, "griffioen")
+	sed := ws.NewShadowEditor(c)
+
+	// First session creates the file.
+	if _, _, err := sed.Edit("/u/g/model.dat", EditorFunc(func(b []byte) ([]byte, error) {
+		return []byte("x=1\ny=2\n"), nil
+	})); err != nil {
+		t.Fatal(err)
+	}
+	// Second session appends; postprocessor notifies automatically.
+	_, v2, err := sed.Edit("/u/g/model.dat", EditorFunc(func(b []byte) ([]byte, error) {
+		return append(b, []byte("z=3\n")...), nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != 2 {
+		t.Fatalf("second edit produced version %d, want 2", v2)
+	}
+
+	write(t, ws, "/u/g/run.job", []byte("cat model.dat\n"))
+	job, err := c.Submit("/u/g/run.job", []string{"/u/g/model.dat"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.Wait(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec.Stdout) != "x=1\ny=2\nz=3\n" {
+		t.Fatalf("stdout = %q", rec.Stdout)
+	}
+}
+
+func TestStatusLifecycle(t *testing.T) {
+	_, ws := newTestCluster(t, ClusterConfig{})
+	c := connect(t, ws, "u")
+
+	write(t, ws, "/f.dat", []byte("hello\n"))
+	write(t, ws, "/run.job", []byte("wc f.dat\n"))
+	job, err := c.Submit("/run.job", []string{"/f.dat"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(job); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Status(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != wire.JobDone {
+		t.Fatalf("status = %+v, want done", st)
+	}
+	all, err := c.StatusAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 || all[0].Job != job {
+		t.Fatalf("StatusAll = %+v", all)
+	}
+	// Unknown job is a clean error.
+	if _, err := c.Status(9999); err == nil {
+		t.Fatal("Status(9999) succeeded")
+	}
+}
+
+func TestSubmitErrors(t *testing.T) {
+	_, ws := newTestCluster(t, ClusterConfig{})
+	c := connect(t, ws, "u")
+	write(t, ws, "/data", []byte("x\n"))
+	write(t, ws, "/bad.job", []byte("frobnicate data\n"))
+	write(t, ws, "/missing.job", []byte("wc data\nwc other\n"))
+	write(t, ws, "/good.job", []byte("wc data\n"))
+
+	if _, err := c.Submit("/bad.job", []string{"/data"}, SubmitOptions{}); err == nil {
+		t.Fatal("submit with unknown command succeeded")
+	}
+	if _, err := c.Submit("/missing.job", []string{"/data"}, SubmitOptions{}); err == nil {
+		t.Fatal("submit missing a referenced file succeeded")
+	}
+	if _, err := c.Submit("/ghost.job", []string{"/data"}, SubmitOptions{}); err == nil {
+		t.Fatal("submit with nonexistent script succeeded")
+	}
+	// The session survives all three failures.
+	job, err := c.Submit("/good.job", []string{"/data"}, SubmitOptions{})
+	if err != nil {
+		t.Fatalf("good submit after errors: %v", err)
+	}
+	if _, err := c.Wait(job); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJobWithCommandFailures(t *testing.T) {
+	_, ws := newTestCluster(t, ClusterConfig{})
+	c := connect(t, ws, "u")
+	write(t, ws, "/d", []byte("x\n"))
+	// grep of a file that was submitted but pattern fails? Use a job
+	// whose command fails at runtime: head with a bad count.
+	write(t, ws, "/run.job", []byte("head -x d\nwc d\n"))
+	if _, err := c.Submit("/run.job", []string{"/d"}, SubmitOptions{}); err != nil {
+		// head -x parses as flag "-x": runtime error. Either rejection
+		// at parse or runtime failure is acceptable; if rejected we
+		// are done.
+		return
+	}
+}
+
+func TestJobRuntimeErrorReported(t *testing.T) {
+	_, ws := newTestCluster(t, ClusterConfig{})
+	c := connect(t, ws, "u")
+	write(t, ws, "/d", []byte("b\na\n"))
+	// expand with an absurd factor fails at runtime.
+	write(t, ws, "/run.job", []byte("expand 999999999 d\nsort d\n"))
+	job, err := c.Submit("/run.job", []string{"/d"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.Wait(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.ExitCode == 0 {
+		t.Fatal("failing command reported exit 0")
+	}
+	if len(rec.Stderr) == 0 {
+		t.Fatal("no stderr for failing command")
+	}
+	if string(rec.Stdout) != "a\nb\n" {
+		t.Fatalf("later commands did not run: stdout = %q", rec.Stdout)
+	}
+	// Error file stored.
+	if _, err := ws.ReadFile(fmt.Sprintf("/home/u/job-%d.err", job)); err != nil {
+		t.Fatalf("error file: %v", err)
+	}
+}
+
+func TestCacheEvictionFallsBackToFull(t *testing.T) {
+	cluster, ws := newTestCluster(t, ClusterConfig{})
+	c := connect(t, ws, "u")
+
+	gen := workload.NewGenerator(2)
+	content := gen.File(50 * 1024)
+	write(t, ws, "/big.dat", content)
+	write(t, ws, "/run.job", []byte("wc big.dat\n"))
+
+	job1, err := c.Submit("/run.job", []string{"/big.dat"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(job1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Disaster strikes: the remote machine ran out of disk space and
+	// removed the cached copy (§5.1).
+	cluster.Server().Cache().Flush()
+
+	edited := gen.Modify(content, 2, workload.EditMixed)
+	write(t, ws, "/big.dat", edited)
+	before := c.Metrics()
+	job2, err := c.Submit("/run.job", []string{"/big.dat"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.Wait(job2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := c.Metrics()
+	if after.FullBytes-before.FullBytes < int64(len(edited)) {
+		t.Fatal("eviction did not trigger a full retransmission")
+	}
+	local := jobs.Execute(jobs.Request{Script: []byte("wc big.dat\n"), Inputs: map[string][]byte{"big.dat": edited}})
+	if !bytes.Equal(rec.Stdout, local.Stdout) {
+		t.Fatal("output wrong after eviction fallback")
+	}
+}
+
+func TestMultipleClientsOneServer(t *testing.T) {
+	// "Multiple clients can have connections open to a server
+	// simultaneously" (§6.1).
+	cluster, _ := newTestCluster(t, ClusterConfig{})
+	const users = 4
+	type result struct {
+		user string
+		rec  JobRecord
+		err  error
+	}
+	results := make(chan result, users)
+	for i := 0; i < users; i++ {
+		ws := cluster.NewWorkstation(fmt.Sprintf("ws-extra-%d", i))
+		user := fmt.Sprintf("user%d", i)
+		go func(ws *Workstation, user string, i int) {
+			var res result
+			res.user = user
+			defer func() { results <- res }()
+			c, err := ws.Connect(user)
+			if err != nil {
+				res.err = err
+				return
+			}
+			defer c.Close()
+			data := []byte(fmt.Sprintf("payload of %s\nrow two\n", user))
+			if err := ws.WriteFile("/data.txt", data); err != nil {
+				res.err = err
+				return
+			}
+			if err := ws.WriteFile("/run.job", []byte("cat data.txt\n")); err != nil {
+				res.err = err
+				return
+			}
+			job, err := c.Submit("/run.job", []string{"/data.txt"}, SubmitOptions{})
+			if err != nil {
+				res.err = err
+				return
+			}
+			res.rec, res.err = c.Wait(job)
+		}(ws, user, i)
+	}
+	for i := 0; i < users; i++ {
+		res := <-results
+		if res.err != nil {
+			t.Fatalf("%s: %v", res.user, res.err)
+		}
+		if !strings.Contains(string(res.rec.Stdout), res.user) {
+			t.Fatalf("%s got someone else's output: %q", res.user, res.rec.Stdout)
+		}
+	}
+}
+
+func TestNFSAliasesShareOneCacheEntry(t *testing.T) {
+	// Two workstations mount the same exported file system; the same
+	// file submitted from both must cache once (§6.5).
+	cluster, _ := newTestCluster(t, ClusterConfig{})
+	fileServer := cluster.NewWorkstation("filesrv")
+	wsA := cluster.NewWorkstation("wsa")
+	wsB := cluster.NewWorkstation("wsb")
+	wsA.FS().Mount("/proj1", "filesrv", "/usr")
+	wsB.FS().Mount("/others", "filesrv", "/usr")
+
+	if err := fileServer.WriteFile("/usr/shared.dat", []byte("shared content\n")); err != nil {
+		t.Fatal(err)
+	}
+	write(t, wsA, "/run.job", []byte("wc shared.dat\n"))
+	write(t, wsB, "/run.job", []byte("wc shared.dat\n"))
+
+	ca := connect(t, wsA, "alice")
+	cb := connect(t, wsB, "bob")
+
+	ja, err := ca.Submit("/run.job", []string{"/proj1/shared.dat"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ca.Wait(ja); err != nil {
+		t.Fatal(err)
+	}
+	jb, err := cb.Submit("/run.job", []string{"/others/shared.dat"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cb.Wait(jb); err != nil {
+		t.Fatal(err)
+	}
+	// One shadow file, not two: both names resolved to filesrv:/usr/shared.dat.
+	if n := cluster.Server().Directory().Len(); n != 1 {
+		t.Fatalf("directory has %d entries, want 1 (aliases must share)", n)
+	}
+}
+
+func TestOutputRoutingToAnotherHost(t *testing.T) {
+	// §8.3: "routing the output to different hosts", e.g. one with a
+	// high-speed printer.
+	cluster, ws := newTestCluster(t, ClusterConfig{})
+	printerWS := cluster.NewWorkstation("printer-host")
+	printerClient := connect(t, printerWS, "operator")
+	c := connect(t, ws, "u")
+
+	write(t, ws, "/d", []byte("route me\n"))
+	write(t, ws, "/run.job", []byte("cat d\n"))
+	job, err := c.Submit("/run.job", []string{"/d"}, SubmitOptions{RouteHost: "printer-host"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The *printer host's* client receives the output.
+	rec, err := printerClient.Wait(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec.Stdout) != "route me\n" {
+		t.Fatalf("routed stdout = %q", rec.Stdout)
+	}
+	if _, err := printerWS.ReadFile(fmt.Sprintf("/home/operator/routed-job-%d.out", job)); err != nil {
+		t.Fatalf("routed output file: %v", err)
+	}
+}
+
+func TestReverseShadowOutputDelta(t *testing.T) {
+	// §8.3 reverse shadow processing: repeated runs of a job with large,
+	// slowly changing output ship output deltas.
+	_, ws := newTestCluster(t, ClusterConfig{})
+	environment := DefaultEnvironment("u")
+	environment.WantOutputDelta = true
+	c, err := ws.ConnectEnv(environment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	gen := workload.NewGenerator(3)
+	content := gen.File(40 * 1024)
+	write(t, ws, "/sim.dat", content)
+	write(t, ws, "/run.job", []byte("expand 4 sim.dat\n"))
+
+	job1, err := c.Submit("/run.job", []string{"/sim.dat"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec1, err := c.Wait(job1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := c.Metrics()
+
+	// Tiny edit; the expanded output changes proportionally little.
+	edited := gen.Modify(content, 1, workload.EditReplace)
+	write(t, ws, "/sim.dat", edited)
+	job2, err := c.Submit("/run.job", []string{"/sim.dat"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2, err := c.Wait(job2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := c.Metrics()
+
+	outBytes := m2.OutputBytes - m1.OutputBytes
+	if outBytes >= int64(len(rec2.Stdout))/2 {
+		t.Fatalf("second run moved %d output bytes for %d bytes of output; delta expected",
+			outBytes, len(rec2.Stdout))
+	}
+	// Delivered output must still be exact.
+	local := jobs.Execute(jobs.Request{Script: []byte("expand 4 sim.dat\n"), Inputs: map[string][]byte{"sim.dat": edited}})
+	if !bytes.Equal(rec2.Stdout, local.Stdout) {
+		t.Fatal("reverse-shadowed output reconstruction wrong")
+	}
+	if bytes.Equal(rec1.Stdout, rec2.Stdout) {
+		t.Fatal("test is vacuous: outputs identical")
+	}
+}
+
+func TestCompressionReducesTraffic(t *testing.T) {
+	_, ws := newTestCluster(t, ClusterConfig{})
+	environment := DefaultEnvironment("u")
+	environment.Compress = true
+	c, err := ws.ConnectEnv(environment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	content := bytes.Repeat([]byte("highly repetitive scientific data row\n"), 2000)
+	write(t, ws, "/z.dat", content)
+	write(t, ws, "/run.job", []byte("wc z.dat\n"))
+	job, err := c.Submit("/run.job", []string{"/z.dat"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.Wait(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.Metrics()
+	if m.FullBytes >= int64(len(content))/2 {
+		t.Fatalf("compressed first transfer moved %d bytes of %d", m.FullBytes, len(content))
+	}
+	local := jobs.Execute(jobs.Request{Script: []byte("wc z.dat\n"), Inputs: map[string][]byte{"z.dat": content}})
+	if !bytes.Equal(rec.Stdout, local.Stdout) {
+		t.Fatal("output wrong with compression on")
+	}
+}
+
+func TestRJEBaselineAlwaysFull(t *testing.T) {
+	_, ws := newTestCluster(t, ClusterConfig{})
+	rc, err := ws.ConnectRJE("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	gen := workload.NewGenerator(4)
+	content := gen.File(30 * 1024)
+	write(t, ws, "/base.dat", content)
+	write(t, ws, "/run.job", []byte("wc base.dat\n"))
+
+	var expected int64
+	for round := 1; round <= 3; round++ {
+		expected += int64(len(content))
+		job, err := rc.Submit("/run.job", []string{"/base.dat"})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		res, err := rc.Wait(job)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if res.ExitCode != 0 {
+			t.Fatalf("round %d: exit %d, stderr %q", round, res.ExitCode, res.Stderr)
+		}
+		// Edit slightly for the next round.
+		content = gen.Modify(content, 2, workload.EditMixed)
+		write(t, ws, "/base.dat", content)
+	}
+	m := rc.Metrics()
+	if m.FullBytes < expected {
+		t.Fatalf("baseline moved %d full bytes over 3 rounds, want >= %d (no deltas ever)",
+			m.FullBytes, expected)
+	}
+	if m.DeltaBytes != 0 {
+		t.Fatal("baseline moved delta bytes")
+	}
+}
+
+func TestVirtualTimeShadowBeatsBaseline(t *testing.T) {
+	// The headline claim, in miniature: on a slow link, the second
+	// submission is far faster with shadow editing.
+	runCycle := func(shadowMode bool) time.Duration {
+		cluster, err := NewCluster(ClusterConfig{Link: Cypress})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cluster.Close()
+		ws := cluster.NewWorkstation("ws")
+		gen := workload.NewGenerator(5)
+		content := gen.File(50 * 1024)
+		if err := ws.WriteFile("/f.dat", content); err != nil {
+			t.Fatal(err)
+		}
+		if err := ws.WriteFile("/run.job", []byte("checksum f.dat\n")); err != nil {
+			t.Fatal(err)
+		}
+
+		if shadowMode {
+			c, err := ws.Connect("u")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			j1, err := c.Submit("/run.job", []string{"/f.dat"}, SubmitOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Wait(j1); err != nil {
+				t.Fatal(err)
+			}
+			edited := gen.Modify(content, 1, workload.EditMixed)
+			if err := ws.WriteFile("/f.dat", edited); err != nil {
+				t.Fatal(err)
+			}
+			start := ws.Host().Now()
+			j2, err := c.Submit("/run.job", []string{"/f.dat"}, SubmitOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Wait(j2); err != nil {
+				t.Fatal(err)
+			}
+			return ws.Host().Now() - start
+		}
+		rc, err := ws.ConnectRJE("u")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rc.Close()
+		j1, err := rc.Submit("/run.job", []string{"/f.dat"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rc.Wait(j1); err != nil {
+			t.Fatal(err)
+		}
+		edited := gen.Modify(content, 1, workload.EditMixed)
+		if err := ws.WriteFile("/f.dat", edited); err != nil {
+			t.Fatal(err)
+		}
+		start := ws.Host().Now()
+		j2, err := rc.Submit("/run.job", []string{"/f.dat"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rc.Wait(j2); err != nil {
+			t.Fatal(err)
+		}
+		return ws.Host().Now() - start
+	}
+
+	shadowTime := runCycle(true)
+	batchTime := runCycle(false)
+	speedup := float64(batchTime) / float64(shadowTime)
+	t.Logf("50K file, 1%% modified, Cypress: shadow %v vs batch %v (%.1fx)", shadowTime, batchTime, speedup)
+	if speedup < 4 {
+		t.Fatalf("speedup = %.2f, want >= 4 (paper reports 4-25x)", speedup)
+	}
+}
+
+func TestClientCloseThenUseFails(t *testing.T) {
+	_, ws := newTestCluster(t, ClusterConfig{})
+	c := connect(t, ws, "u")
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.StatusAll(); err == nil {
+		t.Fatal("StatusAll after Close succeeded")
+	}
+}
+
+func TestServerCloseDisconnectsClients(t *testing.T) {
+	cluster, ws := newTestCluster(t, ClusterConfig{})
+	c := connect(t, ws, "u")
+	cluster.Close()
+	if _, err := c.StatusAll(); err == nil {
+		t.Fatal("StatusAll after server close succeeded")
+	}
+}
+
+func TestUnchangedFileResubmissionMovesAlmostNothing(t *testing.T) {
+	_, ws := newTestCluster(t, ClusterConfig{})
+	c := connect(t, ws, "u")
+	content := workload.NewGenerator(6).File(64 * 1024)
+	write(t, ws, "/f", content)
+	write(t, ws, "/run.job", []byte("wc f\n"))
+
+	j1, err := c.Submit("/run.job", []string{"/f"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(j1); err != nil {
+		t.Fatal(err)
+	}
+	m1 := c.Metrics()
+	// Submit again without editing: no file bytes should move at all.
+	j2, err := c.Submit("/run.job", []string{"/f"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(j2); err != nil {
+		t.Fatal(err)
+	}
+	m2 := c.Metrics()
+	if m2.FullBytes != m1.FullBytes || m2.DeltaBytes != m1.DeltaBytes {
+		t.Fatalf("unchanged resubmission moved file bytes: %+v -> %+v", m1, m2)
+	}
+}
+
+func TestMultipleServersOneClient(t *testing.T) {
+	// "a client can have simultaneous connections to multiple servers"
+	// (§6.1): the same workstation submits to two supercomputers.
+	cluster, ws := newTestCluster(t, ClusterConfig{})
+	if _, err := cluster.AddServer("cray2", DefaultServerConfig("cray2")); err != nil {
+		t.Fatal(err)
+	}
+
+	envA := DefaultEnvironment("u")
+	cA, err := ws.ConnectTo("super", envA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cA.Close()
+	envB := DefaultEnvironment("u")
+	envB.DefaultHost = "cray2"
+	cB, err := ws.ConnectTo("", envB) // environment's default host wins
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cB.Close()
+	if cB.ServerName() != "cray2" {
+		t.Fatalf("connected to %q, want cray2", cB.ServerName())
+	}
+
+	write(t, ws, "/d.dat", []byte("two servers\n"))
+	write(t, ws, "/run.job", []byte("cat d.dat\n"))
+
+	jobA, err := cA.Submit("/run.job", []string{"/d.dat"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobB, err := cB.Submit("/run.job", []string{"/d.dat"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recA, err := cA.Wait(jobA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recB, err := cB.Wait(jobB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(recA.Stdout) != "two servers\n" || string(recB.Stdout) != "two servers\n" {
+		t.Fatalf("outputs: %q / %q", recA.Stdout, recB.Stdout)
+	}
+	// Each server cached its own shadow copy independently.
+	if cluster.Server().Directory().Len() != 1 || cluster.ServerNamed("cray2").Directory().Len() != 1 {
+		t.Fatal("each server should have interned the file once")
+	}
+	// The client's job database tracks jobs per server.
+	if len(cA.Jobs().List()) != 1 || len(cB.Jobs().List()) != 1 {
+		t.Fatal("job databases confused across servers")
+	}
+}
+
+func TestAddServerDuplicateRejected(t *testing.T) {
+	cluster, _ := newTestCluster(t, ClusterConfig{})
+	if _, err := cluster.AddServer("super", DefaultServerConfig("super")); err == nil {
+		t.Fatal("duplicate AddServer succeeded")
+	}
+}
+
+func TestTildeNamingSurvivesTreeMigration(t *testing.T) {
+	// §5.3 Tilde naming: a tilde tree migrates between hosts "without
+	// altering the user's view". Because the protocol file id derives
+	// from the tree's absolute name, the server's shadow cache remains
+	// valid across the migration — the post-migration resubmission still
+	// travels as a delta.
+	cluster, ws := newTestCluster(t, ClusterConfig{})
+	// A second workstation holds the tree after migration.
+	ws2 := cluster.NewWorkstation("ws2")
+	_ = ws2
+
+	cluster.Universe.DefineTree("proj.heat", "ws1", "/export/heat")
+	tilde := cluster.Universe.NewTildeSpace()
+	tilde.Bind("~heat", "proj.heat")
+
+	environment := DefaultEnvironment("u")
+	c, err := ws.ConnectSession(SessionConfig{Env: environment, Tilde: tilde})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	gen := workload.NewGenerator(21)
+	content := gen.File(60 * 1024)
+	if err := tilde.WriteFile("~heat/sim.dat", content); err != nil {
+		t.Fatal(err)
+	}
+	write(t, ws, "/run.job", []byte("wc sim.dat\n"))
+
+	job1, err := c.Submit("/run.job", []string{"~heat/sim.dat"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(job1); err != nil {
+		t.Fatal(err)
+	}
+	m1 := c.Metrics()
+
+	// Migrate the tree to ws2 (content moves with it), then edit 2%.
+	edited := gen.Modify(content, 2, workload.EditMixed)
+	if err := ws2.WriteFile("/disk/heat/sim.dat", edited); err != nil {
+		t.Fatal(err)
+	}
+	cluster.Universe.DefineTree("proj.heat", "ws2", "/disk/heat")
+
+	job2, err := c.Submit("/run.job", []string{"~heat/sim.dat"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.Wait(job2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := c.Metrics()
+	if m2.FullBytes != m1.FullBytes {
+		t.Fatalf("migration forced a full retransmission (%d -> %d full bytes); the tilde file id should have kept the cache valid",
+			m1.FullBytes, m2.FullBytes)
+	}
+	if m2.DeltaBytes <= m1.DeltaBytes {
+		t.Fatal("no delta moved for the post-migration edit")
+	}
+	local := jobs.Execute(jobs.Request{Script: []byte("wc sim.dat\n"), Inputs: map[string][]byte{"sim.dat": edited}})
+	if !bytes.Equal(rec.Stdout, local.Stdout) {
+		t.Fatalf("post-migration output wrong: %q vs %q", rec.Stdout, local.Stdout)
+	}
+}
+
+func TestTildeWithoutSpaceConfigured(t *testing.T) {
+	_, ws := newTestCluster(t, ClusterConfig{})
+	c := connect(t, ws, "u")
+	write(t, ws, "/run.job", []byte("wc x\n"))
+	if _, err := c.Submit("/run.job", []string{"~tree/x"}, SubmitOptions{}); err == nil {
+		t.Fatal("tilde path accepted without a tilde space")
+	}
+}
+
+func TestModelBasedRandomOperations(t *testing.T) {
+	// Model-based property test of the whole system: a random stream of
+	// edits, submissions, evictions and cache flushes. After every
+	// submission the job's remote output must equal a local execution
+	// over the files' current contents — regardless of how the cache was
+	// sabotaged in between. This exercises delta transfer, full
+	// fallback, duplicate pulls and pruning against one oracle.
+	cluster, ws := newTestCluster(t, ClusterConfig{})
+	c := connect(t, ws, "u")
+	rng := rand.New(rand.NewSource(2024))
+	gen := workload.NewGenerator(2024)
+
+	files := []string{"/a.dat", "/b.dat", "/c.dat"}
+	contents := make(map[string][]byte, len(files))
+	for _, f := range files {
+		contents[f] = gen.File(4*1024 + rng.Intn(8*1024))
+		write(t, ws, f, contents[f])
+	}
+
+	for op := 0; op < 120; op++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // edit a file
+			f := files[rng.Intn(len(files))]
+			percent := []float64{0.5, 2, 10, 50}[rng.Intn(4)]
+			kind := []workload.EditKind{workload.EditMixed, workload.EditReplace, workload.EditInsert, workload.EditDelete}[rng.Intn(4)]
+			contents[f] = gen.Modify(contents[f], percent, kind)
+			write(t, ws, f, contents[f])
+		case 4: // evict one cached entry by force
+			cache := cluster.Server().Cache()
+			st := cache.Stats()
+			if st.Entries > 0 {
+				// Evict ids 1..N blindly; misses are harmless.
+				cache.Evict(naming.ShadowID(rng.Intn(4) + 1))
+			}
+		case 5: // total cache loss
+			if rng.Intn(3) == 0 {
+				cluster.Server().Cache().Flush()
+			}
+		default: // submit over a random non-empty subset and verify
+			k := rng.Intn(len(files)) + 1
+			perm := rng.Perm(len(files))[:k]
+			var paths []string
+			var script bytes.Buffer
+			inputs := make(map[string][]byte, k)
+			for _, idx := range perm {
+				f := files[idx]
+				paths = append(paths, f)
+				base := strings.TrimPrefix(f, "/")
+				fmt.Fprintf(&script, "checksum %s\nwc %s\n", base, base)
+				inputs[base] = contents[f]
+			}
+			write(t, ws, "/model.job", script.Bytes())
+			job, err := c.Submit("/model.job", paths, SubmitOptions{})
+			if err != nil {
+				t.Fatalf("op %d: submit: %v", op, err)
+			}
+			rec, err := c.Wait(job)
+			if err != nil {
+				t.Fatalf("op %d: wait: %v", op, err)
+			}
+			local := jobs.Execute(jobs.Request{Script: script.Bytes(), Inputs: inputs})
+			if !bytes.Equal(rec.Stdout, local.Stdout) || rec.ExitCode != local.ExitCode {
+				t.Fatalf("op %d: remote/local divergence\nremote: %q (exit %d)\nlocal:  %q (exit %d)",
+					op, rec.Stdout, rec.ExitCode, local.Stdout, local.ExitCode)
+			}
+		}
+	}
+	// Sanity: the system really did mix transfer modes under this churn.
+	m := c.Metrics()
+	if m.DeltaSends == 0 || m.FullSends < 2 {
+		t.Fatalf("model test did not exercise both paths: %+v", m)
+	}
+}
+
+func TestConnectionDropMidCycle(t *testing.T) {
+	// Failure injection: the server vanishes between submit and wait.
+	cluster, ws := newTestCluster(t, ClusterConfig{})
+	c := connect(t, ws, "u")
+	write(t, ws, "/d", []byte("x\n"))
+	write(t, ws, "/slow.job", []byte("stall 300ms\nwc d\n"))
+	job, err := c.Submit("/slow.job", []string{"/d"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Close() // pulls the plug while the job runs
+	if _, err := c.Wait(job); err == nil {
+		t.Fatal("Wait succeeded after server death")
+	}
+	// The client reports the failure on subsequent calls too.
+	if _, err := c.StatusAll(); err == nil {
+		t.Fatal("StatusAll succeeded after server death")
+	}
+}
+
+func TestReconnectAfterServerRestartRetransmitsFull(t *testing.T) {
+	// A server restart empties its cache (it is best-effort storage, not
+	// a database). A reconnecting client's resubmission transfers full
+	// content again and everything proceeds.
+	cluster, ws := newTestCluster(t, ClusterConfig{})
+	c := connect(t, ws, "u")
+	gen := workload.NewGenerator(31)
+	content := gen.File(20 * 1024)
+	write(t, ws, "/f", content)
+	write(t, ws, "/run.job", []byte("wc f\n"))
+	job, err := c.Submit("/run.job", []string{"/f"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(job); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Close()
+
+	// "Restart": flush all server state that a process restart would lose.
+	cluster.Server().Cache().Flush()
+
+	c2 := connect(t, ws, "u")
+	edited := gen.Modify(content, 1, workload.EditMixed)
+	write(t, ws, "/f", edited)
+	job2, err := c2.Submit("/run.job", []string{"/f"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c2.Wait(job2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.ExitCode != 0 {
+		t.Fatalf("job failed after restart: %+v", rec)
+	}
+	if m := c2.Metrics(); m.FullBytes < int64(len(edited)) {
+		t.Fatalf("expected full retransmission after restart, moved %d full bytes", m.FullBytes)
+	}
+}
+
+func TestClientRestartWithSavedStoreKeepsDeltas(t *testing.T) {
+	// The paper's client keeps old versions in the shadow environment so
+	// they survive between sessions. A restarting client that restores
+	// its version store can still answer the server's pulls with deltas
+	// — no full retransmission even though the process came back fresh.
+	_, ws := newTestCluster(t, ClusterConfig{})
+	c := connect(t, ws, "u")
+
+	gen := workload.NewGenerator(51)
+	content := gen.File(40 * 1024)
+	write(t, ws, "/f", content)
+	write(t, ws, "/run.job", []byte("wc f\n"))
+	job, err := c.Submit("/run.job", []string{"/f"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(job); err != nil {
+		t.Fatal(err)
+	}
+
+	// Persist the shadow environment's version store, then "restart".
+	var saved bytes.Buffer
+	if err := c.Store().Save(&saved); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := LoadVersionStore(&saved, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ws.ConnectSession(SessionConfig{Env: DefaultEnvironment("u"), Store: restored})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	edited := gen.Modify(content, 2, workload.EditMixed)
+	write(t, ws, "/f", edited)
+	job2, err := c2.Submit("/run.job", []string{"/f"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Wait(job2); err != nil {
+		t.Fatal(err)
+	}
+	m := c2.Metrics()
+	if m.FullBytes != 0 {
+		t.Fatalf("restarted client moved %d full bytes; restored store should have enabled a delta", m.FullBytes)
+	}
+	if m.DeltaBytes == 0 {
+		t.Fatal("no delta moved after restart")
+	}
+}
+
+func TestOutputHeldAcrossClientReconnect(t *testing.T) {
+	// The submitter's connection dies while the job runs; the server
+	// holds the finished output and delivers it when the same user at
+	// the same workstation reconnects. The job also remains visible to
+	// status queries from the new session.
+	_, ws := newTestCluster(t, ClusterConfig{})
+	c := connect(t, ws, "u")
+	write(t, ws, "/d", []byte("persist me\n"))
+	write(t, ws, "/slow.job", []byte("stall 250ms\ncat d\n"))
+	job, err := c.Submit("/slow.job", []string{"/d"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the connection while the job is still stalling.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(400 * time.Millisecond) // job finishes with nobody connected
+
+	c2 := connect(t, ws, "u")
+	rec, err := c2.Wait(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec.Stdout) != "persist me\n" {
+		t.Fatalf("reconnected output = %q", rec.Stdout)
+	}
+	st, err := c2.Status(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != wire.JobDone {
+		t.Fatalf("status after reconnect = %+v", st)
+	}
+	all, err := c2.StatusAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 || all[0].Job != job {
+		t.Fatalf("StatusAll after reconnect = %+v", all)
+	}
+}
+
+func TestOtherUserCannotClaimHeldOutput(t *testing.T) {
+	// Held output is keyed by (user, host): a different user at the same
+	// workstation must not receive it.
+	_, ws := newTestCluster(t, ClusterConfig{})
+	c := connect(t, ws, "alice")
+	write(t, ws, "/d", []byte("secret\n"))
+	write(t, ws, "/slow.job", []byte("stall 250ms\ncat d\n"))
+	job, err := c.Submit("/slow.job", []string{"/d"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(400 * time.Millisecond)
+
+	mallory := connect(t, ws, "mallory")
+	if _, err := mallory.Status(job); err == nil {
+		t.Fatal("another user could query the job")
+	}
+	if rec, ok := mallory.Jobs().Get("super", job); ok && rec.Delivered {
+		t.Fatal("another user received the held output")
+	}
+	// The rightful owner still gets it.
+	alice := connect(t, ws, "alice")
+	rec, err := alice.Wait(job)
+	if err != nil || string(rec.Stdout) != "secret\n" {
+		t.Fatalf("owner redelivery failed: %v", err)
+	}
+}
+
+func TestLineOutageThenRecovery(t *testing.T) {
+	// The long-haul line fails mid-session (§2.2's unreliable low-speed
+	// lines). Client operations fail cleanly while the line is down; a
+	// fresh session after the line heals resumes, receives held output,
+	// and the next submission still benefits from the intact cache.
+	cluster, ws := newTestCluster(t, ClusterConfig{})
+	link, ok := cluster.Network.LinkBetween("ws1", "super")
+	if !ok {
+		t.Fatal("no link between ws1 and super")
+	}
+	c := connect(t, ws, "u")
+	gen := workload.NewGenerator(61)
+	content := gen.File(30 * 1024)
+	write(t, ws, "/f", content)
+	write(t, ws, "/slow.job", []byte("stall 200ms\nwc f\n"))
+	job, err := c.Submit("/slow.job", []string{"/f"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(job); err != nil {
+		t.Fatal(err)
+	}
+
+	// The line fails while a second job runs.
+	job2, err := c.Submit("/slow.job", []string{"/f"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	link.SetDown(true)
+	// Client-side operations now fail cleanly (the session cannot reach
+	// the server; either the request send fails or the reader dies).
+	if _, err := c.Status(job2); err == nil {
+		t.Log("status squeaked through on buffered state; acceptable")
+	}
+	_ = c.Close()
+
+	// Heal and reconnect: the held output of job2 arrives.
+	link.SetDown(false)
+	c2 := connect(t, ws, "u")
+	rec, err := c2.Wait(job2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != wire.JobDone {
+		t.Fatalf("job2 after outage = %+v", rec)
+	}
+	// Cache survived; a 1% edit still travels as a delta.
+	edited := gen.Modify(content, 1, workload.EditMixed)
+	write(t, ws, "/f", edited)
+	before := c2.Metrics()
+	job3, err := c2.Submit("/slow.job", []string{"/f"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Wait(job3); err != nil {
+		t.Fatal(err)
+	}
+	after := c2.Metrics()
+	if after.FullBytes != before.FullBytes {
+		t.Fatalf("post-outage resubmission moved full bytes (%d -> %d)", before.FullBytes, after.FullBytes)
+	}
+}
+
+func TestFullClientStateRestart(t *testing.T) {
+	// The complete restart story: version store AND job database saved,
+	// client restarted, both restored. The job history is intact and the
+	// next submission still travels as a delta.
+	_, ws := newTestCluster(t, ClusterConfig{})
+	c := connect(t, ws, "u")
+	gen := workload.NewGenerator(71)
+	content := gen.File(20 * 1024)
+	write(t, ws, "/f", content)
+	write(t, ws, "/run.job", []byte("wc f\n"))
+	job, err := c.Submit("/run.job", []string{"/f"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(job); err != nil {
+		t.Fatal(err)
+	}
+
+	var storeBuf, jobsBuf bytes.Buffer
+	if err := c.Store().Save(&storeBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Jobs().Save(&jobsBuf); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Close()
+
+	store, err := LoadVersionStore(&storeBuf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobdb, err := LoadJobDB(&jobsBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ws.ConnectSession(SessionConfig{
+		Env:   DefaultEnvironment("u"),
+		Store: store,
+		Jobs:  jobdb,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	// The old job's record (with its delivered output) is still there.
+	rec, ok := c2.Jobs().Get("super", job)
+	if !ok || !rec.Delivered {
+		t.Fatalf("restored job record = %+v, %v", rec, ok)
+	}
+	// And delta capability survived.
+	write(t, ws, "/f", gen.Modify(content, 1, workload.EditMixed))
+	job2, err := c2.Submit("/run.job", []string{"/f"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Wait(job2); err != nil {
+		t.Fatal(err)
+	}
+	if m := c2.Metrics(); m.FullBytes != 0 || m.DeltaBytes == 0 {
+		t.Fatalf("restart lost delta capability: %+v", m)
+	}
+}
+
+func TestConcurrentSoakWithChaos(t *testing.T) {
+	// Three clients run random edit/submit cycles concurrently against
+	// one server while a chaos goroutine injects cache evictions,
+	// flushes and brief link outages. Every delivered job output must
+	// match local execution; transient failures are allowed only while
+	// a client's link is down.
+	cluster, _ := newTestCluster(t, ClusterConfig{})
+	const clients = 3
+	stopChaos := make(chan struct{})
+	chaosDone := make(chan struct{})
+	go func() {
+		defer close(chaosDone)
+		rng := rand.New(rand.NewSource(99))
+		for {
+			select {
+			case <-stopChaos:
+				return
+			default:
+			}
+			switch rng.Intn(3) {
+			case 0:
+				cluster.Server().Cache().Flush()
+			case 1:
+				cluster.Server().Cache().Evict(naming.ShadowID(rng.Intn(8) + 1))
+			case 2:
+				// Nothing this round.
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		ws := cluster.NewWorkstation(fmt.Sprintf("soak%d", i))
+		wg.Add(1)
+		go func(ws *Workstation, i int) {
+			defer wg.Done()
+			errs <- func() error {
+				rng := rand.New(rand.NewSource(int64(1000 + i)))
+				gen := workload.NewGenerator(int64(2000 + i))
+				c, err := ws.Connect(fmt.Sprintf("soaker%d", i))
+				if err != nil {
+					return err
+				}
+				defer c.Close()
+				content := gen.File(6 * 1024)
+				if err := ws.WriteFile("/d.dat", content); err != nil {
+					return err
+				}
+				script := "checksum d.dat\nwc d.dat\n"
+				if err := ws.WriteFile("/run.job", []byte(script)); err != nil {
+					return err
+				}
+				for round := 0; round < 25; round++ {
+					job, err := c.Submit("/run.job", []string{"/d.dat"}, SubmitOptions{})
+					if err != nil {
+						return fmt.Errorf("round %d: submit: %w", round, err)
+					}
+					rec, err := c.Wait(job)
+					if err != nil {
+						return fmt.Errorf("round %d: wait: %w", round, err)
+					}
+					local := jobs.Execute(jobs.Request{
+						Script: []byte(script),
+						Inputs: map[string][]byte{"d.dat": content},
+					})
+					if !bytes.Equal(rec.Stdout, local.Stdout) {
+						return fmt.Errorf("round %d: output mismatch", round)
+					}
+					content = gen.Modify(content, float64(rng.Intn(20))+1, workload.EditMixed)
+					if err := ws.WriteFile("/d.dat", content); err != nil {
+						return err
+					}
+				}
+				return nil
+			}()
+		}(ws, i)
+	}
+	wg.Wait()
+	close(stopChaos)
+	<-chaosDone
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCapillaryTopology(t *testing.T) {
+	// The paper's deployment: workstation -> Cypress capillary ->
+	// gateway -> ARPANET backbone -> supercomputer. The whole shadow
+	// cycle works over two store-and-forward hops, and the slow last
+	// mile dominates the cost.
+	cluster, err := NewCluster(ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ws := cluster.NewWorkstationCapillary("homews", "purdue-gw", Cypress, ARPANET)
+	c, err := ws.Connect("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	gen := workload.NewGenerator(81)
+	content := gen.File(24 * 1024) // 20s on Cypress, 3.5s on ARPANET
+	write(t, ws, "/f", content)
+	write(t, ws, "/run.job", []byte("checksum f\n"))
+	start := ws.Host().Now()
+	job, err := c.Submit("/run.job", []string{"/f"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.Wait(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.ExitCode != 0 {
+		t.Fatalf("capillary job failed: %+v", rec)
+	}
+	elapsed := ws.Host().Now() - start
+	// Cypress serialization alone is ~20.5s; the backbone adds ~3.5s of
+	// store-and-forward plus latencies.
+	if elapsed < 23*time.Second || elapsed > 32*time.Second {
+		t.Fatalf("capillary first submission took %v, want ~24-30s", elapsed)
+	}
+
+	// Resubmission after a small edit is still delta-cheap end to end.
+	write(t, ws, "/f", gen.Modify(content, 1, workload.EditMixed))
+	start = ws.Host().Now()
+	job2, err := c.Submit("/run.job", []string{"/f"}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(job2); err != nil {
+		t.Fatal(err)
+	}
+	delta := ws.Host().Now() - start
+	if delta*5 >= elapsed {
+		t.Fatalf("capillary resubmission %v not far below first %v", delta, elapsed)
+	}
+}

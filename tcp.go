@@ -1,0 +1,37 @@
+package shadow
+
+import (
+	"net"
+
+	"shadowedit/internal/client"
+	"shadowedit/internal/server"
+	"shadowedit/internal/wire"
+)
+
+// ServeTCP runs a shadow server over a real TCP (or any net.Listener)
+// listener, for the cmd/shadowd daemon. It blocks until the listener closes
+// or the server is closed.
+func ServeTCP(srv *Server, ln net.Listener) error {
+	return srv.Serve(server.AcceptorFunc(func() (wire.Conn, error) {
+		conn, err := ln.Accept()
+		if err != nil {
+			return nil, err
+		}
+		return wire.NewStreamConn(conn), nil
+	}))
+}
+
+// DialTCP opens a shadow session to a server at addr over real TCP, for the
+// cmd/shadow CLI.
+func DialTCP(addr string, cfg ClientConfig) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := client.Connect(wire.NewStreamConn(conn), cfg)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return cl, nil
+}

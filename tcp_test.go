@@ -1,0 +1,140 @@
+package shadow_test
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	shadow "shadowedit"
+)
+
+// TestTCPDeployment drives the real-TCP path the cmd/shadowd and cmd/shadow
+// binaries use: a server on a loopback listener, a client over DialTCP, one
+// full job cycle.
+func TestTCPDeployment(t *testing.T) {
+	srv := shadow.NewServer(shadow.DefaultServerConfig("tcp-super"))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- shadow.ServeTCP(srv, ln) }()
+	defer func() {
+		_ = ln.Close()
+		srv.Close()
+		<-serveDone
+	}()
+
+	universe := shadow.NewUniverse("tcp-dom")
+	universe.AddHost("laptop")
+	if err := universe.WriteFile("laptop", "/run.job", []byte("sort d\nwc d\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := universe.WriteFile("laptop", "/d", []byte("z\na\nm\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := shadow.DialTCP(ln.Addr().String(), shadow.ClientConfig{
+		User:     "tcpuser",
+		Universe: universe,
+		Host:     "laptop",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.ServerName() != "tcp-super" {
+		t.Fatalf("server name = %q", c.ServerName())
+	}
+
+	job, err := c.Submit("/run.job", []string{"/d"}, shadow.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.Wait(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a\nm\nz\n      3       3       6 d\n"
+	if string(rec.Stdout) != want {
+		t.Fatalf("stdout = %q, want %q", rec.Stdout, want)
+	}
+
+	// Deltas work over TCP too: edit a larger file and resubmit.
+	big := bytes.Repeat([]byte("stable line of content for the tcp delta check\n"), 200)
+	if err := universe.WriteFile("laptop", "/big", big); err != nil {
+		t.Fatal(err)
+	}
+	if err := universe.WriteFile("laptop", "/big.job", []byte("wc big\n")); err != nil {
+		t.Fatal(err)
+	}
+	jobA, err := c.Submit("/big.job", []string{"/big"}, shadow.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(jobA); err != nil {
+		t.Fatal(err)
+	}
+	if err := universe.WriteFile("laptop", "/big", append(big, []byte("tail\n")...)); err != nil {
+		t.Fatal(err)
+	}
+	jobB, err := c.Submit("/big.job", []string{"/big"}, shadow.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(jobB); err != nil {
+		t.Fatal(err)
+	}
+	if m := c.Metrics(); m.DeltaSends != 1 {
+		t.Fatalf("delta sends over TCP = %d, want 1 (%+v)", m.DeltaSends, m)
+	}
+}
+
+// TestTCPMultipleClients checks concurrent real-TCP sessions.
+func TestTCPMultipleClients(t *testing.T) {
+	srv := shadow.NewServer(shadow.DefaultServerConfig("tcp-super"))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- shadow.ServeTCP(srv, ln) }()
+	defer func() {
+		_ = ln.Close()
+		srv.Close()
+		<-serveDone
+	}()
+
+	const clients = 3
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			errs <- func() error {
+				universe := shadow.NewUniverse("dom")
+				host := "h" + string(rune('0'+i))
+				universe.AddHost(host)
+				if err := universe.WriteFile(host, "/j", []byte("echo ok\n")); err != nil {
+					return err
+				}
+				c, err := shadow.DialTCP(ln.Addr().String(), shadow.ClientConfig{
+					User: "u", Universe: universe, Host: host,
+				})
+				if err != nil {
+					return err
+				}
+				defer c.Close()
+				job, err := c.Submit("/j", nil, shadow.SubmitOptions{})
+				if err != nil {
+					return err
+				}
+				_, err = c.Wait(job)
+				return err
+			}()
+		}(i)
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
