@@ -141,6 +141,42 @@ func BenchmarkDiffAlgorithms(b *testing.B) {
 	}
 }
 
+// BenchmarkDiffApply measures delta application — the supercomputer side of
+// every resubmission — per algorithm across modification levels. Allocation
+// counts matter as much as time here: the server applies a delta for every
+// incoming file version. The full size/percent grid lives in
+// internal/diff/bench_test.go.
+func BenchmarkDiffApply(b *testing.B) {
+	gen := workload.NewGenerator(1987)
+	base := gen.File(100 * 1024)
+	edits := []struct {
+		name   string
+		edited []byte
+	}{
+		{"1pct", gen.Modify(base, 1, workload.EditMixed)},
+		{"10pct", gen.Modify(base, 10, workload.EditMixed)},
+		{"40pct", gen.Modify(base, 40, workload.EditMixed)},
+	}
+	for _, alg := range []diff.Algorithm{diff.HuntMcIlroy, diff.Myers, diff.TichyBlockMove} {
+		for _, e := range edits {
+			name, edited := e.name, e.edited
+			d, err := diff.Compute(alg, base, edited)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%v/%s", alg, name), func(b *testing.B) {
+				b.ReportAllocs()
+				b.SetBytes(int64(len(base)))
+				for i := 0; i < b.N; i++ {
+					if _, err := d.Apply(base); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkCompressionAblation re-times transfer cells with the §8.3
 // compression layer on and off.
 func BenchmarkCompressionAblation(b *testing.B) {

@@ -1,0 +1,138 @@
+package diff
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// Microbenchmarks for the differencing hot path: Compute and Apply per
+// algorithm across file sizes and edit percentages. Run with
+//
+//	go test -bench=BenchmarkDiff -benchmem ./internal/diff
+//
+// These are the numbers the shadow protocol lives on: every edit-submit
+// cycle computes one delta on the workstation and applies it on the
+// supercomputer, so allocs/op here are GC pressure on both ends.
+
+// benchRNG is a tiny deterministic xorshift generator so the benchmarks do
+// not depend on other packages (workload imports diff).
+type benchRNG uint64
+
+func (r *benchRNG) next() uint64 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = benchRNG(x)
+	return x
+}
+
+func (r *benchRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// benchFile builds a synthetic text file of roughly size bytes with
+// line-level variety comparable to program text.
+func benchFile(size int, seed uint64) []byte {
+	rng := benchRNG(seed | 1)
+	var buf bytes.Buffer
+	for i := 0; buf.Len() < size; i++ {
+		fmt.Fprintf(&buf, "line %06d tok%d val=%d pad-%d\n",
+			i, rng.intn(64), rng.intn(100000), rng.intn(9))
+	}
+	return buf.Bytes()
+}
+
+// benchModify edits roughly pct percent of the file's lines with a mix of
+// replacements, deletions and insertions.
+func benchModify(content []byte, pct int, seed uint64) []byte {
+	rng := benchRNG(seed | 1)
+	lines := SplitLines(content)
+	out := make([][]byte, 0, len(lines)+len(lines)*pct/300)
+	for i, l := range lines {
+		if rng.intn(100) < pct {
+			switch rng.intn(3) {
+			case 0: // replace
+				out = append(out, []byte(fmt.Sprintf("edited %06d v%d\n", i, rng.intn(1000))))
+			case 1: // delete
+			case 2: // insert before
+				out = append(out, []byte(fmt.Sprintf("added %06d v%d\n", i, rng.intn(1000))), l)
+			}
+			continue
+		}
+		out = append(out, l)
+	}
+	return JoinLines(out)
+}
+
+var benchCases = []struct {
+	size int
+	pct  int
+}{
+	{10 << 10, 1},
+	{100 << 10, 1},
+	{100 << 10, 20},
+	{500 << 10, 20},
+}
+
+func BenchmarkDiffCompute(b *testing.B) {
+	for _, alg := range allAlgorithms {
+		for _, tc := range benchCases {
+			base := benchFile(tc.size, 0xC0FFEE)
+			target := benchModify(base, tc.pct, 0xBEEF)
+			b.Run(fmt.Sprintf("%v/%dk/%dpct", alg, tc.size>>10, tc.pct), func(b *testing.B) {
+				b.ReportAllocs()
+				b.SetBytes(int64(len(base)))
+				for i := 0; i < b.N; i++ {
+					if _, err := Compute(alg, base, target); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkDiffApply(b *testing.B) {
+	for _, alg := range allAlgorithms {
+		for _, tc := range benchCases {
+			base := benchFile(tc.size, 0xC0FFEE)
+			target := benchModify(base, tc.pct, 0xBEEF)
+			d, err := Compute(alg, base, target)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%v/%dk/%dpct", alg, tc.size>>10, tc.pct), func(b *testing.B) {
+				b.ReportAllocs()
+				b.SetBytes(int64(len(base)))
+				for i := 0; i < b.N; i++ {
+					got, err := d.Apply(base)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(got) != len(target) {
+						b.Fatal("wrong output length")
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkDiffWireSize(b *testing.B) {
+	base := benchFile(100<<10, 0xC0FFEE)
+	target := benchModify(base, 20, 0xBEEF)
+	for _, alg := range allAlgorithms {
+		d, err := Compute(alg, base, target)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(alg.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if d.WireSize() == 0 {
+					b.Fatal("empty wire size")
+				}
+			}
+		})
+	}
+}

@@ -110,7 +110,21 @@ type Delta struct {
 	// used to detect application against the wrong base.
 	BaseSum   uint32
 	TargetSum uint32
+
+	// kind caches the Apply dispatch decision (edit vs block-move), set
+	// once by Compute and Decode. Hand-assembled deltas leave it at
+	// kindUnknown and fall back to scanning the ops.
+	kind deltaKind
 }
+
+// deltaKind is the cached result of the block-move classification.
+type deltaKind int8
+
+const (
+	kindUnknown deltaKind = iota
+	kindEdit
+	kindBlockMove
+)
 
 // Errors reported by Apply and the wire codec.
 var (
@@ -144,10 +158,13 @@ func Compute(algorithm Algorithm, base, target []byte) (*Delta, error) {
 	switch algorithm {
 	case HuntMcIlroy:
 		d.Ops = opsFromMatches(huntMcIlroyMatches(a, b), a, b)
+		d.kind = kindEdit
 	case Myers:
 		d.Ops = opsFromMatches(myersMatches(a, b), a, b)
+		d.kind = kindEdit
 	case TichyBlockMove:
 		d.Ops = tichyOps(a, b)
+		d.kind = kindBlockMove
 	default:
 		return nil, fmt.Errorf("diff: unknown algorithm %v", algorithm)
 	}
@@ -181,13 +198,53 @@ func (d *Delta) Apply(base []byte) ([]byte, error) {
 
 // WireSize returns the encoded size of the delta in bytes, the quantity the
 // shadow protocol actually sends. Experiments use it to account for network
-// traffic.
-func (d *Delta) WireSize() int { return len(d.Encode()) }
+// traffic. The size is computed arithmetically from the wire layout — the
+// full encoding is never materialized.
+func (d *Delta) WireSize() int {
+	n := len(encodeMagic) + 1 + // magic, algorithm byte
+		uvarintLen(uint64(d.BaseLen)) + uvarintLen(uint64(d.TargetLen)) +
+		4 + 4 + // the two checksums
+		uvarintLen(uint64(len(d.Ops)))
+	for i := range d.Ops {
+		op := &d.Ops[i]
+		n += 1 + uvarintLen(uint64(op.BaseStart))
+		switch op.Kind {
+		case OpDelete, OpChange, OpCopy:
+			n += uvarintLen(uint64(op.BaseEnd))
+		}
+		switch op.Kind {
+		case OpInsert, OpChange:
+			n += uvarintLen(uint64(len(op.Lines)))
+			for _, l := range op.Lines {
+				n += uvarintLen(uint64(len(l))) + len(l)
+			}
+		}
+	}
+	return n
+}
+
+// uvarintLen returns the number of bytes binary.AppendUvarint emits for x.
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
 
 // OpCount returns the number of operations in the delta.
 func (d *Delta) OpCount() int { return len(d.Ops) }
 
 func (d *Delta) isBlockMove() bool {
+	switch d.kind {
+	case kindEdit:
+		return false
+	case kindBlockMove:
+		return true
+	}
+	// Hand-assembled delta: classify by scanning (not cached, so the
+	// method stays safe under concurrent Apply calls).
 	for _, op := range d.Ops {
 		if op.Kind == OpCopy {
 			return true
@@ -199,7 +256,84 @@ func (d *Delta) isBlockMove() bool {
 // applyEdits applies LCS-style ops (ordered by descending base line) the way
 // ed would: later-in-file edits first, so line numbers never shift under an
 // op that has not run yet.
+//
+// Well-formed deltas — ops strictly descending over disjoint base regions,
+// every address in bounds, exactly what Compute and Decode produce — take a
+// single forward pass that emits straight into one pre-sized output buffer.
+// Anything else (hand-built or corrupt ops) falls back to the literal
+// op-by-op ed semantics, which rebuilds the line slice per op but preserves
+// the historical behavior exactly.
 func applyEdits(ops []Op, lines [][]byte) ([]byte, error) {
+	if out, ok := applyEditsFast(ops, lines); ok {
+		return out, nil
+	}
+	return applyEditsSequential(ops, lines)
+}
+
+// applyEditsFast validates and sizes the output in one reverse scan
+// (ascending base order), then emits base spans and op lines directly into a
+// single buffer. ok is false when the ops are not strictly descending,
+// overlap, or address out-of-bounds lines — those cases belong to the
+// sequential path.
+func applyEditsFast(ops []Op, lines [][]byte) ([]byte, bool) {
+	total := 0
+	for _, l := range lines {
+		total += len(l)
+	}
+	cursor := 0 // 0-based index of the next unconsumed base line
+	for i := len(ops) - 1; i >= 0; i-- {
+		op := &ops[i]
+		switch op.Kind {
+		case OpDelete, OpChange:
+			if op.BaseStart < 1 || op.BaseEnd < op.BaseStart ||
+				op.BaseEnd > len(lines) || op.BaseStart-1 < cursor {
+				return nil, false
+			}
+			for _, l := range lines[op.BaseStart-1 : op.BaseEnd] {
+				total -= len(l)
+			}
+			if op.Kind == OpChange {
+				for _, l := range op.Lines {
+					total += len(l)
+				}
+			}
+			cursor = op.BaseEnd
+		case OpInsert:
+			if op.BaseStart < 0 || op.BaseStart > len(lines) || op.BaseStart < cursor {
+				return nil, false
+			}
+			for _, l := range op.Lines {
+				total += len(l)
+			}
+			cursor = op.BaseStart
+		default:
+			return nil, false
+		}
+	}
+	out := make([]byte, 0, total)
+	cursor = 0
+	for i := len(ops) - 1; i >= 0; i-- {
+		op := &ops[i]
+		switch op.Kind {
+		case OpDelete, OpChange:
+			out = appendLines(out, lines[cursor:op.BaseStart-1])
+			if op.Kind == OpChange {
+				out = appendLines(out, op.Lines)
+			}
+			cursor = op.BaseEnd
+		case OpInsert:
+			out = appendLines(out, lines[cursor:op.BaseStart])
+			out = appendLines(out, op.Lines)
+			cursor = op.BaseStart
+		}
+	}
+	out = appendLines(out, lines[cursor:])
+	return out, true
+}
+
+// applyEditsSequential is the reference ed semantics: each op addresses the
+// file as left by the ops before it.
+func applyEditsSequential(ops []Op, lines [][]byte) ([]byte, error) {
 	work := make([][]byte, len(lines))
 	copy(work, lines)
 	for _, op := range ops {
@@ -236,24 +370,48 @@ func applyEdits(ops []Op, lines [][]byte) ([]byte, error) {
 	return JoinLines(work), nil
 }
 
-// applyBlockMove rebuilds the target from Copy and Insert ops in order.
+// applyBlockMove rebuilds the target from Copy and Insert ops in order: one
+// validation-and-sizing pass, then one emission pass into a pre-sized buffer.
 func applyBlockMove(ops []Op, lines [][]byte) ([]byte, error) {
-	var out [][]byte
-	for _, op := range ops {
+	total := 0
+	for i := range ops {
+		op := &ops[i]
 		switch op.Kind {
 		case OpCopy:
 			if op.BaseStart < 1 || op.BaseEnd < op.BaseStart || op.BaseEnd > len(lines) {
 				return nil, fmt.Errorf("%w: copy %d,%d outside 1..%d",
 					ErrCorruptDelta, op.BaseStart, op.BaseEnd, len(lines))
 			}
-			out = append(out, lines[op.BaseStart-1:op.BaseEnd]...)
+			for _, l := range lines[op.BaseStart-1 : op.BaseEnd] {
+				total += len(l)
+			}
 		case OpInsert:
-			out = append(out, op.Lines...)
+			for _, l := range op.Lines {
+				total += len(l)
+			}
 		default:
 			return nil, fmt.Errorf("%w: op kind %v in block-move delta", ErrCorruptDelta, op.Kind)
 		}
 	}
-	return JoinLines(out), nil
+	out := make([]byte, 0, total)
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case OpCopy:
+			out = appendLines(out, lines[op.BaseStart-1:op.BaseEnd])
+		case OpInsert:
+			out = appendLines(out, op.Lines)
+		}
+	}
+	return out, nil
+}
+
+// appendLines appends the bytes of each line to out.
+func appendLines(out []byte, lines [][]byte) []byte {
+	for _, l := range lines {
+		out = append(out, l...)
+	}
+	return out
 }
 
 // match is a run of identical lines: a[ai..ai+n) == b[bi..bi+n), 0-based.

@@ -25,9 +25,10 @@ import (
 
 const encodeMagic = "SD1"
 
-// Encode serializes the delta into its binary wire form.
+// Encode serializes the delta into its binary wire form. WireSize computes
+// the exact length of the result, so the buffer never reallocates.
 func (d *Delta) Encode() []byte {
-	buf := make([]byte, 0, 64+d.opBytes())
+	buf := make([]byte, 0, d.WireSize())
 	buf = append(buf, encodeMagic...)
 	buf = append(buf, byte(d.Algorithm))
 	buf = binary.AppendUvarint(buf, uint64(d.BaseLen))
@@ -54,17 +55,6 @@ func (d *Delta) Encode() []byte {
 	return buf
 }
 
-func (d *Delta) opBytes() int {
-	n := 0
-	for _, op := range d.Ops {
-		n += 16
-		for _, l := range op.Lines {
-			n += len(l) + 4
-		}
-	}
-	return n
-}
-
 // Decode parses a delta from its binary wire form.
 func Decode(buf []byte) (*Delta, error) {
 	r := &reader{buf: buf}
@@ -80,6 +70,7 @@ func Decode(buf []byte) (*Delta, error) {
 	if r.err == nil && nops > uint64(len(buf)) {
 		return nil, fmt.Errorf("%w: op count %d exceeds input", ErrCorruptDelta, nops)
 	}
+	sawCopy := false
 	d.Ops = make([]Op, 0, nops)
 	for i := uint64(0); i < nops && r.err == nil; i++ {
 		op := Op{Kind: OpKind(r.byte())}
@@ -87,6 +78,9 @@ func Decode(buf []byte) (*Delta, error) {
 		switch op.Kind {
 		case OpDelete, OpChange, OpCopy:
 			op.BaseEnd = int(r.uvarint())
+			if op.Kind == OpCopy {
+				sawCopy = true
+			}
 		case OpInsert:
 		default:
 			return nil, fmt.Errorf("%w: unknown op kind %d", ErrCorruptDelta, op.Kind)
@@ -110,6 +104,12 @@ func Decode(buf []byte) (*Delta, error) {
 	}
 	if len(r.buf) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorruptDelta, len(r.buf))
+	}
+	// Classify once at decode time so Apply never rescans the ops.
+	if sawCopy || d.Algorithm == TichyBlockMove {
+		d.kind = kindBlockMove
+	} else {
+		d.kind = kindEdit
 	}
 	return d, nil
 }

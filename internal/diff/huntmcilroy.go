@@ -1,7 +1,5 @@
 package diff
 
-import "sort"
-
 // huntMcIlroyMatches computes an LCS of a and b as maximal runs of matching
 // lines using the Hunt–McIlroy candidate-threshold technique (Hunt & McIlroy,
 // "An Algorithm for Differential File Comparison", Bell Labs CSTR 41, 1975).
@@ -12,7 +10,7 @@ import "sort"
 // degenerate inputs where R explodes (files of near-identical lines) it falls
 // back to the Myers algorithm, which is insensitive to R.
 func huntMcIlroyMatches(a, b [][]byte) []match {
-	sa, sb := internBoth(a, b)
+	sa, sb, nsym := internBoth(a, b)
 	prefix, suffix := commonAffixes(sa, sb)
 	ma := sa[prefix : len(sa)-suffix]
 	mb := sb[prefix : len(sb)-suffix]
@@ -21,10 +19,14 @@ func huntMcIlroyMatches(a, b [][]byte) []match {
 	if prefix > 0 {
 		ms = append(ms, match{ai: 0, bi: 0, n: prefix})
 	}
-	mid, ok := huntMiddle(ma, mb)
+	mid, ok := huntMiddle(ma, mb, nsym)
 	if !ok {
 		// Pathological match density; the O(ND) algorithm bounds work
-		// by edit distance instead.
+		// by edit distance instead. The fallback hands over the
+		// already-trimmed middle: ma and mb share no common prefix or
+		// suffix by construction, so myersMiddle's own affix scan
+		// terminates immediately instead of re-trimming (and
+		// re-reporting) the affixes of the full inputs.
 		mid = myersMiddle(ma, mb)
 	}
 	for _, m := range mid {
@@ -39,61 +41,83 @@ func huntMcIlroyMatches(a, b [][]byte) []match {
 // maxMatchPairs bounds the candidate work before falling back to Myers.
 const maxMatchPairs = 1 << 22
 
-// candidate is a k-candidate in Hunt–McIlroy's terminology: the head of a
-// chain of matched pairs of length k.
-type candidate struct {
-	ai, bi int
-	prev   *candidate
+// cand is a k-candidate in Hunt–McIlroy's terminology: the head of a chain of
+// matched pairs of length k. Candidates live in one flat arena slice and
+// chain through int32 indices (prev, -1 for none) instead of pointers, so a
+// whole Compute costs a handful of slice growths rather than one heap object
+// per matched pair — and the GC never traces the chains.
+type cand struct {
+	ai, bi int32
+	prev   int32
 }
 
 // huntMiddle runs the candidate algorithm on the trimmed middle region.
+// nsym is the number of distinct interned symbols (symbols are dense 1..nsym).
 // ok is false when the match density exceeds maxMatchPairs.
-func huntMiddle(a, b []int) ([]match, bool) {
+func huntMiddle(a, b []int, nsym int) ([]match, bool) {
 	if len(a) == 0 || len(b) == 0 {
 		return nil, true
 	}
-	// Equivalence classes: symbol -> ascending positions in b.
-	occ := make(map[int][]int, len(b))
-	for j, s := range b {
-		occ[s] = append(occ[s], j)
+	// Equivalence classes, CSR-style: one flat position array grouped by
+	// symbol. bstart[s]..bstart[s+1] delimits symbol s's positions in b,
+	// stored in descending order — the traversal order Hunt–Szymanski
+	// needs so updates within one a-line don't feed each other.
+	bstart := make([]int32, nsym+2)
+	for _, s := range b {
+		bstart[s+1]++
+	}
+	for s := 1; s < len(bstart); s++ {
+		bstart[s] += bstart[s-1]
+	}
+	pos := make([]int32, len(b))
+	bcur := make([]int32, nsym+1)
+	copy(bcur, bstart[:nsym+1])
+	for j := len(b) - 1; j >= 0; j-- {
+		s := b[j]
+		pos[bcur[s]] = int32(j)
+		bcur[s]++
 	}
 	// Abort early if total match pairs would be pathological.
 	pairs := 0
 	for _, s := range a {
-		pairs += len(occ[s])
+		pairs += int(bstart[s+1] - bstart[s])
 		if pairs > maxMatchPairs {
 			return nil, false
 		}
 	}
 
 	// thresh[k] = smallest b-index j ending a common subsequence of
-	// length k+1; link[k] = the corresponding candidate chain head.
+	// length k+1; link[k] = arena index of the corresponding candidate
+	// chain head.
 	var (
-		thresh []int
-		link   []*candidate
+		thresh []int32
+		link   []int32
+		arena  []cand
 	)
+	if pairs < 4096 {
+		arena = make([]cand, 0, pairs)
+	} else {
+		arena = make([]cand, 0, 4096)
+	}
 	for i, s := range a {
-		js := occ[s]
-		// Descending j so updates within one a-line don't feed each
-		// other (Hunt–Szymanski refinement).
-		for idx := len(js) - 1; idx >= 0; idx-- {
-			j := js[idx]
+		for _, j := range pos[bstart[s]:bstart[s+1]] {
 			// Find lowest k with thresh[k] >= j.
-			k := sort.SearchInts(thresh, j)
+			k := searchInt32(thresh, j)
 			if k < len(thresh) && thresh[k] == j {
 				continue // same endpoint, no improvement
 			}
-			var prev *candidate
+			prev := int32(-1)
 			if k > 0 {
 				prev = link[k-1]
 			}
-			c := &candidate{ai: i, bi: j, prev: prev}
+			arena = append(arena, cand{ai: int32(i), bi: j, prev: prev})
+			ci := int32(len(arena) - 1)
 			if k == len(thresh) {
 				thresh = append(thresh, j)
-				link = append(link, c)
+				link = append(link, ci)
 			} else {
 				thresh[k] = j
-				link[k] = c
+				link[k] = ci
 			}
 		}
 	}
@@ -104,10 +128,25 @@ func huntMiddle(a, b []int) ([]match, bool) {
 	n := len(link)
 	ais := make([]int, n)
 	bis := make([]int, n)
-	for c, k := link[n-1], n-1; c != nil; c, k = c.prev, k-1 {
-		ais[k], bis[k] = c.ai, c.bi
+	for ci, k := link[n-1], n-1; ci >= 0; ci, k = arena[ci].prev, k-1 {
+		ais[k], bis[k] = int(arena[ci].ai), int(arena[ci].bi)
 	}
 	return matchesFromPairs(ais, bis), true
+}
+
+// searchInt32 returns the smallest index i with v[i] >= x (len(v) if none),
+// like sort.SearchInts for int32 slices but without the closure dispatch.
+func searchInt32(v []int32, x int32) int {
+	lo, hi := 0, len(v)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // coalesce merges adjacent runs that abut exactly, which can happen at the

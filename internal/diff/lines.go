@@ -1,6 +1,9 @@
 package diff
 
-import "bytes"
+import (
+	"bytes"
+	"encoding/binary"
+)
 
 // SplitLines splits content into lines, each retaining its trailing newline.
 // A final byte sequence without a trailing newline forms a line of its own,
@@ -47,32 +50,94 @@ func JoinLines(lines [][]byte) []byte {
 // lineTable assigns a small integer symbol to every distinct line so the LCS
 // algorithms compare ints instead of byte slices. Both files share one table,
 // mirroring the equivalence-class construction in Hunt & McIlroy (1975).
+//
+// Interning is hash-first: every line hashes to a uint64 and lookups probe an
+// open-addressed table keyed by that hash; the byte-by-byte comparison runs
+// only when two hashes land in the same slot. The table is sized up front for
+// the full input, so the lookup path allocates nothing — line contents are
+// referenced, not copied (callers keep the backing file buffers alive for the
+// duration of a Compute).
 type lineTable struct {
-	symbols map[string]int
+	mask   uint64   // len(slots)-1; len is a power of two
+	slots  []int32  // 0 = empty, else a 1-based symbol
+	hashes []uint64 // hash of the line behind slots[i]
+	lines  [][]byte // symbol-1 -> representative line
 }
 
-func newLineTable() *lineTable {
-	return &lineTable{symbols: make(map[string]int)}
+// newLineTable returns a table with room for capacity distinct lines without
+// rehashing (load factor stays at or below 1/2).
+func newLineTable(capacity int) *lineTable {
+	size := 16
+	for size < 2*capacity {
+		size <<= 1
+	}
+	return &lineTable{
+		mask:   uint64(size - 1),
+		slots:  make([]int32, size),
+		hashes: make([]uint64, size),
+		lines:  make([][]byte, 0, capacity),
+	}
+}
+
+// sym returns the symbol for l, assigning the next free one on first sight.
+func (t *lineTable) sym(l []byte) int32 {
+	h := hashLine(l)
+	for i := h & t.mask; ; i = (i + 1) & t.mask {
+		s := t.slots[i]
+		if s == 0 {
+			t.lines = append(t.lines, l)
+			s = int32(len(t.lines))
+			t.slots[i] = s
+			t.hashes[i] = h
+			return s
+		}
+		if t.hashes[i] == h && bytes.Equal(t.lines[s-1], l) {
+			return s
+		}
+	}
 }
 
 func (t *lineTable) intern(lines [][]byte) []int {
 	out := make([]int, len(lines))
 	for i, l := range lines {
-		s, ok := t.symbols[string(l)]
-		if !ok {
-			s = len(t.symbols) + 1
-			t.symbols[string(l)] = s
-		}
-		out[i] = s
+		out[i] = int(t.sym(l))
 	}
 	return out
 }
 
 // internBoth interns both files in a shared table and returns their symbol
-// sequences.
-func internBoth(a, b [][]byte) (sa, sb []int) {
-	t := newLineTable()
-	return t.intern(a), t.intern(b)
+// sequences plus the number of distinct symbols. Symbols are dense (1..nsym),
+// so callers can bucket by symbol with a flat slice instead of a map.
+func internBoth(a, b [][]byte) (sa, sb []int, nsym int) {
+	t := newLineTable(len(a) + len(b))
+	sa = t.intern(a)
+	sb = t.intern(b)
+	return sa, sb, len(t.lines)
+}
+
+// hashLine hashes a line 8 bytes at a time (xxhash/splitmix-style mixing).
+// Collisions are fine — the intern table falls back to byte comparison — but
+// must be rare for the lookup path to stay comparison-free.
+func hashLine(b []byte) uint64 {
+	const (
+		m1 = 0x9E3779B185EBCA87
+		m2 = 0xC2B2AE3D27D4EB4F
+	)
+	h := uint64(len(b))*m1 + 1
+	for len(b) >= 8 {
+		h = (h ^ binary.LittleEndian.Uint64(b)) * m1
+		h ^= h >> 29
+		b = b[8:]
+	}
+	var tail uint64
+	for i := len(b) - 1; i >= 0; i-- {
+		tail = tail<<8 | uint64(b[i])
+	}
+	h = (h ^ tail) * m2
+	h ^= h >> 32
+	h *= m1
+	h ^= h >> 29
+	return h
 }
 
 // commonAffixes trims a common prefix and suffix of a and b, returning the

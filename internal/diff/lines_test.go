@@ -71,7 +71,15 @@ func TestSplitLinesEveryLineTerminatedExceptLast(t *testing.T) {
 func TestInternBoth(t *testing.T) {
 	a := SplitLines([]byte("x\ny\nx\n"))
 	b := SplitLines([]byte("y\nz\n"))
-	sa, sb := internBoth(a, b)
+	sa, sb, nsym := internBoth(a, b)
+	if nsym != 3 {
+		t.Errorf("nsym = %d, want 3 distinct lines", nsym)
+	}
+	for _, s := range append(append([]int(nil), sa...), sb...) {
+		if s < 1 || s > nsym {
+			t.Errorf("symbol %d outside dense range 1..%d", s, nsym)
+		}
+	}
 	if sa[0] != sa[2] {
 		t.Error("equal lines interned to different symbols")
 	}

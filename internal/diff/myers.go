@@ -6,7 +6,7 @@ package diff
 // 1986; the paper cites the closely related Miller–Myers file comparison
 // program). Memory is O(N+M); time is O((N+M)·D).
 func myersMatches(a, b [][]byte) []match {
-	sa, sb := internBoth(a, b)
+	sa, sb, _ := internBoth(a, b)
 	prefix, suffix := commonAffixes(sa, sb)
 
 	var ms []match
@@ -24,6 +24,12 @@ func myersMatches(a, b [][]byte) []match {
 
 // myersMiddle solves the trimmed middle region, returning ascending maximal
 // runs in the region's own coordinates.
+//
+// Contract: callers pass affix-trimmed slices (a and b share no common prefix
+// or suffix). The recursion re-derives affixes at each level because its
+// subproblems do have them, but on the trimmed top-level inputs that scan
+// stops at the first element — so delegating an already-trimmed region here
+// (as the Hunt–McIlroy density fallback does) costs no second trim pass.
 func myersMiddle(a, b []int) []match {
 	var ais, bis []int
 	myersRec(a, b, 0, 0, &ais, &bis)

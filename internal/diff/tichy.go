@@ -12,11 +12,22 @@ package diff
 // maxTichyCandidates base occurrences are tried per target line; this can
 // make the delta slightly non-minimal but never incorrect.
 func tichyOps(a, b [][]byte) []Op {
-	sa, sb := internBoth(a, b)
-	// Index base: symbol -> ascending positions.
-	occ := make(map[int][]int, len(sa))
+	sa, sb, nsym := internBoth(a, b)
+	// Index base occurrences CSR-style: astart[s]..astart[s+1] delimits
+	// symbol s's ascending positions in sa.
+	astart := make([]int32, nsym+2)
+	for _, s := range sa {
+		astart[s+1]++
+	}
+	for s := 1; s < len(astart); s++ {
+		astart[s] += astart[s-1]
+	}
+	pos := make([]int32, len(sa))
+	acur := make([]int32, nsym+1)
+	copy(acur, astart[:nsym+1])
 	for i, s := range sa {
-		occ[s] = append(occ[s], i)
+		pos[acur[s]] = int32(i)
+		acur[s]++
 	}
 
 	var ops []Op
@@ -31,13 +42,13 @@ func tichyOps(a, b [][]byte) []Op {
 	j := 0
 	for j < len(sb) {
 		bestStart, bestLen := -1, 0
-		cands := occ[sb[j]]
-		tried := 0
-		for _, i := range cands {
-			if tried >= maxTichyCandidates {
-				break
-			}
-			tried++
+		s := sb[j]
+		cands := pos[astart[s]:astart[s+1]]
+		if len(cands) > maxTichyCandidates {
+			cands = cands[:maxTichyCandidates]
+		}
+		for _, i32 := range cands {
+			i := int(i32)
 			l := 0
 			for i+l < len(sa) && j+l < len(sb) && sa[i+l] == sb[j+l] {
 				l++

@@ -38,6 +38,11 @@ type Config struct {
 	EditKind workload.EditKind
 	// Seed makes runs reproducible.
 	Seed int64
+	// Workers bounds how many sweep cells run concurrently (0 means
+	// GOMAXPROCS). Every cell builds its own rig and derives its own seed
+	// from (Seed, size, percent), so results — and the rendered figures —
+	// are byte-identical for any worker count.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {

@@ -107,26 +107,35 @@ type AlgorithmCell struct {
 }
 
 // RunAlgorithmComparison measures delta sizes for the three algorithms the
-// paper discusses (§7, §8.3) across modification levels.
+// paper discusses (§7, §8.3) across modification levels. The edited versions
+// derive from one sequential generator (so they match the serial runs
+// exactly); the diff computations themselves fan out across cfg.Workers.
 func RunAlgorithmComparison(cfg Config, size int, percents []float64) ([]AlgorithmCell, error) {
 	cfg = cfg.withDefaults()
 	gen := workload.NewGenerator(cfg.Seed)
 	base := gen.File(size)
-	var cells []AlgorithmCell
-	for _, p := range percents {
-		edited := gen.Modify(base, p, cfg.EditKind)
-		for _, alg := range []diff.Algorithm{diff.HuntMcIlroy, diff.Myers, diff.TichyBlockMove} {
-			d, err := diff.Compute(alg, base, edited)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, AlgorithmCell{
-				Algorithm: alg,
-				Percent:   p,
-				WireBytes: d.WireSize(),
-				Ops:       d.OpCount(),
-			})
+	edits := make([][]byte, len(percents))
+	for i, p := range percents {
+		edits[i] = gen.Modify(base, p, cfg.EditKind)
+	}
+	algs := []diff.Algorithm{diff.HuntMcIlroy, diff.Myers, diff.TichyBlockMove}
+	cells := make([]AlgorithmCell, len(percents)*len(algs))
+	err := forEachCell(cfg.Workers, len(cells), func(i int) error {
+		pi, ai := i/len(algs), i%len(algs)
+		d, err := diff.Compute(algs[ai], base, edits[pi])
+		if err != nil {
+			return err
 		}
+		cells[i] = AlgorithmCell{
+			Algorithm: algs[ai],
+			Percent:   percents[pi],
+			WireBytes: d.WireSize(),
+			Ops:       d.OpCount(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return cells, nil
 }
@@ -165,29 +174,38 @@ type CompressionCell struct {
 }
 
 // RunCompressionAblation re-times Figure-3 cells with the compression layer
-// on and off (§8.3 "data compression techniques").
+// on and off (§8.3 "data compression techniques"). Sizes fan out across
+// cfg.Workers; each cell runs its plain and compressed cycles on private
+// rigs, so results stay byte-identical to a serial run.
 func RunCompressionAblation(cfg Config, sizes []int, percent float64) ([]CompressionCell, error) {
 	cfg = cfg.withDefaults()
-	var cells []CompressionCell
-	for _, size := range sizes {
-		cfg.Compress = false
-		plain, err := RunCycle(cfg, size, percent)
+	cells := make([]CompressionCell, len(sizes))
+	err := forEachCell(cfg.Workers, len(sizes), func(i int) error {
+		size := sizes[i]
+		plainCfg := cfg
+		plainCfg.Compress = false
+		plain, err := RunCycle(plainCfg, size, percent)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		cfg.Compress = true
-		z, err := RunCycle(cfg, size, percent)
+		zCfg := cfg
+		zCfg.Compress = true
+		z, err := RunCycle(zCfg, size, percent)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		cells = append(cells, CompressionCell{
+		cells[i] = CompressionCell{
 			Size:       size,
 			Percent:    percent,
 			PlainTime:  plain.STime.Seconds(),
 			ZTime:      z.STime.Seconds(),
 			PlainBytes: plain.ShadowBytes,
 			ZBytes:     z.ShadowBytes,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return cells, nil
 }
@@ -216,13 +234,17 @@ type CacheSweepCell struct {
 // caching).
 func RunCacheSweep(cfg Config, fileSize, files int, capacities []int64) ([]CacheSweepCell, error) {
 	cfg = cfg.withDefaults()
-	var out []CacheSweepCell
-	for _, capacity := range capacities {
-		cell, err := cacheSweepOne(cfg, fileSize, files, capacity)
+	out := make([]CacheSweepCell, len(capacities))
+	err := forEachCell(cfg.Workers, len(capacities), func(i int) error {
+		cell, err := cacheSweepOne(cfg, fileSize, files, capacities[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, cell)
+		out[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

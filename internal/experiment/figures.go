@@ -34,17 +34,29 @@ type TransferFigure struct {
 }
 
 // RunTransferFigure sweeps the paper's file sizes and modification
-// percentages on the given link.
+// percentages on the given link. Cells run concurrently (cfg.Workers); each
+// (size, percent) cell is an independent rig with its own derived seed, and
+// results assemble in sweep order, so the figure is byte-identical to a
+// serial run.
 func RunTransferFigure(cfg Config, title string, sizes []int, percents []float64) (*TransferFigure, error) {
 	cfg = cfg.withDefaults()
 	fig := &TransferFigure{Title: title, Link: cfg.Link}
-	for _, size := range sizes {
+	cells := make([]Cycle, len(sizes)*len(percents))
+	err := forEachCell(cfg.Workers, len(cells), func(i int) error {
+		cell, err := RunCycle(cfg, sizes[i/len(percents)], percents[i%len(percents)])
+		if err != nil {
+			return err
+		}
+		cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, size := range sizes {
 		series := Series{Size: size}
-		for _, p := range percents {
-			cell, err := RunCycle(cfg, size, p)
-			if err != nil {
-				return nil, err
-			}
+		for pi := range percents {
+			cell := cells[si*len(percents)+pi]
 			series.Points = append(series.Points, cell)
 			if cell.ETime > series.ETime {
 				series.ETime = cell.ETime
@@ -87,20 +99,25 @@ type SpeedupTable struct {
 	Cells []Cycle
 }
 
-// RunSpeedupTable sweeps Figure 3's grid on the ARPANET link.
+// RunSpeedupTable sweeps Figure 3's grid on the ARPANET link. Cells run
+// concurrently (cfg.Workers) and assemble in grid order, so the table is
+// byte-identical to a serial run.
 func RunSpeedupTable(cfg Config) (*SpeedupTable, error) {
 	cfg = cfg.withDefaults()
-	table := &SpeedupTable{}
-	for _, size := range workload.TableSizes {
-		for _, p := range workload.TablePercents {
-			cell, err := RunCycle(cfg, size, p)
-			if err != nil {
-				return nil, err
-			}
-			table.Cells = append(table.Cells, cell)
+	sizes, percents := workload.TableSizes, workload.TablePercents
+	cells := make([]Cycle, len(sizes)*len(percents))
+	err := forEachCell(cfg.Workers, len(cells), func(i int) error {
+		cell, err := RunCycle(cfg, sizes[i/len(percents)], percents[i%len(percents)])
+		if err != nil {
+			return err
 		}
+		cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return table, nil
+	return &SpeedupTable{Cells: cells}, nil
 }
 
 // Render prints measured speedups with the paper's values alongside.

@@ -1,0 +1,67 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEachCell runs fn(0), fn(1), ... fn(n-1) across up to workers goroutines
+// (0 means GOMAXPROCS) and returns the first error any call reported.
+//
+// Experiment sweeps fan out through this helper. Every cell of a sweep builds
+// its own simulated rig and derives its own generator seed, so cells share no
+// state; callers write results into an index-addressed slice and assemble
+// output in sweep order afterwards, which keeps figures byte-identical to a
+// serial run for any worker count.
+//
+// Cells are handed out through an atomic counter (work stealing) rather than
+// pre-partitioned, since cell cost varies by an order of magnitude across
+// file sizes. After an error, idle workers stop claiming new cells; in-flight
+// cells finish and their results are discarded by the caller.
+func forEachCell(workers, n int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		mu     sync.Mutex
+		wg     sync.WaitGroup
+		err    error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || failed.Load() {
+					return
+				}
+				if e := fn(i); e != nil {
+					failed.Store(true)
+					mu.Lock()
+					if err == nil {
+						err = e
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return err
+}

@@ -1,0 +1,115 @@
+package experiment
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"shadowedit/internal/netsim"
+)
+
+// TestParallelSweepDeterministic is the contract the fan-out must keep: the
+// rendered figure and table output is byte-identical for any worker count,
+// because every cell derives its own seed and results assemble in sweep
+// order.
+func TestParallelSweepDeterministic(t *testing.T) {
+	sizes := []int{10 * 1024, 30 * 1024}
+	percents := []float64{1, 10, 20}
+	render := func(workers int) string {
+		cfg := fastCfg()
+		cfg.Workers = workers
+		fig, err := RunTransferFigure(cfg, "Determinism check", sizes, percents)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		fig.Render(&buf)
+		return buf.String()
+	}
+	serial := render(1)
+	for _, workers := range []int{2, 4, 8} {
+		if got := render(workers); got != serial {
+			t.Fatalf("workers=%d output differs from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+				workers, serial, got)
+		}
+	}
+}
+
+// TestParallelAblationsDeterministic covers the other fanned-out sweeps:
+// compression ablation, cache sweep, and the algorithm comparison.
+func TestParallelAblationsDeterministic(t *testing.T) {
+	run := func(workers int) (string, string, string) {
+		cfg := Config{Link: netsim.LAN, Seed: 17, Workers: workers}
+
+		comp, err := RunCompressionAblation(cfg, []int{10 * 1024, 20 * 1024}, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b1 bytes.Buffer
+		RenderCompressionAblation(&b1, 5, comp)
+
+		cachecells, err := RunCacheSweep(cfg, 8*1024, 3, []int64{0, 16 * 1024, 8 * 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b2 bytes.Buffer
+		RenderCacheSweep(&b2, 8*1024, 3, cachecells)
+
+		algs, err := RunAlgorithmComparison(cfg, 20*1024, []float64{1, 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b3 bytes.Buffer
+		RenderAlgorithmComparison(&b3, 20*1024, algs)
+
+		return b1.String(), b2.String(), b3.String()
+	}
+	c1, s1, a1 := run(1)
+	c4, s4, a4 := run(4)
+	if c1 != c4 {
+		t.Errorf("compression ablation differs:\n%s\nvs\n%s", c1, c4)
+	}
+	if s1 != s4 {
+		t.Errorf("cache sweep differs:\n%s\nvs\n%s", s1, s4)
+	}
+	if a1 != a4 {
+		t.Errorf("algorithm comparison differs:\n%s\nvs\n%s", a1, a4)
+	}
+}
+
+func TestForEachCellCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		const n = 100
+		var hits [n]atomic.Int32
+		if err := forEachCell(workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachCellPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := forEachCell(workers, 50, func(i int) error {
+			if i == 13 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want boom", workers, err)
+		}
+	}
+	if err := forEachCell(4, 0, func(i int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("n=0: err = %v", err)
+	}
+}
