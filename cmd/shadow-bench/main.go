@@ -13,13 +13,20 @@
 //	shadow-bench -fig cache      Cache-size ablation
 //	shadow-bench -fig load       Multi-client throughput vs job slots
 //	shadow-bench -fig overlap    Background transfer hidden behind editing
+//	shadow-bench -fig server     Multi-session server throughput (wall clock)
 //	shadow-bench -fig all        Everything
 //
 // Times are virtual seconds on the simulated link (9600 bps Cypress,
 // 56 kbps ARPANET); wall-clock runtime is a few seconds for everything.
+//
+// The server figure is different: it drives K concurrent sessions through
+// the full notify→pull→delta→job cycle over real TCP (or netsim) and
+// measures *wall-clock* server throughput, appending the run to
+// BENCH_server.json (-bench-out) so the perf trajectory is tracked.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -43,11 +50,27 @@ func run(args []string, w io.Writer) error {
 		fig  = fs.String("fig", "all", "which figure/experiment to regenerate")
 		seed = fs.Int64("seed", 1987, "workload seed")
 		plot = fs.Bool("plot", false, "draw Figures 1-2 as ASCII plots like the paper")
+
+		sessions  = fs.Int("sessions", 8, "server figure: concurrent sessions")
+		cycles    = fs.Int("cycles", 50, "server figure: cycles per session")
+		fileSize  = fs.Int("filesize", 8*1024, "server figure: data file size in bytes")
+		transport = fs.String("transport", "tcp", "server figure: tcp or netsim")
+		benchOut  = fs.String("bench-out", "BENCH_server.json", "server figure: JSON results file (appended; empty to skip)")
+		label     = fs.String("label", "", "server figure: label recorded with the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	runner := &runner{w: w, seed: *seed, plot: *plot}
+	runner.server = experiment.ServerBenchConfig{
+		Sessions:  *sessions,
+		Cycles:    *cycles,
+		FileSize:  *fileSize,
+		Transport: *transport,
+		Seed:      *seed,
+	}
+	runner.benchOut = *benchOut
+	runner.label = *label
 	switch *fig {
 	case "1":
 		return runner.figure1()
@@ -69,6 +92,8 @@ func run(args []string, w io.Writer) error {
 		return runner.load()
 	case "overlap":
 		return runner.overlap()
+	case "server":
+		return runner.serverBench()
 	case "all":
 		for _, f := range []func() error{
 			runner.figure1, runner.figure2, runner.figure3,
@@ -90,6 +115,10 @@ type runner struct {
 	w    io.Writer
 	seed int64
 	plot bool
+
+	server   experiment.ServerBenchConfig
+	benchOut string
+	label    string
 }
 
 func (r *runner) cfg(link netsim.Spec) experiment.Config {
@@ -191,6 +220,43 @@ func (r *runner) overlap() error {
 	}
 	experiment.RenderOverlap(r.w, results)
 	return nil
+}
+
+// serverBench runs the multi-session wall-clock throughput benchmark and
+// appends the result to the JSON trajectory file.
+func (r *runner) serverBench() error {
+	res, err := experiment.RunServerBench(r.server)
+	if err != nil {
+		return err
+	}
+	res.Label = r.label
+	fmt.Fprintf(r.w, "Server throughput: %s\n", res)
+	if r.benchOut == "" {
+		return nil
+	}
+	if err := appendBenchRun(r.benchOut, res); err != nil {
+		return fmt.Errorf("write %s: %w", r.benchOut, err)
+	}
+	fmt.Fprintf(r.w, "recorded in %s\n", r.benchOut)
+	return nil
+}
+
+// benchFile is the BENCH_server.json layout: one run appended per invocation.
+type benchFile struct {
+	Runs []experiment.ServerBenchResult `json:"runs"`
+}
+
+func appendBenchRun(path string, res experiment.ServerBenchResult) error {
+	var file benchFile
+	if data, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(data, &file) // a corrupt file starts fresh
+	}
+	file.Runs = append(file.Runs, res)
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func (r *runner) cache() error {

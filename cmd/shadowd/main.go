@@ -14,8 +14,10 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	shadow "shadowedit"
 )
@@ -83,6 +85,22 @@ func run(args []string) error {
 	}
 	log.Printf("shadowd %q listening on %s (pull=%s, jobs=%d, cache=%s/%s)",
 		*name, ln.Addr(), *pull, *jobsN, *cacheSize, *cachePolicy)
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting, drain the live
+	// sessions (pipelined writers flush their pending output), let queued
+	// jobs finish, then exit. A second signal kills the process the hard
+	// way via the default handler.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		signal.Stop(sigc)
+		log.Printf("shadowd: %v: draining sessions and shutting down", sig)
+		srv.Close()    // marks the server closed, drains and flushes sessions
+		_ = ln.Close() // then unblock the accept loop
+		snap := srv.Metrics()
+		log.Printf("shadowd: drained; %s; %s", snap, snap.CacheString())
+	}()
 	return shadow.ServeTCP(srv, ln)
 }
 

@@ -11,12 +11,23 @@
 //
 // Entries hold the newest version of each shadow file; files pinned by
 // running jobs are never evicted until unpinned.
+//
+// The store is lock-striped: entries are spread over shardCount shards keyed
+// by a mixed ShadowID hash, so concurrent sessions touching different files
+// never contend. Byte accounting and hit/miss/eviction statistics are
+// atomics read without any lock. Victim selection under capacity pressure is
+// still a global decision — the policy ("least recently used anywhere",
+// "largest anywhere") matches the single-lock implementation exactly — so
+// bounded Puts serialize on one eviction mutex while scanning shards one at
+// a time; unbounded caches (the common server configuration) never take it.
 package cache
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"shadowedit/internal/naming"
 )
@@ -67,15 +78,34 @@ type Stats struct {
 	Entries   int
 }
 
+// shardCount is the number of lock stripes; a power of two so the shard
+// index is a mask of the mixed hash.
+const shardCount = 16
+
 // Cache is a bounded, concurrency-safe shadow store.
 type Cache struct {
-	mu       sync.Mutex
 	capacity int64
 	policy   Policy
-	entries  map[naming.ShadowID]*slot
-	bytes    int64
-	seq      int64
-	stats    Stats
+
+	shards [shardCount]shard
+
+	// evictMu serializes capacity-bounded Puts so the room check and the
+	// eviction scan are atomic with respect to each other. Reads, pins and
+	// unbounded Puts never take it.
+	evictMu sync.Mutex
+
+	bytes atomic.Int64
+	seq   atomic.Int64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	rejected  atomic.Int64
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[naming.ShadowID]*slot
 }
 
 type slot struct {
@@ -84,40 +114,53 @@ type slot struct {
 	pins     int
 }
 
+// shardOf mixes the id (sequential intern order would otherwise map
+// neighbouring files to neighbouring shards unevenly) and picks a stripe.
+func (c *Cache) shardOf(id naming.ShadowID) *shard {
+	h := uint64(id)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return &c.shards[h&(shardCount-1)]
+}
+
 // New returns a cache bounded to capacity bytes of content (<= 0 means
 // unbounded) with the given eviction policy.
 func New(capacity int64, policy Policy) *Cache {
 	if policy != LRU && policy != LargestFirst {
 		policy = LRU
 	}
-	return &Cache{
-		capacity: capacity,
-		policy:   policy,
-		entries:  make(map[naming.ShadowID]*slot),
+	c := &Cache{capacity: capacity, policy: policy}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[naming.ShadowID]*slot)
 	}
+	return c
 }
 
 // Get returns the cached entry for id, if present, and refreshes its
 // recency. The returned content must not be modified.
 func (c *Cache) Get(id naming.ShadowID) (Entry, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s, ok := c.entries[id]
+	sh := c.shardOf(id)
+	sh.mu.Lock()
+	s, ok := sh.entries[id]
 	if !ok {
-		c.stats.Misses++
+		sh.mu.Unlock()
+		c.misses.Add(1)
 		return Entry{}, false
 	}
-	c.seq++
-	s.lastUsed = c.seq
-	c.stats.Hits++
-	return s.entry, true
+	s.lastUsed = c.seq.Add(1)
+	e := s.entry
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	return e, true
 }
 
 // Peek is Get without touching recency or hit statistics.
 func (c *Cache) Peek(id naming.ShadowID) (Entry, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s, ok := c.entries[id]
+	sh := c.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.entries[id]
 	if !ok {
 		return Entry{}, false
 	}
@@ -125,112 +168,158 @@ func (c *Cache) Peek(id naming.ShadowID) (Entry, bool) {
 }
 
 // Put stores version content for id, replacing any older version, evicting
-// other unpinned entries as needed. Best-effort: if the content cannot fit
-// (bigger than capacity, or everything else is pinned), Put returns
-// ErrTooLarge and the cache simply does not hold the file — callers must not
-// treat that as fatal.
+// other unpinned entries as needed. The content is copied. Best-effort: if
+// the content cannot fit (bigger than capacity, or everything else is
+// pinned), Put returns ErrTooLarge and the cache simply does not hold the
+// file — callers must not treat that as fatal.
 func (c *Cache) Put(id naming.ShadowID, version uint64, content []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	return c.put(id, version, append([]byte(nil), content...))
+}
+
+// PutOwned is Put taking ownership of content without copying; the caller
+// must not touch the slice afterwards. The server's arrival path uses it —
+// applied deltas and full transfers are freshly built buffers, so the
+// defensive copy would be pure allocation.
+func (c *Cache) PutOwned(id naming.ShadowID, version uint64, content []byte) error {
+	return c.put(id, version, content)
+}
+
+func (c *Cache) put(id naming.ShadowID, version uint64, content []byte) error {
 	size := int64(len(content))
-	old := c.entries[id]
-	var oldSize int64
-	if old != nil {
-		oldSize = int64(len(old.entry.Content))
-	}
 	// Content that can never fit is rejected up front — evicting the
 	// whole cache first would sacrifice everyone else's entries for
 	// nothing.
 	if c.capacity > 0 && size > c.capacity {
-		c.stats.Rejected++
-		if old != nil && old.pins == 0 {
-			c.bytes -= oldSize
-			delete(c.entries, id)
-		}
+		c.reject(id)
 		return ErrTooLarge
 	}
-	// Guarantee room before mutating anything: the entry's own old bytes
-	// are reusable, everything else must be evicted per policy.
-	if c.capacity > 0 {
-		for c.bytes-oldSize+size > c.capacity {
-			if c.evictOneLocked(id) {
-				continue
-			}
+	sh := c.shardOf(id)
+	if c.capacity <= 0 {
+		// Unbounded: fully shard-local.
+		sh.mu.Lock()
+		c.storeLocked(sh, id, version, content, size)
+		sh.mu.Unlock()
+		return nil
+	}
+	c.evictMu.Lock()
+	defer c.evictMu.Unlock()
+	for {
+		sh.mu.Lock()
+		var oldSize int64
+		if old, ok := sh.entries[id]; ok {
+			oldSize = int64(len(old.entry.Content))
+		}
+		// The entry's own old bytes are reusable; everything else must
+		// be evicted per policy. Only put (under evictMu) grows bytes,
+		// so the check cannot be invalidated concurrently.
+		if c.bytes.Load()-oldSize+size <= c.capacity {
+			c.storeLocked(sh, id, version, content, size)
+			sh.mu.Unlock()
+			return nil
+		}
+		sh.mu.Unlock()
+		if !c.evictOne(id) {
 			// No victim available. Best effort: the cache simply
 			// does not hold the new version. A stale unpinned old
 			// version is dropped rather than silently served; a
 			// pinned one stays (a job still needs it) and remains
 			// accurately versioned.
-			c.stats.Rejected++
-			if old != nil && old.pins == 0 {
-				c.bytes -= oldSize
-				delete(c.entries, id)
-			}
+			c.reject(id)
 			return ErrTooLarge
 		}
 	}
-	c.seq++
-	if old != nil {
-		c.bytes += size - oldSize
-		old.entry.Version = version
-		old.entry.Content = append([]byte(nil), content...)
-		old.lastUsed = c.seq
-		return nil
-	}
-	c.entries[id] = &slot{
-		entry:    Entry{ID: id, Version: version, Content: append([]byte(nil), content...)},
-		lastUsed: c.seq,
-	}
-	c.bytes += size
-	return nil
 }
 
-// evictOneLocked removes one unpinned victim per policy. Returns false when
-// no victim exists.
-func (c *Cache) evictOneLocked(keep naming.ShadowID) bool {
-	var victim naming.ShadowID
-	found := false
-	switch c.policy {
-	case LargestFirst:
-		var best int64 = -1
-		for id, s := range c.entries {
-			if s.pins > 0 || id == keep {
-				continue
-			}
-			if int64(len(s.entry.Content)) > best {
-				best = int64(len(s.entry.Content))
-				victim = id
-				found = true
-			}
-		}
-	default: // LRU
-		var oldest int64 = 1<<63 - 1
-		for id, s := range c.entries {
-			if s.pins > 0 || id == keep {
-				continue
-			}
-			if s.lastUsed < oldest {
-				oldest = s.lastUsed
-				victim = id
-				found = true
-			}
-		}
+// reject counts a failed Put and drops any stale unpinned old version of id.
+func (c *Cache) reject(id naming.ShadowID) {
+	c.rejected.Add(1)
+	sh := c.shardOf(id)
+	sh.mu.Lock()
+	if old, ok := sh.entries[id]; ok && old.pins == 0 {
+		c.bytes.Add(-int64(len(old.entry.Content)))
+		delete(sh.entries, id)
 	}
-	if !found {
-		return false
+	sh.mu.Unlock()
+}
+
+// storeLocked installs content under sh.mu, which must be held.
+func (c *Cache) storeLocked(sh *shard, id naming.ShadowID, version uint64, content []byte, size int64) {
+	seq := c.seq.Add(1)
+	if old, ok := sh.entries[id]; ok {
+		c.bytes.Add(size - int64(len(old.entry.Content)))
+		old.entry.Version = version
+		old.entry.Content = content
+		old.lastUsed = seq
+		return
 	}
-	c.bytes -= int64(len(c.entries[victim].entry.Content))
-	delete(c.entries, victim)
-	c.stats.Evictions++
-	return true
+	sh.entries[id] = &slot{
+		entry:    Entry{ID: id, Version: version, Content: content},
+		lastUsed: seq,
+	}
+	c.bytes.Add(size)
+}
+
+// evictOne removes one unpinned victim per policy, scanning every shard for
+// the global best candidate (identical choice to the single-lock cache) and
+// then revalidating under the victim's shard lock — a pin that raced the
+// scan spares the entry and the scan repeats. Returns false when no victim
+// exists. Caller holds evictMu, so at most one eviction scan runs at a time
+// and no shard lock is ever held while another is taken.
+func (c *Cache) evictOne(keep naming.ShadowID) bool {
+	for {
+		var (
+			victimShard *shard
+			victim      naming.ShadowID
+			found       bool
+			best        int64 = -1
+			oldest      int64 = math.MaxInt64
+		)
+		for i := range c.shards {
+			sh := &c.shards[i]
+			sh.mu.Lock()
+			for id, s := range sh.entries {
+				if s.pins > 0 || id == keep {
+					continue
+				}
+				switch c.policy {
+				case LargestFirst:
+					if int64(len(s.entry.Content)) > best {
+						best = int64(len(s.entry.Content))
+						victim, victimShard, found = id, sh, true
+					}
+				default: // LRU
+					if s.lastUsed < oldest {
+						oldest = s.lastUsed
+						victim, victimShard, found = id, sh, true
+					}
+				}
+			}
+			sh.mu.Unlock()
+		}
+		if !found {
+			return false
+		}
+		victimShard.mu.Lock()
+		if s, ok := victimShard.entries[victim]; ok && s.pins == 0 {
+			c.bytes.Add(-int64(len(s.entry.Content)))
+			delete(victimShard.entries, victim)
+			victimShard.mu.Unlock()
+			c.evictions.Add(1)
+			return true
+		}
+		victimShard.mu.Unlock()
+		// The chosen victim was pinned or removed after the scan; pick
+		// again without it.
+	}
 }
 
 // Pin marks id in use (for example by a queued or running job); pinned
 // entries survive eviction. Pins nest.
 func (c *Cache) Pin(id naming.ShadowID) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s, ok := c.entries[id]
+	sh := c.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.entries[id]
 	if !ok {
 		return false
 	}
@@ -240,9 +329,10 @@ func (c *Cache) Pin(id naming.ShadowID) bool {
 
 // Unpin releases one pin.
 func (c *Cache) Unpin(id naming.ShadowID) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if s, ok := c.entries[id]; ok && s.pins > 0 {
+	sh := c.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s, ok := sh.entries[id]; ok && s.pins > 0 {
 		s.pins--
 	}
 }
@@ -250,48 +340,57 @@ func (c *Cache) Unpin(id naming.ShadowID) {
 // Evict forcibly removes an entry (even a pinned one); used by tests and by
 // operators reclaiming disk. Reports whether the entry existed.
 func (c *Cache) Evict(id naming.ShadowID) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s, ok := c.entries[id]
+	sh := c.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.entries[id]
 	if !ok {
 		return false
 	}
-	c.bytes -= int64(len(s.entry.Content))
-	delete(c.entries, id)
-	c.stats.Evictions++
+	c.bytes.Add(-int64(len(s.entry.Content)))
+	delete(sh.entries, id)
+	c.evictions.Add(1)
 	return true
 }
 
 // Flush empties the cache (server restart, disk scrubbed).
 func (c *Cache) Flush() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries = make(map[naming.ShadowID]*slot)
-	c.bytes = 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for id, s := range sh.entries {
+			c.bytes.Add(-int64(len(s.entry.Content)))
+			delete(sh.entries, id)
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	st := c.stats
-	st.Bytes = c.bytes
-	st.Entries = len(c.entries)
-	return st
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Rejected:  c.rejected.Load(),
+		Bytes:     c.bytes.Load(),
+		Entries:   c.Len(),
+	}
 }
 
 // Bytes returns the cached content bytes.
-func (c *Cache) Bytes() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.bytes
-}
+func (c *Cache) Bytes() int64 { return c.bytes.Load() }
 
 // Len returns the number of cached entries.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Capacity returns the configured byte capacity (<= 0 means unbounded).

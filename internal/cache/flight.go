@@ -1,0 +1,124 @@
+package cache
+
+import (
+	"sync"
+
+	"shadowedit/internal/naming"
+	"shadowedit/internal/wire"
+)
+
+// Flights coalesces concurrent retrievals of the same shadow file across
+// sessions: when several clients notify (or several jobs need) the same
+// file version, only the first pull goes out on the wire — the arrival
+// feeds every waiter, because the cache and the job waiting-index are
+// global. The paper's demand-driven design (§5.2) makes this safe: a pull
+// is a server-side optimization, never a protocol obligation, so answering
+// one pull satisfies everyone who wanted the content.
+//
+// Each flight remembers which session issued the pull (the owner). When a
+// session dies, ReleaseOwner returns its in-flight fetches so the server
+// can re-issue them through a surviving session — otherwise jobs waiting on
+// a coalesced pull would hang on a dead connection.
+type Flights struct {
+	shards [shardCount]flightShard
+}
+
+type flightShard struct {
+	mu sync.Mutex
+	m  map[naming.ShadowID]flight
+}
+
+type flight struct {
+	ref   wire.FileRef
+	want  uint64
+	owner uint64
+}
+
+// PendingFetch is one released in-flight retrieval: the file and the
+// version that was being fetched when its owning session died.
+type PendingFetch struct {
+	Ref  wire.FileRef
+	Want uint64
+}
+
+// NewFlights returns an empty flight table.
+func NewFlights() *Flights {
+	f := &Flights{}
+	for i := range f.shards {
+		f.shards[i].m = make(map[naming.ShadowID]flight)
+	}
+	return f
+}
+
+func (f *Flights) shardOf(id naming.ShadowID) *flightShard {
+	h := uint64(id)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return &f.shards[h&(shardCount-1)]
+}
+
+// Begin registers intent to fetch version want of id from session owner.
+// It reports true when the caller should issue the pull; false when a fetch
+// covering this version is already in flight and the pull coalesces.
+func (f *Flights) Begin(id naming.ShadowID, ref wire.FileRef, want, owner uint64) bool {
+	sh := f.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if fl, ok := sh.m[id]; ok && fl.want >= want {
+		return false
+	}
+	sh.m[id] = flight{ref: ref, want: want, owner: owner}
+	return true
+}
+
+// Force unconditionally records a fetch, replacing any in-flight entry —
+// the forced-full-pull path, where the previous flight's answer proved
+// unusable.
+func (f *Flights) Force(id naming.ShadowID, ref wire.FileRef, want, owner uint64) {
+	sh := f.shardOf(id)
+	sh.mu.Lock()
+	sh.m[id] = flight{ref: ref, want: want, owner: owner}
+	sh.mu.Unlock()
+}
+
+// Done clears the flight for id once a version at least as new as the one
+// being fetched has arrived. An older arrival leaves the flight open.
+func (f *Flights) Done(id naming.ShadowID, version uint64) {
+	sh := f.shardOf(id)
+	sh.mu.Lock()
+	if fl, ok := sh.m[id]; ok && fl.want <= version {
+		delete(sh.m, id)
+	}
+	sh.mu.Unlock()
+}
+
+// ReleaseOwner removes every flight owned by a (dead) session and returns
+// the fetches that were outstanding so they can be re-issued elsewhere.
+func (f *Flights) ReleaseOwner(owner uint64) []PendingFetch {
+	var out []PendingFetch
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.Lock()
+		for id, fl := range sh.m {
+			if fl.owner == owner {
+				out = append(out, PendingFetch{Ref: fl.ref, Want: fl.want})
+				delete(sh.m, id)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Len reports the number of in-flight fetches (tests and introspection).
+func (f *Flights) Len() int {
+	n := 0
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}

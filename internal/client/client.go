@@ -86,6 +86,7 @@ type Client struct {
 
 	mu        sync.Mutex
 	awaiting  chan wire.Message // live only while a request is outstanding
+	pending   *pendingSubmit    // submit in flight, installed on SUBMIT_OK
 	outPrev   map[uint32][]byte // script checksum -> last received stdout
 	jobMeta   map[uint64]jobMeta
 	jobDone   map[uint64]chan struct{}
@@ -101,6 +102,31 @@ type jobMeta struct {
 	scriptSum  uint32
 	outputFile string
 	errorFile  string
+}
+
+// pendingSubmit carries a submit's metadata from the caller to the read
+// loop, which installs it under the job id the moment SUBMIT_OK arrives.
+// Registration must not wait for the caller to resume: the job's OUTPUT can
+// follow SUBMIT_OK immediately, and an output for an unregistered job would
+// be mistaken for one whose delta base is gone. Output and error file names
+// are kept unexpanded ("" = the environment default with %J = job id),
+// since the job id is unknown until the reply.
+type pendingSubmit struct {
+	scriptSum  uint32
+	outputFile string
+	errorFile  string
+}
+
+// expand resolves the metadata against a now-known job id.
+func (p *pendingSubmit) expand(e env.Environment, job uint64) jobMeta {
+	m := jobMeta{scriptSum: p.scriptSum, outputFile: p.outputFile, errorFile: p.errorFile}
+	if m.outputFile == "" {
+		m.outputFile = e.ExpandOutput(job)
+	}
+	if m.errorFile == "" {
+		m.errorFile = e.ExpandError(job)
+	}
+	return m
 }
 
 // Connect establishes a session over conn: it sends HELLO, waits for
@@ -246,7 +272,21 @@ func (c *Client) Submit(scriptPath string, dataPaths []string, opts SubmitOption
 		RouteHost:       opts.RouteHost,
 		WantOutputDelta: wantDelta,
 	}
+	// The read loop installs the job metadata as soon as SUBMIT_OK
+	// arrives — before this goroutine resumes — because the job's OUTPUT
+	// can be right behind it on the wire.
+	p := &pendingSubmit{
+		scriptSum:  diff.Checksum(script),
+		outputFile: opts.OutputFile,
+		errorFile:  opts.ErrorFile,
+	}
+	c.mu.Lock()
+	c.pending = p
+	c.mu.Unlock()
 	reply, err := c.roundTrip(req)
+	c.mu.Lock()
+	c.pending = nil
+	c.mu.Unlock()
 	if err != nil {
 		return 0, err
 	}
@@ -255,19 +295,11 @@ func (c *Client) Submit(scriptPath string, dataPaths []string, opts SubmitOption
 		return 0, replyError(reply)
 	}
 
-	outputFile := opts.OutputFile
-	if outputFile == "" {
-		outputFile = c.cfg.Env.ExpandOutput(ok.Job)
-	}
-	errorFile := opts.ErrorFile
-	if errorFile == "" {
-		errorFile = c.cfg.Env.ExpandError(ok.Job)
-	}
 	c.mu.Lock()
-	c.jobMeta[ok.Job] = jobMeta{
-		scriptSum:  diff.Checksum(script),
-		outputFile: outputFile,
-		errorFile:  errorFile,
+	meta, known := c.jobMeta[ok.Job]
+	if !known {
+		meta = p.expand(c.cfg.Env, ok.Job)
+		c.jobMeta[ok.Job] = meta
 	}
 	if _, exists := c.jobDone[ok.Job]; !exists {
 		c.jobDone[ok.Job] = make(chan struct{})
@@ -277,8 +309,8 @@ func (c *Client) Submit(scriptPath string, dataPaths []string, opts SubmitOption
 		Server:     c.serverName,
 		ID:         ok.Job,
 		State:      wire.JobQueued,
-		OutputFile: outputFile,
-		ErrorFile:  errorFile,
+		OutputFile: meta.outputFile,
+		ErrorFile:  meta.errorFile,
 	})
 	return ok.Job, nil
 }

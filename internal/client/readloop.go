@@ -43,8 +43,18 @@ func (c *Client) readLoop() {
 }
 
 // routeReply hands a response to the caller blocked in roundTrip, if any.
+// A SUBMIT_OK additionally registers the pending submit's job metadata
+// right here, before the caller resumes: the job's OUTPUT may be the very
+// next message, and handleOutput must find the job known by then.
 func (c *Client) routeReply(msg wire.Message) {
 	c.mu.Lock()
+	if ok, isOK := msg.(*wire.SubmitOK); isOK && c.pending != nil {
+		c.jobMeta[ok.Job] = c.pending.expand(c.cfg.Env, ok.Job)
+		if _, exists := c.jobDone[ok.Job]; !exists {
+			c.jobDone[ok.Job] = make(chan struct{})
+		}
+		c.pending = nil
+	}
 	ch := c.awaiting
 	c.mu.Unlock()
 	if ch == nil {

@@ -1,0 +1,311 @@
+// Server throughput benchmark: K concurrent sessions driving the full
+// notify→pull→delta→job→output cycle against one server, measuring
+// wall-clock cycle throughput and latency percentiles. Unlike the paper
+// figures (virtual seconds on simulated links), this benchmark measures the
+// server *implementation* — lock contention, syscalls, allocation — so the
+// perf trajectory of the concurrent server core is tracked run over run in
+// BENCH_server.json.
+package experiment
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"shadowedit/internal/client"
+	"shadowedit/internal/env"
+	"shadowedit/internal/naming"
+	"shadowedit/internal/netsim"
+	"shadowedit/internal/server"
+	"shadowedit/internal/wire"
+	"shadowedit/internal/workload"
+)
+
+// ServerBenchConfig parametrizes one benchmark run.
+type ServerBenchConfig struct {
+	// Sessions is the number of concurrent client sessions (K).
+	Sessions int
+	// Cycles is the number of edit–submit–fetch cycles per session.
+	Cycles int
+	// FileSize is the data file size in bytes.
+	FileSize int
+	// EditPercent is the fraction of the file modified each cycle.
+	EditPercent float64
+	// Transport selects "tcp" (real loopback TCP) or "netsim" (in-process
+	// simulated LAN links; wall-clock is still what is measured).
+	Transport string
+	// Jobs bounds concurrent job execution at the server; 0 means one
+	// slot per session so the job pool never serializes the cycle.
+	Jobs int
+	// Seed makes the workload reproducible.
+	Seed int64
+}
+
+func (c ServerBenchConfig) withDefaults() ServerBenchConfig {
+	if c.Sessions <= 0 {
+		c.Sessions = 8
+	}
+	if c.Cycles <= 0 {
+		c.Cycles = 50
+	}
+	if c.FileSize <= 0 {
+		c.FileSize = 8 * 1024
+	}
+	if c.EditPercent <= 0 {
+		c.EditPercent = 5
+	}
+	if c.Transport == "" {
+		c.Transport = "tcp"
+	}
+	if c.Jobs <= 0 {
+		c.Jobs = c.Sessions
+	}
+	if c.Seed == 0 {
+		c.Seed = 1987
+	}
+	return c
+}
+
+// ServerBenchResult is one benchmark run's measurements, serialized into
+// BENCH_server.json.
+type ServerBenchResult struct {
+	Label          string  `json:"label,omitempty"`
+	Transport      string  `json:"transport"`
+	Sessions       int     `json:"sessions"`
+	CyclesPerSess  int     `json:"cycles_per_session"`
+	TotalCycles    int     `json:"total_cycles"`
+	FileSize       int     `json:"file_size_bytes"`
+	ElapsedSec     float64 `json:"elapsed_sec"`
+	CyclesPerSec   float64 `json:"cycles_per_sec"`
+	P50Ms          float64 `json:"p50_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	AllocsPerCycle float64 `json:"allocs_per_cycle"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheEvictions int64   `json:"cache_evictions"`
+	PullsIssued    int64   `json:"pulls_issued"`
+	PullsDeferred  int64   `json:"pulls_deferred"`
+	GoMaxProcs     int     `json:"gomaxprocs"`
+}
+
+// String renders the one-line summary the benchmark prints.
+func (r ServerBenchResult) String() string {
+	return fmt.Sprintf("%s: %d sessions x %d cycles: %.1f cycles/sec (p50 %.2fms, p99 %.2fms, %.0f allocs/cycle)",
+		r.Transport, r.Sessions, r.CyclesPerSess, r.CyclesPerSec, r.P50Ms, r.P99Ms, r.AllocsPerCycle)
+}
+
+// benchTransport hides the difference between loopback TCP and netsim: it
+// yields one server acceptor plus a dialer per client session.
+type benchTransport struct {
+	acceptor server.Acceptor
+	dial     func(session int) (wire.Conn, error)
+	close    func()
+}
+
+func newBenchTransport(cfg ServerBenchConfig) (*benchTransport, error) {
+	switch cfg.Transport {
+	case "tcp":
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		addr := ln.Addr().String()
+		return &benchTransport{
+			acceptor: server.AcceptorFunc(func() (wire.Conn, error) {
+				c, err := ln.Accept()
+				if err != nil {
+					return nil, err
+				}
+				return wire.NewStreamConn(c), nil
+			}),
+			dial: func(int) (wire.Conn, error) {
+				c, err := net.Dial("tcp", addr)
+				if err != nil {
+					return nil, err
+				}
+				return wire.NewStreamConn(c), nil
+			},
+			close: func() { _ = ln.Close() },
+		}, nil
+	case "netsim":
+		nw := netsim.New()
+		serverHost := nw.Host("super")
+		lst, err := serverHost.Listen(1)
+		if err != nil {
+			return nil, err
+		}
+		clients := make([]*netsim.Host, cfg.Sessions)
+		for i := range clients {
+			clients[i] = nw.Host(fmt.Sprintf("ws%d", i))
+			nw.Connect(clients[i], serverHost, netsim.LAN)
+		}
+		return &benchTransport{
+			acceptor: server.AcceptorFunc(func() (wire.Conn, error) { return lst.Accept() }),
+			dial: func(session int) (wire.Conn, error) {
+				return clients[session].Dial("super", 1)
+			},
+			close: func() { _ = lst.Close() },
+		}, nil
+	default:
+		return nil, fmt.Errorf("serverbench: unknown transport %q", cfg.Transport)
+	}
+}
+
+// RunServerBench runs the multi-session throughput benchmark.
+func RunServerBench(cfg ServerBenchConfig) (ServerBenchResult, error) {
+	cfg = cfg.withDefaults()
+	tr, err := newBenchTransport(cfg)
+	if err != nil {
+		return ServerBenchResult{}, err
+	}
+	defer tr.close()
+
+	scfg := server.Defaults("bench")
+	scfg.MaxConcurrentJobs = cfg.Jobs
+	srv := server.New(scfg)
+	go func() { _ = srv.Serve(tr.acceptor) }()
+	defer srv.Close()
+
+	// One shared naming universe; each session is its own user at its own
+	// workstation host, editing its own data file.
+	universe := naming.NewUniverse("bench")
+	type sessionRig struct {
+		cl       *client.Client
+		host     string
+		dataPath string
+		jobPath  string
+		gen      *workload.Generator
+		content  []byte
+	}
+	rigs := make([]*sessionRig, cfg.Sessions)
+	for i := range rigs {
+		host := fmt.Sprintf("ws%d", i)
+		user := fmt.Sprintf("u%d", i)
+		universe.AddHost(host)
+		rig := &sessionRig{
+			host:     host,
+			dataPath: fmt.Sprintf("/u/%s/data.dat", user),
+			jobPath:  fmt.Sprintf("/u/%s/run.job", user),
+			gen:      workload.NewGenerator(cfg.Seed + int64(i)),
+		}
+		rig.content = rig.gen.File(cfg.FileSize)
+		if err := universe.WriteFile(host, rig.jobPath, []byte("checksum data.dat\n")); err != nil {
+			return ServerBenchResult{}, err
+		}
+		if err := universe.WriteFile(host, rig.dataPath, rig.content); err != nil {
+			return ServerBenchResult{}, err
+		}
+		conn, err := tr.dial(i)
+		if err != nil {
+			return ServerBenchResult{}, err
+		}
+		cl, err := client.Connect(conn, client.Config{
+			User:     user,
+			Universe: universe,
+			Host:     host,
+			Env:      env.Default(user),
+		})
+		if err != nil {
+			return ServerBenchResult{}, err
+		}
+		rig.cl = cl
+		rigs[i] = rig
+		defer cl.Close()
+	}
+
+	// Prime: the first submission ships each file in full; the measured
+	// cycles are the steady-state delta traffic the paper cares about.
+	for _, rig := range rigs {
+		job, err := rig.cl.Submit(rig.jobPath, []string{rig.dataPath}, client.SubmitOptions{})
+		if err != nil {
+			return ServerBenchResult{}, fmt.Errorf("serverbench: prime submit: %w", err)
+		}
+		if _, err := rig.cl.Wait(job); err != nil {
+			return ServerBenchResult{}, fmt.Errorf("serverbench: prime wait: %w", err)
+		}
+	}
+
+	latencies := make([][]time.Duration, cfg.Sessions)
+	errs := make([]error, cfg.Sessions)
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for i, rig := range rigs {
+		wg.Add(1)
+		go func(i int, rig *sessionRig) {
+			defer wg.Done()
+			lats := make([]time.Duration, 0, cfg.Cycles)
+			for cyc := 0; cyc < cfg.Cycles; cyc++ {
+				// EditReplace keeps the file size stationary: EditMixed
+				// inserts more than it deletes, so a long run would
+				// compound the file and measure growth, not throughput.
+				rig.content = rig.gen.Modify(rig.content, cfg.EditPercent, workload.EditReplace)
+				if err := universe.WriteFile(rig.host, rig.dataPath, rig.content); err != nil {
+					errs[i] = err
+					return
+				}
+				t0 := time.Now()
+				job, err := rig.cl.Submit(rig.jobPath, []string{rig.dataPath}, client.SubmitOptions{})
+				if err != nil {
+					errs[i] = fmt.Errorf("cycle %d submit: %w", cyc, err)
+					return
+				}
+				if _, err := rig.cl.Wait(job); err != nil {
+					errs[i] = fmt.Errorf("cycle %d wait: %w", cyc, err)
+					return
+				}
+				lats = append(lats, time.Since(t0))
+			}
+			latencies[i] = lats
+		}(i, rig)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	for _, err := range errs {
+		if err != nil {
+			return ServerBenchResult{}, fmt.Errorf("serverbench: %w", err)
+		}
+	}
+
+	var all []time.Duration
+	for _, lats := range latencies {
+		all = append(all, lats...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	total := len(all)
+	pct := func(p float64) float64 {
+		if total == 0 {
+			return 0
+		}
+		idx := int(p * float64(total-1))
+		return float64(all[idx]) / float64(time.Millisecond)
+	}
+
+	cstats := srv.Cache().Stats()
+	issued, deferred := srv.FlowStats()
+	return ServerBenchResult{
+		Transport:      cfg.Transport,
+		Sessions:       cfg.Sessions,
+		CyclesPerSess:  cfg.Cycles,
+		TotalCycles:    total,
+		FileSize:       cfg.FileSize,
+		ElapsedSec:     elapsed.Seconds(),
+		CyclesPerSec:   float64(total) / elapsed.Seconds(),
+		P50Ms:          pct(0.50),
+		P99Ms:          pct(0.99),
+		AllocsPerCycle: float64(ms1.Mallocs-ms0.Mallocs) / float64(max(total, 1)),
+		CacheHits:      cstats.Hits,
+		CacheMisses:    cstats.Misses,
+		CacheEvictions: cstats.Evictions,
+		PullsIssued:    issued,
+		PullsDeferred:  deferred,
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+	}, nil
+}

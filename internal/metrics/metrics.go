@@ -7,67 +7,59 @@ package metrics
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Counters aggregates transfer activity. The zero value is ready to use.
+// All updates are atomic: counters sit on every message path, so they must
+// never serialize concurrent sessions.
 type Counters struct {
-	mu sync.Mutex
-
-	deltaBytes   int64
-	fullBytes    int64
-	controlBytes int64
-	outputBytes  int64
-	messages     int64
-	deltaSends   int64
-	fullSends    int64
-	busy         time.Duration
+	deltaBytes   atomic.Int64
+	fullBytes    atomic.Int64
+	controlBytes atomic.Int64
+	outputBytes  atomic.Int64
+	messages     atomic.Int64
+	deltaSends   atomic.Int64
+	fullSends    atomic.Int64
+	busyNanos    atomic.Int64
 }
 
 // AddDelta records a delta transfer of n payload bytes.
 func (c *Counters) AddDelta(n int) {
-	c.mu.Lock()
-	c.deltaBytes += int64(n)
-	c.deltaSends++
-	c.messages++
-	c.mu.Unlock()
+	c.deltaBytes.Add(int64(n))
+	c.deltaSends.Add(1)
+	c.messages.Add(1)
 }
 
 // AddFull records a full-content transfer of n payload bytes.
 func (c *Counters) AddFull(n int) {
-	c.mu.Lock()
-	c.fullBytes += int64(n)
-	c.fullSends++
-	c.messages++
-	c.mu.Unlock()
+	c.fullBytes.Add(int64(n))
+	c.fullSends.Add(1)
+	c.messages.Add(1)
 }
 
 // AddControl records a control message of n payload bytes (notify, pull,
 // ack, submit, status).
 func (c *Counters) AddControl(n int) {
-	c.mu.Lock()
-	c.controlBytes += int64(n)
-	c.messages++
-	c.mu.Unlock()
+	c.controlBytes.Add(int64(n))
+	c.messages.Add(1)
 }
 
 // AddOutput records delivered job output bytes.
 func (c *Counters) AddOutput(n int) {
-	c.mu.Lock()
-	c.outputBytes += int64(n)
-	c.messages++
-	c.mu.Unlock()
+	c.outputBytes.Add(int64(n))
+	c.messages.Add(1)
 }
 
 // AddBusy accumulates virtual time spent.
 func (c *Counters) AddBusy(d time.Duration) {
-	c.mu.Lock()
-	c.busy += d
-	c.mu.Unlock()
+	c.busyNanos.Add(int64(d))
 }
 
-// Snapshot is an immutable view of the counters.
+// Snapshot is an immutable view of the counters. The cache and flow-control
+// fields are filled in by holders that track them (the server); a bare
+// Counters leaves them zero.
 type Snapshot struct {
 	DeltaBytes   int64
 	FullBytes    int64
@@ -77,6 +69,18 @@ type Snapshot struct {
 	DeltaSends   int64
 	FullSends    int64
 	Busy         time.Duration
+
+	// Cache efficacy for the same run (server-side).
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
+	CacheRejected  int64
+
+	// Flow control: pulls issued, deferred by policy, and coalesced into
+	// another session's in-flight fetch.
+	PullsIssued    int64
+	PullsDeferred  int64
+	PullsCoalesced int64
 }
 
 // TotalBytes sums all payload bytes.
@@ -90,27 +94,34 @@ func (s Snapshot) String() string {
 		s.DeltaBytes, s.FullBytes, s.ControlBytes, s.OutputBytes, s.Messages, s.DeltaSends, s.FullSends)
 }
 
+// CacheString renders the cache/flow extension fields.
+func (s Snapshot) CacheString() string {
+	return fmt.Sprintf("cache: %d hits, %d misses, %d evictions; pulls: %d issued, %d deferred, %d coalesced",
+		s.CacheHits, s.CacheMisses, s.CacheEvictions, s.PullsIssued, s.PullsDeferred, s.PullsCoalesced)
+}
+
 // Snapshot returns the current totals.
 func (c *Counters) Snapshot() Snapshot {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return Snapshot{
-		DeltaBytes:   c.deltaBytes,
-		FullBytes:    c.fullBytes,
-		ControlBytes: c.controlBytes,
-		OutputBytes:  c.outputBytes,
-		Messages:     c.messages,
-		DeltaSends:   c.deltaSends,
-		FullSends:    c.fullSends,
-		Busy:         c.busy,
+		DeltaBytes:   c.deltaBytes.Load(),
+		FullBytes:    c.fullBytes.Load(),
+		ControlBytes: c.controlBytes.Load(),
+		OutputBytes:  c.outputBytes.Load(),
+		Messages:     c.messages.Load(),
+		DeltaSends:   c.deltaSends.Load(),
+		FullSends:    c.fullSends.Load(),
+		Busy:         time.Duration(c.busyNanos.Load()),
 	}
 }
 
 // Reset zeroes the counters.
 func (c *Counters) Reset() {
-	c.mu.Lock()
-	c.deltaBytes, c.fullBytes, c.controlBytes, c.outputBytes = 0, 0, 0, 0
-	c.messages, c.deltaSends, c.fullSends = 0, 0, 0
-	c.busy = 0
-	c.mu.Unlock()
+	c.deltaBytes.Store(0)
+	c.fullBytes.Store(0)
+	c.controlBytes.Store(0)
+	c.outputBytes.Store(0)
+	c.messages.Store(0)
+	c.deltaSends.Store(0)
+	c.fullSends.Store(0)
+	c.busyNanos.Store(0)
 }

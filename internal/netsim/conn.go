@@ -130,13 +130,30 @@ func (c *Conn) LocalHost() *Host { return c.local }
 // RemoteHost returns the host at the far end.
 func (c *Conn) RemoteHost() *Host { return c.remote }
 
+// Now returns the local host's current virtual time.
+func (c *Conn) Now() time.Duration { return c.local.Now() }
+
 // Send transmits payload to the peer, consuming virtual transmission time on
 // the link. The payload is copied; the caller may reuse it.
 func (c *Conn) Send(payload []byte) error {
-	return c.send(payload, false)
+	return c.sendFrom(payload, c.local.Now(), false)
+}
+
+// SendScheduled transmits payload as if handed to the line at virtual time
+// start. An asynchronous writer uses it to preserve the virtual moment a
+// message was queued: the local clock may have advanced (the receive side
+// runs concurrently) by the time the writer drains the queue. Per-direction
+// line serialization makes an early start safe — transmission begins no
+// earlier than the previous message on the direction finished.
+func (c *Conn) SendScheduled(payload []byte, start time.Duration) error {
+	return c.sendFrom(payload, start, false)
 }
 
 func (c *Conn) send(payload []byte, control bool) error {
+	return c.sendFrom(payload, c.local.Now(), control)
+}
+
+func (c *Conn) sendFrom(payload []byte, start time.Duration, control bool) error {
 	select {
 	case <-c.closeCh:
 		return ErrClosed
@@ -146,7 +163,7 @@ func (c *Conn) send(payload []byte, control bool) error {
 	}
 	// Store and forward: each hop serializes the message on its own
 	// line, starting no earlier than the previous hop delivered it.
-	arrival := c.local.Now()
+	arrival := start
 	for _, hop := range c.path {
 		var err error
 		arrival, err = hop.Link.transmit(hop.Dir, arrival, len(payload))

@@ -3,32 +3,56 @@ package server
 import (
 	"fmt"
 
+	"shadowedit/internal/cache"
 	"shadowedit/internal/core"
 	"shadowedit/internal/jobs"
 	"shadowedit/internal/wire"
 )
 
+// addWaiter indexes a job under the file it is waiting for, so the file's
+// arrival touches exactly the jobs that want it.
+func (s *Server) addWaiter(key string, j *job) {
+	s.waitMu.Lock()
+	s.waiters[key] = append(s.waiters[key], j)
+	s.waitMu.Unlock()
+}
+
 // feedWaitingJobs delivers a freshly arrived file version to every job still
 // waiting for it. A newer version than requested also satisfies the wait:
 // the cache holds only the latest version, and by connection ordering a
 // newer version means the user resubmitted meanwhile — running with fresher
-// input matches what a new submit would see.
+// input matches what a new submit would see. The waiters index makes this
+// O(jobs waiting for this file), not O(all jobs ever submitted).
 func (s *Server) feedWaitingJobs(ref wire.FileRef, version uint64, content []byte) {
 	key := ref.String()
-	s.mu.Lock()
-	waiting := make([]*job, 0, 2)
-	for _, j := range s.jobs {
+	s.waitMu.Lock()
+	list := s.waiters[key]
+	if len(list) == 0 {
+		s.waitMu.Unlock()
+		return
+	}
+	ready := make([]*job, 0, len(list))
+	remaining := list[:0]
+	for _, j := range list {
 		j.mu.Lock()
 		want, ok := j.waiting[key]
-		if ok && version >= want {
+		switch {
+		case ok && version >= want:
 			j.snapshot[j.byRef[key]] = content
 			delete(j.waiting, key)
-			waiting = append(waiting, j)
+			ready = append(ready, j)
+		case ok:
+			remaining = append(remaining, j) // still needs a newer version
 		}
 		j.mu.Unlock()
 	}
-	s.mu.Unlock()
-	for _, j := range waiting {
+	if len(remaining) == 0 {
+		delete(s.waiters, key)
+	} else {
+		s.waiters[key] = remaining
+	}
+	s.waitMu.Unlock()
+	for _, j := range ready {
 		s.maybeSchedule(j)
 	}
 }
@@ -88,14 +112,10 @@ func (s *Server) runJob(j *job) {
 
 	// A finished job frees capacity: the load-aware policy may now pull
 	// deferred updates.
-	s.mu.Lock()
-	sessions := make([]*session, 0, len(s.sessions))
-	for _, ss := range s.sessions {
-		sessions = append(sessions, ss)
-	}
-	s.mu.Unlock()
-	for _, ss := range sessions {
-		ss.drainDeferred()
+	if s.cfg.Pull == PullLoadAware {
+		for _, ss := range s.sessions.snapshot() {
+			ss.drainDeferred()
+		}
 	}
 }
 
@@ -122,16 +142,16 @@ func (s *Server) deliverOutput(j *job) {
 
 // deliverOrHold sends a job's output to a live session matching the
 // predicate, or records it in a hold queue. The lookup and the queueing
-// happen under the server mutex — the same mutex the hello handler holds
-// while it registers a session's identity and drains the queue — so an
-// output can never fall between "no session yet" and "queue already
-// drained". Dead sessions discovered mid-send are dropped and the lookup
-// retried, so a racing disconnect degrades to queueing, never to loss.
+// happen under deliverMu — the same mutex the hello handler holds while it
+// registers a session's identity and drains the queue — so an output can
+// never fall between "no session yet" and "queue already drained". Dead
+// sessions discovered mid-send are dropped and the lookup retried, so a
+// racing disconnect degrades to queueing, never to loss.
 func (s *Server) deliverOrHold(j *job, match func(*session) bool, hold func(), holdMsg string) {
 	for {
-		s.mu.Lock()
+		s.deliverMu.Lock()
 		var target *session
-		for _, sess := range s.sessions {
+		for _, sess := range s.sessions.snapshot() {
 			if !match(sess) {
 				continue
 			}
@@ -141,11 +161,11 @@ func (s *Server) deliverOrHold(j *job, match func(*session) bool, hold func(), h
 		}
 		if target == nil {
 			hold()
-			s.mu.Unlock()
+			s.deliverMu.Unlock()
 			j.setState(wire.JobDone, holdMsg)
 			return
 		}
-		s.mu.Unlock()
+		s.deliverMu.Unlock()
 		if s.sendOutput(target, j, false) == nil {
 			return
 		}
@@ -154,8 +174,8 @@ func (s *Server) deliverOrHold(j *job, match func(*session) bool, hold func(), h
 	}
 }
 
-// deliverRoutedTo flushes outputs held for the host a new session arrived
-// from. Caller must hold s.mu.
+// deliverRoutedToLocked flushes outputs held for the host a new session
+// arrived from. Caller must hold deliverMu.
 func (s *Server) deliverRoutedToLocked(ss *session) []uint64 {
 	if ss.clientHost == "" {
 		return nil
@@ -166,7 +186,7 @@ func (s *Server) deliverRoutedToLocked(ss *session) []uint64 {
 }
 
 // deliverUndeliveredToLocked takes outputs that completed while their owner
-// was disconnected. Caller must hold s.mu.
+// was disconnected. Caller must hold deliverMu.
 func (s *Server) deliverUndeliveredToLocked(ss *session) []uint64 {
 	owner := ss.identity()
 	ids := s.undelivered[owner]
@@ -204,6 +224,37 @@ func (s *Server) repullWaitingInputs(ss *session) {
 	}
 }
 
+// repullPending re-homes fetches that a dying session owned: any job still
+// waiting for one of the released files gets the pull re-issued through its
+// own (surviving) session, so pulls that coalesced behind the dead session
+// do not strand live jobs.
+func (s *Server) repullPending(dead *session, pending []cache.PendingFetch) {
+	for _, p := range pending {
+		id := s.dir.Intern(p.Ref)
+		if e, ok := s.cache.Peek(id); ok && e.Version >= p.Want {
+			s.feedWaitingJobs(p.Ref, e.Version, e.Content)
+			continue
+		}
+		key := p.Ref.String()
+		s.waitMu.Lock()
+		var target *session
+		for _, j := range s.waiters[key] {
+			j.mu.Lock()
+			_, waiting := j.waiting[key]
+			sess := j.sess
+			j.mu.Unlock()
+			if waiting && sess != nil && sess != dead && !sess.dead.Load() {
+				target = sess
+				break
+			}
+		}
+		s.waitMu.Unlock()
+		if target != nil {
+			_ = target.pullFile(p.Ref, p.Want)
+		}
+	}
+}
+
 // sendHeld transmits previously held outputs to a freshly identified
 // session. Failed sends re-enter the hold queues via deliverOutput's normal
 // path.
@@ -224,7 +275,8 @@ func (s *Server) sendHeld(ss *session, ids []uint64) {
 
 // sendOutput transmits a job's results to a session, using reverse shadow
 // processing when the submitter asked for it and the receiving session holds
-// the previous output of the same script.
+// the previous output of the same script. The send is synchronous — the
+// caller's hold-and-requeue logic needs the real transport outcome.
 func (s *Server) sendOutput(target *session, j *job, forceFull bool) error {
 	j.mu.Lock()
 	res := j.result
@@ -251,7 +303,7 @@ func (s *Server) sendOutput(target *session, j *job, forceFull bool) error {
 	}
 
 	s.counters.AddOutput(len(payload) + len(res.Stderr))
-	return target.send(&wire.Output{
+	return target.sendSync(&wire.Output{
 		Job:        j.id,
 		State:      state,
 		ExitCode:   res.ExitCode,

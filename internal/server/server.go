@@ -3,12 +3,19 @@
 // the per-domain shadow cache and its name directory, retrieves file updates
 // under demand-driven flow control, schedules and executes batch jobs, and
 // transfers results back to the appropriate client.
+//
+// The server core is built to scale with sessions: the session and job
+// tables are lock-striped, counters are atomics, job waiting-sets are
+// indexed by file so an arrival feeds exactly the jobs that want it, and
+// each session writes through its own pipelined writer goroutine — no
+// global mutex sits on the message hot path.
 package server
 
 import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -94,31 +101,148 @@ func Defaults(name string) Config {
 	}
 }
 
+// tableShards is the stripe count for the session and job tables.
+const tableShards = 16
+
+// sessionTable is a lock-striped map of live sessions with an atomic count.
+type sessionTable struct {
+	count  atomic.Int64
+	shards [tableShards]struct {
+		mu sync.RWMutex
+		m  map[uint64]*session
+	}
+}
+
+func (t *sessionTable) init() {
+	for i := range t.shards {
+		t.shards[i].m = make(map[uint64]*session)
+	}
+}
+
+func (t *sessionTable) add(ss *session) {
+	sh := &t.shards[ss.id%tableShards]
+	sh.mu.Lock()
+	sh.m[ss.id] = ss
+	sh.mu.Unlock()
+	t.count.Add(1)
+}
+
+// remove reports whether the session was present (so the first of several
+// racing drops does the owner-release work exactly once).
+func (t *sessionTable) remove(id uint64) bool {
+	sh := &t.shards[id%tableShards]
+	sh.mu.Lock()
+	_, ok := sh.m[id]
+	if ok {
+		delete(sh.m, id)
+	}
+	sh.mu.Unlock()
+	if ok {
+		t.count.Add(-1)
+	}
+	return ok
+}
+
+func (t *sessionTable) len() int { return int(t.count.Load()) }
+
+// snapshot returns the live sessions at one instant (shard by shard).
+func (t *sessionTable) snapshot() []*session {
+	out := make([]*session, 0, t.len())
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for _, ss := range sh.m {
+			out = append(out, ss)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// jobTable is a lock-striped map of all submitted jobs.
+type jobTable struct {
+	shards [tableShards]struct {
+		mu sync.RWMutex
+		m  map[uint64]*job
+	}
+}
+
+func (t *jobTable) init() {
+	for i := range t.shards {
+		t.shards[i].m = make(map[uint64]*job)
+	}
+}
+
+func (t *jobTable) add(j *job) {
+	sh := &t.shards[j.id%tableShards]
+	sh.mu.Lock()
+	sh.m[j.id] = j
+	sh.mu.Unlock()
+}
+
+func (t *jobTable) get(id uint64) (*job, bool) {
+	sh := &t.shards[id%tableShards]
+	sh.mu.RLock()
+	j, ok := sh.m[id]
+	sh.mu.RUnlock()
+	return j, ok
+}
+
+// forEach visits every job (shard by shard, no global order).
+func (t *jobTable) forEach(f func(*job)) {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for _, j := range sh.m {
+			f(j)
+		}
+		sh.mu.RUnlock()
+	}
+}
+
 // Server is one shadow server instance.
 type Server struct {
 	cfg      Config
 	dir      *naming.Directory
 	cache    *cache.Cache
+	flights  *cache.Flights
 	pool     *jobs.Pool
 	counters *metrics.Counters
 
-	mu          sync.Mutex
-	nextSession uint64
-	nextJob     uint64
-	jobs        map[uint64]*job
-	sessions    map[uint64]*session
+	nextSession atomic.Uint64
+	nextJob     atomic.Uint64
+	sessions    sessionTable
+	jobs        jobTable
+
+	// waitMu guards waiters, the file-keyed index of jobs whose waiting
+	// set references that file. feedWaitingJobs consults only the jobs
+	// that actually want the arrived file — O(waiters), not O(all jobs).
+	waitMu  sync.Mutex
+	waiters map[string][]*job
+
+	// deliverMu covers identity registration (hello) versus the
+	// lookup-or-queue of finished outputs: an output completing
+	// concurrently with a hello is either claimed by the hello or sees
+	// the registered identity — never neither.
+	deliverMu   sync.Mutex
 	routed      map[string][]uint64   // client host -> undelivered routed job ids
 	undelivered map[identity][]uint64 // owner -> outputs awaiting reconnection
-	closed      bool
 
-	pullsIssued   atomic.Int64
-	pullsDeferred atomic.Int64
+	// startMu lets Close exclude concurrent session registration without
+	// putting a mutex on any per-message path.
+	startMu sync.RWMutex
+	closed  atomic.Bool
+
+	pullsIssued    atomic.Int64
+	pullsDeferred  atomic.Int64
+	pullsCoalesced atomic.Int64
 
 	wg sync.WaitGroup
 }
 
 // FlowStats reports how many update retrievals were issued and how many the
 // pull policy postponed — the observable of the §5.2 flow-control design.
+// Reads are atomic; they never contend with the dispatch path.
 func (s *Server) FlowStats() (issued, deferred int64) {
 	return s.pullsIssued.Load(), s.pullsDeferred.Load()
 }
@@ -141,17 +265,20 @@ func New(cfg Config) *Server {
 	if cfg.Clock == nil {
 		cfg.Clock = core.NopClock{}
 	}
-	return &Server{
+	s := &Server{
 		cfg:         cfg,
 		dir:         naming.NewDirectory(),
 		cache:       cache.New(cfg.CacheCapacity, cfg.CachePolicy),
+		flights:     cache.NewFlights(),
 		pool:        jobs.NewPool(cfg.MaxConcurrentJobs),
 		counters:    &metrics.Counters{},
-		jobs:        make(map[uint64]*job),
-		sessions:    make(map[uint64]*session),
+		waiters:     make(map[string][]*job),
 		routed:      make(map[string][]uint64),
 		undelivered: make(map[identity][]uint64),
 	}
+	s.sessions.init()
+	s.jobs.init()
+	return s
 }
 
 // Name returns the server's advertised name.
@@ -164,18 +291,26 @@ func (s *Server) Cache() *cache.Cache { return s.cache }
 // Directory exposes the per-domain name directory.
 func (s *Server) Directory() *naming.Directory { return s.dir }
 
-// Metrics returns the server's transfer counters.
-func (s *Server) Metrics() metrics.Snapshot { return s.counters.Snapshot() }
+// Metrics returns the server's transfer counters plus the cache and
+// flow-control observables for the same run.
+func (s *Server) Metrics() metrics.Snapshot {
+	snap := s.counters.Snapshot()
+	cs := s.cache.Stats()
+	snap.CacheHits = cs.Hits
+	snap.CacheMisses = cs.Misses
+	snap.CacheEvictions = cs.Evictions
+	snap.CacheRejected = cs.Rejected
+	snap.PullsIssued = s.pullsIssued.Load()
+	snap.PullsDeferred = s.pullsDeferred.Load()
+	snap.PullsCoalesced = s.pullsCoalesced.Load()
+	return snap
+}
 
 // Load returns the job queue length and running count.
 func (s *Server) Load() (queued, running int) { return s.pool.Load() }
 
-// SessionCount returns the number of live sessions.
-func (s *Server) SessionCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.sessions)
-}
+// SessionCount returns the number of live sessions from an atomic counter.
+func (s *Server) SessionCount() int { return s.sessions.len() }
 
 // Acceptor yields inbound protocol connections; it abstracts the transport
 // (netsim listener, TCP listener).
@@ -219,23 +354,14 @@ func (s *Server) ServeConn(conn wire.Conn) {
 }
 
 func (s *Server) startSession(conn wire.Conn) bool {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	s.startMu.RLock()
+	defer s.startMu.RUnlock()
+	if s.closed.Load() {
 		return false
 	}
-	s.nextSession++
-	sess := &session{
-		srv:      s,
-		conn:     conn,
-		id:       s.nextSession,
-		deferred: make(map[string]*wire.Notify),
-		pulled:   make(map[string]uint64),
-		outPrev:  make(map[uint32][]byte),
-	}
-	s.sessions[sess.id] = sess
+	sess := newSession(s, conn, s.nextSession.Add(1))
+	s.sessions.add(sess)
 	s.wg.Add(1)
-	s.mu.Unlock()
 	go func() {
 		defer s.wg.Done()
 		sess.run()
@@ -244,35 +370,31 @@ func (s *Server) startSession(conn wire.Conn) bool {
 	return true
 }
 
+// dropSession unregisters a session and re-homes any file retrievals it
+// owned: pulls that coalesced behind this session's fetches would otherwise
+// wait forever on a dead connection.
 func (s *Server) dropSession(sess *session) {
-	s.mu.Lock()
-	delete(s.sessions, sess.id)
-	s.mu.Unlock()
-}
-
-func (s *Server) isClosed() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.closed
-}
-
-// Close stops the server: no new sessions, queued jobs drain, open sessions
-// are disconnected.
-func (s *Server) Close() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if !s.sessions.remove(sess.id) {
 		return
 	}
-	s.closed = true
-	open := make([]*session, 0, len(s.sessions))
-	for _, sess := range s.sessions {
-		open = append(open, sess)
+	if pending := s.flights.ReleaseOwner(sess.id); len(pending) > 0 {
+		s.repullPending(sess, pending)
 	}
-	s.mu.Unlock()
+}
 
-	for _, sess := range open {
-		_ = sess.conn.Close()
+func (s *Server) isClosed() bool { return s.closed.Load() }
+
+// Close stops the server: no new sessions, pipelined writers drain and
+// flush, queued jobs drain, open sessions are disconnected.
+func (s *Server) Close() {
+	s.startMu.Lock()
+	already := s.closed.Swap(true)
+	s.startMu.Unlock()
+	if already {
+		return
+	}
+	for _, sess := range s.sessions.snapshot() {
+		sess.shutdownWriter() // drain + flush pending writes, then close
 	}
 	s.wg.Wait()
 	s.pool.Close()
@@ -331,23 +453,19 @@ var errSessionGone = errors.New("server: session gone")
 
 // lookupJob fetches a job by id.
 func (s *Server) lookupJob(id uint64) (*job, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
-	return j, ok
+	return s.jobs.get(id)
 }
 
 // jobsOfOwner returns the jobs an identity submitted (across sessions),
 // ascending by id.
 func (s *Server) jobsOfOwner(owner identity) []*job {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var out []*job
-	for id := uint64(1); id <= s.nextJob; id++ {
-		if j, ok := s.jobs[id]; ok && j.owner == owner {
+	s.jobs.forEach(func(j *job) {
+		if j.owner == owner {
 			out = append(out, j)
 		}
-	}
+	})
+	sort.Slice(out, func(a, b int) bool { return out[a].id < out[b].id })
 	return out
 }
 

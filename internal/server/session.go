@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"shadowedit/internal/cache"
 	"shadowedit/internal/core"
@@ -12,6 +14,26 @@ import (
 	"shadowedit/internal/naming"
 	"shadowedit/internal/wire"
 )
+
+// outQueueDepth bounds each session's outbound pipeline. Deep enough that
+// notify/pull/delta bursts never stall the receive loop; a full queue means
+// the peer is not draining and backpressure is the right behavior.
+const outQueueDepth = 256
+
+// outbound is one queued wire message. errc, when non-nil, makes the send
+// synchronous: the writer flushes and reports the transport result — output
+// delivery needs the error to trigger hold-and-requeue semantics.
+type outbound struct {
+	msg  wire.Message
+	errc chan error
+	// stamp is the virtual instant the message was enqueued, captured when
+	// the transport keeps virtual time (stamped). The writer transmits from
+	// that instant, so pipelining never shifts simulated timing: by the
+	// time the writer runs, the receive side may already have advanced the
+	// host clock.
+	stamp   time.Duration
+	stamped bool
+}
 
 // session is one client connection's server-side state.
 type session struct {
@@ -37,6 +59,35 @@ type session struct {
 	// outPrev maps script checksum -> last acknowledged delivered stdout,
 	// the base for reverse shadow processing.
 	outPrev map[uint32][]byte
+
+	// The pipelined writer: every outbound message is enqueued on out and
+	// written by one writer goroutine, which batches bursts into the
+	// connection's buffer and flushes when the queue goes idle. Per-file
+	// ordering is the queue order — exactly the order the handlers sent.
+	out        chan outbound
+	quit       chan struct{}
+	quitOnce   sync.Once
+	writerDone chan struct{}
+	dead       atomic.Bool
+	// vt is non-nil when conn is a virtual-time transport; outbound
+	// messages are then stamped at enqueue (see outbound.stamp).
+	vt wire.ScheduledSender
+}
+
+func newSession(srv *Server, conn wire.Conn, id uint64) *session {
+	vt, _ := conn.(wire.ScheduledSender)
+	return &session{
+		srv:        srv,
+		conn:       conn,
+		id:         id,
+		deferred:   make(map[string]*wire.Notify),
+		pulled:     make(map[string]uint64),
+		outPrev:    make(map[uint32][]byte),
+		out:        make(chan outbound, outQueueDepth),
+		quit:       make(chan struct{}),
+		writerDone: make(chan struct{}),
+		vt:         vt,
+	}
 }
 
 func (ss *session) prevOutput(scriptSum uint32) []byte {
@@ -52,10 +103,12 @@ func (ss *session) setPrevOutput(scriptSum uint32, stdout []byte) {
 }
 
 // run is the session's receive loop. It exits on disconnect or protocol
-// failure; either way the session is unregistered.
+// failure; either way the pending writes drain and the session is
+// unregistered.
 func (ss *session) run() {
+	go ss.writer()
 	defer ss.srv.dropSession(ss)
-	defer ss.conn.Close()
+	defer ss.shutdownWriter()
 	for {
 		msg, err := wire.Recv(ss.conn)
 		if err != nil {
@@ -72,6 +125,92 @@ func (ss *session) run() {
 			}
 		}
 	}
+}
+
+// writer drains the outbound queue into the connection. Messages written
+// back to back stay in the connection's buffer; the buffer is flushed when
+// the queue goes idle (and always before a synchronous send reports
+// success), so bursts coalesce into single writes without ever delaying the
+// last message of a burst.
+func (ss *session) writer() {
+	defer close(ss.writerDone)
+	var sticky error
+	fail := func(err error) {
+		sticky = err
+		ss.dead.Store(true)
+		_ = ss.conn.Close() // wake the receive loop
+	}
+	flushNow := func() {
+		if sticky == nil {
+			if err := ss.flush(); err != nil {
+				fail(err)
+			}
+		}
+	}
+	writeOne := func(ob outbound) {
+		if sticky == nil {
+			var err error
+			if ob.stamped {
+				err = ss.vt.SendScheduled(wire.Marshal(ob.msg), ob.stamp)
+			} else {
+				err = wire.Send(ss.conn, ob.msg)
+			}
+			if err != nil {
+				fail(err)
+			}
+		}
+		if ob.errc != nil {
+			flushNow()
+			if sticky != nil {
+				ob.errc <- errSessionGone
+			} else {
+				ob.errc <- nil
+			}
+		}
+	}
+	for {
+		select {
+		case ob := <-ss.out:
+			writeOne(ob)
+		drain:
+			for {
+				select {
+				case ob := <-ss.out:
+					writeOne(ob)
+				default:
+					break drain
+				}
+			}
+			flushNow() // flush-on-idle
+		case <-ss.quit:
+			for {
+				select {
+				case ob := <-ss.out:
+					writeOne(ob)
+				default:
+					flushNow()
+					return
+				}
+			}
+		}
+	}
+}
+
+// flush pushes buffered frames to the transport, when it buffers at all.
+func (ss *session) flush() error {
+	if f, ok := ss.conn.(wire.Flusher); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
+// shutdownWriter stops the writer — draining and flushing whatever is
+// queued — and then closes the connection. Safe to call more than once and
+// from any goroutine.
+func (ss *session) shutdownWriter() {
+	ss.quitOnce.Do(func() { close(ss.quit) })
+	<-ss.writerDone
+	_ = ss.conn.Close()
 }
 
 func (ss *session) dispatch(msg wire.Message) error {
@@ -99,11 +238,58 @@ func (ss *session) dispatch(msg wire.Message) error {
 	}
 }
 
+// send enqueues a message on the session's pipeline. It fails only when the
+// session is already gone; transport failures surface through the receive
+// loop (the writer closes the connection on error).
 func (ss *session) send(m wire.Message) error {
-	if err := wire.Send(ss.conn, m); err != nil {
+	if ss.dead.Load() {
 		return errSessionGone
 	}
-	return nil
+	select {
+	case ss.out <- ss.stamped(outbound{msg: m}):
+		return nil
+	case <-ss.quit:
+		return errSessionGone
+	}
+}
+
+// stamped records the virtual enqueue time on ob when the transport keeps
+// virtual time; on real transports it is the identity.
+func (ss *session) stamped(ob outbound) outbound {
+	if ss.vt != nil {
+		ob.stamp = ss.vt.Now()
+		ob.stamped = true
+	}
+	return ob
+}
+
+// sendSync enqueues a message and waits for the writer to put it (and
+// everything queued before it) on the wire, reporting the transport result.
+// Output delivery uses it: a failed send must requeue the output for the
+// next session, so "sent" has to mean sent.
+func (ss *session) sendSync(m wire.Message) error {
+	if ss.dead.Load() {
+		return errSessionGone
+	}
+	ob := ss.stamped(outbound{msg: m, errc: make(chan error, 1)})
+	select {
+	case ss.out <- ob:
+	case <-ss.quit:
+		return errSessionGone
+	}
+	select {
+	case err := <-ob.errc:
+		return err
+	case <-ss.writerDone:
+		// The writer exited while we waited; it answered if it drained
+		// our message before returning.
+		select {
+		case err := <-ob.errc:
+			return err
+		default:
+			return errSessionGone
+		}
+	}
 }
 
 func (ss *session) sendError(code uint32, text string) error {
@@ -119,12 +305,12 @@ func (ss *session) handleHello(m *wire.Hello) error {
 	// critical section with deliverOrHold's lookup-or-queue: an output
 	// finishing concurrently with this hello is either claimed here or
 	// sees the registered identity — it cannot fall in between.
-	ss.srv.mu.Lock()
+	ss.srv.deliverMu.Lock()
 	ss.user = m.User
 	ss.domain = m.Domain
 	ss.clientHost = m.ClientHost
 	held := append(ss.srv.deliverRoutedToLocked(ss), ss.srv.deliverUndeliveredToLocked(ss)...)
-	ss.srv.mu.Unlock()
+	ss.srv.deliverMu.Unlock()
 	ss.srv.logf("session %d: hello from %s@%s (domain %s), %d held outputs",
 		ss.id, ss.user, ss.clientHost, ss.domain, len(held))
 	if err := ss.send(&wire.HelloOK{Session: ss.id, ServerName: ss.srv.cfg.Name}); err != nil {
@@ -170,21 +356,37 @@ func (ss *session) deferNotify(m *wire.Notify) {
 }
 
 // pullFile asks the client for a version, telling it which base we hold.
-// Pulls already in flight for the same or a newer version are not repeated.
+// Pulls already in flight for the same or a newer version are not repeated:
+// the session's own pulled map suppresses same-session duplicates, and the
+// server-wide flight table coalesces fetches across sessions — many clients
+// notifying the same file cost one transfer.
 func (ss *session) pullFile(ref wire.FileRef, want uint64) error {
 	id := ss.srv.dir.Intern(ref)
 	var have uint64
 	if e, ok := ss.srv.cache.Peek(id); ok {
 		have = e.Version
-	}
-	if have >= want {
-		return nil // already current
+		if have >= want {
+			// Already current. Feed jobs that registered their wait
+			// just as the content arrived — the arrival's feed can run
+			// before the registration, and this is the re-check that
+			// closes the window.
+			ss.srv.feedWaitingJobs(ref, e.Version, e.Content)
+			return nil
+		}
 	}
 	key := ref.String()
 	ss.mu.Lock()
 	if ss.pulled[key] >= want {
 		ss.mu.Unlock()
 		return nil // a pull covering this version is in flight
+	}
+	if !ss.srv.flights.Begin(id, ref, want, ss.id) {
+		delete(ss.deferred, key)
+		ss.mu.Unlock()
+		// Another session is already fetching this version; its arrival
+		// feeds every waiting job, so no second transfer is needed.
+		ss.srv.pullsCoalesced.Add(1)
+		return nil
 	}
 	ss.pulled[key] = want
 	delete(ss.deferred, key)
@@ -243,9 +445,11 @@ func (ss *session) handleFileDelta(m *wire.FileDelta) error {
 // forcePullFull requests a complete copy, bypassing the duplicate-pull
 // suppression (the previous pull's answer was unusable).
 func (ss *session) forcePullFull(ref wire.FileRef, want uint64) error {
+	id := ss.srv.dir.Intern(ref)
 	ss.mu.Lock()
 	ss.pulled[ref.String()] = want
 	ss.mu.Unlock()
+	ss.srv.flights.Force(id, ref, want, ss.id)
 	ss.srv.pullsIssued.Add(1)
 	return ss.send(&wire.Pull{File: ref, HaveVersion: 0, WantVersion: want})
 }
@@ -267,9 +471,12 @@ func (ss *session) handleFileFull(m *wire.FileFull) error {
 // storeArrived caches an arrived version (best effort), acknowledges it, and
 // feeds any jobs waiting for the file.
 func (ss *session) storeArrived(ref wire.FileRef, id naming.ShadowID, version uint64, content []byte) error {
-	if err := ss.srv.cache.Put(id, version, content); err != nil && !errors.Is(err, cache.ErrTooLarge) {
+	// The applied content is a freshly built buffer, so the cache can own
+	// it without the defensive copy.
+	if err := ss.srv.cache.PutOwned(id, version, content); err != nil && !errors.Is(err, cache.ErrTooLarge) {
 		return err
 	}
+	ss.srv.flights.Done(id, version)
 	ss.mu.Lock()
 	if ss.pulled[ref.String()] <= version {
 		delete(ss.pulled, ref.String())
@@ -317,11 +524,8 @@ func (ss *session) handleSubmit(m *wire.Submit) error {
 		byRef:           make(map[string]string),
 		snapshot:        make(map[string][]byte),
 	}
-	ss.srv.mu.Lock()
-	ss.srv.nextJob++
-	j.id = ss.srv.nextJob
-	ss.srv.jobs[j.id] = j
-	ss.srv.mu.Unlock()
+	j.id = ss.srv.nextJob.Add(1)
+	ss.srv.jobs.add(j)
 
 	if err := ss.send(&wire.SubmitOK{Job: j.id}); err != nil {
 		return err
@@ -345,6 +549,7 @@ func (ss *session) handleSubmit(m *wire.Submit) error {
 		j.mu.Lock()
 		j.waiting[key] = in.Version
 		j.mu.Unlock()
+		ss.srv.addWaiter(key, j)
 		if err := ss.pullFile(in.File, in.Version); err != nil {
 			return err
 		}

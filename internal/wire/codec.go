@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"io"
@@ -108,21 +109,51 @@ func (d *decoder) fileRef() FileRef {
 	return FileRef{Domain: d.string(), FileID: d.string()}
 }
 
+// Flusher is implemented by connections that buffer writes; callers that
+// batch messages (the server's pipelined session writers) flush when a
+// burst ends. Connections without buffering simply don't implement it.
+type Flusher interface {
+	Flush() error
+}
+
 // StreamConn adapts a reliable byte stream (a real TCP connection, a
 // net.Pipe, a file) to the message-oriented Conn interface using 4-byte
 // big-endian length framing.
+//
+// Unbuffered, each Send issues exactly one Write (header and payload are
+// coalesced into one buffer) — one syscall per message on a socket. With
+// NewBufferedStreamConn, frames accumulate in a write buffer until Flush,
+// so a burst of messages costs one syscall total.
 type StreamConn struct {
 	rw io.ReadWriteCloser
 
-	sendMu sync.Mutex
+	sendMu  sync.Mutex
+	bw      *bufio.Writer // nil when unbuffered
+	sendBuf []byte        // unbuffered Send scratch, guarded by sendMu
+
 	recvMu sync.Mutex
 }
 
-var _ Conn = (*StreamConn)(nil)
+var (
+	_ Conn    = (*StreamConn)(nil)
+	_ Flusher = (*StreamConn)(nil)
+)
 
 // NewStreamConn frames messages over rw.
 func NewStreamConn(rw io.ReadWriteCloser) *StreamConn {
 	return &StreamConn{rw: rw}
+}
+
+// NewBufferedStreamConn frames messages over rw through a write buffer of
+// the given size (<= 0 selects a default). The caller owns flushing: a
+// message is not on the wire until Flush returns. Request/response peers
+// that never flush will deadlock — use this only with an explicit
+// flush-on-idle discipline, like the server's session writers.
+func NewBufferedStreamConn(rw io.ReadWriteCloser, size int) *StreamConn {
+	if size <= 0 {
+		size = 32 << 10
+	}
+	return &StreamConn{rw: rw, bw: bufio.NewWriterSize(rw, size)}
 }
 
 // Send writes one length-prefixed frame.
@@ -134,11 +165,35 @@ func (s *StreamConn) Send(payload []byte) error {
 	defer s.sendMu.Unlock()
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := s.rw.Write(hdr[:]); err != nil {
+	if s.bw != nil {
+		// Buffered: both pieces land in the buffer; the flush decides
+		// when the syscall happens.
+		if _, err := s.bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		_, err := s.bw.Write(payload)
 		return err
 	}
-	_, err := s.rw.Write(payload)
+	// Unbuffered: coalesce header+payload so the frame is one Write —
+	// and, on a socket, one syscall and one segment instead of two.
+	s.sendBuf = append(s.sendBuf[:0], hdr[:]...)
+	s.sendBuf = append(s.sendBuf, payload...)
+	_, err := s.rw.Write(s.sendBuf)
+	if cap(s.sendBuf) > 64<<10 {
+		s.sendBuf = nil // don't pin a huge scratch after a big transfer
+	}
 	return err
+}
+
+// Flush pushes buffered frames to the underlying stream; a no-op without a
+// buffer.
+func (s *StreamConn) Flush() error {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if s.bw == nil {
+		return nil
+	}
+	return s.bw.Flush()
 }
 
 // Recv reads one length-prefixed frame.

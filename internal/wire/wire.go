@@ -15,6 +15,7 @@ package wire
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // ProtocolVersion identifies this revision of the shadow protocol.
@@ -224,6 +225,17 @@ func newMessage(k Kind) Message {
 // Send marshals and transmits a message.
 func Send(c Conn, m Message) error {
 	return c.Send(Marshal(m))
+}
+
+// ScheduledSender is implemented by virtual-time transports whose
+// transmissions can be scheduled to begin at an explicit instant. An
+// asynchronous writer stamps each message with Now() when it is queued and
+// transmits with SendScheduled, so pipelining does not distort virtual
+// timing: the local clock may advance (the receive side runs concurrently)
+// between enqueue and the actual write.
+type ScheduledSender interface {
+	Now() time.Duration
+	SendScheduled(payload []byte, start time.Duration) error
 }
 
 // Recv receives and unmarshals the next message.

@@ -10,14 +10,17 @@ import (
 
 // ServeTCP runs a shadow server over a real TCP (or any net.Listener)
 // listener, for the cmd/shadowd daemon. It blocks until the listener closes
-// or the server is closed.
+// or the server is closed. Server-side connections are write-buffered: the
+// session writers batch message bursts and flush on idle, so the client
+// side must stay unbuffered but the server side turns a notify→pull→delta
+// burst into one segment.
 func ServeTCP(srv *Server, ln net.Listener) error {
 	return srv.Serve(server.AcceptorFunc(func() (wire.Conn, error) {
 		conn, err := ln.Accept()
 		if err != nil {
 			return nil, err
 		}
-		return wire.NewStreamConn(conn), nil
+		return wire.NewBufferedStreamConn(conn, 32<<10), nil
 	}))
 }
 
