@@ -9,6 +9,8 @@
 package shadow_test
 
 import (
+	"context"
+
 	"bytes"
 	"fmt"
 	"testing"
@@ -254,7 +256,7 @@ func BenchmarkEndToEndCycle(b *testing.B) {
 	}
 	defer cluster.Close()
 	ws := cluster.NewWorkstation("ws")
-	c, err := ws.Connect("bench")
+	c, err := ws.Connect(context.Background(), "bench")
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -270,11 +272,11 @@ func BenchmarkEndToEndCycle(b *testing.B) {
 		if err := ws.WriteFile("/data.dat", content); err != nil {
 			b.Fatal(err)
 		}
-		job, err := c.Submit("/run.job", []string{"/data.dat"}, shadow.SubmitOptions{})
+		job, err := c.Submit(context.Background(), "/run.job", []string{"/data.dat"}, shadow.SubmitOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := c.Wait(job); err != nil {
+		if _, err := c.Wait(context.Background(), job); err != nil {
 			b.Fatal(err)
 		}
 		content = gen.Modify(content, 2, workload.EditMixed)

@@ -14,6 +14,7 @@
 //	shadow-bench -fig load       Multi-client throughput vs job slots
 //	shadow-bench -fig overlap    Background transfer hidden behind editing
 //	shadow-bench -fig server     Multi-session server throughput (wall clock)
+//	shadow-bench -fig chaos      Fault-injection gauntlet (drops/spikes/flaps)
 //	shadow-bench -fig all        Everything
 //
 // Times are virtual seconds on the simulated link (9600 bps Cypress,
@@ -31,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"shadowedit/internal/experiment"
 	"shadowedit/internal/netsim"
@@ -57,6 +59,13 @@ func run(args []string, w io.Writer) error {
 		transport = fs.String("transport", "tcp", "server figure: tcp or netsim")
 		benchOut  = fs.String("bench-out", "BENCH_server.json", "server figure: JSON results file (appended; empty to skip)")
 		label     = fs.String("label", "", "server figure: label recorded with the run")
+
+		dropRate   = fs.Float64("drop", 0.05, "chaos figure: per-frame drop probability")
+		spikeRate  = fs.Float64("spike", 0.05, "chaos figure: per-frame latency-spike probability")
+		spikeExtra = fs.Duration("spike-extra", 20*time.Millisecond, "chaos figure: added latency per spike")
+		flapPeriod = fs.Duration("flap-period", 30*time.Second, "chaos figure: virtual-time flap cycle (0 disables)")
+		flapDown   = fs.Duration("flap-down", 200*time.Millisecond, "chaos figure: outage window per flap cycle")
+		bounces    = fs.Int("disconnects", 1, "chaos figure: forced disconnects per session")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +80,18 @@ func run(args []string, w io.Writer) error {
 	}
 	runner.benchOut = *benchOut
 	runner.label = *label
+	runner.chaosCfg = experiment.ChaosConfig{
+		Sessions:    *sessions,
+		Cycles:      *cycles,
+		FileSize:    *fileSize,
+		Seed:        *seed,
+		DropRate:    *dropRate,
+		SpikeRate:   *spikeRate,
+		SpikeExtra:  *spikeExtra,
+		FlapPeriod:  *flapPeriod,
+		FlapDown:    *flapDown,
+		Disconnects: *bounces,
+	}
 	switch *fig {
 	case "1":
 		return runner.figure1()
@@ -94,6 +115,8 @@ func run(args []string, w io.Writer) error {
 		return runner.overlap()
 	case "server":
 		return runner.serverBench()
+	case "chaos":
+		return runner.chaos()
 	case "all":
 		for _, f := range []func() error{
 			runner.figure1, runner.figure2, runner.figure3,
@@ -117,6 +140,7 @@ type runner struct {
 	plot bool
 
 	server   experiment.ServerBenchConfig
+	chaosCfg experiment.ChaosConfig
 	benchOut string
 	label    string
 }
@@ -238,6 +262,22 @@ func (r *runner) serverBench() error {
 		return fmt.Errorf("write %s: %w", r.benchOut, err)
 	}
 	fmt.Fprintf(r.w, "recorded in %s\n", r.benchOut)
+	return nil
+}
+
+// chaos runs the fault-injection gauntlet and fails the invocation when any
+// cycle is lost or any delivered output mismatches its reference — so CI can
+// gate on it directly.
+func (r *runner) chaos() error {
+	res, err := experiment.RunChaos(r.chaosCfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(r.w, res)
+	if res.Failed() {
+		return fmt.Errorf("chaos: %d/%d cycles verified, %d mismatches",
+			res.Completed, res.Sessions*res.Cycles, res.Mismatches)
+	}
 	return nil
 }
 

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -48,6 +49,7 @@ func run(args []string, out io.Writer) error {
 		route    = fs.String("route", "", "deliver output to a session from this host")
 		compress = fs.Bool("compress", false, "compress transfers")
 		alg      = fs.String("algorithm", "hunt-mcilroy", "delta algorithm: hunt-mcilroy, myers, tichy")
+		timeout  = fs.Duration("timeout", 0, "overall deadline for the command (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,6 +57,13 @@ func run(args []string, out io.Writer) error {
 	rest := fs.Args()
 	if len(rest) == 0 {
 		return errors.New("usage: shadow [flags] run JOBFILE [DATAFILE...] | listen | env | commands")
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	switch rest[0] {
@@ -69,7 +78,7 @@ func run(args []string, out io.Writer) error {
 		if len(rest) < 2 {
 			return errors.New("usage: shadow run JOBFILE [DATAFILE...]")
 		}
-		return runJob(*server, *user, *domain, *hostname, rest[1], rest[2:], runOptions{
+		return runJob(ctx, *server, *user, *domain, *hostname, rest[1], rest[2:], runOptions{
 			outFile: *outFile, errFile: *errFile, route: *route,
 			compress: *compress, algorithm: *alg,
 		}, out)
@@ -82,7 +91,7 @@ func run(args []string, out io.Writer) error {
 			}
 			n = v
 		}
-		return listenForOutputs(*server, *user, *domain, *hostname, n, out)
+		return listenForOutputs(ctx, *server, *user, *domain, *hostname, n, out)
 	default:
 		return fmt.Errorf("unknown command %q", rest[0])
 	}
@@ -97,7 +106,7 @@ type runOptions struct {
 // runJob performs one submit-and-wait over TCP. Local disk files are staged
 // into an in-memory naming universe (the CLI's view of its domain), and
 // results are written back to disk.
-func runJob(server, user, domain, hostname, jobFile string, dataFiles []string, opts runOptions, out io.Writer) error {
+func runJob(ctx context.Context, server, user, domain, hostname, jobFile string, dataFiles []string, opts runOptions, out io.Writer) error {
 	universe := shadow.NewUniverse(domain)
 	universe.AddHost(hostname)
 
@@ -135,7 +144,7 @@ func runJob(server, user, domain, hostname, jobFile string, dataFiles []string, 
 	}
 	environment.Algorithm = algorithm
 
-	c, err := shadow.DialTCP(server, shadow.ClientConfig{
+	c, err := shadow.DialTCP(ctx, server, shadow.ClientConfig{
 		User:     user,
 		Universe: universe,
 		Host:     hostname,
@@ -147,7 +156,7 @@ func runJob(server, user, domain, hostname, jobFile string, dataFiles []string, 
 	}
 	defer c.Close()
 
-	job, err := c.Submit(scriptPath, paths, shadow.SubmitOptions{
+	job, err := c.Submit(ctx, scriptPath, paths, shadow.SubmitOptions{
 		OutputFile: opts.outFile,
 		ErrorFile:  opts.errFile,
 		RouteHost:  opts.route,
@@ -160,7 +169,7 @@ func runJob(server, user, domain, hostname, jobFile string, dataFiles []string, 
 		fmt.Fprintf(out, "output routed to host %q\n", opts.route)
 		return nil
 	}
-	rec, err := c.Wait(job)
+	rec, err := c.Wait(ctx, job)
 	if err != nil {
 		return err
 	}
@@ -186,10 +195,10 @@ func runJob(server, user, domain, hostname, jobFile string, dataFiles []string, 
 // listenForOutputs holds a session open as a routing target: jobs submitted
 // elsewhere with -route pointing at this host deliver their output here
 // (§8.3 "routing the output to different hosts"). It exits after n outputs.
-func listenForOutputs(server, user, domain, hostname string, n int, out io.Writer) error {
+func listenForOutputs(ctx context.Context, server, user, domain, hostname string, n int, out io.Writer) error {
 	universe := shadow.NewUniverse(domain)
 	universe.AddHost(hostname)
-	c, err := shadow.DialTCP(server, shadow.ClientConfig{
+	c, err := shadow.DialTCP(ctx, server, shadow.ClientConfig{
 		User:     user,
 		Universe: universe,
 		Host:     hostname,
@@ -201,7 +210,7 @@ func listenForOutputs(server, user, domain, hostname string, n int, out io.Write
 	defer c.Close()
 	fmt.Fprintf(out, "listening on %s as host %q for %d routed output(s)\n", c.ServerName(), hostname, n)
 	for i := 0; i < n; i++ {
-		rec, err := c.WaitAny()
+		rec, err := c.WaitAny(ctx)
 		if err != nil {
 			return err
 		}

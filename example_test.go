@@ -1,6 +1,8 @@
 package shadow_test
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -18,7 +20,7 @@ func Example() {
 	defer cluster.Close()
 
 	ws := cluster.NewWorkstation("sun3")
-	c, err := ws.Connect("comer")
+	c, err := ws.Connect(context.Background(), "comer")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -27,11 +29,11 @@ func Example() {
 	_ = ws.WriteFile("/u/comer/stars.dat", []byte("vega 0.03\nsirius -1.46\n"))
 	_ = ws.WriteFile("/u/comer/run.job", []byte("sort stars.dat\n"))
 
-	job, err := c.Submit("/u/comer/run.job", []string{"/u/comer/stars.dat"}, shadow.SubmitOptions{})
+	job, err := c.Submit(context.Background(), "/u/comer/run.job", []string{"/u/comer/stars.dat"}, shadow.SubmitOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	rec, err := c.Wait(job)
+	rec, err := c.Wait(context.Background(), job)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,7 +54,7 @@ func ExampleWorkstation_NewShadowEditor() {
 	}
 	defer cluster.Close()
 	ws := cluster.NewWorkstation("vax")
-	c, err := ws.Connect("rajendra")
+	c, err := ws.Connect(context.Background(), "rajendra")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,6 +13,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -40,7 +42,7 @@ func run() error {
 	defer cluster.Close()
 
 	ws := cluster.NewWorkstation("vax750")
-	c, err := ws.Connect("griffioen")
+	c, err := ws.Connect(context.Background(), "griffioen")
 	if err != nil {
 		return err
 	}
@@ -80,11 +82,11 @@ func run() error {
 		batchBytes += int64(len(current))
 
 		start := ws.Host().Now()
-		job, err := c.Submit("/u/g/run.job", []string{"/u/g/model.f"}, shadow.SubmitOptions{})
+		job, err := c.Submit(context.Background(), "/u/g/run.job", []string{"/u/g/model.f"}, shadow.SubmitOptions{})
 		if err != nil {
 			return err
 		}
-		rec, err := c.Wait(job)
+		rec, err := c.Wait(context.Background(), job)
 		if err != nil {
 			return err
 		}

@@ -16,6 +16,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -64,29 +66,29 @@ func run() error {
 
 	// Alice on arthur and Bob on merlin submit the SAME file under
 	// DIFFERENT names.
-	alice, err := arthur.Connect("alice")
+	alice, err := arthur.Connect(context.Background(), "alice")
 	if err != nil {
 		return err
 	}
 	defer alice.Close()
-	bob, err := merlin.Connect("bob")
+	bob, err := merlin.Connect(context.Background(), "bob")
 	if err != nil {
 		return err
 	}
 	defer bob.Close()
 
-	ja, err := alice.Submit("/u/run.job", []string{"/proj1/shared/mesh.dat"}, shadow.SubmitOptions{})
+	ja, err := alice.Submit(context.Background(), "/u/run.job", []string{"/proj1/shared/mesh.dat"}, shadow.SubmitOptions{})
 	if err != nil {
 		return err
 	}
-	if _, err := alice.Wait(ja); err != nil {
+	if _, err := alice.Wait(context.Background(), ja); err != nil {
 		return err
 	}
-	jb, err := bob.Submit("/u/run.job", []string{"/others/shared/mesh.dat"}, shadow.SubmitOptions{})
+	jb, err := bob.Submit(context.Background(), "/u/run.job", []string{"/others/shared/mesh.dat"}, shadow.SubmitOptions{})
 	if err != nil {
 		return err
 	}
-	if _, err := bob.Wait(jb); err != nil {
+	if _, err := bob.Wait(context.Background(), jb); err != nil {
 		return err
 	}
 	fmt.Printf("alice submitted /proj1/shared/mesh.dat, bob submitted /others/shared/mesh.dat\n")
@@ -96,33 +98,33 @@ func run() error {
 	// The same client talks to a second supercomputer.
 	envB := shadow.DefaultEnvironment("alice")
 	envB.DefaultHost = "cray-xmp"
-	aliceCray, err := arthur.ConnectEnv(envB)
+	aliceCray, err := arthur.ConnectEnv(context.Background(), envB)
 	if err != nil {
 		return err
 	}
 	defer aliceCray.Close()
-	jc, err := aliceCray.Submit("/u/run.job", []string{"/proj1/shared/mesh.dat"}, shadow.SubmitOptions{})
+	jc, err := aliceCray.Submit(context.Background(), "/u/run.job", []string{"/proj1/shared/mesh.dat"}, shadow.SubmitOptions{})
 	if err != nil {
 		return err
 	}
-	rec, err := aliceCray.Wait(jc)
+	rec, err := aliceCray.Wait(context.Background(), jc)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("alice also ran job %d on %s: %v\n\n", jc, aliceCray.ServerName(), rec.State)
 
 	// Output routing: results of a job go to the printer host's session.
-	printerClient, err := printer.Connect("operator")
+	printerClient, err := printer.Connect(context.Background(), "operator")
 	if err != nil {
 		return err
 	}
 	defer printerClient.Close()
-	jr, err := alice.Submit("/u/run.job", []string{"/proj1/shared/mesh.dat"},
+	jr, err := alice.Submit(context.Background(), "/u/run.job", []string{"/proj1/shared/mesh.dat"},
 		shadow.SubmitOptions{RouteHost: "printer-host"})
 	if err != nil {
 		return err
 	}
-	routed, err := printerClient.Wait(jr)
+	routed, err := printerClient.Wait(context.Background(), jr)
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -29,7 +31,7 @@ func run() error {
 	defer cluster.Close()
 
 	ws := cluster.NewWorkstation("sun3")
-	c, err := ws.Connect("comer")
+	c, err := ws.Connect(context.Background(), "comer")
 	if err != nil {
 		return err
 	}
@@ -46,13 +48,13 @@ func run() error {
 		return err
 	}
 
-	job, err := c.Submit("/u/comer/run.job", []string{"/u/comer/stars.dat"}, shadow.SubmitOptions{})
+	job, err := c.Submit(context.Background(), "/u/comer/run.job", []string{"/u/comer/stars.dat"}, shadow.SubmitOptions{})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("submitted job %d to %s\n", job, c.ServerName())
 
-	rec, err := c.Wait(job)
+	rec, err := c.Wait(context.Background(), job)
 	if err != nil {
 		return err
 	}

@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"time"
@@ -67,7 +69,7 @@ func measure(wantDelta bool) (int64, time.Duration, error) {
 
 	environment := shadow.DefaultEnvironment("sci")
 	environment.WantOutputDelta = wantDelta
-	c, err := ws.ConnectEnv(environment)
+	c, err := ws.ConnectEnv(context.Background(), environment)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -83,11 +85,11 @@ func measure(wantDelta bool) (int64, time.Duration, error) {
 		if err := ws.WriteFile("/u/sci/sim.dat", content); err != nil {
 			return 0, 0, err
 		}
-		job, err := c.Submit("/u/sci/run.job", []string{"/u/sci/sim.dat"}, shadow.SubmitOptions{})
+		job, err := c.Submit(context.Background(), "/u/sci/run.job", []string{"/u/sci/sim.dat"}, shadow.SubmitOptions{})
 		if err != nil {
 			return 0, 0, err
 		}
-		if _, err := c.Wait(job); err != nil {
+		if _, err := c.Wait(context.Background(), job); err != nil {
 			return 0, 0, err
 		}
 		content = gen.Modify(content, 1, workload.EditReplace)

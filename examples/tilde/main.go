@@ -14,6 +14,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -47,7 +49,7 @@ func run() error {
 	tilde := cluster.Universe.NewTildeSpace()
 	tilde.Bind("~heat", "cs.sim.heat")
 
-	c, err := ws.ConnectSession(shadow.SessionConfig{
+	c, err := ws.ConnectSession(context.Background(), shadow.SessionConfig{
 		Env:   shadow.DefaultEnvironment("comer"),
 		Tilde: tilde,
 	})
@@ -65,11 +67,11 @@ func run() error {
 		return err
 	}
 
-	job, err := c.Submit("/run.job", []string{"~heat/sim.dat"}, shadow.SubmitOptions{})
+	job, err := c.Submit(context.Background(), "/run.job", []string{"~heat/sim.dat"}, shadow.SubmitOptions{})
 	if err != nil {
 		return err
 	}
-	rec, err := c.Wait(job)
+	rec, err := c.Wait(context.Background(), job)
 	if err != nil {
 		return err
 	}
@@ -87,11 +89,11 @@ func run() error {
 	fmt.Println("tree cs.sim.heat migrated: fileserver-old:/export/heat -> fileserver-new:/disk3/heat")
 	fmt.Println("user's name for the file is still ~heat/sim.dat")
 
-	job2, err := c.Submit("/run.job", []string{"~heat/sim.dat"}, shadow.SubmitOptions{})
+	job2, err := c.Submit(context.Background(), "/run.job", []string{"~heat/sim.dat"}, shadow.SubmitOptions{})
 	if err != nil {
 		return err
 	}
-	rec2, err := c.Wait(job2)
+	rec2, err := c.Wait(context.Background(), job2)
 	if err != nil {
 		return err
 	}

@@ -2,13 +2,25 @@
 // workstation (§6.1): it hides all communication detail, versions edited
 // files, answers the server's demand-driven pulls with deltas, submits jobs,
 // tracks their status, and receives their output.
+//
+// The session layer is fault tolerant: with a Dial function configured, a
+// lost connection is re-established with exponential backoff, the session is
+// resumed against the server's identity-keyed state (held outputs are
+// re-delivered, dangling pulls re-issued), and interrupted requests are
+// retried idempotently. Every blocking call takes a context and returns
+// errors from the package's typed taxonomy (ErrDisconnected,
+// ErrRetriesExhausted, ErrDeadlineExceeded, ErrBaseEvicted).
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"path"
 	"sync"
+	"time"
 
 	"shadowedit/internal/core"
 	"shadowedit/internal/diff"
@@ -19,13 +31,45 @@ import (
 	"shadowedit/internal/wire"
 )
 
-// Errors reported by the client.
-var (
-	// ErrClosed reports use after Close.
-	ErrClosed = errors.New("client: closed")
-	// ErrNoSession reports a client whose connection ended.
-	ErrNoSession = errors.New("client: session ended")
-)
+// RetryPolicy shapes reconnection and request retries: exponential backoff
+// with seeded jitter, bounded by MaxAttempts. The zero value selects the
+// defaults noted on each field.
+type RetryPolicy struct {
+	// MaxAttempts bounds reconnect attempts per outage and retries per
+	// request (default 8).
+	MaxAttempts int
+	// BaseDelay is the first backoff delay (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 5s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay each attempt (default 2).
+	Multiplier float64
+	// Jitter randomizes each delay by ±Jitter fraction (default 0.2).
+	Jitter float64
+	// Seed seeds the jitter RNG for reproducible simulations; 0 derives a
+	// stable seed from the client's identity.
+	Seed int64
+}
+
+// withDefaults fills unset fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 8
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter <= 0 {
+		p.Jitter = 0.2
+	}
+	return p
+}
 
 // Config parametrizes a Client.
 type Config struct {
@@ -54,6 +98,26 @@ type Config struct {
 	Jobs *env.JobDB
 	// Clock receives local compute charges (diff runs) in simulations.
 	Clock core.Clock
+
+	// Dial, when set, enables the fault-tolerant session layer: a lost
+	// connection is redialed with backoff, the session resumed, and
+	// interrupted requests retried (submissions carry idempotency tags).
+	// Without it the client behaves as before — one connection, and a
+	// disconnect ends the session with ErrDisconnected.
+	Dial func() (wire.Conn, error)
+	// Retry shapes reconnection and retry backoff; zero-value fields take
+	// the documented defaults.
+	Retry RetryPolicy
+	// RPCTimeout bounds each attempt of a synchronous round trip (submit,
+	// status). An attempt that exceeds it severs the suspect connection
+	// and retries over a fresh one. Zero disables per-attempt deadlines;
+	// callers still bound calls with their context.
+	RPCTimeout time.Duration
+	// Sleep, when set, replaces real sleeping during backoff — simulated
+	// deployments advance the workstation's virtual clock instead, so
+	// backoff escapes link-flap windows in virtual time. It must respect
+	// ctx cancellation. Nil sleeps on the wall clock.
+	Sleep func(ctx context.Context, d time.Duration) error
 }
 
 // SubmitOptions are the per-submission optional arguments of the submit
@@ -74,17 +138,28 @@ type SubmitOptions struct {
 // hold several clients, one per supercomputer.
 type Client struct {
 	cfg      Config
-	conn     wire.Conn
 	store    *vcs.Store
 	jobdb    *env.JobDB
 	counters *metrics.Counters
 
-	session    uint64
+	// serverName is written once during the initial handshake (before any
+	// other goroutine exists) and read-only afterwards.
 	serverName string
+
+	retry RetryPolicy
+
+	// lifeCtx cancels the supervisor's sleeps and redials when the client
+	// closes.
+	lifeCtx  context.Context
+	lifeStop context.CancelFunc
 
 	reqMu sync.Mutex // serializes synchronous request/response exchanges
 
 	mu        sync.Mutex
+	conn      wire.Conn     // current transport; nil while disconnected
+	connDown  chan struct{} // closed when the current conn is torn down
+	connUp    chan struct{} // closed once a conn is live; remade when it dies
+	session   uint64
 	awaiting  chan wire.Message // live only while a request is outstanding
 	pending   *pendingSubmit    // submit in flight, installed on SUBMIT_OK
 	outPrev   map[uint32][]byte // script checksum -> last received stdout
@@ -93,9 +168,15 @@ type Client struct {
 	delivered []uint64      // job ids delivered but not yet taken by WaitAny
 	arrivals  chan struct{} // signaled on each delivery
 	closed    bool
-	lastErr   error
+	lastErr   error // final error; set when the client finishes
+	lastDrop  error // why the current connection died (supervisor scratch)
+	tagBase   uint64
+	nextTag   uint64
+	rng       *rand.Rand // backoff jitter, guarded by mu
 
-	readerDone chan struct{}
+	done      chan struct{} // closed when the client is permanently finished
+	doneOnce  sync.Once
+	superDone chan struct{} // supervisor exited
 }
 
 type jobMeta struct {
@@ -129,9 +210,12 @@ func (p *pendingSubmit) expand(e env.Environment, job uint64) jobMeta {
 	return m
 }
 
-// Connect establishes a session over conn: it sends HELLO, waits for
-// HELLO_OK, and starts the background reader that answers server pulls.
-func Connect(conn wire.Conn, cfg Config) (*Client, error) {
+// Connect establishes a session: it sends HELLO over conn (dialing one via
+// cfg.Dial when conn is nil), waits for HELLO_OK, and starts the background
+// supervisor that answers server pulls and — with cfg.Dial set — re-dials
+// and resumes the session after connection loss. ctx bounds only the
+// handshake.
+func Connect(ctx context.Context, conn wire.Conn, cfg Config) (*Client, error) {
 	if cfg.Universe == nil {
 		return nil, errors.New("client: Config.Universe is required")
 	}
@@ -161,42 +245,61 @@ func Connect(conn wire.Conn, cfg Config) (*Client, error) {
 	if jobdb == nil {
 		jobdb = env.NewJobDB()
 	}
+	if conn == nil {
+		if cfg.Dial == nil {
+			return nil, errors.New("client: Connect needs a connection or Config.Dial")
+		}
+		var err error
+		conn, err = cfg.Dial()
+		if err != nil {
+			return nil, fmt.Errorf("client: dial: %w", err)
+		}
+	}
 	c := &Client{
-		cfg:        cfg,
-		conn:       conn,
-		store:      store,
-		jobdb:      jobdb,
-		counters:   &metrics.Counters{},
-		outPrev:    make(map[uint32][]byte),
-		jobMeta:    make(map[uint64]jobMeta),
-		jobDone:    make(map[uint64]chan struct{}),
-		arrivals:   make(chan struct{}, 1),
-		readerDone: make(chan struct{}),
+		cfg:       cfg,
+		store:     store,
+		jobdb:     jobdb,
+		counters:  &metrics.Counters{},
+		retry:     cfg.Retry.withDefaults(),
+		outPrev:   make(map[uint32][]byte),
+		jobMeta:   make(map[uint64]jobMeta),
+		jobDone:   make(map[uint64]chan struct{}),
+		arrivals:  make(chan struct{}, 1),
+		connDown:  make(chan struct{}),
+		connUp:    make(chan struct{}),
+		done:      make(chan struct{}),
+		superDone: make(chan struct{}),
 	}
-	hello := &wire.Hello{
-		Protocol:   wire.ProtocolVersion,
-		User:       cfg.User,
-		Domain:     cfg.Universe.Domain(),
-		ClientHost: cfg.Host,
-	}
-	if err := wire.Send(conn, hello); err != nil {
-		return nil, fmt.Errorf("client: hello: %w", err)
-	}
-	reply, err := wire.Recv(conn)
+	c.rng = rand.New(rand.NewSource(c.jitterSeed()))
+	c.lifeCtx, c.lifeStop = context.WithCancel(context.Background())
+
+	// The handshake honors ctx by severing the transport on expiry.
+	stop := context.AfterFunc(ctx, func() { _ = conn.Close() })
+	err := c.handshake(conn)
+	stop()
 	if err != nil {
-		return nil, fmt.Errorf("client: hello: %w", err)
+		c.lifeStop()
+		_ = conn.Close()
+		if ctx.Err() != nil {
+			return nil, ctxErr("connect", ctx.Err())
+		}
+		return nil, err
 	}
-	switch m := reply.(type) {
-	case *wire.HelloOK:
-		c.session = m.Session
-		c.serverName = m.ServerName
-	case *wire.ErrorMsg:
-		return nil, fmt.Errorf("client: hello rejected: %w", m)
-	default:
-		return nil, fmt.Errorf("client: unexpected hello reply %v", reply.Kind())
-	}
-	go c.readLoop()
+	c.installConn(conn)
+	go c.supervise(conn)
 	return c, nil
+}
+
+// jitterSeed derives a stable per-identity seed when the policy leaves it 0.
+func (c *Client) jitterSeed() int64 {
+	if c.retry.Seed != 0 {
+		return c.retry.Seed
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(c.cfg.User))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(c.cfg.Host))
+	return int64(h.Sum64() | 1)
 }
 
 // ServerName returns the connected server's advertised name.
@@ -246,16 +349,52 @@ func (c *Client) CommitAndNotify(filePath string) (wire.FileRef, uint64, error) 
 
 // Submit sends a job: scriptPath names the job command file, dataPaths the
 // data files its commands read (referenced by base name). It returns the
-// server-assigned job id.
-func (c *Client) Submit(scriptPath string, dataPaths []string, opts SubmitOptions) (uint64, error) {
+// server-assigned job id. With Config.Dial set, a submission interrupted by
+// connection loss is retried over the re-established session under an
+// idempotency tag, so the job runs exactly once.
+func (c *Client) Submit(ctx context.Context, scriptPath string, dataPaths []string, opts SubmitOptions) (uint64, error) {
 	script, err := c.readFile(scriptPath)
 	if err != nil {
 		return 0, fmt.Errorf("client: read script: %w", err)
+	}
+	var tag uint64
+	if c.cfg.Dial != nil {
+		tag = c.newTag()
+	}
+	for attempt := 1; ; attempt++ {
+		job, err := c.submitOnce(ctx, script, dataPaths, opts, tag)
+		if err == nil {
+			return job, nil
+		}
+		var tr *transientErr
+		if !errors.As(err, &tr) {
+			return 0, err
+		}
+		if c.cfg.Dial == nil {
+			return 0, tr.cause
+		}
+		if attempt >= c.retry.MaxAttempts {
+			return 0, tagErr(ErrRetriesExhausted,
+				fmt.Errorf("client: submit failed after %d attempts: %w", attempt, tr.cause))
+		}
+		c.counters.AddRetry()
+	}
+}
+
+// submitOnce performs one submission attempt over the current connection.
+func (c *Client) submitOnce(ctx context.Context, script []byte, dataPaths []string, opts SubmitOptions, tag uint64) (uint64, error) {
+	_, down, err := c.waitConnected(ctx)
+	if err != nil {
+		return 0, err
 	}
 	inputs := make([]wire.JobInput, 0, len(dataPaths))
 	for _, p := range dataPaths {
 		ref, version, err := c.CommitAndNotify(p)
 		if err != nil {
+			if errors.Is(err, ErrDisconnected) && !errors.Is(err, ErrClosed) {
+				c.awaitDown(ctx, down)
+				return 0, &transientErr{cause: err}
+			}
 			return 0, fmt.Errorf("client: prepare %s: %w", p, err)
 		}
 		inputs = append(inputs, wire.JobInput{File: ref, Version: version, As: path.Base(p)})
@@ -271,6 +410,7 @@ func (c *Client) Submit(scriptPath string, dataPaths []string, opts SubmitOption
 		ErrorFile:       opts.ErrorFile,
 		RouteHost:       opts.RouteHost,
 		WantOutputDelta: wantDelta,
+		ClientTag:       tag,
 	}
 	// The read loop installs the job metadata as soon as SUBMIT_OK
 	// arrives — before this goroutine resumes — because the job's OUTPUT
@@ -283,7 +423,7 @@ func (c *Client) Submit(scriptPath string, dataPaths []string, opts SubmitOption
 	c.mu.Lock()
 	c.pending = p
 	c.mu.Unlock()
-	reply, err := c.roundTrip(req)
+	reply, err := c.attempt(ctx, req)
 	c.mu.Lock()
 	c.pending = nil
 	c.mu.Unlock()
@@ -315,9 +455,22 @@ func (c *Client) Submit(scriptPath string, dataPaths []string, opts SubmitOption
 	return ok.Job, nil
 }
 
+// newTag mints a submission idempotency tag unique within this identity:
+// the first session id keys the space, so a restarted client (fresh session)
+// never collides with its predecessor's tags.
+func (c *Client) newTag() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tagBase == 0 {
+		c.tagBase = c.session << 20
+	}
+	c.nextTag++
+	return c.tagBase + c.nextTag
+}
+
 // Status queries one job's state at the server.
-func (c *Client) Status(job uint64) (wire.JobStatus, error) {
-	reply, err := c.roundTrip(&wire.StatusReq{Job: job})
+func (c *Client) Status(ctx context.Context, job uint64) (wire.JobStatus, error) {
+	reply, err := c.roundTrip(ctx, &wire.StatusReq{Job: job})
 	if err != nil {
 		return wire.JobStatus{}, err
 	}
@@ -334,8 +487,8 @@ func (c *Client) Status(job uint64) (wire.JobStatus, error) {
 }
 
 // StatusAll queries every job of this session.
-func (c *Client) StatusAll() ([]wire.JobStatus, error) {
-	reply, err := c.roundTrip(&wire.StatusReq{All: true})
+func (c *Client) StatusAll(ctx context.Context) ([]wire.JobStatus, error) {
+	reply, err := c.roundTrip(ctx, &wire.StatusReq{All: true})
 	if err != nil {
 		return nil, err
 	}
@@ -351,8 +504,11 @@ func (c *Client) StatusAll() ([]wire.JobStatus, error) {
 
 // Wait blocks until the job's output has been delivered and returns its
 // record. The system "retrieves the output at the end of job execution and
-// notifies the user of job completion" — Wait is that notification.
-func (c *Client) Wait(job uint64) (env.JobRecord, error) {
+// notifies the user of job completion" — Wait is that notification. It
+// returns promptly when ctx expires (ErrDeadlineExceeded on a deadline,
+// context.Canceled on cancellation) and rides out reconnections: delivery
+// resumes on the re-established session.
+func (c *Client) Wait(ctx context.Context, job uint64) (env.JobRecord, error) {
 	c.mu.Lock()
 	done, ok := c.jobDone[job]
 	if !ok {
@@ -362,7 +518,9 @@ func (c *Client) Wait(job uint64) (env.JobRecord, error) {
 	c.mu.Unlock()
 	select {
 	case <-done:
-	case <-c.readerDone:
+	case <-ctx.Done():
+		return env.JobRecord{}, ctxErr("wait", ctx.Err())
+	case <-c.done:
 		if rec, ok := c.jobdb.Get(c.serverName, job); ok && rec.Delivered {
 			return rec, nil
 		}
@@ -378,7 +536,7 @@ func (c *Client) Wait(job uint64) (env.JobRecord, error) {
 // WaitAny blocks until any job output is delivered to this session that no
 // previous WaitAny call has returned — including output routed here from
 // jobs submitted by other hosts (§8.3). It returns the job's record.
-func (c *Client) WaitAny() (env.JobRecord, error) {
+func (c *Client) WaitAny(ctx context.Context) (env.JobRecord, error) {
 	for {
 		c.mu.Lock()
 		if len(c.delivered) > 0 {
@@ -394,9 +552,53 @@ func (c *Client) WaitAny() (env.JobRecord, error) {
 		c.mu.Unlock()
 		select {
 		case <-c.arrivals:
-		case <-c.readerDone:
+		case <-ctx.Done():
+			return env.JobRecord{}, ctxErr("wait-any", ctx.Err())
+		case <-c.done:
 			return env.JobRecord{}, c.sessionErr()
 		}
+	}
+}
+
+// Fetch returns a job's record with its output, retrieving it if it has not
+// been delivered yet: delivered jobs return immediately from the local job
+// database; finished-but-undelivered jobs get a full-output request; jobs
+// still running are waited for.
+func (c *Client) Fetch(ctx context.Context, job uint64) (env.JobRecord, error) {
+	if rec, ok := c.jobdb.Get(c.serverName, job); ok && rec.Delivered {
+		return rec, nil
+	}
+	st, err := c.Status(ctx, job)
+	if err != nil {
+		return env.JobRecord{}, err
+	}
+	if st.State.Terminal() {
+		// Register interest before asking, so the delivery cannot slip
+		// between the request and the wait.
+		c.mu.Lock()
+		if _, ok := c.jobDone[job]; !ok {
+			c.jobDone[job] = make(chan struct{})
+		}
+		c.mu.Unlock()
+		if rec, ok := c.jobdb.Get(c.serverName, job); ok && rec.Delivered {
+			return rec, nil
+		}
+		if err := c.send(&wire.OutputFullReq{Job: job}); err != nil {
+			return env.JobRecord{}, err
+		}
+	}
+	return c.Wait(ctx, job)
+}
+
+// Bounce forcibly severs the current transport, as a mid-session network
+// failure would. With Config.Dial set the client reconnects and resumes;
+// without it the session ends. Chaos tests use it to inject disconnects.
+func (c *Client) Bounce() {
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
 	}
 }
 
@@ -408,13 +610,19 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
+	conn := c.conn
 	c.mu.Unlock()
-	_ = wire.Send(c.conn, &wire.Bye{})
-	err := c.conn.Close()
-	<-c.readerDone
+	c.lifeStop()
+	var err error
+	if conn != nil {
+		_ = wire.Send(conn, &wire.Bye{})
+		err = conn.Close()
+	}
+	<-c.superDone
 	return err
 }
 
+// sessionErr reports why the client can no longer serve requests.
 func (c *Client) sessionErr() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -424,22 +632,122 @@ func (c *Client) sessionErr() error {
 	if c.closed {
 		return ErrClosed
 	}
-	return ErrNoSession
+	return ErrDisconnected
 }
 
+// finish marks the client permanently done. The first non-nil error (unless
+// the client was deliberately closed) becomes the answer every subsequent
+// call reports.
+func (c *Client) finish(err error) {
+	c.mu.Lock()
+	if err != nil && c.lastErr == nil && !c.closed {
+		c.lastErr = err
+	}
+	c.mu.Unlock()
+	c.doneOnce.Do(func() { close(c.done) })
+}
+
+// send transmits one message over the current connection. Transport
+// failures are tagged ErrDisconnected — the session layer's cue that a
+// retry (after reconnection) may succeed.
 func (c *Client) send(m wire.Message) error {
-	if err := wire.Send(c.conn, m); err != nil {
-		return fmt.Errorf("client: send %v: %w", m.Kind(), err)
+	c.mu.Lock()
+	conn, closed := c.conn, c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if conn == nil {
+		return ErrDisconnected
+	}
+	if err := wire.Send(conn, m); err != nil {
+		// Sever the transport: a partial or refused write (a link-down
+		// window, say) leaves the stream unusable, and closing it is what
+		// engages the supervisor's backoff-and-reconnect path. Without
+		// this a flapping link wedges the session — the connection looks
+		// alive, so nothing retries and (in simulations) nothing advances
+		// virtual time past the outage window.
+		_ = conn.Close()
+		return tagErr(ErrDisconnected, fmt.Errorf("client: send %v: %w", m.Kind(), err))
 	}
 	return nil
 }
 
-// roundTrip performs one synchronous request/response exchange. Server
-// pushes (pulls, acks, output) arriving in between are handled by the read
-// loop without disturbing the pending request.
-func (c *Client) roundTrip(req wire.Message) (wire.Message, error) {
+// awaitDown waits for the supervisor to reap a connection whose send just
+// failed. Without this, retries would spin against the corpse — the dead
+// conn stays installed until the read loop notices — and exhaust the retry
+// budget in microseconds instead of riding out the outage.
+func (c *Client) awaitDown(ctx context.Context, down chan struct{}) {
+	select {
+	case <-down:
+	case <-c.done:
+	case <-ctx.Done():
+	}
+}
+
+// waitConnected blocks until a live connection exists, returning it with
+// its down channel. It fails when the client is closed, finished, or ctx
+// expires.
+func (c *Client) waitConnected(ctx context.Context) (wire.Conn, chan struct{}, error) {
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, nil, ErrClosed
+		}
+		if c.conn != nil {
+			conn, down := c.conn, c.connDown
+			c.mu.Unlock()
+			return conn, down, nil
+		}
+		up := c.connUp
+		c.mu.Unlock()
+		select {
+		case <-up:
+		case <-c.done:
+			return nil, nil, c.sessionErr()
+		case <-ctx.Done():
+			return nil, nil, ctxErr("waiting for connection", ctx.Err())
+		}
+	}
+}
+
+// roundTrip performs one synchronous request/response exchange, retrying
+// transient failures when the session layer can recover (Config.Dial set).
+// Server pushes (pulls, acks, output) arriving in between are handled by
+// the read loop without disturbing the pending request.
+func (c *Client) roundTrip(ctx context.Context, req wire.Message) (wire.Message, error) {
+	for attempt := 1; ; attempt++ {
+		reply, err := c.attempt(ctx, req)
+		if err == nil {
+			return reply, nil
+		}
+		var tr *transientErr
+		if !errors.As(err, &tr) {
+			return nil, err
+		}
+		if c.cfg.Dial == nil {
+			return nil, tr.cause
+		}
+		if attempt >= c.retry.MaxAttempts {
+			return nil, tagErr(ErrRetriesExhausted,
+				fmt.Errorf("client: %v failed after %d attempts: %w", req.Kind(), attempt, tr.cause))
+		}
+		c.counters.AddRetry()
+	}
+}
+
+// attempt performs a single request/response exchange over the current
+// connection, bounded by the per-RPC timeout. Connection loss and timeout
+// surface as transientErr; the caller decides whether to retry.
+func (c *Client) attempt(ctx context.Context, req wire.Message) (wire.Message, error) {
 	c.reqMu.Lock()
 	defer c.reqMu.Unlock()
+
+	conn, down, err := c.waitConnected(ctx)
+	if err != nil {
+		return nil, err
+	}
 
 	ch := make(chan wire.Message, 1)
 	c.mu.Lock()
@@ -451,18 +759,45 @@ func (c *Client) roundTrip(req wire.Message) (wire.Message, error) {
 	c.mu.Unlock()
 	defer func() {
 		c.mu.Lock()
-		c.awaiting = nil
+		if c.awaiting == ch {
+			c.awaiting = nil
+		}
 		c.mu.Unlock()
 	}()
 
-	if err := c.send(req); err != nil {
-		return nil, err
+	attemptCtx := ctx
+	if c.cfg.RPCTimeout > 0 {
+		var cancel context.CancelFunc
+		attemptCtx, cancel = context.WithTimeout(ctx, c.cfg.RPCTimeout)
+		defer cancel()
+	}
+
+	if err := wire.Send(conn, req); err != nil {
+		// Sever the failed transport (see send) and wait for the
+		// supervisor to reap it, so the retry runs against the next
+		// session instead of spinning on the corpse.
+		_ = conn.Close()
+		c.awaitDown(ctx, down)
+		return nil, &transientErr{cause: tagErr(ErrDisconnected,
+			fmt.Errorf("client: send %v: %w", req.Kind(), err))}
 	}
 	select {
 	case reply := <-ch:
 		return reply, nil
-	case <-c.readerDone:
+	case <-down:
+		return nil, &transientErr{cause: ErrDisconnected}
+	case <-c.done:
 		return nil, c.sessionErr()
+	case <-attemptCtx.Done():
+		if ctx.Err() != nil {
+			// The caller's own context expired: report, don't retry.
+			return nil, ctxErr(req.Kind().String(), ctx.Err())
+		}
+		// The per-RPC deadline expired: the connection is suspect.
+		// Sever it — the supervisor redials — and let the caller retry.
+		_ = conn.Close()
+		return nil, &transientErr{cause: tagErr(ErrDeadlineExceeded,
+			fmt.Errorf("client: %v: %w", req.Kind(), context.DeadlineExceeded))}
 	}
 }
 

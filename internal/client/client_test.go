@@ -1,6 +1,8 @@
 package client
 
 import (
+	"context"
+
 	"bytes"
 	"errors"
 	"testing"
@@ -51,7 +53,7 @@ func newPair(t *testing.T) (*Client, *fakeServer, *naming.Universe) {
 	done := make(chan *Client, 1)
 	errCh := make(chan error, 1)
 	go func() {
-		cl, err := Connect(conn, Config{User: "u", Universe: universe, Host: "ws"})
+		cl, err := Connect(context.Background(), conn, Config{User: "u", Universe: universe, Host: "ws"})
 		if err != nil {
 			errCh <- err
 			return
@@ -91,7 +93,7 @@ func (f *fakeServer) recv() wire.Message {
 }
 
 func TestConnectRejectsMissingUniverse(t *testing.T) {
-	if _, err := Connect(nil, Config{User: "u"}); err == nil {
+	if _, err := Connect(context.Background(), nil, Config{User: "u"}); err == nil {
 		t.Fatal("Connect without universe succeeded")
 	}
 }
@@ -122,7 +124,7 @@ func TestCommitAndNotifySendsNotifyOnce(t *testing.T) {
 	}()
 	statusDone := make(chan error, 1)
 	go func() {
-		_, err := cl.StatusAll()
+		_, err := cl.StatusAll(context.Background())
 		statusDone <- err
 	}()
 	if m := fs.recv(); m.Kind() != wire.KindStatusReq {
@@ -207,7 +209,7 @@ func TestSubmitRoundTrip(t *testing.T) {
 	}
 	res := make(chan result, 1)
 	go func() {
-		job, err := cl.Submit("/run.job", []string{"/d"}, SubmitOptions{})
+		job, err := cl.Submit(context.Background(), "/run.job", []string{"/d"}, SubmitOptions{})
 		res <- result{job: job, err: err}
 	}()
 	if m := fs.recv(); m.Kind() != wire.KindNotify {
@@ -241,7 +243,7 @@ func TestSubmitServerError(t *testing.T) {
 	}
 	res := make(chan error, 1)
 	go func() {
-		_, err := cl.Submit("/run.job", []string{"/d"}, SubmitOptions{})
+		_, err := cl.Submit(context.Background(), "/run.job", []string{"/d"}, SubmitOptions{})
 		res <- err
 	}()
 	fs.recv() // notify
@@ -261,7 +263,7 @@ func TestOutputDeliveryAndWait(t *testing.T) {
 	}
 	res := make(chan uint64, 1)
 	go func() {
-		job, err := cl.Submit("/run.job", nil, SubmitOptions{})
+		job, err := cl.Submit(context.Background(), "/run.job", nil, SubmitOptions{})
 		if err != nil {
 			t.Error(err)
 			return
@@ -276,7 +278,7 @@ func TestOutputDeliveryAndWait(t *testing.T) {
 		Job: job, State: wire.JobDone, ExitCode: 0,
 		Mode: wire.OutputFull, Stdout: []byte("hi\n"),
 	})
-	rec, err := cl.Wait(job)
+	rec, err := cl.Wait(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +302,7 @@ func TestOutputDeltaWithoutBaseRequestsFull(t *testing.T) {
 	}
 	res := make(chan uint64, 1)
 	go func() {
-		job, err := cl.Submit("/run.job", nil, SubmitOptions{})
+		job, err := cl.Submit(context.Background(), "/run.job", nil, SubmitOptions{})
 		if err != nil {
 			t.Error(err)
 			return
@@ -322,7 +324,7 @@ func TestOutputDeltaWithoutBaseRequestsFull(t *testing.T) {
 	}
 	// Server resends in full; Wait completes.
 	fs.send(&wire.Output{Job: job, State: wire.JobDone, Mode: wire.OutputFull, Stdout: []byte("new output\n")})
-	rec, err := cl.Wait(job)
+	rec, err := cl.Wait(context.Background(), job)
 	if err != nil || string(rec.Stdout) != "new output\n" {
 		t.Fatalf("rec = %+v err %v", rec, err)
 	}
@@ -331,7 +333,7 @@ func TestOutputDeltaWithoutBaseRequestsFull(t *testing.T) {
 func TestRoutedOutputForUnknownJobStored(t *testing.T) {
 	cl, fs, universe := newPair(t)
 	fs.send(&wire.Output{Job: 77, State: wire.JobDone, Mode: wire.OutputFull, Stdout: []byte("routed\n")})
-	rec, err := cl.Wait(77)
+	rec, err := cl.Wait(context.Background(), 77)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,10 +349,10 @@ func TestRoutedOutputForUnknownJobStored(t *testing.T) {
 func TestWaitAfterDisconnectFails(t *testing.T) {
 	cl, fs, _ := newPair(t)
 	_ = fs.conn.Close()
-	if _, err := cl.Wait(123); err == nil {
+	if _, err := cl.Wait(context.Background(), 123); err == nil {
 		t.Fatal("Wait succeeded after disconnect")
 	}
-	if _, err := cl.StatusAll(); err == nil {
+	if _, err := cl.StatusAll(context.Background()); err == nil {
 		t.Fatal("StatusAll succeeded after disconnect")
 	}
 }
@@ -359,7 +361,7 @@ func TestStatusUpdatesJobDB(t *testing.T) {
 	cl, fs, _ := newPair(t)
 	done := make(chan error, 1)
 	go func() {
-		st, err := cl.Status(4)
+		st, err := cl.Status(context.Background(), 4)
 		if err == nil && st.State != wire.JobRunning {
 			err = errors.New("wrong state")
 		}
@@ -404,7 +406,7 @@ func TestConnectValidatesEnvironment(t *testing.T) {
 	u.AddHost("ws")
 	bad := env.Default("u")
 	bad.RetainVersions = -1
-	if _, err := Connect(nil, Config{User: "u", Universe: u, Host: "ws", Env: bad}); err == nil {
+	if _, err := Connect(context.Background(), nil, Config{User: "u", Universe: u, Host: "ws", Env: bad}); err == nil {
 		t.Fatal("Connect with invalid environment succeeded")
 	}
 }
@@ -415,7 +417,7 @@ func TestWaitAnyReceivesRoutedOutputs(t *testing.T) {
 	fs.send(&wire.Output{Job: 32, State: wire.JobDone, Mode: wire.OutputFull, Stdout: []byte("two\n")})
 	got := map[uint64]string{}
 	for i := 0; i < 2; i++ {
-		rec, err := cl.WaitAny()
+		rec, err := cl.WaitAny(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -429,7 +431,7 @@ func TestWaitAnyReceivesRoutedOutputs(t *testing.T) {
 func TestWaitAnyAfterDisconnect(t *testing.T) {
 	cl, fs, _ := newPair(t)
 	_ = fs.conn.Close()
-	if _, err := cl.WaitAny(); err == nil {
+	if _, err := cl.WaitAny(context.Background()); err == nil {
 		t.Fatal("WaitAny succeeded after disconnect")
 	}
 }

@@ -1,0 +1,72 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// The client's error taxonomy. Every failure a caller can act on maps to
+// one of these sentinels via errors.Is; wrapped causes stay reachable
+// through errors.Unwrap (a deadline error, for example, matches both
+// ErrDeadlineExceeded and context.DeadlineExceeded).
+var (
+	// ErrClosed reports use after Close.
+	ErrClosed = errors.New("client: closed")
+	// ErrDisconnected reports an operation that failed because the
+	// connection to the server was lost (and, without a Dial function,
+	// cannot come back).
+	ErrDisconnected = errors.New("client: disconnected")
+	// ErrNoSession is the historical name for ErrDisconnected.
+	ErrNoSession = ErrDisconnected
+	// ErrRetriesExhausted reports that reconnection or request retries
+	// gave up after the configured number of attempts.
+	ErrRetriesExhausted = errors.New("client: retries exhausted")
+	// ErrDeadlineExceeded reports a per-RPC or caller deadline expiry.
+	// Errors carrying it also match context.DeadlineExceeded.
+	ErrDeadlineExceeded = errors.New("client: deadline exceeded")
+	// ErrBaseEvicted reports a delta whose base version is gone — the
+	// best-effort cache at work — when the full-transfer fallback could
+	// not be arranged either.
+	ErrBaseEvicted = errors.New("client: delta base evicted")
+)
+
+// taggedErr attaches an errors.Is-able sentinel to a cause without
+// repeating the sentinel's text: the cause carries the full message, the
+// tag carries the identity.
+type taggedErr struct {
+	tag   error
+	cause error
+}
+
+func (e *taggedErr) Error() string        { return e.cause.Error() }
+func (e *taggedErr) Unwrap() error        { return e.cause }
+func (e *taggedErr) Is(target error) bool { return target == e.tag }
+
+// tagErr wraps cause so errors.Is(err, tag) holds while the message and
+// the rest of the chain stay those of cause.
+func tagErr(tag, cause error) error {
+	if cause == nil {
+		return tag
+	}
+	return &taggedErr{tag: tag, cause: cause}
+}
+
+// transientErr marks a failure the session layer may retry: the connection
+// died or an attempt timed out, but the client is neither closed nor given
+// up. It never escapes to callers — retry loops unwrap it.
+type transientErr struct{ cause error }
+
+func (e *transientErr) Error() string { return e.cause.Error() }
+func (e *transientErr) Unwrap() error { return e.cause }
+
+// ctxErr wraps a context error for the caller: deadline expiries gain the
+// ErrDeadlineExceeded tag (while still matching context.DeadlineExceeded
+// through the chain), cancellations pass through matching context.Canceled.
+func ctxErr(op string, err error) error {
+	wrapped := fmt.Errorf("client: %s: %w", op, err)
+	if errors.Is(err, context.DeadlineExceeded) {
+		return tagErr(ErrDeadlineExceeded, wrapped)
+	}
+	return wrapped
+}

@@ -9,19 +9,17 @@ import (
 	"shadowedit/internal/wire"
 )
 
-// readLoop is the client's background receiver: it answers server pulls
-// (that is where shadow deltas are produced), applies acks to the version
-// store, receives job output, and routes request replies to the waiting
-// caller. It exits when the connection ends.
-func (c *Client) readLoop() {
-	defer close(c.readerDone)
+// readLoop is the client's background receiver for one connection: it
+// answers server pulls (that is where shadow deltas are produced), applies
+// acks to the version store, receives job output, and routes request replies
+// to the waiting caller. It exits when the connection ends, recording the
+// cause in lastDrop for the supervisor.
+func (c *Client) readLoop(conn wire.Conn) {
 	for {
-		msg, err := wire.Recv(c.conn)
+		msg, err := wire.Recv(conn)
 		if err != nil {
 			c.mu.Lock()
-			if c.lastErr == nil && !c.closed {
-				c.lastErr = fmt.Errorf("client: connection lost: %w", err)
-			}
+			c.lastDrop = err
 			c.mu.Unlock()
 			return
 		}
@@ -49,7 +47,9 @@ func (c *Client) readLoop() {
 func (c *Client) routeReply(msg wire.Message) {
 	c.mu.Lock()
 	if ok, isOK := msg.(*wire.SubmitOK); isOK && c.pending != nil {
-		c.jobMeta[ok.Job] = c.pending.expand(c.cfg.Env, ok.Job)
+		if _, known := c.jobMeta[ok.Job]; !known {
+			c.jobMeta[ok.Job] = c.pending.expand(c.cfg.Env, ok.Job)
+		}
 		if _, exists := c.jobDone[ok.Job]; !exists {
 			c.jobDone[ok.Job] = make(chan struct{})
 		}
@@ -78,7 +78,9 @@ func (c *Client) handleError(m *wire.ErrorMsg) {
 		}
 	}
 	c.mu.Lock()
-	c.lastErr = m
+	if c.lastErr == nil {
+		c.lastErr = m
+	}
 	c.mu.Unlock()
 }
 
@@ -110,12 +112,19 @@ func (c *Client) handlePull(m *wire.Pull) {
 		c.counters.AddDelta(len(r.Encoded))
 	case *wire.FileFull:
 		c.counters.AddFull(len(r.Content))
+		if m.HaveVersion > 0 {
+			// The server asked for a delta but the base is gone here:
+			// the transfer degraded to a full copy.
+			c.counters.AddFullFallback()
+		}
 	}
 	_ = c.send(reply)
 }
 
 // handleOutput receives a finished job's results, reconstructing them from
-// an output delta when reverse shadow processing is active.
+// an output delta when reverse shadow processing is active. Duplicate
+// deliveries (a reconnect can re-send an output whose ack was lost) are
+// acked but not re-surfaced: jobDone closes exactly once.
 func (c *Client) handleOutput(m *wire.Output) {
 	c.mu.Lock()
 	meta, known := c.jobMeta[m.Job]
@@ -129,13 +138,24 @@ func (c *Client) handleOutput(m *wire.Output) {
 	}
 	stdout, err := core.ApplyOutput(m.Mode, m.Stdout, prev, m.Compressed)
 	if errors.Is(err, core.ErrStaleBase) || (m.Mode == wire.OutputDelta && !known) {
-		// Our base for the delta is gone: ask for the full output.
-		_ = c.send(&wire.OutputFullReq{Job: m.Job})
+		// Our base for the delta is gone: degrade gracefully to a full
+		// transfer.
+		c.counters.AddFullFallback()
+		if serr := c.send(&wire.OutputFullReq{Job: m.Job}); serr != nil {
+			c.mu.Lock()
+			if c.lastErr == nil && !c.closed {
+				c.lastErr = tagErr(ErrBaseEvicted,
+					fmt.Errorf("client: job %d: delta base evicted and full request failed: %w", m.Job, serr))
+			}
+			c.mu.Unlock()
+		}
 		return
 	}
 	if err != nil {
 		c.mu.Lock()
-		c.lastErr = err
+		if c.lastErr == nil {
+			c.lastErr = err
+		}
 		c.mu.Unlock()
 		return
 	}
@@ -154,18 +174,42 @@ func (c *Client) handleOutput(m *wire.Output) {
 		}
 	}
 
+	// A duplicate delivery must not rewrite result files or job records:
+	// the first delivery already surfaced them to the user.
+	c.mu.Lock()
+	done, ok := c.jobDone[m.Job]
+	if !ok {
+		done = make(chan struct{})
+		c.jobDone[m.Job] = done
+	}
+	duplicate := false
+	select {
+	case <-done:
+		duplicate = true
+	default:
+	}
+	c.mu.Unlock()
+	if duplicate {
+		_ = c.send(&wire.OutputAck{Job: m.Job})
+		return
+	}
+
 	// Store results where the user asked ("optional arguments allow the
 	// user to specify the names of files into which the system stores
 	// output and error messages").
 	if err := c.writeResult(meta.outputFile, stdout); err != nil {
 		c.mu.Lock()
-		c.lastErr = err
+		if c.lastErr == nil {
+			c.lastErr = err
+		}
 		c.mu.Unlock()
 	}
 	if len(m.Stderr) > 0 {
 		if err := c.writeResult(meta.errorFile, m.Stderr); err != nil {
 			c.mu.Lock()
-			c.lastErr = err
+			if c.lastErr == nil {
+				c.lastErr = err
+			}
 			c.mu.Unlock()
 		}
 	}
@@ -174,14 +218,8 @@ func (c *Client) handleOutput(m *wire.Output) {
 	_ = c.send(&wire.OutputAck{Job: m.Job})
 
 	c.mu.Lock()
-	done, ok := c.jobDone[m.Job]
-	if !ok {
-		done = make(chan struct{})
-		c.jobDone[m.Job] = done
-	}
 	select {
 	case <-done:
-		// already closed (duplicate delivery)
 	default:
 		close(done)
 		c.delivered = append(c.delivered, m.Job)

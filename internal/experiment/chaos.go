@@ -1,0 +1,295 @@
+// Chaos harness: K concurrent sessions drive edit–submit–wait cycles over
+// fault-injected links (frame drops, latency spikes, periodic flap windows)
+// plus one forced mid-run disconnect per session, then verify that every job
+// completed with byte-identical output to a fault-free reference execution.
+// This is the acceptance gauntlet for the fault-tolerant session layer: drops
+// reset connections, the client reconnects and resumes, idempotency tags keep
+// re-submitted jobs single-run, and the server's held-output store preserves
+// results across the gaps.
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"shadowedit/internal/client"
+	"shadowedit/internal/env"
+	"shadowedit/internal/jobs"
+	"shadowedit/internal/metrics"
+	"shadowedit/internal/naming"
+	"shadowedit/internal/netsim"
+	"shadowedit/internal/server"
+	"shadowedit/internal/wire"
+	"shadowedit/internal/workload"
+)
+
+// ChaosConfig parametrizes one chaos run.
+type ChaosConfig struct {
+	// Sessions is the number of concurrent client sessions.
+	Sessions int
+	// Cycles is the number of edit–submit–wait cycles per session.
+	Cycles int
+	// FileSize is the data file size in bytes.
+	FileSize int
+	// EditPercent is the fraction of the file modified each cycle.
+	EditPercent float64
+	// Seed makes both the workload and the fault pattern reproducible.
+	Seed int64
+
+	// DropRate is the per-frame loss probability on each session's link;
+	// a lost frame resets the connection carrying it.
+	DropRate float64
+	// SpikeRate/SpikeExtra add latency spikes to a fraction of frames.
+	SpikeRate  float64
+	SpikeExtra time.Duration
+	// FlapPeriod/FlapDown schedule periodic link outages in virtual time.
+	FlapPeriod time.Duration
+	FlapDown   time.Duration
+	// Disconnects is the number of forced client-side disconnects per
+	// session, spread evenly across the cycles.
+	Disconnects int
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.Sessions <= 0 {
+		c.Sessions = 12
+	}
+	if c.Cycles <= 0 {
+		c.Cycles = 200
+	}
+	if c.FileSize <= 0 {
+		c.FileSize = 4 * 1024
+	}
+	if c.EditPercent <= 0 {
+		c.EditPercent = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 7
+	}
+	if c.DropRate < 0 {
+		c.DropRate = 0
+	}
+	if c.Disconnects < 0 {
+		c.Disconnects = 0
+	}
+	return c
+}
+
+// ChaosResult aggregates one chaos run.
+type ChaosResult struct {
+	Sessions    int
+	Cycles      int
+	Completed   int   // cycles that finished with verified output
+	Mismatches  int   // cycles whose output differed from the reference
+	Reconnects  int64 // session re-establishments across all clients
+	Retries     int64 // request retries across all clients
+	Fallbacks   int64 // delta deliveries degraded to full transfers
+	Dropped     int64 // frames lost by injection, summed over links
+	Spikes      int64 // frames delayed by injected latency spikes
+	FlapRejects int64 // transmissions refused inside flap windows
+	ElapsedSec  float64
+}
+
+// String renders the summary line the chaos figure prints.
+func (r ChaosResult) String() string {
+	return fmt.Sprintf(
+		"chaos: %d sessions x %d cycles: %d/%d verified, %d mismatches; "+
+			"%d reconnects, %d retries, %d full-transfer fallbacks; "+
+			"faults: %d dropped, %d spiked, %d flap-rejected (%.1fs)",
+		r.Sessions, r.Cycles, r.Completed, r.Sessions*r.Cycles, r.Mismatches,
+		r.Reconnects, r.Retries, r.Fallbacks,
+		r.Dropped, r.Spikes, r.FlapRejects, r.ElapsedSec)
+}
+
+// Failed reports whether the run missed its acceptance bar: every cycle must
+// complete and verify byte-identical.
+func (r ChaosResult) Failed() bool {
+	return r.Completed != r.Sessions*r.Cycles || r.Mismatches > 0
+}
+
+// RunChaos executes the chaos gauntlet and verifies every job output against
+// a local fault-free reference execution.
+func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
+	cfg = cfg.withDefaults()
+
+	nw := netsim.New()
+	super := nw.Host("super")
+	lst, err := super.Listen(1)
+	if err != nil {
+		return ChaosResult{}, err
+	}
+	defer lst.Close()
+
+	scfg := server.Defaults("chaos")
+	scfg.MaxConcurrentJobs = cfg.Sessions
+	srv := server.New(scfg)
+	go func() { _ = srv.Serve(server.AcceptorFunc(func() (wire.Conn, error) { return lst.Accept() })) }()
+	defer srv.Close()
+
+	universe := naming.NewUniverse("chaos")
+	script := []byte("checksum data.dat\n")
+
+	type rig struct {
+		host    *netsim.Host
+		link    *netsim.Link
+		cl      *client.Client
+		gen     *workload.Generator
+		dataP   string
+		jobP    string
+		content []byte
+	}
+	rigs := make([]*rig, cfg.Sessions)
+	for i := range rigs {
+		name := fmt.Sprintf("ws%d", i)
+		user := fmt.Sprintf("u%d", i)
+		host := nw.Host(name)
+		link := nw.Connect(host, super, netsim.LAN)
+		link.SetFaults(netsim.FaultSpec{
+			Seed:       cfg.Seed + int64(i)*7919,
+			DropRate:   cfg.DropRate,
+			SpikeRate:  cfg.SpikeRate,
+			SpikeExtra: cfg.SpikeExtra,
+			FlapPeriod: cfg.FlapPeriod,
+			FlapDown:   cfg.FlapDown,
+		})
+		universe.AddHost(name)
+		r := &rig{
+			host:  host,
+			link:  link,
+			gen:   workload.NewGenerator(cfg.Seed + int64(i)),
+			dataP: fmt.Sprintf("/u/%s/data.dat", user),
+			jobP:  fmt.Sprintf("/u/%s/run.job", user),
+		}
+		r.content = r.gen.File(cfg.FileSize)
+		if err := universe.WriteFile(name, r.jobP, script); err != nil {
+			return ChaosResult{}, err
+		}
+		if err := universe.WriteFile(name, r.dataP, r.content); err != nil {
+			return ChaosResult{}, err
+		}
+		ccfg := client.Config{
+			User:     user,
+			Universe: universe,
+			Host:     name,
+			Env:      env.Default(user),
+			Clock:    host,
+			Dial:     func() (wire.Conn, error) { return host.Dial("super", 1) },
+			Retry: client.RetryPolicy{
+				MaxAttempts: 60,
+				BaseDelay:   5 * time.Millisecond,
+				MaxDelay:    250 * time.Millisecond,
+				Seed:        cfg.Seed + int64(i) + 1,
+			},
+			RPCTimeout: 30 * time.Second,
+			Sleep: func(ctx context.Context, d time.Duration) error {
+				host.Process(d)
+				return ctx.Err()
+			},
+		}
+		// The initial connect may start inside a flap window or lose its
+		// handshake to a drop; step virtual time forward and retry.
+		var cl *client.Client
+		for attempt := 0; ; attempt++ {
+			cl, err = client.Connect(context.Background(), nil, ccfg)
+			if err == nil {
+				break
+			}
+			if attempt >= 100 {
+				return ChaosResult{}, fmt.Errorf("chaos: session %d connect: %w", i, err)
+			}
+			host.Process(50 * time.Millisecond)
+		}
+		r.cl = cl
+		rigs[i] = r
+		defer cl.Close()
+	}
+
+	// Forced disconnects: Bounce() severs the live connection at evenly
+	// spaced cycles; the supervisor must reconnect and resume.
+	bounceAt := make(map[int]bool, cfg.Disconnects)
+	for k := 1; k <= cfg.Disconnects; k++ {
+		bounceAt[k*cfg.Cycles/(cfg.Disconnects+1)] = true
+	}
+
+	completed := make([]int, cfg.Sessions)
+	mismatched := make([]int, cfg.Sessions)
+	errs := make([]error, cfg.Sessions)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, r := range rigs {
+		wg.Add(1)
+		go func(i int, r *rig) {
+			defer wg.Done()
+			for cyc := 0; cyc < cfg.Cycles; cyc++ {
+				if bounceAt[cyc] {
+					r.cl.Bounce()
+				}
+				r.content = r.gen.Modify(r.content, cfg.EditPercent, workload.EditReplace)
+				if err := universe.WriteFile(r.host.Name(), r.dataP, r.content); err != nil {
+					errs[i] = err
+					return
+				}
+				// The wall-clock deadline is a hang guard only; all
+				// simulated waiting runs on virtual time.
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+				job, err := r.cl.Submit(ctx, r.jobP, []string{r.dataP}, client.SubmitOptions{})
+				if err != nil {
+					cancel()
+					errs[i] = fmt.Errorf("cycle %d submit: %w", cyc, err)
+					return
+				}
+				rec, err := r.cl.Wait(ctx, job)
+				cancel()
+				if err != nil {
+					sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+					st, serr := r.cl.Status(sctx, job)
+					scancel()
+					errs[i] = fmt.Errorf("cycle %d wait job %d: %w (server state: %v %q, status err: %v)",
+						cyc, job, err, st.State, st.Detail, serr)
+					return
+				}
+				want := jobs.Execute(jobs.Request{
+					Script: script,
+					Inputs: map[string][]byte{"data.dat": r.content},
+				})
+				if !bytes.Equal(rec.Stdout, want.Stdout) || rec.ExitCode != want.ExitCode {
+					mismatched[i]++
+				}
+				completed[i]++
+			}
+		}(i, r)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return ChaosResult{}, fmt.Errorf("chaos: session %d: %w", i, err)
+		}
+	}
+
+	res := ChaosResult{
+		Sessions:   cfg.Sessions,
+		Cycles:     cfg.Cycles,
+		ElapsedSec: elapsed.Seconds(),
+	}
+	var snap metrics.Snapshot
+	for i, r := range rigs {
+		res.Completed += completed[i]
+		res.Mismatches += mismatched[i]
+		s := r.cl.Metrics()
+		snap.Reconnects += s.Reconnects
+		snap.Retries += s.Retries
+		snap.FullFallbacks += s.FullFallbacks
+		dropped, spikes, flaps := r.link.FaultStats()
+		res.Dropped += dropped
+		res.Spikes += spikes
+		res.FlapRejects += flaps
+	}
+	res.Reconnects = snap.Reconnects
+	res.Retries = snap.Retries
+	res.Fallbacks = snap.FullFallbacks
+	return res, nil
+}

@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChaosSmallGauntlet runs a reduced chaos configuration (the full figure
+// runs 12x200); it must complete every cycle with verified output. Sized to
+// stay fast under -race.
+func TestChaosSmallGauntlet(t *testing.T) {
+	res, err := RunChaos(ChaosConfig{
+		Sessions:    4,
+		Cycles:      25,
+		FileSize:    2 * 1024,
+		Seed:        7,
+		DropRate:    0.05,
+		SpikeRate:   0.05,
+		SpikeExtra:  20 * time.Millisecond,
+		FlapPeriod:  30 * time.Second,
+		FlapDown:    200 * time.Millisecond,
+		Disconnects: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("chaos run failed acceptance: %s", res)
+	}
+	if res.Reconnects == 0 {
+		t.Fatal("chaos run exercised no reconnects")
+	}
+	if res.Dropped == 0 {
+		t.Fatal("chaos run dropped no frames")
+	}
+}
+
+// TestChaosZeroFaultsIsClean runs the harness with no injection: nothing
+// drops, nothing reconnects beyond the per-session forced bounce.
+func TestChaosZeroFaultsIsClean(t *testing.T) {
+	res, err := RunChaos(ChaosConfig{
+		Sessions: 2, Cycles: 10, FileSize: 1024, Seed: 3, Disconnects: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("zero-fault chaos failed: %s", res)
+	}
+	if res.Dropped != 0 || res.Spikes != 0 || res.FlapRejects != 0 {
+		t.Fatalf("zero-fault run recorded faults: %s", res)
+	}
+	// One forced disconnect per session, ridden out.
+	if res.Reconnects != int64(res.Sessions) {
+		t.Fatalf("reconnects = %d, want %d (one bounce per session)", res.Reconnects, res.Sessions)
+	}
+}

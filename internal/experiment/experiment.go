@@ -16,6 +16,8 @@
 package experiment
 
 import (
+	"context"
+
 	"fmt"
 	"time"
 
@@ -128,7 +130,7 @@ func shadowCycle(cfg Config, content, edited []byte) (time.Duration, int64, erro
 	environment := shadow.DefaultEnvironment("sci")
 	environment.Algorithm = cfg.Algorithm
 	environment.Compress = cfg.Compress
-	c, err := ws.ConnectEnv(environment)
+	c, err := ws.ConnectEnv(context.Background(), environment)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -144,11 +146,11 @@ func shadowCycle(cfg Config, content, edited []byte) (time.Duration, int64, erro
 		return 0, 0, err
 	}
 	start := ws.Host().Now()
-	job, err := c.Submit("/u/sci/run.job", []string{"/u/sci/data.dat"}, shadow.SubmitOptions{})
+	job, err := c.Submit(context.Background(), "/u/sci/run.job", []string{"/u/sci/data.dat"}, shadow.SubmitOptions{})
 	if err != nil {
 		return 0, 0, err
 	}
-	if _, err := c.Wait(job); err != nil {
+	if _, err := c.Wait(context.Background(), job); err != nil {
 		return 0, 0, err
 	}
 	elapsed := ws.Host().Now() - start
@@ -218,10 +220,10 @@ func prime(ws *shadow.Workstation, c *shadow.Client, content []byte) error {
 	if err := ws.WriteFile("/u/sci/data.dat", content); err != nil {
 		return err
 	}
-	job, err := c.Submit("/u/sci/run.job", []string{"/u/sci/data.dat"}, shadow.SubmitOptions{})
+	job, err := c.Submit(context.Background(), "/u/sci/run.job", []string{"/u/sci/data.dat"}, shadow.SubmitOptions{})
 	if err != nil {
 		return err
 	}
-	_, err = c.Wait(job)
+	_, err = c.Wait(context.Background(), job)
 	return err
 }

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+
 	"fmt"
 	"io"
 	"strings"
@@ -60,7 +62,7 @@ func reverseShadowBytes(cfg Config, inputSize, runs int, wantDelta bool) (int64,
 	environment := shadow.DefaultEnvironment("sci")
 	environment.Algorithm = cfg.Algorithm
 	environment.WantOutputDelta = wantDelta
-	c, err := ws.ConnectEnv(environment)
+	c, err := ws.ConnectEnv(context.Background(), environment)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -76,11 +78,11 @@ func reverseShadowBytes(cfg Config, inputSize, runs int, wantDelta bool) (int64,
 		if err := ws.WriteFile("/u/sci/data.dat", content); err != nil {
 			return 0, 0, err
 		}
-		job, err := c.Submit("/u/sci/run.job", []string{"/u/sci/data.dat"}, shadow.SubmitOptions{})
+		job, err := c.Submit(context.Background(), "/u/sci/run.job", []string{"/u/sci/data.dat"}, shadow.SubmitOptions{})
 		if err != nil {
 			return 0, 0, err
 		}
-		rec, err := c.Wait(job)
+		rec, err := c.Wait(context.Background(), job)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -258,7 +260,7 @@ func cacheSweepOne(cfg Config, fileSize, files int, capacity int64) (CacheSweepC
 	}
 	defer cluster.Close()
 	ws := cluster.NewWorkstation("ws")
-	c, err := ws.Connect("sci")
+	c, err := ws.Connect(context.Background(), "sci")
 	if err != nil {
 		return CacheSweepCell{}, err
 	}
@@ -282,11 +284,11 @@ func cacheSweepOne(cfg Config, fileSize, files int, capacity int64) (CacheSweepC
 
 	// Three rounds of edit-everything-resubmit.
 	for round := 0; round < 3; round++ {
-		job, err := c.Submit("/u/sci/run.job", paths, shadow.SubmitOptions{})
+		job, err := c.Submit(context.Background(), "/u/sci/run.job", paths, shadow.SubmitOptions{})
 		if err != nil {
 			return CacheSweepCell{}, err
 		}
-		if _, err := c.Wait(job); err != nil {
+		if _, err := c.Wait(context.Background(), job); err != nil {
 			return CacheSweepCell{}, err
 		}
 		for i := range contents {
@@ -356,7 +358,7 @@ func cachePolicyOne(cfg Config, capacity int64, policy shadow.CachePolicy) (Poli
 	}
 	defer cluster.Close()
 	ws := cluster.NewWorkstation("ws")
-	c, err := ws.Connect("sci")
+	c, err := ws.Connect(context.Background(), "sci")
 	if err != nil {
 		return PolicyCell{}, err
 	}
@@ -387,11 +389,11 @@ func cachePolicyOne(cfg Config, capacity int64, policy shadow.CachePolicy) (Poli
 	}
 
 	for round := 0; round < 4; round++ {
-		job, err := c.Submit("/run.job", paths, shadow.SubmitOptions{})
+		job, err := c.Submit(context.Background(), "/run.job", paths, shadow.SubmitOptions{})
 		if err != nil {
 			return PolicyCell{}, err
 		}
-		if _, err := c.Wait(job); err != nil {
+		if _, err := c.Wait(context.Background(), job); err != nil {
 			return PolicyCell{}, err
 		}
 		for p, content := range files {
@@ -463,7 +465,7 @@ func flowControlOne(cfg Config, policy shadow.PullPolicy) (FlowControlResult, er
 	}
 	defer cluster.Close()
 	ws := cluster.NewWorkstation("ws")
-	c, err := ws.Connect("sci")
+	c, err := ws.Connect(context.Background(), "sci")
 	if err != nil {
 		return FlowControlResult{}, err
 	}
@@ -473,7 +475,7 @@ func flowControlOne(cfg Config, policy shadow.PullPolicy) (FlowControlResult, er
 	if err := ws.WriteFile("/u/sci/busy.job", []byte("stall 400ms\n")); err != nil {
 		return FlowControlResult{}, err
 	}
-	busy, err := c.Submit("/u/sci/busy.job", nil, shadow.SubmitOptions{})
+	busy, err := c.Submit(context.Background(), "/u/sci/busy.job", nil, shadow.SubmitOptions{})
 	if err != nil {
 		return FlowControlResult{}, err
 	}
@@ -492,12 +494,12 @@ func flowControlOne(cfg Config, policy shadow.PullPolicy) (FlowControlResult, er
 	// A status round trip proves the server has processed every earlier
 	// message on this connection (in-order delivery), so the counters
 	// below reflect the policy's notify decisions during the busy period.
-	if _, err := c.StatusAll(); err != nil {
+	if _, err := c.StatusAll(context.Background()); err != nil {
 		return FlowControlResult{}, err
 	}
 	issued, deferred := cluster.Server().FlowStats()
 
-	if _, err := c.Wait(busy); err != nil {
+	if _, err := c.Wait(context.Background(), busy); err != nil {
 		return FlowControlResult{}, err
 	}
 	// Whatever the policy deferred must still arrive: submit a job over
@@ -507,11 +509,11 @@ func flowControlOne(cfg Config, policy shadow.PullPolicy) (FlowControlResult, er
 		return FlowControlResult{}, err
 	}
 	paths := []string{"/u/sci/n0.dat", "/u/sci/n1.dat", "/u/sci/n2.dat", "/u/sci/n3.dat"}
-	job, err := c.Submit("/u/sci/sum.job", paths, shadow.SubmitOptions{})
+	job, err := c.Submit(context.Background(), "/u/sci/sum.job", paths, shadow.SubmitOptions{})
 	if err != nil {
 		return FlowControlResult{}, err
 	}
-	rec, err := c.Wait(job)
+	rec, err := c.Wait(context.Background(), job)
 	if err != nil {
 		return FlowControlResult{}, err
 	}

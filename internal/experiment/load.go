@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+
 	"fmt"
 	"io"
 	"sync"
@@ -60,7 +62,7 @@ func loadOne(cfg Config, clients, jobsPerClient, workers int) (LoadCell, error) 
 	rigs := make([]clientRig, clients)
 	for i := range rigs {
 		ws := cluster.NewWorkstation(fmt.Sprintf("ws%d", i))
-		c, err := ws.Connect(fmt.Sprintf("user%d", i))
+		c, err := ws.Connect(context.Background(), fmt.Sprintf("user%d", i))
 		if err != nil {
 			return LoadCell{}, err
 		}
@@ -84,12 +86,12 @@ func loadOne(cfg Config, clients, jobsPerClient, workers int) (LoadCell, error) 
 			defer wg.Done()
 			failed := 0
 			for j := 0; j < jobsPerClient; j++ {
-				job, err := rig.c.Submit("/run.job", []string{"/data.dat"}, shadow.SubmitOptions{})
+				job, err := rig.c.Submit(context.Background(), "/run.job", []string{"/data.dat"}, shadow.SubmitOptions{})
 				if err != nil {
 					failed++
 					continue
 				}
-				rec, err := rig.c.Wait(job)
+				rec, err := rig.c.Wait(context.Background(), job)
 				if err != nil || rec.ExitCode != 0 {
 					failed++
 				}

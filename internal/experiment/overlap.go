@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+
 	"fmt"
 	"io"
 	"time"
@@ -64,7 +66,7 @@ func overlapCycle(cfg Config, size int, warm bool) (time.Duration, error) {
 		return 0, err
 	}
 	defer cluster.Close()
-	c, err := ws.Connect("sci")
+	c, err := ws.Connect(context.Background(), "sci")
 	if err != nil {
 		return 0, err
 	}
@@ -84,11 +86,11 @@ func overlapCycle(cfg Config, size int, warm bool) (time.Duration, error) {
 		return 0, err
 	}
 	// Prime: first submission caches both files.
-	job, err := c.Submit("/u/sci/run.job", []string{"/u/sci/a.dat", "/u/sci/b.dat"}, shadow.SubmitOptions{})
+	job, err := c.Submit(context.Background(), "/u/sci/run.job", []string{"/u/sci/a.dat", "/u/sci/b.dat"}, shadow.SubmitOptions{})
 	if err != nil {
 		return 0, err
 	}
-	if _, err := c.Wait(job); err != nil {
+	if _, err := c.Wait(context.Background(), job); err != nil {
 		return 0, err
 	}
 
@@ -142,11 +144,11 @@ func overlapCycle(cfg Config, size int, warm bool) (time.Duration, error) {
 	}
 
 	start := ws.Host().Now()
-	job2, err := c.Submit("/u/sci/run.job", []string{"/u/sci/a.dat", "/u/sci/b.dat"}, shadow.SubmitOptions{})
+	job2, err := c.Submit(context.Background(), "/u/sci/run.job", []string{"/u/sci/a.dat", "/u/sci/b.dat"}, shadow.SubmitOptions{})
 	if err != nil {
 		return 0, err
 	}
-	if _, err := c.Wait(job2); err != nil {
+	if _, err := c.Wait(context.Background(), job2); err != nil {
 		return 0, err
 	}
 	return ws.Host().Now() - start, nil

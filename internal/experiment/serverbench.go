@@ -8,6 +8,8 @@
 package experiment
 
 import (
+	"context"
+
 	"fmt"
 	"net"
 	"runtime"
@@ -202,7 +204,7 @@ func RunServerBench(cfg ServerBenchConfig) (ServerBenchResult, error) {
 		if err != nil {
 			return ServerBenchResult{}, err
 		}
-		cl, err := client.Connect(conn, client.Config{
+		cl, err := client.Connect(context.Background(), conn, client.Config{
 			User:     user,
 			Universe: universe,
 			Host:     host,
@@ -219,11 +221,11 @@ func RunServerBench(cfg ServerBenchConfig) (ServerBenchResult, error) {
 	// Prime: the first submission ships each file in full; the measured
 	// cycles are the steady-state delta traffic the paper cares about.
 	for _, rig := range rigs {
-		job, err := rig.cl.Submit(rig.jobPath, []string{rig.dataPath}, client.SubmitOptions{})
+		job, err := rig.cl.Submit(context.Background(), rig.jobPath, []string{rig.dataPath}, client.SubmitOptions{})
 		if err != nil {
 			return ServerBenchResult{}, fmt.Errorf("serverbench: prime submit: %w", err)
 		}
-		if _, err := rig.cl.Wait(job); err != nil {
+		if _, err := rig.cl.Wait(context.Background(), job); err != nil {
 			return ServerBenchResult{}, fmt.Errorf("serverbench: prime wait: %w", err)
 		}
 	}
@@ -251,12 +253,12 @@ func RunServerBench(cfg ServerBenchConfig) (ServerBenchResult, error) {
 					return
 				}
 				t0 := time.Now()
-				job, err := rig.cl.Submit(rig.jobPath, []string{rig.dataPath}, client.SubmitOptions{})
+				job, err := rig.cl.Submit(context.Background(), rig.jobPath, []string{rig.dataPath}, client.SubmitOptions{})
 				if err != nil {
 					errs[i] = fmt.Errorf("cycle %d submit: %w", cyc, err)
 					return
 				}
-				if _, err := rig.cl.Wait(job); err != nil {
+				if _, err := rig.cl.Wait(context.Background(), job); err != nil {
 					errs[i] = fmt.Errorf("cycle %d wait: %w", cyc, err)
 					return
 				}

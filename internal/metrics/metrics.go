@@ -23,6 +23,11 @@ type Counters struct {
 	deltaSends   atomic.Int64
 	fullSends    atomic.Int64
 	busyNanos    atomic.Int64
+
+	reconnects    atomic.Int64
+	retries       atomic.Int64
+	fullFallbacks atomic.Int64
+	droppedFrames atomic.Int64
 }
 
 // AddDelta records a delta transfer of n payload bytes.
@@ -57,6 +62,20 @@ func (c *Counters) AddBusy(d time.Duration) {
 	c.busyNanos.Add(int64(d))
 }
 
+// AddReconnect records one successful session re-establishment.
+func (c *Counters) AddReconnect() { c.reconnects.Add(1) }
+
+// AddRetry records one retried request attempt (after a transient failure).
+func (c *Counters) AddRetry() { c.retries.Add(1) }
+
+// AddFullFallback records a delta transfer that degraded to a full copy
+// because its base was evicted or lost.
+func (c *Counters) AddFullFallback() { c.fullFallbacks.Add(1) }
+
+// AddDroppedFrames records frames lost by fault injection (filled in from
+// link stats by harnesses that own the simulated network).
+func (c *Counters) AddDroppedFrames(n int64) { c.droppedFrames.Add(n) }
+
 // Snapshot is an immutable view of the counters. The cache and flow-control
 // fields are filled in by holders that track them (the server); a bare
 // Counters leaves them zero.
@@ -81,6 +100,14 @@ type Snapshot struct {
 	PullsIssued    int64
 	PullsDeferred  int64
 	PullsCoalesced int64
+
+	// Fault tolerance: reconnects completed, request attempts retried,
+	// delta transfers degraded to full copies, and frames lost by fault
+	// injection.
+	Reconnects    int64
+	Retries       int64
+	FullFallbacks int64
+	DroppedFrames int64
 }
 
 // TotalBytes sums all payload bytes.
@@ -92,6 +119,12 @@ func (s Snapshot) TotalBytes() int64 {
 func (s Snapshot) String() string {
 	return fmt.Sprintf("bytes: %d delta, %d full, %d control, %d output; msgs %d (%d delta, %d full sends)",
 		s.DeltaBytes, s.FullBytes, s.ControlBytes, s.OutputBytes, s.Messages, s.DeltaSends, s.FullSends)
+}
+
+// FaultString renders the fault-tolerance extension fields.
+func (s Snapshot) FaultString() string {
+	return fmt.Sprintf("faults: %d reconnects, %d retries, %d full fallbacks, %d dropped frames",
+		s.Reconnects, s.Retries, s.FullFallbacks, s.DroppedFrames)
 }
 
 // CacheString renders the cache/flow extension fields.
@@ -111,6 +144,11 @@ func (c *Counters) Snapshot() Snapshot {
 		DeltaSends:   c.deltaSends.Load(),
 		FullSends:    c.fullSends.Load(),
 		Busy:         time.Duration(c.busyNanos.Load()),
+
+		Reconnects:    c.reconnects.Load(),
+		Retries:       c.retries.Load(),
+		FullFallbacks: c.fullFallbacks.Load(),
+		DroppedFrames: c.droppedFrames.Load(),
 	}
 }
 
@@ -124,4 +162,8 @@ func (c *Counters) Reset() {
 	c.deltaSends.Store(0)
 	c.fullSends.Store(0)
 	c.busyNanos.Store(0)
+	c.reconnects.Store(0)
+	c.retries.Store(0)
+	c.fullFallbacks.Store(0)
+	c.droppedFrames.Store(0)
 }

@@ -18,6 +18,7 @@ type Link struct {
 	bytes     [2]int64
 	messages  [2]int64
 	down      bool
+	faults    *faultState // nil unless SetFaults installed an active spec
 }
 
 // Spec returns the link's characteristics.
@@ -51,6 +52,15 @@ func (l *Link) transmit(dir int, now time.Duration, n int) (time.Duration, error
 	if l.down {
 		return 0, ErrLinkDown
 	}
+	var extra time.Duration
+	var drop bool
+	if l.faults != nil {
+		var err error
+		extra, drop, err = l.faults.inject(now)
+		if err != nil {
+			return 0, err
+		}
+	}
 	start := now
 	if l.busyUntil[dir] > start {
 		start = l.busyUntil[dir]
@@ -59,7 +69,11 @@ func (l *Link) transmit(dir int, now time.Duration, n int) (time.Duration, error
 	l.busyUntil[dir] = done
 	l.bytes[dir] += int64(n)
 	l.messages[dir]++
-	return done + l.spec.Latency, nil
+	if drop {
+		// The frame occupied the line and was lost at the far end.
+		return 0, ErrFrameDropped
+	}
+	return done + l.spec.Latency + extra, nil
 }
 
 // Stats reports total payload bytes and messages carried, summed over both
@@ -168,6 +182,13 @@ func (c *Conn) sendFrom(payload []byte, start time.Duration, control bool) error
 		var err error
 		arrival, err = hop.Link.transmit(hop.Dir, arrival, len(payload))
 		if err != nil {
+			if errors.Is(err, ErrFrameDropped) {
+				// The stream lost a frame it cannot recover: both ends
+				// see the connection die, like a TCP reset. Recovery is
+				// the session layer's reconnect path.
+				c.reset()
+				return ErrReset
+			}
 			return err
 		}
 	}
@@ -236,4 +257,11 @@ func (c *Conn) recvRaw() (message, error) {
 func (c *Conn) Close() error {
 	c.closeOnce.Do(func() { close(c.closeCh) })
 	return nil
+}
+
+// reset tears down both ends at once: a fault consumed a frame, so neither
+// side can trust the stream any longer.
+func (c *Conn) reset() {
+	c.closeOnce.Do(func() { close(c.closeCh) })
+	c.peer.closeOnce.Do(func() { close(c.peer.closeCh) })
 }

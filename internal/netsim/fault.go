@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// FaultSpec injects seeded, deterministic faults into one link. The zero
+// value injects nothing and costs nothing: a link without faults never
+// touches a random number generator, so zero-fault simulations produce
+// byte-identical figures with or without this file compiled in.
+//
+// Faults model the failure modes of real long-haul lines:
+//
+//   - DropRate loses a fraction of frames. The transport is a reliable
+//     message stream, so a lost frame is surfaced the way TCP surfaces
+//     unrecoverable loss: the connection resets and both ends see an error.
+//     Recovery is the session layer's job (reconnect + resume).
+//   - SpikeRate/SpikeExtra adds a latency spike to a fraction of frames,
+//     modeling congestion or routing transients.
+//   - FlapPeriod/FlapDown takes the line down during the first FlapDown of
+//     every FlapPeriod of virtual time — a deterministic periodic outage.
+//     Transmissions attempted inside a window fail with ErrLinkDown.
+type FaultSpec struct {
+	// Seed seeds the link's private RNG; the same seed and traffic order
+	// reproduce the same fault pattern.
+	Seed int64
+	// DropRate is the probability in [0,1) that a frame is lost in
+	// transit, resetting the connection that carried it.
+	DropRate float64
+	// SpikeRate is the probability in [0,1) that a frame's delivery is
+	// delayed by SpikeExtra beyond normal link timing.
+	SpikeRate  float64
+	SpikeExtra time.Duration
+	// FlapPeriod/FlapDown define periodic outage windows in virtual time:
+	// the line is down whenever now mod FlapPeriod < FlapDown. Both must
+	// be positive for flapping to engage.
+	FlapPeriod time.Duration
+	FlapDown   time.Duration
+}
+
+// active reports whether the spec injects any fault at all.
+func (f FaultSpec) active() bool {
+	return f.DropRate > 0 || f.SpikeRate > 0 || (f.FlapPeriod > 0 && f.FlapDown > 0)
+}
+
+// faultState is a link's live fault machinery, guarded by the link mutex.
+type faultState struct {
+	spec FaultSpec
+	rng  *rand.Rand
+
+	dropped     int64
+	spikes      int64
+	flapRejects int64
+}
+
+// Fault errors.
+var (
+	// ErrFrameDropped reports a frame lost by fault injection; callers
+	// normally see it wrapped in ErrReset.
+	ErrFrameDropped = errors.New("netsim: frame dropped")
+	// ErrReset reports a connection torn down because a frame it carried
+	// was lost — the simulated analogue of a TCP reset after
+	// unrecoverable loss.
+	ErrReset = errors.New("netsim: connection reset")
+)
+
+// SetFaults installs (or, with a zero spec, removes) fault injection on the
+// link. Safe to call concurrently with traffic; the new spec applies to
+// subsequent transmissions.
+func (l *Link) SetFaults(spec FaultSpec) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !spec.active() {
+		l.faults = nil
+		return
+	}
+	l.faults = &faultState{spec: spec, rng: rand.New(rand.NewSource(spec.Seed))}
+}
+
+// FaultStats reports how many frames were dropped, spiked, and rejected by
+// flap windows on this link.
+func (l *Link) FaultStats() (dropped, spikes, flapRejects int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.faults == nil {
+		return 0, 0, 0
+	}
+	return l.faults.dropped, l.faults.spikes, l.faults.flapRejects
+}
+
+// inject decides one frame's fate under the link mutex. It returns the
+// extra latency to add and whether the frame is dropped, or ErrLinkDown
+// when the transmission start falls inside a flap window.
+func (f *faultState) inject(start time.Duration) (extra time.Duration, drop bool, err error) {
+	if f.spec.FlapPeriod > 0 && f.spec.FlapDown > 0 && start%f.spec.FlapPeriod < f.spec.FlapDown {
+		f.flapRejects++
+		return 0, false, ErrLinkDown
+	}
+	if f.spec.DropRate > 0 && f.rng.Float64() < f.spec.DropRate {
+		f.dropped++
+		return 0, true, nil
+	}
+	if f.spec.SpikeRate > 0 && f.rng.Float64() < f.spec.SpikeRate {
+		f.spikes++
+		return f.spec.SpikeExtra, false, nil
+	}
+	return 0, false, nil
+}

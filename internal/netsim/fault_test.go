@@ -1,0 +1,218 @@
+package netsim
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// faultPair builds a two-host network whose single link carries the spec.
+func faultPair(t *testing.T, spec FaultSpec) (*Host, *Host, *Link) {
+	t.Helper()
+	nw := New()
+	a := nw.Host("a")
+	b := nw.Host("b")
+	link := nw.Connect(a, b, LAN)
+	link.SetFaults(spec)
+	return a, b, link
+}
+
+// dialPair opens a connection over the (possibly faulty) link, retrying past
+// handshake losses.
+func dialPair(t *testing.T, a, b *Host) (*Conn, *Conn) {
+	t.Helper()
+	lst, err := b.Listen(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = lst.Close() })
+	accepted := make(chan *Conn, 1)
+	go func() {
+		c, err := lst.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	for i := 0; ; i++ {
+		conn, err := a.Dial("b", 1)
+		if err == nil {
+			return conn, <-accepted
+		}
+		if i > 100 {
+			t.Fatalf("dial never succeeded: %v", err)
+		}
+		a.Process(50 * time.Millisecond)
+	}
+}
+
+// TestFaultInjectionIsDeterministic runs the identical traffic pattern over
+// two identically seeded links and requires identical fault decisions — the
+// property the chaos figures rely on for reproducibility.
+func TestFaultInjectionIsDeterministic(t *testing.T) {
+	spec := FaultSpec{Seed: 11, DropRate: 0.2, SpikeRate: 0.3, SpikeExtra: 5 * time.Millisecond}
+	run := func() (outcomes []string) {
+		_, _, link := faultPair(t, spec)
+		now := time.Duration(0)
+		for i := 0; i < 200; i++ {
+			_, err := link.transmit(0, now, 100)
+			switch {
+			case errors.Is(err, ErrFrameDropped):
+				outcomes = append(outcomes, "drop")
+			case err != nil:
+				outcomes = append(outcomes, "err")
+			default:
+				outcomes = append(outcomes, "ok")
+			}
+			now += time.Millisecond
+		}
+		return outcomes
+	}
+	first, second := run(), run()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("frame %d: %s vs %s — fault pattern not reproducible", i, first[i], second[i])
+		}
+	}
+}
+
+// TestDropResetsBothEnds loses a frame and requires the TCP-reset model:
+// sender sees ErrReset, receiver's Recv fails, and the connection is dead
+// for further use on either side.
+func TestDropResetsBothEnds(t *testing.T) {
+	a, b, link := faultPair(t, FaultSpec{})
+	ca, cb := dialPair(t, a, b)
+	link.SetFaults(FaultSpec{Seed: 1, DropRate: 1})
+
+	if err := ca.Send([]byte("doomed")); !errors.Is(err, ErrReset) {
+		t.Fatalf("send over dropping link = %v, want ErrReset", err)
+	}
+	if _, err := cb.Recv(); err == nil {
+		t.Fatal("peer recv after reset succeeded")
+	}
+	if err := ca.Send([]byte("after")); err == nil {
+		t.Fatal("send on reset connection succeeded")
+	}
+	if err := cb.Send([]byte("after")); err == nil {
+		t.Fatal("peer send on reset connection succeeded")
+	}
+	dropped, _, _ := link.FaultStats()
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+}
+
+// TestFlapWindowRejectsThenHeals sends inside a down window (fails, counted)
+// and after it (succeeds): the connection itself survives a flap.
+func TestFlapWindowRejectsThenHeals(t *testing.T) {
+	a, b, link := faultPair(t, FaultSpec{})
+	ca, cb := dialPair(t, a, b)
+	link.SetFaults(FaultSpec{FlapPeriod: 10 * time.Second, FlapDown: time.Second})
+
+	// Clocks sit inside the first window (dial traffic consumed µs).
+	if err := ca.Send([]byte("x")); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("send in flap window = %v, want ErrLinkDown", err)
+	}
+	a.Process(2 * time.Second) // step past the window
+	if err := ca.Send([]byte("healed")); err != nil {
+		t.Fatalf("send after flap window: %v", err)
+	}
+	if got, err := cb.Recv(); err != nil || string(got) != "healed" {
+		t.Fatalf("recv after heal = %q, %v", got, err)
+	}
+	_, _, flaps := link.FaultStats()
+	if flaps != 1 {
+		t.Fatalf("flap rejects = %d, want 1", flaps)
+	}
+}
+
+// TestSpikeDelaysDelivery checks a spiked frame arrives later than the fault-
+// free schedule but intact.
+func TestSpikeDelaysDelivery(t *testing.T) {
+	a, b, link := faultPair(t, FaultSpec{})
+	ca, cb := dialPair(t, a, b)
+
+	// Baseline delivery time without faults.
+	if err := ca.Send([]byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cb.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	base := b.Now()
+
+	link.SetFaults(FaultSpec{Seed: 3, SpikeRate: 1, SpikeExtra: 500 * time.Millisecond})
+	if err := ca.Send([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cb.Recv()
+	if err != nil || string(got) != "slow" {
+		t.Fatalf("recv spiked = %q, %v", got, err)
+	}
+	if delta := b.Now() - base; delta < 500*time.Millisecond {
+		t.Fatalf("spiked delivery advanced clock by %v, want >= 500ms", delta)
+	}
+	_, spikes, _ := link.FaultStats()
+	if spikes != 1 {
+		t.Fatalf("spikes = %d, want 1", spikes)
+	}
+}
+
+// TestZeroSpecRemovesFaults installs then clears injection; traffic flows
+// and no fault state remains.
+func TestZeroSpecRemovesFaults(t *testing.T) {
+	a, b, link := faultPair(t, FaultSpec{Seed: 5, DropRate: 1})
+	link.SetFaults(FaultSpec{})
+	ca, cb := dialPair(t, a, b)
+	if err := ca.Send([]byte("clean")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := cb.Recv(); err != nil || string(got) != "clean" {
+		t.Fatalf("recv = %q, %v", got, err)
+	}
+	if d, s, f := link.FaultStats(); d != 0 || s != 0 || f != 0 {
+		t.Fatalf("cleared link has stats %d/%d/%d", d, s, f)
+	}
+}
+
+// TestAcceptSurvivesFailedHandshake drops the handshake of one dial and
+// requires the listener to stay alive for the next.
+func TestAcceptSurvivesFailedHandshake(t *testing.T) {
+	a, b, link := faultPair(t, FaultSpec{})
+	lst, err := b.Listen(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lst.Close()
+	accepted := make(chan *Conn, 2)
+	go func() {
+		for {
+			c, err := lst.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+
+	link.SetFaults(FaultSpec{Seed: 9, DropRate: 1})
+	if _, err := a.Dial("b", 1); err == nil {
+		t.Fatal("dial over fully dropping link succeeded")
+	}
+	link.SetFaults(FaultSpec{})
+	conn, err := a.Dial("b", 1)
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	srv := <-accepted
+	if err := conn.Send([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := srv.Recv(); err != nil || string(got) != "hi" {
+		t.Fatalf("recv = %q, %v", got, err)
+	}
+	_ = conn.Close()
+	if _, err := srv.Recv(); !errors.Is(err, io.EOF) {
+		t.Fatalf("recv after close = %v, want EOF", err)
+	}
+}

@@ -295,6 +295,7 @@ func (h *Host) Dial(remote string, port int) (*Conn, error) {
 		return nil, fmt.Errorf("%w: %s:%d backlog full", ErrRefused, remote, port)
 	}
 	if _, err := local.recvControl(); err != nil {
+		_ = local.Close()
 		return nil, fmt.Errorf("netsim: handshake: %w", err)
 	}
 	return local, nil
@@ -310,20 +311,27 @@ type Listener struct {
 	closed    chan struct{}
 }
 
-// Accept blocks until a connection arrives, completing the handshake.
+// Accept blocks until a connection arrives, completing the handshake. A
+// handshake that fails — a fault dropped the SYN or ACK, or the line
+// flapped — costs that one connection, not the listener: real accept loops
+// survive failed handshakes, and so must simulated ones.
 func (l *Listener) Accept() (*Conn, error) {
-	select {
-	case c := <-l.backlog:
-		// Consume the SYN (advances our clock) and reply.
-		if _, err := c.recvControl(); err != nil {
-			return nil, err
+	for {
+		select {
+		case c := <-l.backlog:
+			// Consume the SYN (advances our clock) and reply.
+			if _, err := c.recvControl(); err != nil {
+				_ = c.Close()
+				continue
+			}
+			if err := c.send(nil, true); err != nil {
+				_ = c.Close()
+				continue
+			}
+			return c, nil
+		case <-l.closed:
+			return nil, ErrClosed
 		}
-		if err := c.send(nil, true); err != nil {
-			return nil, err
-		}
-		return c, nil
-	case <-l.closed:
-		return nil, ErrClosed
 	}
 }
 

@@ -228,6 +228,14 @@ type Server struct {
 	routed      map[string][]uint64   // client host -> undelivered routed job ids
 	undelivered map[identity][]uint64 // owner -> outputs awaiting reconnection
 
+	// tagMu guards submitTags, the per-identity idempotency map: client
+	// tag -> job id. A client retrying a SUBMIT whose SUBMIT_OK was lost
+	// sends the same tag and gets the already-created job back instead of
+	// running it twice. The lock spans check+create+insert, so two racing
+	// retries of one tag cannot both create a job.
+	tagMu      sync.Mutex
+	submitTags map[identity]map[uint64]uint64
+
 	// startMu lets Close exclude concurrent session registration without
 	// putting a mutex on any per-message path.
 	startMu sync.RWMutex
@@ -275,6 +283,7 @@ func New(cfg Config) *Server {
 		waiters:     make(map[string][]*job),
 		routed:      make(map[string][]uint64),
 		undelivered: make(map[identity][]uint64),
+		submitTags:  make(map[identity]map[uint64]uint64),
 	}
 	s.sessions.init()
 	s.jobs.init()
@@ -466,6 +475,31 @@ func (s *Server) jobsOfOwner(owner identity) []*job {
 		}
 	})
 	sort.Slice(out, func(a, b int) bool { return out[a].id < out[b].id })
+	return out
+}
+
+// unackedDone returns the owner's finished, unrouted jobs whose output was
+// never acknowledged, excluding ids already scheduled for delivery. A
+// re-attaching client gets these re-sent: the output (or its ack) may have
+// died with the previous connection, and the server cannot tell which. The
+// client deduplicates, so a redundant re-send costs bytes, never correctness.
+func (s *Server) unackedDone(owner identity, exclude []uint64) []uint64 {
+	skip := make(map[uint64]bool, len(exclude))
+	for _, id := range exclude {
+		skip[id] = true
+	}
+	var out []uint64
+	for _, j := range s.jobsOfOwner(owner) {
+		if j.routeHost != "" || skip[j.id] {
+			continue
+		}
+		j.mu.Lock()
+		resend := j.state.Terminal() && !j.delivered
+		j.mu.Unlock()
+		if resend {
+			out = append(out, j.id)
+		}
+	}
 	return out
 }
 

@@ -311,6 +311,10 @@ func (ss *session) handleHello(m *wire.Hello) error {
 	ss.clientHost = m.ClientHost
 	held := append(ss.srv.deliverRoutedToLocked(ss), ss.srv.deliverUndeliveredToLocked(ss)...)
 	ss.srv.deliverMu.Unlock()
+	// Outputs that were sent on a previous connection but never
+	// acknowledged are re-sent too: the output or its ack may have died
+	// with that connection (the client deduplicates).
+	held = append(held, ss.srv.unackedDone(ss.identity(), held)...)
 	ss.srv.logf("session %d: hello from %s@%s (domain %s), %d held outputs",
 		ss.id, ss.user, ss.clientHost, ss.domain, len(held))
 	if err := ss.send(&wire.HelloOK{Session: ss.id, ServerName: ss.srv.cfg.Name}); err != nil {
@@ -509,9 +513,23 @@ func (ss *session) handleSubmit(m *wire.Submit) error {
 		}
 	}
 
+	// Idempotent retry detection: a tagged submission the server has seen
+	// before is the client re-sending after a lost SUBMIT_OK, not a new
+	// job. The lock spans check+create+insert so racing retries of one
+	// tag resolve to one job.
+	owner := ss.identity()
+	if m.ClientTag != 0 {
+		ss.srv.tagMu.Lock()
+		if id, ok := ss.srv.submitTags[owner][m.ClientTag]; ok {
+			ss.srv.tagMu.Unlock()
+			ss.srv.logf("session %d: duplicate submit tag %d -> job %d", ss.id, m.ClientTag, id)
+			return ss.send(&wire.SubmitOK{Job: id})
+		}
+	}
+
 	j := &job{
 		sess:            ss,
-		owner:           ss.identity(),
+		owner:           owner,
 		script:          append([]byte(nil), m.Script...),
 		scriptSum:       diff.Checksum(m.Script),
 		inputs:          m.Inputs,
@@ -526,6 +544,15 @@ func (ss *session) handleSubmit(m *wire.Submit) error {
 	}
 	j.id = ss.srv.nextJob.Add(1)
 	ss.srv.jobs.add(j)
+	if m.ClientTag != 0 {
+		tags := ss.srv.submitTags[owner]
+		if tags == nil {
+			tags = make(map[uint64]uint64)
+			ss.srv.submitTags[owner] = tags
+		}
+		tags[m.ClientTag] = j.id
+		ss.srv.tagMu.Unlock()
+	}
 
 	if err := ss.send(&wire.SubmitOK{Job: j.id}); err != nil {
 		return err

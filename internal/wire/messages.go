@@ -209,6 +209,14 @@ type Submit struct {
 	// WantOutputDelta asks for reverse shadow processing: if the server
 	// cached the previous output of this same script, send a delta.
 	WantOutputDelta bool
+	// ClientTag, when nonzero, makes the submission idempotent: a client
+	// that retries a SUBMIT over a new connection (its SUBMIT_OK may have
+	// been lost) sends the same tag, and the server answers with the
+	// already-created job instead of running it twice. Zero means
+	// untagged; untagged submissions encode exactly as before this field
+	// existed (it is a trailing optional), so clients that never retry
+	// produce byte-identical wire traffic.
+	ClientTag uint64
 }
 
 // Kind implements Message.
@@ -226,6 +234,9 @@ func (m *Submit) encode(e *encoder) {
 	e.string(m.ErrorFile)
 	e.string(m.RouteHost)
 	e.bool(m.WantOutputDelta)
+	if m.ClientTag != 0 {
+		e.uvarint(m.ClientTag)
+	}
 }
 
 func (m *Submit) decode(d *decoder) {
@@ -247,6 +258,9 @@ func (m *Submit) decode(d *decoder) {
 	m.ErrorFile = d.string()
 	m.RouteHost = d.string()
 	m.WantOutputDelta = d.bool()
+	if d.err == nil && len(d.buf) > 0 {
+		m.ClientTag = d.uvarint()
+	}
 }
 
 // SubmitOK acknowledges a submission with the job identifier used by status

@@ -26,19 +26,30 @@
 //	cluster, _ := shadow.NewCluster(shadow.ClusterConfig{Link: shadow.ARPANET})
 //	defer cluster.Close()
 //	ws := cluster.NewWorkstation("sun3")
-//	c, _ := ws.Connect("comer")
+//	ctx := context.Background()
+//	c, _ := ws.Connect(ctx, "comer")
 //	ws.WriteFile("/u/comer/run.job", []byte("wc heat.f\n"))
 //	ws.WriteFile("/u/comer/heat.f", heatSource)
-//	job, _ := c.Submit("/u/comer/run.job", []string{"/u/comer/heat.f"}, shadow.SubmitOptions{})
-//	rec, _ := c.Wait(job)
+//	job, _ := c.Submit(ctx, "/u/comer/run.job", []string{"/u/comer/heat.f"}, shadow.SubmitOptions{})
+//	rec, _ := c.Wait(ctx, job)
 //	fmt.Printf("%s", rec.Stdout)
+//
+// Every blocking client call takes a context and honors its deadline or
+// cancellation. Sessions opened with SessionConfig.AutoReconnect survive
+// connection loss: the client re-dials with backoff, resumes the session
+// (the server holds undelivered output for it), and retries interrupted
+// requests idempotently. Failures surface through a typed taxonomy —
+// ErrDisconnected, ErrRetriesExhausted, ErrDeadlineExceeded, ErrBaseEvicted
+// — all matchable with errors.Is.
 package shadow
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"shadowedit/internal/cache"
 	"shadowedit/internal/client"
@@ -63,6 +74,8 @@ type (
 	ClientConfig = client.Config
 	// SubmitOptions are the optional submit arguments (§6.2).
 	SubmitOptions = client.SubmitOptions
+	// RetryPolicy shapes the client's reconnection and retry backoff.
+	RetryPolicy = client.RetryPolicy
 	// Server is a shadow server instance.
 	Server = server.Server
 	// ServerConfig parametrizes a Server.
@@ -79,6 +92,10 @@ type (
 	FileRef = wire.FileRef
 	// LinkSpec describes a network link (speed, latency, overhead).
 	LinkSpec = netsim.Spec
+	// FaultSpec injects seeded, deterministic faults (frame drops, latency
+	// spikes, link flaps) into a link, via Cluster.Network.LinkBetween and
+	// Link.SetFaults. The zero value injects nothing.
+	FaultSpec = netsim.FaultSpec
 	// Editor is a conventional editor wrapped by the shadow editor.
 	Editor = editor.Editor
 	// EditorFunc adapts a function to Editor.
@@ -141,6 +158,23 @@ const (
 	CacheLRU = cache.LRU
 	// CacheLargestFirst evicts the biggest entries first.
 	CacheLargestFirst = cache.LargestFirst
+)
+
+// The client's typed error taxonomy, re-exported for errors.Is matching.
+var (
+	// ErrDisconnected reports an operation that failed because the
+	// connection to the server was lost (and, without auto-reconnect,
+	// cannot come back).
+	ErrDisconnected = client.ErrDisconnected
+	// ErrRetriesExhausted reports that reconnection or request retries
+	// gave up after the configured number of attempts.
+	ErrRetriesExhausted = client.ErrRetriesExhausted
+	// ErrDeadlineExceeded reports a per-RPC or caller deadline expiry;
+	// matching errors also satisfy errors.Is(err, context.DeadlineExceeded).
+	ErrDeadlineExceeded = client.ErrDeadlineExceeded
+	// ErrBaseEvicted reports a delta whose base version is gone when the
+	// full-transfer fallback could not be arranged either.
+	ErrBaseEvicted = client.ErrBaseEvicted
 )
 
 // DefaultEnvironment returns the automatic per-user customization record.
@@ -395,22 +429,22 @@ func (w *Workstation) FS() *naming.FS {
 
 // Connect opens a shadow session to the default server with the default
 // environment for user.
-func (w *Workstation) Connect(user string) (*Client, error) {
-	return w.ConnectEnv(DefaultEnvironment(user))
+func (w *Workstation) Connect(ctx context.Context, user string) (*Client, error) {
+	return w.ConnectEnv(ctx, DefaultEnvironment(user))
 }
 
 // ConnectTo opens a shadow session to the named server — "because a user
 // may access more than one supercomputer, the hostname can be specified"
 // (§6.2). The environment's DefaultHost is used when server is empty, then
 // the cluster's default.
-func (w *Workstation) ConnectTo(server string, environment Environment) (*Client, error) {
-	return w.ConnectSession(SessionConfig{Server: server, Env: environment})
+func (w *Workstation) ConnectTo(ctx context.Context, server string, environment Environment) (*Client, error) {
+	return w.ConnectSession(ctx, SessionConfig{Server: server, Env: environment})
 }
 
 // ConnectEnv opens a shadow session to the default server (or the
 // environment's DefaultHost) with a customized environment.
-func (w *Workstation) ConnectEnv(environment Environment) (*Client, error) {
-	return w.ConnectSession(SessionConfig{Env: environment})
+func (w *Workstation) ConnectEnv(ctx context.Context, environment Environment) (*Client, error) {
+	return w.ConnectSession(ctx, SessionConfig{Env: environment})
 }
 
 // SessionConfig customizes a workstation session.
@@ -429,22 +463,34 @@ type SessionConfig struct {
 	// Jobs optionally seeds the job database (restored with LoadJobDB)
 	// so job records survive client restarts.
 	Jobs *JobDB
+
+	// AutoReconnect makes the session fault tolerant: a lost connection
+	// is re-dialed with backoff (advancing the workstation's virtual
+	// clock, so backoff outlasts simulated outages), the session resumed,
+	// and interrupted requests retried idempotently.
+	AutoReconnect bool
+	// Retry shapes the reconnect/retry backoff when AutoReconnect is on;
+	// zero-value fields take the client's documented defaults.
+	Retry RetryPolicy
+	// RPCTimeout bounds each attempt of a synchronous round trip when
+	// AutoReconnect is on; zero disables per-attempt deadlines.
+	RPCTimeout time.Duration
 }
 
 // ConnectSession opens a fully customized shadow session.
-func (w *Workstation) ConnectSession(cfg SessionConfig) (*Client, error) {
-	server := cfg.Server
-	if server == "" {
-		server = cfg.Env.DefaultHost
+func (w *Workstation) ConnectSession(ctx context.Context, cfg SessionConfig) (*Client, error) {
+	serverName := cfg.Server
+	if serverName == "" {
+		serverName = cfg.Env.DefaultHost
 	}
-	if server == "" {
-		server = w.cluster.defaultName
+	if serverName == "" {
+		serverName = w.cluster.defaultName
 	}
-	conn, err := w.host.Dial(server, serverPort)
+	conn, err := w.host.Dial(serverName, serverPort)
 	if err != nil {
 		return nil, fmt.Errorf("shadow: dial: %w", err)
 	}
-	cl, err := client.Connect(conn, client.Config{
+	ccfg := client.Config{
 		User:     cfg.Env.User,
 		Universe: w.cluster.Universe,
 		Host:     w.name,
@@ -453,7 +499,22 @@ func (w *Workstation) ConnectSession(cfg SessionConfig) (*Client, error) {
 		Store:    cfg.Store,
 		Jobs:     cfg.Jobs,
 		Clock:    w.host,
-	})
+	}
+	if cfg.AutoReconnect {
+		ccfg.Dial = func() (wire.Conn, error) {
+			return w.host.Dial(serverName, serverPort)
+		}
+		// Backoff advances the workstation's virtual clock: in simulated
+		// time the client genuinely waits, which is what lets it outlast
+		// a link-flap window.
+		ccfg.Sleep = func(ctx context.Context, d time.Duration) error {
+			w.host.Process(d)
+			return ctx.Err()
+		}
+		ccfg.Retry = cfg.Retry
+		ccfg.RPCTimeout = cfg.RPCTimeout
+	}
+	cl, err := client.Connect(ctx, conn, ccfg)
 	if err != nil {
 		_ = conn.Close()
 		return nil, err

@@ -1,10 +1,13 @@
 package shadow
 
 import (
+	"context"
+
 	"math/rand"
 	"sync"
 
 	"bytes"
+	"errors"
 	"fmt"
 	"shadowedit/internal/naming"
 	"strings"
@@ -33,7 +36,7 @@ func newTestCluster(t *testing.T, cfg ClusterConfig) (*Cluster, *Workstation) {
 
 func connect(t *testing.T, ws *Workstation, user string) *Client {
 	t.Helper()
-	c, err := ws.Connect(user)
+	c, err := ws.Connect(context.Background(), user)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,11 +59,11 @@ func TestEndToEndSubmitAndWait(t *testing.T) {
 	write(t, ws, "/u/comer/data.txt", data)
 	write(t, ws, "/u/comer/run.job", []byte("sort data.txt\nwc data.txt\n"))
 
-	job, err := c.Submit("/u/comer/run.job", []string{"/u/comer/data.txt"}, SubmitOptions{})
+	job, err := c.Submit(context.Background(), "/u/comer/run.job", []string{"/u/comer/data.txt"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, err := c.Wait(job)
+	rec, err := c.Wait(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,11 +99,11 @@ func TestEditResubmitUsesDeltas(t *testing.T) {
 	write(t, ws, "/u/comer/heat.f", content)
 	write(t, ws, "/u/comer/run.job", []byte("wc heat.f\n"))
 
-	job1, err := c.Submit("/u/comer/run.job", []string{"/u/comer/heat.f"}, SubmitOptions{})
+	job1, err := c.Submit(context.Background(), "/u/comer/run.job", []string{"/u/comer/heat.f"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Wait(job1); err != nil {
+	if _, err := c.Wait(context.Background(), job1); err != nil {
 		t.Fatal(err)
 	}
 	m1 := c.Metrics()
@@ -111,11 +114,11 @@ func TestEditResubmitUsesDeltas(t *testing.T) {
 	// Edit 1% and resubmit.
 	edited := gen.Modify(content, 1, workload.EditMixed)
 	write(t, ws, "/u/comer/heat.f", edited)
-	job2, err := c.Submit("/u/comer/run.job", []string{"/u/comer/heat.f"}, SubmitOptions{})
+	job2, err := c.Submit(context.Background(), "/u/comer/run.job", []string{"/u/comer/heat.f"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, err := c.Wait(job2)
+	rec, err := c.Wait(context.Background(), job2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,11 +164,11 @@ func TestShadowEditorCycle(t *testing.T) {
 	}
 
 	write(t, ws, "/u/g/run.job", []byte("cat model.dat\n"))
-	job, err := c.Submit("/u/g/run.job", []string{"/u/g/model.dat"}, SubmitOptions{})
+	job, err := c.Submit(context.Background(), "/u/g/run.job", []string{"/u/g/model.dat"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, err := c.Wait(job)
+	rec, err := c.Wait(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,21 +183,21 @@ func TestStatusLifecycle(t *testing.T) {
 
 	write(t, ws, "/f.dat", []byte("hello\n"))
 	write(t, ws, "/run.job", []byte("wc f.dat\n"))
-	job, err := c.Submit("/run.job", []string{"/f.dat"}, SubmitOptions{})
+	job, err := c.Submit(context.Background(), "/run.job", []string{"/f.dat"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Wait(job); err != nil {
+	if _, err := c.Wait(context.Background(), job); err != nil {
 		t.Fatal(err)
 	}
-	st, err := c.Status(job)
+	st, err := c.Status(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.State != wire.JobDone {
 		t.Fatalf("status = %+v, want done", st)
 	}
-	all, err := c.StatusAll()
+	all, err := c.StatusAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +205,7 @@ func TestStatusLifecycle(t *testing.T) {
 		t.Fatalf("StatusAll = %+v", all)
 	}
 	// Unknown job is a clean error.
-	if _, err := c.Status(9999); err == nil {
+	if _, err := c.Status(context.Background(), 9999); err == nil {
 		t.Fatal("Status(9999) succeeded")
 	}
 }
@@ -215,21 +218,21 @@ func TestSubmitErrors(t *testing.T) {
 	write(t, ws, "/missing.job", []byte("wc data\nwc other\n"))
 	write(t, ws, "/good.job", []byte("wc data\n"))
 
-	if _, err := c.Submit("/bad.job", []string{"/data"}, SubmitOptions{}); err == nil {
+	if _, err := c.Submit(context.Background(), "/bad.job", []string{"/data"}, SubmitOptions{}); err == nil {
 		t.Fatal("submit with unknown command succeeded")
 	}
-	if _, err := c.Submit("/missing.job", []string{"/data"}, SubmitOptions{}); err == nil {
+	if _, err := c.Submit(context.Background(), "/missing.job", []string{"/data"}, SubmitOptions{}); err == nil {
 		t.Fatal("submit missing a referenced file succeeded")
 	}
-	if _, err := c.Submit("/ghost.job", []string{"/data"}, SubmitOptions{}); err == nil {
+	if _, err := c.Submit(context.Background(), "/ghost.job", []string{"/data"}, SubmitOptions{}); err == nil {
 		t.Fatal("submit with nonexistent script succeeded")
 	}
 	// The session survives all three failures.
-	job, err := c.Submit("/good.job", []string{"/data"}, SubmitOptions{})
+	job, err := c.Submit(context.Background(), "/good.job", []string{"/data"}, SubmitOptions{})
 	if err != nil {
 		t.Fatalf("good submit after errors: %v", err)
 	}
-	if _, err := c.Wait(job); err != nil {
+	if _, err := c.Wait(context.Background(), job); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -241,7 +244,7 @@ func TestJobWithCommandFailures(t *testing.T) {
 	// grep of a file that was submitted but pattern fails? Use a job
 	// whose command fails at runtime: head with a bad count.
 	write(t, ws, "/run.job", []byte("head -x d\nwc d\n"))
-	if _, err := c.Submit("/run.job", []string{"/d"}, SubmitOptions{}); err != nil {
+	if _, err := c.Submit(context.Background(), "/run.job", []string{"/d"}, SubmitOptions{}); err != nil {
 		// head -x parses as flag "-x": runtime error. Either rejection
 		// at parse or runtime failure is acceptable; if rejected we
 		// are done.
@@ -255,11 +258,11 @@ func TestJobRuntimeErrorReported(t *testing.T) {
 	write(t, ws, "/d", []byte("b\na\n"))
 	// expand with an absurd factor fails at runtime.
 	write(t, ws, "/run.job", []byte("expand 999999999 d\nsort d\n"))
-	job, err := c.Submit("/run.job", []string{"/d"}, SubmitOptions{})
+	job, err := c.Submit(context.Background(), "/run.job", []string{"/d"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, err := c.Wait(job)
+	rec, err := c.Wait(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,11 +290,11 @@ func TestCacheEvictionFallsBackToFull(t *testing.T) {
 	write(t, ws, "/big.dat", content)
 	write(t, ws, "/run.job", []byte("wc big.dat\n"))
 
-	job1, err := c.Submit("/run.job", []string{"/big.dat"}, SubmitOptions{})
+	job1, err := c.Submit(context.Background(), "/run.job", []string{"/big.dat"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Wait(job1); err != nil {
+	if _, err := c.Wait(context.Background(), job1); err != nil {
 		t.Fatal(err)
 	}
 
@@ -302,11 +305,11 @@ func TestCacheEvictionFallsBackToFull(t *testing.T) {
 	edited := gen.Modify(content, 2, workload.EditMixed)
 	write(t, ws, "/big.dat", edited)
 	before := c.Metrics()
-	job2, err := c.Submit("/run.job", []string{"/big.dat"}, SubmitOptions{})
+	job2, err := c.Submit(context.Background(), "/run.job", []string{"/big.dat"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, err := c.Wait(job2)
+	rec, err := c.Wait(context.Background(), job2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,7 +341,7 @@ func TestMultipleClientsOneServer(t *testing.T) {
 			var res result
 			res.user = user
 			defer func() { results <- res }()
-			c, err := ws.Connect(user)
+			c, err := ws.Connect(context.Background(), user)
 			if err != nil {
 				res.err = err
 				return
@@ -353,12 +356,12 @@ func TestMultipleClientsOneServer(t *testing.T) {
 				res.err = err
 				return
 			}
-			job, err := c.Submit("/run.job", []string{"/data.txt"}, SubmitOptions{})
+			job, err := c.Submit(context.Background(), "/run.job", []string{"/data.txt"}, SubmitOptions{})
 			if err != nil {
 				res.err = err
 				return
 			}
-			res.rec, res.err = c.Wait(job)
+			res.rec, res.err = c.Wait(context.Background(), job)
 		}(ws, user, i)
 	}
 	for i := 0; i < users; i++ {
@@ -391,18 +394,18 @@ func TestNFSAliasesShareOneCacheEntry(t *testing.T) {
 	ca := connect(t, wsA, "alice")
 	cb := connect(t, wsB, "bob")
 
-	ja, err := ca.Submit("/run.job", []string{"/proj1/shared.dat"}, SubmitOptions{})
+	ja, err := ca.Submit(context.Background(), "/run.job", []string{"/proj1/shared.dat"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ca.Wait(ja); err != nil {
+	if _, err := ca.Wait(context.Background(), ja); err != nil {
 		t.Fatal(err)
 	}
-	jb, err := cb.Submit("/run.job", []string{"/others/shared.dat"}, SubmitOptions{})
+	jb, err := cb.Submit(context.Background(), "/run.job", []string{"/others/shared.dat"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cb.Wait(jb); err != nil {
+	if _, err := cb.Wait(context.Background(), jb); err != nil {
 		t.Fatal(err)
 	}
 	// One shadow file, not two: both names resolved to filesrv:/usr/shared.dat.
@@ -421,12 +424,12 @@ func TestOutputRoutingToAnotherHost(t *testing.T) {
 
 	write(t, ws, "/d", []byte("route me\n"))
 	write(t, ws, "/run.job", []byte("cat d\n"))
-	job, err := c.Submit("/run.job", []string{"/d"}, SubmitOptions{RouteHost: "printer-host"})
+	job, err := c.Submit(context.Background(), "/run.job", []string{"/d"}, SubmitOptions{RouteHost: "printer-host"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The *printer host's* client receives the output.
-	rec, err := printerClient.Wait(job)
+	rec, err := printerClient.Wait(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -444,7 +447,7 @@ func TestReverseShadowOutputDelta(t *testing.T) {
 	_, ws := newTestCluster(t, ClusterConfig{})
 	environment := DefaultEnvironment("u")
 	environment.WantOutputDelta = true
-	c, err := ws.ConnectEnv(environment)
+	c, err := ws.ConnectEnv(context.Background(), environment)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -455,11 +458,11 @@ func TestReverseShadowOutputDelta(t *testing.T) {
 	write(t, ws, "/sim.dat", content)
 	write(t, ws, "/run.job", []byte("expand 4 sim.dat\n"))
 
-	job1, err := c.Submit("/run.job", []string{"/sim.dat"}, SubmitOptions{})
+	job1, err := c.Submit(context.Background(), "/run.job", []string{"/sim.dat"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec1, err := c.Wait(job1)
+	rec1, err := c.Wait(context.Background(), job1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -468,11 +471,11 @@ func TestReverseShadowOutputDelta(t *testing.T) {
 	// Tiny edit; the expanded output changes proportionally little.
 	edited := gen.Modify(content, 1, workload.EditReplace)
 	write(t, ws, "/sim.dat", edited)
-	job2, err := c.Submit("/run.job", []string{"/sim.dat"}, SubmitOptions{})
+	job2, err := c.Submit(context.Background(), "/run.job", []string{"/sim.dat"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec2, err := c.Wait(job2)
+	rec2, err := c.Wait(context.Background(), job2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -497,7 +500,7 @@ func TestCompressionReducesTraffic(t *testing.T) {
 	_, ws := newTestCluster(t, ClusterConfig{})
 	environment := DefaultEnvironment("u")
 	environment.Compress = true
-	c, err := ws.ConnectEnv(environment)
+	c, err := ws.ConnectEnv(context.Background(), environment)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -506,11 +509,11 @@ func TestCompressionReducesTraffic(t *testing.T) {
 	content := bytes.Repeat([]byte("highly repetitive scientific data row\n"), 2000)
 	write(t, ws, "/z.dat", content)
 	write(t, ws, "/run.job", []byte("wc z.dat\n"))
-	job, err := c.Submit("/run.job", []string{"/z.dat"}, SubmitOptions{})
+	job, err := c.Submit(context.Background(), "/run.job", []string{"/z.dat"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, err := c.Wait(job)
+	rec, err := c.Wait(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -585,16 +588,16 @@ func TestVirtualTimeShadowBeatsBaseline(t *testing.T) {
 		}
 
 		if shadowMode {
-			c, err := ws.Connect("u")
+			c, err := ws.Connect(context.Background(), "u")
 			if err != nil {
 				t.Fatal(err)
 			}
 			defer c.Close()
-			j1, err := c.Submit("/run.job", []string{"/f.dat"}, SubmitOptions{})
+			j1, err := c.Submit(context.Background(), "/run.job", []string{"/f.dat"}, SubmitOptions{})
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, err := c.Wait(j1); err != nil {
+			if _, err := c.Wait(context.Background(), j1); err != nil {
 				t.Fatal(err)
 			}
 			edited := gen.Modify(content, 1, workload.EditMixed)
@@ -602,11 +605,11 @@ func TestVirtualTimeShadowBeatsBaseline(t *testing.T) {
 				t.Fatal(err)
 			}
 			start := ws.Host().Now()
-			j2, err := c.Submit("/run.job", []string{"/f.dat"}, SubmitOptions{})
+			j2, err := c.Submit(context.Background(), "/run.job", []string{"/f.dat"}, SubmitOptions{})
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, err := c.Wait(j2); err != nil {
+			if _, err := c.Wait(context.Background(), j2); err != nil {
 				t.Fatal(err)
 			}
 			return ws.Host().Now() - start
@@ -653,7 +656,7 @@ func TestClientCloseThenUseFails(t *testing.T) {
 	if err := c.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.StatusAll(); err == nil {
+	if _, err := c.StatusAll(context.Background()); err == nil {
 		t.Fatal("StatusAll after Close succeeded")
 	}
 }
@@ -662,7 +665,7 @@ func TestServerCloseDisconnectsClients(t *testing.T) {
 	cluster, ws := newTestCluster(t, ClusterConfig{})
 	c := connect(t, ws, "u")
 	cluster.Close()
-	if _, err := c.StatusAll(); err == nil {
+	if _, err := c.StatusAll(context.Background()); err == nil {
 		t.Fatal("StatusAll after server close succeeded")
 	}
 }
@@ -674,20 +677,20 @@ func TestUnchangedFileResubmissionMovesAlmostNothing(t *testing.T) {
 	write(t, ws, "/f", content)
 	write(t, ws, "/run.job", []byte("wc f\n"))
 
-	j1, err := c.Submit("/run.job", []string{"/f"}, SubmitOptions{})
+	j1, err := c.Submit(context.Background(), "/run.job", []string{"/f"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Wait(j1); err != nil {
+	if _, err := c.Wait(context.Background(), j1); err != nil {
 		t.Fatal(err)
 	}
 	m1 := c.Metrics()
 	// Submit again without editing: no file bytes should move at all.
-	j2, err := c.Submit("/run.job", []string{"/f"}, SubmitOptions{})
+	j2, err := c.Submit(context.Background(), "/run.job", []string{"/f"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Wait(j2); err != nil {
+	if _, err := c.Wait(context.Background(), j2); err != nil {
 		t.Fatal(err)
 	}
 	m2 := c.Metrics()
@@ -705,14 +708,14 @@ func TestMultipleServersOneClient(t *testing.T) {
 	}
 
 	envA := DefaultEnvironment("u")
-	cA, err := ws.ConnectTo("super", envA)
+	cA, err := ws.ConnectTo(context.Background(), "super", envA)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cA.Close()
 	envB := DefaultEnvironment("u")
 	envB.DefaultHost = "cray2"
-	cB, err := ws.ConnectTo("", envB) // environment's default host wins
+	cB, err := ws.ConnectTo(context.Background(), "", envB) // environment's default host wins
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -724,19 +727,19 @@ func TestMultipleServersOneClient(t *testing.T) {
 	write(t, ws, "/d.dat", []byte("two servers\n"))
 	write(t, ws, "/run.job", []byte("cat d.dat\n"))
 
-	jobA, err := cA.Submit("/run.job", []string{"/d.dat"}, SubmitOptions{})
+	jobA, err := cA.Submit(context.Background(), "/run.job", []string{"/d.dat"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	jobB, err := cB.Submit("/run.job", []string{"/d.dat"}, SubmitOptions{})
+	jobB, err := cB.Submit(context.Background(), "/run.job", []string{"/d.dat"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	recA, err := cA.Wait(jobA)
+	recA, err := cA.Wait(context.Background(), jobA)
 	if err != nil {
 		t.Fatal(err)
 	}
-	recB, err := cB.Wait(jobB)
+	recB, err := cB.Wait(context.Background(), jobB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -776,7 +779,7 @@ func TestTildeNamingSurvivesTreeMigration(t *testing.T) {
 	tilde.Bind("~heat", "proj.heat")
 
 	environment := DefaultEnvironment("u")
-	c, err := ws.ConnectSession(SessionConfig{Env: environment, Tilde: tilde})
+	c, err := ws.ConnectSession(context.Background(), SessionConfig{Env: environment, Tilde: tilde})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -789,11 +792,11 @@ func TestTildeNamingSurvivesTreeMigration(t *testing.T) {
 	}
 	write(t, ws, "/run.job", []byte("wc sim.dat\n"))
 
-	job1, err := c.Submit("/run.job", []string{"~heat/sim.dat"}, SubmitOptions{})
+	job1, err := c.Submit(context.Background(), "/run.job", []string{"~heat/sim.dat"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Wait(job1); err != nil {
+	if _, err := c.Wait(context.Background(), job1); err != nil {
 		t.Fatal(err)
 	}
 	m1 := c.Metrics()
@@ -805,11 +808,11 @@ func TestTildeNamingSurvivesTreeMigration(t *testing.T) {
 	}
 	cluster.Universe.DefineTree("proj.heat", "ws2", "/disk/heat")
 
-	job2, err := c.Submit("/run.job", []string{"~heat/sim.dat"}, SubmitOptions{})
+	job2, err := c.Submit(context.Background(), "/run.job", []string{"~heat/sim.dat"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, err := c.Wait(job2)
+	rec, err := c.Wait(context.Background(), job2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -831,7 +834,7 @@ func TestTildeWithoutSpaceConfigured(t *testing.T) {
 	_, ws := newTestCluster(t, ClusterConfig{})
 	c := connect(t, ws, "u")
 	write(t, ws, "/run.job", []byte("wc x\n"))
-	if _, err := c.Submit("/run.job", []string{"~tree/x"}, SubmitOptions{}); err == nil {
+	if _, err := c.Submit(context.Background(), "/run.job", []string{"~tree/x"}, SubmitOptions{}); err == nil {
 		t.Fatal("tilde path accepted without a tilde space")
 	}
 }
@@ -888,11 +891,11 @@ func TestModelBasedRandomOperations(t *testing.T) {
 				inputs[base] = contents[f]
 			}
 			write(t, ws, "/model.job", script.Bytes())
-			job, err := c.Submit("/model.job", paths, SubmitOptions{})
+			job, err := c.Submit(context.Background(), "/model.job", paths, SubmitOptions{})
 			if err != nil {
 				t.Fatalf("op %d: submit: %v", op, err)
 			}
-			rec, err := c.Wait(job)
+			rec, err := c.Wait(context.Background(), job)
 			if err != nil {
 				t.Fatalf("op %d: wait: %v", op, err)
 			}
@@ -916,16 +919,16 @@ func TestConnectionDropMidCycle(t *testing.T) {
 	c := connect(t, ws, "u")
 	write(t, ws, "/d", []byte("x\n"))
 	write(t, ws, "/slow.job", []byte("stall 300ms\nwc d\n"))
-	job, err := c.Submit("/slow.job", []string{"/d"}, SubmitOptions{})
+	job, err := c.Submit(context.Background(), "/slow.job", []string{"/d"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	cluster.Close() // pulls the plug while the job runs
-	if _, err := c.Wait(job); err == nil {
+	if _, err := c.Wait(context.Background(), job); err == nil {
 		t.Fatal("Wait succeeded after server death")
 	}
 	// The client reports the failure on subsequent calls too.
-	if _, err := c.StatusAll(); err == nil {
+	if _, err := c.StatusAll(context.Background()); err == nil {
 		t.Fatal("StatusAll succeeded after server death")
 	}
 }
@@ -940,11 +943,11 @@ func TestReconnectAfterServerRestartRetransmitsFull(t *testing.T) {
 	content := gen.File(20 * 1024)
 	write(t, ws, "/f", content)
 	write(t, ws, "/run.job", []byte("wc f\n"))
-	job, err := c.Submit("/run.job", []string{"/f"}, SubmitOptions{})
+	job, err := c.Submit(context.Background(), "/run.job", []string{"/f"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Wait(job); err != nil {
+	if _, err := c.Wait(context.Background(), job); err != nil {
 		t.Fatal(err)
 	}
 	_ = c.Close()
@@ -955,11 +958,11 @@ func TestReconnectAfterServerRestartRetransmitsFull(t *testing.T) {
 	c2 := connect(t, ws, "u")
 	edited := gen.Modify(content, 1, workload.EditMixed)
 	write(t, ws, "/f", edited)
-	job2, err := c2.Submit("/run.job", []string{"/f"}, SubmitOptions{})
+	job2, err := c2.Submit(context.Background(), "/run.job", []string{"/f"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, err := c2.Wait(job2)
+	rec, err := c2.Wait(context.Background(), job2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -983,11 +986,11 @@ func TestClientRestartWithSavedStoreKeepsDeltas(t *testing.T) {
 	content := gen.File(40 * 1024)
 	write(t, ws, "/f", content)
 	write(t, ws, "/run.job", []byte("wc f\n"))
-	job, err := c.Submit("/run.job", []string{"/f"}, SubmitOptions{})
+	job, err := c.Submit(context.Background(), "/run.job", []string{"/f"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Wait(job); err != nil {
+	if _, err := c.Wait(context.Background(), job); err != nil {
 		t.Fatal(err)
 	}
 
@@ -1004,7 +1007,7 @@ func TestClientRestartWithSavedStoreKeepsDeltas(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2, err := ws.ConnectSession(SessionConfig{Env: DefaultEnvironment("u"), Store: restored})
+	c2, err := ws.ConnectSession(context.Background(), SessionConfig{Env: DefaultEnvironment("u"), Store: restored})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -1012,11 +1015,11 @@ func TestClientRestartWithSavedStoreKeepsDeltas(t *testing.T) {
 
 	edited := gen.Modify(content, 2, workload.EditMixed)
 	write(t, ws, "/f", edited)
-	job2, err := c2.Submit("/run.job", []string{"/f"}, SubmitOptions{})
+	job2, err := c2.Submit(context.Background(), "/run.job", []string{"/f"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c2.Wait(job2); err != nil {
+	if _, err := c2.Wait(context.Background(), job2); err != nil {
 		t.Fatal(err)
 	}
 	m := c2.Metrics()
@@ -1037,7 +1040,7 @@ func TestOutputHeldAcrossClientReconnect(t *testing.T) {
 	c := connect(t, ws, "u")
 	write(t, ws, "/d", []byte("persist me\n"))
 	write(t, ws, "/slow.job", []byte("stall 250ms\ncat d\n"))
-	job, err := c.Submit("/slow.job", []string{"/d"}, SubmitOptions{})
+	job, err := c.Submit(context.Background(), "/slow.job", []string{"/d"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -1048,21 +1051,21 @@ func TestOutputHeldAcrossClientReconnect(t *testing.T) {
 	time.Sleep(400 * time.Millisecond) // job finishes with nobody connected
 
 	c2 := connect(t, ws, "u")
-	rec, err := c2.Wait(job)
+	rec, err := c2.Wait(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if string(rec.Stdout) != "persist me\n" {
 		t.Fatalf("reconnected output = %q", rec.Stdout)
 	}
-	st, err := c2.Status(job)
+	st, err := c2.Status(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.State != wire.JobDone {
 		t.Fatalf("status after reconnect = %+v", st)
 	}
-	all, err := c2.StatusAll()
+	all, err := c2.StatusAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -1078,7 +1081,7 @@ func TestOtherUserCannotClaimHeldOutput(t *testing.T) {
 	c := connect(t, ws, "alice")
 	write(t, ws, "/d", []byte("secret\n"))
 	write(t, ws, "/slow.job", []byte("stall 250ms\ncat d\n"))
-	job, err := c.Submit("/slow.job", []string{"/d"}, SubmitOptions{})
+	job, err := c.Submit(context.Background(), "/slow.job", []string{"/d"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -1088,7 +1091,7 @@ func TestOtherUserCannotClaimHeldOutput(t *testing.T) {
 	time.Sleep(400 * time.Millisecond)
 
 	mallory := connect(t, ws, "mallory")
-	if _, err := mallory.Status(job); err == nil {
+	if _, err := mallory.Status(context.Background(), job); err == nil {
 		t.Fatal("another user could query the job")
 	}
 	if rec, ok := mallory.Jobs().Get("super", job); ok && rec.Delivered {
@@ -1096,7 +1099,7 @@ func TestOtherUserCannotClaimHeldOutput(t *testing.T) {
 	}
 	// The rightful owner still gets it.
 	alice := connect(t, ws, "alice")
-	rec, err := alice.Wait(job)
+	rec, err := alice.Wait(context.Background(), job)
 	if err != nil || string(rec.Stdout) != "secret\n" {
 		t.Fatalf("owner redelivery failed: %v", err)
 	}
@@ -1117,23 +1120,23 @@ func TestLineOutageThenRecovery(t *testing.T) {
 	content := gen.File(30 * 1024)
 	write(t, ws, "/f", content)
 	write(t, ws, "/slow.job", []byte("stall 200ms\nwc f\n"))
-	job, err := c.Submit("/slow.job", []string{"/f"}, SubmitOptions{})
+	job, err := c.Submit(context.Background(), "/slow.job", []string{"/f"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Wait(job); err != nil {
+	if _, err := c.Wait(context.Background(), job); err != nil {
 		t.Fatal(err)
 	}
 
 	// The line fails while a second job runs.
-	job2, err := c.Submit("/slow.job", []string{"/f"}, SubmitOptions{})
+	job2, err := c.Submit(context.Background(), "/slow.job", []string{"/f"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	link.SetDown(true)
 	// Client-side operations now fail cleanly (the session cannot reach
 	// the server; either the request send fails or the reader dies).
-	if _, err := c.Status(job2); err == nil {
+	if _, err := c.Status(context.Background(), job2); err == nil {
 		t.Log("status squeaked through on buffered state; acceptable")
 	}
 	_ = c.Close()
@@ -1141,7 +1144,7 @@ func TestLineOutageThenRecovery(t *testing.T) {
 	// Heal and reconnect: the held output of job2 arrives.
 	link.SetDown(false)
 	c2 := connect(t, ws, "u")
-	rec, err := c2.Wait(job2)
+	rec, err := c2.Wait(context.Background(), job2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -1152,11 +1155,11 @@ func TestLineOutageThenRecovery(t *testing.T) {
 	edited := gen.Modify(content, 1, workload.EditMixed)
 	write(t, ws, "/f", edited)
 	before := c2.Metrics()
-	job3, err := c2.Submit("/slow.job", []string{"/f"}, SubmitOptions{})
+	job3, err := c2.Submit(context.Background(), "/slow.job", []string{"/f"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c2.Wait(job3); err != nil {
+	if _, err := c2.Wait(context.Background(), job3); err != nil {
 		t.Fatal(err)
 	}
 	after := c2.Metrics()
@@ -1175,11 +1178,11 @@ func TestFullClientStateRestart(t *testing.T) {
 	content := gen.File(20 * 1024)
 	write(t, ws, "/f", content)
 	write(t, ws, "/run.job", []byte("wc f\n"))
-	job, err := c.Submit("/run.job", []string{"/f"}, SubmitOptions{})
+	job, err := c.Submit(context.Background(), "/run.job", []string{"/f"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Wait(job); err != nil {
+	if _, err := c.Wait(context.Background(), job); err != nil {
 		t.Fatal(err)
 	}
 
@@ -1200,7 +1203,7 @@ func TestFullClientStateRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2, err := ws.ConnectSession(SessionConfig{
+	c2, err := ws.ConnectSession(context.Background(), SessionConfig{
 		Env:   DefaultEnvironment("u"),
 		Store: store,
 		Jobs:  jobdb,
@@ -1217,11 +1220,11 @@ func TestFullClientStateRestart(t *testing.T) {
 	}
 	// And delta capability survived.
 	write(t, ws, "/f", gen.Modify(content, 1, workload.EditMixed))
-	job2, err := c2.Submit("/run.job", []string{"/f"}, SubmitOptions{})
+	job2, err := c2.Submit(context.Background(), "/run.job", []string{"/f"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c2.Wait(job2); err != nil {
+	if _, err := c2.Wait(context.Background(), job2); err != nil {
 		t.Fatal(err)
 	}
 	if m := c2.Metrics(); m.FullBytes != 0 || m.DeltaBytes == 0 {
@@ -1270,7 +1273,7 @@ func TestConcurrentSoakWithChaos(t *testing.T) {
 			errs <- func() error {
 				rng := rand.New(rand.NewSource(int64(1000 + i)))
 				gen := workload.NewGenerator(int64(2000 + i))
-				c, err := ws.Connect(fmt.Sprintf("soaker%d", i))
+				c, err := ws.Connect(context.Background(), fmt.Sprintf("soaker%d", i))
 				if err != nil {
 					return err
 				}
@@ -1284,11 +1287,11 @@ func TestConcurrentSoakWithChaos(t *testing.T) {
 					return err
 				}
 				for round := 0; round < 25; round++ {
-					job, err := c.Submit("/run.job", []string{"/d.dat"}, SubmitOptions{})
+					job, err := c.Submit(context.Background(), "/run.job", []string{"/d.dat"}, SubmitOptions{})
 					if err != nil {
 						return fmt.Errorf("round %d: submit: %w", round, err)
 					}
-					rec, err := c.Wait(job)
+					rec, err := c.Wait(context.Background(), job)
 					if err != nil {
 						return fmt.Errorf("round %d: wait: %w", round, err)
 					}
@@ -1329,7 +1332,7 @@ func TestCapillaryTopology(t *testing.T) {
 	}
 	defer cluster.Close()
 	ws := cluster.NewWorkstationCapillary("homews", "purdue-gw", Cypress, ARPANET)
-	c, err := ws.Connect("u")
+	c, err := ws.Connect(context.Background(), "u")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -1340,11 +1343,11 @@ func TestCapillaryTopology(t *testing.T) {
 	write(t, ws, "/f", content)
 	write(t, ws, "/run.job", []byte("checksum f\n"))
 	start := ws.Host().Now()
-	job, err := c.Submit("/run.job", []string{"/f"}, SubmitOptions{})
+	job, err := c.Submit(context.Background(), "/run.job", []string{"/f"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, err := c.Wait(job)
+	rec, err := c.Wait(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -1361,15 +1364,150 @@ func TestCapillaryTopology(t *testing.T) {
 	// Resubmission after a small edit is still delta-cheap end to end.
 	write(t, ws, "/f", gen.Modify(content, 1, workload.EditMixed))
 	start = ws.Host().Now()
-	job2, err := c.Submit("/run.job", []string{"/f"}, SubmitOptions{})
+	job2, err := c.Submit(context.Background(), "/run.job", []string{"/f"}, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Wait(job2); err != nil {
+	if _, err := c.Wait(context.Background(), job2); err != nil {
 		t.Fatal(err)
 	}
 	delta := ws.Host().Now() - start
 	if delta*5 >= elapsed {
 		t.Fatalf("capillary resubmission %v not far below first %v", delta, elapsed)
+	}
+}
+
+func TestAutoReconnectRidesOutBounce(t *testing.T) {
+	// A forced mid-session disconnect must be invisible to the caller:
+	// the session layer redials, resumes, and the next submission works.
+	_, ws := newTestCluster(t, ClusterConfig{})
+	c, err := ws.ConnectSession(context.Background(), SessionConfig{
+		Env:           DefaultEnvironment("u"),
+		AutoReconnect: true,
+		Retry:         RetryPolicy{MaxAttempts: 10, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	gen := workload.NewGenerator(31)
+	content := gen.File(8 * 1024)
+	write(t, ws, "/run.job", []byte("checksum d.dat\n"))
+	write(t, ws, "/d.dat", content)
+
+	runCycle := func() []byte {
+		t.Helper()
+		job, err := c.Submit(context.Background(), "/run.job", []string{"/d.dat"}, SubmitOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := c.Wait(context.Background(), job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec.Stdout
+	}
+	reference := func() []byte {
+		return jobs.Execute(jobs.Request{
+			Script: []byte("checksum d.dat\n"),
+			Inputs: map[string][]byte{"d.dat": content},
+		}).Stdout
+	}
+
+	if got, want := runCycle(), reference(); !bytes.Equal(got, want) {
+		t.Fatalf("pre-bounce output = %q, want %q", got, want)
+	}
+
+	c.Bounce()
+
+	content = gen.Modify(content, 5, workload.EditReplace)
+	write(t, ws, "/d.dat", content)
+	if got, want := runCycle(), reference(); !bytes.Equal(got, want) {
+		t.Fatalf("post-bounce output = %q, want %q", got, want)
+	}
+	if n := c.Metrics().Reconnects; n < 1 {
+		t.Fatalf("reconnects = %d, want >= 1", n)
+	}
+}
+
+func TestAutoReconnectUnderLinkFaults(t *testing.T) {
+	// Sustained frame loss on the workstation's link: every cycle must
+	// still complete with byte-identical output.
+	cluster, ws := newTestCluster(t, ClusterConfig{ServerName: "super"})
+	link, ok := cluster.Network.LinkBetween("ws1", "super")
+	if !ok {
+		t.Fatal("no link between ws1 and super")
+	}
+	link.SetFaults(FaultSpec{Seed: 17, DropRate: 0.08})
+
+	cfg := SessionConfig{
+		Env:           DefaultEnvironment("u"),
+		AutoReconnect: true,
+		Retry:         RetryPolicy{MaxAttempts: 40, BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond},
+	}
+	var c *Client
+	var err error
+	for i := 0; ; i++ {
+		c, err = ws.ConnectSession(context.Background(), cfg)
+		if err == nil {
+			break
+		}
+		if i > 50 {
+			t.Fatalf("connect never succeeded: %v", err)
+		}
+		ws.Host().Process(10 * time.Millisecond)
+	}
+	defer c.Close()
+
+	gen := workload.NewGenerator(37)
+	content := gen.File(4 * 1024)
+	write(t, ws, "/run.job", []byte("checksum d.dat\n"))
+
+	for cyc := 0; cyc < 15; cyc++ {
+		content = gen.Modify(content, 5, workload.EditReplace)
+		write(t, ws, "/d.dat", content)
+		job, err := c.Submit(context.Background(), "/run.job", []string{"/d.dat"}, SubmitOptions{})
+		if err != nil {
+			t.Fatalf("cycle %d submit: %v", cyc, err)
+		}
+		rec, err := c.Wait(context.Background(), job)
+		if err != nil {
+			t.Fatalf("cycle %d wait: %v", cyc, err)
+		}
+		want := jobs.Execute(jobs.Request{
+			Script: []byte("checksum d.dat\n"),
+			Inputs: map[string][]byte{"d.dat": content},
+		}).Stdout
+		if !bytes.Equal(rec.Stdout, want) {
+			t.Fatalf("cycle %d output = %q, want %q", cyc, rec.Stdout, want)
+		}
+	}
+	dropped, _, _ := link.FaultStats()
+	if dropped == 0 {
+		t.Skip("fault pattern produced no drops; nothing exercised")
+	}
+}
+
+func TestDisconnectWithoutAutoReconnectFails(t *testing.T) {
+	// The compatibility contract: without AutoReconnect a severed
+	// connection ends the session with ErrDisconnected.
+	_, ws := newTestCluster(t, ClusterConfig{})
+	c, err := ws.Connect(context.Background(), "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Bounce()
+	write(t, ws, "/run.job", []byte("echo hi\n"))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err = c.Submit(context.Background(), "/run.job", nil, SubmitOptions{})
+		if err != nil || time.Now().After(deadline) {
+			break
+		}
+	}
+	if !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("submit after bounce = %v, want ErrDisconnected", err)
 	}
 }

@@ -1,7 +1,9 @@
 package shadow
 
 import (
+	"context"
 	"net"
+	"time"
 
 	"shadowedit/internal/client"
 	"shadowedit/internal/server"
@@ -25,15 +27,22 @@ func ServeTCP(srv *Server, ln net.Listener) error {
 }
 
 // DialTCP opens a shadow session to a server at addr over real TCP, for the
-// cmd/shadow CLI.
-func DialTCP(addr string, cfg ClientConfig) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
+// cmd/shadow CLI. Unless the config supplies its own Dial function, one
+// redialing addr is installed, so TCP sessions get the fault-tolerant
+// reconnect layer automatically.
+func DialTCP(ctx context.Context, addr string, cfg ClientConfig) (*Client, error) {
+	if cfg.Dial == nil {
+		cfg.Dial = func() (wire.Conn, error) {
+			d := net.Dialer{Timeout: 30 * time.Second}
+			conn, err := d.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			return wire.NewStreamConn(conn), nil
+		}
 	}
-	cl, err := client.Connect(wire.NewStreamConn(conn), cfg)
+	cl, err := client.Connect(ctx, nil, cfg)
 	if err != nil {
-		_ = conn.Close()
 		return nil, err
 	}
 	return cl, nil

@@ -1,6 +1,8 @@
 package shadow_test
 
 import (
+	"context"
+
 	"bytes"
 	"net"
 	"testing"
@@ -34,7 +36,7 @@ func TestTCPDeployment(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	c, err := shadow.DialTCP(ln.Addr().String(), shadow.ClientConfig{
+	c, err := shadow.DialTCP(context.Background(), ln.Addr().String(), shadow.ClientConfig{
 		User:     "tcpuser",
 		Universe: universe,
 		Host:     "laptop",
@@ -47,11 +49,11 @@ func TestTCPDeployment(t *testing.T) {
 		t.Fatalf("server name = %q", c.ServerName())
 	}
 
-	job, err := c.Submit("/run.job", []string{"/d"}, shadow.SubmitOptions{})
+	job, err := c.Submit(context.Background(), "/run.job", []string{"/d"}, shadow.SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, err := c.Wait(job)
+	rec, err := c.Wait(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,21 +70,21 @@ func TestTCPDeployment(t *testing.T) {
 	if err := universe.WriteFile("laptop", "/big.job", []byte("wc big\n")); err != nil {
 		t.Fatal(err)
 	}
-	jobA, err := c.Submit("/big.job", []string{"/big"}, shadow.SubmitOptions{})
+	jobA, err := c.Submit(context.Background(), "/big.job", []string{"/big"}, shadow.SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Wait(jobA); err != nil {
+	if _, err := c.Wait(context.Background(), jobA); err != nil {
 		t.Fatal(err)
 	}
 	if err := universe.WriteFile("laptop", "/big", append(big, []byte("tail\n")...)); err != nil {
 		t.Fatal(err)
 	}
-	jobB, err := c.Submit("/big.job", []string{"/big"}, shadow.SubmitOptions{})
+	jobB, err := c.Submit(context.Background(), "/big.job", []string{"/big"}, shadow.SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Wait(jobB); err != nil {
+	if _, err := c.Wait(context.Background(), jobB); err != nil {
 		t.Fatal(err)
 	}
 	if m := c.Metrics(); m.DeltaSends != 1 {
@@ -116,18 +118,18 @@ func TestTCPMultipleClients(t *testing.T) {
 				if err := universe.WriteFile(host, "/j", []byte("echo ok\n")); err != nil {
 					return err
 				}
-				c, err := shadow.DialTCP(ln.Addr().String(), shadow.ClientConfig{
+				c, err := shadow.DialTCP(context.Background(), ln.Addr().String(), shadow.ClientConfig{
 					User: "u", Universe: universe, Host: host,
 				})
 				if err != nil {
 					return err
 				}
 				defer c.Close()
-				job, err := c.Submit("/j", nil, shadow.SubmitOptions{})
+				job, err := c.Submit(context.Background(), "/j", nil, shadow.SubmitOptions{})
 				if err != nil {
 					return err
 				}
-				_, err = c.Wait(job)
+				_, err = c.Wait(context.Background(), job)
 				return err
 			}()
 		}(i)
