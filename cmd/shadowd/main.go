@@ -6,13 +6,22 @@
 //
 //	shadowd [-addr :4217] [-name super] [-cache 256M] [-cache-policy lru]
 //	        [-pull eager|lazy|load-aware] [-jobs 2] [-compress]
+//	        [-admin :9090] [-log-level info] [-log-format text|json]
+//
+// With -admin set, an operator HTTP endpoint serves /healthz, /metrics
+// (Prometheus text), /cachez, /sessionz and /debug/pprof on that address;
+// see OBSERVABILITY.md for the full reference. -log-level enables
+// structured event logging (slog) at the given level.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -20,6 +29,8 @@ import (
 	"syscall"
 
 	shadow "shadowedit"
+	"shadowedit/internal/admin"
+	"shadowedit/internal/obs"
 )
 
 func main() {
@@ -40,6 +51,9 @@ func run(args []string) error {
 		loadThresh  = fs.Int("load-threshold", 4, "queue depth at which load-aware pulling defers")
 		compress    = fs.Bool("compress", false, "compress output transfers")
 		verbose     = fs.Bool("v", false, "log per-event server activity")
+		adminAddr   = fs.String("admin", "", "admin endpoint address (e.g. :9090); empty disables it")
+		logLevel    = fs.String("log-level", "", "structured event log level: debug, info, warn or error; empty disables")
+		logFormat   = fs.String("log-format", "text", "structured event log format: text or json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +90,15 @@ func run(args []string) error {
 		cfg.Logf = log.Printf
 	}
 
+	// The observer is always created so the admin endpoint can render
+	// latency histograms; structured event logging is additionally enabled
+	// by -log-level (histograms alone never touch slog).
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	cfg.Obs = obs.New(logger, nil)
+
 	srv := shadow.NewServer(cfg)
 	defer srv.Close()
 
@@ -86,22 +109,79 @@ func run(args []string) error {
 	log.Printf("shadowd %q listening on %s (pull=%s, jobs=%d, cache=%s/%s)",
 		*name, ln.Addr(), *pull, *jobsN, *cacheSize, *cachePolicy)
 
+	if *adminAddr != "" {
+		adminLn, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			return fmt.Errorf("shadowd: -admin: %w", err)
+		}
+		defer adminLn.Close()
+		go func() {
+			h := admin.NewHandler(admin.Options{Server: srv})
+			if serr := http.Serve(adminLn, h); serr != nil && !errors.Is(serr, net.ErrClosed) {
+				log.Printf("shadowd: admin endpoint: %v", serr)
+			}
+		}()
+		log.Printf("shadowd: admin endpoint on %s (/healthz /metrics /cachez /sessionz /debug/pprof)", adminLn.Addr())
+	}
+
 	// Graceful shutdown: on SIGINT/SIGTERM stop accepting, drain the live
 	// sessions (pipelined writers flush their pending output), let queued
 	// jobs finish, then exit. A second signal kills the process the hard
 	// way via the default handler.
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	sigSeen := make(chan struct{})
+	sigDone := make(chan struct{})
 	go func() {
+		defer close(sigDone)
 		sig := <-sigc
+		close(sigSeen)
 		signal.Stop(sigc)
 		log.Printf("shadowd: %v: draining sessions and shutting down", sig)
 		srv.Close()    // marks the server closed, drains and flushes sessions
 		_ = ln.Close() // then unblock the accept loop
 		snap := srv.Metrics()
-		log.Printf("shadowd: drained; %s; %s", snap, snap.CacheString())
+		log.Printf("shadowd: drained; %s; %s; %s", snap, snap.CacheString(), snap.FaultString())
 	}()
-	return shadow.ServeTCP(srv, ln)
+	err = shadow.ServeTCP(srv, ln)
+	// Closing the listener unblocks ServeTCP before the handler has logged
+	// its final summary; if a signal started the shutdown, let it finish.
+	select {
+	case <-sigSeen:
+		<-sigDone
+	default:
+	}
+	return err
+}
+
+// buildLogger constructs the structured event logger, or nil when logging
+// is disabled (empty level).
+func buildLogger(level, format string) (*slog.Logger, error) {
+	if level == "" {
+		return nil, nil
+	}
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("shadowd: unknown log level %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("shadowd: unknown log format %q", format)
+	}
 }
 
 // parseSize parses "0", "1024", "64K", "256M", "2G".

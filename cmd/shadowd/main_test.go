@@ -40,6 +40,8 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-cache", "lots"},
 		{"-cache-policy", "random"},
 		{"-pull", "psychic"},
+		{"-log-level", "chatty"},
+		{"-log-level", "info", "-log-format", "yaml"},
 	}
 	for _, args := range tests {
 		if err := run(args); err == nil {

@@ -1,0 +1,362 @@
+// Package admin serves shadowd's operator endpoint: a plain-HTTP surface
+// for inspecting a running shadow server without attaching a client to it.
+//
+// The handler exposes:
+//
+//   - /healthz   — liveness plus a one-look summary (sessions, jobs, cache)
+//   - /metrics   — the full metrics.Snapshot and every obs latency
+//     histogram in Prometheus text exposition format
+//   - /cachez    — the best-effort cache, shard by shard, with eviction
+//     pressure (bytes vs. capacity, evictions, rejected puts)
+//   - /sessionz  — attached sessions with in-flight pulls, deferred
+//     notifies and outbound queue depth, plus job lifecycle counts
+//   - /debug/pprof/* — the standard Go profiler endpoints
+//
+// /cachez and /sessionz render text for eyes and, with ?format=json, JSON
+// for tooling. The package depends only on the server's read-side accessors
+// (Sessions, JobCounts, Metrics, Cache, Directory, Observer), so serving it
+// never perturbs the message hot paths beyond the cost of those snapshots.
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"time"
+
+	"shadowedit/internal/metrics"
+	"shadowedit/internal/obs"
+	"shadowedit/internal/server"
+	"shadowedit/internal/wire"
+)
+
+// Options configures the admin handler.
+type Options struct {
+	// Server is the shadow server to expose. Required.
+	Server *server.Server
+	// Obs overrides the observer whose histograms /metrics renders;
+	// nil uses Server.Observer().
+	Obs *obs.Observer
+	// Start anchors the uptime gauge; the zero value means "now".
+	Start time.Time
+}
+
+// handler holds the resolved options.
+type handler struct {
+	srv   *server.Server
+	obs   *obs.Observer
+	start time.Time
+}
+
+// NewHandler builds the admin endpoint's HTTP handler.
+func NewHandler(opts Options) http.Handler {
+	h := &handler{srv: opts.Server, obs: opts.Obs, start: opts.Start}
+	if h.obs == nil && h.srv != nil {
+		h.obs = h.srv.Observer()
+	}
+	if h.start.IsZero() {
+		h.start = time.Now()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", h.healthz)
+	mux.HandleFunc("/metrics", h.metrics)
+	mux.HandleFunc("/cachez", h.cachez)
+	mux.HandleFunc("/sessionz", h.sessionz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// healthz reports liveness with a compact JSON summary.
+func (h *handler) healthz(w http.ResponseWriter, _ *http.Request) {
+	jobs := make(map[string]int)
+	for state, n := range h.srv.JobCounts() {
+		jobs[state.String()] = n
+	}
+	st := h.srv.Cache().Stats()
+	body := struct {
+		Status        string         `json:"status"`
+		Server        string         `json:"server"`
+		UptimeSeconds float64        `json:"uptime_seconds"`
+		Sessions      int            `json:"sessions"`
+		Jobs          map[string]int `json:"jobs"`
+		CacheEntries  int            `json:"cache_entries"`
+		CacheBytes    int64          `json:"cache_bytes"`
+	}{
+		Status:        "ok",
+		Server:        h.srv.Name(),
+		UptimeSeconds: time.Since(h.start).Seconds(),
+		Sessions:      h.srv.SessionCount(),
+		Jobs:          jobs,
+		CacheEntries:  st.Entries,
+		CacheBytes:    st.Bytes,
+	}
+	writeJSON(w, body)
+}
+
+// metrics renders every counter, gauge and histogram in Prometheus text
+// exposition format, by hand — the repo takes no dependencies.
+func (h *handler) metrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+	snap := h.srv.Metrics()
+	writeCounters(&b, snap)
+	h.writeGauges(&b)
+	if h.obs != nil {
+		writeHistogram(&b, "shadow_submit_ack_seconds", "Server latency from receiving a SUBMIT to enqueueing its SUBMIT_OK.", h.obs.SubmitAck.Snapshot())
+		writeHistogram(&b, "shadow_pull_arrival_seconds", "Server latency from issuing a PULL to the requested content arriving.", h.obs.PullArrival.Snapshot())
+		writeHistogram(&b, "shadow_job_lifetime_seconds", "Latency from a job becoming runnable to its completion.", h.obs.JobLifetime.Snapshot())
+		writeHistogram(&b, "shadow_cycle_seconds", "Full edit-submit-fetch cycle latency as the client sees it.", h.obs.Cycle.Snapshot())
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// counterSpec names one Snapshot field for exposition.
+type counterSpec struct {
+	name, help string
+	value      int64
+}
+
+// counterSpecs enumerates every metrics.Snapshot field. OBSERVABILITY.md
+// documents each; keep the three in sync.
+func counterSpecs(s metrics.Snapshot) []counterSpec {
+	return []counterSpec{
+		{"shadow_delta_bytes_total", "Payload bytes moved as shadow deltas.", s.DeltaBytes},
+		{"shadow_full_bytes_total", "Payload bytes moved as full-content transfers.", s.FullBytes},
+		{"shadow_control_bytes_total", "Payload bytes in control messages (notify, pull, ack, submit, status).", s.ControlBytes},
+		{"shadow_output_bytes_total", "Job output bytes delivered to clients.", s.OutputBytes},
+		{"shadow_messages_total", "Protocol messages counted on the transfer paths.", s.Messages},
+		{"shadow_delta_sends_total", "Transfers that went as deltas.", s.DeltaSends},
+		{"shadow_full_sends_total", "Transfers that went as full copies.", s.FullSends},
+		{"shadow_busy_seconds_total", "Simulated compute time charged (diff runs, job CPU).", int64(s.Busy.Seconds())},
+		{"shadow_cache_hits_total", "Shadow cache lookups that found a usable entry.", s.CacheHits},
+		{"shadow_cache_misses_total", "Shadow cache lookups that missed.", s.CacheMisses},
+		{"shadow_cache_evictions_total", "Entries evicted from the best-effort cache.", s.CacheEvictions},
+		{"shadow_cache_rejected_total", "Puts the cache refused (content could not fit).", s.CacheRejected},
+		{"shadow_pulls_issued_total", "File retrievals requested from clients.", s.PullsIssued},
+		{"shadow_pulls_deferred_total", "Pulls postponed by the demand-driven policy.", s.PullsDeferred},
+		{"shadow_pulls_coalesced_total", "Pulls satisfied by another session's in-flight fetch.", s.PullsCoalesced},
+		{"shadow_reconnects_total", "Sessions re-established after connection loss.", s.Reconnects},
+		{"shadow_retries_total", "Request attempts retried after transient failures.", s.Retries},
+		{"shadow_full_fallbacks_total", "Delta transfers degraded to full copies (base evicted or lost).", s.FullFallbacks},
+		{"shadow_dropped_frames_total", "Frames lost to fault injection.", s.DroppedFrames},
+	}
+}
+
+func writeCounters(b *strings.Builder, s metrics.Snapshot) {
+	for _, c := range counterSpecs(s) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.value)
+	}
+}
+
+func (h *handler) writeGauges(b *strings.Builder) {
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	gauge("shadow_uptime_seconds", "Seconds since the server started.", time.Since(h.start).Seconds())
+	gauge("shadow_sessions", "Attached client sessions.", float64(h.srv.SessionCount()))
+	gauge("shadow_inflight_fetches", "Coalesced file retrievals currently outstanding.", float64(h.srv.InFlightFetches()))
+	queued, running := h.srv.Load()
+	gauge("shadow_pool_queued", "Jobs waiting for a processor slot.", float64(queued))
+	gauge("shadow_pool_running", "Jobs executing right now.", float64(running))
+	st := h.srv.Cache().Stats()
+	gauge("shadow_cache_entries", "Entries in the best-effort cache.", float64(st.Entries))
+	gauge("shadow_cache_bytes", "Content bytes held by the cache.", float64(st.Bytes))
+	gauge("shadow_cache_capacity_bytes", "Configured cache capacity (0 = unbounded).", float64(max64(h.srv.Cache().Capacity(), 0)))
+	counts := h.srv.JobCounts()
+	fmt.Fprintf(b, "# HELP shadow_jobs Submitted jobs by lifecycle state.\n# TYPE shadow_jobs gauge\n")
+	for _, state := range []wire.JobState{wire.JobQueued, wire.JobFetching, wire.JobRunning, wire.JobDone, wire.JobFailed} {
+		fmt.Fprintf(b, "shadow_jobs{state=%q} %d\n", state.String(), counts[state])
+	}
+}
+
+// writeHistogram renders one obs histogram in Prometheus histogram syntax.
+// Only non-empty buckets get an explicit le line (976 mostly-zero buckets
+// would drown scrapes); cumulative counts stay exact because le values are
+// strictly increasing and +Inf closes the series.
+func writeHistogram(b *strings.Builder, name, help string, s obs.HistogramSnapshot) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		_, hi := obs.BucketBounds(i)
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, formatSeconds(hi), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+	fmt.Fprintf(b, "%s_sum %g\n", name, s.Sum.Seconds())
+	fmt.Fprintf(b, "%s_count %d\n", name, s.Count)
+}
+
+// formatSeconds renders a nanosecond bound as seconds with enough precision
+// to keep distinct buckets distinct.
+func formatSeconds(ns uint64) string {
+	return fmt.Sprintf("%.9g", float64(ns)/1e9)
+}
+
+// cacheView is /cachez's JSON shape.
+type cacheView struct {
+	Policy        string           `json:"policy"`
+	CapacityBytes int64            `json:"capacity_bytes"`
+	Bytes         int64            `json:"bytes"`
+	Entries       int              `json:"entries"`
+	Hits          int64            `json:"hits"`
+	Misses        int64            `json:"misses"`
+	Evictions     int64            `json:"evictions"`
+	Rejected      int64            `json:"rejected"`
+	Files         []cacheEntryView `json:"files"`
+}
+
+type cacheEntryView struct {
+	Shard    int    `json:"shard"`
+	ID       uint64 `json:"id"`
+	File     string `json:"file,omitempty"`
+	Version  uint64 `json:"version"`
+	Bytes    int    `json:"bytes"`
+	Pins     int    `json:"pins"`
+	LastUsed int64  `json:"last_used_seq"`
+}
+
+func (h *handler) cacheView() cacheView {
+	c := h.srv.Cache()
+	st := c.Stats()
+	v := cacheView{
+		Policy:        c.Policy().String(),
+		CapacityBytes: c.Capacity(),
+		Bytes:         st.Bytes,
+		Entries:       st.Entries,
+		Hits:          st.Hits,
+		Misses:        st.Misses,
+		Evictions:     st.Evictions,
+		Rejected:      st.Rejected,
+	}
+	entries := c.Entries()
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].Shard != entries[b].Shard {
+			return entries[a].Shard < entries[b].Shard
+		}
+		return entries[a].ID < entries[b].ID
+	})
+	for _, e := range entries {
+		ev := cacheEntryView{
+			Shard:    e.Shard,
+			ID:       uint64(e.ID),
+			Version:  e.Version,
+			Bytes:    e.Size,
+			Pins:     e.Pins,
+			LastUsed: e.LastUsed,
+		}
+		if ref, ok := h.srv.Directory().RefOf(e.ID); ok {
+			ev.File = ref.String()
+		}
+		v.Files = append(v.Files, ev)
+	}
+	return v
+}
+
+// cachez shows the best-effort cache shard by shard.
+func (h *handler) cachez(w http.ResponseWriter, r *http.Request) {
+	v := h.cacheView()
+	if wantJSON(r) {
+		writeJSON(w, v)
+		return
+	}
+	var b strings.Builder
+	capStr := "unbounded"
+	if v.CapacityBytes > 0 {
+		capStr = fmt.Sprintf("%d bytes (%.1f%% full)", v.CapacityBytes, 100*float64(v.Bytes)/float64(v.CapacityBytes))
+	}
+	fmt.Fprintf(&b, "shadow cache: %d entries, %d bytes, capacity %s, policy %s\n", v.Entries, v.Bytes, capStr, v.Policy)
+	fmt.Fprintf(&b, "pressure: %d hits, %d misses, %d evictions, %d rejected puts\n\n", v.Hits, v.Misses, v.Evictions, v.Rejected)
+	shard := -1
+	for _, e := range v.Files {
+		if e.Shard != shard {
+			shard = e.Shard
+			fmt.Fprintf(&b, "shard %d:\n", shard)
+		}
+		name := e.File
+		if name == "" {
+			name = fmt.Sprintf("shadow-id %d", e.ID)
+		}
+		fmt.Fprintf(&b, "  %s v%d  %d bytes  pins=%d  lastused=%d\n", name, e.Version, e.Bytes, e.Pins, e.LastUsed)
+	}
+	writeText(w, b.String())
+}
+
+// sessionView is /sessionz's JSON shape.
+type sessionView struct {
+	Sessions        []server.SessionInfo `json:"sessions"`
+	Jobs            map[string]int       `json:"jobs"`
+	InFlightFetches int                  `json:"inflight_fetches"`
+}
+
+// sessionz shows attached sessions and job lifecycle counts.
+func (h *handler) sessionz(w http.ResponseWriter, r *http.Request) {
+	v := sessionView{
+		Sessions:        h.srv.Sessions(),
+		Jobs:            make(map[string]int),
+		InFlightFetches: h.srv.InFlightFetches(),
+	}
+	for state, n := range h.srv.JobCounts() {
+		v.Jobs[state.String()] = n
+	}
+	if wantJSON(r) {
+		writeJSON(w, v)
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d sessions attached, %d fetches in flight\n", len(v.Sessions), v.InFlightFetches)
+	for _, s := range v.Sessions {
+		who := "(handshaking)"
+		if s.User != "" {
+			who = fmt.Sprintf("%s@%s domain=%s", s.User, s.ClientHost, s.Domain)
+		}
+		fmt.Fprintf(&b, "  session %d: %s  pulls-in-flight=%d deferred-notifies=%d queued-writes=%d\n",
+			s.ID, who, s.PullsInFlight, s.DeferredNotifies, s.QueuedWrites)
+	}
+	states := make([]string, 0, len(v.Jobs))
+	for s := range v.Jobs {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+	b.WriteString("jobs:")
+	if len(states) == 0 {
+		b.WriteString(" none")
+	}
+	for _, s := range states {
+		fmt.Fprintf(&b, " %s=%d", s, v.Jobs[s])
+	}
+	b.WriteString("\n")
+	writeText(w, b.String())
+}
+
+func wantJSON(r *http.Request) bool {
+	return r.URL.Query().Get("format") == "json"
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeText(w http.ResponseWriter, s string) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte(s))
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -20,6 +20,11 @@
 // "largest anywhere") matches the single-lock implementation exactly — so
 // bounded Puts serialize on one eviction mutex while scanning shards one at
 // a time; unbounded caches (the common server configuration) never take it.
+//
+// The store is introspectable without perturbing it: Stats reads the atomic
+// counters, and Entries copies each shard's contents under that shard's own
+// lock (a per-shard-consistent snapshot) — this is what shadowd's /cachez
+// admin page renders; see OBSERVABILITY.md.
 package cache
 
 import (
@@ -395,3 +400,41 @@ func (c *Cache) Len() int {
 
 // Capacity returns the configured byte capacity (<= 0 means unbounded).
 func (c *Cache) Capacity() int64 { return c.capacity }
+
+// Policy returns the configured eviction policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// EntryInfo describes one cached entry without exposing its content —
+// what an operator inspecting the cache (shadowd's /cachez) needs to see.
+type EntryInfo struct {
+	Shard    int
+	ID       naming.ShadowID
+	Version  uint64
+	Size     int
+	Pins     int
+	LastUsed int64 // recency sequence number; higher = used more recently
+}
+
+// Entries snapshots every cached entry's metadata, shard by shard. Each
+// shard is locked only while it is copied, so the snapshot is per-shard
+// consistent (concurrent Puts may land between shards — fine for an
+// operator view, which is best effort like the cache itself).
+func (c *Cache) Entries() []EntryInfo {
+	var out []EntryInfo
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for id, s := range sh.entries {
+			out = append(out, EntryInfo{
+				Shard:    i,
+				ID:       id,
+				Version:  s.entry.Version,
+				Size:     len(s.entry.Content),
+				Pins:     s.pins,
+				LastUsed: s.lastUsed,
+			})
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}

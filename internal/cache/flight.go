@@ -93,6 +93,18 @@ func (f *Flights) Done(id naming.ShadowID, version uint64) {
 	sh.mu.Unlock()
 }
 
+// Release removes the flight for id if the given session still owns it —
+// the undo path when a re-homed pull fails on a session that died between
+// being chosen and the send, after its own ReleaseOwner pass already ran.
+func (f *Flights) Release(id naming.ShadowID, owner uint64) {
+	sh := f.shardOf(id)
+	sh.mu.Lock()
+	if fl, ok := sh.m[id]; ok && fl.owner == owner {
+		delete(sh.m, id)
+	}
+	sh.mu.Unlock()
+}
+
 // ReleaseOwner removes every flight owned by a (dead) session and returns
 // the fetches that were outstanding so they can be re-issued elsewhere.
 func (f *Flights) ReleaseOwner(owner uint64) []PendingFetch {

@@ -27,6 +27,7 @@ import (
 	"shadowedit/internal/env"
 	"shadowedit/internal/metrics"
 	"shadowedit/internal/naming"
+	"shadowedit/internal/obs"
 	"shadowedit/internal/vcs"
 	"shadowedit/internal/wire"
 )
@@ -118,6 +119,11 @@ type Config struct {
 	// backoff escapes link-flap windows in virtual time. It must respect
 	// ctx cancellation. Nil sleeps on the wall clock.
 	Sleep func(ctx context.Context, d time.Duration) error
+
+	// Obs, when set, records the full edit–submit–fetch cycle latency
+	// (Submit called → output delivered) in its Cycle histogram. Nil keeps
+	// the submit and delivery paths free of any instrumentation cost.
+	Obs *obs.Observer
 }
 
 // SubmitOptions are the per-submission optional arguments of the submit
@@ -155,24 +161,28 @@ type Client struct {
 
 	reqMu sync.Mutex // serializes synchronous request/response exchanges
 
-	mu        sync.Mutex
-	conn      wire.Conn     // current transport; nil while disconnected
-	connDown  chan struct{} // closed when the current conn is torn down
-	connUp    chan struct{} // closed once a conn is live; remade when it dies
-	session   uint64
-	awaiting  chan wire.Message // live only while a request is outstanding
-	pending   *pendingSubmit    // submit in flight, installed on SUBMIT_OK
-	outPrev   map[uint32][]byte // script checksum -> last received stdout
-	jobMeta   map[uint64]jobMeta
-	jobDone   map[uint64]chan struct{}
-	delivered []uint64      // job ids delivered but not yet taken by WaitAny
-	arrivals  chan struct{} // signaled on each delivery
-	closed    bool
-	lastErr   error // final error; set when the client finishes
-	lastDrop  error // why the current connection died (supervisor scratch)
-	tagBase   uint64
-	nextTag   uint64
-	rng       *rand.Rand // backoff jitter, guarded by mu
+	mu       sync.Mutex
+	conn     wire.Conn     // current transport; nil while disconnected
+	connDown chan struct{} // closed when the current conn is torn down
+	connUp   chan struct{} // closed once a conn is live; remade when it dies
+	session  uint64
+	awaiting chan wire.Message // live only while a request is outstanding
+	pending  *pendingSubmit    // submit in flight, installed on SUBMIT_OK
+	outPrev  map[uint32][]byte // script checksum -> last received stdout
+	jobMeta  map[uint64]jobMeta
+	jobDone  map[uint64]chan struct{}
+	// cycleStart stamps when Submit was called for each job still awaiting
+	// output, feeding the full-cycle histogram. Populated only when
+	// cfg.Obs is set; presence in the map means "timed".
+	cycleStart map[uint64]time.Duration
+	delivered  []uint64      // job ids delivered but not yet taken by WaitAny
+	arrivals   chan struct{} // signaled on each delivery
+	closed     bool
+	lastErr    error // final error; set when the client finishes
+	lastDrop   error // why the current connection died (supervisor scratch)
+	tagBase    uint64
+	nextTag    uint64
+	rng        *rand.Rand // backoff jitter, guarded by mu
 
 	done      chan struct{} // closed when the client is permanently finished
 	doneOnce  sync.Once
@@ -196,6 +206,11 @@ type pendingSubmit struct {
 	scriptSum  uint32
 	outputFile string
 	errorFile  string
+	// cycleStart carries the Submit-call stamp for the full-cycle
+	// histogram; cycleTimed distinguishes a real stamp from an untimed
+	// submission (a virtual clock legitimately reads 0).
+	cycleStart time.Duration
+	cycleTimed bool
 }
 
 // expand resolves the metadata against a now-known job id.
@@ -256,19 +271,20 @@ func Connect(ctx context.Context, conn wire.Conn, cfg Config) (*Client, error) {
 		}
 	}
 	c := &Client{
-		cfg:       cfg,
-		store:     store,
-		jobdb:     jobdb,
-		counters:  &metrics.Counters{},
-		retry:     cfg.Retry.withDefaults(),
-		outPrev:   make(map[uint32][]byte),
-		jobMeta:   make(map[uint64]jobMeta),
-		jobDone:   make(map[uint64]chan struct{}),
-		arrivals:  make(chan struct{}, 1),
-		connDown:  make(chan struct{}),
-		connUp:    make(chan struct{}),
-		done:      make(chan struct{}),
-		superDone: make(chan struct{}),
+		cfg:        cfg,
+		store:      store,
+		jobdb:      jobdb,
+		counters:   &metrics.Counters{},
+		retry:      cfg.Retry.withDefaults(),
+		outPrev:    make(map[uint32][]byte),
+		jobMeta:    make(map[uint64]jobMeta),
+		jobDone:    make(map[uint64]chan struct{}),
+		cycleStart: make(map[uint64]time.Duration),
+		arrivals:   make(chan struct{}, 1),
+		connDown:   make(chan struct{}),
+		connUp:     make(chan struct{}),
+		done:       make(chan struct{}),
+		superDone:  make(chan struct{}),
 	}
 	c.rng = rand.New(rand.NewSource(c.jitterSeed()))
 	c.lifeCtx, c.lifeStop = context.WithCancel(context.Background())
@@ -353,6 +369,7 @@ func (c *Client) CommitAndNotify(filePath string) (wire.FileRef, uint64, error) 
 // connection loss is retried over the re-established session under an
 // idempotency tag, so the job runs exactly once.
 func (c *Client) Submit(ctx context.Context, scriptPath string, dataPaths []string, opts SubmitOptions) (uint64, error) {
+	cycleStart := c.cfg.Obs.Now()
 	script, err := c.readFile(scriptPath)
 	if err != nil {
 		return 0, fmt.Errorf("client: read script: %w", err)
@@ -362,7 +379,7 @@ func (c *Client) Submit(ctx context.Context, scriptPath string, dataPaths []stri
 		tag = c.newTag()
 	}
 	for attempt := 1; ; attempt++ {
-		job, err := c.submitOnce(ctx, script, dataPaths, opts, tag)
+		job, err := c.submitOnce(ctx, script, dataPaths, opts, tag, cycleStart)
 		if err == nil {
 			return job, nil
 		}
@@ -382,7 +399,7 @@ func (c *Client) Submit(ctx context.Context, scriptPath string, dataPaths []stri
 }
 
 // submitOnce performs one submission attempt over the current connection.
-func (c *Client) submitOnce(ctx context.Context, script []byte, dataPaths []string, opts SubmitOptions, tag uint64) (uint64, error) {
+func (c *Client) submitOnce(ctx context.Context, script []byte, dataPaths []string, opts SubmitOptions, tag uint64, cycleStart time.Duration) (uint64, error) {
 	_, down, err := c.waitConnected(ctx)
 	if err != nil {
 		return 0, err
@@ -419,6 +436,8 @@ func (c *Client) submitOnce(ctx context.Context, script []byte, dataPaths []stri
 		scriptSum:  diff.Checksum(script),
 		outputFile: opts.OutputFile,
 		errorFile:  opts.ErrorFile,
+		cycleStart: cycleStart,
+		cycleTimed: c.cfg.Obs != nil,
 	}
 	c.mu.Lock()
 	c.pending = p
@@ -443,6 +462,11 @@ func (c *Client) submitOnce(ctx context.Context, script []byte, dataPaths []stri
 	}
 	if _, exists := c.jobDone[ok.Job]; !exists {
 		c.jobDone[ok.Job] = make(chan struct{})
+	}
+	if p.cycleTimed {
+		if _, stamped := c.cycleStart[ok.Job]; !stamped {
+			c.cycleStart[ok.Job] = p.cycleStart
+		}
 	}
 	c.mu.Unlock()
 	c.jobdb.Record(env.JobRecord{

@@ -12,6 +12,7 @@ import (
 	"shadowedit/internal/env"
 	"shadowedit/internal/naming"
 	"shadowedit/internal/netsim"
+	"shadowedit/internal/obs"
 	"shadowedit/internal/wire"
 )
 
@@ -53,7 +54,11 @@ func newPair(t *testing.T) (*Client, *fakeServer, *naming.Universe) {
 	done := make(chan *Client, 1)
 	errCh := make(chan error, 1)
 	go func() {
-		cl, err := Connect(context.Background(), conn, Config{User: "u", Universe: universe, Host: "ws"})
+		// Every test runs with an observer attached, so the instrumented
+		// paths (cycle stamping in particular) are exercised throughout.
+		cl, err := Connect(context.Background(), conn, Config{
+			User: "u", Universe: universe, Host: "ws", Obs: obs.New(nil, nil),
+		})
 		if err != nil {
 			errCh <- err
 			return
@@ -433,5 +438,45 @@ func TestWaitAnyAfterDisconnect(t *testing.T) {
 	_ = fs.conn.Close()
 	if _, err := cl.WaitAny(context.Background()); err == nil {
 		t.Fatal("WaitAny succeeded after disconnect")
+	}
+}
+
+// TestCycleHistogramRecords: a submit→output round trip must land exactly one
+// sample in the observer's full-cycle histogram, and a duplicate delivery
+// must not add a second.
+func TestCycleHistogramRecords(t *testing.T) {
+	cl, fs, universe := newPair(t)
+	if err := universe.WriteFile("ws", "/run.job", []byte("echo hi\n")); err != nil {
+		t.Fatal(err)
+	}
+	res := make(chan uint64, 1)
+	go func() {
+		job, err := cl.Submit(context.Background(), "/run.job", nil, SubmitOptions{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		res <- job
+	}()
+	fs.recv() // submit
+	fs.send(&wire.SubmitOK{Job: 7})
+	job := <-res
+
+	deliver := func() {
+		fs.send(&wire.Output{Job: job, State: wire.JobDone, Mode: wire.OutputFull, Stdout: []byte("hi\n")})
+		if _, err := cl.Wait(context.Background(), job); err != nil {
+			t.Fatal(err)
+		}
+		if ack, ok := fs.recv().(*wire.OutputAck); !ok || ack.Job != job {
+			t.Fatalf("expected output ack, got %#v", ack)
+		}
+	}
+	deliver()
+	if n := cl.cfg.Obs.Cycle.Snapshot().Count; n != 1 {
+		t.Fatalf("cycle histogram count = %d after delivery, want 1", n)
+	}
+	deliver() // duplicate: acked, not re-surfaced, not re-timed
+	if n := cl.cfg.Obs.Cycle.Snapshot().Count; n != 1 {
+		t.Fatalf("cycle histogram count = %d after duplicate, want 1", n)
 	}
 }

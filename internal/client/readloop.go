@@ -53,6 +53,11 @@ func (c *Client) routeReply(msg wire.Message) {
 		if _, exists := c.jobDone[ok.Job]; !exists {
 			c.jobDone[ok.Job] = make(chan struct{})
 		}
+		if c.pending.cycleTimed {
+			if _, stamped := c.cycleStart[ok.Job]; !stamped {
+				c.cycleStart[ok.Job] = c.pending.cycleStart
+			}
+		}
 		c.pending = nil
 	}
 	ch := c.awaiting
@@ -218,6 +223,8 @@ func (c *Client) handleOutput(m *wire.Output) {
 	_ = c.send(&wire.OutputAck{Job: m.Job})
 
 	c.mu.Lock()
+	cycleStart, timed := c.cycleStart[m.Job]
+	delete(c.cycleStart, m.Job)
 	select {
 	case <-done:
 	default:
@@ -225,6 +232,9 @@ func (c *Client) handleOutput(m *wire.Output) {
 		c.delivered = append(c.delivered, m.Job)
 	}
 	c.mu.Unlock()
+	if timed {
+		c.cfg.Obs.ObserveCycle(cycleStart)
+	}
 	select {
 	case c.arrivals <- struct{}{}:
 	default:

@@ -21,6 +21,7 @@ import (
 	"shadowedit/internal/env"
 	"shadowedit/internal/naming"
 	"shadowedit/internal/netsim"
+	"shadowedit/internal/obs"
 	"shadowedit/internal/server"
 	"shadowedit/internal/wire"
 	"shadowedit/internal/workload"
@@ -74,16 +75,30 @@ func (c ServerBenchConfig) withDefaults() ServerBenchConfig {
 // ServerBenchResult is one benchmark run's measurements, serialized into
 // BENCH_server.json.
 type ServerBenchResult struct {
-	Label          string  `json:"label,omitempty"`
-	Transport      string  `json:"transport"`
-	Sessions       int     `json:"sessions"`
-	CyclesPerSess  int     `json:"cycles_per_session"`
-	TotalCycles    int     `json:"total_cycles"`
-	FileSize       int     `json:"file_size_bytes"`
-	ElapsedSec     float64 `json:"elapsed_sec"`
-	CyclesPerSec   float64 `json:"cycles_per_sec"`
-	P50Ms          float64 `json:"p50_ms"`
-	P99Ms          float64 `json:"p99_ms"`
+	Label         string  `json:"label,omitempty"`
+	Transport     string  `json:"transport"`
+	Sessions      int     `json:"sessions"`
+	CyclesPerSess int     `json:"cycles_per_session"`
+	TotalCycles   int     `json:"total_cycles"`
+	FileSize      int     `json:"file_size_bytes"`
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	CyclesPerSec  float64 `json:"cycles_per_sec"`
+	P50Ms         float64 `json:"p50_ms"`
+	P90Ms         float64 `json:"p90_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	// Server-side leg percentiles, from the obs latency histograms the
+	// run's Observer recorded (submit→ack and job queue→complete).
+	SubmitAckP50Ms float64 `json:"submit_ack_p50_ms"`
+	SubmitAckP99Ms float64 `json:"submit_ack_p99_ms"`
+	JobP50Ms       float64 `json:"job_p50_ms"`
+	JobP99Ms       float64 `json:"job_p99_ms"`
+	// Virtual-time cycle percentiles, netsim transport only: a separate
+	// deterministic pass replays each session's exact workload on its own
+	// simulated network, stamping cycles with the workstation's virtual
+	// clock — so these fields are byte-identical across repeated runs.
+	VirtualP50Ms   float64 `json:"p50_virtual_ms,omitempty"`
+	VirtualP90Ms   float64 `json:"p90_virtual_ms,omitempty"`
+	VirtualP99Ms   float64 `json:"p99_virtual_ms,omitempty"`
 	AllocsPerCycle float64 `json:"allocs_per_cycle"`
 	CacheHits      int64   `json:"cache_hits"`
 	CacheMisses    int64   `json:"cache_misses"`
@@ -95,8 +110,12 @@ type ServerBenchResult struct {
 
 // String renders the one-line summary the benchmark prints.
 func (r ServerBenchResult) String() string {
-	return fmt.Sprintf("%s: %d sessions x %d cycles: %.1f cycles/sec (p50 %.2fms, p99 %.2fms, %.0f allocs/cycle)",
-		r.Transport, r.Sessions, r.CyclesPerSess, r.CyclesPerSec, r.P50Ms, r.P99Ms, r.AllocsPerCycle)
+	s := fmt.Sprintf("%s: %d sessions x %d cycles: %.1f cycles/sec (p50 %.2fms, p90 %.2fms, p99 %.2fms, %.0f allocs/cycle; submit-ack p99 %.3fms, job p99 %.2fms)",
+		r.Transport, r.Sessions, r.CyclesPerSess, r.CyclesPerSec, r.P50Ms, r.P90Ms, r.P99Ms, r.AllocsPerCycle, r.SubmitAckP99Ms, r.JobP99Ms)
+	if r.VirtualP99Ms > 0 {
+		s += fmt.Sprintf(" [virtual p50 %.2fms, p90 %.2fms, p99 %.2fms]", r.VirtualP50Ms, r.VirtualP90Ms, r.VirtualP99Ms)
+	}
+	return s
 }
 
 // benchTransport hides the difference between loopback TCP and netsim: it
@@ -167,6 +186,7 @@ func RunServerBench(cfg ServerBenchConfig) (ServerBenchResult, error) {
 
 	scfg := server.Defaults("bench")
 	scfg.MaxConcurrentJobs = cfg.Jobs
+	scfg.Obs = obs.New(nil, nil)
 	srv := server.New(scfg)
 	go func() { _ = srv.Serve(tr.acceptor) }()
 	defer srv.Close()
@@ -292,7 +312,9 @@ func RunServerBench(cfg ServerBenchConfig) (ServerBenchResult, error) {
 
 	cstats := srv.Cache().Stats()
 	issued, deferred := srv.FlowStats()
-	return ServerBenchResult{
+	ackSnap := scfg.Obs.SubmitAck.Snapshot()
+	jobSnap := scfg.Obs.JobLifetime.Snapshot()
+	res := ServerBenchResult{
 		Transport:      cfg.Transport,
 		Sessions:       cfg.Sessions,
 		CyclesPerSess:  cfg.Cycles,
@@ -301,7 +323,12 @@ func RunServerBench(cfg ServerBenchConfig) (ServerBenchResult, error) {
 		ElapsedSec:     elapsed.Seconds(),
 		CyclesPerSec:   float64(total) / elapsed.Seconds(),
 		P50Ms:          pct(0.50),
+		P90Ms:          pct(0.90),
 		P99Ms:          pct(0.99),
+		SubmitAckP50Ms: ms(ackSnap.Quantile(0.50)),
+		SubmitAckP99Ms: ms(ackSnap.Quantile(0.99)),
+		JobP50Ms:       ms(jobSnap.Quantile(0.50)),
+		JobP99Ms:       ms(jobSnap.Quantile(0.99)),
 		AllocsPerCycle: float64(ms1.Mallocs-ms0.Mallocs) / float64(max(total, 1)),
 		CacheHits:      cstats.Hits,
 		CacheMisses:    cstats.Misses,
@@ -309,5 +336,118 @@ func RunServerBench(cfg ServerBenchConfig) (ServerBenchResult, error) {
 		PullsIssued:    issued,
 		PullsDeferred:  deferred,
 		GoMaxProcs:     runtime.GOMAXPROCS(0),
-	}, nil
+	}
+	if cfg.Transport == "netsim" {
+		vsnap, err := runVirtualPass(cfg)
+		if err != nil {
+			return ServerBenchResult{}, fmt.Errorf("serverbench: virtual pass: %w", err)
+		}
+		res.VirtualP50Ms = ms(vsnap.Quantile(0.50))
+		res.VirtualP90Ms = ms(vsnap.Quantile(0.90))
+		res.VirtualP99Ms = ms(vsnap.Quantile(0.99))
+	}
+	return res, nil
+}
+
+// ms converts a duration to float milliseconds for the JSON schema.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// runVirtualPass measures cycle latency in *virtual* time, deterministically.
+// The concurrent wall-clock run cannot yield reproducible virtual latencies:
+// all sessions share the server host's clock, so goroutine interleaving
+// shifts which arrival advances it. Instead each session's exact workload
+// (same generator seed, same prime + modify sequence) is replayed alone on a
+// fresh simulated network whose clocks only this session drives; cycles are
+// stamped with the workstation's virtual Now. The per-session histograms
+// merge into one distribution, so repeated runs are byte-identical.
+func runVirtualPass(cfg ServerBenchConfig) (obs.HistogramSnapshot, error) {
+	var merged obs.HistogramSnapshot
+	for i := 0; i < cfg.Sessions; i++ {
+		snap, err := runVirtualSession(cfg, i)
+		if err != nil {
+			return merged, fmt.Errorf("session %d: %w", i, err)
+		}
+		merged.Merge(&snap)
+	}
+	return merged, nil
+}
+
+// runVirtualSession replays one session's workload on its own network and
+// returns its virtual cycle-latency histogram.
+func runVirtualSession(cfg ServerBenchConfig, i int) (obs.HistogramSnapshot, error) {
+	fail := func(err error) (obs.HistogramSnapshot, error) { return obs.HistogramSnapshot{}, err }
+	nw := netsim.New()
+	serverHost := nw.Host("super")
+	ws := nw.Host(fmt.Sprintf("ws%d", i))
+	nw.Connect(ws, serverHost, netsim.LAN)
+	lst, err := serverHost.Listen(1)
+	if err != nil {
+		return fail(err)
+	}
+	defer lst.Close()
+
+	scfg := server.Defaults("bench")
+	scfg.MaxConcurrentJobs = cfg.Jobs
+	scfg.Clock = serverHost
+	srv := server.New(scfg)
+	go func() { _ = srv.Serve(server.AcceptorFunc(func() (wire.Conn, error) { return lst.Accept() })) }()
+	defer srv.Close()
+
+	universe := naming.NewUniverse("bench")
+	host := fmt.Sprintf("ws%d", i)
+	user := fmt.Sprintf("u%d", i)
+	universe.AddHost(host)
+	dataPath := fmt.Sprintf("/u/%s/data.dat", user)
+	jobPath := fmt.Sprintf("/u/%s/run.job", user)
+	gen := workload.NewGenerator(cfg.Seed + int64(i))
+	content := gen.File(cfg.FileSize)
+	if err := universe.WriteFile(host, jobPath, []byte("checksum data.dat\n")); err != nil {
+		return fail(err)
+	}
+	if err := universe.WriteFile(host, dataPath, content); err != nil {
+		return fail(err)
+	}
+	conn, err := ws.Dial("super", 1)
+	if err != nil {
+		return fail(err)
+	}
+	cl, err := client.Connect(context.Background(), conn, client.Config{
+		User:     user,
+		Universe: universe,
+		Host:     host,
+		Env:      env.Default(user),
+		Clock:    ws,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	defer cl.Close()
+
+	// Prime exactly like the wall run, so the measured cycles see the same
+	// steady-state delta traffic.
+	job, err := cl.Submit(context.Background(), jobPath, []string{dataPath}, client.SubmitOptions{})
+	if err != nil {
+		return fail(fmt.Errorf("prime submit: %w", err))
+	}
+	if _, err := cl.Wait(context.Background(), job); err != nil {
+		return fail(fmt.Errorf("prime wait: %w", err))
+	}
+
+	var h obs.Histogram
+	for cyc := 0; cyc < cfg.Cycles; cyc++ {
+		content = gen.Modify(content, cfg.EditPercent, workload.EditReplace)
+		if err := universe.WriteFile(host, dataPath, content); err != nil {
+			return fail(err)
+		}
+		t0 := ws.Now()
+		job, err := cl.Submit(context.Background(), jobPath, []string{dataPath}, client.SubmitOptions{})
+		if err != nil {
+			return fail(fmt.Errorf("cycle %d submit: %w", cyc, err))
+		}
+		if _, err := cl.Wait(context.Background(), job); err != nil {
+			return fail(fmt.Errorf("cycle %d wait: %w", cyc, err))
+		}
+		h.Observe(ws.Now() - t0)
+	}
+	return h.Snapshot(), nil
 }

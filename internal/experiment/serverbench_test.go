@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// TestVirtualPassDeterministic: the netsim virtual-latency pass must be
+// byte-identical run over run — that is the whole point of replaying each
+// session alone on its own simulated network.
+func TestVirtualPassDeterministic(t *testing.T) {
+	cfg := ServerBenchConfig{
+		Sessions:  2,
+		Cycles:    3,
+		FileSize:  4 * 1024,
+		Transport: "netsim",
+	}.withDefaults()
+
+	a, err := runVirtualPass(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runVirtualPass(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Count != uint64(cfg.Sessions*cfg.Cycles) {
+		t.Fatalf("virtual pass count = %d, want %d", a.Count, cfg.Sessions*cfg.Cycles)
+	}
+	if a.Count != b.Count || a.Sum != b.Sum || a.Counts != b.Counts {
+		t.Fatalf("virtual pass not deterministic:\n  run 1: count=%d sum=%d\n  run 2: count=%d sum=%d",
+			a.Count, a.Sum, b.Count, b.Sum)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Fatalf("q%.2f differs between runs: %v vs %v", q, a.Quantile(q), b.Quantile(q))
+		}
+	}
+	if a.Quantile(0.5) <= 0 {
+		t.Fatalf("virtual p50 = %v, want > 0 (simulated links have latency)", a.Quantile(0.5))
+	}
+}
+
+// TestServerBenchNetsimEmitsVirtualPercentiles: a netsim bench run must
+// populate the deterministic virtual percentile fields alongside the
+// wall-clock ones.
+func TestServerBenchNetsimEmitsVirtualPercentiles(t *testing.T) {
+	res, err := RunServerBench(ServerBenchConfig{
+		Sessions:  2,
+		Cycles:    3,
+		FileSize:  4 * 1024,
+		Transport: "netsim",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VirtualP50Ms <= 0 || res.VirtualP90Ms <= 0 || res.VirtualP99Ms <= 0 {
+		t.Fatalf("virtual percentiles missing: %+v", res)
+	}
+	if res.VirtualP50Ms > res.VirtualP99Ms {
+		t.Fatalf("virtual p50 %v > p99 %v", res.VirtualP50Ms, res.VirtualP99Ms)
+	}
+	if res.P50Ms <= 0 || res.P90Ms <= 0 || res.P99Ms <= 0 {
+		t.Fatalf("wall percentiles missing: %+v", res)
+	}
+	if res.SubmitAckP50Ms < 0 || res.JobP50Ms < 0 {
+		t.Fatalf("server-side histograms missing: %+v", res)
+	}
+}

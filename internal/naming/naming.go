@@ -316,6 +316,9 @@ type Directory struct {
 	mu      sync.Mutex
 	domains map[string]map[string]ShadowID
 	next    ShadowID
+	// refs is the reverse mapping, indexed by ShadowID-1 (ids are allocated
+	// sequentially from 1); it lets operator views name cached entries.
+	refs []wire.FileRef
 }
 
 // NewDirectory returns an empty directory.
@@ -350,7 +353,19 @@ func (d *Directory) Intern(ref wire.FileRef) ShadowID {
 	}
 	d.next++
 	dom[ref.FileID] = d.next
+	d.refs = append(d.refs, ref)
 	return d.next
+}
+
+// RefOf returns the file reference a shadow id was interned for — the
+// reverse of Intern, used when presenting cache contents to operators.
+func (d *Directory) RefOf(id ShadowID) (wire.FileRef, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id < 1 || int(id) > len(d.refs) {
+		return wire.FileRef{}, false
+	}
+	return d.refs[id-1], true
 }
 
 // Domains lists the known domain ids, sorted.

@@ -16,6 +16,17 @@
 // protocols therefore accumulate exactly the round trips and transmission
 // times they would on the real link, while wall-clock time stays in
 // microseconds.
+//
+// Determinism is the load-bearing property: clocks advance only on
+// simulated work, and fault injection draws from a seeded per-link stream
+// evaluated at virtual send times, so a run is a pure function of its
+// configuration and seed. That is what lets the figure harness assert
+// byte-identical sweeps, the chaos gauntlet replay failures exactly, and
+// the server benchmark report virtual-time latency percentiles that do not
+// wobble with goroutine scheduling (see OBSERVABILITY.md). The one caveat:
+// a host's clock is shared by everything that host does, so *concurrent*
+// sessions against one server host see interleaving-dependent virtual
+// times — deterministic measurements replay each session alone.
 package netsim
 
 import (

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"log/slog"
 
 	"shadowedit/internal/cache"
 	"shadowedit/internal/core"
@@ -70,8 +71,16 @@ func (s *Server) maybeSchedule(j *job) {
 	}
 	j.state = wire.JobQueued
 	j.detail = "waiting for a processor"
+	if s.cfg.Obs != nil && !j.queuedStamped {
+		j.queuedAt = s.cfg.Obs.Now()
+		j.queuedStamped = true
+	}
 	j.mu.Unlock()
 
+	if s.cfg.Obs.LogEnabled(slog.LevelDebug) {
+		s.cfg.Obs.Log(slog.LevelDebug, "job runnable",
+			slog.Uint64("job", j.id), slog.String("user", j.owner.user))
+	}
 	if err := s.pool.Submit(func() { s.runJob(j) }); err != nil {
 		j.setState(wire.JobFailed, "server shutting down")
 	}
@@ -105,8 +114,18 @@ func (s *Server) runJob(j *job) {
 	if res.ExitCode != 0 {
 		j.detail = fmt.Sprintf("exit %d (errors), %d output bytes", res.ExitCode, len(res.Stdout))
 	}
+	queuedAt, stamped := j.queuedAt, j.queuedStamped
 	j.mu.Unlock()
+	if stamped {
+		s.cfg.Obs.ObserveJobLifetime(queuedAt)
+	}
 	s.logf("job %d: done (exit %d, %d output bytes, %v cpu)", j.id, res.ExitCode, len(res.Stdout), res.CPUTime)
+	if s.cfg.Obs.LogEnabled(slog.LevelInfo) {
+		s.cfg.Obs.Log(slog.LevelInfo, "job done",
+			slog.Uint64("job", j.id), slog.String("user", j.owner.user),
+			slog.Int("exit", int(res.ExitCode)), slog.Int("stdout_bytes", len(res.Stdout)),
+			slog.Duration("cpu", res.CPUTime))
+	}
 
 	s.deliverOutput(j)
 
@@ -236,23 +255,90 @@ func (s *Server) repullPending(dead *session, pending []cache.PendingFetch) {
 			continue
 		}
 		key := p.Ref.String()
-		s.waitMu.Lock()
-		var target *session
-		for _, j := range s.waiters[key] {
-			j.mu.Lock()
-			_, waiting := j.waiting[key]
-			sess := j.sess
-			j.mu.Unlock()
-			if waiting && sess != nil && sess != dead && !sess.dead.Load() {
-				target = sess
+		tried := map[uint64]bool{dead.id: true}
+		for {
+			target, owners := s.repullTarget(key, tried)
+			if target == nil {
+				// Every waiter's submitting session is gone too: a
+				// job outlives its connection, and a re-attached
+				// client holds a session this fetch never saw.
+				// Without this fallback the interleaving "new
+				// session's hello coalesces on the old session's
+				// flight, then the old session dies" strands the job
+				// in fetching forever — the released flight would be
+				// dropped on the floor because only stale j.sess
+				// pointers were consulted.
+				target = s.liveSessionOf(owners, tried)
+			}
+			if target == nil {
+				// No live session for any waiter: the fetch is
+				// dropped here, and the owner's next hello re-pulls
+				// it (repullWaitingInputs).
 				break
 			}
-		}
-		s.waitMu.Unlock()
-		if target != nil {
-			_ = target.pullFile(p.Ref, p.Want)
+			if target.pullFile(p.Ref, p.Want) == nil {
+				break
+			}
+			// The chosen session died between being picked and the
+			// send. Its own ReleaseOwner pass may already have run and
+			// missed the flight our pull just registered on it, so
+			// undo that registration ourselves and try the next
+			// candidate.
+			tried[target.id] = true
+			s.flights.Release(id, target.id)
 		}
 	}
+}
+
+// repullTarget scans the jobs waiting on key for one whose submitting
+// session is still live (and not in skip). When none is, it returns the
+// waiters' owner identities so the caller can fall back to any live session
+// of the same client.
+func (s *Server) repullTarget(key string, skip map[uint64]bool) (*session, []identity) {
+	s.waitMu.Lock()
+	defer s.waitMu.Unlock()
+	var owners []identity
+	for _, j := range s.waiters[key] {
+		j.mu.Lock()
+		_, waiting := j.waiting[key]
+		sess := j.sess
+		owner := j.owner
+		j.mu.Unlock()
+		if !waiting {
+			continue
+		}
+		if sess != nil && !skip[sess.id] && !sess.dead.Load() {
+			return sess, nil
+		}
+		owners = append(owners, owner)
+	}
+	return nil, owners
+}
+
+// liveSessionOf returns the newest live session belonging to one of the
+// given identities, excluding the skip set. Identity reads share deliverMu
+// with handleHello's registration, so a session that has said hello is
+// visible here.
+func (s *Server) liveSessionOf(owners []identity, skip map[uint64]bool) *session {
+	if len(owners) == 0 {
+		return nil
+	}
+	want := make(map[identity]bool, len(owners))
+	for _, o := range owners {
+		want[o] = true
+	}
+	s.deliverMu.Lock()
+	defer s.deliverMu.Unlock()
+	var target *session
+	for _, sess := range s.sessions.snapshot() {
+		if skip[sess.id] || sess.dead.Load() || !want[sess.identity()] {
+			continue
+		}
+		if target == nil || sess.id > target.id {
+			target = sess
+		}
+	}
+	return target
 }
 
 // sendHeld transmits previously held outputs to a freshly identified

@@ -9,6 +9,14 @@
 // indexed by file so an arrival feeds exactly the jobs that want it, and
 // each session writes through its own pipelined writer goroutine — no
 // global mutex sits on the message hot path.
+//
+// Observability is layered on without touching that property: when
+// Config.Obs carries an internal/obs Observer, the server records
+// submit→ack, pull→arrival and job queue→complete latency histograms and
+// emits structured per-session/per-file events; with Obs nil every
+// instrumentation point is a single pointer test. The Sessions, JobCounts
+// and Observer accessors feed the shadowd admin endpoint (/sessionz,
+// /metrics) without exposing session internals.
 package server
 
 import (
@@ -18,6 +26,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"shadowedit/internal/cache"
 	"shadowedit/internal/core"
@@ -25,6 +34,7 @@ import (
 	"shadowedit/internal/jobs"
 	"shadowedit/internal/metrics"
 	"shadowedit/internal/naming"
+	"shadowedit/internal/obs"
 	"shadowedit/internal/wire"
 )
 
@@ -85,6 +95,11 @@ type Config struct {
 	// (sessions, pulls, transfers, job transitions) — the operational
 	// log a daemon writes. Nil disables logging.
 	Logf func(format string, args ...any)
+	// Obs, when set, records latency histograms (submit→ack,
+	// pull→arrival, job queue→complete) and structured per-session
+	// events. Nil keeps every instrumentation point down to one pointer
+	// test with no allocation — hot paths stay as fast as before.
+	Obs *obs.Observer
 }
 
 // Defaults returns a production-shaped configuration.
@@ -321,6 +336,66 @@ func (s *Server) Load() (queued, running int) { return s.pool.Load() }
 // SessionCount returns the number of live sessions from an atomic counter.
 func (s *Server) SessionCount() int { return s.sessions.len() }
 
+// Observer returns the server's observability configuration (nil when
+// Config.Obs was not set) — the admin endpoint renders its histograms.
+func (s *Server) Observer() *obs.Observer { return s.cfg.Obs }
+
+// SessionInfo is one live session's admin-visible state (/sessionz).
+type SessionInfo struct {
+	// ID is the server-assigned session id.
+	ID uint64
+	// User, ClientHost and Domain identify the client (empty until its
+	// HELLO arrives).
+	User, ClientHost, Domain string
+	// PullsInFlight counts file retrievals this session has issued whose
+	// content has not arrived yet.
+	PullsInFlight int
+	// DeferredNotifies counts notifies whose pulls the pull policy
+	// postponed.
+	DeferredNotifies int
+	// QueuedWrites is the depth of the session's outbound pipeline.
+	QueuedWrites int
+}
+
+// Sessions returns a point-in-time view of every attached session, sorted
+// by id. Identity fields are read under the same lock the hello handler
+// writes them under, so a concurrent registration is seen whole or not at
+// all.
+func (s *Server) Sessions() []SessionInfo {
+	live := s.sessions.snapshot()
+	out := make([]SessionInfo, 0, len(live))
+	for _, ss := range live {
+		info := SessionInfo{ID: ss.id, QueuedWrites: len(ss.out)}
+		s.deliverMu.Lock()
+		info.User, info.ClientHost, info.Domain = ss.user, ss.clientHost, ss.domain
+		s.deliverMu.Unlock()
+		ss.mu.Lock()
+		info.PullsInFlight = len(ss.pulled)
+		info.DeferredNotifies = len(ss.deferred)
+		ss.mu.Unlock()
+		out = append(out, info)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// JobCounts tallies every submitted job by lifecycle state (/sessionz and
+// /healthz reporting).
+func (s *Server) JobCounts() map[wire.JobState]int {
+	counts := make(map[wire.JobState]int)
+	s.jobs.forEach(func(j *job) {
+		j.mu.Lock()
+		state := j.state
+		j.mu.Unlock()
+		counts[state]++
+	})
+	return counts
+}
+
+// InFlightFetches reports how many coalesced file retrievals are currently
+// outstanding across all sessions.
+func (s *Server) InFlightFetches() int { return s.flights.Len() }
+
 // Acceptor yields inbound protocol connections; it abstracts the transport
 // (netsim listener, TCP listener).
 type Acceptor interface {
@@ -440,6 +515,11 @@ type job struct {
 	byRef    map[string]string // ref key -> input name
 	snapshot map[string][]byte // input name -> content
 	result   jobs.Result
+	// queuedAt stamps when the job became runnable (inputs all in hand),
+	// feeding the queue→complete histogram. Stamped at most once, and only
+	// when observability is on.
+	queuedAt      time.Duration
+	queuedStamped bool
 	// lastFullStdout holds the most recent full stdout so re-sends and
 	// reverse-shadow bases are available after delivery.
 	delivered bool

@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,6 +57,9 @@ type session struct {
 	// delta would look stale on arrival and trigger a wasteful full
 	// retransmission).
 	pulled map[string]uint64
+	// pulledAt stamps when each in-flight pull was issued, feeding the
+	// pull→arrival histogram. Only populated when observability is on.
+	pulledAt map[string]time.Duration
 	// outPrev maps script checksum -> last acknowledged delivered stdout,
 	// the base for reverse shadow processing.
 	outPrev map[uint32][]byte
@@ -82,6 +86,7 @@ func newSession(srv *Server, conn wire.Conn, id uint64) *session {
 		id:         id,
 		deferred:   make(map[string]*wire.Notify),
 		pulled:     make(map[string]uint64),
+		pulledAt:   make(map[string]time.Duration),
 		outPrev:    make(map[uint32][]byte),
 		out:        make(chan outbound, outQueueDepth),
 		quit:       make(chan struct{}),
@@ -109,6 +114,11 @@ func (ss *session) run() {
 	go ss.writer()
 	defer ss.srv.dropSession(ss)
 	defer ss.shutdownWriter()
+	// A session whose receive loop has exited can never converse again,
+	// even if its writer never saw a send fail. Mark it dead first
+	// (deferred last) so concurrent re-homing — repullPending choosing a
+	// session for an orphaned fetch — never picks this one.
+	defer ss.dead.Store(true)
 	for {
 		msg, err := wire.Recv(ss.conn)
 		if err != nil {
@@ -393,10 +403,18 @@ func (ss *session) pullFile(ref wire.FileRef, want uint64) error {
 		return nil
 	}
 	ss.pulled[key] = want
+	if ss.srv.cfg.Obs != nil {
+		ss.pulledAt[key] = ss.srv.cfg.Obs.Now()
+	}
 	delete(ss.deferred, key)
 	ss.mu.Unlock()
 	ss.srv.pullsIssued.Add(1)
 	ss.srv.logf("session %d: pull %s v%d (have v%d)", ss.id, ref, want, have)
+	if ss.srv.cfg.Obs.LogEnabled(slog.LevelDebug) {
+		ss.srv.cfg.Obs.Log(slog.LevelDebug, "pull issued",
+			slog.Uint64("session", ss.id), slog.String("file", key),
+			slog.Uint64("want", want), slog.Uint64("have", have))
+	}
 	return ss.send(&wire.Pull{File: ref, HaveVersion: have, WantVersion: want})
 }
 
@@ -452,6 +470,9 @@ func (ss *session) forcePullFull(ref wire.FileRef, want uint64) error {
 	id := ss.srv.dir.Intern(ref)
 	ss.mu.Lock()
 	ss.pulled[ref.String()] = want
+	if ss.srv.cfg.Obs != nil {
+		ss.pulledAt[ref.String()] = ss.srv.cfg.Obs.Now()
+	}
 	ss.mu.Unlock()
 	ss.srv.flights.Force(id, ref, want, ss.id)
 	ss.srv.pullsIssued.Add(1)
@@ -481,11 +502,25 @@ func (ss *session) storeArrived(ref wire.FileRef, id naming.ShadowID, version ui
 		return err
 	}
 	ss.srv.flights.Done(id, version)
+	key := ref.String()
 	ss.mu.Lock()
-	if ss.pulled[ref.String()] <= version {
-		delete(ss.pulled, ref.String())
+	var issuedAt time.Duration
+	var timed bool
+	if ss.pulled[key] <= version {
+		// The arrival satisfies the open pull (if any); close its timing.
+		issuedAt, timed = ss.pulledAt[key]
+		delete(ss.pulled, key)
+		delete(ss.pulledAt, key)
 	}
 	ss.mu.Unlock()
+	if timed {
+		ss.srv.cfg.Obs.ObservePullArrival(issuedAt)
+	}
+	if ss.srv.cfg.Obs.LogEnabled(slog.LevelDebug) {
+		ss.srv.cfg.Obs.Log(slog.LevelDebug, "file arrived",
+			slog.Uint64("session", ss.id), slog.String("file", key),
+			slog.Uint64("version", version), slog.Int("bytes", len(content)))
+	}
 	// Feed jobs before acknowledging: the ack can fail (the client may
 	// have disconnected right after sending), but the content is here
 	// and jobs waiting for it must proceed regardless.
@@ -494,6 +529,7 @@ func (ss *session) storeArrived(ref wire.FileRef, id naming.ShadowID, version ui
 }
 
 func (ss *session) handleSubmit(m *wire.Submit) error {
+	ackStart := ss.srv.cfg.Obs.Now()
 	ss.srv.counters.AddControl(len(m.Script))
 	cmds, err := jobs.ParseScript(m.Script)
 	if err != nil {
@@ -556,6 +592,12 @@ func (ss *session) handleSubmit(m *wire.Submit) error {
 
 	if err := ss.send(&wire.SubmitOK{Job: j.id}); err != nil {
 		return err
+	}
+	ss.srv.cfg.Obs.ObserveSubmitAck(ackStart)
+	if ss.srv.cfg.Obs.LogEnabled(slog.LevelInfo) {
+		ss.srv.cfg.Obs.Log(slog.LevelInfo, "job submitted",
+			slog.Uint64("session", ss.id), slog.String("user", ss.user),
+			slog.Uint64("job", j.id), slog.Int("inputs", len(m.Inputs)))
 	}
 
 	// Gather inputs: snapshot what the cache has, pull the rest on
