@@ -14,6 +14,7 @@
 //	shadow-bench -fig load       Multi-client throughput vs job slots
 //	shadow-bench -fig overlap    Background transfer hidden behind editing
 //	shadow-bench -fig server     Multi-session server throughput (wall clock)
+//	shadow-bench -fig trace      Tracing overhead: server figure twice, off vs on
 //	shadow-bench -fig chaos      Fault-injection gauntlet (drops/spikes/flaps)
 //	shadow-bench -fig all        Everything
 //
@@ -59,6 +60,8 @@ func run(args []string, w io.Writer) error {
 		transport = fs.String("transport", "tcp", "server figure: tcp or netsim")
 		benchOut  = fs.String("bench-out", "BENCH_server.json", "server figure: JSON results file (appended; empty to skip)")
 		label     = fs.String("label", "", "server figure: label recorded with the run")
+		traceOn   = fs.Bool("trace", false, "server figure: run with full cycle tracing on")
+		chromeOut = fs.String("chrome-out", "", "server/trace figures: write the slowest trace as Chrome trace-event JSON to this path")
 
 		dropRate   = fs.Float64("drop", 0.05, "chaos figure: per-frame drop probability")
 		spikeRate  = fs.Float64("spike", 0.05, "chaos figure: per-frame latency-spike probability")
@@ -77,6 +80,8 @@ func run(args []string, w io.Writer) error {
 		FileSize:  *fileSize,
 		Transport: *transport,
 		Seed:      *seed,
+		Tracer:    *traceOn,
+		ChromeOut: *chromeOut,
 	}
 	runner.benchOut = *benchOut
 	runner.label = *label
@@ -115,6 +120,8 @@ func run(args []string, w io.Writer) error {
 		return runner.overlap()
 	case "server":
 		return runner.serverBench()
+	case "trace":
+		return runner.traceOverhead()
 	case "chaos":
 		return runner.chaos()
 	case "all":
@@ -259,6 +266,49 @@ func (r *runner) serverBench() error {
 		return nil
 	}
 	if err := appendBenchRun(r.benchOut, res); err != nil {
+		return fmt.Errorf("write %s: %w", r.benchOut, err)
+	}
+	fmt.Fprintf(r.w, "recorded in %s\n", r.benchOut)
+	return nil
+}
+
+// traceOverhead runs the server figure twice — tracing off, then fully on —
+// and reports the throughput cost of distributed cycle tracing. Both runs
+// land in the trajectory file under the labels "trace-off" and "trace-all"
+// so the overhead is auditable run over run.
+func (r *runner) traceOverhead() error {
+	off := r.server
+	off.Tracer = false
+	off.ChromeOut = ""
+	resOff, err := experiment.RunServerBench(off)
+	if err != nil {
+		return err
+	}
+	resOff.Label = "trace-off"
+	fmt.Fprintf(r.w, "trace-off: %s\n", resOff)
+
+	on := r.server
+	on.Tracer = true
+	resOn, err := experiment.RunServerBench(on)
+	if err != nil {
+		return err
+	}
+	resOn.Label = "trace-all"
+	fmt.Fprintf(r.w, "trace-all: %s\n", resOn)
+
+	overhead := 100 * (resOff.CyclesPerSec - resOn.CyclesPerSec) / resOff.CyclesPerSec
+	fmt.Fprintf(r.w, "tracing overhead: %.1f%% throughput (%.1f -> %.1f cycles/sec)\n",
+		overhead, resOff.CyclesPerSec, resOn.CyclesPerSec)
+	if on.ChromeOut != "" {
+		fmt.Fprintf(r.w, "slowest trace exported to %s\n", on.ChromeOut)
+	}
+	if r.benchOut == "" {
+		return nil
+	}
+	if err := appendBenchRun(r.benchOut, resOff); err != nil {
+		return fmt.Errorf("write %s: %w", r.benchOut, err)
+	}
+	if err := appendBenchRun(r.benchOut, resOn); err != nil {
 		return fmt.Errorf("write %s: %w", r.benchOut, err)
 	}
 	fmt.Fprintf(r.w, "recorded in %s\n", r.benchOut)

@@ -7,11 +7,15 @@
 //	shadowd [-addr :4217] [-name super] [-cache 256M] [-cache-policy lru]
 //	        [-pull eager|lazy|load-aware] [-jobs 2] [-compress]
 //	        [-admin :9090] [-log-level info] [-log-format text|json]
+//	        [-trace off|all|N]
 //
 // With -admin set, an operator HTTP endpoint serves /healthz, /metrics
-// (Prometheus text), /cachez, /sessionz and /debug/pprof on that address;
-// see OBSERVABILITY.md for the full reference. -log-level enables
-// structured event logging (slog) at the given level.
+// (Prometheus text), /cachez, /sessionz, /tracez, /flightz and /debug/pprof
+// on that address; see OBSERVABILITY.md for the full reference. -log-level
+// enables structured event logging (slog) at the given level. -trace turns
+// on cycle tracing and the per-session flight recorders: "all" traces every
+// cycle, an integer N samples one cycle in N, "off" (the default) disables
+// both.
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 	shadow "shadowedit"
 	"shadowedit/internal/admin"
 	"shadowedit/internal/obs"
+	"shadowedit/internal/trace"
 )
 
 func main() {
@@ -54,6 +59,7 @@ func run(args []string) error {
 		adminAddr   = fs.String("admin", "", "admin endpoint address (e.g. :9090); empty disables it")
 		logLevel    = fs.String("log-level", "", "structured event log level: debug, info, warn or error; empty disables")
 		logFormat   = fs.String("log-format", "text", "structured event log format: text or json")
+		traceMode   = fs.String("trace", "off", "cycle tracing: off, all, or an integer N to trace one cycle in N")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,6 +104,11 @@ func run(args []string) error {
 		return err
 	}
 	cfg.Obs = obs.New(logger, nil)
+	tracer, err := buildTracer(*traceMode)
+	if err != nil {
+		return err
+	}
+	cfg.Obs.SetTracer(tracer)
 
 	srv := shadow.NewServer(cfg)
 	defer srv.Close()
@@ -121,7 +132,7 @@ func run(args []string) error {
 				log.Printf("shadowd: admin endpoint: %v", serr)
 			}
 		}()
-		log.Printf("shadowd: admin endpoint on %s (/healthz /metrics /cachez /sessionz /debug/pprof)", adminLn.Addr())
+		log.Printf("shadowd: admin endpoint on %s (/healthz /metrics /cachez /sessionz /tracez /flightz /debug/pprof)", adminLn.Addr())
 	}
 
 	// Graceful shutdown: on SIGINT/SIGTERM stop accepting, drain the live
@@ -142,6 +153,11 @@ func run(args []string) error {
 		_ = ln.Close() // then unblock the accept loop
 		snap := srv.Metrics()
 		log.Printf("shadowd: drained; %s; %s; %s", snap, snap.CacheString(), snap.FaultString())
+		if tracer != nil {
+			ts := tracer.Stats()
+			log.Printf("shadowd: tracing: %d minted (%d unsampled), %d completed, %d active, %d evicted; %d spans (%d dropped); %d flight dumps retained",
+				ts.Minted, ts.Unsampled, ts.Completed, ts.Active, ts.Evicted, ts.Spans, ts.DroppedSpans, len(srv.FlightDumps()))
+		}
 	}()
 	err = shadow.ServeTCP(srv, ln)
 	// Closing the listener unblocks ServeTCP before the handler has logged
@@ -152,6 +168,22 @@ func run(args []string) error {
 	default:
 	}
 	return err
+}
+
+// buildTracer interprets -trace: nil (off), trace-everything, or a 1-in-N
+// deterministic sample.
+func buildTracer(mode string) (*trace.Tracer, error) {
+	switch strings.ToLower(mode) {
+	case "", "off", "0":
+		return nil, nil
+	case "all", "1":
+		return trace.New(trace.Config{}), nil
+	}
+	n, err := strconv.Atoi(mode)
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("shadowd: -trace must be off, all, or a positive sample rate (got %q)", mode)
+	}
+	return trace.New(trace.Config{Sample: n}), nil
 }
 
 // buildLogger constructs the structured event logger, or nil when logging

@@ -10,12 +10,19 @@
 //     pressure (bytes vs. capacity, evictions, rejected puts)
 //   - /sessionz  — attached sessions with in-flight pulls, deferred
 //     notifies and outbound queue depth, plus job lifecycle counts
+//   - /tracez    — completed cycle traces, slowest first; ?id=N shows one
+//     trace's span timeline, and ?id=N&format=chrome exports it as Chrome
+//     trace-event JSON (loadable in Perfetto)
+//   - /flightz   — per-session flight recorders (recent protocol events)
+//     and the dumps retained from sessions that disconnected, faulted, or
+//     had a job fail
 //   - /debug/pprof/* — the standard Go profiler endpoints
 //
-// /cachez and /sessionz render text for eyes and, with ?format=json, JSON
-// for tooling. The package depends only on the server's read-side accessors
-// (Sessions, JobCounts, Metrics, Cache, Directory, Observer), so serving it
-// never perturbs the message hot paths beyond the cost of those snapshots.
+// /cachez, /sessionz, /tracez and /flightz render text for eyes and, with
+// ?format=json, JSON for tooling. The package depends only on the server's
+// read-side accessors (Sessions, JobCounts, Metrics, Cache, Directory,
+// Observer, SessionFlights, FlightDumps), so serving it never perturbs the
+// message hot paths beyond the cost of those snapshots.
 package admin
 
 import (
@@ -24,12 +31,14 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"shadowedit/internal/metrics"
 	"shadowedit/internal/obs"
 	"shadowedit/internal/server"
+	"shadowedit/internal/trace"
 	"shadowedit/internal/wire"
 )
 
@@ -65,6 +74,8 @@ func NewHandler(opts Options) http.Handler {
 	mux.HandleFunc("/metrics", h.metrics)
 	mux.HandleFunc("/cachez", h.cachez)
 	mux.HandleFunc("/sessionz", h.sessionz)
+	mux.HandleFunc("/tracez", h.tracez)
+	mux.HandleFunc("/flightz", h.flightz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -176,20 +187,24 @@ func (h *handler) writeGauges(b *strings.Builder) {
 	}
 }
 
-// writeHistogram renders one obs histogram in Prometheus histogram syntax.
-// Only non-empty buckets get an explicit le line (976 mostly-zero buckets
-// would drown scrapes); cumulative counts stay exact because le values are
-// strictly increasing and +Inf closes the series.
+// The canonical histogram export grid: cumulative counts at every
+// power-of-two bound from 2^12 ns (≈4.1µs) to 2^43 ns (≈2.4h). The bound
+// set is fixed — it does not depend on which buckets hold samples — so
+// every instance emits the same 32 `le` values and an external aggregator
+// can sum the series bucket-by-bucket across a fleet of shadow servers.
+const (
+	histLoExp = 12
+	histHiExp = 43
+)
+
+// writeHistogram renders one obs histogram in Prometheus histogram syntax
+// on the canonical power-of-two grid. The counts are exact (powers of two
+// are octave boundaries of the underlying log-linear histogram), cumulative
+// as the exposition format requires, and +Inf closes the series.
 func writeHistogram(b *strings.Builder, name, help string, s obs.HistogramSnapshot) {
 	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
-	var cum uint64
-	for i, c := range s.Counts {
-		if c == 0 {
-			continue
-		}
-		cum += c
-		_, hi := obs.BucketBounds(i)
-		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, formatSeconds(hi), cum)
+	for _, bk := range s.Pow2Buckets(histLoExp, histHiExp) {
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, formatSeconds(bk.Le), bk.Count)
 	}
 	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
 	fmt.Fprintf(b, "%s_sum %g\n", name, s.Sum.Seconds())
@@ -336,6 +351,190 @@ func (h *handler) sessionz(w http.ResponseWriter, r *http.Request) {
 	}
 	b.WriteString("\n")
 	writeText(w, b.String())
+}
+
+// traceSummary is one /tracez list row.
+type traceSummary struct {
+	ID       uint64 `json:"id"`
+	Name     string `json:"name"`
+	StartNS  int64  `json:"start_ns"`
+	DurNS    int64  `json:"duration_ns"`
+	Spans    int    `json:"spans"`
+	Session  uint64 `json:"session,omitempty"`
+	Job      uint64 `json:"job,omitempty"`
+	RootFile string `json:"file,omitempty"`
+}
+
+// tracezView is /tracez's JSON list shape.
+type tracezView struct {
+	Stats  trace.Stats    `json:"stats"`
+	Traces []traceSummary `json:"traces"`
+}
+
+// tracer returns the tracer the admin surface reads from (nil = off).
+func (h *handler) tracer() *trace.Tracer {
+	if h.obs == nil {
+		return nil
+	}
+	return h.obs.Tracer()
+}
+
+// tracez lists completed cycle traces slowest first (?n bounds the list,
+// default 32). ?id=N renders one trace's span timeline; with &format=chrome
+// it exports Chrome trace-event JSON, with &format=json the raw record.
+func (h *handler) tracez(w http.ResponseWriter, r *http.Request) {
+	tr := h.tracer()
+	if tr == nil {
+		writeText(w, "tracing disabled (start shadowd with -trace, or attach a tracer to the observer)\n")
+		return
+	}
+	if idStr := r.URL.Query().Get("id"); idStr != "" {
+		id, err := strconv.ParseUint(idStr, 10, 64)
+		if err != nil {
+			http.Error(w, "bad trace id: "+idStr, http.StatusBadRequest)
+			return
+		}
+		rec, ok := tr.Lookup(id)
+		if !ok {
+			http.Error(w, fmt.Sprintf("trace %d not found (not completed yet, or evicted)", id), http.StatusNotFound)
+			return
+		}
+		switch r.URL.Query().Get("format") {
+		case "chrome":
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=trace-%d.json", id))
+			_ = trace.WriteChrome(w, rec)
+		case "json":
+			writeJSON(w, rec)
+		default:
+			writeText(w, renderTrace(rec))
+		}
+		return
+	}
+	n := 32
+	if ns := r.URL.Query().Get("n"); ns != "" {
+		if v, err := strconv.Atoi(ns); err == nil {
+			n = v
+		}
+	}
+	recs := tr.Slowest(n)
+	v := tracezView{Stats: tr.Stats(), Traces: make([]traceSummary, 0, len(recs))}
+	for _, rec := range recs {
+		v.Traces = append(v.Traces, summarize(rec))
+	}
+	if wantJSON(r) {
+		writeJSON(w, v)
+		return
+	}
+	var b strings.Builder
+	st := v.Stats
+	fmt.Fprintf(&b, "cycle traces: %d completed, %d active (minted %d, unsampled %d, spans %d, dropped %d, evicted %d)\n",
+		st.Completed, st.Active, st.Minted, st.Unsampled, st.Spans, st.DroppedSpans, st.Evicted)
+	b.WriteString("slowest first; /tracez?id=N for the timeline, &format=chrome for Perfetto\n\n")
+	for _, t := range v.Traces {
+		fmt.Fprintf(&b, "  trace %-6d %-12s %10v  %d spans", t.ID, t.Name, time.Duration(t.DurNS), t.Spans)
+		if t.Job != 0 {
+			fmt.Fprintf(&b, "  job=%d", t.Job)
+		}
+		if t.RootFile != "" {
+			fmt.Fprintf(&b, "  file=%s", t.RootFile)
+		}
+		b.WriteString("\n")
+	}
+	writeText(w, b.String())
+}
+
+// summarize derives a list row from a trace record.
+func summarize(rec trace.Record) traceSummary {
+	start, end := rec.Bounds()
+	s := traceSummary{
+		ID:      rec.ID,
+		Name:    rec.Name(),
+		StartNS: start.Nanoseconds(),
+		DurNS:   (end - start).Nanoseconds(),
+		Spans:   len(rec.Spans),
+	}
+	for _, sp := range rec.Spans {
+		if s.Session == 0 && sp.Session != 0 {
+			s.Session = sp.Session
+		}
+		if s.Job == 0 && sp.Job != 0 {
+			s.Job = sp.Job
+		}
+		if s.RootFile == "" && sp.File != "" {
+			s.RootFile = sp.File
+		}
+	}
+	return s
+}
+
+// renderTrace renders one trace's spans as a text timeline, offsets
+// relative to the trace's earliest start.
+func renderTrace(rec trace.Record) string {
+	start, end := rec.Bounds()
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %d (%s): %d spans, %v\n", rec.ID, rec.Name(), len(rec.Spans), end-start)
+	for _, sp := range rec.Spans {
+		fmt.Fprintf(&b, "  [+%-10v %10v] %-20s", sp.Start-start, sp.End-sp.Start, sp.Name)
+		if sp.Session != 0 {
+			fmt.Fprintf(&b, " session=%d", sp.Session)
+		}
+		if sp.Job != 0 {
+			fmt.Fprintf(&b, " job=%d", sp.Job)
+		}
+		if sp.File != "" {
+			fmt.Fprintf(&b, " file=%s", sp.File)
+		}
+		if sp.Detail != "" {
+			fmt.Fprintf(&b, " (%s)", sp.Detail)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// flightzView is /flightz's JSON shape.
+type flightzView struct {
+	Live  []server.SessionFlight `json:"live"`
+	Dumps []server.FlightDump    `json:"dumps"`
+}
+
+// flightz shows each live session's flight recorder and the dumps retained
+// from sessions that disconnected, faulted, or had a job fail.
+func (h *handler) flightz(w http.ResponseWriter, r *http.Request) {
+	v := flightzView{Live: h.srv.SessionFlights(), Dumps: h.srv.FlightDumps()}
+	if wantJSON(r) {
+		writeJSON(w, v)
+		return
+	}
+	var b strings.Builder
+	if h.tracer() == nil {
+		b.WriteString("flight recorders off (tracing disabled)\n")
+	}
+	fmt.Fprintf(&b, "%d live session recorders, %d retained dumps\n", len(v.Live), len(v.Dumps))
+	for _, f := range v.Live {
+		fmt.Fprintf(&b, "\nsession %d (%s@%s): %d events\n", f.Session, f.User, f.Host, len(f.Events))
+		writeFlightEvents(&b, f.Events)
+	}
+	for _, d := range v.Dumps {
+		fmt.Fprintf(&b, "\ndump: session %d (%s@%s) reason=%q at %v, %d events\n",
+			d.Session, d.User, d.Host, d.Reason, d.At, len(d.Events))
+		writeFlightEvents(&b, d.Events)
+	}
+	writeText(w, b.String())
+}
+
+func writeFlightEvents(b *strings.Builder, events []trace.Event) {
+	for _, e := range events {
+		fmt.Fprintf(b, "  [%10v] %-5s %-14s", time.Duration(e.At), e.Kind, e.Name)
+		if e.Trace != 0 {
+			fmt.Fprintf(b, " trace=%d", e.Trace)
+		}
+		if e.Detail != "" {
+			fmt.Fprintf(b, " (%s)", e.Detail)
+		}
+		b.WriteString("\n")
+	}
 }
 
 func wantJSON(r *http.Request) bool {

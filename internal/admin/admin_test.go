@@ -13,6 +13,7 @@ import (
 
 	"shadowedit/internal/obs"
 	"shadowedit/internal/server"
+	"shadowedit/internal/trace"
 	"shadowedit/internal/wire"
 )
 
@@ -157,6 +158,131 @@ func TestCachezConcurrent(t *testing.T) {
 	}
 	if v.Files[0].File == "" {
 		t.Fatalf("cache entry missing reverse-resolved name: %+v", v.Files[0])
+	}
+}
+
+func TestMetricsCanonicalBuckets(t *testing.T) {
+	srv, h := newTestHandler(t)
+	srv.Observer().SubmitAck.Observe(3 * time.Millisecond)
+
+	_, body, _ := get(t, h, "/metrics")
+	// The export grid is fixed: every instance emits the same 32 le bounds
+	// (2^12..2^43 ns), occupied or not, so fleets aggregate bucket-by-bucket.
+	var bucketLines int
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "shadow_submit_ack_seconds_bucket{") &&
+			!strings.Contains(line, "+Inf") {
+			bucketLines++
+		}
+	}
+	if want := histHiExp - histLoExp + 1; bucketLines != want {
+		t.Fatalf("submit_ack bucket lines = %d, want the fixed grid of %d", bucketLines, want)
+	}
+	// 3ms < 2^22 ns (~4.19ms): that bound and every later one must already
+	// hold the sample, cumulatively.
+	if !strings.Contains(body, "shadow_submit_ack_seconds_bucket{le=\"0.004194304\"} 1") {
+		t.Fatalf("cumulative count missing at the 2^22ns bound:\n%s", body)
+	}
+	if !strings.Contains(body, "shadow_submit_ack_seconds_bucket{le=\"0.002097152\"} 0") {
+		t.Fatalf("bound below the sample should read 0:\n%s", body)
+	}
+}
+
+// newTracedHandler builds a handler over a server whose observer has a
+// tracer attached, plus the observer for minting test traces.
+func newTracedHandler(t *testing.T) (*server.Server, *obs.Observer, http.Handler) {
+	t.Helper()
+	cfg := server.Defaults("admin-trace-test")
+	cfg.Obs = obs.New(nil, nil)
+	cfg.Obs.SetTracer(trace.New(trace.Config{}))
+	srv := server.New(cfg)
+	t.Cleanup(func() { srv.Close() })
+	return srv, cfg.Obs, NewHandler(Options{Server: srv})
+}
+
+func TestTracez(t *testing.T) {
+	_, o, h := newTracedHandler(t)
+
+	// Assemble one completed trace through the observer hooks.
+	root := o.StartTrace("cycle")
+	child := o.StartSpan(root.Context(), "server.pull").SetSession(7).SetFile("d//ws:/a.c").Annotate("immediate")
+	child.Finish()
+	root.SetJob(3).Finish()
+	o.EndTrace(root.Context())
+
+	code, body, _ := get(t, h, "/tracez")
+	if code != http.StatusOK || !strings.Contains(body, "cycle traces: 1 completed") {
+		t.Fatalf("/tracez = %d:\n%s", code, body)
+	}
+	if !strings.Contains(body, "job=3") {
+		t.Fatalf("/tracez list missing job attribution:\n%s", body)
+	}
+
+	id := fmt.Sprintf("%d", root.Trace)
+	code, body, _ = get(t, h, "/tracez?id="+id)
+	if code != http.StatusOK || !strings.Contains(body, "server.pull") || !strings.Contains(body, "(immediate)") {
+		t.Fatalf("/tracez?id = %d:\n%s", code, body)
+	}
+
+	code, body, hdr := get(t, h, "/tracez?id="+id+"&format=chrome")
+	if code != http.StatusOK {
+		t.Fatalf("/tracez chrome = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("chrome export content type = %q", ct)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Tid  uint64 `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &chrome); err != nil {
+		t.Fatalf("chrome export not JSON: %v\n%s", err, body)
+	}
+	if len(chrome.TraceEvents) != 2 || chrome.TraceEvents[0].Ph != "X" {
+		t.Fatalf("chrome export events = %+v", chrome.TraceEvents)
+	}
+
+	code, body, _ = get(t, h, "/tracez?id="+id+"&format=json")
+	if code != http.StatusOK {
+		t.Fatalf("/tracez json = %d", code)
+	}
+	var rec trace.Record
+	if err := json.Unmarshal([]byte(body), &rec); err != nil || len(rec.Spans) != 2 {
+		t.Fatalf("/tracez json record: %v / %+v", err, rec)
+	}
+
+	if code, _, _ := get(t, h, "/tracez?id=999999"); code != http.StatusNotFound {
+		t.Fatalf("unknown trace id = %d, want 404", code)
+	}
+	if code, _, _ := get(t, h, "/tracez?id=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad trace id = %d, want 400", code)
+	}
+}
+
+func TestTracezDisabled(t *testing.T) {
+	_, h := newTestHandler(t)
+	code, body, _ := get(t, h, "/tracez")
+	if code != http.StatusOK || !strings.Contains(body, "tracing disabled") {
+		t.Fatalf("/tracez without tracer = %d:\n%s", code, body)
+	}
+}
+
+func TestFlightz(t *testing.T) {
+	_, _, h := newTracedHandler(t)
+	code, body, _ := get(t, h, "/flightz")
+	if code != http.StatusOK || !strings.Contains(body, "0 live session recorders, 0 retained dumps") {
+		t.Fatalf("/flightz = %d:\n%s", code, body)
+	}
+	code, body, _ = get(t, h, "/flightz?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("/flightz json = %d", code)
+	}
+	var v flightzView
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatalf("/flightz json: %v", err)
 	}
 }
 

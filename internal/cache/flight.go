@@ -32,13 +32,17 @@ type flight struct {
 	ref   wire.FileRef
 	want  uint64
 	owner uint64
+	tc    wire.TraceContext
 }
 
-// PendingFetch is one released in-flight retrieval: the file and the
-// version that was being fetched when its owning session died.
+// PendingFetch is one released in-flight retrieval: the file, the version
+// that was being fetched when its owning session died, and the trace
+// context of the cycle that initiated the fetch — a re-issued pull stays
+// part of the original causal trace.
 type PendingFetch struct {
 	Ref  wire.FileRef
 	Want uint64
+	TC   wire.TraceContext
 }
 
 // NewFlights returns an empty flight table.
@@ -58,27 +62,28 @@ func (f *Flights) shardOf(id naming.ShadowID) *flightShard {
 	return &f.shards[h&(shardCount-1)]
 }
 
-// Begin registers intent to fetch version want of id from session owner.
-// It reports true when the caller should issue the pull; false when a fetch
+// Begin registers intent to fetch version want of id from session owner,
+// attributing the fetch to trace context tc (zero when untraced). It
+// reports true when the caller should issue the pull; false when a fetch
 // covering this version is already in flight and the pull coalesces.
-func (f *Flights) Begin(id naming.ShadowID, ref wire.FileRef, want, owner uint64) bool {
+func (f *Flights) Begin(id naming.ShadowID, ref wire.FileRef, want, owner uint64, tc wire.TraceContext) bool {
 	sh := f.shardOf(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if fl, ok := sh.m[id]; ok && fl.want >= want {
 		return false
 	}
-	sh.m[id] = flight{ref: ref, want: want, owner: owner}
+	sh.m[id] = flight{ref: ref, want: want, owner: owner, tc: tc}
 	return true
 }
 
 // Force unconditionally records a fetch, replacing any in-flight entry —
 // the forced-full-pull path, where the previous flight's answer proved
 // unusable.
-func (f *Flights) Force(id naming.ShadowID, ref wire.FileRef, want, owner uint64) {
+func (f *Flights) Force(id naming.ShadowID, ref wire.FileRef, want, owner uint64, tc wire.TraceContext) {
 	sh := f.shardOf(id)
 	sh.mu.Lock()
-	sh.m[id] = flight{ref: ref, want: want, owner: owner}
+	sh.m[id] = flight{ref: ref, want: want, owner: owner, tc: tc}
 	sh.mu.Unlock()
 }
 
@@ -114,7 +119,7 @@ func (f *Flights) ReleaseOwner(owner uint64) []PendingFetch {
 		sh.mu.Lock()
 		for id, fl := range sh.m {
 			if fl.owner == owner {
-				out = append(out, PendingFetch{Ref: fl.ref, Want: fl.want})
+				out = append(out, PendingFetch{Ref: fl.ref, Want: fl.want, TC: fl.tc})
 				delete(sh.m, id)
 			}
 		}

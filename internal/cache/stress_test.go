@@ -148,16 +148,16 @@ func flightRef(i int) wire.FileRef {
 func TestFlightsBeginCoalesces(t *testing.T) {
 	f := NewFlights()
 	ref := flightRef(0)
-	if !f.Begin(1, ref, 3, 10) {
+	if !f.Begin(1, ref, 3, 10, wire.TraceContext{}) {
 		t.Fatal("first Begin should win")
 	}
-	if f.Begin(1, ref, 3, 11) {
+	if f.Begin(1, ref, 3, 11, wire.TraceContext{}) {
 		t.Fatal("same-version Begin should coalesce")
 	}
-	if f.Begin(1, ref, 2, 11) {
+	if f.Begin(1, ref, 2, 11, wire.TraceContext{}) {
 		t.Fatal("older-version Begin should coalesce behind a newer fetch")
 	}
-	if !f.Begin(1, ref, 5, 11) {
+	if !f.Begin(1, ref, 5, 11, wire.TraceContext{}) {
 		t.Fatal("newer-version Begin should supersede the in-flight fetch")
 	}
 	// An arrival older than the in-flight want leaves the flight open.
@@ -169,7 +169,7 @@ func TestFlightsBeginCoalesces(t *testing.T) {
 	if f.Len() != 0 {
 		t.Fatalf("Len after Done = %d, want 0", f.Len())
 	}
-	if !f.Begin(1, ref, 3, 12) {
+	if !f.Begin(1, ref, 3, 12, wire.TraceContext{}) {
 		t.Fatal("Begin after Done should win again")
 	}
 }
@@ -177,11 +177,11 @@ func TestFlightsBeginCoalesces(t *testing.T) {
 func TestFlightsForceReplaces(t *testing.T) {
 	f := NewFlights()
 	ref := flightRef(1)
-	if !f.Begin(2, ref, 9, 1) {
+	if !f.Begin(2, ref, 9, 1, wire.TraceContext{}) {
 		t.Fatal("Begin should win")
 	}
 	// Force re-homes the fetch at a lower version (the full-repull path).
-	f.Force(2, ref, 1, 2)
+	f.Force(2, ref, 1, 2, wire.TraceContext{})
 	f.Done(2, 1)
 	if f.Len() != 0 {
 		t.Fatalf("Len = %d, want 0: Force should have replaced want", f.Len())
@@ -200,7 +200,7 @@ func TestFlightsConcurrentSingleWinner(t *testing.T) {
 			wg.Add(1)
 			go func(g int) {
 				defer wg.Done()
-				if f.Begin(id, flightRef(round), 1, uint64(g)) {
+				if f.Begin(id, flightRef(round), 1, uint64(g), wire.TraceContext{}) {
 					winners.Add(1)
 				}
 			}(g)
@@ -216,7 +216,7 @@ func TestFlightsReleaseOwner(t *testing.T) {
 	f := NewFlights()
 	for i := 0; i < 10; i++ {
 		owner := uint64(1 + i%2)
-		if !f.Begin(naming.ShadowID(i+1), flightRef(i), uint64(i+1), owner) {
+		if !f.Begin(naming.ShadowID(i+1), flightRef(i), uint64(i+1), owner, wire.TraceContext{}) {
 			t.Fatalf("Begin %d should win", i)
 		}
 	}

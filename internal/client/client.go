@@ -28,6 +28,7 @@ import (
 	"shadowedit/internal/metrics"
 	"shadowedit/internal/naming"
 	"shadowedit/internal/obs"
+	"shadowedit/internal/trace"
 	"shadowedit/internal/vcs"
 	"shadowedit/internal/wire"
 )
@@ -175,14 +176,18 @@ type Client struct {
 	// output, feeding the full-cycle histogram. Populated only when
 	// cfg.Obs is set; presence in the map means "timed".
 	cycleStart map[uint64]time.Duration
-	delivered  []uint64      // job ids delivered but not yet taken by WaitAny
-	arrivals   chan struct{} // signaled on each delivery
-	closed     bool
-	lastErr    error // final error; set when the client finishes
-	lastDrop   error // why the current connection died (supervisor scratch)
-	tagBase    uint64
-	nextTag    uint64
-	rng        *rand.Rand // backoff jitter, guarded by mu
+	// cycleSpan holds each traced cycle's root span until its output is
+	// delivered, keyed by job id like cycleStart. Populated only when the
+	// observer has a tracer and the cycle was sampled.
+	cycleSpan map[uint64]*trace.Span
+	delivered []uint64      // job ids delivered but not yet taken by WaitAny
+	arrivals  chan struct{} // signaled on each delivery
+	closed    bool
+	lastErr   error // final error; set when the client finishes
+	lastDrop  error // why the current connection died (supervisor scratch)
+	tagBase   uint64
+	nextTag   uint64
+	rng       *rand.Rand // backoff jitter, guarded by mu
 
 	done      chan struct{} // closed when the client is permanently finished
 	doneOnce  sync.Once
@@ -211,6 +216,10 @@ type pendingSubmit struct {
 	// submission (a virtual clock legitimately reads 0).
 	cycleStart time.Duration
 	cycleTimed bool
+	// span is the cycle's root trace span (nil when untraced); the read
+	// loop parks it in cycleSpan under the job id so handleOutput can
+	// close the trace on delivery.
+	span *trace.Span
 }
 
 // expand resolves the metadata against a now-known job id.
@@ -280,6 +289,7 @@ func Connect(ctx context.Context, conn wire.Conn, cfg Config) (*Client, error) {
 		jobMeta:    make(map[uint64]jobMeta),
 		jobDone:    make(map[uint64]chan struct{}),
 		cycleStart: make(map[uint64]time.Duration),
+		cycleSpan:  make(map[uint64]*trace.Span),
 		arrivals:   make(chan struct{}, 1),
 		connDown:   make(chan struct{}),
 		connUp:     make(chan struct{}),
@@ -336,8 +346,22 @@ func (c *Client) Environment() env.Environment { return c.cfg.Env }
 // CommitAndNotify registers the current content of the named local file as a
 // new version and notifies the server (the shadow editor's postprocessor
 // calls this at the end of every editing session). Unchanged content sends
-// nothing.
+// nothing. A changed file begins a traced "notify" cycle when tracing is on:
+// the NOTIFY carries the minted context, so the server's pull decision and
+// cache apply join the same causal trace.
 func (c *Client) CommitAndNotify(filePath string) (wire.FileRef, uint64, error) {
+	return c.commitAndNotify(filePath, wire.TraceContext{}, true)
+}
+
+// commitAndNotify is CommitAndNotify with an inherited trace context. A
+// valid tc means the caller (a submit cycle) already owns the trace. With
+// mint set and no inherited context, a changed file mints a standalone
+// "notify" trace for the send, ended immediately — the client's part of a
+// notify-only cycle is over once the NOTIFY is on the wire, and the
+// server's spans append to the completed record when the deployment shares
+// one tracer. Submit passes mint=false: its cycle's sampling decision
+// (root span or nil) covers the notifies it issues.
+func (c *Client) commitAndNotify(filePath string, tc wire.TraceContext, mint bool) (wire.FileRef, uint64, error) {
 	ref, err := c.refFor(filePath)
 	if err != nil {
 		return wire.FileRef{}, 0, err
@@ -350,6 +374,11 @@ func (c *Client) CommitAndNotify(filePath string) (wire.FileRef, uint64, error) 
 	if !changed {
 		return ref, version, nil
 	}
+	var sp *trace.Span
+	if mint && !tc.Valid() {
+		sp = c.cfg.Obs.StartTrace("notify").SetFile(ref.String())
+		tc = sp.Context()
+	}
 	notify := &wire.Notify{
 		File:    ref,
 		Version: version,
@@ -357,7 +386,15 @@ func (c *Client) CommitAndNotify(filePath string) (wire.FileRef, uint64, error) 
 		Sum:     diff.Checksum(content),
 	}
 	c.counters.AddControl(0)
-	if err := c.send(notify); err != nil {
+	err = c.sendTraced(notify, tc)
+	if sp != nil {
+		if err != nil {
+			sp.Annotate("send failed")
+		}
+		sp.Finish()
+		c.cfg.Obs.EndTrace(sp.Context())
+	}
+	if err != nil {
 		return wire.FileRef{}, 0, err
 	}
 	return ref, version, nil
@@ -370,6 +407,21 @@ func (c *Client) CommitAndNotify(filePath string) (wire.FileRef, uint64, error) 
 // idempotency tag, so the job runs exactly once.
 func (c *Client) Submit(ctx context.Context, scriptPath string, dataPaths []string, opts SubmitOptions) (uint64, error) {
 	cycleStart := c.cfg.Obs.Now()
+	// The root span of the whole edit–submit–fetch cycle: minted here,
+	// closed by handleOutput when the job's output is delivered. Retries
+	// reuse it — however many attempts, it is one cycle.
+	root := c.cfg.Obs.StartTrace("cycle")
+	job, err := c.submitRetrying(ctx, scriptPath, dataPaths, opts, cycleStart, root)
+	if err != nil && root != nil {
+		root.Annotate("submit failed: " + err.Error()).Finish()
+		c.cfg.Obs.EndTrace(root.Context())
+	}
+	return job, err
+}
+
+// submitRetrying is Submit's retry loop, split out so the caller can close
+// the cycle trace on terminal failure.
+func (c *Client) submitRetrying(ctx context.Context, scriptPath string, dataPaths []string, opts SubmitOptions, cycleStart time.Duration, root *trace.Span) (uint64, error) {
 	script, err := c.readFile(scriptPath)
 	if err != nil {
 		return 0, fmt.Errorf("client: read script: %w", err)
@@ -379,7 +431,7 @@ func (c *Client) Submit(ctx context.Context, scriptPath string, dataPaths []stri
 		tag = c.newTag()
 	}
 	for attempt := 1; ; attempt++ {
-		job, err := c.submitOnce(ctx, script, dataPaths, opts, tag, cycleStart)
+		job, err := c.submitOnce(ctx, script, dataPaths, opts, tag, cycleStart, root)
 		if err == nil {
 			return job, nil
 		}
@@ -399,14 +451,14 @@ func (c *Client) Submit(ctx context.Context, scriptPath string, dataPaths []stri
 }
 
 // submitOnce performs one submission attempt over the current connection.
-func (c *Client) submitOnce(ctx context.Context, script []byte, dataPaths []string, opts SubmitOptions, tag uint64, cycleStart time.Duration) (uint64, error) {
+func (c *Client) submitOnce(ctx context.Context, script []byte, dataPaths []string, opts SubmitOptions, tag uint64, cycleStart time.Duration, root *trace.Span) (uint64, error) {
 	_, down, err := c.waitConnected(ctx)
 	if err != nil {
 		return 0, err
 	}
 	inputs := make([]wire.JobInput, 0, len(dataPaths))
 	for _, p := range dataPaths {
-		ref, version, err := c.CommitAndNotify(p)
+		ref, version, err := c.commitAndNotify(p, root.Context(), false)
 		if err != nil {
 			if errors.Is(err, ErrDisconnected) && !errors.Is(err, ErrClosed) {
 				c.awaitDown(ctx, down)
@@ -438,11 +490,12 @@ func (c *Client) submitOnce(ctx context.Context, script []byte, dataPaths []stri
 		errorFile:  opts.ErrorFile,
 		cycleStart: cycleStart,
 		cycleTimed: c.cfg.Obs != nil,
+		span:       root,
 	}
 	c.mu.Lock()
 	c.pending = p
 	c.mu.Unlock()
-	reply, err := c.attempt(ctx, req)
+	reply, err := c.attempt(ctx, req, root.Context())
 	c.mu.Lock()
 	c.pending = nil
 	c.mu.Unlock()
@@ -466,6 +519,11 @@ func (c *Client) submitOnce(ctx context.Context, script []byte, dataPaths []stri
 	if p.cycleTimed {
 		if _, stamped := c.cycleStart[ok.Job]; !stamped {
 			c.cycleStart[ok.Job] = p.cycleStart
+		}
+	}
+	if root != nil {
+		if _, parked := c.cycleSpan[ok.Job]; !parked {
+			c.cycleSpan[ok.Job] = root.SetJob(ok.Job)
 		}
 	}
 	c.mu.Unlock()
@@ -607,7 +665,12 @@ func (c *Client) Fetch(ctx context.Context, job uint64) (env.JobRecord, error) {
 		if rec, ok := c.jobdb.Get(c.serverName, job); ok && rec.Delivered {
 			return rec, nil
 		}
-		if err := c.send(&wire.OutputFullReq{Job: job}); err != nil {
+		// The explicit fetch is part of the cycle: if its root span is
+		// still open, the request carries the cycle's context.
+		c.mu.Lock()
+		root := c.cycleSpan[job]
+		c.mu.Unlock()
+		if err := c.sendTraced(&wire.OutputFullReq{Job: job}, root.Context()); err != nil {
 			return env.JobRecord{}, err
 		}
 	}
@@ -675,6 +738,12 @@ func (c *Client) finish(err error) {
 // failures are tagged ErrDisconnected — the session layer's cue that a
 // retry (after reconnection) may succeed.
 func (c *Client) send(m wire.Message) error {
+	return c.sendTraced(m, wire.TraceContext{})
+}
+
+// sendTraced is send with a trace context stamped into the frame header
+// (zero contexts produce the untraced v1 encoding, byte for byte).
+func (c *Client) sendTraced(m wire.Message, tc wire.TraceContext) error {
 	c.mu.Lock()
 	conn, closed := c.conn, c.closed
 	c.mu.Unlock()
@@ -684,7 +753,7 @@ func (c *Client) send(m wire.Message) error {
 	if conn == nil {
 		return ErrDisconnected
 	}
-	if err := wire.Send(conn, m); err != nil {
+	if err := wire.SendTraced(conn, m, tc); err != nil {
 		// Sever the transport: a partial or refused write (a link-down
 		// window, say) leaves the stream unusable, and closing it is what
 		// engages the supervisor's backoff-and-reconnect path. Without
@@ -742,7 +811,7 @@ func (c *Client) waitConnected(ctx context.Context) (wire.Conn, chan struct{}, e
 // the read loop without disturbing the pending request.
 func (c *Client) roundTrip(ctx context.Context, req wire.Message) (wire.Message, error) {
 	for attempt := 1; ; attempt++ {
-		reply, err := c.attempt(ctx, req)
+		reply, err := c.attempt(ctx, req, wire.TraceContext{})
 		if err == nil {
 			return reply, nil
 		}
@@ -763,8 +832,9 @@ func (c *Client) roundTrip(ctx context.Context, req wire.Message) (wire.Message,
 
 // attempt performs a single request/response exchange over the current
 // connection, bounded by the per-RPC timeout. Connection loss and timeout
-// surface as transientErr; the caller decides whether to retry.
-func (c *Client) attempt(ctx context.Context, req wire.Message) (wire.Message, error) {
+// surface as transientErr; the caller decides whether to retry. tc, when
+// valid, rides the request frame (submits propagate their cycle trace).
+func (c *Client) attempt(ctx context.Context, req wire.Message, tc wire.TraceContext) (wire.Message, error) {
 	c.reqMu.Lock()
 	defer c.reqMu.Unlock()
 
@@ -796,7 +866,7 @@ func (c *Client) attempt(ctx context.Context, req wire.Message) (wire.Message, e
 		defer cancel()
 	}
 
-	if err := wire.Send(conn, req); err != nil {
+	if err := wire.SendTraced(conn, req, tc); err != nil {
 		// Sever the failed transport (see send) and wait for the
 		// supervisor to reap it, so the retry runs against the next
 		// session instead of spinning on the corpse.

@@ -6,6 +6,7 @@ import (
 	"path"
 
 	"shadowedit/internal/core"
+	"shadowedit/internal/trace"
 	"shadowedit/internal/wire"
 )
 
@@ -16,7 +17,7 @@ import (
 // cause in lastDrop for the supervisor.
 func (c *Client) readLoop(conn wire.Conn) {
 	for {
-		msg, err := wire.Recv(conn)
+		msg, tc, err := wire.RecvTraced(conn)
 		if err != nil {
 			c.mu.Lock()
 			c.lastDrop = err
@@ -25,11 +26,11 @@ func (c *Client) readLoop(conn wire.Conn) {
 		}
 		switch m := msg.(type) {
 		case *wire.Pull:
-			c.handlePull(m)
+			c.handlePull(m, tc)
 		case *wire.FileAck:
 			c.store.Ack(m.File, m.Version)
 		case *wire.Output:
-			c.handleOutput(m)
+			c.handleOutput(m, tc)
 		case *wire.SubmitOK, *wire.StatusReply:
 			c.routeReply(msg)
 		case *wire.ErrorMsg:
@@ -56,6 +57,11 @@ func (c *Client) routeReply(msg wire.Message) {
 		if c.pending.cycleTimed {
 			if _, stamped := c.cycleStart[ok.Job]; !stamped {
 				c.cycleStart[ok.Job] = c.pending.cycleStart
+			}
+		}
+		if c.pending.span != nil {
+			if _, parked := c.cycleSpan[ok.Job]; !parked {
+				c.cycleSpan[ok.Job] = c.pending.span.SetJob(ok.Job)
 			}
 		}
 		c.pending = nil
@@ -92,7 +98,11 @@ func (c *Client) handleError(m *wire.ErrorMsg) {
 // handlePull answers a server pull with a delta when possible, a full copy
 // otherwise. This runs in the background, so "the changes could be sent in
 // the background while the user is modifying the second file" (§5.1).
-func (c *Client) handlePull(m *wire.Pull) {
+// A traced pull (tc valid) gets a "client.answer-pull" span, and the reply
+// frame propagates the cycle's context back so the server's apply joins it.
+func (c *Client) handlePull(m *wire.Pull, tc wire.TraceContext) {
+	sp := c.cfg.Obs.StartSpan(tc, "client.answer-pull").SetFile(m.File.String())
+	defer sp.Finish()
 	reply, err := core.AnswerPull(c.store, m, c.cfg.Env.Algorithm, c.cfg.Env.Compress, c.cfg.Clock)
 	if err != nil {
 		// The version store cannot satisfy the pull — typically a
@@ -104,33 +114,50 @@ func (c *Client) handlePull(m *wire.Pull) {
 		if content, rerr := c.cfg.Universe.ReadFileRef(m.File); rerr == nil {
 			c.store.CommitAtLeast(m.File, content, m.WantVersion)
 			reply, err = core.AnswerPull(c.store, m, c.cfg.Env.Algorithm, c.cfg.Env.Compress, c.cfg.Clock)
+			sp.Annotate("restored from disk")
 		}
 	}
 	if err != nil {
 		// Truly gone (file deleted locally). Tell the server so it
 		// does not wait forever.
-		_ = c.send(&wire.ErrorMsg{Code: wire.CodeUnknownFile, Text: err.Error()})
+		sp.Annotate("unknown file")
+		_ = c.sendTraced(&wire.ErrorMsg{Code: wire.CodeUnknownFile, Text: err.Error()}, ctxOr(sp, tc))
 		return
 	}
 	switch r := reply.(type) {
 	case *wire.FileDelta:
 		c.counters.AddDelta(len(r.Encoded))
+		sp.Annotate("delta")
 	case *wire.FileFull:
 		c.counters.AddFull(len(r.Content))
+		sp.Annotate("full")
 		if m.HaveVersion > 0 {
 			// The server asked for a delta but the base is gone here:
 			// the transfer degraded to a full copy.
 			c.counters.AddFullFallback()
+			sp.Annotate("full-fallback")
 		}
 	}
-	_ = c.send(reply)
+	_ = c.sendTraced(reply, ctxOr(sp, tc))
+}
+
+// ctxOr propagates sp's context, falling back to the incoming one when
+// local tracing is off — a trace minted by the peer survives an untraced
+// hop here.
+func ctxOr(sp *trace.Span, tc wire.TraceContext) wire.TraceContext {
+	if sp != nil {
+		return sp.Context()
+	}
+	return tc
 }
 
 // handleOutput receives a finished job's results, reconstructing them from
 // an output delta when reverse shadow processing is active. Duplicate
 // deliveries (a reconnect can re-send an output whose ack was lost) are
 // acked but not re-surfaced: jobDone closes exactly once.
-func (c *Client) handleOutput(m *wire.Output) {
+func (c *Client) handleOutput(m *wire.Output, tc wire.TraceContext) {
+	dsp := c.cfg.Obs.StartSpan(tc, "client.deliver").SetJob(m.Job)
+	defer dsp.Finish()
 	c.mu.Lock()
 	meta, known := c.jobMeta[m.Job]
 	c.mu.Unlock()
@@ -146,7 +173,8 @@ func (c *Client) handleOutput(m *wire.Output) {
 		// Our base for the delta is gone: degrade gracefully to a full
 		// transfer.
 		c.counters.AddFullFallback()
-		if serr := c.send(&wire.OutputFullReq{Job: m.Job}); serr != nil {
+		dsp.Annotate("base-evicted")
+		if serr := c.sendTraced(&wire.OutputFullReq{Job: m.Job}, ctxOr(dsp, tc)); serr != nil {
 			c.mu.Lock()
 			if c.lastErr == nil && !c.closed {
 				c.lastErr = tagErr(ErrBaseEvicted,
@@ -195,6 +223,7 @@ func (c *Client) handleOutput(m *wire.Output) {
 	}
 	c.mu.Unlock()
 	if duplicate {
+		dsp.Annotate("duplicate")
 		_ = c.send(&wire.OutputAck{Job: m.Job})
 		return
 	}
@@ -225,6 +254,8 @@ func (c *Client) handleOutput(m *wire.Output) {
 	c.mu.Lock()
 	cycleStart, timed := c.cycleStart[m.Job]
 	delete(c.cycleStart, m.Job)
+	root := c.cycleSpan[m.Job]
+	delete(c.cycleSpan, m.Job)
 	select {
 	case <-done:
 	default:
@@ -235,6 +266,13 @@ func (c *Client) handleOutput(m *wire.Output) {
 	if timed {
 		c.cfg.Obs.ObserveCycle(cycleStart)
 	}
+	// Output delivered: the cycle is over. Close its root span and move the
+	// trace to the completed ring; the server ends it too after a
+	// successful send, and completion is idempotent.
+	if root != nil {
+		root.Annotate("delivered").Finish()
+	}
+	c.cfg.Obs.EndTrace(ctxOr(root, tc))
 	select {
 	case c.arrivals <- struct{}{}:
 	default:

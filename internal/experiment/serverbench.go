@@ -12,6 +12,7 @@ import (
 
 	"fmt"
 	"net"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -23,6 +24,7 @@ import (
 	"shadowedit/internal/netsim"
 	"shadowedit/internal/obs"
 	"shadowedit/internal/server"
+	"shadowedit/internal/trace"
 	"shadowedit/internal/wire"
 	"shadowedit/internal/workload"
 )
@@ -45,6 +47,13 @@ type ServerBenchConfig struct {
 	Jobs int
 	// Seed makes the workload reproducible.
 	Seed int64
+	// Tracer turns on full cycle tracing (every cycle sampled): the server
+	// and every client observer share one tracer, so the run measures the
+	// worst-case tracing overhead, flight recorders included.
+	Tracer bool
+	// ChromeOut, with Tracer set, writes the slowest completed trace as
+	// Chrome trace-event JSON to this path after the run.
+	ChromeOut string
 }
 
 func (c ServerBenchConfig) withDefaults() ServerBenchConfig {
@@ -106,6 +115,13 @@ type ServerBenchResult struct {
 	PullsIssued    int64   `json:"pulls_issued"`
 	PullsDeferred  int64   `json:"pulls_deferred"`
 	GoMaxProcs     int     `json:"gomaxprocs"`
+	// Traced marks a run with full cycle tracing on; TraceCompleted and
+	// TraceSpans summarize what the shared tracer assembled. Comparing a
+	// traced run's cycles_per_sec against an untraced twin (labels
+	// "trace-off"/"trace-all") yields the tracing overhead.
+	Traced         bool  `json:"traced,omitempty"`
+	TraceCompleted int64 `json:"trace_completed,omitempty"`
+	TraceSpans     int64 `json:"trace_spans,omitempty"`
 }
 
 // String renders the one-line summary the benchmark prints.
@@ -114,6 +130,9 @@ func (r ServerBenchResult) String() string {
 		r.Transport, r.Sessions, r.CyclesPerSess, r.CyclesPerSec, r.P50Ms, r.P90Ms, r.P99Ms, r.AllocsPerCycle, r.SubmitAckP99Ms, r.JobP99Ms)
 	if r.VirtualP99Ms > 0 {
 		s += fmt.Sprintf(" [virtual p50 %.2fms, p90 %.2fms, p99 %.2fms]", r.VirtualP50Ms, r.VirtualP90Ms, r.VirtualP99Ms)
+	}
+	if r.Traced {
+		s += fmt.Sprintf(" [traced: %d traces, %d spans]", r.TraceCompleted, r.TraceSpans)
 	}
 	return s
 }
@@ -187,6 +206,14 @@ func RunServerBench(cfg ServerBenchConfig) (ServerBenchResult, error) {
 	scfg := server.Defaults("bench")
 	scfg.MaxConcurrentJobs = cfg.Jobs
 	scfg.Obs = obs.New(nil, nil)
+	// Tracing-on runs share one tracer between the server and every client
+	// observer: maximum span traffic, maximum contention — the honest
+	// overhead number.
+	var tracer *trace.Tracer
+	if cfg.Tracer {
+		tracer = trace.New(trace.Config{})
+		scfg.Obs.SetTracer(tracer)
+	}
 	srv := server.New(scfg)
 	go func() { _ = srv.Serve(tr.acceptor) }()
 	defer srv.Close()
@@ -224,12 +251,17 @@ func RunServerBench(cfg ServerBenchConfig) (ServerBenchResult, error) {
 		if err != nil {
 			return ServerBenchResult{}, err
 		}
-		cl, err := client.Connect(context.Background(), conn, client.Config{
+		ccfg := client.Config{
 			User:     user,
 			Universe: universe,
 			Host:     host,
 			Env:      env.Default(user),
-		})
+		}
+		if tracer != nil {
+			ccfg.Obs = obs.New(nil, nil)
+			ccfg.Obs.SetTracer(tracer)
+		}
+		cl, err := client.Connect(context.Background(), conn, ccfg)
 		if err != nil {
 			return ServerBenchResult{}, err
 		}
@@ -346,7 +378,36 @@ func RunServerBench(cfg ServerBenchConfig) (ServerBenchResult, error) {
 		res.VirtualP90Ms = ms(vsnap.Quantile(0.90))
 		res.VirtualP99Ms = ms(vsnap.Quantile(0.99))
 	}
+	if tracer != nil {
+		ts := tracer.Stats()
+		res.Traced = true
+		res.TraceCompleted = ts.Completed
+		res.TraceSpans = ts.Spans
+		if cfg.ChromeOut != "" {
+			if err := writeSlowestChrome(tracer, cfg.ChromeOut); err != nil {
+				return ServerBenchResult{}, fmt.Errorf("serverbench: chrome export: %w", err)
+			}
+		}
+	}
 	return res, nil
+}
+
+// writeSlowestChrome exports the slowest completed trace as Chrome
+// trace-event JSON (the CI artifact proving traces load in Perfetto).
+func writeSlowestChrome(tracer *trace.Tracer, path string) error {
+	recs := tracer.Slowest(1)
+	if len(recs) == 0 {
+		return fmt.Errorf("no completed traces to export")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, recs[0]); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // ms converts a duration to float milliseconds for the JSON schema.

@@ -1,0 +1,195 @@
+package experiment
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"shadowedit/internal/admin"
+	"shadowedit/internal/diff"
+	"shadowedit/internal/netsim"
+	"shadowedit/internal/obs"
+	"shadowedit/internal/server"
+	"shadowedit/internal/trace"
+	"shadowedit/internal/wire"
+	"shadowedit/internal/workload"
+)
+
+// runTracedChaosSession drives one seeded edit–submit–fetch workload over a
+// simulated link with seeded latency-spike faults, tracing every cycle
+// through one tracer shared by the client-side and server-side observers —
+// each stamping spans with its own host's virtual clock, producing the
+// single combined timeline the trace package doc promises. It returns the
+// /tracez list body and the slowest trace's timeline body.
+//
+// The client side is driven in lockstep at the wire level rather than
+// through the concurrent client package: byte-identical output requires a
+// total order over link transmissions (the fault RNG and the per-direction
+// line serialization both consume state in transmit order), and the real
+// client's pipelined sends — SUBMIT racing the read loop's pull answer —
+// make that order scheduling-dependent. Here every send waits for the
+// server's reply, so the transmit order is forced by the protocol itself.
+// Client spans are minted through a client observer with the same names the
+// real client uses.
+func runTracedChaosSession(t *testing.T, cycles int) (list, detail string) {
+	t.Helper()
+	nw := netsim.New()
+	serverHost := nw.Host("super")
+	ws := nw.Host("ws0")
+	link := nw.Connect(ws, serverHost, netsim.LAN)
+	// Seeded chaos: a quarter of the frames take a latency spike. The
+	// link's RNG is driven by the seed and the (lockstep) traffic order.
+	link.SetFaults(netsim.FaultSpec{Seed: 7, SpikeRate: 0.25, SpikeExtra: 4 * time.Millisecond})
+	lst, err := serverHost.Listen(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lst.Close()
+
+	scfg := server.Defaults("det")
+	scfg.Clock = serverHost
+	scfg.Obs = obs.New(nil, serverHost.Now)
+	tracer := trace.New(trace.Config{})
+	scfg.Obs.SetTracer(tracer)
+	srv := server.New(scfg)
+	go func() { _ = srv.Serve(server.AcceptorFunc(func() (wire.Conn, error) { return lst.Accept() })) }()
+	defer srv.Close()
+
+	cobs := obs.New(nil, ws.Now)
+	cobs.SetTracer(tracer)
+
+	conn, err := ws.Dial("super", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.Send(conn, &wire.Hello{Protocol: wire.ProtocolVersion, User: "u0", Domain: "d", ClientHost: "ws0"}); err != nil {
+		t.Fatal(err)
+	}
+
+	recv := func() (wire.Message, wire.TraceContext) {
+		t.Helper()
+		type result struct {
+			m   wire.Message
+			tc  wire.TraceContext
+			err error
+		}
+		ch := make(chan result, 1)
+		go func() {
+			m, tc, err := wire.RecvTraced(conn)
+			ch <- result{m, tc, err}
+		}()
+		select {
+		case r := <-ch:
+			if r.err != nil {
+				t.Fatalf("recv: %v", r.err)
+			}
+			return r.m, r.tc
+		case <-time.After(5 * time.Second):
+			t.Fatal("no message within 5s")
+			return nil, wire.TraceContext{}
+		}
+	}
+	if m, _ := recv(); m.Kind() != wire.KindHelloOK {
+		t.Fatalf("hello reply = %#v", m)
+	}
+
+	ref := wire.FileRef{Domain: "d", FileID: "ws0:/u/u0/data.dat"}
+	gen := workload.NewGenerator(1987)
+	content := gen.File(4 * 1024)
+
+	for cyc := 0; cyc < cycles; cyc++ {
+		if cyc > 0 {
+			content = gen.Modify(content, 5, workload.EditReplace)
+		}
+		version := uint64(cyc + 1)
+		root := cobs.StartTrace("cycle")
+		if err := wire.SendTraced(conn, &wire.Notify{File: ref, Version: version, Size: int64(len(content)), Sum: diff.Checksum(content)}, root.Context()); err != nil {
+			t.Fatal(err)
+		}
+		m, tc := recv()
+		if m.Kind() != wire.KindPull {
+			t.Fatalf("cycle %d: expected pull, got %#v", cyc, m)
+		}
+		asp := cobs.StartSpan(tc, "client.answer-pull").SetFile(ref.String()).Annotate("full")
+		if err := wire.SendTraced(conn, &wire.FileFull{File: ref, Version: version, Content: content, Sum: diff.Checksum(content)}, asp.Context()); err != nil {
+			t.Fatal(err)
+		}
+		asp.Finish()
+		if m, _ := recv(); m.Kind() != wire.KindFileAck {
+			t.Fatalf("cycle %d: expected file ack, got %#v", cyc, m)
+		}
+		if err := wire.SendTraced(conn, &wire.Submit{
+			Script: []byte("checksum d\n"),
+			Inputs: []wire.JobInput{{File: ref, Version: version, As: "d"}},
+		}, root.Context()); err != nil {
+			t.Fatal(err)
+		}
+		m, _ = recv()
+		okMsg, ok := m.(*wire.SubmitOK)
+		if !ok {
+			t.Fatalf("cycle %d: expected submit ok, got %#v", cyc, m)
+		}
+		root.SetJob(okMsg.Job)
+		m, otc := recv()
+		out, ok := m.(*wire.Output)
+		if !ok || out.State != wire.JobDone {
+			t.Fatalf("cycle %d: expected done output, got %#v", cyc, m)
+		}
+		cobs.StartSpan(otc, "client.deliver").SetJob(out.Job).Finish()
+		root.Annotate("delivered").Finish()
+		cobs.EndTrace(root.Context())
+	}
+
+	// Quiesce before snapshotting: the server finishes its output span and
+	// ends the trace *after* the delivery is on the wire, so the last
+	// output can arrive while those calls are still in flight. Closing the
+	// connection and then the server drains every session and job goroutine.
+	_ = conn.Close()
+	srv.Close()
+
+	h := admin.NewHandler(admin.Options{Server: srv})
+	get := func(url string) string {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", url, nil))
+		if rr.Code != 200 {
+			t.Fatalf("GET %s = %d:\n%s", url, rr.Code, rr.Body.String())
+		}
+		return rr.Body.String()
+	}
+	list = get("/tracez?n=0")
+	slowest := tracer.Slowest(1)
+	if len(slowest) == 0 {
+		t.Fatal("no completed traces")
+	}
+	detail = get(fmt.Sprintf("/tracez?id=%d", slowest[0].ID))
+	return list, detail
+}
+
+// TestTracezDeterministicUnderNetsimChaos is the acceptance check for
+// simulated-time tracing: two runs of the same seeded chaos workload must
+// render byte-identical /tracez bodies, list and timeline both. Span
+// timestamps come from virtual clocks, ids from counters, and span ordering
+// is canonicalized at the read path, so nothing wall-clock-dependent can
+// leak into the output.
+func TestTracezDeterministicUnderNetsimChaos(t *testing.T) {
+	const cycles = 7
+	list1, detail1 := runTracedChaosSession(t, cycles)
+	list2, detail2 := runTracedChaosSession(t, cycles)
+
+	// Sanity before byte-comparing: the runs actually traced the cycles.
+	if !strings.Contains(list1, fmt.Sprintf("cycle traces: %d completed, 0 active", cycles)) {
+		t.Fatalf("/tracez header unexpected:\n%s", list1)
+	}
+	if !strings.Contains(detail1, "server.job-run") || !strings.Contains(detail1, "client.deliver") {
+		t.Fatalf("slowest timeline missing expected spans:\n%s", detail1)
+	}
+
+	if list1 != list2 {
+		t.Fatalf("/tracez list differs between same-seed runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", list1, list2)
+	}
+	if detail1 != detail2 {
+		t.Fatalf("/tracez timeline differs between same-seed runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", detail1, detail2)
+	}
+}

@@ -134,6 +134,52 @@ func (s *HistogramSnapshot) Quantile(q float64) time.Duration {
 	return 0 // unreachable: cum reaches Count
 }
 
+// Pow2Bucket is one cumulative export bucket: Count samples fell strictly
+// below Le nanoseconds.
+type Pow2Bucket struct {
+	// Le is the bucket's upper bound in nanoseconds, always a power of two.
+	Le uint64
+	// Count is the cumulative number of samples below Le.
+	Count uint64
+}
+
+// Pow2Buckets returns cumulative counts at the power-of-two bounds
+// 2^loExp .. 2^hiExp nanoseconds (inclusive range of exponents, each
+// clamped to [0, 63]). Because every power of two is an octave boundary of
+// the underlying log-linear histogram, the counts are exact, not
+// interpolated — and since the bound set is fixed by (loExp, hiExp) alone,
+// exports from different instances carry identical `le` grids and can be
+// summed bucket-by-bucket by an external aggregator.
+//
+// Samples are integer nanoseconds, so "strictly below 2^k ns" equals
+// "at most 2^k - 1 ns"; the distinction only matters for a sample landing
+// exactly on a bound.
+func (s *HistogramSnapshot) Pow2Buckets(loExp, hiExp int) []Pow2Bucket {
+	if loExp < 0 {
+		loExp = 0
+	}
+	if hiExp > 63 {
+		hiExp = 63
+	}
+	if hiExp < loExp {
+		return nil
+	}
+	out := make([]Pow2Bucket, 0, hiExp-loExp+1)
+	var cum uint64
+	next := 0 // first bucket index not yet accumulated
+	for k := loExp; k <= hiExp; k++ {
+		bound := uint64(1) << uint(k)
+		// bucketIndex(bound) is the first bucket holding values >= bound:
+		// octave boundaries begin their own bucket.
+		edge := bucketIndex(bound)
+		for ; next < edge; next++ {
+			cum += s.Counts[next]
+		}
+		out = append(out, Pow2Bucket{Le: bound, Count: cum})
+	}
+	return out
+}
+
 // Mean returns the exact mean of the recorded samples (the sum is tracked
 // exactly, not bucketed).
 func (s *HistogramSnapshot) Mean() time.Duration {

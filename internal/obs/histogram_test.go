@@ -164,3 +164,70 @@ func TestResetAndMean(t *testing.T) {
 		t.Fatalf("after reset: count=%d sum=%v", snap.Count, snap.Sum)
 	}
 }
+
+func TestPow2BucketsExactAgainstBruteForce(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(41))
+	var samples []uint64
+	for i := 0; i < 5000; i++ {
+		// Spread across many octaves, including exact powers of two —
+		// the boundary cases the export convention must get right.
+		v := uint64(rng.Int63n(1 << uint(10+rng.Intn(30))))
+		if i%97 == 0 {
+			v = 1 << uint(rng.Intn(40))
+		}
+		samples = append(samples, v)
+		h.Observe(time.Duration(v))
+	}
+	snap := h.Snapshot()
+	buckets := snap.Pow2Buckets(12, 43)
+	if len(buckets) != 32 {
+		t.Fatalf("len = %d, want 32", len(buckets))
+	}
+	for i, b := range buckets {
+		if want := uint64(1) << uint(12+i); b.Le != want {
+			t.Fatalf("bucket %d: Le = %d, want %d", i, b.Le, want)
+		}
+		var brute uint64
+		for _, v := range samples {
+			if v < b.Le {
+				brute++
+			}
+		}
+		if b.Count != brute {
+			t.Fatalf("le=%d: count = %d, brute force = %d", b.Le, b.Count, brute)
+		}
+	}
+	// Cumulative counts are monotone and bounded by the total.
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].Count < buckets[i-1].Count {
+			t.Fatalf("not monotone at %d", i)
+		}
+	}
+	if last := buckets[len(buckets)-1].Count; last > snap.Count {
+		t.Fatalf("last bucket %d exceeds count %d", last, snap.Count)
+	}
+}
+
+func TestPow2BucketsEdges(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(1)
+	snap := h.Snapshot()
+	if got := snap.Pow2Buckets(5, 4); got != nil {
+		t.Fatalf("inverted range = %v, want nil", got)
+	}
+	full := snap.Pow2Buckets(-10, 99) // clamps to [0, 63]
+	if len(full) != 64 {
+		t.Fatalf("clamped len = %d, want 64", len(full))
+	}
+	if full[0].Le != 1 || full[0].Count != 1 {
+		t.Fatalf("le=1 bucket = %+v, want count 1 (only the 0 sample)", full[0])
+	}
+	if full[1].Le != 2 || full[1].Count != 2 {
+		t.Fatalf("le=2 bucket = %+v, want count 2", full[1])
+	}
+	if full[63].Count != 2 {
+		t.Fatalf("top bucket count = %d, want 2", full[63].Count)
+	}
+}

@@ -20,6 +20,9 @@ import (
 	"context"
 	"log/slog"
 	"time"
+
+	"shadowedit/internal/trace"
+	"shadowedit/internal/wire"
 )
 
 // Observer carries an instrumentation configuration: an optional structured
@@ -28,6 +31,7 @@ import (
 type Observer struct {
 	logger *slog.Logger
 	clock  func() time.Duration
+	tracer *trace.Tracer
 
 	// SubmitAck is the server-side latency from receiving a SUBMIT to
 	// enqueueing its SUBMIT_OK — the user-visible submission ack time.
@@ -96,6 +100,57 @@ func (o *Observer) ObserveCycle(start time.Duration) {
 		return
 	}
 	o.Cycle.Observe(o.clock() - start)
+}
+
+// SetTracer attaches a cycle tracer. Call during setup, before the observer
+// is shared across goroutines; a nil tracer (the default) disables tracing
+// while histograms and logging keep working. Several observers may share
+// one tracer — each stamps its spans with its own clock, which is how an
+// in-process simulation assembles client and server spans into one
+// virtual-time trace.
+func (o *Observer) SetTracer(t *trace.Tracer) {
+	if o != nil {
+		o.tracer = t
+	}
+}
+
+// Tracer returns the attached tracer (nil when tracing is off or the
+// observer is nil).
+func (o *Observer) Tracer() *trace.Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.tracer
+}
+
+// StartTrace mints a new cycle trace, stamping its root span with this
+// observer's clock. Returns nil — a valid, inert span — when the observer
+// is nil, tracing is off, or the sampling rate skips this cycle.
+func (o *Observer) StartTrace(name string) *trace.Span {
+	if o == nil || o.tracer == nil {
+		return nil
+	}
+	return o.tracer.StartTrace(name, o.clock)
+}
+
+// StartSpan opens a child span under a propagated wire context, stamped
+// with this observer's clock. Returns nil when tracing is off or the
+// context is invalid (the peer did not trace this cycle).
+func (o *Observer) StartSpan(parent wire.TraceContext, name string) *trace.Span {
+	if o == nil || o.tracer == nil {
+		return nil
+	}
+	return o.tracer.StartSpan(parent, name, o.clock)
+}
+
+// EndTrace marks a propagated trace complete, moving it to the tracer's
+// finished ring. Safe to call from both ends of a cycle — completion is
+// idempotent — and a no-op for invalid contexts or disabled tracing.
+func (o *Observer) EndTrace(tc wire.TraceContext) {
+	if o == nil || o.tracer == nil || !tc.Valid() {
+		return
+	}
+	o.tracer.EndTrace(tc.TraceID)
 }
 
 // LogEnabled reports whether events at the given level would be emitted.

@@ -5,6 +5,9 @@ import (
 	"log/slog"
 	"testing"
 	"time"
+
+	"shadowedit/internal/trace"
+	"shadowedit/internal/wire"
 )
 
 func TestNilObserverIsSafeAndFree(t *testing.T) {
@@ -102,4 +105,56 @@ func BenchmarkEnabledHistogram(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		o.ObserveSubmitAck(o.Now())
 	}
+}
+
+func TestObserverTracerHooks(t *testing.T) {
+	var now time.Duration
+	o := New(nil, func() time.Duration { return now })
+
+	// No tracer attached: every hook is inert.
+	if o.Tracer() != nil || o.StartTrace("cycle") != nil {
+		t.Fatal("tracing active without a tracer")
+	}
+	if o.StartSpan(wire.TraceContext{TraceID: 1, SpanID: 1}, "s") != nil {
+		t.Fatal("StartSpan active without a tracer")
+	}
+	o.EndTrace(wire.TraceContext{TraceID: 1})
+
+	tr := trace.New(trace.Config{})
+	o.SetTracer(tr)
+	if o.Tracer() != tr {
+		t.Fatal("Tracer() lost the tracer")
+	}
+	root := o.StartTrace("cycle")
+	if root == nil {
+		t.Fatal("StartTrace nil with tracer attached")
+	}
+	now = 5 * time.Millisecond
+	child := o.StartSpan(root.Context(), "server.pull")
+	now = 8 * time.Millisecond
+	child.Finish()
+	root.Finish()
+	o.EndTrace(root.Context())
+	o.EndTrace(root.Context()) // idempotent
+
+	rec, ok := tr.Lookup(root.Trace)
+	if !ok || len(rec.Spans) != 2 {
+		t.Fatalf("trace = %+v, %v", rec, ok)
+	}
+	// Spans were stamped by the observer's clock; Lookup returns them in
+	// canonical start order, so the root (started at 0) comes first.
+	if rec.Spans[0].Name != "cycle" || rec.Spans[0].End != 8*time.Millisecond {
+		t.Fatalf("root span = %q %v..%v, want cycle ..8ms", rec.Spans[0].Name, rec.Spans[0].Start, rec.Spans[0].End)
+	}
+	if rec.Spans[1].Start != 5*time.Millisecond || rec.Spans[1].End != 8*time.Millisecond {
+		t.Fatalf("span stamps = %v..%v, want 5ms..8ms", rec.Spans[1].Start, rec.Spans[1].End)
+	}
+
+	// Nil observer: all hooks inert.
+	var n *Observer
+	n.SetTracer(tr)
+	if n.Tracer() != nil || n.StartTrace("x") != nil {
+		t.Fatal("nil observer traced")
+	}
+	n.EndTrace(root.Context())
 }

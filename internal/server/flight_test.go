@@ -1,0 +1,176 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"shadowedit/internal/diff"
+	"shadowedit/internal/netsim"
+	"shadowedit/internal/obs"
+	"shadowedit/internal/trace"
+	"shadowedit/internal/wire"
+)
+
+// flightStep is one expected (kind, name) flight-recorder entry.
+type flightStep struct{ kind, name string }
+
+// assertFlightSequence checks that events contain the steps as an ordered
+// (not necessarily adjacent) subsequence and that timestamps never run
+// backwards — the "coherent story" property the flight recorder exists for.
+func assertFlightSequence(t *testing.T, events []trace.Event, steps []flightStep) {
+	t.Helper()
+	i := 0
+	var prev int64
+	for _, ev := range events {
+		if ev.At < prev {
+			t.Fatalf("flight recorder timestamps run backwards: %d after %d", ev.At, prev)
+		}
+		prev = ev.At
+		if i < len(steps) && ev.Kind == steps[i].kind && ev.Name == steps[i].name {
+			i++
+		}
+	}
+	if i != len(steps) {
+		t.Fatalf("flight recorder missing step %v\nrecorded: %s", steps[i], flightString(events))
+	}
+}
+
+func flightString(events []trace.Event) string {
+	var b strings.Builder
+	for _, ev := range events {
+		b.WriteString(ev.Kind + " " + ev.Name + "; ")
+	}
+	return b.String()
+}
+
+// TestFlightRecorderCoversRepullReHome replays the dead-owner re-homing
+// scenario of TestRepullSurvivesCoalescedOwnerDeath with tracing on and
+// asserts the observability side: the dead session's flight recorder is
+// dumped on disconnect with the exchange that explains the stranded job
+// (notify → pull → submit → submit-ok), and the surviving session's live
+// recorder shows the re-homed pull being issued and answered through to
+// output delivery.
+func TestFlightRecorderCoversRepullReHome(t *testing.T) {
+	nw := netsim.New()
+	serverHost := nw.Host("super")
+	lst, err := serverHost.Listen(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Defaults("super")
+	cfg.Obs = obs.New(nil, nil)
+	cfg.Obs.SetTracer(trace.New(trace.Config{}))
+	srv := New(cfg)
+	go func() {
+		_ = srv.Serve(AcceptorFunc(func() (wire.Conn, error) { return lst.Accept() }))
+	}()
+	t.Cleanup(func() {
+		_ = lst.Close()
+		srv.Close()
+	})
+
+	ref := wire.FileRef{Domain: "d", FileID: "ws:/d.dat"}
+	content := []byte("input payload\n")
+
+	// Session A: notify (owns the flight, never answers the pull), then
+	// submit a job needing that input.
+	connA := dialSameIdentity(t, nw, serverHost, "wsA")
+	if err := wire.Send(connA, &wire.Notify{File: ref, Version: 1, Size: int64(len(content)), Sum: diff.Checksum(content)}); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvWithin(t, connA, 5*time.Second); m.Kind() != wire.KindPull {
+		t.Fatalf("expected pull on A, got %#v", m)
+	}
+	if err := wire.Send(connA, &wire.Submit{
+		Script: []byte("checksum d\n"),
+		Inputs: []wire.JobInput{{File: ref, Version: 1, As: "d"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	okMsg, ok := recvWithin(t, connA, 5*time.Second).(*wire.SubmitOK)
+	if !ok {
+		t.Fatalf("expected submit ok on A")
+	}
+
+	// Session B re-attaches the same identity; the status round-trip proves
+	// the hello (and its repull pass, which coalesces onto A's flight) is
+	// fully done before A dies.
+	connB := dialSameIdentity(t, nw, serverHost, "wsB")
+	if err := wire.Send(connB, &wire.StatusReq{Job: okMsg.Job}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recvWithin(t, connB, 5*time.Second).(*wire.StatusReply); !ok {
+		t.Fatal("no status reply on B")
+	}
+
+	// A dies; the released flight re-issues the pull on B. The disconnect
+	// dump happens before the session drops (and therefore before the
+	// re-homed pull can reach B), so once the pull arrives the dump must
+	// already be retained.
+	_ = connA.Close()
+	if m := recvWithin(t, connB, 5*time.Second); m.Kind() != wire.KindPull {
+		t.Fatalf("expected re-issued pull on B, got %#v", m)
+	}
+
+	dumps := srv.FlightDumps()
+	if len(dumps) != 1 {
+		t.Fatalf("flight dumps = %d, want exactly A's disconnect dump", len(dumps))
+	}
+	d := dumps[0]
+	if d.Reason != "disconnect" {
+		t.Fatalf("dump reason = %q, want disconnect", d.Reason)
+	}
+	if d.User != "u" || d.Host != "ws" {
+		t.Fatalf("dump identity = %q@%q, want u@ws", d.User, d.Host)
+	}
+	assertFlightSequence(t, d.Events, []flightStep{
+		{"recv", "HELLO"},
+		{"send", "HELLO_OK"},
+		{"recv", "NOTIFY"},
+		{"send", "PULL"},
+		{"recv", "SUBMIT"},
+		{"send", "SUBMIT_OK"},
+	})
+
+	// B answers the re-homed pull; the job runs and delivers on B.
+	if err := wire.Send(connB, &wire.FileFull{File: ref, Version: 1, Content: content, Sum: diff.Checksum(content)}); err != nil {
+		t.Fatal(err)
+	}
+drain:
+	for {
+		switch msg := recvWithin(t, connB, 5*time.Second).(type) {
+		case *wire.FileAck:
+		case *wire.Output:
+			if msg.Job != okMsg.Job || msg.State != wire.JobDone {
+				t.Fatalf("output = %+v", msg)
+			}
+			break drain
+		default:
+			t.Fatalf("unexpected message on B: %#v", msg)
+		}
+	}
+
+	// The surviving session's live recorder tells the rest of the story:
+	// its own handshake and status exchange, the re-homed pull it was
+	// handed, the answer it gave, and the delivered output. Send events are
+	// recorded before the bytes hit the wire, so receiving OUTPUT above
+	// guarantees the ring already holds it.
+	flights := srv.SessionFlights()
+	if len(flights) != 1 {
+		t.Fatalf("live session flights = %d, want only B", len(flights))
+	}
+	b := flights[0]
+	if b.Session != d.Session+1 {
+		t.Fatalf("surviving session id = %d, want %d (A was %d)", b.Session, d.Session+1, d.Session)
+	}
+	assertFlightSequence(t, b.Events, []flightStep{
+		{"recv", "HELLO"},
+		{"send", "HELLO_OK"},
+		{"recv", "STATUS_REQ"},
+		{"send", "STATUS_REPLY"},
+		{"send", "PULL"},
+		{"recv", "FILE_FULL"},
+		{"send", "OUTPUT"},
+	})
+}

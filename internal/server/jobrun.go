@@ -75,6 +75,9 @@ func (s *Server) maybeSchedule(j *job) {
 		j.queuedAt = s.cfg.Obs.Now()
 		j.queuedStamped = true
 	}
+	if j.waitSpan == nil {
+		j.waitSpan = s.cfg.Obs.StartSpan(j.tc, "server.job-wait").SetJob(j.id)
+	}
 	j.mu.Unlock()
 
 	if s.cfg.Obs.LogEnabled(slog.LevelDebug) {
@@ -101,11 +104,16 @@ func (s *Server) runJob(j *job) {
 		inputs[name] = content
 	}
 	script := j.script
+	waitSpan := j.waitSpan
+	j.waitSpan = nil
 	j.mu.Unlock()
+	waitSpan.Finish()
+	runSpan := s.cfg.Obs.StartSpan(j.tc, "server.job-run").SetJob(j.id)
 
 	s.logf("job %d: running for %s@%s", j.id, j.owner.user, j.owner.host)
 	res := jobs.Execute(jobs.Request{Script: script, Inputs: inputs})
 	s.cfg.Clock.Process(res.CPUTime)
+	runSpan.Annotate(fmt.Sprintf("exit %d", res.ExitCode)).Finish()
 
 	j.mu.Lock()
 	j.result = res
@@ -125,6 +133,15 @@ func (s *Server) runJob(j *job) {
 			slog.Uint64("job", j.id), slog.String("user", j.owner.user),
 			slog.Int("exit", int(res.ExitCode)), slog.Int("stdout_bytes", len(res.Stdout)),
 			slog.Duration("cpu", res.CPUTime))
+	}
+	if res.ExitCode != 0 {
+		// A failing job dumps the submitter's flight recorder: the events
+		// leading up to the failure are exactly what a postmortem wants,
+		// and the session stays alive (no dumpOnce).
+		if sess := j.submitterSession(); sess != nil && sess.rec != nil {
+			sess.record("job", "failed", j.tc, fmt.Sprintf("job %d exit %d", j.id, res.ExitCode))
+			s.recordFlightDump(sess, fmt.Sprintf("job %d failed (exit %d)", j.id, res.ExitCode))
+		}
 	}
 
 	s.deliverOutput(j)
@@ -236,7 +253,7 @@ func (s *Server) repullWaitingInputs(ss *session) {
 				s.feedWaitingJobs(in.File, e.Version, e.Content)
 				continue
 			}
-			if ss.pullFile(in.File, in.Version) != nil {
+			if ss.pullFile(in.File, in.Version, j.tc) != nil {
 				return
 			}
 		}
@@ -276,7 +293,7 @@ func (s *Server) repullPending(dead *session, pending []cache.PendingFetch) {
 				// it (repullWaitingInputs).
 				break
 			}
-			if target.pullFile(p.Ref, p.Want) == nil {
+			if target.pullFile(p.Ref, p.Want, p.TC) == nil {
 				break
 			}
 			// The chosen session died between being picked and the
@@ -389,7 +406,14 @@ func (s *Server) sendOutput(target *session, j *job, forceFull bool) error {
 	}
 
 	s.counters.AddOutput(len(payload) + len(res.Stderr))
-	return target.sendSync(&wire.Output{
+	modeName := "full"
+	if mode == wire.OutputDelta {
+		modeName = "delta"
+	}
+	osp := s.cfg.Obs.StartSpan(j.tc, "server.output").
+		SetSession(target.id).SetJob(j.id).Annotate(modeName)
+	stamp := s.cfg.Obs.Now()
+	err := target.sendSync(&wire.Output{
 		Job:        j.id,
 		State:      state,
 		ExitCode:   res.ExitCode,
@@ -397,5 +421,33 @@ func (s *Server) sendOutput(target *session, j *job, forceFull bool) error {
 		Stdout:     payload,
 		Stderr:     res.Stderr,
 		Compressed: compressOn,
-	})
+	}, ctxOr(osp, j.tc))
+	if err != nil {
+		osp.Annotate(modeName + "; send failed")
+	}
+	if target.vt != nil {
+		// Virtual time: the writer charges the line with the enqueue-time
+		// stamp, and reading the shared simulated clock after the flush
+		// would race the receive loop advancing it on the next arrival —
+		// end the span at the same instant the transmission is scheduled.
+		osp.FinishAt(stamp)
+	} else {
+		osp.Finish()
+	}
+	if err == nil {
+		// The cycle's server-side work is complete once the output is on
+		// the wire; completion is idempotent, so the client closing its own
+		// view of the trace is harmless.
+		s.cfg.Obs.EndTrace(j.tc)
+	}
+	return err
+}
+
+// submitterSession returns the session the job was submitted on, if it is
+// still the one registered (the job keeps the pointer; a dead session still
+// identifies the ring to dump).
+func (j *job) submitterSession() *session {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.sess
 }

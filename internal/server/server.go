@@ -35,6 +35,7 @@ import (
 	"shadowedit/internal/metrics"
 	"shadowedit/internal/naming"
 	"shadowedit/internal/obs"
+	"shadowedit/internal/trace"
 	"shadowedit/internal/wire"
 )
 
@@ -260,7 +261,87 @@ type Server struct {
 	pullsDeferred  atomic.Int64
 	pullsCoalesced atomic.Int64
 
+	// flightMu guards flightDumps, the bounded list of recent flight-
+	// recorder dumps (/flightz). Dumps are rare — disconnects, faults, job
+	// failures — so a plain mutex is fine here.
+	flightMu    sync.Mutex
+	flightDumps []FlightDump
+
 	wg sync.WaitGroup
+}
+
+// maxFlightDumps bounds the retained dump list; older dumps fall off.
+const maxFlightDumps = 32
+
+// FlightDump is one session's flight-recorder contents, captured when the
+// session disconnected, its writer faulted, or one of its jobs failed.
+type FlightDump struct {
+	// Session is the dumped session's id; User and Host its identity (empty
+	// before HELLO).
+	Session    uint64
+	User, Host string
+	// Reason says what triggered the dump.
+	Reason string
+	// At is the capture instant on the server's observer clock.
+	At time.Duration
+	// Events are the ring contents, oldest first.
+	Events []trace.Event
+}
+
+// recordFlightDump snapshots a session's ring into the dump list.
+func (s *Server) recordFlightDump(ss *session, reason string) {
+	if ss.rec == nil {
+		return
+	}
+	d := FlightDump{
+		Session: ss.id,
+		Reason:  reason,
+		At:      s.cfg.Obs.Now(),
+		Events:  ss.rec.Snapshot(),
+	}
+	s.deliverMu.Lock()
+	d.User, d.Host = ss.user, ss.clientHost
+	s.deliverMu.Unlock()
+	s.flightMu.Lock()
+	s.flightDumps = append(s.flightDumps, d)
+	if len(s.flightDumps) > maxFlightDumps {
+		s.flightDumps = s.flightDumps[len(s.flightDumps)-maxFlightDumps:]
+	}
+	s.flightMu.Unlock()
+	s.logf("session %d: flight recorder dumped (%s, %d events)", ss.id, reason, len(d.Events))
+}
+
+// FlightDumps returns the retained dumps, oldest first.
+func (s *Server) FlightDumps() []FlightDump {
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	return append([]FlightDump(nil), s.flightDumps...)
+}
+
+// SessionFlight is one live session's current flight-recorder contents.
+type SessionFlight struct {
+	Session    uint64
+	User, Host string
+	Events     []trace.Event
+}
+
+// SessionFlights snapshots the flight recorders of every live session,
+// sorted by session id (/flightz). Empty when tracing is off.
+func (s *Server) SessionFlights() []SessionFlight {
+	live := s.sessions.snapshot()
+	out := make([]SessionFlight, 0, len(live))
+	for _, ss := range live {
+		if ss.rec == nil {
+			continue
+		}
+		sf := SessionFlight{Session: ss.id, Events: ss.rec.Snapshot()}
+		s.deliverMu.Lock()
+		sf.User, sf.Host = ss.user, ss.clientHost
+		s.deliverMu.Unlock()
+		out = append(out, sf)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Session < out[b].Session })
+	return out
 }
 
 // FlowStats reports how many update retrievals were issued and how many the
@@ -498,6 +579,10 @@ type job struct {
 	id    uint64
 	owner identity
 	sess  *session
+	// tc is the trace context of the cycle that submitted the job; every
+	// job-side span and the output delivery hang off it. Immutable after
+	// creation.
+	tc wire.TraceContext
 
 	script    []byte
 	scriptSum uint32
@@ -520,6 +605,9 @@ type job struct {
 	// when observability is on.
 	queuedAt      time.Duration
 	queuedStamped bool
+	// waitSpan is the open server.job-wait span, created when the job
+	// becomes runnable and finished when a processor picks it up.
+	waitSpan *trace.Span
 	// lastFullStdout holds the most recent full stdout so re-sends and
 	// reverse-shadow bases are available after delivery.
 	delivered bool

@@ -13,6 +13,7 @@ import (
 	"shadowedit/internal/diff"
 	"shadowedit/internal/jobs"
 	"shadowedit/internal/naming"
+	"shadowedit/internal/trace"
 	"shadowedit/internal/wire"
 )
 
@@ -27,6 +28,9 @@ const outQueueDepth = 256
 type outbound struct {
 	msg  wire.Message
 	errc chan error
+	// tc is the trace context the frame carries (zero = untraced frame,
+	// byte-identical to the version-1 encoding).
+	tc wire.TraceContext
 	// stamp is the virtual instant the message was enqueued, captured when
 	// the transport keeps virtual time (stamped). The writer transmits from
 	// that instant, so pipelining never shifts simulated timing: by the
@@ -50,8 +54,9 @@ type session struct {
 	// (job completion → drainDeferred/sendOutput) both touch them.
 	mu sync.Mutex
 	// deferred holds notifies whose pulls the load-aware policy postponed,
-	// keyed by file ref.
-	deferred map[string]*wire.Notify
+	// keyed by file ref, each with the trace context it arrived under so a
+	// drained pull stays part of the notifying cycle's trace.
+	deferred map[string]deferredNotify
 	// pulled tracks the highest version already requested per file, so
 	// notify+submit bursts do not issue duplicate pulls (a duplicate
 	// delta would look stale on arrival and trigger a wasteful full
@@ -60,6 +65,9 @@ type session struct {
 	// pulledAt stamps when each in-flight pull was issued, feeding the
 	// pull→arrival histogram. Only populated when observability is on.
 	pulledAt map[string]time.Duration
+	// pullSpan holds the open server.pull span per file, finished when the
+	// content arrives. Only populated when tracing is on.
+	pullSpan map[string]*trace.Span
 	// outPrev maps script checksum -> last acknowledged delivered stdout,
 	// the base for reverse shadow processing.
 	outPrev map[uint32][]byte
@@ -76,23 +84,70 @@ type session struct {
 	// vt is non-nil when conn is a virtual-time transport; outbound
 	// messages are then stamped at enqueue (see outbound.stamp).
 	vt wire.ScheduledSender
+
+	// rec is the flight recorder: a lock-free ring of this session's recent
+	// protocol events, dumped on disconnect, writer fault, or job failure.
+	// Nil when tracing is off (a nil ring discards everything).
+	rec *trace.Ring
+	// dumpOnce ensures disconnect and fault dump the ring once, with the
+	// first reason winning. Job-failure dumps bypass it: the session lives
+	// on and may dump again later.
+	dumpOnce sync.Once
+}
+
+// deferredNotify is a postponed pull: the notify and its trace context.
+type deferredNotify struct {
+	m  *wire.Notify
+	tc wire.TraceContext
 }
 
 func newSession(srv *Server, conn wire.Conn, id uint64) *session {
 	vt, _ := conn.(wire.ScheduledSender)
-	return &session{
+	ss := &session{
 		srv:        srv,
 		conn:       conn,
 		id:         id,
-		deferred:   make(map[string]*wire.Notify),
+		deferred:   make(map[string]deferredNotify),
 		pulled:     make(map[string]uint64),
 		pulledAt:   make(map[string]time.Duration),
+		pullSpan:   make(map[string]*trace.Span),
 		outPrev:    make(map[uint32][]byte),
 		out:        make(chan outbound, outQueueDepth),
 		quit:       make(chan struct{}),
 		writerDone: make(chan struct{}),
 		vt:         vt,
 	}
+	if srv.cfg.Obs.Tracer() != nil {
+		ss.rec = trace.NewRing(flightRingSize)
+	}
+	return ss
+}
+
+// flightRingSize is each session's flight-recorder capacity.
+const flightRingSize = 256
+
+// record appends a flight-recorder event; a no-op when tracing is off.
+func (ss *session) record(kind, name string, tc wire.TraceContext, detail string) {
+	if ss.rec == nil {
+		return
+	}
+	ss.rec.Record(trace.Event{
+		At:     int64(ss.srv.cfg.Obs.Now()),
+		Kind:   kind,
+		Name:   name,
+		Trace:  tc.TraceID,
+		Detail: detail,
+	})
+}
+
+// dumpFlight snapshots the flight recorder into the server's dump list.
+// Used by the once-only disconnect/fault paths; job failures call the
+// server's recordFlightDump directly.
+func (ss *session) dumpFlight(reason string) {
+	if ss.rec == nil {
+		return
+	}
+	ss.dumpOnce.Do(func() { ss.srv.recordFlightDump(ss, reason) })
 }
 
 func (ss *session) prevOutput(scriptSum uint32) []byte {
@@ -113,6 +168,7 @@ func (ss *session) setPrevOutput(scriptSum uint32, stdout []byte) {
 func (ss *session) run() {
 	go ss.writer()
 	defer ss.srv.dropSession(ss)
+	defer ss.dumpFlight("disconnect")
 	defer ss.shutdownWriter()
 	// A session whose receive loop has exited can never converse again,
 	// even if its writer never saw a send fail. Mark it dead first
@@ -120,11 +176,12 @@ func (ss *session) run() {
 	// session for an orphaned fetch — never picks this one.
 	defer ss.dead.Store(true)
 	for {
-		msg, err := wire.Recv(ss.conn)
+		msg, tc, err := wire.RecvTraced(ss.conn)
 		if err != nil {
 			return // disconnect (io.EOF) or transport failure
 		}
-		if err := ss.dispatch(msg); err != nil {
+		ss.record("recv", msg.Kind().String(), tc, "")
+		if err := ss.dispatch(msg, tc); err != nil {
 			if errors.Is(err, errSessionGone) {
 				return
 			}
@@ -148,6 +205,8 @@ func (ss *session) writer() {
 	fail := func(err error) {
 		sticky = err
 		ss.dead.Store(true)
+		ss.record("fault", "writer", wire.TraceContext{}, err.Error())
+		ss.dumpFlight("fault: " + err.Error())
 		_ = ss.conn.Close() // wake the receive loop
 	}
 	flushNow := func() {
@@ -159,11 +218,12 @@ func (ss *session) writer() {
 	}
 	writeOne := func(ob outbound) {
 		if sticky == nil {
+			ss.record("send", ob.msg.Kind().String(), ob.tc, "")
 			var err error
 			if ob.stamped {
-				err = ss.vt.SendScheduled(wire.Marshal(ob.msg), ob.stamp)
+				err = ss.vt.SendScheduled(wire.MarshalTraced(ob.msg, ob.tc), ob.stamp)
 			} else {
-				err = wire.Send(ss.conn, ob.msg)
+				err = wire.SendTraced(ss.conn, ob.msg, ob.tc)
 			}
 			if err != nil {
 				fail(err)
@@ -223,18 +283,18 @@ func (ss *session) shutdownWriter() {
 	_ = ss.conn.Close()
 }
 
-func (ss *session) dispatch(msg wire.Message) error {
+func (ss *session) dispatch(msg wire.Message, tc wire.TraceContext) error {
 	switch m := msg.(type) {
 	case *wire.Hello:
 		return ss.handleHello(m)
 	case *wire.Notify:
-		return ss.handleNotify(m)
+		return ss.handleNotify(m, tc)
 	case *wire.FileDelta:
-		return ss.handleFileDelta(m)
+		return ss.handleFileDelta(m, tc)
 	case *wire.FileFull:
-		return ss.handleFileFull(m)
+		return ss.handleFileFull(m, tc)
 	case *wire.Submit:
-		return ss.handleSubmit(m)
+		return ss.handleSubmit(m, tc)
 	case *wire.StatusReq:
 		return ss.handleStatus(m)
 	case *wire.OutputAck:
@@ -252,11 +312,17 @@ func (ss *session) dispatch(msg wire.Message) error {
 // session is already gone; transport failures surface through the receive
 // loop (the writer closes the connection on error).
 func (ss *session) send(m wire.Message) error {
+	return ss.sendTraced(m, wire.TraceContext{})
+}
+
+// sendTraced enqueues a message carrying a trace context (zero = plain
+// untraced frame).
+func (ss *session) sendTraced(m wire.Message, tc wire.TraceContext) error {
 	if ss.dead.Load() {
 		return errSessionGone
 	}
 	select {
-	case ss.out <- ss.stamped(outbound{msg: m}):
+	case ss.out <- ss.stamped(outbound{msg: m, tc: tc}):
 		return nil
 	case <-ss.quit:
 		return errSessionGone
@@ -277,11 +343,11 @@ func (ss *session) stamped(ob outbound) outbound {
 // everything queued before it) on the wire, reporting the transport result.
 // Output delivery uses it: a failed send must requeue the output for the
 // next session, so "sent" has to mean sent.
-func (ss *session) sendSync(m wire.Message) error {
+func (ss *session) sendSync(m wire.Message, tc wire.TraceContext) error {
 	if ss.dead.Load() {
 		return errSessionGone
 	}
-	ob := ss.stamped(outbound{msg: m, errc: make(chan error, 1)})
+	ob := ss.stamped(outbound{msg: m, errc: make(chan error, 1), tc: tc})
 	select {
 	case ss.out <- ob:
 	case <-ss.quit:
@@ -307,7 +373,10 @@ func (ss *session) sendError(code uint32, text string) error {
 }
 
 func (ss *session) handleHello(m *wire.Hello) error {
-	if m.Protocol != wire.ProtocolVersion {
+	// Accept the whole supported range: version-1 peers never set the trace
+	// flag, so their frames decode unchanged, and the body encodings are
+	// identical across versions.
+	if m.Protocol < wire.MinProtocolVersion || m.Protocol > wire.ProtocolVersion {
 		_ = ss.sendError(wire.CodeBadRequest, fmt.Sprintf("protocol %d unsupported", m.Protocol))
 		return errSessionGone
 	}
@@ -346,26 +415,35 @@ func (ss *session) identity() identity {
 // handleNotify implements the demand-driven choice (§6.4): "The server ...
 // may request the client to supply the updates immediately, or may postpone
 // such a retrieval for a later time."
-func (ss *session) handleNotify(m *wire.Notify) error {
+func (ss *session) handleNotify(m *wire.Notify, tc wire.TraceContext) error {
 	ss.srv.counters.AddControl(0)
+	// The notify span records the pull decision the instant it is made —
+	// the paper's immediate/postpone choice is exactly what a trace reader
+	// wants to see first.
+	sp := ss.srv.cfg.Obs.StartSpan(tc, "server.notify").
+		SetSession(ss.id).SetFile(m.File.String())
+	defer sp.Finish()
 	switch ss.srv.cfg.Pull {
 	case PullLazy:
-		ss.deferNotify(m)
+		sp.Annotate("deferred-lazy")
+		ss.deferNotify(m, tc)
 		return nil
 	case PullLoadAware:
 		queued, running := ss.srv.pool.Load()
 		if queued+running >= ss.srv.cfg.LoadThreshold {
-			ss.deferNotify(m)
+			sp.Annotate("deferred-load")
+			ss.deferNotify(m, tc)
 			return nil
 		}
 	}
-	return ss.pullFile(m.File, m.Version)
+	sp.Annotate("immediate")
+	return ss.pullFile(m.File, m.Version, tc)
 }
 
-func (ss *session) deferNotify(m *wire.Notify) {
+func (ss *session) deferNotify(m *wire.Notify, tc wire.TraceContext) {
 	ss.srv.pullsDeferred.Add(1)
 	ss.mu.Lock()
-	ss.deferred[m.File.String()] = m
+	ss.deferred[m.File.String()] = deferredNotify{m: m, tc: tc}
 	ss.mu.Unlock()
 }
 
@@ -374,7 +452,7 @@ func (ss *session) deferNotify(m *wire.Notify) {
 // the session's own pulled map suppresses same-session duplicates, and the
 // server-wide flight table coalesces fetches across sessions — many clients
 // notifying the same file cost one transfer.
-func (ss *session) pullFile(ref wire.FileRef, want uint64) error {
+func (ss *session) pullFile(ref wire.FileRef, want uint64, tc wire.TraceContext) error {
 	id := ss.srv.dir.Intern(ref)
 	var have uint64
 	if e, ok := ss.srv.cache.Peek(id); ok {
@@ -394,17 +472,27 @@ func (ss *session) pullFile(ref wire.FileRef, want uint64) error {
 		ss.mu.Unlock()
 		return nil // a pull covering this version is in flight
 	}
-	if !ss.srv.flights.Begin(id, ref, want, ss.id) {
+	if !ss.srv.flights.Begin(id, ref, want, ss.id, tc) {
 		delete(ss.deferred, key)
 		ss.mu.Unlock()
 		// Another session is already fetching this version; its arrival
 		// feeds every waiting job, so no second transfer is needed.
 		ss.srv.pullsCoalesced.Add(1)
+		// Record the coalescing decision as an instant span: the cycle's
+		// trace shows it waited on someone else's transfer.
+		csp := ss.srv.cfg.Obs.StartSpan(tc, "server.pull-coalesced").
+			SetSession(ss.id).SetFile(key)
+		csp.Finish()
 		return nil
 	}
+	sp := ss.srv.cfg.Obs.StartSpan(tc, "server.pull").
+		SetSession(ss.id).SetFile(key)
 	ss.pulled[key] = want
 	if ss.srv.cfg.Obs != nil {
 		ss.pulledAt[key] = ss.srv.cfg.Obs.Now()
+	}
+	if sp != nil {
+		ss.pullSpan[key] = sp
 	}
 	delete(ss.deferred, key)
 	ss.mu.Unlock()
@@ -415,7 +503,19 @@ func (ss *session) pullFile(ref wire.FileRef, want uint64) error {
 			slog.Uint64("session", ss.id), slog.String("file", key),
 			slog.Uint64("want", want), slog.Uint64("have", have))
 	}
-	return ss.send(&wire.Pull{File: ref, HaveVersion: have, WantVersion: want})
+	// The PULL frame carries the pull span's context, so the client's
+	// answer becomes its child; without a server tracer the incoming
+	// context is forwarded unchanged so propagation still works.
+	return ss.sendTraced(&wire.Pull{File: ref, HaveVersion: have, WantVersion: want}, ctxOr(sp, tc))
+}
+
+// ctxOr returns sp's context, falling back to tc when the span is nil
+// (tracing off on this side, or an unsampled cycle).
+func ctxOr(sp *trace.Span, tc wire.TraceContext) wire.TraceContext {
+	if c := sp.Context(); c.Valid() {
+		return c
+	}
+	return tc
 }
 
 // drainDeferred issues pulls that were postponed, if the load allows now.
@@ -428,59 +528,81 @@ func (ss *session) drainDeferred() {
 		return
 	}
 	ss.mu.Lock()
-	pending := make([]*wire.Notify, 0, len(ss.deferred))
+	pending := make([]deferredNotify, 0, len(ss.deferred))
 	for _, n := range ss.deferred {
 		pending = append(pending, n)
 	}
 	ss.mu.Unlock()
 	for _, n := range pending {
-		if ss.pullFile(n.File, n.Version) != nil {
+		if ss.pullFile(n.m.File, n.m.Version, n.tc) != nil {
 			return
 		}
 	}
 }
 
-func (ss *session) handleFileDelta(m *wire.FileDelta) error {
+func (ss *session) handleFileDelta(m *wire.FileDelta, tc wire.TraceContext) error {
 	ss.srv.counters.AddDelta(len(m.Encoded))
+	sp := ss.srv.cfg.Obs.StartSpan(tc, "server.apply-delta").
+		SetSession(ss.id).SetFile(m.File.String())
+	defer sp.Finish()
 	id := ss.srv.dir.Intern(m.File)
 	entry, ok := ss.srv.cache.Get(id)
 	if ok && entry.Version >= m.Version {
 		// A duplicate or overtaken transfer; what we have is already
 		// at least as new. Re-acknowledge idempotently.
-		return ss.send(&wire.FileAck{File: m.File, Version: entry.Version})
+		sp.Annotate("duplicate")
+		return ss.sendTraced(&wire.FileAck{File: m.File, Version: entry.Version}, tc)
 	}
 	if !ok || entry.Version != m.BaseVersion {
 		// Our base is gone or different — the best-effort cache at
 		// work. Ask for the whole file.
-		return ss.forcePullFull(m.File, m.Version)
+		sp.Annotate("base-evicted")
+		return ss.forcePullFull(m.File, m.Version, tc)
 	}
 	content, err := core.ApplyDelta(entry.Content, m)
 	if errors.Is(err, core.ErrStaleBase) {
-		return ss.forcePullFull(m.File, m.Version)
+		sp.Annotate("stale-base")
+		return ss.forcePullFull(m.File, m.Version, tc)
 	}
 	if err != nil {
 		return fmt.Errorf("apply delta for %s: %w", m.File, err)
 	}
-	return ss.storeArrived(m.File, id, m.Version, content)
+	sp.Annotate("delta-applied")
+	return ss.storeArrived(m.File, id, m.Version, content, tc)
 }
 
 // forcePullFull requests a complete copy, bypassing the duplicate-pull
 // suppression (the previous pull's answer was unusable).
-func (ss *session) forcePullFull(ref wire.FileRef, want uint64) error {
+func (ss *session) forcePullFull(ref wire.FileRef, want uint64, tc wire.TraceContext) error {
 	id := ss.srv.dir.Intern(ref)
+	key := ref.String()
 	ss.mu.Lock()
-	ss.pulled[ref.String()] = want
+	ss.pulled[key] = want
 	if ss.srv.cfg.Obs != nil {
-		ss.pulledAt[ref.String()] = ss.srv.cfg.Obs.Now()
+		ss.pulledAt[key] = ss.srv.cfg.Obs.Now()
+	}
+	// The superseded pull span (if any) ends here: its answer proved
+	// unusable, and the fallback gets its own span.
+	if old := ss.pullSpan[key]; old != nil {
+		old.Annotate("superseded: base evicted").Finish()
+		delete(ss.pullSpan, key)
+	}
+	sp := ss.srv.cfg.Obs.StartSpan(tc, "server.pull-full").
+		SetSession(ss.id).SetFile(key)
+	if sp != nil {
+		ss.pullSpan[key] = sp
 	}
 	ss.mu.Unlock()
-	ss.srv.flights.Force(id, ref, want, ss.id)
+	ss.srv.flights.Force(id, ref, want, ss.id, tc)
 	ss.srv.pullsIssued.Add(1)
-	return ss.send(&wire.Pull{File: ref, HaveVersion: 0, WantVersion: want})
+	return ss.sendTraced(&wire.Pull{File: ref, HaveVersion: 0, WantVersion: want}, ctxOr(sp, tc))
 }
 
-func (ss *session) handleFileFull(m *wire.FileFull) error {
+func (ss *session) handleFileFull(m *wire.FileFull, tc wire.TraceContext) error {
 	ss.srv.counters.AddFull(len(m.Content))
+	sp := ss.srv.cfg.Obs.StartSpan(tc, "server.apply-full").
+		SetSession(ss.id).SetFile(m.File.String())
+	defer sp.Finish()
 	content, err := core.ApplyFull(m)
 	if err != nil {
 		return fmt.Errorf("apply full for %s: %w", m.File, err)
@@ -488,14 +610,15 @@ func (ss *session) handleFileFull(m *wire.FileFull) error {
 	id := ss.srv.dir.Intern(m.File)
 	if entry, ok := ss.srv.cache.Peek(id); ok && entry.Version > m.Version {
 		// Overtaken by a newer version; do not regress the cache.
-		return ss.send(&wire.FileAck{File: m.File, Version: entry.Version})
+		sp.Annotate("overtaken")
+		return ss.sendTraced(&wire.FileAck{File: m.File, Version: entry.Version}, tc)
 	}
-	return ss.storeArrived(m.File, id, m.Version, content)
+	return ss.storeArrived(m.File, id, m.Version, content, tc)
 }
 
 // storeArrived caches an arrived version (best effort), acknowledges it, and
 // feeds any jobs waiting for the file.
-func (ss *session) storeArrived(ref wire.FileRef, id naming.ShadowID, version uint64, content []byte) error {
+func (ss *session) storeArrived(ref wire.FileRef, id naming.ShadowID, version uint64, content []byte, tc wire.TraceContext) error {
 	// The applied content is a freshly built buffer, so the cache can own
 	// it without the defensive copy.
 	if err := ss.srv.cache.PutOwned(id, version, content); err != nil && !errors.Is(err, cache.ErrTooLarge) {
@@ -506,13 +629,18 @@ func (ss *session) storeArrived(ref wire.FileRef, id naming.ShadowID, version ui
 	ss.mu.Lock()
 	var issuedAt time.Duration
 	var timed bool
+	var psp *trace.Span
 	if ss.pulled[key] <= version {
-		// The arrival satisfies the open pull (if any); close its timing.
+		// The arrival satisfies the open pull (if any); close its timing
+		// and its span.
 		issuedAt, timed = ss.pulledAt[key]
+		psp = ss.pullSpan[key]
 		delete(ss.pulled, key)
 		delete(ss.pulledAt, key)
+		delete(ss.pullSpan, key)
 	}
 	ss.mu.Unlock()
+	psp.Finish()
 	if timed {
 		ss.srv.cfg.Obs.ObservePullArrival(issuedAt)
 	}
@@ -525,12 +653,14 @@ func (ss *session) storeArrived(ref wire.FileRef, id naming.ShadowID, version ui
 	// have disconnected right after sending), but the content is here
 	// and jobs waiting for it must proceed regardless.
 	ss.srv.feedWaitingJobs(ref, version, content)
-	return ss.send(&wire.FileAck{File: ref, Version: version})
+	return ss.sendTraced(&wire.FileAck{File: ref, Version: version}, tc)
 }
 
-func (ss *session) handleSubmit(m *wire.Submit) error {
+func (ss *session) handleSubmit(m *wire.Submit, tc wire.TraceContext) error {
 	ackStart := ss.srv.cfg.Obs.Now()
 	ss.srv.counters.AddControl(len(m.Script))
+	sp := ss.srv.cfg.Obs.StartSpan(tc, "server.submit").SetSession(ss.id)
+	defer sp.Finish()
 	cmds, err := jobs.ParseScript(m.Script)
 	if err != nil {
 		return ss.sendError(wire.CodeBadRequest, err.Error())
@@ -559,7 +689,8 @@ func (ss *session) handleSubmit(m *wire.Submit) error {
 		if id, ok := ss.srv.submitTags[owner][m.ClientTag]; ok {
 			ss.srv.tagMu.Unlock()
 			ss.srv.logf("session %d: duplicate submit tag %d -> job %d", ss.id, m.ClientTag, id)
-			return ss.send(&wire.SubmitOK{Job: id})
+			sp.SetJob(id).Annotate("duplicate-tag")
+			return ss.sendTraced(&wire.SubmitOK{Job: id}, tc)
 		}
 	}
 
@@ -577,6 +708,7 @@ func (ss *session) handleSubmit(m *wire.Submit) error {
 		waiting:         make(map[string]uint64),
 		byRef:           make(map[string]string),
 		snapshot:        make(map[string][]byte),
+		tc:              tc,
 	}
 	j.id = ss.srv.nextJob.Add(1)
 	ss.srv.jobs.add(j)
@@ -590,7 +722,8 @@ func (ss *session) handleSubmit(m *wire.Submit) error {
 		ss.srv.tagMu.Unlock()
 	}
 
-	if err := ss.send(&wire.SubmitOK{Job: j.id}); err != nil {
+	sp.SetJob(j.id)
+	if err := ss.sendTraced(&wire.SubmitOK{Job: j.id}, tc); err != nil {
 		return err
 	}
 	ss.srv.cfg.Obs.ObserveSubmitAck(ackStart)
@@ -619,7 +752,7 @@ func (ss *session) handleSubmit(m *wire.Submit) error {
 		j.waiting[key] = in.Version
 		j.mu.Unlock()
 		ss.srv.addWaiter(key, j)
-		if err := ss.pullFile(in.File, in.Version); err != nil {
+		if err := ss.pullFile(in.File, in.Version, tc); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" complete
+// events), the JSON schema Perfetto and chrome://tracing load directly.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	Pid  uint64            `json:"pid"`
+	Tid  uint64            `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome renders a trace record as Chrome trace-event JSON, loadable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing. Spans become "X"
+// (complete) events; the session id becomes the tid lane so client-side
+// spans (session 0 → lane 1) and each server session get separate rows.
+func WriteChrome(w io.Writer, rec Record) error {
+	events := make([]chromeEvent, 0, len(rec.Spans))
+	for _, s := range rec.Spans {
+		tid := s.Session
+		if tid == 0 {
+			tid = 1
+		}
+		args := map[string]string{
+			"trace": formatID(s.Trace),
+			"span":  formatID(s.ID),
+		}
+		if s.Parent != 0 {
+			args["parent"] = formatID(s.Parent)
+		}
+		if s.Job != 0 {
+			args["job"] = formatID(s.Job)
+		}
+		if s.File != "" {
+			args["file"] = s.File
+		}
+		if s.Detail != "" {
+			args["detail"] = s.Detail
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   float64(s.Start.Nanoseconds()) / 1e3,
+			Dur:  float64((s.End - s.Start).Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  tid,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+func formatID(v uint64) string {
+	const digits = "0123456789"
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = digits[v%10]
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrBadRecord reports an undecodable span or record payload.
+var ErrBadRecord = errors.New("trace: bad record")
+
+// Binary span/record codec, mirroring the wire package's uvarint idiom.
+// The admin endpoint serves completed traces in this form
+// (/tracez?id=N&format=bin) so external collectors can archive them
+// compactly; the format is versionless — records are self-contained and
+// never streamed across protocol versions.
+
+// AppendSpan appends the binary encoding of one span to buf.
+func AppendSpan(buf []byte, s Span) []byte {
+	buf = binary.AppendUvarint(buf, s.Trace)
+	buf = binary.AppendUvarint(buf, s.ID)
+	buf = binary.AppendUvarint(buf, s.Parent)
+	buf = appendString(buf, s.Name)
+	buf = binary.AppendUvarint(buf, uint64(s.Start))
+	buf = binary.AppendUvarint(buf, uint64(s.End))
+	buf = binary.AppendUvarint(buf, s.Session)
+	buf = binary.AppendUvarint(buf, s.Job)
+	buf = appendString(buf, s.File)
+	buf = appendString(buf, s.Detail)
+	return buf
+}
+
+// DecodeSpan parses one span from the front of buf, returning the rest.
+func DecodeSpan(buf []byte) (Span, []byte, error) {
+	var s Span
+	var err error
+	if s.Trace, buf, err = readUvarint(buf); err != nil {
+		return s, nil, err
+	}
+	if s.ID, buf, err = readUvarint(buf); err != nil {
+		return s, nil, err
+	}
+	if s.Parent, buf, err = readUvarint(buf); err != nil {
+		return s, nil, err
+	}
+	if s.Name, buf, err = readString(buf); err != nil {
+		return s, nil, err
+	}
+	var v uint64
+	if v, buf, err = readUvarint(buf); err != nil {
+		return s, nil, err
+	}
+	s.Start = time.Duration(v)
+	if v, buf, err = readUvarint(buf); err != nil {
+		return s, nil, err
+	}
+	s.End = time.Duration(v)
+	if s.Session, buf, err = readUvarint(buf); err != nil {
+		return s, nil, err
+	}
+	if s.Job, buf, err = readUvarint(buf); err != nil {
+		return s, nil, err
+	}
+	if s.File, buf, err = readString(buf); err != nil {
+		return s, nil, err
+	}
+	if s.Detail, buf, err = readString(buf); err != nil {
+		return s, nil, err
+	}
+	return s, buf, nil
+}
+
+// EncodeRecord serializes a whole trace record.
+func EncodeRecord(rec Record) []byte {
+	buf := binary.AppendUvarint(nil, rec.ID)
+	buf = binary.AppendUvarint(buf, uint64(len(rec.Spans)))
+	for _, s := range rec.Spans {
+		buf = AppendSpan(buf, s)
+	}
+	return buf
+}
+
+// DecodeRecord parses a record produced by EncodeRecord, rejecting
+// trailing bytes.
+func DecodeRecord(buf []byte) (Record, error) {
+	var rec Record
+	var err error
+	if rec.ID, buf, err = readUvarint(buf); err != nil {
+		return rec, err
+	}
+	var n uint64
+	if n, buf, err = readUvarint(buf); err != nil {
+		return rec, err
+	}
+	// A span encodes to at least 10 bytes; cap the prealloc by what the
+	// payload could possibly hold so a corrupt count can't balloon memory.
+	if n > uint64(len(buf)) {
+		return rec, fmt.Errorf("%w: span count %d exceeds payload", ErrBadRecord, n)
+	}
+	rec.Spans = make([]Span, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var s Span
+		if s, buf, err = DecodeSpan(buf); err != nil {
+			return rec, err
+		}
+		rec.Spans = append(rec.Spans, s)
+	}
+	if len(buf) != 0 {
+		return rec, fmt.Errorf("%w: %d trailing bytes", ErrBadRecord, len(buf))
+	}
+	return rec, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readUvarint(buf []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad uvarint", ErrBadRecord)
+	}
+	return v, buf[n:], nil
+}
+
+func readString(buf []byte) (string, []byte, error) {
+	n, rest, err := readUvarint(buf)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(len(rest)) {
+		return "", nil, fmt.Errorf("%w: string length %d exceeds payload", ErrBadRecord, n)
+	}
+	return string(rest[:n]), rest[n:], nil
+}

@@ -1,0 +1,87 @@
+package trace
+
+import "sync/atomic"
+
+// Event is one flight-recorder entry: a protocol or span event a session
+// recently saw. Events are tiny on purpose — the ring records always-on,
+// so an entry is a few words, not a full span.
+type Event struct {
+	// At is the observer-clock stamp (virtual under netsim).
+	At int64
+	// Kind classifies the event ("recv", "send", "span", "fault", ...).
+	Kind string
+	// Name is the protocol message or span name.
+	Name string
+	// Trace is the associated trace id, 0 when untraced.
+	Trace uint64
+	// Detail is a short free-form annotation.
+	Detail string
+}
+
+// Ring is the per-session flight recorder: a fixed-size lock-free buffer
+// of the most recent events. Writers never block and never allocate beyond
+// the event itself; the ring simply overwrites its oldest slot. Record is
+// safe for concurrent use from any number of goroutines; Snapshot may run
+// concurrently with writers and returns a best-effort consistent view
+// (an entry being overwritten during the copy shows either its old or new
+// value — both were real events).
+//
+// All methods are nil-safe: a nil *Ring discards every event, so sessions
+// without tracing pay one pointer test.
+type Ring struct {
+	mask  uint64
+	pos   atomic.Uint64
+	slots []atomic.Pointer[Event]
+}
+
+// NewRing builds a ring holding size events, rounded up to a power of two
+// (minimum 16).
+func NewRing(size int) *Ring {
+	n := 16
+	for n < size {
+		n <<= 1
+	}
+	return &Ring{mask: uint64(n - 1), slots: make([]atomic.Pointer[Event], n)}
+}
+
+// Record appends an event. Lock-free: claim a slot index with one atomic
+// add, then publish the event pointer into it.
+func (r *Ring) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	idx := r.pos.Add(1) - 1
+	r.slots[idx&r.mask].Store(&ev)
+}
+
+// Len returns the number of events currently held (at most the ring size).
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	n := r.pos.Load()
+	if n > r.mask+1 {
+		n = r.mask + 1
+	}
+	return int(n)
+}
+
+// Snapshot copies the held events, oldest first.
+func (r *Ring) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	pos := r.pos.Load()
+	size := r.mask + 1
+	start := uint64(0)
+	if pos > size {
+		start = pos - size
+	}
+	out := make([]Event, 0, pos-start)
+	for i := start; i < pos; i++ {
+		if p := r.slots[i&r.mask].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	return out
+}

@@ -5,27 +5,43 @@ import (
 	"testing"
 )
 
-// FuzzUnmarshal explores the protocol decoder with arbitrary frames. The
-// invariants: never panic, and any frame that decodes re-encodes to a
-// payload that decodes to the same message (idempotent round trip).
+// FuzzUnmarshal explores the protocol decoder with arbitrary frames — with
+// and without the optional trace-context header. The invariants: never
+// panic, and any frame that decodes re-encodes (with its decoded context)
+// to a payload that decodes to the same message and context (idempotent
+// round trip).
 func FuzzUnmarshal(f *testing.F) {
 	for _, m := range sampleMessages() {
 		f.Add(Marshal(m))
+		f.Add(MarshalTraced(m, TraceContext{TraceID: 0xA11CE, SpanID: 3}))
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xFF})
+	f.Add([]byte{byte(KindBye) | traceFlag})          // flag with no header
+	f.Add([]byte{byte(KindBye) | traceFlag, 1, 2})    // minimal traced frame
+	f.Add([]byte{byte(KindNotify) | traceFlag, 0, 0}) // zero trace id
 	f.Fuzz(func(t *testing.T, data []byte) {
-		m, err := Unmarshal(data)
+		m, tc, err := UnmarshalTraced(data)
 		if err != nil {
 			return
 		}
-		re := Marshal(m)
-		m2, err := Unmarshal(re)
+		re := MarshalTraced(m, tc)
+		m2, tc2, err := UnmarshalTraced(re)
 		if err != nil {
 			t.Fatalf("re-decode failed: %v", err)
 		}
-		if !bytes.Equal(Marshal(m2), re) {
+		if tc2 != tc {
+			t.Fatalf("trace context not stable: %+v != %+v", tc2, tc)
+		}
+		if !bytes.Equal(MarshalTraced(m2, tc2), re) {
 			t.Fatalf("round trip not stable")
+		}
+		// The untraced decoder must accept the same frame, yielding the
+		// same message with the header stripped.
+		if m3, err := Unmarshal(data); err != nil {
+			t.Fatalf("Unmarshal rejected a frame UnmarshalTraced accepted: %v", err)
+		} else if !bytes.Equal(Marshal(m3), Marshal(m)) {
+			t.Fatalf("traced/untraced decoders disagree on the message")
 		}
 	})
 }

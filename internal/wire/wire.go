@@ -19,7 +19,15 @@ import (
 )
 
 // ProtocolVersion identifies this revision of the shadow protocol.
-const ProtocolVersion = 1
+// Version 2 added the optional trace-context header (see TraceContext);
+// the body encodings of all messages are unchanged, so the server accepts
+// every version down to MinProtocolVersion.
+const ProtocolVersion = 2
+
+// MinProtocolVersion is the oldest protocol revision the server still
+// speaks. Version-1 peers never set the trace flag, so their frames decode
+// exactly as before.
+const MinProtocolVersion = 1
 
 // MaxFrame bounds a single protocol frame; larger transfers are rejected
 // rather than buffered without limit.
@@ -144,6 +152,24 @@ func (s JobState) String() string {
 // Terminal reports whether the state is final.
 func (s JobState) Terminal() bool { return s == JobDone || s == JobFailed }
 
+// traceFlag is set on the frame's kind byte when a trace-context header
+// follows it. Message kinds are small constants (1..16), so the high bit is
+// never part of a legitimate kind value — version-1 frames can never carry
+// it, which is what keeps the header backward compatible.
+const traceFlag = 0x80
+
+// TraceContext is the causal metadata a frame may carry: the cycle's trace
+// id and the sending side's span id, in the style of Dapper/X-Trace
+// propagation. The zero value means "untraced"; untraced frames are encoded
+// exactly as protocol version 1 did.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the context names a real trace.
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 }
+
 // Message is one protocol message.
 type Message interface {
 	// Kind returns the message discriminator.
@@ -154,33 +180,67 @@ type Message interface {
 	decode(d *decoder)
 }
 
-// Marshal serializes a message, kind byte first.
+// Marshal serializes a message, kind byte first (untraced).
 func Marshal(m Message) []byte {
+	return MarshalTraced(m, TraceContext{})
+}
+
+// MarshalTraced serializes a message with an optional trace-context header.
+// An invalid (zero) context produces exactly the version-1 encoding: the
+// flag bit is only set when there is a header to read, so tracing-off
+// traffic is byte-identical to the untraced protocol.
+func MarshalTraced(m Message, tc TraceContext) []byte {
 	e := &encoder{buf: make([]byte, 0, 64)}
-	e.byte(byte(m.Kind()))
+	if tc.Valid() {
+		e.byte(byte(m.Kind()) | traceFlag)
+		e.uvarint(tc.TraceID)
+		e.uvarint(tc.SpanID)
+	} else {
+		e.byte(byte(m.Kind()))
+	}
 	m.encode(e)
 	return e.buf
 }
 
-// Unmarshal parses a message produced by Marshal.
+// Unmarshal parses a message produced by Marshal or MarshalTraced,
+// discarding any trace context.
 func Unmarshal(buf []byte) (Message, error) {
+	m, _, err := UnmarshalTraced(buf)
+	return m, err
+}
+
+// UnmarshalTraced parses a message and its trace-context header, when
+// present. Frames without the flag (every version-1 frame) decode with a
+// zero context.
+func UnmarshalTraced(buf []byte) (Message, TraceContext, error) {
+	var tc TraceContext
 	if len(buf) == 0 {
-		return nil, fmt.Errorf("%w: empty", ErrBadMessage)
-	}
-	kind := Kind(buf[0])
-	m := newMessage(kind)
-	if m == nil {
-		return nil, fmt.Errorf("%w: unknown kind %d", ErrBadMessage, kind)
+		return nil, tc, fmt.Errorf("%w: empty", ErrBadMessage)
 	}
 	d := &decoder{buf: buf[1:]}
+	if buf[0]&traceFlag != 0 {
+		tc.TraceID = d.uvarint()
+		tc.SpanID = d.uvarint()
+		if d.err != nil {
+			return nil, TraceContext{}, fmt.Errorf("%w: bad trace header: %v", ErrBadMessage, d.err)
+		}
+		if !tc.Valid() {
+			return nil, TraceContext{}, fmt.Errorf("%w: trace flag with zero trace id", ErrBadMessage)
+		}
+	}
+	kind := Kind(buf[0] &^ traceFlag)
+	m := newMessage(kind)
+	if m == nil {
+		return nil, TraceContext{}, fmt.Errorf("%w: unknown kind %d", ErrBadMessage, kind)
+	}
 	m.decode(d)
 	if d.err != nil {
-		return nil, fmt.Errorf("%w: %s: %v", ErrBadMessage, kind, d.err)
+		return nil, TraceContext{}, fmt.Errorf("%w: %s: %v", ErrBadMessage, kind, d.err)
 	}
 	if len(d.buf) != 0 {
-		return nil, fmt.Errorf("%w: %s: %d trailing bytes", ErrBadMessage, kind, len(d.buf))
+		return nil, TraceContext{}, fmt.Errorf("%w: %s: %d trailing bytes", ErrBadMessage, kind, len(d.buf))
 	}
-	return m, nil
+	return m, tc, nil
 }
 
 func newMessage(k Kind) Message {
@@ -222,9 +282,15 @@ func newMessage(k Kind) Message {
 	}
 }
 
-// Send marshals and transmits a message.
+// Send marshals and transmits a message (untraced).
 func Send(c Conn, m Message) error {
 	return c.Send(Marshal(m))
+}
+
+// SendTraced marshals and transmits a message carrying tc. A zero context
+// sends the plain version-1 frame.
+func SendTraced(c Conn, m Message, tc TraceContext) error {
+	return c.Send(MarshalTraced(m, tc))
 }
 
 // ScheduledSender is implemented by virtual-time transports whose
@@ -238,14 +304,22 @@ type ScheduledSender interface {
 	SendScheduled(payload []byte, start time.Duration) error
 }
 
-// Recv receives and unmarshals the next message.
+// Recv receives and unmarshals the next message, discarding any trace
+// context.
 func Recv(c Conn) (Message, error) {
+	m, _, err := RecvTraced(c)
+	return m, err
+}
+
+// RecvTraced receives the next message together with its trace context
+// (zero when the peer sent an untraced frame).
+func RecvTraced(c Conn) (Message, TraceContext, error) {
 	buf, err := c.Recv()
 	if err != nil {
-		return nil, err
+		return nil, TraceContext{}, err
 	}
 	if len(buf) > MaxFrame {
-		return nil, ErrFrameTooLarge
+		return nil, TraceContext{}, ErrFrameTooLarge
 	}
-	return Unmarshal(buf)
+	return UnmarshalTraced(buf)
 }

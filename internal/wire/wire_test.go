@@ -63,6 +63,89 @@ func TestMarshalRoundTripEveryMessage(t *testing.T) {
 	}
 }
 
+func TestMarshalTracedRoundTripEveryMessage(t *testing.T) {
+	tc := TraceContext{TraceID: 0xABCDE12345, SpanID: 77}
+	for _, m := range sampleMessages() {
+		t.Run(m.Kind().String(), func(t *testing.T) {
+			buf := MarshalTraced(m, tc)
+			got, gotTC, err := UnmarshalTraced(buf)
+			if err != nil {
+				t.Fatalf("UnmarshalTraced: %v", err)
+			}
+			if gotTC != tc {
+				t.Fatalf("trace context = %+v, want %+v", gotTC, tc)
+			}
+			if !reflect.DeepEqual(got, m) {
+				t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", got, m)
+			}
+			// Plain Unmarshal must accept the traced frame too (it just
+			// drops the header) — old decode paths keep working.
+			if got2, err := Unmarshal(buf); err != nil || !reflect.DeepEqual(got2, m) {
+				t.Fatalf("Unmarshal of traced frame: %#v, %v", got2, err)
+			}
+		})
+	}
+}
+
+// TestUntracedFramesUnchanged pins backward compatibility: a zero context
+// must produce the exact version-1 encoding, and version-1 frames decode
+// with a zero context.
+func TestUntracedFramesUnchanged(t *testing.T) {
+	for _, m := range sampleMessages() {
+		plain := Marshal(m)
+		traced := MarshalTraced(m, TraceContext{})
+		if !reflect.DeepEqual(plain, traced) {
+			t.Fatalf("%s: zero-context frame differs from untraced frame", m.Kind())
+		}
+		_, tc, err := UnmarshalTraced(plain)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Kind(), err)
+		}
+		if tc.Valid() {
+			t.Fatalf("%s: untraced frame decoded with context %+v", m.Kind(), tc)
+		}
+	}
+}
+
+// TestTraceContextPropertyRoundTrip is the property test for the
+// trace-context header codec: any (message, context) pair survives
+// encode/decode, and the flag bit appears exactly when the context is valid.
+func TestTraceContextPropertyRoundTrip(t *testing.T) {
+	samples := sampleMessages()
+	f := func(pick uint8, traceID, spanID uint64) bool {
+		m := samples[int(pick)%len(samples)]
+		tc := TraceContext{TraceID: traceID, SpanID: spanID}
+		buf := MarshalTraced(m, tc)
+		if (buf[0]&traceFlag != 0) != tc.Valid() {
+			return false
+		}
+		got, gotTC, err := UnmarshalTraced(buf)
+		if err != nil {
+			return false
+		}
+		if tc.Valid() {
+			if gotTC != tc {
+				return false
+			}
+		} else if gotTC.Valid() {
+			return false
+		}
+		return reflect.DeepEqual(got, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracedRejectsZeroTraceID(t *testing.T) {
+	// A flagged frame whose header names trace 0 is malformed — an encoder
+	// never produces it, so the decoder refuses rather than guessing.
+	buf := []byte{byte(KindBye) | traceFlag, 0x00, 0x05}
+	if _, _, err := UnmarshalTraced(buf); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("err = %v, want ErrBadMessage", err)
+	}
+}
+
 func TestUnmarshalRejectsTruncations(t *testing.T) {
 	for _, m := range sampleMessages() {
 		buf := Marshal(m)
@@ -74,6 +157,12 @@ func TestUnmarshalRejectsTruncations(t *testing.T) {
 				// make that impossible, so any success is a
 				// bug.
 				t.Fatalf("%s: %d/%d byte prefix decoded", m.Kind(), cut, len(buf))
+			}
+		}
+		traced := MarshalTraced(m, TraceContext{TraceID: 1 << 40, SpanID: 9})
+		for cut := 0; cut < len(traced); cut++ {
+			if _, _, err := UnmarshalTraced(traced[:cut]); err == nil {
+				t.Fatalf("%s: %d/%d byte traced prefix decoded", m.Kind(), cut, len(traced))
 			}
 		}
 	}
