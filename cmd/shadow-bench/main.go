@@ -14,6 +14,7 @@
 //	shadow-bench -fig load       Multi-client throughput vs job slots
 //	shadow-bench -fig overlap    Background transfer hidden behind editing
 //	shadow-bench -fig server     Multi-session server throughput (wall clock)
+//	shadow-bench -fig capacity   Session-capacity sweep (100..10k sessions, GOMAXPROCS curve)
 //	shadow-bench -fig trace      Tracing overhead: server figure twice, off vs on
 //	shadow-bench -fig chaos      Fault-injection gauntlet (drops/spikes/flaps)
 //	shadow-bench -fig all        Everything
@@ -33,6 +34,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"shadowedit/internal/experiment"
@@ -63,6 +66,11 @@ func run(args []string, w io.Writer) error {
 		traceOn   = fs.Bool("trace", false, "server figure: run with full cycle tracing on")
 		chromeOut = fs.String("chrome-out", "", "server/trace figures: write the slowest trace as Chrome trace-event JSON to this path")
 
+		capSessions = fs.String("cap-sessions", "100,1000,5000,10000", "capacity figure: comma-separated session counts")
+		capProcs    = fs.String("cap-procs", "1,2,4,8", "capacity figure: comma-separated GOMAXPROCS values")
+		capCycles   = fs.Int("cap-cycles", 2, "capacity figure: measured cycles per session")
+		capFileSize = fs.Int("cap-filesize", 2*1024, "capacity figure: data file size in bytes")
+
 		dropRate   = fs.Float64("drop", 0.05, "chaos figure: per-frame drop probability")
 		spikeRate  = fs.Float64("spike", 0.05, "chaos figure: per-frame latency-spike probability")
 		spikeExtra = fs.Duration("spike-extra", 20*time.Millisecond, "chaos figure: added latency per spike")
@@ -85,6 +93,21 @@ func run(args []string, w io.Writer) error {
 	}
 	runner.benchOut = *benchOut
 	runner.label = *label
+	capSess, err := parseIntList(*capSessions)
+	if err != nil {
+		return fmt.Errorf("-cap-sessions: %w", err)
+	}
+	capPr, err := parseIntList(*capProcs)
+	if err != nil {
+		return fmt.Errorf("-cap-procs: %w", err)
+	}
+	runner.capacityCfg = experiment.CapacityConfig{
+		Sessions: capSess,
+		Procs:    capPr,
+		Cycles:   *capCycles,
+		FileSize: *capFileSize,
+		Seed:     *seed,
+	}
 	runner.chaosCfg = experiment.ChaosConfig{
 		Sessions:    *sessions,
 		Cycles:      *cycles,
@@ -120,6 +143,8 @@ func run(args []string, w io.Writer) error {
 		return runner.overlap()
 	case "server":
 		return runner.serverBench()
+	case "capacity":
+		return runner.capacity()
 	case "trace":
 		return runner.traceOverhead()
 	case "chaos":
@@ -146,10 +171,11 @@ type runner struct {
 	seed int64
 	plot bool
 
-	server   experiment.ServerBenchConfig
-	chaosCfg experiment.ChaosConfig
-	benchOut string
-	label    string
+	server      experiment.ServerBenchConfig
+	chaosCfg    experiment.ChaosConfig
+	capacityCfg experiment.CapacityConfig
+	benchOut    string
+	label       string
 }
 
 func (r *runner) cfg(link netsim.Spec) experiment.Config {
@@ -272,6 +298,29 @@ func (r *runner) serverBench() error {
 	return nil
 }
 
+// capacity runs the session-capacity sweep, printing each cell as it lands
+// and appending all cells to the trajectory file.
+func (r *runner) capacity() error {
+	results, err := experiment.RunCapacitySweep(r.capacityCfg, func(res experiment.ServerBenchResult) {
+		fmt.Fprintf(r.w, "%s: %d sessions @ GOMAXPROCS=%d: %.1f cycles/sec (p50 %.1fms, p99 %.1fms), %.1f goroutines/session, %.1f KB resident/session, connect+prime %.1fs\n",
+			res.Label, res.Sessions, res.GoMaxProcs, res.CyclesPerSec,
+			res.P50Ms, res.P99Ms, res.GoroutinesPerSession, res.ResidentKBPerSession, res.ConnectSec)
+	})
+	if err != nil {
+		return err
+	}
+	if r.benchOut == "" {
+		return nil
+	}
+	for _, res := range results {
+		if err := appendBenchRun(r.benchOut, res); err != nil {
+			return fmt.Errorf("write %s: %w", r.benchOut, err)
+		}
+	}
+	fmt.Fprintf(r.w, "recorded in %s\n", r.benchOut)
+	return nil
+}
+
 // traceOverhead runs the server figure twice — tracing off, then fully on —
 // and reports the throughput cost of distributed cycle tracing. Both runs
 // land in the trajectory file under the labels "trace-off" and "trace-all"
@@ -347,6 +396,26 @@ func appendBenchRun(path string, res experiment.ServerBenchResult) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// parseIntList parses "100,1000,5000" into ints.
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
 }
 
 func (r *runner) cache() error {

@@ -31,6 +31,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	shadow "shadowedit"
 	"shadowedit/internal/admin"
@@ -110,6 +111,12 @@ func run(args []string) error {
 	}
 	cfg.Obs.SetTracer(tracer)
 
+	// Every session holds one descriptor; a capacity-scale fleet needs the
+	// soft limit out of the way before the first accept.
+	if cur, hard, ok := raiseFileLimit(); ok {
+		log.Printf("shadowd: file descriptor limit %d (hard %d)", cur, hard)
+	}
+
 	srv := shadow.NewServer(cfg)
 	defer srv.Close()
 
@@ -117,6 +124,10 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("shadowd: %w", err)
 	}
+	// Accept failures that aren't a closed listener (EMFILE exhaustion,
+	// aborted handshakes) must not kill a daemon with thousands of live
+	// sessions: log, back off, keep accepting.
+	ln = &backoffListener{Listener: ln}
 	log.Printf("shadowd %q listening on %s (pull=%s, jobs=%d, cache=%s/%s)",
 		*name, ln.Addr(), *pull, *jobsN, *cacheSize, *cachePolicy)
 
@@ -168,6 +179,32 @@ func run(args []string) error {
 	default:
 	}
 	return err
+}
+
+// backoffListener retries transient Accept failures with exponential
+// backoff instead of surfacing them, which would end Serve and take every
+// live session down with it. Only a closed listener (the shutdown path)
+// propagates.
+type backoffListener struct {
+	net.Listener
+}
+
+func (l *backoffListener) Accept() (net.Conn, error) {
+	delay := 5 * time.Millisecond
+	for {
+		c, err := l.Listener.Accept()
+		if err == nil {
+			return c, nil
+		}
+		if errors.Is(err, net.ErrClosed) {
+			return nil, err
+		}
+		log.Printf("shadowd: accept: %v (retrying in %v)", err, delay)
+		time.Sleep(delay)
+		if delay < time.Second {
+			delay *= 2
+		}
+	}
 }
 
 // buildTracer interprets -trace: nil (off), trace-everything, or a 1-in-N

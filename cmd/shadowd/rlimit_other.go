@@ -1,0 +1,6 @@
+//go:build !unix
+
+package main
+
+// raiseFileLimit is a no-op where rlimits don't exist.
+func raiseFileLimit() (cur, max uint64, ok bool) { return 0, 0, false }

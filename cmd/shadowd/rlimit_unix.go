@@ -1,0 +1,26 @@
+//go:build unix
+
+package main
+
+import "syscall"
+
+// raiseFileLimit lifts the soft RLIMIT_NOFILE to the hard limit so one
+// daemon can hold thousands of concurrent session sockets (each session
+// costs one descriptor). It returns the resulting soft and hard limits;
+// ok is false when the limits could not even be read.
+func raiseFileLimit() (cur, max uint64, ok bool) {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return 0, 0, false
+	}
+	if rl.Cur < rl.Max {
+		raised := rl
+		raised.Cur = rl.Max
+		// Best effort: a container may refuse; the daemon still runs,
+		// the accept loop's backoff absorbs EMFILE bursts.
+		if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &raised); err == nil {
+			rl = raised
+		}
+	}
+	return uint64(rl.Cur), uint64(rl.Max), true
+}

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -180,6 +181,19 @@ func (h *handler) writeGauges(b *strings.Builder) {
 	gauge("shadow_cache_entries", "Entries in the best-effort cache.", float64(st.Entries))
 	gauge("shadow_cache_bytes", "Content bytes held by the cache.", float64(st.Bytes))
 	gauge("shadow_cache_capacity_bytes", "Configured cache capacity (0 = unbounded).", float64(max64(h.srv.Cache().Capacity(), 0)))
+	// Capacity footprint: what each attached session costs the process.
+	// ReadMemStats stops the world briefly, which a scrape endpoint can
+	// afford; the per-session derivations are what the capacity benchmark
+	// tracks in BENCH_server.json, exported live here.
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	goroutines := runtime.NumGoroutine()
+	gauge("shadow_goroutines", "Goroutines in the server process.", float64(goroutines))
+	gauge("shadow_heap_inuse_bytes", "Resident heap bytes (runtime.MemStats.HeapInuse).", float64(mem.HeapInuse))
+	if n := h.srv.SessionCount(); n > 0 {
+		gauge("shadow_goroutines_per_session", "Process goroutines divided by attached sessions.", float64(goroutines)/float64(n))
+		gauge("shadow_heap_inuse_bytes_per_session", "Resident heap bytes divided by attached sessions.", float64(mem.HeapInuse)/float64(n))
+	}
 	counts := h.srv.JobCounts()
 	fmt.Fprintf(b, "# HELP shadow_jobs Submitted jobs by lifecycle state.\n# TYPE shadow_jobs gauge\n")
 	for _, state := range []wire.JobState{wire.JobQueued, wire.JobFetching, wire.JobRunning, wire.JobDone, wire.JobFailed} {

@@ -168,6 +168,7 @@ type Client struct {
 	connUp   chan struct{} // closed once a conn is live; remade when it dies
 	session  uint64
 	awaiting chan wire.Message // live only while a request is outstanding
+	replyCh  chan wire.Message // reused across attempts; drained at install
 	pending  *pendingSubmit    // submit in flight, installed on SUBMIT_OK
 	outPrev  map[uint32][]byte // script checksum -> last received stdout
 	jobMeta  map[uint64]jobMeta
@@ -753,7 +754,7 @@ func (c *Client) sendTraced(m wire.Message, tc wire.TraceContext) error {
 	if conn == nil {
 		return ErrDisconnected
 	}
-	if err := wire.SendTraced(conn, m, tc); err != nil {
+	if err := wire.SendShared(conn, m, tc); err != nil {
 		// Sever the transport: a partial or refused write (a link-down
 		// window, say) leaves the stream unusable, and closing it is what
 		// engages the supervisor's backoff-and-reconnect path. Without
@@ -843,11 +844,23 @@ func (c *Client) attempt(ctx context.Context, req wire.Message, tc wire.TraceCon
 		return nil, err
 	}
 
-	ch := make(chan wire.Message, 1)
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil, ErrClosed
+	}
+	// One reply channel serves every attempt (reqMu serializes them). A
+	// reply deposited after a timed-out attempt abandoned the channel is
+	// drained here before reuse; deposits happen under mu (see routeReply),
+	// so nothing can slip in between the drain and the install.
+	ch := c.replyCh
+	if ch == nil {
+		ch = make(chan wire.Message, 1)
+		c.replyCh = ch
+	}
+	select {
+	case <-ch:
+	default:
 	}
 	c.awaiting = ch
 	c.mu.Unlock()
@@ -866,7 +879,7 @@ func (c *Client) attempt(ctx context.Context, req wire.Message, tc wire.TraceCon
 		defer cancel()
 	}
 
-	if err := wire.SendTraced(conn, req, tc); err != nil {
+	if err := wire.SendShared(conn, req, tc); err != nil {
 		// Sever the failed transport (see send) and wait for the
 		// supervisor to reap it, so the retry runs against the next
 		// session instead of spinning on the corpse.

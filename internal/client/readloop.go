@@ -15,9 +15,13 @@ import (
 // acks to the version store, receives job output, and routes request replies
 // to the waiting caller. It exits when the connection ends, recording the
 // cause in lastDrop for the supervisor.
+//
+// The loop is the connection's only receiver, so it can use the reusable
+// receive path: decoding copies every field out of the frame, so nothing
+// aliases the connection's scratch once a message is dispatched.
 func (c *Client) readLoop(conn wire.Conn) {
 	for {
-		msg, tc, err := wire.RecvTraced(conn)
+		msg, tc, err := wire.RecvTracedReuse(conn)
 		if err != nil {
 			c.mu.Lock()
 			c.lastDrop = err
@@ -66,29 +70,29 @@ func (c *Client) routeReply(msg wire.Message) {
 		}
 		c.pending = nil
 	}
-	ch := c.awaiting
+	// The deposit happens under mu (safe: the send never blocks on a
+	// buffered channel with a default case), so it is atomic with respect
+	// to attempt's drain/install/clear of the shared reply channel — a
+	// reply can never land in the channel after attempt has abandoned it.
+	if ch := c.awaiting; ch != nil {
+		select {
+		case ch <- msg:
+		default:
+		}
+	}
 	c.mu.Unlock()
-	if ch == nil {
-		return
-	}
-	select {
-	case ch <- msg:
-	default:
-	}
 }
 
 func (c *Client) handleError(m *wire.ErrorMsg) {
 	c.mu.Lock()
-	ch := c.awaiting
-	c.mu.Unlock()
-	if ch != nil {
+	if ch := c.awaiting; ch != nil {
 		select {
 		case ch <- m:
+			c.mu.Unlock()
 			return
 		default:
 		}
 	}
-	c.mu.Lock()
 	if c.lastErr == nil {
 		c.lastErr = m
 	}
@@ -101,7 +105,10 @@ func (c *Client) handleError(m *wire.ErrorMsg) {
 // A traced pull (tc valid) gets a "client.answer-pull" span, and the reply
 // frame propagates the cycle's context back so the server's apply joins it.
 func (c *Client) handlePull(m *wire.Pull, tc wire.TraceContext) {
-	sp := c.cfg.Obs.StartSpan(tc, "client.answer-pull").SetFile(m.File.String())
+	sp := c.cfg.Obs.StartSpan(tc, "client.answer-pull")
+	if sp != nil {
+		sp.SetFile(m.File.String())
+	}
 	defer sp.Finish()
 	reply, err := core.AnswerPull(c.store, m, c.cfg.Env.Algorithm, c.cfg.Env.Compress, c.cfg.Clock)
 	if err != nil {

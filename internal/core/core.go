@@ -69,11 +69,14 @@ var (
 // full content is unavailable (the version store no longer retains the
 // wanted version).
 func AnswerPull(store *vcs.Store, pull *wire.Pull, algorithm diff.Algorithm, compressOn bool, clock Clock) (wire.Message, error) {
-	want, err := store.Get(pull.File, pull.WantVersion)
+	// Shared (non-cloning) reads: the pull path only ever diffs, encodes
+	// and frames the content, so the store's immutable backing bytes are
+	// used directly instead of paying a full copy per lookup.
+	want, err := store.GetShared(pull.File, pull.WantVersion)
 	if err != nil {
 		// The wanted version may itself have been superseded; fall
 		// back to the head so the server converges on fresh content.
-		head, ok := store.Head(pull.File)
+		head, ok := store.HeadShared(pull.File)
 		if !ok {
 			return nil, fmt.Errorf("answer pull for %s: %w", pull.File, err)
 		}

@@ -273,7 +273,7 @@ func TestHuntFallbackMatchesMyers(t *testing.T) {
 	// Confirm this input really takes the fallback.
 	sa, sb, nsym := internBoth(a, b)
 	prefix, suffix := commonAffixes(sa, sb)
-	if _, ok := huntMiddle(sa[prefix:len(sa)-suffix], sb[prefix:len(sb)-suffix], nsym); ok {
+	if _, ok := huntMiddle(sa[prefix:len(sa)-suffix], sb[prefix:len(sb)-suffix], nsym, new(hmScratch)); ok {
 		t.Fatal("test input did not trigger the density fallback")
 	}
 

@@ -146,6 +146,11 @@ func Checksum(b []byte) uint32 { return crc32.Checksum(b, crcTable) }
 
 // Compute computes the delta that transforms base into target using the given
 // algorithm.
+//
+// The returned Delta's inserted lines alias target's bytes (no copies are
+// made), so the caller must not modify target while the Delta is in use.
+// Every caller in this codebase either encodes the delta immediately or
+// computes it from immutable stored versions.
 func Compute(algorithm Algorithm, base, target []byte) (*Delta, error) {
 	d := &Delta{
 		Algorithm: algorithm,
@@ -423,19 +428,24 @@ type match struct {
 // ascending order) into ed-style ops ordered by descending base line.
 func opsFromMatches(matches []match, a, b [][]byte) []Op {
 	// Walk the gap between consecutive matches; each gap is a delete,
-	// insert or change region. Collect ascending, then reverse.
-	var fwd []Op
+	// insert or change region. Collect ascending, then reverse. At most
+	// one op falls between consecutive matches (plus the tail gap), so
+	// the slice is sized exactly once.
+	fwd := make([]Op, 0, len(matches)+1)
 	ai, bi := 0, 0
 	emit := func(aEnd, bEnd int) {
 		// Region a[ai:aEnd) replaced by b[bi:bEnd).
 		delN, insN := aEnd-ai, bEnd-bi
+		// Op.Lines aliases the target's line slices directly (see the
+		// Compute contract); copying every inserted line was the single
+		// largest allocation source on the delta hot path.
 		switch {
 		case delN > 0 && insN > 0:
 			fwd = append(fwd, Op{
 				Kind:      OpChange,
 				BaseStart: ai + 1,
 				BaseEnd:   aEnd,
-				Lines:     copyLines(b[bi:bEnd]),
+				Lines:     b[bi:bEnd],
 			})
 		case delN > 0:
 			fwd = append(fwd, Op{Kind: OpDelete, BaseStart: ai + 1, BaseEnd: aEnd})
@@ -443,7 +453,7 @@ func opsFromMatches(matches []match, a, b [][]byte) []Op {
 			fwd = append(fwd, Op{
 				Kind:      OpInsert,
 				BaseStart: ai, // insert after line ai (0 = top)
-				Lines:     copyLines(b[bi:bEnd]),
+				Lines:     b[bi:bEnd],
 			})
 		}
 	}
@@ -459,18 +469,23 @@ func opsFromMatches(matches []match, a, b [][]byte) []Op {
 	return fwd
 }
 
-func copyLines(src [][]byte) [][]byte {
-	out := make([][]byte, len(src))
-	for i, l := range src {
-		out[i] = append([]byte(nil), l...)
-	}
-	return out
-}
-
 // matchesFromPairs coalesces individual matched line pairs (ascending in both
-// coordinates) into maximal runs.
+// coordinates) into maximal runs. A counting pass sizes the result exactly,
+// so the build pass never reallocates.
 func matchesFromPairs(ais, bis []int) []match {
-	var ms []match
+	runs := 0
+	for i := 0; i < len(ais); {
+		j := i + 1
+		for j < len(ais) && ais[j] == ais[j-1]+1 && bis[j] == bis[j-1]+1 {
+			j++
+		}
+		runs++
+		i = j
+	}
+	if runs == 0 {
+		return nil
+	}
+	ms := make([]match, 0, runs)
 	for i := 0; i < len(ais); {
 		j := i + 1
 		for j < len(ais) && ais[j] == ais[j-1]+1 && bis[j] == bis[j-1]+1 {

@@ -56,6 +56,11 @@ func (d *Delta) Encode() []byte {
 }
 
 // Decode parses a delta from its binary wire form.
+//
+// The returned Delta's inserted lines alias buf (no copies are made), so the
+// caller must keep buf unchanged while the Delta is in use. The one decode
+// site in this codebase applies the delta synchronously on message-owned
+// bytes.
 func Decode(buf []byte) (*Delta, error) {
 	r := &reader{buf: buf}
 	if string(r.bytes(3)) != encodeMagic {
@@ -94,7 +99,7 @@ func Decode(buf []byte) (*Delta, error) {
 			op.Lines = make([][]byte, 0, nlines)
 			for j := uint64(0); j < nlines && r.err == nil; j++ {
 				n := r.uvarint()
-				op.Lines = append(op.Lines, append([]byte(nil), r.bytes(int(n))...))
+				op.Lines = append(op.Lines, r.bytes(int(n)))
 			}
 		}
 		d.Ops = append(d.Ops, op)

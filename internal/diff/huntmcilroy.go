@@ -1,5 +1,35 @@
 package diff
 
+import "sync"
+
+// hmScratch carries every per-Compute working array of the Hunt–McIlroy
+// path: the intern table, both symbol sequences, the CSR equivalence
+// classes, the candidate arena and the backtrack buffers. A steady-state
+// Compute reuses all of it from a pool, leaving only the outputs (the ops
+// and the target lines they alias) on the heap.
+type hmScratch struct {
+	table    lineTable
+	sa, sb   []int
+	bstart   []int32
+	pos      []int32
+	bcur     []int32
+	thresh   []int32
+	link     []int32
+	arena    []cand
+	ais, bis []int
+}
+
+var hmPool = sync.Pool{New: func() any { return new(hmScratch) }}
+
+// release drops references into caller data (the intern table's
+// representative lines point into the files being compared) and returns the
+// scratch to the pool.
+func (sc *hmScratch) release() {
+	clear(sc.table.lines)
+	sc.table.lines = sc.table.lines[:0]
+	hmPool.Put(sc)
+}
+
 // huntMcIlroyMatches computes an LCS of a and b as maximal runs of matching
 // lines using the Hunt–McIlroy candidate-threshold technique (Hunt & McIlroy,
 // "An Algorithm for Differential File Comparison", Bell Labs CSTR 41, 1975).
@@ -10,16 +40,14 @@ package diff
 // degenerate inputs where R explodes (files of near-identical lines) it falls
 // back to the Myers algorithm, which is insensitive to R.
 func huntMcIlroyMatches(a, b [][]byte) []match {
-	sa, sb, nsym := internBoth(a, b)
+	sc := hmPool.Get().(*hmScratch)
+	defer sc.release()
+	sa, sb, nsym := sc.internBoth(a, b)
 	prefix, suffix := commonAffixes(sa, sb)
 	ma := sa[prefix : len(sa)-suffix]
 	mb := sb[prefix : len(sb)-suffix]
 
-	var ms []match
-	if prefix > 0 {
-		ms = append(ms, match{ai: 0, bi: 0, n: prefix})
-	}
-	mid, ok := huntMiddle(ma, mb, nsym)
+	mid, ok := huntMiddle(ma, mb, nsym, sc)
 	if !ok {
 		// Pathological match density; the O(ND) algorithm bounds work
 		// by edit distance instead. The fallback hands over the
@@ -28,6 +56,10 @@ func huntMcIlroyMatches(a, b [][]byte) []match {
 		// terminates immediately instead of re-trimming (and
 		// re-reporting) the affixes of the full inputs.
 		mid = myersMiddle(ma, mb)
+	}
+	ms := make([]match, 0, len(mid)+2)
+	if prefix > 0 {
+		ms = append(ms, match{ai: 0, bi: 0, n: prefix})
 	}
 	for _, m := range mid {
 		ms = append(ms, match{ai: m.ai + prefix, bi: m.bi + prefix, n: m.n})
@@ -53,8 +85,9 @@ type cand struct {
 
 // huntMiddle runs the candidate algorithm on the trimmed middle region.
 // nsym is the number of distinct interned symbols (symbols are dense 1..nsym).
-// ok is false when the match density exceeds maxMatchPairs.
-func huntMiddle(a, b []int, nsym int) ([]match, bool) {
+// ok is false when the match density exceeds maxMatchPairs. Working arrays
+// come from sc; only the returned matches are freshly allocated.
+func huntMiddle(a, b []int, nsym int, sc *hmScratch) ([]match, bool) {
 	if len(a) == 0 || len(b) == 0 {
 		return nil, true
 	}
@@ -62,15 +95,15 @@ func huntMiddle(a, b []int, nsym int) ([]match, bool) {
 	// symbol. bstart[s]..bstart[s+1] delimits symbol s's positions in b,
 	// stored in descending order — the traversal order Hunt–Szymanski
 	// needs so updates within one a-line don't feed each other.
-	bstart := make([]int32, nsym+2)
+	bstart := growZero32(&sc.bstart, nsym+2)
 	for _, s := range b {
 		bstart[s+1]++
 	}
 	for s := 1; s < len(bstart); s++ {
 		bstart[s] += bstart[s-1]
 	}
-	pos := make([]int32, len(b))
-	bcur := make([]int32, nsym+1)
+	pos := grow32(&sc.pos, len(b)) // fully overwritten below, no zeroing
+	bcur := grow32(&sc.bcur, nsym+1)
 	copy(bcur, bstart[:nsym+1])
 	for j := len(b) - 1; j >= 0; j-- {
 		s := b[j]
@@ -89,15 +122,15 @@ func huntMiddle(a, b []int, nsym int) ([]match, bool) {
 	// thresh[k] = smallest b-index j ending a common subsequence of
 	// length k+1; link[k] = arena index of the corresponding candidate
 	// chain head.
-	var (
-		thresh []int32
-		link   []int32
-		arena  []cand
-	)
-	if pairs < 4096 {
-		arena = make([]cand, 0, pairs)
-	} else {
-		arena = make([]cand, 0, 4096)
+	thresh := sc.thresh[:0]
+	link := sc.link[:0]
+	arena := sc.arena[:0]
+	if cap(arena) == 0 {
+		if pairs < 4096 {
+			arena = make([]cand, 0, pairs)
+		} else {
+			arena = make([]cand, 0, 4096)
+		}
 	}
 	for i, s := range a {
 		for _, j := range pos[bstart[s]:bstart[s+1]] {
@@ -121,17 +154,48 @@ func huntMiddle(a, b []int, nsym int) ([]match, bool) {
 			}
 		}
 	}
+	// Hand the grown slices back to the scratch so the capacity carries
+	// to the next Compute.
+	sc.thresh, sc.link, sc.arena = thresh, link, arena
 	if len(link) == 0 {
 		return nil, true
 	}
 	// Backtrack the longest chain into ascending matched pairs.
 	n := len(link)
-	ais := make([]int, n)
-	bis := make([]int, n)
+	ais := growInt(&sc.ais, n)
+	bis := growInt(&sc.bis, n)
 	for ci, k := link[n-1], n-1; ci >= 0; ci, k = arena[ci].prev, k-1 {
 		ais[k], bis[k] = int(arena[ci].ai), int(arena[ci].bi)
 	}
 	return matchesFromPairs(ais, bis), true
+}
+
+// grow32 reslices *s to length n, reallocating only when capacity is short;
+// contents are unspecified.
+func grow32(s *[]int32, n int) []int32 {
+	if cap(*s) < n {
+		*s = make([]int32, n)
+	} else {
+		*s = (*s)[:n]
+	}
+	return *s
+}
+
+// growZero32 is grow32 with the result zeroed.
+func growZero32(s *[]int32, n int) []int32 {
+	v := grow32(s, n)
+	clear(v)
+	return v
+}
+
+// growInt is grow32 for []int.
+func growInt(s *[]int, n int) []int {
+	if cap(*s) < n {
+		*s = make([]int, n)
+	} else {
+		*s = (*s)[:n]
+	}
+	return *s
 }
 
 // searchInt32 returns the smallest index i with v[i] >= x (len(v) if none),

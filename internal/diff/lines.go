@@ -105,6 +105,14 @@ func (t *lineTable) intern(lines [][]byte) []int {
 	return out
 }
 
+// internInto appends each line's symbol to out, returning the grown slice.
+func (t *lineTable) internInto(out []int, lines [][]byte) []int {
+	for _, l := range lines {
+		out = append(out, int(t.sym(l)))
+	}
+	return out
+}
+
 // internBoth interns both files in a shared table and returns their symbol
 // sequences plus the number of distinct symbols. Symbols are dense (1..nsym),
 // so callers can bucket by symbol with a flat slice instead of a map.
@@ -113,6 +121,35 @@ func internBoth(a, b [][]byte) (sa, sb []int, nsym int) {
 	sa = t.intern(a)
 	sb = t.intern(b)
 	return sa, sb, len(t.lines)
+}
+
+// internBoth is the scratch-backed variant used by the Hunt–McIlroy hot
+// path: the intern table's storage and both symbol sequences live in the
+// pooled scratch, so a steady-state Compute interns without allocating.
+func (sc *hmScratch) internBoth(a, b [][]byte) (sa, sb []int, nsym int) {
+	capacity := len(a) + len(b)
+	size := 16
+	for size < 2*capacity {
+		size <<= 1
+	}
+	t := &sc.table
+	if cap(t.slots) >= size {
+		t.slots = t.slots[:size]
+		clear(t.slots) // hashes need no clearing: slot 0 guards them
+		t.hashes = t.hashes[:size]
+	} else {
+		t.slots = make([]int32, size)
+		t.hashes = make([]uint64, size)
+	}
+	t.mask = uint64(size - 1)
+	if cap(t.lines) < capacity {
+		t.lines = make([][]byte, 0, capacity)
+	} else {
+		t.lines = t.lines[:0]
+	}
+	sc.sa = t.internInto(sc.sa[:0], a)
+	sc.sb = t.internInto(sc.sb[:0], b)
+	return sc.sa, sc.sb, len(t.lines)
 }
 
 // hashLine hashes a line 8 bytes at a time (xxhash/splitmix-style mixing).

@@ -34,7 +34,10 @@ func tichyOps(a, b [][]byte) []Op {
 	var pendingInsert [][]byte
 	flushInsert := func() {
 		if len(pendingInsert) > 0 {
-			ops = append(ops, Op{Kind: OpInsert, Lines: copyLines(pendingInsert)})
+			// The lines alias the target's bytes, per the Compute
+			// contract; pendingInsert is abandoned after the flush, so
+			// the op owns the slice.
+			ops = append(ops, Op{Kind: OpInsert, Lines: pendingInsert})
 			pendingInsert = nil
 		}
 	}

@@ -39,8 +39,10 @@ type ServerBenchConfig struct {
 	FileSize int
 	// EditPercent is the fraction of the file modified each cycle.
 	EditPercent float64
-	// Transport selects "tcp" (real loopback TCP) or "netsim" (in-process
-	// simulated LAN links; wall-clock is still what is measured).
+	// Transport selects "tcp" (real loopback TCP), "netsim" (in-process
+	// simulated LAN links; wall-clock is still what is measured) or "pipe"
+	// (synchronous in-process net.Pipe streams — no file descriptors, so
+	// session counts can scale past RLIMIT_NOFILE for capacity runs).
 	Transport string
 	// Jobs bounds concurrent job execution at the server; 0 means one
 	// slot per session so the job pool never serializes the cycle.
@@ -115,6 +117,13 @@ type ServerBenchResult struct {
 	PullsIssued    int64   `json:"pulls_issued"`
 	PullsDeferred  int64   `json:"pulls_deferred"`
 	GoMaxProcs     int     `json:"gomaxprocs"`
+	// Capacity-run footprint, set by RunCapacitySweep: goroutines and
+	// resident heap bytes per connected session (client rig + server
+	// session, measured against a pre-connect baseline after a GC), plus
+	// the wall-clock cost of connecting and priming the whole fleet.
+	GoroutinesPerSession float64 `json:"goroutines_per_session,omitempty"`
+	ResidentKBPerSession float64 `json:"resident_kb_per_session,omitempty"`
+	ConnectSec           float64 `json:"connect_sec,omitempty"`
 	// Traced marks a run with full cycle tracing on; TraceCompleted and
 	// TraceSpans summarize what the shared tracer assembled. Comparing a
 	// traced run's cycles_per_sec against an untraced twin (labels
@@ -169,6 +178,34 @@ func newBenchTransport(cfg ServerBenchConfig) (*benchTransport, error) {
 				return wire.NewStreamConn(c), nil
 			},
 			close: func() { _ = ln.Close() },
+		}, nil
+	case "pipe":
+		// Rendezvous dialer: every Dial mints a synchronous net.Pipe and
+		// hands the server end to the acceptor. No sockets, no file
+		// descriptors — 10k sessions cost only goroutines and heap,
+		// which is exactly what a capacity run wants to measure.
+		ch := make(chan net.Conn)
+		closed := make(chan struct{})
+		var once sync.Once
+		return &benchTransport{
+			acceptor: server.AcceptorFunc(func() (wire.Conn, error) {
+				select {
+				case c := <-ch:
+					return wire.NewStreamConn(c), nil
+				case <-closed:
+					return nil, net.ErrClosed
+				}
+			}),
+			dial: func(int) (wire.Conn, error) {
+				c1, c2 := net.Pipe()
+				select {
+				case ch <- c2:
+					return wire.NewStreamConn(c1), nil
+				case <-closed:
+					return nil, net.ErrClosed
+				}
+			},
+			close: func() { once.Do(func() { close(closed) }) },
 		}, nil
 	case "netsim":
 		nw := netsim.New()

@@ -129,6 +129,11 @@ func splitFields(line string) ([]string, error) {
 type Request struct {
 	// Script is the job command file.
 	Script []byte
+	// Commands, when non-nil, is the already-parsed form of Script; Execute
+	// uses it directly instead of re-parsing. Callers that validate scripts
+	// at submit time (the server) pass the parse result through so each
+	// distinct script is parsed once, not once per run.
+	Commands []Command
 	// Inputs maps the names commands use to file contents.
 	Inputs map[string][]byte
 }
@@ -148,11 +153,15 @@ type Result struct {
 // continues with the next command, like a batch stream.
 func Execute(req Request) Result {
 	var res Result
-	cmds, err := ParseScript(req.Script)
-	if err != nil {
-		res.Stderr = []byte(err.Error() + "\n")
-		res.ExitCode = 2
-		return res
+	cmds := req.Commands
+	if cmds == nil {
+		var err error
+		cmds, err = ParseScript(req.Script)
+		if err != nil {
+			res.Stderr = []byte(err.Error() + "\n")
+			res.ExitCode = 2
+			return res
+		}
 	}
 	var stdout, stderr bytes.Buffer
 	exec := &execution{inputs: req.Inputs, stdout: &stdout, stderr: &stderr}

@@ -233,6 +233,28 @@ func (fs *FS) HardLink(linkPath, canonicalPath string) {
 func (fs *FS) resolveLocal(p string, budget *int) (string, error) {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
+	// Fast path: an already-clean absolute path that touches no symlink
+	// resolves to itself. Probing the symlink table with prefix substrings
+	// of p costs nothing — string slicing does not copy — so the common
+	// case (every name a workstation submits, steady state) performs no
+	// allocation at all. path.Clean returns its argument unchanged (and
+	// unallocated) when the path is already clean.
+	if path.IsAbs(p) && path.Clean(p) == p {
+		hit := false
+		if len(fs.symlinks) > 0 {
+			for i := 1; i < len(p) && !hit; i++ {
+				if p[i] == '/' {
+					_, hit = fs.symlinks[p[:i]]
+				}
+			}
+			if !hit {
+				_, hit = fs.symlinks[p]
+			}
+		}
+		if !hit {
+			return p, nil
+		}
+	}
 	comps := strings.Split(path.Clean(p), "/")
 	resolved := "/"
 	for i := 0; i < len(comps); i++ {

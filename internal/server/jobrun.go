@@ -7,14 +7,15 @@ import (
 	"shadowedit/internal/cache"
 	"shadowedit/internal/core"
 	"shadowedit/internal/jobs"
+	"shadowedit/internal/naming"
 	"shadowedit/internal/wire"
 )
 
 // addWaiter indexes a job under the file it is waiting for, so the file's
 // arrival touches exactly the jobs that want it.
-func (s *Server) addWaiter(key string, j *job) {
+func (s *Server) addWaiter(id naming.ShadowID, j *job) {
 	s.waitMu.Lock()
-	s.waiters[key] = append(s.waiters[key], j)
+	s.waiters[id] = append(s.waiters[id], j)
 	s.waitMu.Unlock()
 }
 
@@ -23,35 +24,39 @@ func (s *Server) addWaiter(key string, j *job) {
 // the cache holds only the latest version, and by connection ordering a
 // newer version means the user resubmitted meanwhile — running with fresher
 // input matches what a new submit would see. The waiters index makes this
-// O(jobs waiting for this file), not O(all jobs ever submitted).
-func (s *Server) feedWaitingJobs(ref wire.FileRef, version uint64, content []byte) {
-	key := ref.String()
+// O(jobs waiting for this file), not O(all jobs ever submitted). The file is
+// named by its interned id (callers always hold it already; taking it avoids
+// a re-intern on this per-arrival path).
+func (s *Server) feedWaitingJobs(id naming.ShadowID, version uint64, content []byte) {
 	s.waitMu.Lock()
-	list := s.waiters[key]
+	list := s.waiters[id]
 	if len(list) == 0 {
 		s.waitMu.Unlock()
 		return
 	}
-	ready := make([]*job, 0, len(list))
+	// Nearly always one job waits per arrival; the stack array keeps the
+	// common case allocation-free.
+	var readyArr [4]*job
+	ready := readyArr[:0]
 	remaining := list[:0]
 	for _, j := range list {
 		j.mu.Lock()
-		want, ok := j.waiting[key]
+		want, ok := j.waiting[id]
 		switch {
 		case ok && version >= want:
-			j.snapshot[j.byRef[key]] = content
-			delete(j.waiting, key)
+			j.snapshot[j.byRef[id]] = content
+			delete(j.waiting, id)
 			ready = append(ready, j)
 		case ok:
 			remaining = append(remaining, j) // still needs a newer version
 		}
 		j.mu.Unlock()
 	}
-	if len(remaining) == 0 {
-		delete(s.waiters, key)
-	} else {
-		s.waiters[key] = remaining
-	}
+	// Keep the (empty) slice in the map rather than deleting the entry: a
+	// file is waited on again every cycle, and retaining the slice's
+	// capacity makes the next addWaiter append allocation-free. Growth is
+	// bounded by the number of distinct files, like the directory itself.
+	s.waiters[id] = remaining
 	s.waitMu.Unlock()
 	for _, j := range ready {
 		s.maybeSchedule(j)
@@ -99,35 +104,41 @@ func (s *Server) runJob(j *job) {
 	}
 	j.state = wire.JobRunning
 	j.detail = "executing"
-	inputs := make(map[string][]byte, len(j.snapshot))
-	for name, content := range j.snapshot {
-		inputs[name] = content
-	}
+	// Once running, feedWaitingJobs no longer writes the snapshot (the
+	// waiting set is empty), so the executor can read it directly — no
+	// defensive copy on the per-job hot path.
+	inputs := j.snapshot
 	script := j.script
+	cmds := j.cmds
 	waitSpan := j.waitSpan
 	j.waitSpan = nil
 	j.mu.Unlock()
 	waitSpan.Finish()
 	runSpan := s.cfg.Obs.StartSpan(j.tc, "server.job-run").SetJob(j.id)
 
-	s.logf("job %d: running for %s@%s", j.id, j.owner.user, j.owner.host)
-	res := jobs.Execute(jobs.Request{Script: script, Inputs: inputs})
+	if s.cfg.Logf != nil {
+		s.logf("job %d: running for %s@%s", j.id, j.owner.user, j.owner.host)
+	}
+	res := jobs.Execute(jobs.Request{Script: script, Commands: cmds, Inputs: inputs})
 	s.cfg.Clock.Process(res.CPUTime)
-	runSpan.Annotate(fmt.Sprintf("exit %d", res.ExitCode)).Finish()
+	if runSpan != nil {
+		runSpan.Annotate(fmt.Sprintf("exit %d", res.ExitCode)).Finish()
+	}
 
 	j.mu.Lock()
 	j.result = res
 	j.state = wire.JobDone
-	j.detail = fmt.Sprintf("exit %d, %d output bytes", res.ExitCode, len(res.Stdout))
-	if res.ExitCode != 0 {
-		j.detail = fmt.Sprintf("exit %d (errors), %d output bytes", res.ExitCode, len(res.Stdout))
-	}
+	// detail is rendered lazily by status(): a STATUS_REQ is rare, while
+	// formatting two Sprintfs per finished job is pure hot-path cost.
+	j.detail = ""
 	queuedAt, stamped := j.queuedAt, j.queuedStamped
 	j.mu.Unlock()
 	if stamped {
 		s.cfg.Obs.ObserveJobLifetime(queuedAt)
 	}
-	s.logf("job %d: done (exit %d, %d output bytes, %v cpu)", j.id, res.ExitCode, len(res.Stdout), res.CPUTime)
+	if s.cfg.Logf != nil {
+		s.logf("job %d: done (exit %d, %d output bytes, %v cpu)", j.id, res.ExitCode, len(res.Stdout), res.CPUTime)
+	}
 	if s.cfg.Obs.LogEnabled(slog.LevelInfo) {
 		s.cfg.Obs.Log(slog.LevelInfo, "job done",
 			slog.Uint64("job", j.id), slog.String("user", j.owner.user),
@@ -239,7 +250,7 @@ func (s *Server) repullWaitingInputs(ss *session) {
 		j.mu.Lock()
 		var pending []wire.JobInput
 		for _, in := range j.inputs {
-			if want, ok := j.waiting[in.File.String()]; ok {
+			if want, ok := j.waiting[s.dir.Intern(in.File)]; ok {
 				pending = append(pending, wire.JobInput{File: in.File, Version: want})
 			}
 		}
@@ -250,7 +261,7 @@ func (s *Server) repullWaitingInputs(ss *session) {
 			// asking the client again.
 			id := s.dir.Intern(in.File)
 			if e, ok := s.cache.Get(id); ok && e.Version >= in.Version {
-				s.feedWaitingJobs(in.File, e.Version, e.Content)
+				s.feedWaitingJobs(id, e.Version, e.Content)
 				continue
 			}
 			if ss.pullFile(in.File, in.Version, j.tc) != nil {
@@ -268,13 +279,12 @@ func (s *Server) repullPending(dead *session, pending []cache.PendingFetch) {
 	for _, p := range pending {
 		id := s.dir.Intern(p.Ref)
 		if e, ok := s.cache.Peek(id); ok && e.Version >= p.Want {
-			s.feedWaitingJobs(p.Ref, e.Version, e.Content)
+			s.feedWaitingJobs(id, e.Version, e.Content)
 			continue
 		}
-		key := p.Ref.String()
 		tried := map[uint64]bool{dead.id: true}
 		for {
-			target, owners := s.repullTarget(key, tried)
+			target, owners := s.repullTarget(id, tried)
 			if target == nil {
 				// Every waiter's submitting session is gone too: a
 				// job outlives its connection, and a re-attached
@@ -307,17 +317,17 @@ func (s *Server) repullPending(dead *session, pending []cache.PendingFetch) {
 	}
 }
 
-// repullTarget scans the jobs waiting on key for one whose submitting
+// repullTarget scans the jobs waiting on the file for one whose submitting
 // session is still live (and not in skip). When none is, it returns the
 // waiters' owner identities so the caller can fall back to any live session
 // of the same client.
-func (s *Server) repullTarget(key string, skip map[uint64]bool) (*session, []identity) {
+func (s *Server) repullTarget(id naming.ShadowID, skip map[uint64]bool) (*session, []identity) {
 	s.waitMu.Lock()
 	defer s.waitMu.Unlock()
 	var owners []identity
-	for _, j := range s.waiters[key] {
+	for _, j := range s.waiters[id] {
 		j.mu.Lock()
-		_, waiting := j.waiting[key]
+		_, waiting := j.waiting[id]
 		sess := j.sess
 		owner := j.owner
 		j.mu.Unlock()

@@ -233,8 +233,18 @@ type Server struct {
 	// waitMu guards waiters, the file-keyed index of jobs whose waiting
 	// set references that file. feedWaitingJobs consults only the jobs
 	// that actually want the arrived file — O(waiters), not O(all jobs).
+	// Keyed by interned file id so the hot arrival path never builds a
+	// string key.
 	waitMu  sync.Mutex
-	waiters map[string][]*job
+	waiters map[naming.ShadowID][]*job
+
+	// scriptMu guards scripts, the checksum-keyed cache of parsed job
+	// scripts. Submissions repeat the same script across cycles (that is
+	// what makes reverse shadow processing pay off), so each distinct
+	// script is parsed once instead of once per submit. Entries carry the
+	// script bytes to disarm checksum collisions.
+	scriptMu sync.RWMutex
+	scripts  map[uint32]*scriptEntry
 
 	// deliverMu covers identity registration (hello) versus the
 	// lookup-or-queue of finished outputs: an output completing
@@ -376,7 +386,8 @@ func New(cfg Config) *Server {
 		flights:     cache.NewFlights(),
 		pool:        jobs.NewPool(cfg.MaxConcurrentJobs),
 		counters:    &metrics.Counters{},
-		waiters:     make(map[string][]*job),
+		waiters:     make(map[naming.ShadowID][]*job),
+		scripts:     make(map[uint32]*scriptEntry),
 		routed:      make(map[string][]uint64),
 		undelivered: make(map[identity][]uint64),
 		submitTags:  make(map[identity]map[uint64]uint64),
@@ -565,6 +576,43 @@ func (s *Server) Close() {
 	s.pool.Close()
 }
 
+// scriptEntry is one cached parse of a job script.
+type scriptEntry struct {
+	script []byte // the exact bytes parsed, to verify on checksum collision
+	cmds   []jobs.Command
+	names  []string // input names the commands reference
+}
+
+// parsedScript returns the parsed commands and referenced input names for
+// script, from the checksum-keyed cache when the same bytes were parsed
+// before. Colliding checksums (different bytes, same sum) fall through to a
+// fresh parse and leave the cache entry alone.
+func (s *Server) parsedScript(sum uint32, script []byte) ([]jobs.Command, []string, error) {
+	s.scriptMu.RLock()
+	e := s.scripts[sum]
+	s.scriptMu.RUnlock()
+	if e != nil && string(e.script) == string(script) {
+		return e.cmds, e.names, nil
+	}
+	cmds, err := jobs.ParseScript(script)
+	if err != nil {
+		return nil, nil, err
+	}
+	names := jobs.InputNames(cmds)
+	if e == nil {
+		s.scriptMu.Lock()
+		if _, ok := s.scripts[sum]; !ok {
+			s.scripts[sum] = &scriptEntry{
+				script: append([]byte(nil), script...),
+				cmds:   cmds,
+				names:  names,
+			}
+		}
+		s.scriptMu.Unlock()
+	}
+	return cmds, names, nil
+}
+
 // identity names a client across sessions: a user at a workstation. Jobs
 // belong to identities, not connections, so a client that reconnects after
 // a network failure finds its jobs and receives outputs that completed
@@ -584,7 +632,10 @@ type job struct {
 	// creation.
 	tc wire.TraceContext
 
-	script    []byte
+	script []byte
+	// cmds is the parsed form of script, shared with the server's script
+	// cache. Immutable after creation.
+	cmds      []jobs.Command
 	scriptSum uint32
 	inputs    []wire.JobInput
 
@@ -596,9 +647,9 @@ type job struct {
 	mu       sync.Mutex
 	state    wire.JobState
 	detail   string
-	waiting  map[string]uint64 // ref key -> version still needed
-	byRef    map[string]string // ref key -> input name
-	snapshot map[string][]byte // input name -> content
+	waiting  map[naming.ShadowID]uint64 // file id -> version still needed
+	byRef    map[naming.ShadowID]string // file id -> input name
+	snapshot map[string][]byte          // input name -> content
 	result   jobs.Result
 	// queuedAt stamps when the job became runnable (inputs all in hand),
 	// feeding the queue→complete histogram. Stamped at most once, and only
@@ -623,7 +674,17 @@ func (j *job) setState(state wire.JobState, detail string) {
 func (j *job) status() wire.JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return wire.JobStatus{Job: j.id, State: j.state, Detail: j.detail}
+	detail := j.detail
+	if detail == "" && j.state.Terminal() {
+		// runJob leaves detail empty and status renders it on demand:
+		// status queries are rare, finished jobs are the hot path.
+		if j.result.ExitCode != 0 {
+			detail = fmt.Sprintf("exit %d (errors), %d output bytes", j.result.ExitCode, len(j.result.Stdout))
+		} else {
+			detail = fmt.Sprintf("exit %d, %d output bytes", j.result.ExitCode, len(j.result.Stdout))
+		}
+	}
+	return wire.JobStatus{Job: j.id, State: j.state, Detail: detail}
 }
 
 var errSessionGone = errors.New("server: session gone")

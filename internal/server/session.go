@@ -11,7 +11,6 @@ import (
 	"shadowedit/internal/cache"
 	"shadowedit/internal/core"
 	"shadowedit/internal/diff"
-	"shadowedit/internal/jobs"
 	"shadowedit/internal/naming"
 	"shadowedit/internal/trace"
 	"shadowedit/internal/wire"
@@ -54,20 +53,23 @@ type session struct {
 	// (job completion → drainDeferred/sendOutput) both touch them.
 	mu sync.Mutex
 	// deferred holds notifies whose pulls the load-aware policy postponed,
-	// keyed by file ref, each with the trace context it arrived under so a
-	// drained pull stays part of the notifying cycle's trace.
-	deferred map[string]deferredNotify
+	// keyed by interned file id, each with the trace context it arrived
+	// under so a drained pull stays part of the notifying cycle's trace.
+	// (All per-file maps key on naming.ShadowID rather than ref.String():
+	// interning is two map probes, while the string key costs a fresh
+	// concatenation on every hot-path lookup.)
+	deferred map[naming.ShadowID]deferredNotify
 	// pulled tracks the highest version already requested per file, so
 	// notify+submit bursts do not issue duplicate pulls (a duplicate
 	// delta would look stale on arrival and trigger a wasteful full
 	// retransmission).
-	pulled map[string]uint64
+	pulled map[naming.ShadowID]uint64
 	// pulledAt stamps when each in-flight pull was issued, feeding the
 	// pull→arrival histogram. Only populated when observability is on.
-	pulledAt map[string]time.Duration
+	pulledAt map[naming.ShadowID]time.Duration
 	// pullSpan holds the open server.pull span per file, finished when the
 	// content arrives. Only populated when tracing is on.
-	pullSpan map[string]*trace.Span
+	pullSpan map[naming.ShadowID]*trace.Span
 	// outPrev maps script checksum -> last acknowledged delivered stdout,
 	// the base for reverse shadow processing.
 	outPrev map[uint32][]byte
@@ -107,10 +109,10 @@ func newSession(srv *Server, conn wire.Conn, id uint64) *session {
 		srv:        srv,
 		conn:       conn,
 		id:         id,
-		deferred:   make(map[string]deferredNotify),
-		pulled:     make(map[string]uint64),
-		pulledAt:   make(map[string]time.Duration),
-		pullSpan:   make(map[string]*trace.Span),
+		deferred:   make(map[naming.ShadowID]deferredNotify),
+		pulled:     make(map[naming.ShadowID]uint64),
+		pulledAt:   make(map[naming.ShadowID]time.Duration),
+		pullSpan:   make(map[naming.ShadowID]*trace.Span),
 		outPrev:    make(map[uint32][]byte),
 		out:        make(chan outbound, outQueueDepth),
 		quit:       make(chan struct{}),
@@ -176,7 +178,10 @@ func (ss *session) run() {
 	// session for an orphaned fetch — never picks this one.
 	defer ss.dead.Store(true)
 	for {
-		msg, tc, err := wire.RecvTraced(ss.conn)
+		// Zero-copy receive: this loop is the connection's only reader, and
+		// the decoded message owns all its bytes, so the raw frame buffer
+		// is free to be recycled by the next iteration.
+		msg, tc, err := wire.RecvTracedReuse(ss.conn)
 		if err != nil {
 			return // disconnect (io.EOF) or transport failure
 		}
@@ -202,6 +207,14 @@ func (ss *session) run() {
 func (ss *session) writer() {
 	defer close(ss.writerDone)
 	var sticky error
+	// When the transport's Send copies the payload before returning, one
+	// writer-owned scratch buffer serves every marshal — zero steady-state
+	// allocation per message. Virtual-time transports retain the slice they
+	// are handed (the simulated link delivers it later), so the stamped
+	// path keeps its fresh per-message buffer and simulated figures stay
+	// byte-identical.
+	_, reuse := ss.conn.(wire.NonRetainingSender)
+	var mbuf []byte
 	fail := func(err error) {
 		sticky = err
 		ss.dead.Store(true)
@@ -220,9 +233,16 @@ func (ss *session) writer() {
 		if sticky == nil {
 			ss.record("send", ob.msg.Kind().String(), ob.tc, "")
 			var err error
-			if ob.stamped {
+			switch {
+			case ob.stamped:
 				err = ss.vt.SendScheduled(wire.MarshalTraced(ob.msg, ob.tc), ob.stamp)
-			} else {
+			case reuse:
+				mbuf = wire.AppendMarshal(mbuf[:0], ob.msg, ob.tc)
+				err = ss.conn.Send(mbuf)
+				if cap(mbuf) > 64<<10 {
+					mbuf = nil // don't pin a huge scratch after a big transfer
+				}
+			default:
 				err = wire.SendTraced(ss.conn, ob.msg, ob.tc)
 			}
 			if err != nil {
@@ -339,6 +359,12 @@ func (ss *session) stamped(ob outbound) outbound {
 	return ob
 }
 
+// errcPool recycles sendSync's single-use result channels. A channel is
+// only returned to the pool once its answer has been received — an
+// unanswered channel (writer raced out) is abandoned to the GC so a late
+// reply can never leak into the next borrower.
+var errcPool = sync.Pool{New: func() any { return make(chan error, 1) }}
+
 // sendSync enqueues a message and waits for the writer to put it (and
 // everything queued before it) on the wire, reporting the transport result.
 // Output delivery uses it: a failed send must requeue the output for the
@@ -347,20 +373,24 @@ func (ss *session) sendSync(m wire.Message, tc wire.TraceContext) error {
 	if ss.dead.Load() {
 		return errSessionGone
 	}
-	ob := ss.stamped(outbound{msg: m, errc: make(chan error, 1), tc: tc})
+	errc := errcPool.Get().(chan error)
+	ob := ss.stamped(outbound{msg: m, errc: errc, tc: tc})
 	select {
 	case ss.out <- ob:
 	case <-ss.quit:
+		errcPool.Put(errc) // never enqueued, still clean
 		return errSessionGone
 	}
 	select {
 	case err := <-ob.errc:
+		errcPool.Put(errc)
 		return err
 	case <-ss.writerDone:
 		// The writer exited while we waited; it answered if it drained
 		// our message before returning.
 		select {
 		case err := <-ob.errc:
+			errcPool.Put(errc)
 			return err
 		default:
 			return errSessionGone
@@ -419,9 +449,13 @@ func (ss *session) handleNotify(m *wire.Notify, tc wire.TraceContext) error {
 	ss.srv.counters.AddControl(0)
 	// The notify span records the pull decision the instant it is made —
 	// the paper's immediate/postpone choice is exactly what a trace reader
-	// wants to see first.
-	sp := ss.srv.cfg.Obs.StartSpan(tc, "server.notify").
-		SetSession(ss.id).SetFile(m.File.String())
+	// wants to see first. The String() rendering only happens when a span
+	// actually exists: on trace-off runs it would be a per-notify
+	// allocation for nobody.
+	sp := ss.srv.cfg.Obs.StartSpan(tc, "server.notify").SetSession(ss.id)
+	if sp != nil {
+		sp.SetFile(m.File.String())
+	}
 	defer sp.Finish()
 	switch ss.srv.cfg.Pull {
 	case PullLazy:
@@ -442,8 +476,9 @@ func (ss *session) handleNotify(m *wire.Notify, tc wire.TraceContext) error {
 
 func (ss *session) deferNotify(m *wire.Notify, tc wire.TraceContext) {
 	ss.srv.pullsDeferred.Add(1)
+	id := ss.srv.dir.Intern(m.File)
 	ss.mu.Lock()
-	ss.deferred[m.File.String()] = deferredNotify{m: m, tc: tc}
+	ss.deferred[id] = deferredNotify{m: m, tc: tc}
 	ss.mu.Unlock()
 }
 
@@ -462,45 +497,49 @@ func (ss *session) pullFile(ref wire.FileRef, want uint64, tc wire.TraceContext)
 			// just as the content arrived — the arrival's feed can run
 			// before the registration, and this is the re-check that
 			// closes the window.
-			ss.srv.feedWaitingJobs(ref, e.Version, e.Content)
+			ss.srv.feedWaitingJobs(id, e.Version, e.Content)
 			return nil
 		}
 	}
-	key := ref.String()
 	ss.mu.Lock()
-	if ss.pulled[key] >= want {
+	if ss.pulled[id] >= want {
 		ss.mu.Unlock()
 		return nil // a pull covering this version is in flight
 	}
 	if !ss.srv.flights.Begin(id, ref, want, ss.id, tc) {
-		delete(ss.deferred, key)
+		delete(ss.deferred, id)
 		ss.mu.Unlock()
 		// Another session is already fetching this version; its arrival
 		// feeds every waiting job, so no second transfer is needed.
 		ss.srv.pullsCoalesced.Add(1)
 		// Record the coalescing decision as an instant span: the cycle's
 		// trace shows it waited on someone else's transfer.
-		csp := ss.srv.cfg.Obs.StartSpan(tc, "server.pull-coalesced").
-			SetSession(ss.id).SetFile(key)
-		csp.Finish()
+		if csp := ss.srv.cfg.Obs.StartSpan(tc, "server.pull-coalesced"); csp != nil {
+			csp.SetSession(ss.id).SetFile(ref.String())
+			csp.Finish()
+		}
 		return nil
 	}
-	sp := ss.srv.cfg.Obs.StartSpan(tc, "server.pull").
-		SetSession(ss.id).SetFile(key)
-	ss.pulled[key] = want
+	sp := ss.srv.cfg.Obs.StartSpan(tc, "server.pull").SetSession(ss.id)
+	if sp != nil {
+		sp.SetFile(ref.String())
+	}
+	ss.pulled[id] = want
 	if ss.srv.cfg.Obs != nil {
-		ss.pulledAt[key] = ss.srv.cfg.Obs.Now()
+		ss.pulledAt[id] = ss.srv.cfg.Obs.Now()
 	}
 	if sp != nil {
-		ss.pullSpan[key] = sp
+		ss.pullSpan[id] = sp
 	}
-	delete(ss.deferred, key)
+	delete(ss.deferred, id)
 	ss.mu.Unlock()
 	ss.srv.pullsIssued.Add(1)
-	ss.srv.logf("session %d: pull %s v%d (have v%d)", ss.id, ref, want, have)
+	if ss.srv.cfg.Logf != nil {
+		ss.srv.logf("session %d: pull %s v%d (have v%d)", ss.id, ref, want, have)
+	}
 	if ss.srv.cfg.Obs.LogEnabled(slog.LevelDebug) {
 		ss.srv.cfg.Obs.Log(slog.LevelDebug, "pull issued",
-			slog.Uint64("session", ss.id), slog.String("file", key),
+			slog.Uint64("session", ss.id), slog.String("file", ref.String()),
 			slog.Uint64("want", want), slog.Uint64("have", have))
 	}
 	// The PULL frame carries the pull span's context, so the client's
@@ -542,8 +581,10 @@ func (ss *session) drainDeferred() {
 
 func (ss *session) handleFileDelta(m *wire.FileDelta, tc wire.TraceContext) error {
 	ss.srv.counters.AddDelta(len(m.Encoded))
-	sp := ss.srv.cfg.Obs.StartSpan(tc, "server.apply-delta").
-		SetSession(ss.id).SetFile(m.File.String())
+	sp := ss.srv.cfg.Obs.StartSpan(tc, "server.apply-delta").SetSession(ss.id)
+	if sp != nil {
+		sp.SetFile(m.File.String())
+	}
 	defer sp.Finish()
 	id := ss.srv.dir.Intern(m.File)
 	entry, ok := ss.srv.cache.Get(id)
@@ -575,22 +616,21 @@ func (ss *session) handleFileDelta(m *wire.FileDelta, tc wire.TraceContext) erro
 // suppression (the previous pull's answer was unusable).
 func (ss *session) forcePullFull(ref wire.FileRef, want uint64, tc wire.TraceContext) error {
 	id := ss.srv.dir.Intern(ref)
-	key := ref.String()
 	ss.mu.Lock()
-	ss.pulled[key] = want
+	ss.pulled[id] = want
 	if ss.srv.cfg.Obs != nil {
-		ss.pulledAt[key] = ss.srv.cfg.Obs.Now()
+		ss.pulledAt[id] = ss.srv.cfg.Obs.Now()
 	}
 	// The superseded pull span (if any) ends here: its answer proved
 	// unusable, and the fallback gets its own span.
-	if old := ss.pullSpan[key]; old != nil {
+	if old := ss.pullSpan[id]; old != nil {
 		old.Annotate("superseded: base evicted").Finish()
-		delete(ss.pullSpan, key)
+		delete(ss.pullSpan, id)
 	}
-	sp := ss.srv.cfg.Obs.StartSpan(tc, "server.pull-full").
-		SetSession(ss.id).SetFile(key)
+	sp := ss.srv.cfg.Obs.StartSpan(tc, "server.pull-full").SetSession(ss.id)
 	if sp != nil {
-		ss.pullSpan[key] = sp
+		sp.SetFile(ref.String())
+		ss.pullSpan[id] = sp
 	}
 	ss.mu.Unlock()
 	ss.srv.flights.Force(id, ref, want, ss.id, tc)
@@ -600,8 +640,10 @@ func (ss *session) forcePullFull(ref wire.FileRef, want uint64, tc wire.TraceCon
 
 func (ss *session) handleFileFull(m *wire.FileFull, tc wire.TraceContext) error {
 	ss.srv.counters.AddFull(len(m.Content))
-	sp := ss.srv.cfg.Obs.StartSpan(tc, "server.apply-full").
-		SetSession(ss.id).SetFile(m.File.String())
+	sp := ss.srv.cfg.Obs.StartSpan(tc, "server.apply-full").SetSession(ss.id)
+	if sp != nil {
+		sp.SetFile(m.File.String())
+	}
 	defer sp.Finish()
 	content, err := core.ApplyFull(m)
 	if err != nil {
@@ -625,19 +667,18 @@ func (ss *session) storeArrived(ref wire.FileRef, id naming.ShadowID, version ui
 		return err
 	}
 	ss.srv.flights.Done(id, version)
-	key := ref.String()
 	ss.mu.Lock()
 	var issuedAt time.Duration
 	var timed bool
 	var psp *trace.Span
-	if ss.pulled[key] <= version {
+	if ss.pulled[id] <= version {
 		// The arrival satisfies the open pull (if any); close its timing
 		// and its span.
-		issuedAt, timed = ss.pulledAt[key]
-		psp = ss.pullSpan[key]
-		delete(ss.pulled, key)
-		delete(ss.pulledAt, key)
-		delete(ss.pullSpan, key)
+		issuedAt, timed = ss.pulledAt[id]
+		psp = ss.pullSpan[id]
+		delete(ss.pulled, id)
+		delete(ss.pulledAt, id)
+		delete(ss.pullSpan, id)
 	}
 	ss.mu.Unlock()
 	psp.Finish()
@@ -646,13 +687,13 @@ func (ss *session) storeArrived(ref wire.FileRef, id naming.ShadowID, version ui
 	}
 	if ss.srv.cfg.Obs.LogEnabled(slog.LevelDebug) {
 		ss.srv.cfg.Obs.Log(slog.LevelDebug, "file arrived",
-			slog.Uint64("session", ss.id), slog.String("file", key),
+			slog.Uint64("session", ss.id), slog.String("file", ref.String()),
 			slog.Uint64("version", version), slog.Int("bytes", len(content)))
 	}
 	// Feed jobs before acknowledging: the ack can fail (the client may
 	// have disconnected right after sending), but the content is here
 	// and jobs waiting for it must proceed regardless.
-	ss.srv.feedWaitingJobs(ref, version, content)
+	ss.srv.feedWaitingJobs(id, version, content)
 	return ss.sendTraced(&wire.FileAck{File: ref, Version: version}, tc)
 }
 
@@ -661,7 +702,10 @@ func (ss *session) handleSubmit(m *wire.Submit, tc wire.TraceContext) error {
 	ss.srv.counters.AddControl(len(m.Script))
 	sp := ss.srv.cfg.Obs.StartSpan(tc, "server.submit").SetSession(ss.id)
 	defer sp.Finish()
-	cmds, err := jobs.ParseScript(m.Script)
+	// Scripts repeat across submissions (the whole point of reverse shadow
+	// processing), so parse results are cached by checksum server-wide.
+	scriptSum := diff.Checksum(m.Script)
+	cmds, inputNames, err := ss.srv.parsedScript(scriptSum, m.Script)
 	if err != nil {
 		return ss.sendError(wire.CodeBadRequest, err.Error())
 	}
@@ -673,7 +717,7 @@ func (ss *session) handleSubmit(m *wire.Submit, tc wire.TraceContext) error {
 		}
 		supplied[in.As] = in
 	}
-	for _, name := range jobs.InputNames(cmds) {
+	for _, name := range inputNames {
 		if _, ok := supplied[name]; !ok {
 			return ss.sendError(wire.CodeBadRequest, fmt.Sprintf("script references %q but it was not submitted", name))
 		}
@@ -695,18 +739,21 @@ func (ss *session) handleSubmit(m *wire.Submit, tc wire.TraceContext) error {
 	}
 
 	j := &job{
-		sess:            ss,
-		owner:           owner,
-		script:          append([]byte(nil), m.Script...),
-		scriptSum:       diff.Checksum(m.Script),
+		sess:  ss,
+		owner: owner,
+		// The decoded message owns its bytes (messages are never pooled),
+		// so the job can alias the script and inputs directly.
+		script:          m.Script,
+		cmds:            cmds,
+		scriptSum:       scriptSum,
 		inputs:          m.Inputs,
 		outputFile:      m.OutputFile,
 		errorFile:       m.ErrorFile,
 		routeHost:       m.RouteHost,
 		wantOutputDelta: m.WantOutputDelta,
 		state:           wire.JobQueued,
-		waiting:         make(map[string]uint64),
-		byRef:           make(map[string]string),
+		waiting:         make(map[naming.ShadowID]uint64),
+		byRef:           make(map[naming.ShadowID]string),
 		snapshot:        make(map[string][]byte),
 		tc:              tc,
 	}
@@ -740,8 +787,7 @@ func (ss *session) handleSubmit(m *wire.Submit, tc wire.TraceContext) error {
 	j.setState(wire.JobFetching, "collecting input files")
 	for _, in := range m.Inputs {
 		id := ss.srv.dir.Intern(in.File)
-		key := in.File.String()
-		j.byRef[key] = in.As
+		j.byRef[id] = in.As
 		if e, ok := ss.srv.cache.Get(id); ok && e.Version >= in.Version {
 			j.mu.Lock()
 			j.snapshot[in.As] = e.Content
@@ -749,9 +795,9 @@ func (ss *session) handleSubmit(m *wire.Submit, tc wire.TraceContext) error {
 			continue
 		}
 		j.mu.Lock()
-		j.waiting[key] = in.Version
+		j.waiting[id] = in.Version
 		j.mu.Unlock()
-		ss.srv.addWaiter(key, j)
+		ss.srv.addWaiter(id, j)
 		if err := ss.pullFile(in.File, in.Version, tc); err != nil {
 			return err
 		}

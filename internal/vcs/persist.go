@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"shadowedit/internal/diff"
+	"shadowedit/internal/wire"
 )
 
 // Persistence for the version store. The paper's prototype kept old
@@ -44,11 +45,14 @@ func (s *Store) Save(w io.Writer) error {
 	if _, err := bw.WriteString(persistMagic); err != nil {
 		return err
 	}
-	keys := make([]string, 0, len(s.files))
+	// Sort by the rendered ref so the stream layout is unchanged from when
+	// the map was keyed by ref.String(); this is a cold path, the
+	// allocations don't matter.
+	keys := make([]wire.FileRef, 0, len(s.files))
 	for k := range s.files {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
 	writeUvarint(bw, uint64(len(keys)))
 	for _, k := range keys {
 		h := s.files[k]
@@ -118,7 +122,7 @@ func Load(r io.Reader, retain int) (*Store, error) {
 		if h.acked != 0 && !h.retains(h.acked) {
 			return nil, fmt.Errorf("%w: acked version %d missing for %s", ErrCorruptStore, h.acked, h.ref)
 		}
-		s.files[h.ref.String()] = h
+		s.files[h.ref] = h
 	}
 	return s, nil
 }

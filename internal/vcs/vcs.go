@@ -54,10 +54,15 @@ type Stats struct {
 }
 
 // Store holds version chains for the files a user shadows.
+//
+// The map is keyed by the FileRef value itself: FileRef is a comparable
+// struct, so lookups with a ref in hand cost nothing, where a string key
+// would pay a ref.String() allocation on every store operation — several
+// times per submit cycle.
 type Store struct {
 	mu        sync.Mutex
 	retain    int
-	files     map[string]*history
+	files     map[wire.FileRef]*history
 	committed int64
 	pruned    int64
 }
@@ -74,7 +79,7 @@ func NewStore(retain int) *Store {
 	if retain < 0 {
 		retain = 0
 	}
-	return &Store{retain: retain, files: make(map[string]*history)}
+	return &Store{retain: retain, files: make(map[wire.FileRef]*history)}
 }
 
 // SetRetain changes the retention limit for subsequent pruning.
@@ -93,10 +98,10 @@ func (s *Store) SetRetain(n int) {
 func (s *Store) Commit(ref wire.FileRef, content []byte) (version uint64, changed bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	h, ok := s.files[ref.String()]
+	h, ok := s.files[ref]
 	if !ok {
 		h = &history{ref: ref}
-		s.files[ref.String()] = h
+		s.files[ref] = h
 	}
 	sum := diff.Checksum(content)
 	if n := len(h.versions); n > 0 {
@@ -126,14 +131,14 @@ func (s *Store) Commit(ref wire.FileRef, content []byte) (version uint64, change
 // ascending.
 func (s *Store) CommitAtLeast(ref wire.FileRef, content []byte, minNumber uint64) (version uint64, changed bool) {
 	s.mu.Lock()
-	h, ok := s.files[ref.String()]
+	h, ok := s.files[ref]
 	if ok && len(h.versions) > 0 && h.versions[len(h.versions)-1].Number >= minNumber {
 		s.mu.Unlock()
 		return s.Commit(ref, content)
 	}
 	if !ok {
 		h = &history{ref: ref}
-		s.files[ref.String()] = h
+		s.files[ref] = h
 	}
 	h.versions = append(h.versions, Version{
 		Number:  minNumber,
@@ -146,28 +151,53 @@ func (s *Store) CommitAtLeast(ref wire.FileRef, content []byte, minNumber uint64
 	return minNumber, true
 }
 
-// Head returns the newest version of ref.
+// Head returns the newest version of ref. The content is a private copy the
+// caller owns; use HeadShared on paths where the copy matters.
 func (s *Store) Head(ref wire.FileRef) (Version, bool) {
+	v, ok := s.HeadShared(ref)
+	if !ok {
+		return Version{}, false
+	}
+	return cloneVersion(v), true
+}
+
+// HeadShared is Head without the content copy. The returned Content is the
+// store's own backing array: committed content is immutable (Commit stores a
+// private copy and nothing ever writes it again; pruning only drops
+// references), so the slice stays valid and constant indefinitely — but the
+// caller must treat it as read-only.
+func (s *Store) HeadShared(ref wire.FileRef) (Version, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	h, ok := s.files[ref.String()]
+	h, ok := s.files[ref]
 	if !ok || len(h.versions) == 0 {
 		return Version{}, false
 	}
-	return cloneVersion(h.versions[len(h.versions)-1]), true
+	return h.versions[len(h.versions)-1], true
 }
 
-// Get returns a specific retained version of ref.
+// Get returns a specific retained version of ref. The content is a private
+// copy the caller owns; use GetShared on paths where the copy matters.
 func (s *Store) Get(ref wire.FileRef, number uint64) (Version, error) {
+	v, err := s.GetShared(ref, number)
+	if err != nil {
+		return Version{}, err
+	}
+	return cloneVersion(v), nil
+}
+
+// GetShared is Get without the content copy; the same read-only sharing
+// contract as HeadShared applies.
+func (s *Store) GetShared(ref wire.FileRef, number uint64) (Version, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	h, ok := s.files[ref.String()]
+	h, ok := s.files[ref]
 	if !ok {
 		return Version{}, fmt.Errorf("%w: %s", ErrUnknownFile, ref)
 	}
 	for _, v := range h.versions {
 		if v.Number == number {
-			return cloneVersion(v), nil
+			return v, nil
 		}
 	}
 	return Version{}, fmt.Errorf("%w: %s v%d", ErrVersionGone, ref, number)
@@ -176,12 +206,16 @@ func (s *Store) Get(ref wire.FileRef, number uint64) (Version, error) {
 // DeltaFrom computes the delta that upgrades base to want using algorithm.
 // It fails with ErrVersionGone when either version is no longer retained —
 // the signal to fall back to a FileFull transfer.
+//
+// The returned delta's inserted lines alias the stored content of the want
+// version (see diff.Compute); since committed content is immutable, the
+// delta stays valid until encoded, which is all the pull path does with it.
 func (s *Store) DeltaFrom(ref wire.FileRef, base, want uint64, algorithm diff.Algorithm) (*diff.Delta, error) {
-	baseV, err := s.Get(ref, base)
+	baseV, err := s.GetShared(ref, base)
 	if err != nil {
 		return nil, err
 	}
-	wantV, err := s.Get(ref, want)
+	wantV, err := s.GetShared(ref, want)
 	if err != nil {
 		return nil, err
 	}
@@ -198,7 +232,7 @@ func (s *Store) DeltaFrom(ref wire.FileRef, base, want uint64, algorithm diff.Al
 func (s *Store) Ack(ref wire.FileRef, number uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	h, ok := s.files[ref.String()]
+	h, ok := s.files[ref]
 	if !ok || len(h.versions) == 0 {
 		return
 	}
@@ -227,7 +261,7 @@ func (h *history) retains(number uint64) bool {
 func (s *Store) Acked(ref wire.FileRef) uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	h, ok := s.files[ref.String()]
+	h, ok := s.files[ref]
 	if !ok {
 		return 0
 	}
@@ -241,31 +275,36 @@ func (s *Store) pruneLocked(h *history) {
 		return
 	}
 	headNum := h.versions[len(h.versions)-1].Number
+	protected := func(v Version) bool {
+		return v.Number == headNum || (h.acked != 0 && v.Number == h.acked)
+	}
+	// The retain budget keeps the NEWEST prunable versions, so with m
+	// prunable versions total, the first m-retain of them (oldest first)
+	// are dropped. Two counting passes make the rebuild in-place and
+	// allocation-free.
+	m := 0
+	for _, v := range h.versions {
+		if !protected(v) {
+			m++
+		}
+	}
+	drop := m - s.retain
+	if drop <= 0 {
+		return
+	}
 	kept := h.versions[:0]
-	// Walk newest to oldest counting prunable survivors, then restore
-	// ascending order by rebuilding.
-	type mark struct {
-		v    Version
-		keep bool
-	}
-	marks := make([]mark, len(h.versions))
-	budget := s.retain
-	for i := len(h.versions) - 1; i >= 0; i-- {
-		v := h.versions[i]
-		protected := v.Number == headNum || (h.acked != 0 && v.Number == h.acked)
-		keep := protected
-		if !protected && budget > 0 {
-			keep = true
-			budget--
-		}
-		marks[i] = mark{v: v, keep: keep}
-	}
-	for _, m := range marks {
-		if m.keep {
-			kept = append(kept, m.v)
-		} else {
+	for _, v := range h.versions {
+		if !protected(v) && drop > 0 {
+			drop--
 			s.pruned++
+			continue
 		}
+		kept = append(kept, v)
+	}
+	// Release the dropped versions' content instead of pinning it in the
+	// slice's tail.
+	for i := len(kept); i < len(h.versions); i++ {
+		h.versions[i] = Version{}
 	}
 	h.versions = kept
 }
@@ -274,7 +313,7 @@ func (s *Store) pruneLocked(h *history) {
 func (s *Store) Versions(ref wire.FileRef) []uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	h, ok := s.files[ref.String()]
+	h, ok := s.files[ref]
 	if !ok {
 		return nil
 	}
@@ -302,7 +341,7 @@ func (s *Store) Files() []wire.FileRef {
 func (s *Store) Forget(ref wire.FileRef) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.files, ref.String())
+	delete(s.files, ref)
 }
 
 // Stats returns a snapshot of store counters.

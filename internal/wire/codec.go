@@ -28,10 +28,26 @@ func (e *encoder) bool(v bool) {
 }
 
 // decoder reads primitive fields, latching the first error.
+//
+// Decoded strings are interned in a per-decoder table: protocol strings
+// (domains, file ids, user and host names) recur on every cycle of a
+// session, and decoders are pooled, so the steady state decodes them
+// without allocating. The table is capped and flushed wholesale if a
+// workload somehow produces unbounded distinct strings.
 type decoder struct {
-	buf []byte
-	err error
+	buf      []byte
+	err      error
+	interned map[string]string
 }
+
+const (
+	// maxInternedLen bounds the size of strings worth interning — beyond
+	// this they are unlikely to recur and would pin memory in the pool.
+	maxInternedLen = 256
+	// maxInternedEntries caps the intern table; reaching it flushes the
+	// table rather than evicting piecemeal.
+	maxInternedEntries = 4096
+)
 
 func (d *decoder) fail(msg string) {
 	if d.err == nil {
@@ -87,7 +103,26 @@ func (d *decoder) string() string {
 		d.fail("string length exceeds frame")
 		return ""
 	}
-	return string(d.take(int(n)))
+	b := d.take(int(n))
+	if len(b) == 0 {
+		return ""
+	}
+	if len(b) > maxInternedLen {
+		return string(b)
+	}
+	// The map lookup keyed by string(b) does not allocate; only a miss
+	// materializes the string.
+	if s, ok := d.interned[string(b)]; ok {
+		return s
+	}
+	if d.interned == nil {
+		d.interned = make(map[string]string, 64)
+	} else if len(d.interned) >= maxInternedEntries {
+		clear(d.interned)
+	}
+	s := string(b)
+	d.interned[s] = s
+	return s
 }
 
 func (d *decoder) bytes() []byte {
@@ -124,20 +159,37 @@ type Flusher interface {
 // coalesced into one buffer) — one syscall per message on a socket. With
 // NewBufferedStreamConn, frames accumulate in a write buffer until Flush,
 // so a burst of messages costs one syscall total.
+//
+// Send copies the payload before returning (into the write buffer or the
+// coalescing scratch), so callers may reuse payload slices across sends —
+// StreamConn implements NonRetainingSender. RecvReuse reads frames into a
+// connection-owned buffer pre-sized from a running high-water mark, so a
+// steady receive loop performs no per-frame allocation.
 type StreamConn struct {
 	rw io.ReadWriteCloser
 
 	sendMu  sync.Mutex
 	bw      *bufio.Writer // nil when unbuffered
 	sendBuf []byte        // unbuffered Send scratch, guarded by sendMu
+	sendHW  int           // high-water frame size, guides scratch retention
+	sendHdr [4]byte       // header scratch: a local would escape through bw.Write
 
-	recvMu sync.Mutex
+	recvMu  sync.Mutex
+	recvBuf []byte  // RecvReuse scratch, guarded by recvMu
+	recvHW  int     // high-water frame size, guides scratch retention
+	recvHdr [4]byte // header scratch: a local would escape through io.ReadFull
 }
 
 var (
-	_ Conn    = (*StreamConn)(nil)
-	_ Flusher = (*StreamConn)(nil)
+	_ Conn               = (*StreamConn)(nil)
+	_ Flusher            = (*StreamConn)(nil)
+	_ NonRetainingSender = (*StreamConn)(nil)
+	_ ReusableReceiver   = (*StreamConn)(nil)
 )
+
+// SendDoesNotRetain marks that Send finishes with the payload before
+// returning; see NonRetainingSender.
+func (s *StreamConn) SendDoesNotRetain() {}
 
 // NewStreamConn frames messages over rw.
 func NewStreamConn(rw io.ReadWriteCloser) *StreamConn {
@@ -163,12 +215,11 @@ func (s *StreamConn) Send(payload []byte) error {
 	}
 	s.sendMu.Lock()
 	defer s.sendMu.Unlock()
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(s.sendHdr[:], uint32(len(payload)))
 	if s.bw != nil {
 		// Buffered: both pieces land in the buffer; the flush decides
 		// when the syscall happens.
-		if _, err := s.bw.Write(hdr[:]); err != nil {
+		if _, err := s.bw.Write(s.sendHdr[:]); err != nil {
 			return err
 		}
 		_, err := s.bw.Write(payload)
@@ -176,13 +227,26 @@ func (s *StreamConn) Send(payload []byte) error {
 	}
 	// Unbuffered: coalesce header+payload so the frame is one Write —
 	// and, on a socket, one syscall and one segment instead of two.
-	s.sendBuf = append(s.sendBuf[:0], hdr[:]...)
+	s.sendBuf = append(s.sendBuf[:0], s.sendHdr[:]...)
 	s.sendBuf = append(s.sendBuf, payload...)
+	s.sendHW = highWater(s.sendHW, len(s.sendBuf))
 	_, err := s.rw.Write(s.sendBuf)
-	if cap(s.sendBuf) > 64<<10 {
-		s.sendBuf = nil // don't pin a huge scratch after a big transfer
+	if cap(s.sendBuf) > 64<<10 && s.sendHW <= 64<<10 {
+		// Don't pin a huge scratch after an outlier transfer; keep it
+		// when frames of this size are the steady state.
+		s.sendBuf = nil
 	}
 	return err
+}
+
+// highWater tracks a running high-water mark that rises instantly and decays
+// slowly, so scratch buffers stay pre-sized for the steady state while
+// one-off outliers stop pinning memory after a while.
+func highWater(hw, n int) int {
+	if n > hw {
+		return n
+	}
+	return hw - (hw-n)/16
 }
 
 // Flush pushes buffered frames to the underlying stream; a no-op without a
@@ -196,23 +260,53 @@ func (s *StreamConn) Flush() error {
 	return s.bw.Flush()
 }
 
-// Recv reads one length-prefixed frame.
+// Recv reads one length-prefixed frame into a fresh buffer the caller owns.
 func (s *StreamConn) Recv() ([]byte, error) {
 	s.recvMu.Lock()
 	defer s.recvMu.Unlock()
-	var hdr [4]byte
-	if _, err := io.ReadFull(s.rw, hdr[:]); err != nil {
+	n, err := s.recvLen()
+	if err != nil {
 		return nil, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return nil, ErrFrameTooLarge
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(s.rw, payload); err != nil {
 		return nil, err
 	}
 	return payload, nil
+}
+
+// RecvReuse reads one length-prefixed frame into the connection's receive
+// scratch, which is pre-sized from a running high-water mark of frame sizes.
+// The returned slice is owned by the connection and valid only until the
+// next Recv/RecvReuse call; see ReusableReceiver for the ownership rules.
+func (s *StreamConn) RecvReuse() ([]byte, error) {
+	s.recvMu.Lock()
+	defer s.recvMu.Unlock()
+	n, err := s.recvLen()
+	if err != nil {
+		return nil, err
+	}
+	s.recvHW = highWater(s.recvHW, n)
+	if cap(s.recvBuf) < n || (cap(s.recvBuf) > 64<<10 && s.recvHW <= 64<<10) {
+		s.recvBuf = make([]byte, max(n, s.recvHW))
+	}
+	payload := s.recvBuf[:n]
+	if _, err := io.ReadFull(s.rw, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// recvLen reads and validates one frame header; the caller holds recvMu.
+func (s *StreamConn) recvLen() (int, error) {
+	if _, err := io.ReadFull(s.rw, s.recvHdr[:]); err != nil {
+		return 0, err
+	}
+	n := binary.BigEndian.Uint32(s.recvHdr[:])
+	if n > MaxFrame {
+		return 0, ErrFrameTooLarge
+	}
+	return int(n), nil
 }
 
 // Close closes the underlying stream.

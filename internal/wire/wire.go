@@ -15,6 +15,7 @@ package wire
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -180,6 +181,14 @@ type Message interface {
 	decode(d *decoder)
 }
 
+// encPool recycles encoder structs: m.encode(e) is an interface call, so a
+// stack-allocated encoder escapes and would otherwise cost one heap
+// allocation per marshalled message.
+var encPool = sync.Pool{New: func() any { return new(encoder) }}
+
+// decPool recycles decoder structs for the same reason (m.decode(d)).
+var decPool = sync.Pool{New: func() any { return new(decoder) }}
+
 // Marshal serializes a message, kind byte first (untraced).
 func Marshal(m Message) []byte {
 	return MarshalTraced(m, TraceContext{})
@@ -190,7 +199,17 @@ func Marshal(m Message) []byte {
 // flag bit is only set when there is a header to read, so tracing-off
 // traffic is byte-identical to the untraced protocol.
 func MarshalTraced(m Message, tc TraceContext) []byte {
-	e := &encoder{buf: make([]byte, 0, 64)}
+	return AppendMarshal(make([]byte, 0, 64), m, tc)
+}
+
+// AppendMarshal appends the frame for m (kind byte first, optional trace
+// header, body) to dst and returns the extended slice. It is the
+// allocation-free form of MarshalTraced: callers that own a reusable scratch
+// buffer pass dst = scratch[:0] and pay nothing on the steady state. The
+// encoder struct itself comes from a pool.
+func AppendMarshal(dst []byte, m Message, tc TraceContext) []byte {
+	e := encPool.Get().(*encoder)
+	e.buf = dst
 	if tc.Valid() {
 		e.byte(byte(m.Kind()) | traceFlag)
 		e.uvarint(tc.TraceID)
@@ -199,7 +218,10 @@ func MarshalTraced(m Message, tc TraceContext) []byte {
 		e.byte(byte(m.Kind()))
 	}
 	m.encode(e)
-	return e.buf
+	out := e.buf
+	e.buf = nil
+	encPool.Put(e)
+	return out
 }
 
 // Unmarshal parses a message produced by Marshal or MarshalTraced,
@@ -212,12 +234,40 @@ func Unmarshal(buf []byte) (Message, error) {
 // UnmarshalTraced parses a message and its trace-context header, when
 // present. Frames without the flag (every version-1 frame) decode with a
 // zero context.
+//
+// The returned message owns every byte it carries: the decoder copies
+// strings and byte fields out of buf, so the caller may recycle buf the
+// moment UnmarshalTraced returns (the zero-copy receive path relies on
+// this).
 func UnmarshalTraced(buf []byte) (Message, TraceContext, error) {
+	d := decPool.Get().(*decoder)
+	m, tc, err := unmarshalWith(d, buf, nil)
+	d.buf, d.err = nil, nil
+	decPool.Put(d)
+	return m, tc, err
+}
+
+// UnmarshalInto parses a frame whose kind is known in advance into a
+// caller-supplied message, avoiding the per-frame message allocation. The
+// frame's kind byte must match into.Kind() or ErrBadMessage is returned.
+// into should be a zero value (or a value whose every field the caller is
+// happy to have overwritten); trailing optional fields keep their previous
+// value when the frame omits them, exactly as they would stay zero on a
+// fresh struct.
+func UnmarshalInto(into Message, buf []byte) (TraceContext, error) {
+	d := decPool.Get().(*decoder)
+	_, tc, err := unmarshalWith(d, buf, into)
+	d.buf, d.err = nil, nil
+	decPool.Put(d)
+	return tc, err
+}
+
+func unmarshalWith(d *decoder, buf []byte, into Message) (Message, TraceContext, error) {
 	var tc TraceContext
 	if len(buf) == 0 {
 		return nil, tc, fmt.Errorf("%w: empty", ErrBadMessage)
 	}
-	d := &decoder{buf: buf[1:]}
+	d.buf, d.err = buf[1:], nil
 	if buf[0]&traceFlag != 0 {
 		tc.TraceID = d.uvarint()
 		tc.SpanID = d.uvarint()
@@ -229,9 +279,17 @@ func UnmarshalTraced(buf []byte) (Message, TraceContext, error) {
 		}
 	}
 	kind := Kind(buf[0] &^ traceFlag)
-	m := newMessage(kind)
-	if m == nil {
-		return nil, TraceContext{}, fmt.Errorf("%w: unknown kind %d", ErrBadMessage, kind)
+	var m Message
+	if into != nil {
+		if kind != into.Kind() {
+			return nil, TraceContext{}, fmt.Errorf("%w: kind %d, want %s", ErrBadMessage, kind, into.Kind())
+		}
+		m = into
+	} else {
+		m = newMessage(kind)
+		if m == nil {
+			return nil, TraceContext{}, fmt.Errorf("%w: unknown kind %d", ErrBadMessage, kind)
+		}
 	}
 	m.decode(d)
 	if d.err != nil {
@@ -293,6 +351,52 @@ func SendTraced(c Conn, m Message, tc TraceContext) error {
 	return c.Send(MarshalTraced(m, tc))
 }
 
+// NonRetainingSender marks transports whose Send finishes with the payload
+// before returning — the bytes are copied to the wire (or into an internal
+// write buffer) and the caller may reuse the slice immediately. StreamConn
+// qualifies; netsim connections do NOT (a simulated link enqueues the very
+// slice it was handed and delivers it later), which is why buffer-reusing
+// senders must probe for this capability instead of assuming it.
+type NonRetainingSender interface {
+	// SendDoesNotRetain is a marker; it never needs calling.
+	SendDoesNotRetain()
+}
+
+// sendPool recycles marshal scratch for SendShared. Buffers, not arrays, so
+// grown scratch is kept across messages.
+var sendPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// SendShared marshals m into pooled scratch and transmits it, recycling the
+// scratch afterwards — zero steady-state allocations per message. It is only
+// safe (and only taken) when c's Send does not retain the payload; for every
+// other transport it falls back to a fresh MarshalTraced, so simulated links
+// keep exactly the per-message buffers they had before pooling existed.
+func SendShared(c Conn, m Message, tc TraceContext) error {
+	if _, ok := c.(NonRetainingSender); !ok {
+		return SendTraced(c, m, tc)
+	}
+	bp := sendPool.Get().(*[]byte)
+	buf := AppendMarshal((*bp)[:0], m, tc)
+	err := c.Send(buf)
+	if cap(buf) <= MaxFrame {
+		*bp = buf
+	}
+	sendPool.Put(bp)
+	return err
+}
+
+// ReusableReceiver is implemented by transports that can hand out a frame in
+// a connection-owned buffer which is recycled by the next receive call.
+// Ownership rule: the returned slice is valid only until the next
+// RecvReuse/Recv on the same connection; callers must fully consume (or
+// copy) it before receiving again. UnmarshalTraced satisfies this by
+// copying every field out of the frame.
+type ReusableReceiver interface {
+	// RecvReuse blocks for the next message payload, returned in a buffer
+	// owned by the connection.
+	RecvReuse() ([]byte, error)
+}
+
 // ScheduledSender is implemented by virtual-time transports whose
 // transmissions can be scheduled to begin at an explicit instant. An
 // asynchronous writer stamps each message with Now() when it is queued and
@@ -315,6 +419,28 @@ func Recv(c Conn) (Message, error) {
 // (zero when the peer sent an untraced frame).
 func RecvTraced(c Conn) (Message, TraceContext, error) {
 	buf, err := c.Recv()
+	if err != nil {
+		return nil, TraceContext{}, err
+	}
+	if len(buf) > MaxFrame {
+		return nil, TraceContext{}, ErrFrameTooLarge
+	}
+	return UnmarshalTraced(buf)
+}
+
+// RecvTracedReuse is RecvTraced over the zero-copy receive path: on
+// transports implementing ReusableReceiver, the raw frame lands in a
+// connection-owned buffer that the next receive recycles. Because
+// UnmarshalTraced copies every field out of the frame, the returned Message
+// is unconditionally safe to retain; only the raw frame bytes are recycled.
+// Intended for exclusive receive loops (one goroutine draining a
+// connection); other transports fall back to the allocating Recv.
+func RecvTracedReuse(c Conn) (Message, TraceContext, error) {
+	rr, ok := c.(ReusableReceiver)
+	if !ok {
+		return RecvTraced(c)
+	}
+	buf, err := rr.RecvReuse()
 	if err != nil {
 		return nil, TraceContext{}, err
 	}
