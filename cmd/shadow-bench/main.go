@@ -15,6 +15,7 @@
 //	shadow-bench -fig overlap    Background transfer hidden behind editing
 //	shadow-bench -fig server     Multi-session server throughput (wall clock)
 //	shadow-bench -fig capacity   Session-capacity sweep (100..10k sessions, GOMAXPROCS curve)
+//	shadow-bench -fig dedup      Chunk dedup: baseline vs chunked vs cache-pressure
 //	shadow-bench -fig trace      Tracing overhead: server figure twice, off vs on
 //	shadow-bench -fig chaos      Fault-injection gauntlet (drops/spikes/flaps)
 //	shadow-bench -fig all        Everything
@@ -71,6 +72,12 @@ func run(args []string, w io.Writer) error {
 		capCycles   = fs.Int("cap-cycles", 2, "capacity figure: measured cycles per session")
 		capFileSize = fs.Int("cap-filesize", 2*1024, "capacity figure: data file size in bytes")
 
+		dedupSessions   = fs.Int("dedup-sessions", 16, "dedup figure: concurrent sessions")
+		dedupCycles     = fs.Int("dedup-cycles", 4, "dedup figure: shared-content rounds per session")
+		dedupFileSize   = fs.Int("dedup-filesize", 48*1024, "dedup figure: common file size in bytes")
+		dedupRedundancy = fs.Float64("dedup-redundancy", 0.97, "dedup figure: shared fraction of each variant")
+		dedupCapacity   = fs.Int64("dedup-capacity", 0, "dedup figure: pressure cell cache bound in bytes (0: 2x filesize)")
+
 		dropRate   = fs.Float64("drop", 0.05, "chaos figure: per-frame drop probability")
 		spikeRate  = fs.Float64("spike", 0.05, "chaos figure: per-frame latency-spike probability")
 		spikeExtra = fs.Duration("spike-extra", 20*time.Millisecond, "chaos figure: added latency per spike")
@@ -107,6 +114,15 @@ func run(args []string, w io.Writer) error {
 		Cycles:   *capCycles,
 		FileSize: *capFileSize,
 		Seed:     *seed,
+	}
+	runner.dedupCfg = experiment.DedupConfig{
+		Sessions:         *dedupSessions,
+		Cycles:           *dedupCycles,
+		FileSize:         *dedupFileSize,
+		Redundancy:       *dedupRedundancy,
+		PressureCapacity: *dedupCapacity,
+		Transport:        *transport,
+		Seed:             *seed,
 	}
 	runner.chaosCfg = experiment.ChaosConfig{
 		Sessions:    *sessions,
@@ -145,6 +161,8 @@ func run(args []string, w io.Writer) error {
 		return runner.serverBench()
 	case "capacity":
 		return runner.capacity()
+	case "dedup":
+		return runner.dedup()
 	case "trace":
 		return runner.traceOverhead()
 	case "chaos":
@@ -174,6 +192,7 @@ type runner struct {
 	server      experiment.ServerBenchConfig
 	chaosCfg    experiment.ChaosConfig
 	capacityCfg experiment.CapacityConfig
+	dedupCfg    experiment.DedupConfig
 	benchOut    string
 	label       string
 }
@@ -313,6 +332,37 @@ func (r *runner) capacity() error {
 		return nil
 	}
 	for _, res := range results {
+		if err := appendBenchRun(r.benchOut, res); err != nil {
+			return fmt.Errorf("write %s: %w", r.benchOut, err)
+		}
+	}
+	fmt.Fprintf(r.w, "recorded in %s\n", r.benchOut)
+	return nil
+}
+
+// dedup runs the chunk-dedup figure (baseline, chunked, cache pressure) and
+// appends all three cells to the trajectory file. It fails when the pressure
+// cell degraded to whole-file retransmits — eviction must cost only the
+// chunks actually gone — or when chunking failed to cut wire bytes at all.
+func (r *runner) dedup() error {
+	fig, err := experiment.RunDedupFigure(r.dedupCfg)
+	if err != nil {
+		return err
+	}
+	fig.Render(r.w)
+	if fig.Pressure.FullRetransmits > 0 {
+		return fmt.Errorf("dedup: pressure cell fell back to %d whole-file retransmits", fig.Pressure.FullRetransmits)
+	}
+	if fig.Pressure.CacheEvictions == 0 {
+		return fmt.Errorf("dedup: pressure cell recorded no evictions — capacity %d did not bind", fig.Pressure.CacheCapacity)
+	}
+	if fig.WireReduction() < 1 {
+		return fmt.Errorf("dedup: chunked run moved more bytes than baseline (%.2fx)", fig.WireReduction())
+	}
+	if r.benchOut == "" {
+		return nil
+	}
+	for _, res := range []experiment.ServerBenchResult{fig.Baseline, fig.Chunked, fig.Pressure} {
 		if err := appendBenchRun(r.benchOut, res); err != nil {
 			return fmt.Errorf("write %s: %w", r.benchOut, err)
 		}

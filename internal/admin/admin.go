@@ -158,6 +158,12 @@ func counterSpecs(s metrics.Snapshot) []counterSpec {
 		{"shadow_retries_total", "Request attempts retried after transient failures.", s.Retries},
 		{"shadow_full_fallbacks_total", "Delta transfers degraded to full copies (base evicted or lost).", s.FullFallbacks},
 		{"shadow_dropped_frames_total", "Frames lost to fault injection.", s.DroppedFrames},
+		{"shadow_manifest_bytes_total", "Payload bytes moved as chunk manifests (protocol v3).", s.ManifestBytes},
+		{"shadow_chunk_bytes_total", "Payload bytes moved as chunk data (inline and requested).", s.ChunkBytes},
+		{"shadow_manifest_sends_total", "Transfers that went as chunk manifests.", s.ManifestSends},
+		{"shadow_chunk_sends_total", "CHUNK_DATA frames received.", s.ChunkSends},
+		{"shadow_chunks_requested_total", "Chunk hashes asked for via CHUNK_REQ.", s.ChunksRequested},
+		{"shadow_rehydrations_total", "Versions completed by fetching only their missing chunks.", s.Rehydrations},
 	}
 }
 
@@ -179,8 +185,12 @@ func (h *handler) writeGauges(b *strings.Builder) {
 	gauge("shadow_pool_running", "Jobs executing right now.", float64(running))
 	st := h.srv.Cache().Stats()
 	gauge("shadow_cache_entries", "Entries in the best-effort cache.", float64(st.Entries))
-	gauge("shadow_cache_bytes", "Content bytes held by the cache.", float64(st.Bytes))
+	gauge("shadow_cache_bytes", "Unique content bytes held by the cache's chunk store.", float64(st.Bytes))
 	gauge("shadow_cache_capacity_bytes", "Configured cache capacity (0 = unbounded).", float64(max64(h.srv.Cache().Capacity(), 0)))
+	gauge("shadow_cache_unique_bytes", "Unique chunk bytes resident (each stored once however many files reference it).", float64(st.Bytes))
+	gauge("shadow_cache_logical_bytes", "Sum of cached files' content lengths — what a whole-file cache would hold.", float64(st.LogicalBytes))
+	gauge("shadow_cache_dedup_ratio", "Logical over unique cache bytes (1 when empty or dedup-free).", st.DedupRatio())
+	gauge("shadow_chunk_store_chunks", "Unique chunks resident in the content-addressed store.", float64(h.srv.Cache().ChunkStore().Stats().Chunks))
 	// Capacity footprint: what each attached session costs the process.
 	// ReadMemStats stops the world briefly, which a scrape endpoint can
 	// afford; the per-session derivations are what the capacity benchmark
@@ -233,15 +243,24 @@ func formatSeconds(ns uint64) string {
 
 // cacheView is /cachez's JSON shape.
 type cacheView struct {
-	Policy        string           `json:"policy"`
-	CapacityBytes int64            `json:"capacity_bytes"`
-	Bytes         int64            `json:"bytes"`
-	Entries       int              `json:"entries"`
-	Hits          int64            `json:"hits"`
-	Misses        int64            `json:"misses"`
-	Evictions     int64            `json:"evictions"`
-	Rejected      int64            `json:"rejected"`
-	Files         []cacheEntryView `json:"files"`
+	Policy        string `json:"policy"`
+	CapacityBytes int64  `json:"capacity_bytes"`
+	Bytes         int64  `json:"bytes"`
+	Entries       int    `json:"entries"`
+	Hits          int64  `json:"hits"`
+	Misses        int64  `json:"misses"`
+	Evictions     int64  `json:"evictions"`
+	Rejected      int64  `json:"rejected"`
+	// The content-addressed chunk store behind the entries: unique vs
+	// logical bytes is the measured sub-file dedup.
+	Chunks       int              `json:"chunks"`
+	UniqueBytes  int64            `json:"unique_bytes"`
+	LogicalBytes int64            `json:"logical_bytes"`
+	DedupRatio   float64          `json:"dedup_ratio"`
+	ChunkPuts    int64            `json:"chunk_puts"`
+	ChunkDups    int64            `json:"chunk_dups"`
+	ChunkFrees   int64            `json:"chunk_frees"`
+	Files        []cacheEntryView `json:"files"`
 }
 
 type cacheEntryView struct {
@@ -257,6 +276,7 @@ type cacheEntryView struct {
 func (h *handler) cacheView() cacheView {
 	c := h.srv.Cache()
 	st := c.Stats()
+	cs := c.ChunkStore().Stats()
 	v := cacheView{
 		Policy:        c.Policy().String(),
 		CapacityBytes: c.Capacity(),
@@ -266,6 +286,13 @@ func (h *handler) cacheView() cacheView {
 		Misses:        st.Misses,
 		Evictions:     st.Evictions,
 		Rejected:      st.Rejected,
+		Chunks:        cs.Chunks,
+		UniqueBytes:   cs.UniqueBytes,
+		LogicalBytes:  st.LogicalBytes,
+		DedupRatio:    st.DedupRatio(),
+		ChunkPuts:     cs.Puts,
+		ChunkDups:     cs.Dups,
+		ChunkFrees:    cs.Frees,
 	}
 	entries := c.Entries()
 	sort.Slice(entries, func(a, b int) bool {
@@ -304,7 +331,9 @@ func (h *handler) cachez(w http.ResponseWriter, r *http.Request) {
 		capStr = fmt.Sprintf("%d bytes (%.1f%% full)", v.CapacityBytes, 100*float64(v.Bytes)/float64(v.CapacityBytes))
 	}
 	fmt.Fprintf(&b, "shadow cache: %d entries, %d bytes, capacity %s, policy %s\n", v.Entries, v.Bytes, capStr, v.Policy)
-	fmt.Fprintf(&b, "pressure: %d hits, %d misses, %d evictions, %d rejected puts\n\n", v.Hits, v.Misses, v.Evictions, v.Rejected)
+	fmt.Fprintf(&b, "pressure: %d hits, %d misses, %d evictions, %d rejected puts\n", v.Hits, v.Misses, v.Evictions, v.Rejected)
+	fmt.Fprintf(&b, "chunks: %d unique holding %d bytes for %d logical (dedup %.2fx); %d puts, %d dup hits, %d frees\n\n",
+		v.Chunks, v.UniqueBytes, v.LogicalBytes, v.DedupRatio, v.ChunkPuts, v.ChunkDups, v.ChunkFrees)
 	shard := -1
 	for _, e := range v.Files {
 		if e.Shard != shard {

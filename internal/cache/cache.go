@@ -12,6 +12,17 @@
 // Entries hold the newest version of each shadow file; files pinned by
 // running jobs are never evicted until unpinned.
 //
+// Storage is content-addressed: an entry is a manifest of chunk refs into a
+// shared, refcounted chunk store (internal/chunk), so identical content
+// across users, files and versions is resident once. Byte accounting — and
+// the capacity the eviction policy defends — is at unique-chunk granularity:
+// a million near-identical files cost one copy of the shared chunks plus
+// each file's private ones. Evicting an entry releases its manifest's
+// references; a chunk's bytes are freed only when the last manifest (or
+// in-flight transfer) referencing it lets go, which is also what makes
+// re-fetching an evicted file cheap — the transfer path requests only the
+// chunks that are actually gone.
+//
 // The store is lock-striped: entries are spread over shardCount shards keyed
 // by a mixed ShadowID hash, so concurrent sessions touching different files
 // never contend. Byte accounting and hit/miss/eviction statistics are
@@ -34,6 +45,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"shadowedit/internal/chunk"
 	"shadowedit/internal/naming"
 )
 
@@ -66,7 +78,8 @@ func (p Policy) String() string {
 // semantics mean the caller simply proceeds uncached.
 var ErrTooLarge = errors.New("cache: content exceeds capacity")
 
-// Entry is one cached shadow file version.
+// Entry is one cached shadow file version. Content is assembled fresh from
+// the chunk store on every lookup — the caller owns it.
 type Entry struct {
 	ID      naming.ShadowID
 	Version uint64
@@ -79,8 +92,27 @@ type Stats struct {
 	Misses    int64
 	Evictions int64
 	Rejected  int64
-	Bytes     int64
-	Entries   int
+	// Bytes is the unique-chunk bytes resident in the underlying store —
+	// the quantity the capacity bounds.
+	Bytes int64
+	// LogicalBytes is the sum of the entries' content lengths: what a
+	// whole-file cache would hold. LogicalBytes/Bytes is the dedup ratio.
+	LogicalBytes int64
+	Entries      int
+	// Chunk-store accounting (see chunk.StoreStats).
+	Chunks     int
+	ChunkPuts  int64
+	ChunkDups  int64
+	ChunkFrees int64
+}
+
+// DedupRatio is logical over unique bytes (1.0 when the store is empty or
+// nothing dedups).
+func (s Stats) DedupRatio() float64 {
+	if s.Bytes <= 0 {
+		return 1
+	}
+	return float64(s.LogicalBytes) / float64(s.Bytes)
 }
 
 // shardCount is the number of lock stripes; a power of two so the shard
@@ -91,6 +123,8 @@ const shardCount = 16
 type Cache struct {
 	capacity int64
 	policy   Policy
+	params   chunk.Params
+	store    *chunk.Store
 
 	shards [shardCount]shard
 
@@ -99,8 +133,8 @@ type Cache struct {
 	// unbounded Puts never take it.
 	evictMu sync.Mutex
 
-	bytes atomic.Int64
-	seq   atomic.Int64
+	logicalBytes atomic.Int64
+	seq          atomic.Int64
 
 	hits      atomic.Int64
 	misses    atomic.Int64
@@ -114,7 +148,9 @@ type shard struct {
 }
 
 type slot struct {
-	entry    Entry
+	version  uint64
+	manifest chunk.Manifest
+	size     int64 // logical content length
 	lastUsed int64
 	pins     int
 }
@@ -129,21 +165,35 @@ func (c *Cache) shardOf(id naming.ShadowID) *shard {
 	return &c.shards[h&(shardCount-1)]
 }
 
-// New returns a cache bounded to capacity bytes of content (<= 0 means
-// unbounded) with the given eviction policy.
+// New returns a cache bounded to capacity bytes of unique chunk content
+// (<= 0 means unbounded) with the given eviction policy.
 func New(capacity int64, policy Policy) *Cache {
 	if policy != LRU && policy != LargestFirst {
 		policy = LRU
 	}
-	c := &Cache{capacity: capacity, policy: policy}
+	c := &Cache{
+		capacity: capacity,
+		policy:   policy,
+		params:   chunk.DefaultParams,
+		store:    chunk.NewStore(),
+	}
 	for i := range c.shards {
 		c.shards[i].entries = make(map[naming.ShadowID]*slot)
 	}
 	return c
 }
 
+// ChunkStore exposes the underlying chunk store. The transfer path uses it
+// directly: resolving a manifest's refs against resident chunks, pinning
+// chunks for in-flight assemblies, and storing arriving chunk data.
+func (c *Cache) ChunkStore() *chunk.Store { return c.store }
+
+// Params returns the chunking parameters the cache splits content with.
+func (c *Cache) Params() chunk.Params { return c.params }
+
 // Get returns the cached entry for id, if present, and refreshes its
-// recency. The returned content must not be modified.
+// recency. The content is assembled from the chunk store into a fresh
+// buffer the caller owns.
 func (c *Cache) Get(id naming.ShadowID) (Entry, bool) {
 	sh := c.shardOf(id)
 	sh.mu.Lock()
@@ -154,7 +204,7 @@ func (c *Cache) Get(id naming.ShadowID) (Entry, bool) {
 		return Entry{}, false
 	}
 	s.lastUsed = c.seq.Add(1)
-	e := s.entry
+	e := c.assembleLocked(id, s)
 	sh.mu.Unlock()
 	c.hits.Add(1)
 	return e, true
@@ -169,68 +219,110 @@ func (c *Cache) Peek(id naming.ShadowID) (Entry, bool) {
 	if !ok {
 		return Entry{}, false
 	}
-	return s.entry, true
+	return c.assembleLocked(id, s), true
 }
 
-// Put stores version content for id, replacing any older version, evicting
-// other unpinned entries as needed. The content is copied. Best-effort: if
-// the content cannot fit (bigger than capacity, or everything else is
-// pinned), Put returns ErrTooLarge and the cache simply does not hold the
-// file — callers must not treat that as fatal.
+// Version returns the cached version number of id without assembling its
+// content — the cheap lookup for call sites that only plan (pull decisions,
+// overtaken checks).
+func (c *Cache) Version(id naming.ShadowID) (uint64, bool) {
+	sh := c.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.entries[id]
+	if !ok {
+		return 0, false
+	}
+	return s.version, true
+}
+
+// Manifest returns the cached version and manifest of id. The manifest is
+// the entry's own — the caller must not modify it, and it is only guaranteed
+// to stay backed by resident chunks while the entry lives (callers that need
+// the chunks past the shard's lifetime take their own refs).
+func (c *Cache) Manifest(id naming.ShadowID) (uint64, chunk.Manifest, bool) {
+	sh := c.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.entries[id]
+	if !ok {
+		return 0, nil, false
+	}
+	return s.version, s.manifest, true
+}
+
+// assembleLocked reconstructs a slot's content while the shard lock pins its
+// manifest (eviction takes the same lock, so the chunks cannot be released
+// mid-assembly). A failed assembly is a refcounting bug; the cache treats it
+// as a miss rather than serving corrupt content.
+func (c *Cache) assembleLocked(id naming.ShadowID, s *slot) Entry {
+	content, ok := c.store.Assemble(s.manifest)
+	if !ok {
+		// Unreachable unless refcounts are broken; fail loudly in tests.
+		panic(fmt.Sprintf("cache: entry %d lost chunks", id))
+	}
+	return Entry{ID: id, Version: s.version, Content: content}
+}
+
+// Put stores version content for id, replacing any older version and
+// splitting the content into the shared chunk store (already-resident chunks
+// are deduplicated, not stored again). Under a capacity bound, unpinned
+// entries are evicted until unique bytes fit; eviction is best-effort — if
+// everything else is pinned the cache may briefly exceed its bound rather
+// than refuse fresh content. Content bigger than the whole cache is rejected
+// up front with ErrTooLarge, and callers must not treat that as fatal.
 func (c *Cache) Put(id naming.ShadowID, version uint64, content []byte) error {
-	return c.put(id, version, append([]byte(nil), content...))
-}
-
-// PutOwned is Put taking ownership of content without copying; the caller
-// must not touch the slice afterwards. The server's arrival path uses it —
-// applied deltas and full transfers are freshly built buffers, so the
-// defensive copy would be pure allocation.
-func (c *Cache) PutOwned(id naming.ShadowID, version uint64, content []byte) error {
-	return c.put(id, version, content)
-}
-
-func (c *Cache) put(id naming.ShadowID, version uint64, content []byte) error {
 	size := int64(len(content))
 	// Content that can never fit is rejected up front — evicting the
 	// whole cache first would sacrifice everyone else's entries for
-	// nothing.
+	// nothing. (Unique bytes can only be <= the content length, so this
+	// conservative check errs toward accepting.)
 	if c.capacity > 0 && size > c.capacity {
 		c.reject(id)
 		return ErrTooLarge
 	}
+	m := c.store.AddManifest(content, c.params)
+	c.install(id, version, m, size)
+	return nil
+}
+
+// PutOwned is Put for callers handing over a buffer they no longer need.
+// Chunk data is copied into the store either way, so the two are equivalent
+// now; the name survives for the arrival path's call sites.
+func (c *Cache) PutOwned(id naming.ShadowID, version uint64, content []byte) error {
+	return c.Put(id, version, content)
+}
+
+// PutManifest stores an entry whose chunks are already resident: the caller
+// transfers one reference per manifest entry to the cache (the chunked
+// arrival path holds those refs from resolving and receiving the transfer).
+// The manifest must not be used by the caller afterwards.
+func (c *Cache) PutManifest(id naming.ShadowID, version uint64, m chunk.Manifest) {
+	c.install(id, version, m, m.TotalLen())
+}
+
+// install replaces the entry for id and enforces the capacity bound.
+func (c *Cache) install(id naming.ShadowID, version uint64, m chunk.Manifest, size int64) {
 	sh := c.shardOf(id)
 	if c.capacity <= 0 {
 		// Unbounded: fully shard-local.
 		sh.mu.Lock()
-		c.storeLocked(sh, id, version, content, size)
+		old := c.storeLocked(sh, id, version, m, size)
 		sh.mu.Unlock()
-		return nil
+		c.store.ReleaseManifest(old)
+		return
 	}
 	c.evictMu.Lock()
 	defer c.evictMu.Unlock()
-	for {
-		sh.mu.Lock()
-		var oldSize int64
-		if old, ok := sh.entries[id]; ok {
-			oldSize = int64(len(old.entry.Content))
-		}
-		// The entry's own old bytes are reusable; everything else must
-		// be evicted per policy. Only put (under evictMu) grows bytes,
-		// so the check cannot be invalidated concurrently.
-		if c.bytes.Load()-oldSize+size <= c.capacity {
-			c.storeLocked(sh, id, version, content, size)
-			sh.mu.Unlock()
-			return nil
-		}
-		sh.mu.Unlock()
+	sh.mu.Lock()
+	old := c.storeLocked(sh, id, version, m, size)
+	sh.mu.Unlock()
+	c.store.ReleaseManifest(old)
+	// Only install (under evictMu) grows unique bytes, so the loop cannot
+	// be starved by concurrent growth.
+	for c.store.UniqueBytes() > c.capacity {
 		if !c.evictOne(id) {
-			// No victim available. Best effort: the cache simply
-			// does not hold the new version. A stale unpinned old
-			// version is dropped rather than silently served; a
-			// pinned one stays (a job still needs it) and remains
-			// accurately versioned.
-			c.reject(id)
-			return ErrTooLarge
+			break
 		}
 	}
 }
@@ -240,28 +332,38 @@ func (c *Cache) reject(id naming.ShadowID) {
 	c.rejected.Add(1)
 	sh := c.shardOf(id)
 	sh.mu.Lock()
-	if old, ok := sh.entries[id]; ok && old.pins == 0 {
-		c.bytes.Add(-int64(len(old.entry.Content)))
+	var old chunk.Manifest
+	if s, ok := sh.entries[id]; ok && s.pins == 0 {
+		c.logicalBytes.Add(-s.size)
+		old = s.manifest
 		delete(sh.entries, id)
 	}
 	sh.mu.Unlock()
+	c.store.ReleaseManifest(old)
 }
 
-// storeLocked installs content under sh.mu, which must be held.
-func (c *Cache) storeLocked(sh *shard, id naming.ShadowID, version uint64, content []byte, size int64) {
+// storeLocked installs the manifest under sh.mu, which must be held, and
+// returns the replaced entry's manifest for the caller to release once the
+// shard lock is dropped.
+func (c *Cache) storeLocked(sh *shard, id naming.ShadowID, version uint64, m chunk.Manifest, size int64) chunk.Manifest {
 	seq := c.seq.Add(1)
 	if old, ok := sh.entries[id]; ok {
-		c.bytes.Add(size - int64(len(old.entry.Content)))
-		old.entry.Version = version
-		old.entry.Content = content
+		c.logicalBytes.Add(size - old.size)
+		prev := old.manifest
+		old.version = version
+		old.manifest = m
+		old.size = size
 		old.lastUsed = seq
-		return
+		return prev
 	}
 	sh.entries[id] = &slot{
-		entry:    Entry{ID: id, Version: version, Content: content},
+		version:  version,
+		manifest: m,
+		size:     size,
 		lastUsed: seq,
 	}
-	c.bytes.Add(size)
+	c.logicalBytes.Add(size)
+	return nil
 }
 
 // evictOne removes one unpinned victim per policy, scanning every shard for
@@ -269,7 +371,9 @@ func (c *Cache) storeLocked(sh *shard, id naming.ShadowID, version uint64, conte
 // then revalidating under the victim's shard lock — a pin that raced the
 // scan spares the entry and the scan repeats. Returns false when no victim
 // exists. Caller holds evictMu, so at most one eviction scan runs at a time
-// and no shard lock is ever held while another is taken.
+// and no shard lock is ever held while another is taken. Releasing the
+// victim's manifest frees only the chunks no other manifest (and no
+// in-flight assembly) still references.
 func (c *Cache) evictOne(keep naming.ShadowID) bool {
 	for {
 		var (
@@ -288,8 +392,8 @@ func (c *Cache) evictOne(keep naming.ShadowID) bool {
 				}
 				switch c.policy {
 				case LargestFirst:
-					if int64(len(s.entry.Content)) > best {
-						best = int64(len(s.entry.Content))
+					if s.size > best {
+						best = s.size
 						victim, victimShard, found = id, sh, true
 					}
 				default: // LRU
@@ -306,9 +410,11 @@ func (c *Cache) evictOne(keep naming.ShadowID) bool {
 		}
 		victimShard.mu.Lock()
 		if s, ok := victimShard.entries[victim]; ok && s.pins == 0 {
-			c.bytes.Add(-int64(len(s.entry.Content)))
+			c.logicalBytes.Add(-s.size)
+			m := s.manifest
 			delete(victimShard.entries, victim)
 			victimShard.mu.Unlock()
+			c.store.ReleaseManifest(m)
 			c.evictions.Add(1)
 			return true
 		}
@@ -347,13 +453,16 @@ func (c *Cache) Unpin(id naming.ShadowID) {
 func (c *Cache) Evict(id naming.ShadowID) bool {
 	sh := c.shardOf(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	s, ok := sh.entries[id]
 	if !ok {
+		sh.mu.Unlock()
 		return false
 	}
-	c.bytes.Add(-int64(len(s.entry.Content)))
+	c.logicalBytes.Add(-s.size)
+	m := s.manifest
 	delete(sh.entries, id)
+	sh.mu.Unlock()
+	c.store.ReleaseManifest(m)
 	c.evictions.Add(1)
 	return true
 }
@@ -363,28 +472,43 @@ func (c *Cache) Flush() {
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
+		manifests := make([]chunk.Manifest, 0, len(sh.entries))
 		for id, s := range sh.entries {
-			c.bytes.Add(-int64(len(s.entry.Content)))
+			c.logicalBytes.Add(-s.size)
+			manifests = append(manifests, s.manifest)
 			delete(sh.entries, id)
 		}
 		sh.mu.Unlock()
+		for _, m := range manifests {
+			c.store.ReleaseManifest(m)
+		}
 	}
 }
 
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats {
+	cs := c.store.Stats()
 	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Rejected:  c.rejected.Load(),
-		Bytes:     c.bytes.Load(),
-		Entries:   c.Len(),
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Evictions:    c.evictions.Load(),
+		Rejected:     c.rejected.Load(),
+		Bytes:        cs.UniqueBytes,
+		LogicalBytes: c.logicalBytes.Load(),
+		Entries:      c.Len(),
+		Chunks:       cs.Chunks,
+		ChunkPuts:    cs.Puts,
+		ChunkDups:    cs.Dups,
+		ChunkFrees:   cs.Frees,
 	}
 }
 
-// Bytes returns the cached content bytes.
-func (c *Cache) Bytes() int64 { return c.bytes.Load() }
+// Bytes returns the unique chunk bytes resident in the store — the quantity
+// the capacity bounds.
+func (c *Cache) Bytes() int64 { return c.store.UniqueBytes() }
+
+// LogicalBytes returns the sum of the entries' content lengths.
+func (c *Cache) LogicalBytes() int64 { return c.logicalBytes.Load() }
 
 // Len returns the number of cached entries.
 func (c *Cache) Len() int {
@@ -407,10 +531,12 @@ func (c *Cache) Policy() Policy { return c.policy }
 // EntryInfo describes one cached entry without exposing its content —
 // what an operator inspecting the cache (shadowd's /cachez) needs to see.
 type EntryInfo struct {
-	Shard    int
-	ID       naming.ShadowID
-	Version  uint64
+	Shard   int
+	ID      naming.ShadowID
+	Version uint64
+	// Size is the logical content length; Chunks the manifest's ref count.
 	Size     int
+	Chunks   int
 	Pins     int
 	LastUsed int64 // recency sequence number; higher = used more recently
 }
@@ -428,8 +554,9 @@ func (c *Cache) Entries() []EntryInfo {
 			out = append(out, EntryInfo{
 				Shard:    i,
 				ID:       id,
-				Version:  s.entry.Version,
-				Size:     len(s.entry.Content),
+				Version:  s.version,
+				Size:     int(s.size),
+				Chunks:   len(s.manifest),
 				Pins:     s.pins,
 				LastUsed: s.lastUsed,
 			})

@@ -1,0 +1,212 @@
+package chunk
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestStorePutRefRelease(t *testing.T) {
+	s := NewStore()
+	data := []byte("the quick brown fox")
+	h := HashOf(data)
+
+	if s.Ref(h) {
+		t.Fatal("Ref on an absent chunk succeeded")
+	}
+	s.Put(h, data)
+	if got, ok := s.Get(h); !ok || !bytes.Equal(got, data) {
+		t.Fatal("Get after Put failed")
+	}
+	if s.UniqueBytes() != int64(len(data)) || s.Len() != 1 {
+		t.Fatalf("bytes=%d len=%d after one Put", s.UniqueBytes(), s.Len())
+	}
+
+	// A second Put of identical content is a dedup hit, not a second copy.
+	s.Put(h, data)
+	if s.UniqueBytes() != int64(len(data)) || s.Len() != 1 {
+		t.Fatalf("bytes=%d len=%d after duplicate Put", s.UniqueBytes(), s.Len())
+	}
+	if !s.Ref(h) {
+		t.Fatal("Ref on a resident chunk failed")
+	}
+
+	// Three references held; the chunk survives until the last drops.
+	s.Release(h)
+	s.Release(h)
+	if _, ok := s.Get(h); !ok {
+		t.Fatal("chunk freed while still referenced")
+	}
+	s.Release(h)
+	if _, ok := s.Get(h); ok {
+		t.Fatal("chunk survived its last Release")
+	}
+	if s.UniqueBytes() != 0 || s.Len() != 0 {
+		t.Fatalf("bytes=%d len=%d after last Release", s.UniqueBytes(), s.Len())
+	}
+	st := s.Stats()
+	if st.Puts != 1 || st.Dups != 2 || st.Frees != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStorePutCopiesData(t *testing.T) {
+	s := NewStore()
+	buf := []byte("mutable transient buffer")
+	h := HashOf(buf)
+	s.Put(h, buf)
+	buf[0] = 'X'
+	if got, _ := s.Get(h); got[0] == 'X' {
+		t.Fatal("store aliases the caller's buffer")
+	}
+}
+
+func TestStoreManifestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	content := make([]byte, 20000)
+	rng.Read(content)
+	s := NewStore()
+	m := s.AddManifest(content, DefaultParams)
+	got, ok := s.Assemble(m)
+	if !ok || !bytes.Equal(got, content) {
+		t.Fatal("Assemble does not reproduce the content")
+	}
+	// A second manifest of the same content doubles nothing.
+	m2 := s.AddManifest(content, DefaultParams)
+	if s.UniqueBytes() != int64(len(content)) {
+		t.Fatalf("unique bytes %d after duplicate manifest, want %d", s.UniqueBytes(), len(content))
+	}
+	s.ReleaseManifest(m)
+	if got, ok := s.Assemble(m2); !ok || !bytes.Equal(got, content) {
+		t.Fatal("second manifest broken after first released")
+	}
+	s.ReleaseManifest(m2)
+	if s.UniqueBytes() != 0 || s.Len() != 0 {
+		t.Fatalf("store not empty after all releases: %d bytes", s.UniqueBytes())
+	}
+}
+
+// TestStoreRepeatedChunkRefcount pins the per-occurrence refcount contract: a
+// manifest referencing the same chunk k times holds k references, and
+// releasing the manifest drops all of them.
+func TestStoreRepeatedChunkRefcount(t *testing.T) {
+	s := NewStore()
+	// Content whose chunks repeat: one Max-sized uniform run, three times.
+	run := bytes.Repeat([]byte{7}, DefaultParams.Max)
+	content := bytes.Repeat(run, 3)
+	m := s.AddManifest(content, DefaultParams)
+	if len(m) < 3 {
+		t.Fatalf("expected ≥3 refs, got %d", len(m))
+	}
+	if s.UniqueBytes() >= int64(len(content)) {
+		t.Fatalf("no dedup on repeated content: %d unique bytes", s.UniqueBytes())
+	}
+	s.ReleaseManifest(m)
+	if s.Len() != 0 {
+		t.Fatalf("%d chunks leaked after releasing a repeating manifest", s.Len())
+	}
+}
+
+// TestStorePinnedChunkSurvivesRelease is the in-flight-transfer regression: a
+// transfer that Ref'd a chunk keeps it alive through the eviction of every
+// cache entry that referenced it.
+func TestStorePinnedChunkSurvivesRelease(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	content := make([]byte, 8000)
+	rng.Read(content)
+	s := NewStore()
+	m := s.AddManifest(content, DefaultParams)
+
+	// The transfer pins one chunk...
+	pinned := m[len(m)/2].Hash
+	if !s.Ref(pinned) {
+		t.Fatal("pin failed")
+	}
+	// ...then the cache entry is evicted.
+	s.ReleaseManifest(m)
+	if _, ok := s.Get(pinned); !ok {
+		t.Fatal("pinned chunk freed by manifest release")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("%d chunks resident, want only the pinned one", s.Len())
+	}
+	s.Release(pinned)
+	if s.Len() != 0 || s.UniqueBytes() != 0 {
+		t.Fatal("store not empty after pin released")
+	}
+}
+
+// TestStressStoreConcurrent hammers the store with concurrent manifest adds,
+// assembles, pins and releases — run with -race, mirroring the cache's stress
+// suite. The final invariant: once every holder releases, the store drains to
+// exactly zero.
+func TestStressStoreConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		ops     = 400
+		files   = 12
+	)
+	s := NewStore()
+
+	// A shared pool of contents; workers repeatedly add/release manifests of
+	// them so refcounts cross shard and goroutine boundaries constantly.
+	contents := make([][]byte, files)
+	seed := rand.New(rand.NewSource(13))
+	for i := range contents {
+		contents[i] = make([]byte, 4000+seed.Intn(8000))
+		seed.Read(contents[i])
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			held := make([]Manifest, 0, 8)
+			heldIdx := make([]int, 0, 8)
+			for op := 0; op < ops; op++ {
+				switch rng.Intn(4) {
+				case 0, 1: // add a manifest
+					i := rng.Intn(files)
+					held = append(held, s.AddManifest(contents[i], DefaultParams))
+					heldIdx = append(heldIdx, i)
+				case 2: // release one
+					if len(held) > 0 {
+						j := rng.Intn(len(held))
+						s.ReleaseManifest(held[j])
+						held[j] = held[len(held)-1]
+						held = held[:len(held)-1]
+						heldIdx[j] = heldIdx[len(heldIdx)-1]
+						heldIdx = heldIdx[:len(heldIdx)-1]
+					}
+				case 3: // assemble and verify one
+					if len(held) > 0 {
+						j := rng.Intn(len(held))
+						got, ok := s.Assemble(held[j])
+						if !ok {
+							panic("assemble of a held manifest failed")
+						}
+						if !bytes.Equal(got, contents[heldIdx[j]]) {
+							panic(fmt.Sprintf("worker %d: assembled content differs", w))
+						}
+					}
+				}
+			}
+			for _, m := range held {
+				s.ReleaseManifest(m)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if s.Len() != 0 || s.UniqueBytes() != 0 {
+		t.Fatalf("store leaked: %d chunks, %d bytes", s.Len(), s.UniqueBytes())
+	}
+	st := s.Stats()
+	if st.Puts != st.Frees {
+		t.Fatalf("puts %d != frees %d after full drain", st.Puts, st.Frees)
+	}
+}

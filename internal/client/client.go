@@ -100,6 +100,13 @@ type Config struct {
 	Jobs *env.JobDB
 	// Clock receives local compute charges (diff runs) in simulations.
 	Clock core.Clock
+	// Chunked opts this client into protocol v3 chunk transfers when the
+	// server confirms the version: pulls are answered with content-addressed
+	// chunk manifests (inlining only the chunks new against the server's
+	// base) instead of line deltas, and the server fetches missing chunks
+	// individually instead of whole files. Off, the classic delta/full
+	// protocol is spoken regardless of what the server supports.
+	Chunked bool
 
 	// Dial, when set, enables the fault-tolerant session layer: a lost
 	// connection is redialed with backoff, the session resumed, and
@@ -152,6 +159,10 @@ type Client struct {
 	// serverName is written once during the initial handshake (before any
 	// other goroutine exists) and read-only afterwards.
 	serverName string
+	// serverProto is the protocol version the server confirmed on HELLO_OK
+	// (0 = a classic server that never echoes one). Guarded by mu: each
+	// reconnect renegotiates it.
+	serverProto uint32
 
 	retry RetryPolicy
 
@@ -331,6 +342,18 @@ func (c *Client) jitterSeed() int64 {
 
 // ServerName returns the connected server's advertised name.
 func (c *Client) ServerName() string { return c.serverName }
+
+// chunkedActive reports whether chunk transfers are negotiated on the
+// current session: the client opted in and the server confirmed v3+.
+func (c *Client) chunkedActive() bool {
+	if !c.cfg.Chunked {
+		return false
+	}
+	c.mu.Lock()
+	proto := c.serverProto
+	c.mu.Unlock()
+	return proto >= wire.ChunkProtocolVersion
+}
 
 // Store exposes the version store (tests and the editor integration).
 func (c *Client) Store() *vcs.Store { return c.store }

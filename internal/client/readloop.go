@@ -31,6 +31,8 @@ func (c *Client) readLoop(conn wire.Conn) {
 		switch m := msg.(type) {
 		case *wire.Pull:
 			c.handlePull(m, tc)
+		case *wire.ChunkReq:
+			c.handleChunkReq(m, tc)
 		case *wire.FileAck:
 			c.store.Ack(m.File, m.Version)
 		case *wire.Output:
@@ -110,6 +112,9 @@ func (c *Client) handlePull(m *wire.Pull, tc wire.TraceContext) {
 		sp.SetFile(m.File.String())
 	}
 	defer sp.Finish()
+	if c.chunkedActive() && c.answerPullChunked(m, tc, sp) {
+		return
+	}
 	reply, err := core.AnswerPull(c.store, m, c.cfg.Env.Algorithm, c.cfg.Env.Compress, c.cfg.Clock)
 	if err != nil {
 		// The version store cannot satisfy the pull — typically a

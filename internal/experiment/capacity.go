@@ -292,6 +292,11 @@ func runCapacityCell(cfg CapacityConfig, sessions, procs int) (ServerBenchResult
 
 	cstats := srv.Cache().Stats()
 	issued, deferred := srv.FlowStats()
+	// The server-side leg percentiles come from the run's Observer, exactly
+	// as in RunServerBench — without this the capacity rows carry zeroed
+	// submit-ack and job quantiles, which reads as "infinitely fast".
+	ackSnap := scfg.Obs.SubmitAck.Snapshot()
+	jobSnap := scfg.Obs.JobLifetime.Snapshot()
 	return ServerBenchResult{
 		Transport:            "pipe",
 		Sessions:             sessions,
@@ -303,6 +308,10 @@ func runCapacityCell(cfg CapacityConfig, sessions, procs int) (ServerBenchResult
 		P50Ms:                pct(0.50),
 		P90Ms:                pct(0.90),
 		P99Ms:                pct(0.99),
+		SubmitAckP50Ms:       ms(ackSnap.Quantile(0.50)),
+		SubmitAckP99Ms:       ms(ackSnap.Quantile(0.99)),
+		JobP50Ms:             ms(jobSnap.Quantile(0.50)),
+		JobP99Ms:             ms(jobSnap.Quantile(0.99)),
 		AllocsPerCycle:       float64(msB.Mallocs-msA.Mallocs) / float64(max(total, 1)),
 		CacheHits:            cstats.Hits,
 		CacheMisses:          cstats.Misses,

@@ -49,6 +49,22 @@ type ServerBenchConfig struct {
 	Jobs int
 	// Seed makes the workload reproducible.
 	Seed int64
+	// Chunked opts every client into protocol v3 chunk transfers; off, the
+	// same workload rides the classic delta/full path — the dedup figure's
+	// baseline.
+	Chunked bool
+	// CacheCapacity bounds the server's shadow cache in bytes (0 =
+	// unbounded). The dedup pressure scenario sets this below the working
+	// set to force evictions and measure chunk-level rehydration.
+	CacheCapacity int64
+	// Redundancy, when nonzero, switches the workload from per-session
+	// independent edits to the shared-content profile: every cycle all
+	// sessions submit fresh variants of one common file, sharing ~Redundancy
+	// of their bytes block for block (see workload.SharedVariant). This is
+	// the cross-user dedup workload; successive cycles use unrelated common
+	// bases, so only content-addressing — not line deltas — can exploit the
+	// overlap.
+	Redundancy float64
 	// Tracer turns on full cycle tracing (every cycle sampled): the server
 	// and every client observer share one tracer, so the run measures the
 	// worst-case tracing overhead, flight recorders included.
@@ -124,6 +140,30 @@ type ServerBenchResult struct {
 	GoroutinesPerSession float64 `json:"goroutines_per_session,omitempty"`
 	ResidentKBPerSession float64 `json:"resident_kb_per_session,omitempty"`
 	ConnectSec           float64 `json:"connect_sec,omitempty"`
+	// Chunked transfer accounting, recorded for every run (a baseline run
+	// shows zero manifest traffic and a dedup ratio from the store alone).
+	// BytesOnWire is the client→server file-content payload (deltas, fulls,
+	// manifests and chunk data) — the quantity chunk dedup reduces.
+	Chunked           bool    `json:"chunked,omitempty"`
+	Redundancy        float64 `json:"redundancy,omitempty"`
+	CacheCapacity     int64   `json:"cache_capacity,omitempty"`
+	BytesOnWire       int64   `json:"bytes_on_wire,omitempty"`
+	UniqueCacheBytes  int64   `json:"unique_cache_bytes,omitempty"`
+	LogicalCacheBytes int64   `json:"logical_cache_bytes,omitempty"`
+	// DedupRatio is logical over unique cache bytes at the end of the run:
+	// how many bytes the cache would hold without sub-file dedup per byte it
+	// actually holds.
+	DedupRatio float64 `json:"dedup_ratio,omitempty"`
+	// Rehydrations counts transfers completed by fetching only missing
+	// chunks; FullRetransmits counts degradations to whole-file pulls.
+	Rehydrations    int64 `json:"rehydrations,omitempty"`
+	FullRetransmits int64 `json:"full_retransmits,omitempty"`
+	// The composition of BytesOnWire, for diagnosing where a dedup
+	// regression spends its bytes.
+	WireFullBytes     int64 `json:"wire_full_bytes,omitempty"`
+	WireDeltaBytes    int64 `json:"wire_delta_bytes,omitempty"`
+	WireManifestBytes int64 `json:"wire_manifest_bytes,omitempty"`
+	WireChunkBytes    int64 `json:"wire_chunk_bytes,omitempty"`
 	// Traced marks a run with full cycle tracing on; TraceCompleted and
 	// TraceSpans summarize what the shared tracer assembled. Comparing a
 	// traced run's cycles_per_sec against an untraced twin (labels
@@ -242,6 +282,7 @@ func RunServerBench(cfg ServerBenchConfig) (ServerBenchResult, error) {
 
 	scfg := server.Defaults("bench")
 	scfg.MaxConcurrentJobs = cfg.Jobs
+	scfg.CacheCapacity = cfg.CacheCapacity
 	scfg.Obs = obs.New(nil, nil)
 	// Tracing-on runs share one tracer between the server and every client
 	// observer: maximum span traffic, maximum contention — the honest
@@ -254,6 +295,20 @@ func RunServerBench(cfg ServerBenchConfig) (ServerBenchResult, error) {
 	srv := server.New(scfg)
 	go func() { _ = srv.Serve(tr.acceptor) }()
 	defer srv.Close()
+
+	// The shared-content workload: one common file per cycle (plus one for
+	// priming), identical across sessions, from which each session derives
+	// its own variant. Successive commons are unrelated, so a session's
+	// previous version shares nothing usable with its next — cross-user
+	// chunk dedup is the only redundancy available.
+	var commons [][]byte
+	if cfg.Redundancy > 0 {
+		commonGen := workload.NewGenerator(cfg.Seed ^ 0x5eed)
+		commons = make([][]byte, cfg.Cycles+1)
+		for i := range commons {
+			commons[i] = commonGen.File(cfg.FileSize)
+		}
+	}
 
 	// One shared naming universe; each session is its own user at its own
 	// workstation host, editing its own data file.
@@ -277,7 +332,11 @@ func RunServerBench(cfg ServerBenchConfig) (ServerBenchResult, error) {
 			jobPath:  fmt.Sprintf("/u/%s/run.job", user),
 			gen:      workload.NewGenerator(cfg.Seed + int64(i)),
 		}
-		rig.content = rig.gen.File(cfg.FileSize)
+		if commons != nil {
+			rig.content = rig.gen.SharedVariant(commons[0], cfg.Redundancy)
+		} else {
+			rig.content = rig.gen.File(cfg.FileSize)
+		}
 		if err := universe.WriteFile(host, rig.jobPath, []byte("checksum data.dat\n")); err != nil {
 			return ServerBenchResult{}, err
 		}
@@ -293,6 +352,7 @@ func RunServerBench(cfg ServerBenchConfig) (ServerBenchResult, error) {
 			Universe: universe,
 			Host:     host,
 			Env:      env.Default(user),
+			Chunked:  cfg.Chunked,
 		}
 		if tracer != nil {
 			ccfg.Obs = obs.New(nil, nil)
@@ -336,7 +396,11 @@ func RunServerBench(cfg ServerBenchConfig) (ServerBenchResult, error) {
 				// EditReplace keeps the file size stationary: EditMixed
 				// inserts more than it deletes, so a long run would
 				// compound the file and measure growth, not throughput.
-				rig.content = rig.gen.Modify(rig.content, cfg.EditPercent, workload.EditReplace)
+				if commons != nil {
+					rig.content = rig.gen.SharedVariant(commons[cyc+1], cfg.Redundancy)
+				} else {
+					rig.content = rig.gen.Modify(rig.content, cfg.EditPercent, workload.EditReplace)
+				}
 				if err := universe.WriteFile(rig.host, rig.dataPath, rig.content); err != nil {
 					errs[i] = err
 					return
@@ -381,6 +445,7 @@ func RunServerBench(cfg ServerBenchConfig) (ServerBenchResult, error) {
 
 	cstats := srv.Cache().Stats()
 	issued, deferred := srv.FlowStats()
+	snap := srv.Metrics()
 	ackSnap := scfg.Obs.SubmitAck.Snapshot()
 	jobSnap := scfg.Obs.JobLifetime.Snapshot()
 	res := ServerBenchResult{
@@ -405,6 +470,20 @@ func RunServerBench(cfg ServerBenchConfig) (ServerBenchResult, error) {
 		PullsIssued:    issued,
 		PullsDeferred:  deferred,
 		GoMaxProcs:     runtime.GOMAXPROCS(0),
+
+		Chunked:           cfg.Chunked,
+		Redundancy:        cfg.Redundancy,
+		CacheCapacity:     cfg.CacheCapacity,
+		BytesOnWire:       snap.FileBytes(),
+		UniqueCacheBytes:  cstats.Bytes,
+		LogicalCacheBytes: cstats.LogicalBytes,
+		DedupRatio:        cstats.DedupRatio(),
+		Rehydrations:      snap.Rehydrations,
+		FullRetransmits:   snap.FullFallbacks,
+		WireFullBytes:     snap.FullBytes,
+		WireDeltaBytes:    snap.DeltaBytes,
+		WireManifestBytes: snap.ManifestBytes,
+		WireChunkBytes:    snap.ChunkBytes,
 	}
 	if cfg.Transport == "netsim" {
 		vsnap, err := runVirtualPass(cfg)

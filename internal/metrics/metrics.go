@@ -28,6 +28,13 @@ type Counters struct {
 	retries       atomic.Int64
 	fullFallbacks atomic.Int64
 	droppedFrames atomic.Int64
+
+	manifestBytes atomic.Int64
+	chunkBytes    atomic.Int64
+	manifestSends atomic.Int64
+	chunkSends    atomic.Int64
+	chunksAsked   atomic.Int64
+	rehydrations  atomic.Int64
 }
 
 // AddDelta records a delta transfer of n payload bytes.
@@ -76,6 +83,29 @@ func (c *Counters) AddFullFallback() { c.fullFallbacks.Add(1) }
 // link stats by harnesses that own the simulated network).
 func (c *Counters) AddDroppedFrames(n int64) { c.droppedFrames.Add(n) }
 
+// AddManifest records a chunk-manifest transfer whose refs and inline chunks
+// total n payload bytes (protocol v3's delta-as-chunks answer to a pull).
+func (c *Counters) AddManifest(n int) {
+	c.manifestBytes.Add(int64(n))
+	c.manifestSends.Add(1)
+	c.messages.Add(1)
+}
+
+// AddChunkData records a chunk-data transfer of n payload bytes — the
+// missing-chunks-only path that replaces whole-file retransmission.
+func (c *Counters) AddChunkData(n int) {
+	c.chunkBytes.Add(int64(n))
+	c.chunkSends.Add(1)
+	c.messages.Add(1)
+}
+
+// AddChunksRequested records n chunk hashes asked for via CHUNK_REQ.
+func (c *Counters) AddChunksRequested(n int) { c.chunksAsked.Add(int64(n)) }
+
+// AddRehydration records one file version completed by fetching only its
+// missing chunks (an eviction or cold cache repaired without a full copy).
+func (c *Counters) AddRehydration() { c.rehydrations.Add(1) }
+
 // Snapshot is an immutable view of the counters. The cache and flow-control
 // fields are filled in by holders that track them (the server); a bare
 // Counters leaves them zero.
@@ -108,11 +138,28 @@ type Snapshot struct {
 	Retries       int64
 	FullFallbacks int64
 	DroppedFrames int64
+
+	// Chunk transfer (protocol v3): manifest and chunk payload bytes,
+	// frame counts, chunk hashes requested, and versions completed by
+	// chunk-level rehydration instead of a full retransmit.
+	ManifestBytes   int64
+	ChunkBytes      int64
+	ManifestSends   int64
+	ChunkSends      int64
+	ChunksRequested int64
+	Rehydrations    int64
 }
 
 // TotalBytes sums all payload bytes.
 func (s Snapshot) TotalBytes() int64 {
-	return s.DeltaBytes + s.FullBytes + s.ControlBytes + s.OutputBytes
+	return s.DeltaBytes + s.FullBytes + s.ControlBytes + s.OutputBytes +
+		s.ManifestBytes + s.ChunkBytes
+}
+
+// FileBytes sums the payload bytes of file-content transfers (delta, full,
+// manifest and chunk frames) — the quantity chunk-level dedup reduces.
+func (s Snapshot) FileBytes() int64 {
+	return s.DeltaBytes + s.FullBytes + s.ManifestBytes + s.ChunkBytes
 }
 
 // String renders a compact human-readable summary.
@@ -149,6 +196,13 @@ func (c *Counters) Snapshot() Snapshot {
 		Retries:       c.retries.Load(),
 		FullFallbacks: c.fullFallbacks.Load(),
 		DroppedFrames: c.droppedFrames.Load(),
+
+		ManifestBytes:   c.manifestBytes.Load(),
+		ChunkBytes:      c.chunkBytes.Load(),
+		ManifestSends:   c.manifestSends.Load(),
+		ChunkSends:      c.chunkSends.Load(),
+		ChunksRequested: c.chunksAsked.Load(),
+		Rehydrations:    c.rehydrations.Load(),
 	}
 }
 
@@ -166,4 +220,10 @@ func (c *Counters) Reset() {
 	c.retries.Store(0)
 	c.fullFallbacks.Store(0)
 	c.droppedFrames.Store(0)
+	c.manifestBytes.Store(0)
+	c.chunkBytes.Store(0)
+	c.manifestSends.Store(0)
+	c.chunkSends.Store(0)
+	c.chunksAsked.Store(0)
+	c.rehydrations.Store(0)
 }

@@ -222,6 +222,7 @@ type Server struct {
 	dir      *naming.Directory
 	cache    *cache.Cache
 	flights  *cache.Flights
+	chunkFl  *chunkFlights
 	pool     *jobs.Pool
 	counters *metrics.Counters
 
@@ -384,6 +385,7 @@ func New(cfg Config) *Server {
 		dir:         naming.NewDirectory(),
 		cache:       cache.New(cfg.CacheCapacity, cfg.CachePolicy),
 		flights:     cache.NewFlights(),
+		chunkFl:     newChunkFlights(),
 		pool:        jobs.NewPool(cfg.MaxConcurrentJobs),
 		counters:    &metrics.Counters{},
 		waiters:     make(map[naming.ShadowID][]*job),
@@ -656,6 +658,10 @@ type job struct {
 	// when observability is on.
 	queuedAt      time.Duration
 	queuedStamped bool
+	// gathered is set once a submit handler has walked every input —
+	// snapshotting, registering waits, issuing pulls. Until then the job
+	// is recoverable only by a retried submit re-driving gatherInputs.
+	gathered bool
 	// waitSpan is the open server.job-wait span, created when the job
 	// becomes runnable and finished when a processor picks it up.
 	waitSpan *trace.Span

@@ -10,6 +10,7 @@ import (
 
 	"shadowedit/internal/cache"
 	"shadowedit/internal/diff"
+	"shadowedit/internal/naming"
 	"shadowedit/internal/netsim"
 	"shadowedit/internal/wire"
 )
@@ -460,6 +461,90 @@ func TestJobPipelineAtWireLevel(t *testing.T) {
 	}
 	if output.State != wire.JobDone || output.ExitCode != 0 {
 		t.Fatalf("output = %+v", output)
+	}
+}
+
+// TestSubmitRetryRedrivesStrandedJob covers the mid-handler death window: a
+// submit handler can create the job and then die before gathering inputs
+// (its SUBMIT_OK send fails when the connection drops), leaving a job in
+// the initial queued state with no waits registered. The client's retried
+// submit hits the duplicate-tag path, which must re-drive input gathering —
+// only re-acking the job id would strand it forever.
+func TestSubmitRetryRedrivesStrandedJob(t *testing.T) {
+	r := newRig(t, Config{})
+	r.hello(t)
+	script := []byte("sort f.dat\n")
+	scriptSum := diff.Checksum(script)
+	cmds, _, err := r.srv.parsedScript(scriptSum, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []wire.JobInput{{File: testRef, Version: 1, As: "f.dat"}}
+	owner := identity{user: "u", host: "ws"}
+	live := r.srv.sessions.snapshot()
+	if len(live) != 1 {
+		t.Fatalf("live sessions = %d, want 1", len(live))
+	}
+	// Manufacture the stranded job exactly as handleSubmit leaves it when
+	// the SUBMIT_OK send fails: created, tagged, never gathered.
+	j := &job{
+		sess:      live[0],
+		owner:     owner,
+		script:    script,
+		cmds:      cmds,
+		scriptSum: scriptSum,
+		inputs:    inputs,
+		state:     wire.JobQueued,
+		waiting:   make(map[naming.ShadowID]uint64),
+		byRef:     make(map[naming.ShadowID]string),
+		snapshot:  make(map[string][]byte),
+	}
+	j.id = r.srv.nextJob.Add(1)
+	r.srv.jobs.add(j)
+	r.srv.tagMu.Lock()
+	r.srv.submitTags[owner] = map[uint64]uint64{77: j.id}
+	r.srv.tagMu.Unlock()
+
+	// The retried submit must ack the existing job and then pull the
+	// missing input.
+	r.send(t, &wire.Submit{Script: script, Inputs: inputs, ClientTag: 77})
+	sawPull := false
+	for i := 0; i < 2; i++ {
+		switch m := r.recv(t).(type) {
+		case *wire.SubmitOK:
+			if m.Job != j.id {
+				t.Fatalf("re-ack named job %d, want %d", m.Job, j.id)
+			}
+		case *wire.Pull:
+			sawPull = true
+		default:
+			t.Fatalf("unexpected %v", m.Kind())
+		}
+	}
+	if !sawPull {
+		t.Fatal("retried submit did not re-drive the input pull")
+	}
+	content := []byte("delta\nalpha\n")
+	r.send(t, &wire.FileFull{
+		File: testRef, Version: 1, Content: content, Sum: diff.Checksum(content),
+	})
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case <-deadline:
+			t.Fatal("stranded job never completed")
+		default:
+		}
+		switch m := r.recv(t).(type) {
+		case *wire.FileAck:
+		case *wire.Output:
+			if m.Job != j.id || m.State != wire.JobDone || string(m.Stdout) != "alpha\ndelta\n" {
+				t.Fatalf("output = %+v", m)
+			}
+			return
+		default:
+			t.Fatalf("unexpected %v", m.Kind())
+		}
 	}
 }
 

@@ -73,6 +73,10 @@ type session struct {
 	// outPrev maps script checksum -> last acknowledged delivered stdout,
 	// the base for reverse shadow processing.
 	outPrev map[uint32][]byte
+	// assembling holds this session's in-progress chunked arrivals (one per
+	// file), each pinning the chunks it has resolved so far. Released on
+	// completion, supersession, or session death.
+	assembling map[naming.ShadowID]*pendingAssembly
 
 	// The pipelined writer: every outbound message is enqueued on out and
 	// written by one writer goroutine, which batches bursts into the
@@ -114,6 +118,7 @@ func newSession(srv *Server, conn wire.Conn, id uint64) *session {
 		pulledAt:   make(map[naming.ShadowID]time.Duration),
 		pullSpan:   make(map[naming.ShadowID]*trace.Span),
 		outPrev:    make(map[uint32][]byte),
+		assembling: make(map[naming.ShadowID]*pendingAssembly),
 		out:        make(chan outbound, outQueueDepth),
 		quit:       make(chan struct{}),
 		writerDone: make(chan struct{}),
@@ -172,6 +177,9 @@ func (ss *session) run() {
 	defer ss.srv.dropSession(ss)
 	defer ss.dumpFlight("disconnect")
 	defer ss.shutdownWriter()
+	// In-flight chunked assemblies pin their chunks; a dead session must
+	// not pin anything.
+	defer ss.releaseAssemblies()
 	// A session whose receive loop has exited can never converse again,
 	// even if its writer never saw a send fail. Mark it dead first
 	// (deferred last) so concurrent re-homing — repullPending choosing a
@@ -313,6 +321,10 @@ func (ss *session) dispatch(msg wire.Message, tc wire.TraceContext) error {
 		return ss.handleFileDelta(m, tc)
 	case *wire.FileFull:
 		return ss.handleFileFull(m, tc)
+	case *wire.FileManifest:
+		return ss.handleFileManifest(m, tc)
+	case *wire.ChunkData:
+		return ss.handleChunkData(m, tc)
 	case *wire.Submit:
 		return ss.handleSubmit(m, tc)
 	case *wire.StatusReq:
@@ -426,7 +438,14 @@ func (ss *session) handleHello(m *wire.Hello) error {
 	held = append(held, ss.srv.unackedDone(ss.identity(), held)...)
 	ss.srv.logf("session %d: hello from %s@%s (domain %s), %d held outputs",
 		ss.id, ss.user, ss.clientHost, ss.domain, len(held))
-	if err := ss.send(&wire.HelloOK{Session: ss.id, ServerName: ss.srv.cfg.Name}); err != nil {
+	reply := &wire.HelloOK{Session: ss.id, ServerName: ss.srv.cfg.Name}
+	if m.Protocol >= wire.ChunkProtocolVersion {
+		// Confirm the negotiated version so the client knows chunk frames
+		// are understood here. Older clients get the byte-identical classic
+		// reply (the field is trailing-optional and encoded only when set).
+		reply.Protocol = m.Protocol
+	}
+	if err := ss.send(reply); err != nil {
 		return err
 	}
 	// Deliver any output routed to this host before we were connected,
@@ -490,14 +509,17 @@ func (ss *session) deferNotify(m *wire.Notify, tc wire.TraceContext) {
 func (ss *session) pullFile(ref wire.FileRef, want uint64, tc wire.TraceContext) error {
 	id := ss.srv.dir.Intern(ref)
 	var have uint64
-	if e, ok := ss.srv.cache.Peek(id); ok {
-		have = e.Version
+	if v, ok := ss.srv.cache.Version(id); ok {
+		have = v
 		if have >= want {
 			// Already current. Feed jobs that registered their wait
 			// just as the content arrived — the arrival's feed can run
 			// before the registration, and this is the re-check that
-			// closes the window.
-			ss.srv.feedWaitingJobs(id, e.Version, e.Content)
+			// closes the window. (Version first: the common have < want
+			// case must not pay for assembling content nobody reads.)
+			if e, ok := ss.srv.cache.Peek(id); ok {
+				ss.srv.feedWaitingJobs(id, e.Version, e.Content)
+			}
 			return nil
 		}
 	}
@@ -650,10 +672,10 @@ func (ss *session) handleFileFull(m *wire.FileFull, tc wire.TraceContext) error 
 		return fmt.Errorf("apply full for %s: %w", m.File, err)
 	}
 	id := ss.srv.dir.Intern(m.File)
-	if entry, ok := ss.srv.cache.Peek(id); ok && entry.Version > m.Version {
+	if have, ok := ss.srv.cache.Version(id); ok && have > m.Version {
 		// Overtaken by a newer version; do not regress the cache.
 		sp.Annotate("overtaken")
-		return ss.sendTraced(&wire.FileAck{File: m.File, Version: entry.Version}, tc)
+		return ss.sendTraced(&wire.FileAck{File: m.File, Version: have}, tc)
 	}
 	return ss.storeArrived(m.File, id, m.Version, content, tc)
 }
@@ -666,6 +688,13 @@ func (ss *session) storeArrived(ref wire.FileRef, id naming.ShadowID, version ui
 	if err := ss.srv.cache.PutOwned(id, version, content); err != nil && !errors.Is(err, cache.ErrTooLarge) {
 		return err
 	}
+	return ss.arrived(ref, id, version, content, tc)
+}
+
+// arrived runs the shared post-store bookkeeping for a version that just
+// landed (whole-file or chunked): close the open pull, feed waiting jobs,
+// acknowledge.
+func (ss *session) arrived(ref wire.FileRef, id naming.ShadowID, version uint64, content []byte, tc wire.TraceContext) error {
 	ss.srv.flights.Done(id, version)
 	ss.mu.Lock()
 	var issuedAt time.Duration
@@ -734,7 +763,28 @@ func (ss *session) handleSubmit(m *wire.Submit, tc wire.TraceContext) error {
 			ss.srv.tagMu.Unlock()
 			ss.srv.logf("session %d: duplicate submit tag %d -> job %d", ss.id, m.ClientTag, id)
 			sp.SetJob(id).Annotate("duplicate-tag")
-			return ss.sendTraced(&wire.SubmitOK{Job: id}, tc)
+			if err := ss.sendTraced(&wire.SubmitOK{Job: id}, tc); err != nil {
+				return err
+			}
+			// The original handler can die between creating the job and
+			// gathering its inputs (its SUBMIT_OK send fails when the
+			// connection drops mid-handler), leaving the job stranded:
+			// nothing would ever fetch its inputs or schedule it, while
+			// the retrying client waits on it forever. Re-drive gathering
+			// through this session.
+			if j, ok := ss.srv.lookupJob(id); ok {
+				j.mu.Lock()
+				stranded := !j.gathered && !j.state.Terminal() && j.state != wire.JobRunning
+				if stranded {
+					j.state = wire.JobFetching
+					j.detail = "collecting input files"
+				}
+				j.mu.Unlock()
+				if stranded {
+					return ss.gatherInputs(j, tc)
+				}
+			}
+			return nil
 		}
 	}
 
@@ -785,23 +835,47 @@ func (ss *session) handleSubmit(m *wire.Submit, tc wire.TraceContext) error {
 	// background even before a submit request is received and processed"
 	// — eager pulls often make this loop find everything cached already.
 	j.setState(wire.JobFetching, "collecting input files")
-	for _, in := range m.Inputs {
+	return ss.gatherInputs(j, tc)
+}
+
+// gatherInputs snapshots what the cache already holds for j's inputs, pulls
+// the rest, and schedules the job once everything is in hand. Idempotent:
+// inputs already snapshotted or registered as waiting are not re-registered,
+// so a retried submit can re-drive a job whose first gathering was cut short
+// by its session dying mid-handler.
+func (ss *session) gatherInputs(j *job, tc wire.TraceContext) error {
+	for _, in := range j.inputs {
 		id := ss.srv.dir.Intern(in.File)
+		j.mu.Lock()
 		j.byRef[id] = in.As
-		if e, ok := ss.srv.cache.Get(id); ok && e.Version >= in.Version {
-			j.mu.Lock()
-			j.snapshot[in.As] = e.Content
+		if _, have := j.snapshot[in.As]; have {
 			j.mu.Unlock()
 			continue
 		}
-		j.mu.Lock()
-		j.waiting[id] = in.Version
+		_, waiting := j.waiting[id]
 		j.mu.Unlock()
-		ss.srv.addWaiter(id, j)
+		if !waiting {
+			if e, ok := ss.srv.cache.Get(id); ok && e.Version >= in.Version {
+				j.mu.Lock()
+				j.snapshot[in.As] = e.Content
+				j.mu.Unlock()
+				continue
+			}
+			j.mu.Lock()
+			j.waiting[id] = in.Version
+			j.mu.Unlock()
+			ss.srv.addWaiter(id, j)
+		}
+		// Pull even when a wait was already registered: on a re-drive the
+		// session that issued the original pull may be gone, and a
+		// duplicate answer is absorbed by the overtaken check.
 		if err := ss.pullFile(in.File, in.Version, tc); err != nil {
 			return err
 		}
 	}
+	j.mu.Lock()
+	j.gathered = true
+	j.mu.Unlock()
 	ss.srv.maybeSchedule(j)
 	return nil
 }

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sync"
 
+	"shadowedit/internal/chunk"
 	"shadowedit/internal/diff"
 	"shadowedit/internal/wire"
 )
@@ -42,6 +43,10 @@ type Version struct {
 	Number  uint64
 	Content []byte
 	Sum     uint32
+	// manifest is the version's content-defined chunking, computed lazily
+	// by ManifestFor and memoized with the version; pruning a version drops
+	// its manifest with it. Never set on the copies Get/Head hand out.
+	manifest chunk.Manifest
 }
 
 // Stats counts store activity.
@@ -220,6 +225,60 @@ func (s *Store) DeltaFrom(ref wire.FileRef, base, want uint64, algorithm diff.Al
 		return nil, err
 	}
 	return diff.Compute(algorithm, baseV.Content, wantV.Content)
+}
+
+// ManifestFor returns the content-defined chunk manifest of a retained
+// version together with its shared content, computing and memoizing the
+// manifest on first use. The manifest and content are the store's own —
+// read-only for the caller, valid indefinitely (committed content is
+// immutable and a memoized manifest is never rewritten). ErrVersionGone
+// signals the version was pruned: the v3 transfer path then answers for the
+// head instead, exactly as the delta path falls back.
+func (s *Store) ManifestFor(ref wire.FileRef, number uint64) (chunk.Manifest, []byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.files[ref]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s", ErrUnknownFile, ref)
+	}
+	for i := range h.versions {
+		if h.versions[i].Number == number {
+			if h.versions[i].manifest == nil {
+				h.versions[i].manifest = chunk.Split(h.versions[i].Content, chunk.DefaultParams)
+			}
+			return h.versions[i].manifest, h.versions[i].Content, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("%w: %s v%d", ErrVersionGone, ref, number)
+}
+
+// ChunkByHash looks a chunk up by content address across the retained
+// versions of ref, newest first (the freshest copy of shared content is the
+// most likely to stay retained). The returned bytes alias the store's
+// immutable version content — read-only, but valid indefinitely. It reports
+// ok=false when no retained version contains the chunk, the cue to answer a
+// ChunkReq without that chunk.
+func (s *Store) ChunkByHash(ref wire.FileRef, want chunk.Hash) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.files[ref]
+	if !ok {
+		return nil, false
+	}
+	for i := len(h.versions) - 1; i >= 0; i-- {
+		v := &h.versions[i]
+		if v.manifest == nil {
+			v.manifest = chunk.Split(v.Content, chunk.DefaultParams)
+		}
+		off := 0
+		for _, r := range v.manifest {
+			if r.Hash == want {
+				return v.Content[off : off+int(r.Len)], true
+			}
+			off += int(r.Len)
+		}
+	}
+	return nil, false
 }
 
 // Ack records that the server has stored version number of ref, then prunes

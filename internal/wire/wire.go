@@ -21,9 +21,12 @@ import (
 
 // ProtocolVersion identifies this revision of the shadow protocol.
 // Version 2 added the optional trace-context header (see TraceContext);
-// the body encodings of all messages are unchanged, so the server accepts
-// every version down to MinProtocolVersion.
-const ProtocolVersion = 2
+// version 3 added the chunk transfer frames (FileManifest, ChunkReq,
+// ChunkData) and the negotiated-version field on HelloOK. The body encodings
+// of all pre-existing messages are unchanged, so the server accepts every
+// version down to MinProtocolVersion; chunk frames only flow on sessions
+// where both ends advertised version 3.
+const ProtocolVersion = 3
 
 // MinProtocolVersion is the oldest protocol revision the server still
 // speaks. Version-1 peers never set the trace flag, so their frames decode
@@ -67,6 +70,9 @@ const (
 	KindOutputFullReq
 	KindError
 	KindBye
+	KindFileManifest
+	KindChunkReq
+	KindChunkData
 )
 
 var kindNames = map[Kind]string{
@@ -86,6 +92,9 @@ var kindNames = map[Kind]string{
 	KindOutputFullReq: "OUTPUT_FULL_REQ",
 	KindError:         "ERROR",
 	KindBye:           "BYE",
+	KindFileManifest:  "FILE_MANIFEST",
+	KindChunkReq:      "CHUNK_REQ",
+	KindChunkData:     "CHUNK_DATA",
 }
 
 // String returns the protocol name of the kind.
@@ -335,6 +344,12 @@ func newMessage(k Kind) Message {
 		return &ErrorMsg{}
 	case KindBye:
 		return &Bye{}
+	case KindFileManifest:
+		return &FileManifest{}
+	case KindChunkReq:
+		return &ChunkReq{}
+	case KindChunkData:
+		return &ChunkData{}
 	default:
 		return nil
 	}

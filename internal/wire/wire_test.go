@@ -14,6 +14,7 @@ func sampleMessages() []Message {
 	return []Message{
 		&Hello{Protocol: ProtocolVersion, User: "comer", Domain: "nfs.purdue", ClientHost: "arthur"},
 		&HelloOK{Session: 42, ServerName: "cyber205"},
+		&HelloOK{Session: 43, ServerName: "cyber205", Protocol: ChunkProtocolVersion},
 		&Notify{File: ref, Version: 7, Size: 102400, Sum: 0xDEADBEEF},
 		&Pull{File: ref, HaveVersion: 6, WantVersion: 7},
 		&FileDelta{File: ref, BaseVersion: 6, Version: 7, Encoded: []byte{1, 2, 3}, Compressed: true},
@@ -44,6 +45,20 @@ func sampleMessages() []Message {
 		&OutputAck{Job: 1001},
 		&OutputFullReq{Job: 1002},
 		&ErrorMsg{Code: CodeUnknownFile, Text: "never heard of it"},
+		&FileManifest{
+			File: ref, Version: 7, Sum: 0xFEEDF00D,
+			Chunks: []ChunkRef{
+				{Hash: [16]byte{1, 2, 3}, Len: 1024},
+				{Hash: [16]byte{4, 5, 6}, Len: 512},
+				{Hash: [16]byte{1, 2, 3}, Len: 1024}, // repeated chunk
+			},
+			Inline: []InlineChunk{{Index: 1, Data: []byte("fresh bytes")}},
+		},
+		&ChunkReq{File: ref, Version: 7, Hashes: [][16]byte{{4, 5, 6}, {7, 8, 9}}},
+		&ChunkData{File: ref, Version: 7, Chunks: []ChunkBlob{
+			{Hash: [16]byte{4, 5, 6}, Data: []byte("chunk body")},
+			{Hash: [16]byte{7, 8, 9}, Data: nil},
+		}},
 		&Bye{},
 	}
 }
@@ -149,7 +164,26 @@ func TestTracedRejectsZeroTraceID(t *testing.T) {
 func TestUnmarshalRejectsTruncations(t *testing.T) {
 	for _, m := range sampleMessages() {
 		buf := Marshal(m)
+		// HELLO_OK's Protocol field is trailing-optional by design: cutting
+		// exactly it off yields a valid pre-v3 frame. That cut is the one
+		// legitimate truncation in the whole corpus.
+		optionalCut := -1
+		if ok, isOK := m.(*HelloOK); isOK && ok.Protocol != 0 {
+			base := *ok
+			base.Protocol = 0
+			optionalCut = len(Marshal(&base))
+		}
 		for cut := 0; cut < len(buf); cut++ {
+			if cut == optionalCut {
+				got, err := Unmarshal(buf[:cut])
+				if err != nil {
+					t.Fatalf("%s: protocol-less prefix rejected: %v", m.Kind(), err)
+				}
+				if got.(*HelloOK).Protocol != 0 {
+					t.Fatalf("%s: truncated frame decoded a protocol", m.Kind())
+				}
+				continue
+			}
 			if _, err := Unmarshal(buf[:cut]); err == nil {
 				// Some prefixes happen to decode as a shorter
 				// valid message of the same kind only if all
@@ -159,8 +193,18 @@ func TestUnmarshalRejectsTruncations(t *testing.T) {
 				t.Fatalf("%s: %d/%d byte prefix decoded", m.Kind(), cut, len(buf))
 			}
 		}
-		traced := MarshalTraced(m, TraceContext{TraceID: 1 << 40, SpanID: 9})
+		tc := TraceContext{TraceID: 1 << 40, SpanID: 9}
+		traced := MarshalTraced(m, tc)
+		tracedOptionalCut := -1
+		if ok, isOK := m.(*HelloOK); isOK && ok.Protocol != 0 {
+			base := *ok
+			base.Protocol = 0
+			tracedOptionalCut = len(MarshalTraced(&base, tc))
+		}
 		for cut := 0; cut < len(traced); cut++ {
+			if cut == tracedOptionalCut {
+				continue
+			}
 			if _, _, err := UnmarshalTraced(traced[:cut]); err == nil {
 				t.Fatalf("%s: %d/%d byte traced prefix decoded", m.Kind(), cut, len(traced))
 			}

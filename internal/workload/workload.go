@@ -255,6 +255,46 @@ func putDigits4(dst []byte, v int) {
 	dst[3] = byte('0' + v%10)
 }
 
+// SharedVariant returns one user's copy of common content: the file is cut
+// into line-aligned blocks of roughly blockLen bytes, and each block is kept
+// verbatim with probability redundancy or replaced by freshly generated lines
+// of similar length otherwise. Variants produced by different generators from
+// the same common content therefore share ~redundancy of their bytes block
+// for block — the cross-user redundancy profile of a community editing the
+// same source tree, which is what sub-file deduplication exploits. Replaced
+// blocks keep their byte budget within a line, so variants stay close to
+// common's size.
+func (g *Generator) SharedVariant(common []byte, redundancy float64) []byte {
+	const blockLen = 2048
+	lines := splitLines(common)
+	out := make([]byte, 0, len(common)+256)
+	i := 0
+	for i < len(lines) {
+		// Gather one block of whole lines.
+		blockStart := i
+		blockBytes := 0
+		for i < len(lines) && blockBytes < blockLen {
+			blockBytes += len(lines[i])
+			i++
+		}
+		if g.rng.Float64() < redundancy {
+			for _, l := range lines[blockStart:i] {
+				out = append(out, l...)
+			}
+			continue
+		}
+		// Private block: fresh lines totalling about the same bytes, so the
+		// variant's size tracks the common content's.
+		g.arena = g.arena[:0]
+		for spent := 0; spent < blockBytes; {
+			l := g.freshLine()
+			spent += len(l)
+			out = append(out, l...)
+		}
+	}
+	return out
+}
+
 // ModifiedFraction reports the fraction of bytes of b that are not part of a
 // longest common subsequence with a — a measure of how much Modify actually
 // changed. It is O(lines²) and intended for tests, not production.

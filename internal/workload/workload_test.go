@@ -212,3 +212,36 @@ func jobsExecute(t *testing.T, script string, inputs map[string][]byte) jobs.Res
 	t.Helper()
 	return jobs.Execute(jobs.Request{Script: []byte(script), Inputs: inputs})
 }
+
+func TestSharedVariantRedundancy(t *testing.T) {
+	common := NewGenerator(20).File(64 * 1024)
+	a := NewGenerator(21).SharedVariant(common, 0.9)
+	b := NewGenerator(22).SharedVariant(common, 0.9)
+
+	// Size stays in the common content's ballpark.
+	for _, v := range [][]byte{a, b} {
+		if len(v) < len(common)*8/10 || len(v) > len(common)*12/10 {
+			t.Fatalf("variant size %d drifted from %d", len(v), len(common))
+		}
+	}
+	// Roughly redundancy of each variant's bytes are common lines; the two
+	// variants share those lines with each other too.
+	if f := ModifiedFraction(common, a); f < 0.02 || f > 0.3 {
+		t.Fatalf("variant differs from common by %.2f, want ~0.1", f)
+	}
+	if f := ModifiedFraction(a, b); f > 0.3 {
+		t.Fatalf("two variants differ by %.2f, want ~0.2 at most", f)
+	}
+	// Full redundancy is a byte-for-byte copy; zero shares nothing but
+	// structure.
+	if !bytes.Equal(NewGenerator(23).SharedVariant(common, 1), common) {
+		t.Fatal("redundancy 1 must reproduce the common content")
+	}
+	if f := ModifiedFraction(common, NewGenerator(24).SharedVariant(common, 0)); f < 0.9 {
+		t.Fatalf("redundancy 0 still shares %.2f", 1-f)
+	}
+	// Deterministic per seed.
+	if !bytes.Equal(NewGenerator(21).SharedVariant(common, 0.9), a) {
+		t.Fatal("SharedVariant not deterministic")
+	}
+}
