@@ -16,6 +16,7 @@
 //	shadow-bench -fig server     Multi-session server throughput (wall clock)
 //	shadow-bench -fig capacity   Session-capacity sweep (100..10k sessions, GOMAXPROCS curve)
 //	shadow-bench -fig dedup      Chunk dedup: baseline vs chunked vs cache-pressure
+//	shadow-bench -fig treesync   Workspace reconciliation: per-file vs Merkle tree walk
 //	shadow-bench -fig trace      Tracing overhead: server figure twice, off vs on
 //	shadow-bench -fig chaos      Fault-injection gauntlet (drops/spikes/flaps)
 //	shadow-bench -fig all        Everything
@@ -78,6 +79,10 @@ func run(args []string, w io.Writer) error {
 		dedupRedundancy = fs.Float64("dedup-redundancy", 0.97, "dedup figure: shared fraction of each variant")
 		dedupCapacity   = fs.Int64("dedup-capacity", 0, "dedup figure: pressure cell cache bound in bytes (0: 2x filesize)")
 
+		treeFiles    = fs.Int("tree-files", 10000, "treesync figure: workspace size in files")
+		treeFileSize = fs.Int("tree-filesize", 256, "treesync figure: file size in bytes")
+		treeEdited   = fs.Int("tree-edited", 0, "treesync figure: files edited before the measured sync (0: 1%)")
+
 		dropRate   = fs.Float64("drop", 0.05, "chaos figure: per-frame drop probability")
 		spikeRate  = fs.Float64("spike", 0.05, "chaos figure: per-frame latency-spike probability")
 		spikeExtra = fs.Duration("spike-extra", 20*time.Millisecond, "chaos figure: added latency per spike")
@@ -124,6 +129,12 @@ func run(args []string, w io.Writer) error {
 		Transport:        *transport,
 		Seed:             *seed,
 	}
+	runner.treeCfg = experiment.TreeSyncConfig{
+		Files:    *treeFiles,
+		FileSize: *treeFileSize,
+		Edited:   *treeEdited,
+		Seed:     *seed,
+	}
 	runner.chaosCfg = experiment.ChaosConfig{
 		Sessions:    *sessions,
 		Cycles:      *cycles,
@@ -163,6 +174,8 @@ func run(args []string, w io.Writer) error {
 		return runner.capacity()
 	case "dedup":
 		return runner.dedup()
+	case "treesync":
+		return runner.treesync()
 	case "trace":
 		return runner.traceOverhead()
 	case "chaos":
@@ -193,6 +206,7 @@ type runner struct {
 	chaosCfg    experiment.ChaosConfig
 	capacityCfg experiment.CapacityConfig
 	dedupCfg    experiment.DedupConfig
+	treeCfg     experiment.TreeSyncConfig
 	benchOut    string
 	label       string
 }
@@ -363,6 +377,37 @@ func (r *runner) dedup() error {
 		return nil
 	}
 	for _, res := range []experiment.ServerBenchResult{fig.Baseline, fig.Chunked, fig.Pressure} {
+		if err := appendBenchRun(r.benchOut, res); err != nil {
+			return fmt.Errorf("write %s: %w", r.benchOut, err)
+		}
+	}
+	fmt.Fprintf(r.w, "recorded in %s\n", r.benchOut)
+	return nil
+}
+
+// treesync runs the workspace-reconciliation figure (per-file vs Merkle
+// tree walk) and appends both cells to the trajectory file. It fails when
+// the tree walk did not cut wire messages at least five-fold, or did not
+// also finish sooner in virtual time — the whole point of the summary
+// exchange is O(changed) reconciliation, so CI can gate on it directly.
+func (r *runner) treesync() error {
+	fig, err := experiment.RunTreeSync(r.treeCfg)
+	if err != nil {
+		return err
+	}
+	fig.Render(r.w)
+	if fig.MessageReduction() < 5 {
+		return fmt.Errorf("treesync: tree walk cut messages only %.1fx (%d -> %d), need >= 5x",
+			fig.MessageReduction(), fig.PerFile.WireMessages, fig.Tree.WireMessages)
+	}
+	if fig.Tree.SyncVirtualMs >= fig.PerFile.SyncVirtualMs {
+		return fmt.Errorf("treesync: tree sync was not faster (%.1fms vs %.1fms per-file)",
+			fig.Tree.SyncVirtualMs, fig.PerFile.SyncVirtualMs)
+	}
+	if r.benchOut == "" {
+		return nil
+	}
+	for _, res := range []experiment.ServerBenchResult{fig.PerFile, fig.Tree} {
 		if err := appendBenchRun(r.benchOut, res); err != nil {
 			return fmt.Errorf("write %s: %w", r.benchOut, err)
 		}

@@ -61,13 +61,13 @@ func ExampleWorkstation_NewShadowEditor() {
 	defer c.Close()
 
 	sed := ws.NewShadowEditor(c)
-	_, v1, _ := sed.Edit("/u/r/params.dat", shadow.EditorFunc(func(b []byte) ([]byte, error) {
+	r1, _ := sed.Edit("/u/r/params.dat", shadow.EditorFunc(func(b []byte) ([]byte, error) {
 		return []byte("epsilon = 0.01\n"), nil
 	}))
-	_, v2, _ := sed.Edit("/u/r/params.dat", shadow.EditorFunc(func(b []byte) ([]byte, error) {
+	r2, _ := sed.Edit("/u/r/params.dat", shadow.EditorFunc(func(b []byte) ([]byte, error) {
 		return append(b, []byte("iterations = 500\n")...), nil
 	}))
-	fmt.Printf("versions created: %d then %d\n", v1, v2)
+	fmt.Printf("versions created: %d then %d\n", r1.Version, r2.Version)
 	// Output:
 	// versions created: 1 then 2
 }

@@ -58,6 +58,13 @@ func run() error {
 		return err
 	}
 
+	// The project directory is one workspace: the initial sync announces
+	// both files, and submissions below name them relative to the root.
+	proj := c.Workspace("/u/g")
+	if _, err := proj.Sync(context.Background()); err != nil {
+		return err
+	}
+
 	fmt.Printf("edit-submit-fetch over a 9600 bps Cypress line, %d KB input\n\n", fileSize/1024)
 	fmt.Printf("%4s %14s %14s %12s\n", "run", "bytes moved", "cycle time", "job state")
 
@@ -68,7 +75,7 @@ func run() error {
 		// (here a scripted 2% revision) and its postprocessor
 		// versions the file and notifies the server.
 		if i > 1 {
-			_, _, err := sed.Edit("/u/g/model.f", shadow.EditorFunc(func(b []byte) ([]byte, error) {
+			_, err := sed.Edit("/u/g/model.f", shadow.EditorFunc(func(b []byte) ([]byte, error) {
 				return gen.Modify(b, 2, workload.EditMixed), nil
 			}))
 			if err != nil {
@@ -82,7 +89,7 @@ func run() error {
 		batchBytes += int64(len(current))
 
 		start := ws.Host().Now()
-		job, err := c.Submit(context.Background(), "/u/g/run.job", []string{"/u/g/model.f"}, shadow.SubmitOptions{})
+		job, err := proj.Submit(context.Background(), "run.job", []string{"model.f"}, shadow.SubmitOptions{})
 		if err != nil {
 			return err
 		}

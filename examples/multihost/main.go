@@ -98,7 +98,7 @@ func run() error {
 	// The same client talks to a second supercomputer.
 	envB := shadow.DefaultEnvironment("alice")
 	envB.DefaultHost = "cray-xmp"
-	aliceCray, err := arthur.ConnectEnv(context.Background(), envB)
+	aliceCray, err := arthur.ConnectSession(context.Background(), shadow.SessionConfig{Env: envB})
 	if err != nil {
 		return err
 	}

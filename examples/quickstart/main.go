@@ -2,8 +2,9 @@
 //
 // It builds an in-process simulated deployment (one supercomputer, one
 // workstation, an ARPANET-speed link), writes a data file and a job command
-// file, submits the job, and prints the results — the whole edit–submit–
-// fetch experience of §4 in about thirty lines of API use.
+// file into a workspace, syncs the workspace, submits the job, and prints
+// the results — the whole edit–submit–fetch experience of §4 in about
+// thirty lines of API use.
 //
 //	go run ./examples/quickstart
 package main
@@ -48,7 +49,17 @@ func run() error {
 		return err
 	}
 
-	job, err := c.Submit(context.Background(), "/u/comer/run.job", []string{"/u/comer/stars.dat"}, shadow.SubmitOptions{})
+	// One workspace handle covers the whole directory: Sync reconciles it
+	// with the server (here announcing both new files), and Submit resolves
+	// paths relative to the root.
+	proj := c.Workspace("/u/comer")
+	stats, err := proj.Sync(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("synced %s: %d files, %d announced\n", proj.Root(), stats.Files, stats.Changed)
+
+	job, err := proj.Submit(context.Background(), "run.job", []string{"stars.dat"}, shadow.SubmitOptions{})
 	if err != nil {
 		return err
 	}

@@ -69,7 +69,7 @@ func measure(wantDelta bool) (int64, time.Duration, error) {
 
 	environment := shadow.DefaultEnvironment("sci")
 	environment.WantOutputDelta = wantDelta
-	c, err := ws.ConnectEnv(context.Background(), environment)
+	c, err := ws.ConnectSession(context.Background(), shadow.SessionConfig{Env: environment})
 	if err != nil {
 		return 0, 0, err
 	}

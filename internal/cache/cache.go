@@ -251,6 +251,22 @@ func (c *Cache) Manifest(id naming.ShadowID) (uint64, chunk.Manifest, bool) {
 	return s.version, s.manifest, true
 }
 
+// Fingerprint returns the cached version of id and the fingerprint of its
+// manifest — the Merkle leaf hash directory reconciliation summarizes the
+// entry by. Computed under the shard lock, so it is always consistent with
+// one resident version (an entry mid-replacement yields either the old or
+// the new fingerprint, never a mixture).
+func (c *Cache) Fingerprint(id naming.ShadowID) (uint64, chunk.Hash, bool) {
+	sh := c.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.entries[id]
+	if !ok {
+		return 0, chunk.Hash{}, false
+	}
+	return s.version, s.manifest.Fingerprint(), true
+}
+
 // assembleLocked reconstructs a slot's content while the shard lock pins its
 // manifest (eviction takes the same lock, so the chunks cannot be released
 // mid-assembly). A failed assembly is a refcounting bug; the cache treats it

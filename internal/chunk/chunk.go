@@ -72,6 +72,29 @@ func (m Manifest) Contains(h Hash) bool {
 	return false
 }
 
+// Fingerprint condenses the manifest into one content address: the hash of
+// its refs in order (each ref's hash and length). Two files have equal
+// fingerprints exactly when their chunkings — and therefore, for one set of
+// Params, their contents — are equal, which is what makes a fingerprint
+// usable as a Merkle leaf in directory reconciliation. The empty manifest
+// (an empty file) has a well-defined fingerprint too.
+func (m Manifest) Fingerprint() Hash {
+	h := sha256.New()
+	var buf [HashSize + 4]byte
+	for _, r := range m {
+		copy(buf[:HashSize], r.Hash[:])
+		buf[HashSize] = byte(r.Len)
+		buf[HashSize+1] = byte(r.Len >> 8)
+		buf[HashSize+2] = byte(r.Len >> 16)
+		buf[HashSize+3] = byte(r.Len >> 24)
+		h.Write(buf[:])
+	}
+	var sum [sha256.Size]byte
+	var out Hash
+	copy(out[:], h.Sum(sum[:0])[:HashSize])
+	return out
+}
+
 // Clone returns an independent copy of the manifest.
 func (m Manifest) Clone() Manifest {
 	if m == nil {

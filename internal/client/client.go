@@ -107,6 +107,10 @@ type Config struct {
 	// individually instead of whole files. Off, the classic delta/full
 	// protocol is spoken regardless of what the server supports.
 	Chunked bool
+	// PerFileSync forces Workspace.Sync onto the classic one-notify-per-
+	// file path even against a v4 server — the degraded mode spoken to
+	// older servers, kept reachable for comparison and diagnosis.
+	PerFileSync bool
 
 	// Dial, when set, enables the fault-tolerant session layer: a lost
 	// connection is redialed with backoff, the session resumed, and
@@ -194,6 +198,10 @@ type Client struct {
 	cycleSpan map[uint64]*trace.Span
 	delivered []uint64      // job ids delivered but not yet taken by WaitAny
 	arrivals  chan struct{} // signaled on each delivery
+	// ackSignal wakes awaitAcks after each FileAck is applied to the
+	// store (buffered: a signal is never lost, dozens coalesce into one
+	// wakeup and the waiter rescans).
+	ackSignal chan struct{}
 	closed    bool
 	lastErr   error // final error; set when the client finishes
 	lastDrop  error // why the current connection died (supervisor scratch)
@@ -303,6 +311,7 @@ func Connect(ctx context.Context, conn wire.Conn, cfg Config) (*Client, error) {
 		cycleStart: make(map[uint64]time.Duration),
 		cycleSpan:  make(map[uint64]*trace.Span),
 		arrivals:   make(chan struct{}, 1),
+		ackSignal:  make(chan struct{}, 1),
 		connDown:   make(chan struct{}),
 		connUp:     make(chan struct{}),
 		done:       make(chan struct{}),
@@ -370,10 +379,12 @@ func (c *Client) Environment() env.Environment { return c.cfg.Env }
 // CommitAndNotify registers the current content of the named local file as a
 // new version and notifies the server (the shadow editor's postprocessor
 // calls this at the end of every editing session). Unchanged content sends
-// nothing. A changed file begins a traced "notify" cycle when tracing is on:
-// the NOTIFY carries the minted context, so the server's pull decision and
-// cache apply join the same causal trace.
-func (c *Client) CommitAndNotify(filePath string) (wire.FileRef, uint64, error) {
+// nothing — the result's WireBytes is then 0. A changed file begins a traced
+// "notify" cycle when tracing is on: the NOTIFY carries the minted context,
+// so the server's pull decision and cache apply join the same causal trace.
+// This is the single-file degenerate case of Workspace.Sync; both report
+// through the same NotifyResult shape.
+func (c *Client) CommitAndNotify(filePath string) (NotifyResult, error) {
 	return c.commitAndNotify(filePath, wire.TraceContext{}, true)
 }
 
@@ -385,18 +396,18 @@ func (c *Client) CommitAndNotify(filePath string) (wire.FileRef, uint64, error) 
 // server's spans append to the completed record when the deployment shares
 // one tracer. Submit passes mint=false: its cycle's sampling decision
 // (root span or nil) covers the notifies it issues.
-func (c *Client) commitAndNotify(filePath string, tc wire.TraceContext, mint bool) (wire.FileRef, uint64, error) {
+func (c *Client) commitAndNotify(filePath string, tc wire.TraceContext, mint bool) (NotifyResult, error) {
 	ref, err := c.refFor(filePath)
 	if err != nil {
-		return wire.FileRef{}, 0, err
+		return NotifyResult{}, err
 	}
 	content, err := c.readFile(filePath)
 	if err != nil {
-		return wire.FileRef{}, 0, err
+		return NotifyResult{}, err
 	}
 	version, changed := c.store.Commit(ref, content)
 	if !changed {
-		return ref, version, nil
+		return NotifyResult{File: ref, Version: version}, nil
 	}
 	var sp *trace.Span
 	if mint && !tc.Valid() {
@@ -419,9 +430,9 @@ func (c *Client) commitAndNotify(filePath string, tc wire.TraceContext, mint boo
 		c.cfg.Obs.EndTrace(sp.Context())
 	}
 	if err != nil {
-		return wire.FileRef{}, 0, err
+		return NotifyResult{}, err
 	}
-	return ref, version, nil
+	return NotifyResult{File: ref, Version: version, WireBytes: len(wire.MarshalTraced(notify, tc))}, nil
 }
 
 // Submit sends a job: scriptPath names the job command file, dataPaths the
@@ -482,7 +493,7 @@ func (c *Client) submitOnce(ctx context.Context, script []byte, dataPaths []stri
 	}
 	inputs := make([]wire.JobInput, 0, len(dataPaths))
 	for _, p := range dataPaths {
-		ref, version, err := c.commitAndNotify(p, root.Context(), false)
+		res, err := c.commitAndNotify(p, root.Context(), false)
 		if err != nil {
 			if errors.Is(err, ErrDisconnected) && !errors.Is(err, ErrClosed) {
 				c.awaitDown(ctx, down)
@@ -490,7 +501,7 @@ func (c *Client) submitOnce(ctx context.Context, script []byte, dataPaths []stri
 			}
 			return 0, fmt.Errorf("client: prepare %s: %w", p, err)
 		}
-		inputs = append(inputs, wire.JobInput{File: ref, Version: version, As: path.Base(p)})
+		inputs = append(inputs, wire.JobInput{File: res.File, Version: res.Version, As: path.Base(p)})
 	}
 	wantDelta := c.cfg.Env.WantOutputDelta
 	if opts.OutputDelta != nil {

@@ -108,12 +108,12 @@ func TestCommitAndNotifySendsNotifyOnce(t *testing.T) {
 	if err := universe.WriteFile("ws", "/f", []byte("v1\n")); err != nil {
 		t.Fatal(err)
 	}
-	ref, v, err := cl.CommitAndNotify("/f")
+	res, err := cl.CommitAndNotify("/f")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v != 1 || ref.FileID != "ws:/f" {
-		t.Fatalf("commit = %v v%d", ref, v)
+	if res.Version != 1 || res.File.FileID != "ws:/f" || !res.Changed() {
+		t.Fatalf("commit = %+v", res)
 	}
 	n, ok := fs.recv().(*wire.Notify)
 	if !ok || n.Version != 1 || n.Size != 3 {
@@ -121,8 +121,12 @@ func TestCommitAndNotifySendsNotifyOnce(t *testing.T) {
 	}
 	// Unchanged content: no second notify; verify by round-tripping a
 	// status request and seeing it arrive next.
-	if _, _, err := cl.CommitAndNotify("/f"); err != nil {
+	res, err = cl.CommitAndNotify("/f")
+	if err != nil {
 		t.Fatal(err)
+	}
+	if res.Changed() {
+		t.Fatalf("unchanged recommit reported %d wire bytes", res.WireBytes)
 	}
 	go func() {
 		// Answer the status request the test main goroutine sends.
@@ -147,17 +151,18 @@ func TestClientAnswersPullWithDelta(t *testing.T) {
 	if err := universe.WriteFile("ws", "/f", base); err != nil {
 		t.Fatal(err)
 	}
-	ref, _, err := cl.CommitAndNotify("/f")
+	res, err := cl.CommitAndNotify("/f")
 	if err != nil {
 		t.Fatal(err)
 	}
+	ref := res.File
 	fs.recv() // notify v1
 
 	edited := append(append([]byte{}, base...), []byte("new tail line\n")...)
 	if err := universe.WriteFile("ws", "/f", edited); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := cl.CommitAndNotify("/f"); err != nil {
+	if _, err := cl.CommitAndNotify("/f"); err != nil {
 		t.Fatal(err)
 	}
 	fs.recv() // notify v2

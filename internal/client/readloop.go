@@ -34,10 +34,16 @@ func (c *Client) readLoop(conn wire.Conn) {
 		case *wire.ChunkReq:
 			c.handleChunkReq(m, tc)
 		case *wire.FileAck:
+			// Store first, signal second: a waiter woken by the signal
+			// always observes the ack it was woken for.
 			c.store.Ack(m.File, m.Version)
+			select {
+			case c.ackSignal <- struct{}{}:
+			default:
+			}
 		case *wire.Output:
 			c.handleOutput(m, tc)
-		case *wire.SubmitOK, *wire.StatusReply:
+		case *wire.SubmitOK, *wire.StatusReply, *wire.TreeDiff:
 			c.routeReply(msg)
 		case *wire.ErrorMsg:
 			c.handleError(m)

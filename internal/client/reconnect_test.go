@@ -175,7 +175,7 @@ func TestReconnectResyncsFileHeads(t *testing.T) {
 		Dial:  rig.dial,
 		Retry: RetryPolicy{MaxAttempts: 10, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond},
 	})
-	if _, _, err := cl.CommitAndNotify("/f"); err != nil {
+	if _, err := cl.CommitAndNotify("/f"); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := fs1.recv().(*wire.Notify); !ok {

@@ -14,9 +14,9 @@ import (
 	"errors"
 	"fmt"
 
+	"shadowedit/internal/client"
 	"shadowedit/internal/diff"
 	"shadowedit/internal/naming"
-	"shadowedit/internal/wire"
 )
 
 // Editor is a conventional editor: it maps old file content to new file
@@ -58,8 +58,9 @@ func EdScript(script string) Editor {
 // Notifier is the postprocessor's hook into the shadow client; *client.Client
 // implements it.
 type Notifier interface {
-	// CommitAndNotify versions the named file and notifies the server.
-	CommitAndNotify(path string) (wire.FileRef, uint64, error)
+	// CommitAndNotify versions the named file and notifies the server,
+	// reporting the file's reference, new version and bytes sent.
+	CommitAndNotify(path string) (client.NotifyResult, error)
 }
 
 // Shadow is the shadow editor: an Editor wrapper bound to a workstation's
@@ -78,24 +79,25 @@ func NewShadow(universe *naming.Universe, host string, notifier Notifier) *Shado
 
 // Edit runs one editing session on the named file with the user's editor,
 // then runs the shadow postprocessor. Editing a file that does not exist
-// yet starts from empty content, like any editor would.
-func (s *Shadow) Edit(path string, ed Editor) (wire.FileRef, uint64, error) {
+// yet starts from empty content, like any editor would. The result reports
+// the committed version and how many bytes the notification cost.
+func (s *Shadow) Edit(path string, ed Editor) (client.NotifyResult, error) {
 	content, err := s.universe.ReadFile(s.host, path)
 	if err != nil && !errors.Is(err, naming.ErrNotExist) {
-		return wire.FileRef{}, 0, fmt.Errorf("shadow editor: %w", err)
+		return client.NotifyResult{}, fmt.Errorf("shadow editor: %w", err)
 	}
 	edited, err := ed.Edit(content)
 	if err != nil {
-		return wire.FileRef{}, 0, fmt.Errorf("shadow editor: editor failed: %w", err)
+		return client.NotifyResult{}, fmt.Errorf("shadow editor: editor failed: %w", err)
 	}
 	if err := s.universe.WriteFile(s.host, path, edited); err != nil {
-		return wire.FileRef{}, 0, fmt.Errorf("shadow editor: %w", err)
+		return client.NotifyResult{}, fmt.Errorf("shadow editor: %w", err)
 	}
 	// The postprocessor: new version, server notification. The transfer
 	// itself happens later, in the background, when the server pulls.
-	ref, version, err := s.notifier.CommitAndNotify(path)
+	res, err := s.notifier.CommitAndNotify(path)
 	if err != nil {
-		return wire.FileRef{}, 0, fmt.Errorf("shadow editor: postprocess: %w", err)
+		return client.NotifyResult{}, fmt.Errorf("shadow editor: postprocess: %w", err)
 	}
-	return ref, version, nil
+	return res, nil
 }

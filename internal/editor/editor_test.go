@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"shadowedit/internal/client"
 	"shadowedit/internal/naming"
 	"shadowedit/internal/wire"
 )
@@ -14,12 +15,16 @@ type recordingNotifier struct {
 	fail  error
 }
 
-func (r *recordingNotifier) CommitAndNotify(path string) (wire.FileRef, uint64, error) {
+func (r *recordingNotifier) CommitAndNotify(path string) (client.NotifyResult, error) {
 	if r.fail != nil {
-		return wire.FileRef{}, 0, r.fail
+		return client.NotifyResult{}, r.fail
 	}
 	r.calls = append(r.calls, path)
-	return wire.FileRef{Domain: "d", FileID: "ws:" + path}, uint64(len(r.calls)), nil
+	return client.NotifyResult{
+		File:      wire.FileRef{Domain: "d", FileID: "ws:" + path},
+		Version:   uint64(len(r.calls)),
+		WireBytes: 32,
+	}, nil
 }
 
 func newShadowRig() (*Shadow, *naming.Universe, *recordingNotifier) {
@@ -31,7 +36,7 @@ func newShadowRig() (*Shadow, *naming.Universe, *recordingNotifier) {
 
 func TestEditCreatesFileAndNotifies(t *testing.T) {
 	sed, u, n := newShadowRig()
-	ref, v, err := sed.Edit("/u/new.txt", Func(func(b []byte) ([]byte, error) {
+	res, err := sed.Edit("/u/new.txt", Func(func(b []byte) ([]byte, error) {
 		if b != nil {
 			t.Errorf("fresh file editor got content %q", b)
 		}
@@ -40,8 +45,8 @@ func TestEditCreatesFileAndNotifies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v != 1 || ref.FileID != "ws:/u/new.txt" {
-		t.Fatalf("edit = %v v%d", ref, v)
+	if res.Version != 1 || res.File.FileID != "ws:/u/new.txt" {
+		t.Fatalf("edit = %+v", res)
 	}
 	got, err := u.ReadFile("ws", "/u/new.txt")
 	if err != nil || string(got) != "created\n" {
@@ -57,7 +62,7 @@ func TestEditPassesExistingContent(t *testing.T) {
 	if err := u.WriteFile("ws", "/f", []byte("old\n")); err != nil {
 		t.Fatal(err)
 	}
-	_, _, err := sed.Edit("/f", Append("appended\n"))
+	_, err := sed.Edit("/f", Append("appended\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +78,7 @@ func TestEditEditorFailureDoesNotWrite(t *testing.T) {
 		t.Fatal(err)
 	}
 	boom := errors.New("editor crashed")
-	_, _, err := sed.Edit("/f", Func(func([]byte) ([]byte, error) { return nil, boom }))
+	_, err := sed.Edit("/f", Func(func([]byte) ([]byte, error) { return nil, boom }))
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want editor failure", err)
 	}
@@ -89,7 +94,7 @@ func TestEditEditorFailureDoesNotWrite(t *testing.T) {
 func TestEditNotifierFailureSurfaces(t *testing.T) {
 	sed, _, n := newShadowRig()
 	n.fail = errors.New("server unreachable")
-	_, _, err := sed.Edit("/f", Append("x\n"))
+	_, err := sed.Edit("/f", Append("x\n"))
 	if err == nil || !errors.Is(err, n.fail) {
 		t.Fatalf("err = %v, want notifier failure", err)
 	}
@@ -97,7 +102,7 @@ func TestEditNotifierFailureSurfaces(t *testing.T) {
 
 func TestEditBadPath(t *testing.T) {
 	sed, _, _ := newShadowRig()
-	if _, _, err := sed.Edit("relative/path", Append("x\n")); err == nil {
+	if _, err := sed.Edit("relative/path", Append("x\n")); err == nil {
 		t.Fatal("relative path accepted")
 	}
 }
@@ -134,7 +139,7 @@ func TestEdScriptEditorThroughShadow(t *testing.T) {
 	if err := u.WriteFile("ws", "/f", []byte("keep\ndrop\nkeep\n")); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := sed.Edit("/f", EdScript("2d\n")); err != nil {
+	if _, err := sed.Edit("/f", EdScript("2d\n")); err != nil {
 		t.Fatal(err)
 	}
 	got, _ := u.ReadFile("ws", "/f")

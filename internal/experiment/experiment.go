@@ -130,7 +130,7 @@ func shadowCycle(cfg Config, content, edited []byte) (time.Duration, int64, erro
 	environment := shadow.DefaultEnvironment("sci")
 	environment.Algorithm = cfg.Algorithm
 	environment.Compress = cfg.Compress
-	c, err := ws.ConnectEnv(context.Background(), environment)
+	c, err := ws.ConnectSession(context.Background(), shadow.SessionConfig{Env: environment})
 	if err != nil {
 		return 0, 0, err
 	}

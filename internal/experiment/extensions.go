@@ -62,7 +62,7 @@ func reverseShadowBytes(cfg Config, inputSize, runs int, wantDelta bool) (int64,
 	environment := shadow.DefaultEnvironment("sci")
 	environment.Algorithm = cfg.Algorithm
 	environment.WantOutputDelta = wantDelta
-	c, err := ws.ConnectEnv(context.Background(), environment)
+	c, err := ws.ConnectSession(context.Background(), shadow.SessionConfig{Env: environment})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -487,7 +487,7 @@ func flowControlOne(cfg Config, policy shadow.PullPolicy) (FlowControlResult, er
 		if err := ws.WriteFile(p, gen.File(8*1024)); err != nil {
 			return FlowControlResult{}, err
 		}
-		if _, _, err := c.CommitAndNotify(p); err != nil {
+		if _, err := c.CommitAndNotify(p); err != nil {
 			return FlowControlResult{}, err
 		}
 	}

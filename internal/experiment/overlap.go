@@ -104,19 +104,19 @@ func overlapCycle(cfg Config, size int, warm bool) (time.Duration, error) {
 		// real time) for the background exchange to finish before
 		// advancing the virtual clock — exactly the semantics of a
 		// transfer running concurrently with the user's pause.
-		ref, v, err := sed.Edit("/u/sci/a.dat", shadow.EditorFunc(editA))
+		res, err := sed.Edit("/u/sci/a.dat", shadow.EditorFunc(editA))
 		if err != nil {
 			return 0, err
 		}
-		if err := awaitAck(c, ref, v); err != nil {
+		if err := awaitAck(c, res.File, res.Version); err != nil {
 			return 0, err
 		}
 		ws.Host().Process(thinkTime)
-		ref, v, err = sed.Edit("/u/sci/b.dat", shadow.EditorFunc(editA))
+		res, err = sed.Edit("/u/sci/b.dat", shadow.EditorFunc(editA))
 		if err != nil {
 			return 0, err
 		}
-		if err := awaitAck(c, ref, v); err != nil {
+		if err := awaitAck(c, res.File, res.Version); err != nil {
 			return 0, err
 		}
 		ws.Host().Process(thinkTime)

@@ -164,6 +164,19 @@ type ServerBenchResult struct {
 	WireDeltaBytes    int64 `json:"wire_delta_bytes,omitempty"`
 	WireManifestBytes int64 `json:"wire_manifest_bytes,omitempty"`
 	WireChunkBytes    int64 `json:"wire_chunk_bytes,omitempty"`
+	// Tree-sync figure accounting (labels "treesync-perfile" and
+	// "treesync-tree"): the wire cost of reconciling a workspace whose
+	// divergence is sparse. WireMessages counts every frame either direction
+	// during the measured Sync; SyncWireBytes their payload bytes;
+	// SyncRoundTrips the synchronous exchanges the tree walk needed (0 for
+	// per-file); SyncVirtualMs the Sync's elapsed virtual time on the
+	// simulated link.
+	WireMessages   int64   `json:"wire_messages,omitempty"`
+	SyncWireBytes  int64   `json:"sync_wire_bytes,omitempty"`
+	SyncFiles      int     `json:"sync_files,omitempty"`
+	SyncChanged    int     `json:"sync_changed,omitempty"`
+	SyncRoundTrips int     `json:"sync_round_trips,omitempty"`
+	SyncVirtualMs  float64 `json:"sync_virtual_ms,omitempty"`
 	// Traced marks a run with full cycle tracing on; TraceCompleted and
 	// TraceSpans summarize what the shared tracer assembled. Comparing a
 	// traced run's cycles_per_sec against an untraced twin (labels

@@ -189,6 +189,50 @@ func (u *Universe) ReadFile(host, p string) ([]byte, error) {
 	return append([]byte(nil), content...), nil
 }
 
+// FilesUnder resolves (host, p) as a directory and returns its canonical
+// Name together with the sorted slash paths, relative to it, of every file
+// physically stored beneath it on the resolved host. Files reachable only
+// through symlinks or mounts that lead *out* of the directory are not
+// enumerated — a workspace is the subtree under its canonical root, which
+// keeps the client's and the server's notion of membership identical.
+func (u *Universe) FilesUnder(host, p string) (Name, []string, error) {
+	n, err := u.Resolve(host, p)
+	if err != nil {
+		return Name{}, nil, err
+	}
+	fs, ok := u.Host(n.Host)
+	if !ok {
+		return Name{}, nil, fmt.Errorf("%w: %q", ErrUnknownHost, n.Host)
+	}
+	fs.mu.RLock()
+	var rels []string
+	for fp := range fs.files {
+		if fp != n.Path && underneath(n.Path, fp) {
+			rels = append(rels, strings.TrimPrefix(fp, n.Path+"/"))
+		}
+	}
+	fs.mu.RUnlock()
+	sort.Strings(rels)
+	return n, rels, nil
+}
+
+// RemoveFile deletes the file at the canonical location of (host, path).
+// Removing a file that does not exist is not an error.
+func (u *Universe) RemoveFile(host, p string) error {
+	n, err := u.Resolve(host, p)
+	if err != nil {
+		return err
+	}
+	fs, ok := u.Host(n.Host)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownHost, n.Host)
+	}
+	fs.mu.Lock()
+	delete(fs.files, n.Path)
+	fs.mu.Unlock()
+	return nil
+}
+
 // FS models one host's file name space: its local files plus the tables the
 // resolution algorithm consults.
 type FS struct {
@@ -388,6 +432,25 @@ func (d *Directory) RefOf(id ShadowID) (wire.FileRef, bool) {
 		return wire.FileRef{}, false
 	}
 	return d.refs[id-1], true
+}
+
+// IDsUnder returns the interned files of one domain whose file ids lie
+// beneath the given prefix (a canonical "host:/abs/dir" with no trailing
+// slash), as parallel slices of slash paths relative to the prefix and
+// their shadow ids. This is the server half of directory reconciliation:
+// the files the server summarizes for a workspace are exactly the ids it
+// has ever interned beneath the workspace root.
+func (d *Directory) IDsUnder(domain, prefix string) (rels []string, ids []ShadowID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for fileID, id := range d.domains[domain] {
+		if len(fileID) > len(prefix)+1 && fileID[len(prefix)] == '/' &&
+			strings.HasPrefix(fileID, prefix) {
+			rels = append(rels, fileID[len(prefix)+1:])
+			ids = append(ids, id)
+		}
+	}
+	return rels, ids
 }
 
 // Domains lists the known domain ids, sorted.

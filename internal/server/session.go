@@ -13,6 +13,7 @@ import (
 	"shadowedit/internal/diff"
 	"shadowedit/internal/naming"
 	"shadowedit/internal/trace"
+	"shadowedit/internal/tree"
 	"shadowedit/internal/wire"
 )
 
@@ -64,6 +65,18 @@ type session struct {
 	// delta would look stale on arrival and trigger a wasteful full
 	// retransmission).
 	pulled map[naming.ShadowID]uint64
+	// trees caches the workspace summaries built for v4 reconciliation
+	// walks, keyed by workspace root. Each is a snapshot taken at
+	// TREE_HEAD time and discarded when the walk's BATCH_NOTIFY lands.
+	trees map[string]*tree.Tree
+	// batchQueue and batchInflight window the pulls a BATCH_NOTIFY fans
+	// out. The dispatch loop is the connection's only reader, so issuing a
+	// workspace's worth of pulls from inside one handler would fill both
+	// directions of the pipe and deadlock against the client answering
+	// them; instead at most batchPullWindow pulls are outstanding, and each
+	// arrival admits the next queued entry (see pumpBatch).
+	batchQueue    []batchEntry
+	batchInflight map[naming.ShadowID]struct{}
 	// pulledAt stamps when each in-flight pull was issued, feeding the
 	// pull→arrival histogram. Only populated when observability is on.
 	pulledAt map[naming.ShadowID]time.Duration
@@ -110,19 +123,21 @@ type deferredNotify struct {
 func newSession(srv *Server, conn wire.Conn, id uint64) *session {
 	vt, _ := conn.(wire.ScheduledSender)
 	ss := &session{
-		srv:        srv,
-		conn:       conn,
-		id:         id,
-		deferred:   make(map[naming.ShadowID]deferredNotify),
-		pulled:     make(map[naming.ShadowID]uint64),
-		pulledAt:   make(map[naming.ShadowID]time.Duration),
-		pullSpan:   make(map[naming.ShadowID]*trace.Span),
-		outPrev:    make(map[uint32][]byte),
-		assembling: make(map[naming.ShadowID]*pendingAssembly),
-		out:        make(chan outbound, outQueueDepth),
-		quit:       make(chan struct{}),
-		writerDone: make(chan struct{}),
-		vt:         vt,
+		srv:           srv,
+		conn:          conn,
+		id:            id,
+		deferred:      make(map[naming.ShadowID]deferredNotify),
+		pulled:        make(map[naming.ShadowID]uint64),
+		trees:         make(map[string]*tree.Tree),
+		batchInflight: make(map[naming.ShadowID]struct{}),
+		pulledAt:      make(map[naming.ShadowID]time.Duration),
+		pullSpan:      make(map[naming.ShadowID]*trace.Span),
+		outPrev:       make(map[uint32][]byte),
+		assembling:    make(map[naming.ShadowID]*pendingAssembly),
+		out:           make(chan outbound, outQueueDepth),
+		quit:          make(chan struct{}),
+		writerDone:    make(chan struct{}),
+		vt:            vt,
 	}
 	if srv.cfg.Obs.Tracer() != nil {
 		ss.rec = trace.NewRing(flightRingSize)
@@ -318,11 +333,20 @@ func (ss *session) dispatch(msg wire.Message, tc wire.TraceContext) error {
 	case *wire.Notify:
 		return ss.handleNotify(m, tc)
 	case *wire.FileDelta:
-		return ss.handleFileDelta(m, tc)
+		if err := ss.handleFileDelta(m, tc); err != nil {
+			return err
+		}
+		return ss.batchArrived(m.File)
 	case *wire.FileFull:
-		return ss.handleFileFull(m, tc)
+		if err := ss.handleFileFull(m, tc); err != nil {
+			return err
+		}
+		return ss.batchArrived(m.File)
 	case *wire.FileManifest:
-		return ss.handleFileManifest(m, tc)
+		if err := ss.handleFileManifest(m, tc); err != nil {
+			return err
+		}
+		return ss.batchArrived(m.File)
 	case *wire.ChunkData:
 		return ss.handleChunkData(m, tc)
 	case *wire.Submit:
@@ -333,6 +357,12 @@ func (ss *session) dispatch(msg wire.Message, tc wire.TraceContext) error {
 		return ss.handleOutputAck(m)
 	case *wire.OutputFullReq:
 		return ss.handleOutputFullReq(m)
+	case *wire.TreeHead:
+		return ss.handleTreeHead(m, tc)
+	case *wire.TreeDiff:
+		return ss.handleTreeDiff(m, tc)
+	case *wire.BatchNotify:
+		return ss.handleBatchNotify(m, tc)
 	case *wire.Bye:
 		return errSessionGone
 	default:

@@ -1,0 +1,240 @@
+// Package tree builds Merkle-style summaries of workspace file sets for
+// directory reconciliation (protocol v4). A summary's leaves are files —
+// each identified by its slash path relative to the workspace root and
+// hashed by its chunk-manifest fingerprint — and its interior nodes are
+// directories, hashed over their children in sorted name order. Two sides
+// holding the same summary root therefore hold byte-identical file sets,
+// and when the roots differ, walking only the directories whose hashes
+// differ reaches every divergent file in communication proportional to the
+// difference, not the workspace size.
+package tree
+
+import (
+	"encoding/binary"
+	"path"
+	"sort"
+	"strings"
+
+	"shadowedit/internal/chunk"
+)
+
+// Leaf is one file in a summary: its slash path relative to the workspace
+// root (no leading slash) and the fingerprint of its chunk manifest.
+type Leaf struct {
+	Path string
+	Hash chunk.Hash
+}
+
+// Entry is one name in a directory node: a file (leaf hash) or a
+// subdirectory (interior hash).
+type Entry struct {
+	Name string
+	Hash chunk.Hash
+	Dir  bool
+}
+
+// Tree is an immutable summary. The zero value is not usable; Build returns
+// a valid tree for any leaf set, including the empty one.
+type Tree struct {
+	dirs  map[string][]Entry // relative dir path ("" = root) → sorted entries
+	root  chunk.Hash
+	count int
+}
+
+// Build constructs the summary of the given leaves. Leaf order does not
+// matter; the result is canonical. Paths must be clean relative slash paths
+// ("src/pkg/a.f"); a directory exists in the tree exactly when a leaf lies
+// beneath it, so empty directories — invisible to reconciliation — are not
+// represented.
+func Build(leaves []Leaf) *Tree {
+	t := &Tree{dirs: map[string][]Entry{"": nil}, count: len(leaves)}
+	type childSet map[string]Entry
+	children := map[string]childSet{"": {}}
+	ensure := func(dir string) childSet {
+		cs, ok := children[dir]
+		if !ok {
+			cs = childSet{}
+			children[dir] = cs
+		}
+		return cs
+	}
+	for _, lf := range leaves {
+		// Register the file with its parent, and every ancestor directory
+		// with its own parent.
+		dir, name := split(lf.Path)
+		ensure(dir)[name] = Entry{Name: name, Hash: lf.Hash}
+		for dir != "" {
+			parent, dname := split(dir)
+			cs := ensure(parent)
+			if _, ok := cs[dname]; !ok {
+				cs[dname] = Entry{Name: dname, Dir: true}
+			}
+			dir = parent
+		}
+	}
+	// Hash bottom-up: deepest directories first, so a directory's entry in
+	// its parent carries its finished hash.
+	paths := make([]string, 0, len(children))
+	for p := range children {
+		paths = append(paths, p)
+	}
+	sort.Slice(paths, func(i, j int) bool { return depth(paths[i]) > depth(paths[j]) })
+	hashes := make(map[string]chunk.Hash, len(paths))
+	for _, p := range paths {
+		cs := children[p]
+		entries := make([]Entry, 0, len(cs))
+		for _, e := range cs {
+			if e.Dir {
+				e.Hash = hashes[path.Join(p, e.Name)]
+			}
+			entries = append(entries, e)
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+		t.dirs[p] = entries
+		hashes[p] = hashEntries(entries)
+	}
+	t.root = hashes[""]
+	return t
+}
+
+// hashEntries computes a directory's interior hash: each child's
+// length-prefixed name, kind flag and hash, in sorted name order.
+func hashEntries(entries []Entry) chunk.Hash {
+	var buf []byte
+	for _, e := range entries {
+		buf = binary.AppendUvarint(buf, uint64(len(e.Name)))
+		buf = append(buf, e.Name...)
+		if e.Dir {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = append(buf, e.Hash[:]...)
+	}
+	return chunk.HashOf(buf)
+}
+
+// Root returns the summary's root hash.
+func (t *Tree) Root() chunk.Hash { return t.root }
+
+// Count returns the number of files summarized.
+func (t *Tree) Count() int { return t.count }
+
+// Entries returns a directory's sorted children and whether the directory
+// exists in the tree. The returned slice is owned by the tree; callers must
+// not modify it.
+func (t *Tree) Entries(dir string) ([]Entry, bool) {
+	es, ok := t.dirs[dir]
+	return es, ok
+}
+
+// FilesUnder returns the relative paths of every file at or beneath dir, in
+// sorted order; nil when the directory does not exist.
+func (t *Tree) FilesUnder(dir string) []string {
+	es, ok := t.dirs[dir]
+	if !ok {
+		return nil
+	}
+	var out []string
+	for _, e := range es {
+		p := path.Join(dir, e.Name)
+		if e.Dir {
+			out = append(out, t.FilesUnder(p)...)
+		} else {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// DirDelta classifies the divergence between local and remote listings of
+// one directory: the files to (re)notify, the files only the remote side
+// still has, and the subdirectories each further step of the walk must
+// visit.
+type DirDelta struct {
+	// ChangedFiles are relative paths present locally whose remote hash is
+	// absent or different — the files to notify.
+	ChangedFiles []string
+	// RemovedFiles are relative paths only the remote side lists.
+	RemovedFiles []string
+	// WalkBoth are subdirectories present on both sides with differing
+	// hashes — the next level of the remote walk.
+	WalkBoth []string
+	// LocalOnly are subdirectories only the local side has; everything
+	// beneath them is changed and can be enumerated locally.
+	LocalOnly []string
+	// RemoteOnly are subdirectories only the remote side has; their
+	// listings must be fetched to enumerate the removals beneath them.
+	RemoteOnly []string
+}
+
+// Diff merges one directory's local and remote listings (both sorted by
+// name, either possibly nil) into a DirDelta. dir is the directory's
+// relative path, used to qualify the returned paths.
+func Diff(dir string, local, remote []Entry) DirDelta {
+	var d DirDelta
+	i, j := 0, 0
+	for i < len(local) || j < len(remote) {
+		switch {
+		case j >= len(remote) || (i < len(local) && local[i].Name < remote[j].Name):
+			e := local[i]
+			i++
+			if e.Dir {
+				d.LocalOnly = append(d.LocalOnly, path.Join(dir, e.Name))
+			} else {
+				d.ChangedFiles = append(d.ChangedFiles, path.Join(dir, e.Name))
+			}
+		case i >= len(local) || local[i].Name > remote[j].Name:
+			e := remote[j]
+			j++
+			if e.Dir {
+				d.RemoteOnly = append(d.RemoteOnly, path.Join(dir, e.Name))
+			} else {
+				d.RemovedFiles = append(d.RemovedFiles, path.Join(dir, e.Name))
+			}
+		default:
+			le, re := local[i], remote[j]
+			i++
+			j++
+			p := path.Join(dir, le.Name)
+			switch {
+			case le.Dir != re.Dir:
+				// A file replaced a directory (or vice versa): everything
+				// local beneath the name is new, everything remote is gone.
+				if le.Dir {
+					d.LocalOnly = append(d.LocalOnly, p)
+				} else {
+					d.ChangedFiles = append(d.ChangedFiles, p)
+				}
+				if re.Dir {
+					d.RemoteOnly = append(d.RemoteOnly, p)
+				} else {
+					d.RemovedFiles = append(d.RemovedFiles, p)
+				}
+			case le.Hash == re.Hash:
+				// Identical subtree or file: skip.
+			case le.Dir:
+				d.WalkBoth = append(d.WalkBoth, p)
+			default:
+				d.ChangedFiles = append(d.ChangedFiles, p)
+			}
+		}
+	}
+	return d
+}
+
+// split separates a relative path into its parent directory and final name.
+func split(p string) (dir, name string) {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[:i], p[i+1:]
+	}
+	return "", p
+}
+
+// depth counts a relative path's separators ("" is the root at depth 0).
+func depth(p string) int {
+	if p == "" {
+		return 0
+	}
+	return strings.Count(p, "/") + 1
+}

@@ -1,0 +1,181 @@
+package tree
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"shadowedit/internal/chunk"
+)
+
+func h(s string) chunk.Hash { return chunk.HashOf([]byte(s)) }
+
+func TestBuildEmpty(t *testing.T) {
+	a := Build(nil)
+	b := Build([]Leaf{})
+	if a.Count() != 0 || b.Count() != 0 {
+		t.Fatalf("empty tree counts: %d, %d", a.Count(), b.Count())
+	}
+	if a.Root() != b.Root() {
+		t.Fatalf("empty trees disagree on root hash")
+	}
+	if es, ok := a.Entries(""); !ok || len(es) != 0 {
+		t.Fatalf("empty tree root listing: %v, %v", es, ok)
+	}
+}
+
+func TestBuildCanonical(t *testing.T) {
+	leaves := []Leaf{
+		{Path: "src/pkg0/a.f", Hash: h("a")},
+		{Path: "src/pkg0/b.f", Hash: h("b")},
+		{Path: "src/pkg1/c.f", Hash: h("c")},
+		{Path: "run.job", Hash: h("j")},
+	}
+	t1 := Build(leaves)
+	// Reversed insertion order must produce the identical summary.
+	rev := make([]Leaf, len(leaves))
+	for i, lf := range leaves {
+		rev[len(leaves)-1-i] = lf
+	}
+	t2 := Build(rev)
+	if t1.Root() != t2.Root() {
+		t.Fatalf("leaf order changed the root hash")
+	}
+	if t1.Count() != 4 {
+		t.Fatalf("count = %d, want 4", t1.Count())
+	}
+	if got := t1.FilesUnder(""); !reflect.DeepEqual(got, []string{"run.job", "src/pkg0/a.f", "src/pkg0/b.f", "src/pkg1/c.f"}) {
+		t.Fatalf("FilesUnder root = %v", got)
+	}
+	if got := t1.FilesUnder("src/pkg1"); !reflect.DeepEqual(got, []string{"src/pkg1/c.f"}) {
+		t.Fatalf("FilesUnder src/pkg1 = %v", got)
+	}
+}
+
+func TestContentChangePropagatesToRoot(t *testing.T) {
+	base := []Leaf{
+		{Path: "src/pkg0/a.f", Hash: h("a")},
+		{Path: "src/pkg1/c.f", Hash: h("c")},
+	}
+	t1 := Build(base)
+	edited := []Leaf{
+		{Path: "src/pkg0/a.f", Hash: h("a２")},
+		{Path: "src/pkg1/c.f", Hash: h("c")},
+	}
+	t2 := Build(edited)
+	if t1.Root() == t2.Root() {
+		t.Fatalf("edit did not change the root hash")
+	}
+	// Only the edited branch's hashes differ: pkg1 is untouched.
+	e1, _ := t1.Entries("src")
+	e2, _ := t2.Entries("src")
+	if e1[0].Hash == e2[0].Hash {
+		t.Fatalf("pkg0 hash unchanged after edit")
+	}
+	if e1[1].Hash != e2[1].Hash {
+		t.Fatalf("pkg1 hash changed without an edit")
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	a := Build([]Leaf{{Path: "x/y.f", Hash: h("y")}})
+	la, _ := a.Entries("")
+	d := Diff("", la, la)
+	if len(d.ChangedFiles)+len(d.RemovedFiles)+len(d.WalkBoth)+len(d.LocalOnly)+len(d.RemoteOnly) != 0 {
+		t.Fatalf("identical listings produced a delta: %+v", d)
+	}
+}
+
+func TestDiffRenameIsDeletePlusAdd(t *testing.T) {
+	local := Build([]Leaf{{Path: "new.f", Hash: h("same")}})
+	remote := Build([]Leaf{{Path: "old.f", Hash: h("same")}})
+	le, _ := local.Entries("")
+	re, _ := remote.Entries("")
+	d := Diff("", le, re)
+	if !reflect.DeepEqual(d.ChangedFiles, []string{"new.f"}) {
+		t.Fatalf("changed = %v, want [new.f]", d.ChangedFiles)
+	}
+	if !reflect.DeepEqual(d.RemovedFiles, []string{"old.f"}) {
+		t.Fatalf("removed = %v, want [old.f]", d.RemovedFiles)
+	}
+}
+
+func TestDiffOneSidedDirs(t *testing.T) {
+	local := Build([]Leaf{
+		{Path: "both/a.f", Hash: h("a")},
+		{Path: "mine/b.f", Hash: h("b")},
+	})
+	remote := Build([]Leaf{
+		{Path: "both/a.f", Hash: h("a")},
+		{Path: "theirs/c.f", Hash: h("c")},
+	})
+	le, _ := local.Entries("")
+	re, _ := remote.Entries("")
+	d := Diff("", le, re)
+	if !reflect.DeepEqual(d.LocalOnly, []string{"mine"}) {
+		t.Fatalf("local-only = %v, want [mine]", d.LocalOnly)
+	}
+	if !reflect.DeepEqual(d.RemoteOnly, []string{"theirs"}) {
+		t.Fatalf("remote-only = %v, want [theirs]", d.RemoteOnly)
+	}
+	if len(d.WalkBoth) != 0 || len(d.ChangedFiles) != 0 || len(d.RemovedFiles) != 0 {
+		t.Fatalf("unexpected delta: %+v", d)
+	}
+}
+
+func TestDiffFileReplacedByDir(t *testing.T) {
+	local := Build([]Leaf{{Path: "x/inner.f", Hash: h("i")}})
+	remote := Build([]Leaf{{Path: "x", Hash: h("x-file")}})
+	le, _ := local.Entries("")
+	re, _ := remote.Entries("")
+	d := Diff("", le, re)
+	if !reflect.DeepEqual(d.LocalOnly, []string{"x"}) || !reflect.DeepEqual(d.RemovedFiles, []string{"x"}) {
+		t.Fatalf("kind flip delta: %+v", d)
+	}
+}
+
+// TestWalkVisitsOnlyDivergence pins the core reconciliation property on a
+// wide tree: the number of directories a walk must fetch is proportional to
+// the divergence, not the file count.
+func TestWalkVisitsOnlyDivergence(t *testing.T) {
+	mk := func(edit int) *Tree {
+		var leaves []Leaf
+		for p := 0; p < 50; p++ {
+			for f := 0; f < 20; f++ {
+				content := fmt.Sprintf("pkg%d/file%d", p, f)
+				if p == 7 && f == edit {
+					content += " edited"
+				}
+				leaves = append(leaves, Leaf{
+					Path: fmt.Sprintf("src/pkg%02d/f%02d.f", p, f),
+					Hash: h(content),
+				})
+			}
+		}
+		return Build(leaves)
+	}
+	local, remote := mk(3), mk(-1)
+	fetched := 0
+	frontier := []string{""}
+	var changed []string
+	for len(frontier) > 0 {
+		var next []string
+		for _, dir := range frontier {
+			fetched++
+			le, _ := local.Entries(dir)
+			re, _ := remote.Entries(dir)
+			d := Diff(dir, le, re)
+			changed = append(changed, d.ChangedFiles...)
+			next = append(next, d.WalkBoth...)
+			next = append(next, d.RemoteOnly...)
+		}
+		frontier = next
+	}
+	if !reflect.DeepEqual(changed, []string{"src/pkg07/f03.f"}) {
+		t.Fatalf("changed = %v", changed)
+	}
+	// Root, src, and the one divergent package: 3 fetches for 1000 files.
+	if fetched != 3 {
+		t.Fatalf("walk fetched %d directories, want 3", fetched)
+	}
+}

@@ -22,11 +22,13 @@ import (
 // ProtocolVersion identifies this revision of the shadow protocol.
 // Version 2 added the optional trace-context header (see TraceContext);
 // version 3 added the chunk transfer frames (FileManifest, ChunkReq,
-// ChunkData) and the negotiated-version field on HelloOK. The body encodings
-// of all pre-existing messages are unchanged, so the server accepts every
-// version down to MinProtocolVersion; chunk frames only flow on sessions
-// where both ends advertised version 3.
-const ProtocolVersion = 3
+// ChunkData) and the negotiated-version field on HelloOK; version 4 added
+// the directory reconciliation frames (TreeHead, TreeDiff, BatchNotify).
+// The body encodings of all pre-existing messages are unchanged, so the
+// server accepts every version down to MinProtocolVersion; chunk frames
+// only flow on sessions where both ends advertised version 3, tree frames
+// only where both advertised version 4.
+const ProtocolVersion = 4
 
 // MinProtocolVersion is the oldest protocol revision the server still
 // speaks. Version-1 peers never set the trace flag, so their frames decode
@@ -73,6 +75,9 @@ const (
 	KindFileManifest
 	KindChunkReq
 	KindChunkData
+	KindTreeHead
+	KindTreeDiff
+	KindBatchNotify
 )
 
 var kindNames = map[Kind]string{
@@ -95,6 +100,9 @@ var kindNames = map[Kind]string{
 	KindFileManifest:  "FILE_MANIFEST",
 	KindChunkReq:      "CHUNK_REQ",
 	KindChunkData:     "CHUNK_DATA",
+	KindTreeHead:      "TREE_HEAD",
+	KindTreeDiff:      "TREE_DIFF",
+	KindBatchNotify:   "BATCH_NOTIFY",
 }
 
 // String returns the protocol name of the kind.
@@ -350,6 +358,12 @@ func newMessage(k Kind) Message {
 		return &ChunkReq{}
 	case KindChunkData:
 		return &ChunkData{}
+	case KindTreeHead:
+		return &TreeHead{}
+	case KindTreeDiff:
+		return &TreeDiff{}
+	case KindBatchNotify:
+		return &BatchNotify{}
 	default:
 		return nil
 	}

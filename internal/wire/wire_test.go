@@ -59,6 +59,27 @@ func sampleMessages() []Message {
 			{Hash: [16]byte{4, 5, 6}, Data: []byte("chunk body")},
 			{Hash: [16]byte{7, 8, 9}, Data: nil},
 		}},
+		&TreeHead{Root: "arthur:/u/comer/project", Hash: [16]byte{0xAA, 1, 2}, Count: 10000},
+		&TreeHead{Root: "arthur:/u/comer/empty", Hash: [16]byte{0xBB}},
+		&TreeDiff{Root: "arthur:/u/comer/project",
+			Want: []string{"", "src/pkg01"}, Dirs: []TreeDir{}},
+		&TreeDiff{Root: "arthur:/u/comer/project", Want: []string{}, Dirs: []TreeDir{
+			{Path: "", Entries: []TreeEntry{
+				{Name: "src", Hash: [16]byte{1}, Dir: true},
+				{Name: "run.job", Hash: [16]byte{2}},
+			}},
+			{Path: "src/pkg01", Entries: []TreeEntry{}},
+		}},
+		&TreeDiff{Root: "arthur:/u/comer/project",
+			Want: []string{}, Dirs: []TreeDir{}, InSync: true},
+		&BatchNotify{
+			Notifies: []NotifyEntry{
+				{File: ref, Version: 7, Size: 102400, Sum: 0xDEADBEEF},
+				{File: FileRef{Domain: "nfs.purdue", FileID: "arthur:/u/comer/mesh.dat"}, Version: 1, Size: 12, Sum: 7},
+			},
+			Removed: []FileRef{{Domain: "nfs.purdue", FileID: "arthur:/u/comer/old.f"}},
+		},
+		&BatchNotify{Notifies: []NotifyEntry{}, Removed: []FileRef{}},
 		&Bye{},
 	}
 }

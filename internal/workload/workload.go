@@ -11,6 +11,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"sort"
 )
 
 // Paper parameter space: file sizes and modification percentages used in
@@ -348,6 +349,52 @@ func join(lines [][]byte) []byte {
 	for _, l := range lines {
 		out = append(out, l...)
 	}
+	return out
+}
+
+// MonorepoFile is one file of a generated source tree: its slash path
+// relative to the tree root, and its content.
+type MonorepoFile struct {
+	Path    string
+	Content []byte
+}
+
+// Monorepo generates a source tree of n files of the given size, laid out as
+// nested packages ("src/pkg042/f03.f") of about twenty files each — the
+// shape of a large shared codebase whose sparse edits directory
+// reconciliation is built for. Output is deterministic per generator seed.
+// The method draws the RNG only through File, so it can be added to a seeded
+// workload without perturbing other draws only if called in a fixed order,
+// like every other generator method.
+func (g *Generator) Monorepo(n, fileSize int) []MonorepoFile {
+	const perPkg = 20
+	files := make([]MonorepoFile, n)
+	for i := range files {
+		files[i] = MonorepoFile{
+			Path:    fmt.Sprintf("src/pkg%03d/f%02d.f", i/perPkg, i%perPkg),
+			Content: g.File(fileSize),
+		}
+	}
+	return files
+}
+
+// SparseEdit picks k distinct file indices out of n and returns them sorted —
+// the files one editing session touches in a monorepo. Deterministic per
+// generator state.
+func (g *Generator) SparseEdit(n, k int) []int {
+	if k > n {
+		k = n
+	}
+	picked := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		i := g.rng.Intn(n)
+		if !picked[i] {
+			picked[i] = true
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
 	return out
 }
 

@@ -74,6 +74,18 @@ type (
 	ClientConfig = client.Config
 	// SubmitOptions are the optional submit arguments (§6.2).
 	SubmitOptions = client.SubmitOptions
+	// Workspace is a tree-level handle on a directory: Sync reconciles it
+	// with the server in O(difference) messages (protocol v4), Submit
+	// resolves job paths relative to the root. Obtain one with
+	// Client.Workspace.
+	Workspace = client.Workspace
+	// SyncStats summarizes one Workspace.Sync call.
+	SyncStats = client.SyncStats
+	// SyncMode names the reconciliation strategy a Sync used.
+	SyncMode = client.SyncMode
+	// NotifyResult reports a commit-and-notify's outcome: file reference,
+	// new version, bytes on the wire (0 = unchanged, nothing sent).
+	NotifyResult = client.NotifyResult
 	// RetryPolicy shapes the client's reconnection and retry backoff.
 	RetryPolicy = client.RetryPolicy
 	// Server is a shadow server instance.
@@ -158,6 +170,14 @@ const (
 	CacheLRU = cache.LRU
 	// CacheLargestFirst evicts the biggest entries first.
 	CacheLargestFirst = cache.LargestFirst
+)
+
+// Workspace sync modes.
+const (
+	// SyncTree is Merkle-tree reconciliation (protocol v4).
+	SyncTree = client.SyncTree
+	// SyncPerFile is the classic one-notify-per-file fallback.
+	SyncPerFile = client.SyncPerFile
 )
 
 // The client's typed error taxonomy, re-exported for errors.Is matching.
@@ -428,21 +448,27 @@ func (w *Workstation) FS() *naming.FS {
 }
 
 // Connect opens a shadow session to the default server with the default
-// environment for user.
+// environment for user. It is shorthand for
+// ConnectSession(ctx, SessionConfig{Env: DefaultEnvironment(user)});
+// every knob beyond the user name lives on SessionConfig.
 func (w *Workstation) Connect(ctx context.Context, user string) (*Client, error) {
-	return w.ConnectEnv(ctx, DefaultEnvironment(user))
+	return w.ConnectSession(ctx, SessionConfig{Env: DefaultEnvironment(user)})
 }
 
-// ConnectTo opens a shadow session to the named server — "because a user
-// may access more than one supercomputer, the hostname can be specified"
-// (§6.2). The environment's DefaultHost is used when server is empty, then
-// the cluster's default.
+// ConnectTo opens a shadow session to the named server with a customized
+// environment.
+//
+// Deprecated: ConnectTo predates SessionConfig and adds nothing over it.
+// Use ConnectSession(ctx, SessionConfig{Server: server, Env: environment}).
 func (w *Workstation) ConnectTo(ctx context.Context, server string, environment Environment) (*Client, error) {
 	return w.ConnectSession(ctx, SessionConfig{Server: server, Env: environment})
 }
 
 // ConnectEnv opens a shadow session to the default server (or the
 // environment's DefaultHost) with a customized environment.
+//
+// Deprecated: ConnectEnv predates SessionConfig and adds nothing over it.
+// Use ConnectSession(ctx, SessionConfig{Env: environment}).
 func (w *Workstation) ConnectEnv(ctx context.Context, environment Environment) (*Client, error) {
 	return w.ConnectSession(ctx, SessionConfig{Env: environment})
 }
@@ -463,6 +489,10 @@ type SessionConfig struct {
 	// Jobs optionally seeds the job database (restored with LoadJobDB)
 	// so job records survive client restarts.
 	Jobs *JobDB
+	// PerFileSync forces Workspace.Sync onto the classic one-notify-per-
+	// file path even when the server speaks protocol v4 (comparison and
+	// diagnosis; tree reconciliation is otherwise used automatically).
+	PerFileSync bool
 
 	// AutoReconnect makes the session fault tolerant: a lost connection
 	// is re-dialed with backoff (advancing the workstation's virtual
@@ -491,14 +521,15 @@ func (w *Workstation) ConnectSession(ctx context.Context, cfg SessionConfig) (*C
 		return nil, fmt.Errorf("shadow: dial: %w", err)
 	}
 	ccfg := client.Config{
-		User:     cfg.Env.User,
-		Universe: w.cluster.Universe,
-		Host:     w.name,
-		Env:      cfg.Env,
-		Tilde:    cfg.Tilde,
-		Store:    cfg.Store,
-		Jobs:     cfg.Jobs,
-		Clock:    w.host,
+		User:        cfg.Env.User,
+		Universe:    w.cluster.Universe,
+		Host:        w.name,
+		Env:         cfg.Env,
+		Tilde:       cfg.Tilde,
+		Store:       cfg.Store,
+		Jobs:        cfg.Jobs,
+		Clock:       w.host,
+		PerFileSync: cfg.PerFileSync,
 	}
 	if cfg.AutoReconnect {
 		ccfg.Dial = func() (wire.Conn, error) {

@@ -147,20 +147,20 @@ func TestShadowEditorCycle(t *testing.T) {
 	sed := ws.NewShadowEditor(c)
 
 	// First session creates the file.
-	if _, _, err := sed.Edit("/u/g/model.dat", EditorFunc(func(b []byte) ([]byte, error) {
+	if _, err := sed.Edit("/u/g/model.dat", EditorFunc(func(b []byte) ([]byte, error) {
 		return []byte("x=1\ny=2\n"), nil
 	})); err != nil {
 		t.Fatal(err)
 	}
 	// Second session appends; postprocessor notifies automatically.
-	_, v2, err := sed.Edit("/u/g/model.dat", EditorFunc(func(b []byte) ([]byte, error) {
+	res2, err := sed.Edit("/u/g/model.dat", EditorFunc(func(b []byte) ([]byte, error) {
 		return append(b, []byte("z=3\n")...), nil
 	}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v2 != 2 {
-		t.Fatalf("second edit produced version %d, want 2", v2)
+	if res2.Version != 2 {
+		t.Fatalf("second edit produced version %d, want 2", res2.Version)
 	}
 
 	write(t, ws, "/u/g/run.job", []byte("cat model.dat\n"))
@@ -447,7 +447,7 @@ func TestReverseShadowOutputDelta(t *testing.T) {
 	_, ws := newTestCluster(t, ClusterConfig{})
 	environment := DefaultEnvironment("u")
 	environment.WantOutputDelta = true
-	c, err := ws.ConnectEnv(context.Background(), environment)
+	c, err := ws.ConnectSession(context.Background(), SessionConfig{Env: environment})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -500,7 +500,7 @@ func TestCompressionReducesTraffic(t *testing.T) {
 	_, ws := newTestCluster(t, ClusterConfig{})
 	environment := DefaultEnvironment("u")
 	environment.Compress = true
-	c, err := ws.ConnectEnv(context.Background(), environment)
+	c, err := ws.ConnectSession(context.Background(), SessionConfig{Env: environment})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -708,14 +708,14 @@ func TestMultipleServersOneClient(t *testing.T) {
 	}
 
 	envA := DefaultEnvironment("u")
-	cA, err := ws.ConnectTo(context.Background(), "super", envA)
+	cA, err := ws.ConnectSession(context.Background(), SessionConfig{Server: "super", Env: envA})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cA.Close()
 	envB := DefaultEnvironment("u")
 	envB.DefaultHost = "cray2"
-	cB, err := ws.ConnectTo(context.Background(), "", envB) // environment's default host wins
+	cB, err := ws.ConnectSession(context.Background(), SessionConfig{Env: envB}) // environment's default host wins
 	if err != nil {
 		t.Fatal(err)
 	}
