@@ -19,6 +19,7 @@
 //	shadow-bench -fig treesync   Workspace reconciliation: per-file vs Merkle tree walk
 //	shadow-bench -fig trace      Tracing overhead: server figure twice, off vs on
 //	shadow-bench -fig chaos      Fault-injection gauntlet (drops/spikes/flaps)
+//	shadow-bench -fig cluster    Shadow-cache cluster scaling (1/2/4 instances, virtual time)
 //	shadow-bench -fig all        Everything
 //
 // Times are virtual seconds on the simulated link (9600 bps Cypress,
@@ -83,6 +84,12 @@ func run(args []string, w io.Writer) error {
 		treeFileSize = fs.Int("tree-filesize", 256, "treesync figure: file size in bytes")
 		treeEdited   = fs.Int("tree-edited", 0, "treesync figure: files edited before the measured sync (0: 1%)")
 
+		clusterInstances = fs.String("cluster-instances", "1,2,4", "cluster figure: comma-separated instance counts")
+		clusterSessions  = fs.Int("cluster-sessions", 16, "cluster figure: concurrent workstations")
+		clusterCycles    = fs.Int("cluster-cycles", 10, "cluster figure: measured cycles per session")
+		clusterJobCPU    = fs.Duration("cluster-jobcpu", 250*time.Millisecond, "cluster figure: simulated CPU per job")
+		clusterGate      = fs.Float64("cluster-gate", 0, "cluster figure: fail unless last-cell cycles/sec >= gate x first cell (0 disables)")
+
 		dropRate   = fs.Float64("drop", 0.05, "chaos figure: per-frame drop probability")
 		spikeRate  = fs.Float64("spike", 0.05, "chaos figure: per-frame latency-spike probability")
 		spikeExtra = fs.Duration("spike-extra", 20*time.Millisecond, "chaos figure: added latency per spike")
@@ -135,6 +142,19 @@ func run(args []string, w io.Writer) error {
 		Edited:   *treeEdited,
 		Seed:     *seed,
 	}
+	clusterInst, err := parseIntList(*clusterInstances)
+	if err != nil {
+		return fmt.Errorf("-cluster-instances: %w", err)
+	}
+	runner.clusterCfg = experiment.ClusterBenchConfig{
+		Instances: clusterInst,
+		Sessions:  *clusterSessions,
+		Cycles:    *clusterCycles,
+		FileSize:  *fileSize,
+		JobCPU:    *clusterJobCPU,
+		Seed:      *seed,
+	}
+	runner.clusterGate = *clusterGate
 	runner.chaosCfg = experiment.ChaosConfig{
 		Sessions:    *sessions,
 		Cycles:      *cycles,
@@ -180,6 +200,8 @@ func run(args []string, w io.Writer) error {
 		return runner.traceOverhead()
 	case "chaos":
 		return runner.chaos()
+	case "cluster":
+		return runner.cluster()
 	case "all":
 		for _, f := range []func() error{
 			runner.figure1, runner.figure2, runner.figure3,
@@ -204,6 +226,8 @@ type runner struct {
 
 	server      experiment.ServerBenchConfig
 	chaosCfg    experiment.ChaosConfig
+	clusterCfg  experiment.ClusterBenchConfig
+	clusterGate float64
 	capacityCfg experiment.CapacityConfig
 	dedupCfg    experiment.DedupConfig
 	treeCfg     experiment.TreeSyncConfig
@@ -472,6 +496,35 @@ func (r *runner) chaos() error {
 		return fmt.Errorf("chaos: %d/%d cycles verified, %d mismatches",
 			res.Completed, res.Sessions*res.Cycles, res.Mismatches)
 	}
+	return nil
+}
+
+// cluster runs the shadow-cache cluster scaling figure (1/2/4 instances in
+// virtual time) and appends every cell to the trajectory file. It fails
+// when any full file crossed a peer link (forwards must be deltas or chunk
+// manifests) or, with -cluster-gate set, when the largest cell's throughput
+// fell short of gate x the single-instance cell.
+func (r *runner) cluster() error {
+	fig, err := experiment.RunClusterBench(r.clusterCfg)
+	if err != nil {
+		return err
+	}
+	fig.Render(r.w)
+	if full := fig.PeerFullTotal(); full != 0 {
+		return fmt.Errorf("cluster: %d full files crossed peer links, want 0", full)
+	}
+	if r.clusterGate > 0 && fig.Scaling() < r.clusterGate {
+		return fmt.Errorf("cluster: scaling %.2fx below the %.2fx gate", fig.Scaling(), r.clusterGate)
+	}
+	if r.benchOut == "" {
+		return nil
+	}
+	for _, res := range fig.Cells {
+		if err := appendBenchRun(r.benchOut, res); err != nil {
+			return fmt.Errorf("write %s: %w", r.benchOut, err)
+		}
+	}
+	fmt.Fprintf(r.w, "recorded in %s\n", r.benchOut)
 	return nil
 }
 

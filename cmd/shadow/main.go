@@ -4,6 +4,7 @@
 // Usage:
 //
 //	shadow -server host:4217 run JOBFILE [DATAFILE...]
+//	shadow -cluster super1=h1:4217,super2=h2:4217 run JOBFILE [DATAFILE...]
 //	shadow -server host:4217 listen [-n 1]
 //	shadow -server host:4217 env
 //	shadow commands
@@ -12,6 +13,11 @@
 // system, submits the job, waits for completion, prints stdout, and writes
 // the output/error files beside the inputs. Data files are referenced in
 // the job file by base name.
+//
+// With -cluster (same name=addr list the shadowd instances were started
+// with via -peers), each file is committed to its placement-ring owner and
+// the job is submitted to the script's owner; a dead member is routed
+// around via the ring's successor list.
 package main
 
 import (
@@ -41,6 +47,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("shadow", flag.ContinueOnError)
 	var (
 		server   = fs.String("server", "localhost:4217", "shadowd address")
+		cluster  = fs.String("cluster", "", "shadow-cache cluster members as name=addr pairs (comma-separated); overrides -server")
 		user     = fs.String("user", currentUser(), "submitting user")
 		domain   = fs.String("domain", "local", "naming domain id")
 		hostname = fs.String("host", clientHostname(), "client host name")
@@ -80,7 +87,7 @@ func run(args []string, out io.Writer) error {
 		}
 		return runJob(ctx, *server, *user, *domain, *hostname, rest[1], rest[2:], runOptions{
 			outFile: *outFile, errFile: *errFile, route: *route,
-			compress: *compress, algorithm: *alg,
+			compress: *compress, algorithm: *alg, cluster: *cluster,
 		}, out)
 	case "listen":
 		n := 1
@@ -101,6 +108,7 @@ type runOptions struct {
 	outFile, errFile, route string
 	compress                bool
 	algorithm               string
+	cluster                 string
 }
 
 // runJob performs one submit-and-wait over TCP. Local disk files are staged
@@ -144,36 +152,66 @@ func runJob(ctx context.Context, server, user, domain, hostname, jobFile string,
 	}
 	environment.Algorithm = algorithm
 
-	c, err := shadow.DialTCP(ctx, server, shadow.ClientConfig{
+	ccfg := shadow.ClientConfig{
 		User:     user,
 		Universe: universe,
 		Host:     hostname,
 		Env:      environment,
 		WorkDir:  "/results",
-	})
-	if err != nil {
-		return err
 	}
-	defer c.Close()
-
-	job, err := c.Submit(ctx, scriptPath, paths, shadow.SubmitOptions{
+	submitOpts := shadow.SubmitOptions{
 		OutputFile: opts.outFile,
 		ErrorFile:  opts.errFile,
 		RouteHost:  opts.route,
-	})
-	if err != nil {
-		return err
 	}
-	fmt.Fprintf(out, "job %d submitted to %s\n", job, c.ServerName())
+
+	// One submit-and-wait, against either a single server or a shadow-cache
+	// cluster. With -cluster, the script and every data file are committed to
+	// their placement-ring owners and the job runs on the script's owner.
+	var (
+		jobID uint64
+		wait  func() (shadow.JobRecord, error)
+	)
+	if opts.cluster != "" {
+		members, err := parseMembers(opts.cluster)
+		if err != nil {
+			return fmt.Errorf("-cluster: %w", err)
+		}
+		cc, err := shadow.DialClusterTCP(ctx, members, ccfg)
+		if err != nil {
+			return err
+		}
+		defer cc.Close()
+		job, err := cc.Submit(ctx, scriptPath, paths, submitOpts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "job %d submitted to cluster member %s\n", job.Job, job.Member)
+		jobID = job.Job
+		wait = func() (shadow.JobRecord, error) { return cc.Wait(ctx, job) }
+	} else {
+		c, err := shadow.DialTCP(ctx, server, ccfg)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		job, err := c.Submit(ctx, scriptPath, paths, submitOpts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "job %d submitted to %s\n", job, c.ServerName())
+		jobID = job
+		wait = func() (shadow.JobRecord, error) { return c.Wait(ctx, job) }
+	}
 	if opts.route != "" {
 		fmt.Fprintf(out, "output routed to host %q\n", opts.route)
 		return nil
 	}
-	rec, err := c.Wait(ctx, job)
+	rec, err := wait()
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "job %d %v (exit %d)\n", job, rec.State, rec.ExitCode)
+	fmt.Fprintf(out, "job %d %v (exit %d)\n", jobID, rec.State, rec.ExitCode)
 	if _, err := out.Write(rec.Stdout); err != nil {
 		return err
 	}
@@ -223,6 +261,31 @@ func listenForOutputs(ctx context.Context, server, user, domain, hostname string
 		}
 	}
 	return nil
+}
+
+// parseMembers parses "super1=host1:4217,super2=host2:4217" into the member
+// map DialClusterTCP wants. Same format as shadowd's -peers flag; the names
+// must match what the servers were started with, or placement disagrees.
+func parseMembers(s string) (map[string]string, error) {
+	members := make(map[string]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(part, "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("bad member %q (want name=addr)", part)
+		}
+		if _, dup := members[name]; dup {
+			return nil, fmt.Errorf("duplicate member %q", name)
+		}
+		members[name] = addr
+	}
+	if len(members) == 0 {
+		return nil, errors.New("empty member list")
+	}
+	return members, nil
 }
 
 func saveResult(name string, content []byte) error {

@@ -8,6 +8,13 @@
 //	        [-pull eager|lazy|load-aware] [-jobs 2] [-compress]
 //	        [-admin :9090] [-log-level info] [-log-format text|json]
 //	        [-trace off|all|N]
+//	        [-peers super1=h1:4217,super2=h2:4217] [-instance super1]
+//
+// With -peers set, the instance joins a shadow-cache cluster (protocol v5):
+// files are owned by consistent-hash placement, non-owned inputs are
+// fetched instance-to-instance as deltas or chunk manifests, and every
+// member must be started with the identical -peers list. See DESIGN.md's
+// cluster chapter.
 //
 // With -admin set, an operator HTTP endpoint serves /healthz, /metrics
 // (Prometheus text), /cachez, /sessionz, /tracez, /flightz and /debug/pprof
@@ -61,6 +68,8 @@ func run(args []string) error {
 		logLevel    = fs.String("log-level", "", "structured event log level: debug, info, warn or error; empty disables")
 		logFormat   = fs.String("log-format", "text", "structured event log format: text or json")
 		traceMode   = fs.String("trace", "off", "cycle tracing: off, all, or an integer N to trace one cycle in N")
+		peers       = fs.String("peers", "", "shadow-cache cluster members as name=addr pairs, comma-separated and including this instance; empty runs standalone")
+		instance    = fs.String("instance", "", "this instance's cluster member name (default: -name)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -119,6 +128,22 @@ func run(args []string) error {
 
 	srv := shadow.NewServer(cfg)
 	defer srv.Close()
+
+	if *peers != "" {
+		members, err := parsePeers(*peers)
+		if err != nil {
+			return fmt.Errorf("shadowd: -peers: %w", err)
+		}
+		self := *instance
+		if self == "" {
+			self = *name
+		}
+		if _, ok := members[self]; !ok {
+			return fmt.Errorf("shadowd: -peers must include this instance %q", self)
+		}
+		shadow.JoinClusterTCP(srv, self, members)
+		log.Printf("shadowd: joined shadow-cache cluster as %q (%d members)", self, len(members))
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -251,6 +276,29 @@ func buildLogger(level, format string) (*slog.Logger, error) {
 	default:
 		return nil, fmt.Errorf("shadowd: unknown log format %q", format)
 	}
+}
+
+// parsePeers parses "super1=host1:4217,super2=host2:4217" into a member map.
+func parsePeers(s string) (map[string]string, error) {
+	members := make(map[string]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(part, "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("bad member %q (want name=addr)", part)
+		}
+		if _, dup := members[name]; dup {
+			return nil, fmt.Errorf("duplicate member %q", name)
+		}
+		members[name] = addr
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("empty member list")
+	}
+	return members, nil
 }
 
 // parseSize parses "0", "1024", "64K", "256M", "2G".

@@ -164,6 +164,15 @@ func counterSpecs(s metrics.Snapshot) []counterSpec {
 		{"shadow_chunk_sends_total", "CHUNK_DATA frames received.", s.ChunkSends},
 		{"shadow_chunks_requested_total", "Chunk hashes asked for via CHUNK_REQ.", s.ChunksRequested},
 		{"shadow_rehydrations_total", "Versions completed by fetching only their missing chunks.", s.Rehydrations},
+		{"shadow_peer_forwards_total", "File versions served to or from a cluster peer as deltas or manifests.", s.PeerForwards},
+		{"shadow_peer_delta_bytes_total", "Payload bytes moved as peer-forwarded deltas (protocol v5).", s.PeerDeltaBytes},
+		{"shadow_peer_manifest_bytes_total", "Payload bytes moved as peer chunk manifests (protocol v5).", s.PeerManifestBytes},
+		{"shadow_peer_chunk_bytes_total", "Payload bytes moved as peer-fetched chunk data (protocol v5).", s.PeerChunkBytes},
+		{"shadow_peer_full_transfers_total", "Full file bodies crossing peer links (structurally zero; proves the negative).", s.PeerFullTransfers},
+		{"shadow_peer_negatives_total", "Peer fetches the owner declined (requester pulls from the client).", s.PeerNegatives},
+		{"shadow_delta_bytes_saved_total", "Full-content bytes peer forwarding avoided re-pulling from clients.", s.DeltaBytesSaved},
+		{"shadow_owner_misses_total", "Requests that fell through a file's ring owner to a successor.", s.OwnerMisses},
+		{"shadow_ring_rebalances_total", "Flights re-homed after a peer link died.", s.RingRebalances},
 	}
 }
 

@@ -128,6 +128,18 @@ func (f *Flights) ReleaseOwner(owner uint64) []PendingFetch {
 	return out
 }
 
+// Pending reports the version an in-flight fetch of id is waiting for, and
+// whether one exists. Cluster peer serving uses it: an owner that is already
+// pulling a version at least as new as a peer wants can park the peer's
+// request on the arrival instead of declining it.
+func (f *Flights) Pending(id naming.ShadowID) (uint64, bool) {
+	sh := f.shardOf(id)
+	sh.mu.Lock()
+	fl, ok := sh.m[id]
+	sh.mu.Unlock()
+	return fl.want, ok
+}
+
 // Len reports the number of in-flight fetches (tests and introspection).
 func (f *Flights) Len() int {
 	n := 0

@@ -1,0 +1,275 @@
+package client
+
+// Multi-server routing for a shadow-cache cluster: the client holds one
+// ordinary Client per instance, all sharing a single version store and job
+// database, and routes each file's traffic to the instance the placement
+// ring (internal/cluster) names as its owner. Because the store is shared,
+// committing a file through one member and answering another member's pull
+// later both see the same versions — any session can serve any file.
+//
+// The client and the servers must agree on placement: both hash the file's
+// canonical reference string onto the same ring (same member list, same
+// virtual-node count), so no placement metadata ever crosses the wire.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"shadowedit/internal/cluster"
+	"shadowedit/internal/env"
+	"shadowedit/internal/metrics"
+	"shadowedit/internal/vcs"
+	"shadowedit/internal/wire"
+)
+
+// ClusterMember names one shadowd instance and how to reach it.
+type ClusterMember struct {
+	// Name is the instance's cluster member name — it must match the
+	// -instance name the server was started with, or placement disagrees.
+	Name string
+	// Dial opens a transport to the instance.
+	Dial func() (wire.Conn, error)
+}
+
+// ClusterJob identifies a job within a cluster: the member that runs it and
+// the member-local job id.
+type ClusterJob struct {
+	Member string
+	Job    uint64
+}
+
+// ClusterClient is a workstation's connection to every instance of a
+// shadow-cache cluster, routing per-file traffic to ring owners.
+type ClusterClient struct {
+	ring    *cluster.Ring
+	order   []string // member names in the order given
+	clients map[string]*Client
+	misses  atomic.Int64
+}
+
+// ConnectCluster establishes a session with every cluster member. The
+// per-member clients share one version store and job database (seeded from
+// cfg.Store/cfg.Jobs when set, fresh otherwise); all other Config fields
+// apply to each member alike, except Dial, which each member supplies.
+func ConnectCluster(ctx context.Context, members []ClusterMember, cfg Config) (*ClusterClient, error) {
+	if len(members) == 0 {
+		return nil, errors.New("client: ConnectCluster needs at least one member")
+	}
+	if cfg.Store == nil {
+		retain := cfg.Env.RetainVersions
+		if retain == 0 {
+			retain = env.Default(cfg.User).RetainVersions
+		}
+		cfg.Store = vcs.NewStore(retain)
+	}
+	if cfg.Jobs == nil {
+		cfg.Jobs = env.NewJobDB()
+	}
+	cc := &ClusterClient{
+		clients: make(map[string]*Client, len(members)),
+	}
+	names := make([]string, 0, len(members))
+	for _, m := range members {
+		if m.Name == "" || m.Dial == nil {
+			cc.closeAll()
+			return nil, errors.New("client: cluster member needs a name and a dial function")
+		}
+		if _, dup := cc.clients[m.Name]; dup {
+			cc.closeAll()
+			return nil, fmt.Errorf("client: duplicate cluster member %q", m.Name)
+		}
+		mcfg := cfg
+		mcfg.Dial = m.Dial
+		c, err := Connect(ctx, nil, mcfg)
+		if err != nil {
+			cc.closeAll()
+			return nil, fmt.Errorf("client: connect to %s: %w", m.Name, err)
+		}
+		cc.clients[m.Name] = c
+		names = append(names, m.Name)
+	}
+	cc.order = names
+	cc.ring = cluster.NewRing(cluster.DefaultVirtualNodes, names...)
+	return cc, nil
+}
+
+func (cc *ClusterClient) closeAll() {
+	for _, c := range cc.clients {
+		_ = c.Close()
+	}
+}
+
+// Members returns the member names in connection order.
+func (cc *ClusterClient) Members() []string {
+	return append([]string(nil), cc.order...)
+}
+
+// Client returns the session to one member (nil if unknown) — escape hatch
+// for member-local operations and tests.
+func (cc *ClusterClient) Client(member string) *Client { return cc.clients[member] }
+
+// OwnerMisses reports how many operations fell through from a file's ring
+// owner to a successor because the owner's session was down.
+func (cc *ClusterClient) OwnerMisses() int64 { return cc.misses.Load() }
+
+// Owner reports the member the placement ring assigns the file to,
+// ignoring liveness — for diagnosis and tests.
+func (cc *ClusterClient) Owner(filePath string) (string, error) {
+	ref, err := cc.clients[cc.order[0]].refFor(filePath)
+	if err != nil {
+		return "", err
+	}
+	return cc.ring.Owner(ref.String()), nil
+}
+
+// healthy reports whether a member's session can still serve requests.
+func (c *Client) healthy() bool {
+	select {
+	case <-c.done:
+		return false
+	default:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.closed
+}
+
+// transientRouteErr reports an error worth routing around: the member was
+// unreachable, not the request invalid.
+func transientRouteErr(err error) bool {
+	return errors.Is(err, ErrDisconnected) || errors.Is(err, ErrRetriesExhausted)
+}
+
+// withOwner resolves a local path to its ring owner and runs op there,
+// falling through the successor list when a member is down or the operation
+// fails with a connectivity error. Each hop past a candidate counts an
+// owner miss — the same counter the servers keep, so a cluster-wide scrape
+// shows both halves of a failover.
+func (cc *ClusterClient) withOwner(filePath string, op func(member string, c *Client) error) error {
+	// Any member resolves names identically (same Universe/Tilde config).
+	probe := cc.clients[cc.order[0]]
+	ref, err := probe.refFor(filePath)
+	if err != nil {
+		return err
+	}
+	lastErr := error(ErrDisconnected)
+	for i, name := range cc.ring.Successors(ref.String()) {
+		c := cc.clients[name]
+		if c == nil {
+			continue
+		}
+		if i > 0 {
+			cc.misses.Add(1)
+			c.counters.AddOwnerMiss()
+		}
+		if !c.healthy() {
+			lastErr = fmt.Errorf("cluster member %s: %w", name, ErrDisconnected)
+			continue
+		}
+		err := op(name, c)
+		if err == nil || !transientRouteErr(err) {
+			return err
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+// CommitAndNotify registers the file's current content as a new version and
+// notifies its ring owner — the single-file editing postprocessor, routed.
+func (cc *ClusterClient) CommitAndNotify(filePath string) (NotifyResult, error) {
+	var res NotifyResult
+	err := cc.withOwner(filePath, func(_ string, c *Client) error {
+		var err error
+		res, err = c.CommitAndNotify(filePath)
+		return err
+	})
+	return res, err
+}
+
+// Submit routes a job to the script's ring owner. Each data file is first
+// committed and notified to its own owner, so by the time the executing
+// instance gathers inputs, every owner holds (or is already pulling) the
+// current version and non-owned inputs travel instance-to-instance as
+// deltas — never from the client twice. The shared store makes the
+// executing member's own notify pass a no-op for unchanged files.
+func (cc *ClusterClient) Submit(ctx context.Context, scriptPath string, dataPaths []string, opts SubmitOptions) (ClusterJob, error) {
+	for _, p := range dataPaths {
+		p := p
+		if err := cc.withOwner(p, func(_ string, c *Client) error {
+			_, err := c.CommitAndNotify(p)
+			return err
+		}); err != nil {
+			return ClusterJob{}, fmt.Errorf("client: notify %s owner: %w", p, err)
+		}
+	}
+	var out ClusterJob
+	err := cc.withOwner(scriptPath, func(member string, c *Client) error {
+		job, err := c.Submit(ctx, scriptPath, dataPaths, opts)
+		if err == nil {
+			out = ClusterJob{Member: member, Job: job}
+		}
+		return err
+	})
+	return out, err
+}
+
+// memberOf returns the session a ClusterJob lives on.
+func (cc *ClusterClient) memberOf(j ClusterJob) (*Client, error) {
+	c := cc.clients[j.Member]
+	if c == nil {
+		return nil, fmt.Errorf("client: unknown cluster member %q", j.Member)
+	}
+	return c, nil
+}
+
+// Wait blocks until the job's output has been delivered (see Client.Wait).
+func (cc *ClusterClient) Wait(ctx context.Context, j ClusterJob) (env.JobRecord, error) {
+	c, err := cc.memberOf(j)
+	if err != nil {
+		return env.JobRecord{}, err
+	}
+	return c.Wait(ctx, j.Job)
+}
+
+// Status queries the job's state at the member that runs it.
+func (cc *ClusterClient) Status(ctx context.Context, j ClusterJob) (wire.JobStatus, error) {
+	c, err := cc.memberOf(j)
+	if err != nil {
+		return wire.JobStatus{}, err
+	}
+	return c.Status(ctx, j.Job)
+}
+
+// Fetch returns the job's record with its output, retrieving it if needed.
+func (cc *ClusterClient) Fetch(ctx context.Context, j ClusterJob) (env.JobRecord, error) {
+	c, err := cc.memberOf(j)
+	if err != nil {
+		return env.JobRecord{}, err
+	}
+	return c.Fetch(ctx, j.Job)
+}
+
+// Metrics returns each member session's transfer counters, keyed by member
+// name. Cluster-wide totals are the field-wise sums: every counter counts
+// one side of one transfer exactly once.
+func (cc *ClusterClient) Metrics() map[string]metrics.Snapshot {
+	out := make(map[string]metrics.Snapshot, len(cc.clients))
+	for name, c := range cc.clients {
+		out[name] = c.Metrics()
+	}
+	return out
+}
+
+// Close ends every member session, reporting the first error.
+func (cc *ClusterClient) Close() error {
+	var first error
+	for _, name := range cc.order {
+		if err := cc.clients[name].Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -177,6 +177,26 @@ type ServerBenchResult struct {
 	SyncChanged    int     `json:"sync_changed,omitempty"`
 	SyncRoundTrips int     `json:"sync_round_trips,omitempty"`
 	SyncVirtualMs  float64 `json:"sync_virtual_ms,omitempty"`
+	// Cluster figure accounting (labels "cluster-1", "cluster-2", ...): an
+	// N-instance shadow-cache cluster driven over netsim, measured in
+	// virtual time (cycles over the busiest instance's virtual elapsed, so
+	// the cells compare instances, not goroutine scheduling). PeerForwards
+	// et al. are fleet-wide sums; each counter is send-side-only at the
+	// owner, so summing never double-counts. PeerFullTransfers is a pointer
+	// so its steady-state claim — zero full files between peers; the peer
+	// protocol has no full-file frame — is recorded explicitly rather than
+	// omitted.
+	Instances         int     `json:"instances,omitempty"`
+	VirtualElapsedSec float64 `json:"virtual_elapsed_sec,omitempty"`
+	PeerForwards      int64   `json:"peer_forwards,omitempty"`
+	PeerDeltaBytes    int64   `json:"peer_delta_bytes,omitempty"`
+	PeerManifestBytes int64   `json:"peer_manifest_bytes,omitempty"`
+	PeerChunkBytes    int64   `json:"peer_chunk_bytes,omitempty"`
+	PeerBytesSaved    int64   `json:"peer_bytes_saved,omitempty"`
+	PeerNegatives     int64   `json:"peer_negatives,omitempty"`
+	PeerFullTransfers *int64  `json:"peer_full_transfers,omitempty"`
+	OwnerMisses       int64   `json:"owner_misses,omitempty"`
+	RingRebalances    int64   `json:"ring_rebalances,omitempty"`
 	// Traced marks a run with full cycle tracing on; TraceCompleted and
 	// TraceSpans summarize what the shared tracer assembled. Comparing a
 	// traced run's cycles_per_sec against an untraced twin (labels

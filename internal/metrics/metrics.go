@@ -35,6 +35,16 @@ type Counters struct {
 	chunkSends    atomic.Int64
 	chunksAsked   atomic.Int64
 	rehydrations  atomic.Int64
+
+	peerForwards      atomic.Int64
+	peerDeltaBytes    atomic.Int64
+	peerManifestBytes atomic.Int64
+	peerChunkBytes    atomic.Int64
+	peerFullTransfers atomic.Int64
+	deltaBytesSaved   atomic.Int64
+	ownerMisses       atomic.Int64
+	ringRebalances    atomic.Int64
+	peerNegatives     atomic.Int64
 }
 
 // AddDelta records a delta transfer of n payload bytes.
@@ -106,6 +116,50 @@ func (c *Counters) AddChunksRequested(n int) { c.chunksAsked.Add(int64(n)) }
 // missing chunks (an eviction or cold cache repaired without a full copy).
 func (c *Counters) AddRehydration() { c.rehydrations.Add(1) }
 
+// AddPeerForward records one file version served to (or from) a cluster
+// peer as a delta or chunk manifest instead of a client pull; saved is the
+// full-content byte count the peer transfer avoided re-sending (0 when
+// unknown).
+func (c *Counters) AddPeerForward(saved int) {
+	c.peerForwards.Add(1)
+	c.deltaBytesSaved.Add(int64(saved))
+}
+
+// AddPeerDelta records a peer-forwarded delta of n payload bytes.
+func (c *Counters) AddPeerDelta(n int) {
+	c.peerDeltaBytes.Add(int64(n))
+	c.messages.Add(1)
+}
+
+// AddPeerManifest records a peer chunk manifest of n payload bytes.
+func (c *Counters) AddPeerManifest(n int) {
+	c.peerManifestBytes.Add(int64(n))
+	c.messages.Add(1)
+}
+
+// AddPeerChunkData records peer-fetched chunk payload of n bytes.
+func (c *Counters) AddPeerChunkData(n int) {
+	c.peerChunkBytes.Add(int64(n))
+	c.messages.Add(1)
+}
+
+// AddPeerFullTransfer records a full file body crossing a peer link. The
+// peer protocol has no full-file frame, so this counter exists to prove a
+// negative: it must stay zero, and the bench asserts it.
+func (c *Counters) AddPeerFullTransfer() { c.peerFullTransfers.Add(1) }
+
+// AddPeerNegative records a peer fetch the owner declined ("pull from the
+// client yourself").
+func (c *Counters) AddPeerNegative() { c.peerNegatives.Add(1) }
+
+// AddOwnerMiss records a request routed to a file's ring owner that had to
+// fall through to a successor because the owner was unreachable.
+func (c *Counters) AddOwnerMiss() { c.ownerMisses.Add(1) }
+
+// AddRingRebalance records one file fetch re-homed after a peer link died
+// (cluster membership effectively changed for that flight).
+func (c *Counters) AddRingRebalance() { c.ringRebalances.Add(1) }
+
 // Snapshot is an immutable view of the counters. The cache and flow-control
 // fields are filled in by holders that track them (the server); a bare
 // Counters leaves them zero.
@@ -148,6 +202,21 @@ type Snapshot struct {
 	ChunkSends      int64
 	ChunksRequested int64
 	Rehydrations    int64
+
+	// Cluster peering (protocol v5): versions forwarded between instances
+	// as deltas or manifests, the peer payload byte breakdown, full bodies
+	// crossing peer links (always zero by construction — recorded to prove
+	// it), full-content bytes those forwards avoided, owner fall-throughs
+	// on the client side, and flights re-homed after a peer died.
+	PeerForwards      int64
+	PeerDeltaBytes    int64
+	PeerManifestBytes int64
+	PeerChunkBytes    int64
+	PeerFullTransfers int64
+	PeerNegatives     int64
+	DeltaBytesSaved   int64
+	OwnerMisses       int64
+	RingRebalances    int64
 }
 
 // TotalBytes sums all payload bytes.
@@ -203,6 +272,16 @@ func (c *Counters) Snapshot() Snapshot {
 		ChunkSends:      c.chunkSends.Load(),
 		ChunksRequested: c.chunksAsked.Load(),
 		Rehydrations:    c.rehydrations.Load(),
+
+		PeerForwards:      c.peerForwards.Load(),
+		PeerDeltaBytes:    c.peerDeltaBytes.Load(),
+		PeerManifestBytes: c.peerManifestBytes.Load(),
+		PeerChunkBytes:    c.peerChunkBytes.Load(),
+		PeerFullTransfers: c.peerFullTransfers.Load(),
+		PeerNegatives:     c.peerNegatives.Load(),
+		DeltaBytesSaved:   c.deltaBytesSaved.Load(),
+		OwnerMisses:       c.ownerMisses.Load(),
+		RingRebalances:    c.ringRebalances.Load(),
 	}
 }
 
@@ -226,4 +305,13 @@ func (c *Counters) Reset() {
 	c.chunkSends.Store(0)
 	c.chunksAsked.Store(0)
 	c.rehydrations.Store(0)
+	c.peerForwards.Store(0)
+	c.peerDeltaBytes.Store(0)
+	c.peerManifestBytes.Store(0)
+	c.peerChunkBytes.Store(0)
+	c.peerFullTransfers.Store(0)
+	c.peerNegatives.Store(0)
+	c.deltaBytesSaved.Store(0)
+	c.ownerMisses.Store(0)
+	c.ringRebalances.Store(0)
 }

@@ -28,6 +28,10 @@ func (s *Server) addWaiter(id naming.ShadowID, j *job) {
 // named by its interned id (callers always hold it already; taking it avoids
 // a re-intern on this per-arrival path).
 func (s *Server) feedWaitingJobs(id naming.ShadowID, version uint64, content []byte) {
+	// Peer requests parked on this arrival are answered first (a no-op
+	// outside a cluster): the owner that pulled once now forwards the
+	// version to every instance that asked while the pull was in flight.
+	s.feedPeerWaiters(id, version)
 	s.waitMu.Lock()
 	list := s.waiters[id]
 	if len(list) == 0 {
@@ -271,18 +275,18 @@ func (s *Server) repullWaitingInputs(ss *session) {
 	}
 }
 
-// repullPending re-homes fetches that a dying session owned: any job still
-// waiting for one of the released files gets the pull re-issued through its
-// own (surviving) session, so pulls that coalesced behind the dead session
-// do not strand live jobs.
-func (s *Server) repullPending(dead *session, pending []cache.PendingFetch) {
+// repullPending re-homes fetches that a dying session (or peer link — both
+// own flights by id) owned: any job still waiting for one of the released
+// files gets the pull re-issued through its own (surviving) session, so
+// pulls that coalesced behind the dead session do not strand live jobs.
+func (s *Server) repullPending(deadID uint64, pending []cache.PendingFetch) {
 	for _, p := range pending {
 		id := s.dir.Intern(p.Ref)
 		if e, ok := s.cache.Peek(id); ok && e.Version >= p.Want {
 			s.feedWaitingJobs(id, e.Version, e.Content)
 			continue
 		}
-		tried := map[uint64]bool{dead.id: true}
+		tried := map[uint64]bool{deadID: true}
 		for {
 			target, owners := s.repullTarget(id, tried)
 			if target == nil {

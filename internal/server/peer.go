@@ -1,0 +1,701 @@
+package server
+
+// Cluster peering (protocol v5). A shadow-cache cluster is N servers, each
+// running the unchanged single-server core, joined by a consistent-hash ring
+// (internal/cluster) that names one instance as every (domain, file)'s
+// owner. Clients route each file's traffic to its owner, so the owner's
+// cache sees the client's deltas first; any other instance that needs the
+// file — a job submitted there references it — fetches it from the owner
+// over a peer session instead of pulling it from the client a second time.
+//
+// Peer sessions are ordinary protocol sessions: the dialing server sends a
+// normal HELLO (negotiating v5 on the HelloOK trailing-optional field),
+// then marks the session server-to-server with a PEER_HELLO. The owner
+// answers a PEER_NOTIFY with the smallest thing that works:
+//
+//   - a PeerDelta forwarding the very FILE_DELTA body the client sent it,
+//     verbatim, when its base is exactly what the requester holds;
+//   - a PeerChunk manifest otherwise, which the requester resolves against
+//     its own chunk store, fetching only the gaps with CHUNK_REQ/CHUNK_DATA
+//     on the same session;
+//   - a negative PeerDelta (Version 0) when it cannot serve — the requester
+//     falls back to pulling from the client. Full file bodies never cross a
+//     peer link; there is no peer full-file frame at all.
+//
+// The flight table extends single-winner coalescing across the cluster: a
+// peer fetch is a flight owned by the peer link's pseudo-session id, so
+// local demand coalesces onto one PEER_NOTIFY exactly as client pulls
+// coalesce onto one PULL, and a dying link re-homes its flights through
+// repullPending like a dying session does. An owner that is itself still
+// pulling the wanted version parks the peer's request (peerWaiters) and
+// answers on arrival — a file hot on many instances crosses the
+// client-server edge exactly once.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"shadowedit/internal/cache"
+	"shadowedit/internal/chunk"
+	"shadowedit/internal/cluster"
+	"shadowedit/internal/core"
+	"shadowedit/internal/diff"
+	"shadowedit/internal/naming"
+	"shadowedit/internal/wire"
+)
+
+// ClusterSpec configures a server's membership in a shadow-cache cluster.
+type ClusterSpec struct {
+	// Instance is this server's member name on the ring. It must appear in
+	// Members.
+	Instance string
+	// Members are all cluster member names, including Instance. Every
+	// instance must be configured with the same member list: the ring is
+	// deterministic, so identical lists mean identical placement.
+	Members []string
+	// Dial opens a transport to a remote member, by name.
+	Dial func(member string) (wire.Conn, error)
+	// VirtualNodes overrides the ring's virtual-node count (0 = default).
+	VirtualNodes int
+}
+
+// clusterState is the immutable cluster view installed by JoinCluster.
+type clusterState struct {
+	ring     *cluster.Ring
+	instance string
+	dial     func(member string) (wire.Conn, error)
+}
+
+// JoinCluster places the server on a cluster ring. Call it after New and
+// before Serve; a server that never joins behaves exactly as before (every
+// file is "owned" locally and no peer traffic exists).
+func (s *Server) JoinCluster(spec ClusterSpec) {
+	vn := spec.VirtualNodes
+	if vn <= 0 {
+		vn = cluster.DefaultVirtualNodes
+	}
+	s.peerMu.Lock()
+	s.peerLinks = make(map[string]*peerLink)
+	s.peerMu.Unlock()
+	s.peerWaitMu.Lock()
+	s.peerWaiters = make(map[naming.ShadowID][]peerWant)
+	s.peerWaitMu.Unlock()
+	s.deltaMu.Lock()
+	s.lastDeltas = make(map[naming.ShadowID]*storedDelta)
+	s.deltaMu.Unlock()
+	s.clusterCfg.Store(&clusterState{
+		ring:     cluster.NewRing(vn, spec.Members...),
+		instance: spec.Instance,
+		dial:     spec.Dial,
+	})
+	s.logf("joined cluster as %s (%d members, %d vnodes)", spec.Instance, len(spec.Members), vn)
+}
+
+// Clustered reports whether the server has joined a cluster.
+func (s *Server) Clustered() bool { return s.clusterCfg.Load() != nil }
+
+// Instance returns the server's cluster member name ("" when not clustered).
+func (s *Server) Instance() string {
+	if cs := s.clusterCfg.Load(); cs != nil {
+		return cs.instance
+	}
+	return ""
+}
+
+// ownsFile reports whether this instance is ref's placement owner. A server
+// outside any cluster owns everything — the pre-v5 behavior.
+func (s *Server) ownsFile(ref wire.FileRef) bool {
+	cs := s.clusterCfg.Load()
+	return cs == nil || cs.ring.Owner(ref.String()) == cs.instance
+}
+
+// storedDelta is the most recent client FILE_DELTA seen for a file,
+// retained (the decoded message owns its bytes, so aliasing is safe) to be
+// forwarded verbatim to peers whose base matches. One delta per file: the
+// footprint is one edit's worth of bytes per distinct hot file.
+type storedDelta struct {
+	base, version uint64
+	encoded       []byte
+	compressed    bool
+	fullLen       int // applied content length, for bytes-saved accounting
+}
+
+// notePeerDelta captures a just-applied client delta for peer forwarding.
+// A no-op outside a cluster.
+func (s *Server) notePeerDelta(id naming.ShadowID, m *wire.FileDelta, fullLen int) {
+	if s.clusterCfg.Load() == nil {
+		return
+	}
+	s.deltaMu.Lock()
+	s.lastDeltas[id] = &storedDelta{
+		base:       m.BaseVersion,
+		version:    m.Version,
+		encoded:    m.Encoded,
+		compressed: m.Compressed,
+		fullLen:    fullLen,
+	}
+	s.deltaMu.Unlock()
+}
+
+func (s *Server) peerDeltaFor(id naming.ShadowID) *storedDelta {
+	if s.clusterCfg.Load() == nil {
+		return nil
+	}
+	s.deltaMu.Lock()
+	d := s.lastDeltas[id]
+	s.deltaMu.Unlock()
+	return d
+}
+
+// peerWant is one parked peer request: a peer session awaiting a version
+// the owner is still fetching itself.
+type peerWant struct {
+	ss   *session
+	ref  wire.FileRef
+	have uint64
+	want uint64
+	tc   wire.TraceContext
+}
+
+func (s *Server) addPeerWaiter(id naming.ShadowID, w peerWant) {
+	s.peerWaitMu.Lock()
+	s.peerWaiters[id] = append(s.peerWaiters[id], w)
+	s.peerWaitMu.Unlock()
+}
+
+// feedPeerWaiters answers parked peer requests that an arrival satisfies.
+// Called from feedWaitingJobs, so it rides the same arrival path jobs do.
+func (s *Server) feedPeerWaiters(id naming.ShadowID, version uint64) {
+	if s.clusterCfg.Load() == nil {
+		return
+	}
+	s.peerWaitMu.Lock()
+	list := s.peerWaiters[id]
+	if len(list) == 0 {
+		s.peerWaitMu.Unlock()
+		return
+	}
+	var ready []peerWant
+	remaining := list[:0]
+	for _, w := range list {
+		if version >= w.want {
+			ready = append(ready, w)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	s.peerWaiters[id] = remaining
+	s.peerWaitMu.Unlock()
+	for _, w := range ready {
+		if !s.answerPeer(w.ss, id, w.ref, w.have, w.want, w.tc) {
+			// The arrival satisfied the wait but the content has already
+			// moved on or out of the cache; decline, the peer re-pulls.
+			s.counters.AddPeerNegative()
+			_ = w.ss.sendTraced(&wire.PeerDelta{File: w.ref}, w.tc)
+		}
+	}
+}
+
+// handlePeerHello marks the session server-to-server. The protocol version
+// was already negotiated by the ordinary HELLO exchange.
+func (ss *session) handlePeerHello(m *wire.PeerHello) error {
+	ss.srv.counters.AddControl(0)
+	ss.mu.Lock()
+	ss.peerInstance = m.Instance
+	ss.mu.Unlock()
+	ss.peer.Store(true)
+	ss.srv.logf("session %d: peer hello from instance %s", ss.id, m.Instance)
+	return nil
+}
+
+// handlePeerNotify serves a peer's version request (owner side).
+func (ss *session) handlePeerNotify(m *wire.PeerNotify, tc wire.TraceContext) error {
+	ss.srv.counters.AddControl(0)
+	if !ss.peer.Load() {
+		return fmt.Errorf("PEER_NOTIFY on a client session")
+	}
+	s := ss.srv
+	id := s.dir.Intern(m.File)
+	if s.answerPeer(ss, id, m.File, m.HaveVersion, m.WantVersion, tc) {
+		return nil
+	}
+	// Not servable right now. If a fetch covering the want is already in
+	// flight here, park the request on the arrival instead of declining —
+	// the cross-cluster half of flight coalescing.
+	if want, ok := s.flights.Pending(id); ok && want >= m.WantVersion {
+		s.addPeerWaiter(id, peerWant{ss: ss, ref: m.File, have: m.HaveVersion, want: m.WantVersion, tc: tc})
+		// The arrival may have beaten the registration; re-check so the
+		// request cannot park forever on a retired flight.
+		if v, ok := s.cache.Version(id); ok && v >= m.WantVersion {
+			s.feedPeerWaiters(id, v)
+		}
+		return nil
+	}
+	s.counters.AddPeerNegative()
+	return ss.sendTraced(&wire.PeerDelta{File: m.File}, tc)
+}
+
+// answerPeer tries to serve (have → want-or-newer) of id to a peer session
+// from local state, reporting whether an answer went out. Preference order:
+// forward the client's delta verbatim, else send a chunk manifest. Send
+// failures still count as answered — the dying session's teardown handles
+// the rest.
+func (s *Server) answerPeer(ss *session, id naming.ShadowID, ref wire.FileRef, have, want uint64, tc wire.TraceContext) bool {
+	if d := s.peerDeltaFor(id); d != nil && have != 0 && d.base == have && d.version >= want {
+		s.counters.AddPeerDelta(len(d.encoded))
+		s.counters.AddPeerForward(d.fullLen - len(d.encoded))
+		_ = ss.sendTraced(&wire.PeerDelta{
+			File:        ref,
+			BaseVersion: d.base,
+			Version:     d.version,
+			Encoded:     d.encoded,
+			Compressed:  d.compressed,
+		}, tc)
+		return true
+	}
+	ver, man, ok := s.cache.Manifest(id)
+	if !ok || ver < want {
+		return false
+	}
+	e, ok := s.cache.Peek(id)
+	if !ok || e.Version != ver {
+		return false // racing replacement; the peer falls back to the client
+	}
+	refs := make([]wire.ChunkRef, len(man))
+	for i, r := range man {
+		refs[i] = wire.ChunkRef{Hash: r.Hash, Len: r.Len}
+	}
+	pc := &wire.PeerChunk{File: ref, Version: ver, Sum: diff.Checksum(e.Content), Chunks: refs}
+	s.counters.AddPeerManifest(pc.PayloadLen())
+	s.counters.AddPeerForward(len(e.Content))
+	_ = ss.sendTraced(pc, tc)
+	return true
+}
+
+// handlePeerChunkReq serves a peer's gap-fill request from the chunk store
+// (owner side). Chunks no longer resident are omitted; the requester treats
+// an incomplete answer as a decline and falls back to the client.
+func (ss *session) handlePeerChunkReq(m *wire.ChunkReq, tc wire.TraceContext) error {
+	if !ss.peer.Load() {
+		return fmt.Errorf("CHUNK_REQ on a client session")
+	}
+	ss.srv.counters.AddControl(0)
+	store := ss.srv.cache.ChunkStore()
+	reply := &wire.ChunkData{File: m.File, Version: m.Version}
+	for _, h := range m.Hashes {
+		if data, ok := store.Get(chunk.Hash(h)); ok {
+			reply.Chunks = append(reply.Chunks, wire.ChunkBlob{Hash: h, Data: data})
+		}
+	}
+	ss.srv.counters.AddPeerChunkData(reply.PayloadLen())
+	return ss.sendTraced(reply, tc)
+}
+
+// fetchInput retrieves a job input: from the file's ring owner over a peer
+// link when another instance owns it, otherwise from the client (the
+// classic pull). Peer sessions always pull locally — peer requests must
+// never cascade instance-to-instance.
+func (ss *session) fetchInput(ref wire.FileRef, want uint64, tc wire.TraceContext) error {
+	if !ss.srv.ownsFile(ref) && !ss.peer.Load() {
+		return ss.srv.peerFetch(ss, ref, want, tc)
+	}
+	return ss.pullFile(ref, want, tc)
+}
+
+// peerFetch asks ref's owner instance for a version, coalescing local
+// demand through the flight table (the link's pseudo-session id owns the
+// flight). Any failure to reach the owner degrades to a client pull through
+// fallback — correctness never depends on the cluster.
+func (s *Server) peerFetch(fallback *session, ref wire.FileRef, want uint64, tc wire.TraceContext) error {
+	id := s.dir.Intern(ref)
+	var have uint64
+	if v, ok := s.cache.Version(id); ok {
+		have = v
+		if have >= want {
+			if e, ok := s.cache.Peek(id); ok {
+				s.feedWaitingJobs(id, e.Version, e.Content)
+			}
+			return nil
+		}
+	}
+	cs := s.clusterCfg.Load()
+	owner := cs.ring.Owner(ref.String())
+	link, err := s.peerLinkTo(owner)
+	if err != nil {
+		s.counters.AddOwnerMiss()
+		s.logf("peer fetch %s v%d: owner %s unreachable (%v); pulling from client", ref, want, owner, err)
+		return fallback.pullFile(ref, want, tc)
+	}
+	if !s.flights.Begin(id, ref, want, link.id, tc) {
+		// A fetch covering this version is in flight (peer or client);
+		// its arrival feeds every waiting job.
+		s.pullsCoalesced.Add(1)
+		return nil
+	}
+	s.pullsIssued.Add(1)
+	s.counters.AddControl(0)
+	if err := link.send(&wire.PeerNotify{File: ref, HaveVersion: have, WantVersion: want}, tc); err != nil {
+		s.flights.Release(id, link.id)
+		s.counters.AddOwnerMiss()
+		return fallback.pullFile(ref, want, tc)
+	}
+	return nil
+}
+
+// peerLink is one outbound peer session to a remote instance: lazily
+// dialed, shared by every local session that needs that owner. It has a
+// pseudo-session id so the flight table and repullPending treat it exactly
+// like a session.
+type peerLink struct {
+	srv    *Server
+	member string
+	id     uint64
+
+	mu       sync.Mutex
+	conn     wire.Conn
+	dead     bool
+	fetching map[naming.ShadowID]*peerAssembly
+}
+
+// errNotClustered reports peer operations on an unclustered server.
+var errNotClustered = errors.New("server: not in a cluster")
+
+// peerLinkTo returns the (dialed-on-demand) link to a member. The dial and
+// handshake run under peerMu: first-use only, and serializing racing dials
+// is simpler than discarding a loser's session.
+func (s *Server) peerLinkTo(member string) (*peerLink, error) {
+	cs := s.clusterCfg.Load()
+	if cs == nil {
+		return nil, errNotClustered
+	}
+	if member == cs.instance {
+		return nil, fmt.Errorf("server: %s asked to peer with itself", member)
+	}
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	if s.peerLinks == nil {
+		return nil, errNotClustered // shut down
+	}
+	if l := s.peerLinks[member]; l != nil {
+		return l, nil
+	}
+	conn, err := cs.dial(member)
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.Send(conn, &wire.Hello{
+		Protocol:   wire.ProtocolVersion,
+		User:       "shadowd",
+		Domain:     "cluster",
+		ClientHost: cs.instance,
+	}); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	reply, err := wire.Recv(conn)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	ok, isOK := reply.(*wire.HelloOK)
+	if !isOK {
+		_ = conn.Close()
+		return nil, fmt.Errorf("peer %s: handshake answered with %v", member, reply.Kind())
+	}
+	if ok.Protocol < wire.PeerProtocolVersion {
+		// The remote is an older build. Do not peer: the caller pulls from
+		// the client instead, and the old instance's byte streams stay
+		// exactly what a pre-v5 deployment produced.
+		_ = conn.Close()
+		return nil, fmt.Errorf("peer %s: speaks protocol %d, need %d", member, ok.Protocol, wire.PeerProtocolVersion)
+	}
+	if err := wire.Send(conn, &wire.PeerHello{Instance: cs.instance}); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	l := &peerLink{
+		srv:      s,
+		member:   member,
+		id:       s.nextSession.Add(1),
+		conn:     conn,
+		fetching: make(map[naming.ShadowID]*peerAssembly),
+	}
+	s.peerLinks[member] = l
+	go l.readLoop()
+	s.logf("peer %s: link up (session %d)", member, l.id)
+	return l, nil
+}
+
+// send writes one frame on the link, flushing if the transport buffers.
+// Concurrent senders (sessions issuing peer fetches, the read loop issuing
+// chunk requests) serialize on l.mu.
+func (l *peerLink) send(m wire.Message, tc wire.TraceContext) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.dead {
+		return errSessionGone
+	}
+	if err := wire.SendTraced(l.conn, m, tc); err != nil {
+		l.dead = true
+		_ = l.conn.Close() // wake the read loop; it runs the teardown
+		return err
+	}
+	if f, ok := l.conn.(wire.Flusher); ok {
+		if err := f.Flush(); err != nil {
+			l.dead = true
+			_ = l.conn.Close()
+			return err
+		}
+	}
+	return nil
+}
+
+// readLoop consumes the owner's answers. On transport failure it tears the
+// link down and re-homes every flight the link owned.
+func (l *peerLink) readLoop() {
+	for {
+		msg, tc, err := wire.RecvTracedReuse(l.conn)
+		if err != nil {
+			l.down(err)
+			return
+		}
+		switch m := msg.(type) {
+		case *wire.PeerDelta:
+			l.handleDelta(m, tc)
+		case *wire.PeerChunk:
+			l.handleChunk(m, tc)
+		case *wire.ChunkData:
+			l.handleChunkData(m, tc)
+		case *wire.ErrorMsg:
+			l.srv.logf("peer %s: remote error %d: %s", l.member, m.Code, m.Text)
+		default:
+			// HelloOK re-sends, held-output frames for the shadowd pseudo
+			// identity, and anything a future version adds: ignore.
+		}
+	}
+}
+
+// down removes the dead link and re-homes its in-flight fetches through
+// surviving client sessions — exactly what dropSession does for a dead
+// session. Runs only on the read-loop goroutine.
+func (l *peerLink) down(err error) {
+	s := l.srv
+	l.mu.Lock()
+	l.dead = true
+	fetching := l.fetching
+	l.fetching = nil
+	l.mu.Unlock()
+	_ = l.conn.Close()
+	s.peerMu.Lock()
+	if s.peerLinks[l.member] == l {
+		delete(s.peerLinks, l.member)
+	}
+	s.peerMu.Unlock()
+	for _, pa := range fetching {
+		s.releasePeerHeld(pa)
+	}
+	if pending := s.flights.ReleaseOwner(l.id); len(pending) > 0 {
+		for range pending {
+			s.counters.AddRingRebalance()
+		}
+		s.logf("peer %s: link down (%v); re-homing %d fetches", l.member, err, len(pending))
+		s.repullPending(l.id, pending)
+	} else {
+		s.logf("peer %s: link down (%v)", l.member, err)
+	}
+}
+
+// fallbackToClient re-homes one flight the peer could not serve onto a
+// client pull. Harmless if the flight has since completed or changed owner:
+// repullPending's pull coalesces onto whatever is in flight.
+func (s *Server) fallbackToClient(l *peerLink, id naming.ShadowID, ref wire.FileRef, tc wire.TraceContext, why string) {
+	want, ok := s.flights.Pending(id)
+	if !ok {
+		return
+	}
+	s.flights.Release(id, l.id)
+	s.logf("peer %s: cannot serve %s v%d (%s); pulling from client", l.member, ref, want, why)
+	s.repullPending(l.id, []cache.PendingFetch{{Ref: ref, Want: want, TC: tc}})
+}
+
+// handleDelta applies a peer-forwarded delta (requester side).
+func (l *peerLink) handleDelta(m *wire.PeerDelta, tc wire.TraceContext) {
+	s := l.srv
+	id := s.dir.Intern(m.File)
+	if m.Negative() {
+		s.fallbackToClient(l, id, m.File, tc, "declined")
+		return
+	}
+	entry, ok := s.cache.Get(id)
+	if ok && entry.Version >= m.Version {
+		s.flights.Done(id, m.Version)
+		s.feedWaitingJobs(id, entry.Version, entry.Content)
+		return
+	}
+	if !ok || entry.Version != m.BaseVersion {
+		s.fallbackToClient(l, id, m.File, tc, "base not cached")
+		return
+	}
+	content, err := core.ApplyDelta(entry.Content, &wire.FileDelta{
+		File:        m.File,
+		BaseVersion: m.BaseVersion,
+		Version:     m.Version,
+		Encoded:     m.Encoded,
+		Compressed:  m.Compressed,
+	})
+	if err != nil {
+		s.fallbackToClient(l, id, m.File, tc, "delta did not apply")
+		return
+	}
+	if err := s.cache.PutOwned(id, m.Version, content); err != nil && !errors.Is(err, cache.ErrTooLarge) {
+		s.fallbackToClient(l, id, m.File, tc, err.Error())
+		return
+	}
+	s.flights.Done(id, m.Version)
+	s.feedWaitingJobs(id, m.Version, content)
+}
+
+// peerAssembly is one in-progress manifest answer: chunk references already
+// pinned plus the gaps a single CHUNK_REQ round is filling.
+type peerAssembly struct {
+	ref      wire.FileRef
+	version  uint64
+	sum      uint32
+	manifest chunk.Manifest
+	held     []chunk.Hash
+	missing  map[chunk.Hash]int
+	tc       wire.TraceContext
+}
+
+// releasePeerHeld returns an abandoned assembly's chunk references.
+func (s *Server) releasePeerHeld(pa *peerAssembly) {
+	store := s.cache.ChunkStore()
+	for _, h := range pa.held {
+		store.Release(h)
+	}
+	pa.held = nil
+}
+
+// handleChunk resolves a peer manifest against the local chunk store
+// (requester side), requesting only the gaps. One round: chunks the owner
+// cannot supply mean a fallback, not a retry loop.
+func (l *peerLink) handleChunk(m *wire.PeerChunk, tc wire.TraceContext) {
+	s := l.srv
+	id := s.dir.Intern(m.File)
+	if v, ok := s.cache.Version(id); ok && v >= m.Version {
+		s.flights.Done(id, m.Version)
+		return
+	}
+	store := s.cache.ChunkStore()
+	pa := &peerAssembly{
+		ref:      m.File,
+		version:  m.Version,
+		sum:      m.Sum,
+		manifest: make(chunk.Manifest, len(m.Chunks)),
+		missing:  make(map[chunk.Hash]int),
+		tc:       tc,
+	}
+	for i, c := range m.Chunks {
+		h := chunk.Hash(c.Hash)
+		pa.manifest[i] = chunk.Ref{Hash: h, Len: c.Len}
+		if store.Ref(h) {
+			pa.held = append(pa.held, h)
+		} else {
+			pa.missing[h]++
+		}
+	}
+	if len(pa.missing) == 0 {
+		l.finishAssembly(id, pa)
+		return
+	}
+	req := &wire.ChunkReq{File: m.File, Version: m.Version}
+	for h := range pa.missing {
+		req.Hashes = append(req.Hashes, h)
+	}
+	l.mu.Lock()
+	if l.dead {
+		l.mu.Unlock()
+		s.releasePeerHeld(pa)
+		return // down() re-homes the flight
+	}
+	if old := l.fetching[id]; old != nil {
+		// Superseded by this newer manifest.
+		defer s.releasePeerHeld(old)
+	}
+	l.fetching[id] = pa
+	l.mu.Unlock()
+	s.counters.AddChunksRequested(len(req.Hashes))
+	_ = l.send(req, tc) // a failure tears the link down; down() re-homes
+}
+
+// handleChunkData completes (or abandons) a pending peer assembly
+// (requester side).
+func (l *peerLink) handleChunkData(m *wire.ChunkData, tc wire.TraceContext) {
+	s := l.srv
+	id := s.dir.Intern(m.File)
+	l.mu.Lock()
+	pa := l.fetching[id]
+	if pa == nil || pa.version != m.Version {
+		l.mu.Unlock()
+		return // answer to a superseded request
+	}
+	delete(l.fetching, id) // pa is goroutine-local from here
+	l.mu.Unlock()
+	store := s.cache.ChunkStore()
+	for _, blob := range m.Chunks {
+		h := chunk.Hash(blob.Hash)
+		if pa.missing[h] == 0 || chunk.HashOf(blob.Data) != h {
+			continue
+		}
+		store.Put(h, blob.Data)
+		pa.held = append(pa.held, h)
+		for k := pa.missing[h]; k > 1; k-- {
+			store.Ref(h)
+			pa.held = append(pa.held, h)
+		}
+		delete(pa.missing, h)
+	}
+	if len(pa.missing) > 0 {
+		// The owner no longer has some chunk (eviction race). Fall back.
+		s.releasePeerHeld(pa)
+		s.counters.AddFullFallback()
+		s.fallbackToClient(l, id, pa.ref, tc, "incomplete chunk answer")
+		return
+	}
+	l.finishAssembly(id, pa)
+}
+
+// finishAssembly verifies and installs a completed peer assembly, feeding
+// the jobs that were waiting. References transfer to the cache entry.
+func (l *peerLink) finishAssembly(id naming.ShadowID, pa *peerAssembly) {
+	s := l.srv
+	content, ok := s.cache.ChunkStore().Assemble(pa.manifest)
+	if !ok || diff.Checksum(content) != pa.sum {
+		s.releasePeerHeld(pa)
+		s.counters.AddFullFallback()
+		s.fallbackToClient(l, id, pa.ref, pa.tc, "checksum mismatch")
+		return
+	}
+	s.cache.PutManifest(id, pa.version, pa.manifest)
+	pa.held = nil // references now belong to the cache entry
+	s.flights.Done(id, pa.version)
+	s.feedWaitingJobs(id, pa.version, content)
+}
+
+// closePeerLinks tears down every outbound peer link (server shutdown).
+func (s *Server) closePeerLinks() {
+	s.peerMu.Lock()
+	links := make([]*peerLink, 0, len(s.peerLinks))
+	for _, l := range s.peerLinks {
+		links = append(links, l)
+	}
+	s.peerLinks = nil
+	s.peerMu.Unlock()
+	for _, l := range links {
+		l.mu.Lock()
+		l.dead = true
+		l.mu.Unlock()
+		_ = l.conn.Close()
+	}
+}

@@ -278,6 +278,19 @@ type Server struct {
 	flightMu    sync.Mutex
 	flightDumps []FlightDump
 
+	// Cluster peering (see peer.go; all nil/empty outside a cluster):
+	// the immutable cluster view installed by JoinCluster, the outbound
+	// peer links by member name, peer requests parked on in-flight
+	// fetches, and the last client delta per file kept for verbatim
+	// peer forwarding.
+	clusterCfg  atomic.Pointer[clusterState]
+	peerMu      sync.Mutex
+	peerLinks   map[string]*peerLink
+	peerWaitMu  sync.Mutex
+	peerWaiters map[naming.ShadowID][]peerWant
+	deltaMu     sync.Mutex
+	lastDeltas  map[naming.ShadowID]*storedDelta
+
 	wg sync.WaitGroup
 }
 
@@ -556,7 +569,7 @@ func (s *Server) dropSession(sess *session) {
 		return
 	}
 	if pending := s.flights.ReleaseOwner(sess.id); len(pending) > 0 {
-		s.repullPending(sess, pending)
+		s.repullPending(sess.id, pending)
 	}
 }
 
@@ -574,6 +587,7 @@ func (s *Server) Close() {
 	for _, sess := range s.sessions.snapshot() {
 		sess.shutdownWriter() // drain + flush pending writes, then close
 	}
+	s.closePeerLinks()
 	s.wg.Wait()
 	s.pool.Close()
 }

@@ -100,6 +100,10 @@ type session struct {
 	quitOnce   sync.Once
 	writerDone chan struct{}
 	dead       atomic.Bool
+	// peer marks a server-to-server session (a PEER_HELLO arrived);
+	// peerInstance (under mu) is the remote's cluster member name.
+	peer         atomic.Bool
+	peerInstance string
 	// vt is non-nil when conn is a virtual-time transport; outbound
 	// messages are then stamped at enqueue (see outbound.stamp).
 	vt wire.ScheduledSender
@@ -363,6 +367,12 @@ func (ss *session) dispatch(msg wire.Message, tc wire.TraceContext) error {
 		return ss.handleTreeDiff(m, tc)
 	case *wire.BatchNotify:
 		return ss.handleBatchNotify(m, tc)
+	case *wire.PeerHello:
+		return ss.handlePeerHello(m)
+	case *wire.PeerNotify:
+		return ss.handlePeerNotify(m, tc)
+	case *wire.ChunkReq:
+		return ss.handlePeerChunkReq(m, tc)
 	case *wire.Bye:
 		return errSessionGone
 	default:
@@ -470,10 +480,15 @@ func (ss *session) handleHello(m *wire.Hello) error {
 		ss.id, ss.user, ss.clientHost, ss.domain, len(held))
 	reply := &wire.HelloOK{Session: ss.id, ServerName: ss.srv.cfg.Name}
 	if m.Protocol >= wire.ChunkProtocolVersion {
-		// Confirm the negotiated version so the client knows chunk frames
-		// are understood here. Older clients get the byte-identical classic
-		// reply (the field is trailing-optional and encoded only when set).
+		// Confirm the negotiated version — capped at what this server
+		// implements, so a newer peer learns our real ceiling — so the
+		// client knows chunk frames are understood here. Older clients get
+		// the byte-identical classic reply (the field is trailing-optional
+		// and encoded only when set).
 		reply.Protocol = m.Protocol
+		if reply.Protocol > wire.ProtocolVersion {
+			reply.Protocol = wire.ProtocolVersion
+		}
 	}
 	if err := ss.send(reply); err != nil {
 		return err
@@ -506,6 +521,15 @@ func (ss *session) handleNotify(m *wire.Notify, tc wire.TraceContext) error {
 		sp.SetFile(m.File.String())
 	}
 	defer sp.Finish()
+	// In a cluster, a notify for a file another instance owns is deferred
+	// rather than pulled: the client routes the file's traffic to its
+	// owner, so the owner is (or will be) fetching it, and this instance
+	// peer-fetches on demand when a job here actually needs the file.
+	if !ss.srv.ownsFile(m.File) && !ss.peer.Load() {
+		sp.Annotate("deferred-nonowned")
+		ss.deferNotify(m, tc)
+		return nil
+	}
 	switch ss.srv.cfg.Pull {
 	case PullLazy:
 		sp.Annotate("deferred-lazy")
@@ -625,7 +649,7 @@ func (ss *session) drainDeferred() {
 	}
 	ss.mu.Unlock()
 	for _, n := range pending {
-		if ss.pullFile(n.m.File, n.m.Version, n.tc) != nil {
+		if ss.fetchInput(n.m.File, n.m.Version, n.tc) != nil {
 			return
 		}
 	}
@@ -661,6 +685,10 @@ func (ss *session) handleFileDelta(m *wire.FileDelta, tc wire.TraceContext) erro
 		return fmt.Errorf("apply delta for %s: %w", m.File, err)
 	}
 	sp.Annotate("delta-applied")
+	// Remember the client's delta for verbatim peer forwarding (a no-op
+	// outside a cluster): the decoded message owns its bytes, so the
+	// retained slice cannot be clobbered by the next frame.
+	ss.srv.notePeerDelta(id, m, len(content))
 	return ss.storeArrived(m.File, id, m.Version, content, tc)
 }
 
@@ -898,8 +926,10 @@ func (ss *session) gatherInputs(j *job, tc wire.TraceContext) error {
 		}
 		// Pull even when a wait was already registered: on a re-drive the
 		// session that issued the original pull may be gone, and a
-		// duplicate answer is absorbed by the overtaken check.
-		if err := ss.pullFile(in.File, in.Version, tc); err != nil {
+		// duplicate answer is absorbed by the overtaken check. In a
+		// cluster, inputs another instance owns come from that owner over
+		// a peer link instead of from the client (fetchInput).
+		if err := ss.fetchInput(in.File, in.Version, tc); err != nil {
 			return err
 		}
 	}

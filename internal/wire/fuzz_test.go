@@ -20,6 +20,20 @@ func FuzzUnmarshal(f *testing.F) {
 	f.Add([]byte{byte(KindBye) | traceFlag})          // flag with no header
 	f.Add([]byte{byte(KindBye) | traceFlag, 1, 2})    // minimal traced frame
 	f.Add([]byte{byte(KindNotify) | traceFlag, 0, 0}) // zero trace id
+	// Truncated peer frames (v5): every cut of each peer kind's sample, so
+	// the decoder's count guards and hash reads are probed from the corpus.
+	ref := FileRef{Domain: "nfs.purdue", FileID: "arthur:/u/comer/heat.f"}
+	for _, m := range []Message{
+		&PeerHello{Instance: "shadow-b"},
+		&PeerNotify{File: ref, HaveVersion: 6, WantVersion: 7},
+		&PeerDelta{File: ref, BaseVersion: 6, Version: 7, Encoded: []byte{1, 2, 3}, Compressed: true},
+		&PeerChunk{File: ref, Version: 7, Sum: 0xFEEDF00D, Chunks: []ChunkRef{{Hash: [16]byte{1, 2, 3}, Len: 1024}}},
+	} {
+		full := Marshal(m)
+		for cut := 0; cut < len(full); cut++ {
+			f.Add(full[:cut])
+		}
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, tc, err := UnmarshalTraced(data)
 		if err != nil {

@@ -1,0 +1,114 @@
+package wire
+
+import (
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// TestPreV5FramesByteIdentical pins the exact wire bytes of representative
+// v1–v4 frames. Adding the v5 peer kinds must not perturb a single byte of
+// existing traffic: v4-and-older peers negotiate their own version on the
+// HelloOK trailing-optional field and never see a peer frame, so their
+// streams have to stay byte-identical to what pre-v5 builds produced. The
+// hex strings were captured from the v4 encoder; a mismatch here means the
+// encoding of a pre-existing message changed.
+func TestPreV5FramesByteIdentical(t *testing.T) {
+	ref := FileRef{Domain: "nfs.purdue", FileID: "arthur:/u/comer/heat.f"}
+	golden := []struct {
+		msg Message
+		hex string
+	}{
+		{&Hello{Protocol: 4, User: "comer", Domain: "nfs.purdue", ClientHost: "arthur"},
+			"010405636f6d65720a6e66732e70757264756506617274687572"},
+		{&HelloOK{Session: 42, ServerName: "cyber205"},
+			"022a086379626572323035"},
+		{&HelloOK{Session: 43, ServerName: "cyber205", Protocol: 3},
+			"022b08637962657232303503"},
+		{&Notify{File: ref, Version: 7, Size: 102400, Sum: 0xDEADBEEF},
+			"030a6e66732e707572647565166172746875723a2f752f636f6d65722f686561742e660780a006efbeadde"},
+		{&Pull{File: ref, HaveVersion: 6, WantVersion: 7},
+			"040a6e66732e707572647565166172746875723a2f752f636f6d65722f686561742e660607"},
+		{&FileDelta{File: ref, BaseVersion: 6, Version: 7, Encoded: []byte{1, 2, 3}, Compressed: true},
+			"050a6e66732e707572647565166172746875723a2f752f636f6d65722f686561742e6606070301020301"},
+		{&FileAck{File: ref, Version: 7},
+			"070a6e66732e707572647565166172746875723a2f752f636f6d65722f686561742e6607"},
+		{&Submit{Script: []byte("wc heat.f\n"), Inputs: []JobInput{{File: ref, Version: 7, As: "heat.f"}}, WantOutputDelta: true},
+			"080a776320686561742e660a010a6e66732e707572647565166172746875723a2f752f636f6d65722f686561742e660706686561742e6600000001"},
+		{&FileManifest{File: ref, Version: 7, Sum: 0xFEEDF00D, Chunks: []ChunkRef{{Hash: [16]byte{1, 2, 3}, Len: 1024}}, Inline: []InlineChunk{{Index: 0, Data: []byte("x")}}},
+			"110a6e66732e707572647565166172746875723a2f752f636f6d65722f686561742e66070df0edfe0101020300000000000000000000000000800801000178"},
+		{&TreeHead{Root: "arthur:/u/comer/project", Hash: [16]byte{0xAA, 1, 2}, Count: 10000},
+			"14176172746875723a2f752f636f6d65722f70726f6a656374aa010200000000000000000000000000904e"},
+		{&BatchNotify{Notifies: []NotifyEntry{{File: ref, Version: 7, Size: 12, Sum: 9}}},
+			"16010a6e66732e707572647565166172746875723a2f752f636f6d65722f686561742e66070c0900000000"},
+		{&Bye{}, "10"},
+	}
+	for _, g := range golden {
+		want, err := hex.DecodeString(g.hex)
+		if err != nil {
+			t.Fatalf("bad golden hex for %s: %v", g.msg.Kind(), err)
+		}
+		got := Marshal(g.msg)
+		if hex.EncodeToString(got) != g.hex {
+			t.Errorf("%s frame changed:\n got %x\nwant %x", g.msg.Kind(), got, want)
+		}
+	}
+}
+
+// TestPeerKindsAboveV4Range pins that the new kinds sit strictly above every
+// v4 kind: a v4 decoder rejects them as unknown instead of misparsing them
+// as something else, and v4 senders can never emit them by accident.
+func TestPeerKindsAboveV4Range(t *testing.T) {
+	for _, k := range []Kind{KindPeerHello, KindPeerNotify, KindPeerDelta, KindPeerChunk} {
+		if k <= KindBatchNotify {
+			t.Errorf("kind %s = %d overlaps the v4 kind range", k, k)
+		}
+		if uint8(k)&traceFlag != 0 {
+			t.Errorf("kind %s = %d collides with the trace flag", k, k)
+		}
+	}
+	if PeerProtocolVersion != ProtocolVersion {
+		t.Errorf("PeerProtocolVersion = %d, ProtocolVersion = %d", PeerProtocolVersion, ProtocolVersion)
+	}
+}
+
+// TestPeerDeltaNegative pins the negative-answer convention.
+func TestPeerDeltaNegative(t *testing.T) {
+	if !(&PeerDelta{File: FileRef{Domain: "d", FileID: "f"}}).Negative() {
+		t.Error("version-0 PeerDelta should be negative")
+	}
+	if (&PeerDelta{Version: 3}).Negative() {
+		t.Error("version-3 PeerDelta should not be negative")
+	}
+}
+
+// TestPeerFramePropertyRoundTrip: any PeerNotify/PeerDelta/PeerChunk
+// survives the codec, traced or untraced.
+func TestPeerFramePropertyRoundTrip(t *testing.T) {
+	f := func(dom, file string, have, want uint64, enc []byte, comp bool, sum uint32, hash [16]byte, clen uint32, traceID uint64) bool {
+		ref := FileRef{Domain: dom, FileID: file}
+		tc := TraceContext{TraceID: traceID, SpanID: 1}
+		for _, m := range []Message{
+			&PeerHello{Instance: dom},
+			&PeerNotify{File: ref, HaveVersion: have, WantVersion: want},
+			&PeerDelta{File: ref, BaseVersion: have, Version: want, Encoded: enc, Compressed: comp},
+			&PeerChunk{File: ref, Version: want, Sum: sum, Chunks: []ChunkRef{{Hash: hash, Len: clen}}},
+		} {
+			buf := MarshalTraced(m, tc)
+			got, gotTC, err := UnmarshalTraced(buf)
+			if err != nil {
+				return false
+			}
+			if tc.Valid() && gotTC != tc {
+				return false
+			}
+			if hex.EncodeToString(Marshal(got)) != hex.EncodeToString(Marshal(m)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

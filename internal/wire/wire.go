@@ -23,12 +23,15 @@ import (
 // Version 2 added the optional trace-context header (see TraceContext);
 // version 3 added the chunk transfer frames (FileManifest, ChunkReq,
 // ChunkData) and the negotiated-version field on HelloOK; version 4 added
-// the directory reconciliation frames (TreeHead, TreeDiff, BatchNotify).
+// the directory reconciliation frames (TreeHead, TreeDiff, BatchNotify);
+// version 5 added the cluster peer frames (PeerHello, PeerNotify,
+// PeerDelta, PeerChunk).
 // The body encodings of all pre-existing messages are unchanged, so the
 // server accepts every version down to MinProtocolVersion; chunk frames
 // only flow on sessions where both ends advertised version 3, tree frames
-// only where both advertised version 4.
-const ProtocolVersion = 4
+// only where both advertised version 4, and peer frames only on
+// server-to-server sessions where both ends advertised version 5.
+const ProtocolVersion = 5
 
 // MinProtocolVersion is the oldest protocol revision the server still
 // speaks. Version-1 peers never set the trace flag, so their frames decode
@@ -78,6 +81,10 @@ const (
 	KindTreeHead
 	KindTreeDiff
 	KindBatchNotify
+	KindPeerHello
+	KindPeerNotify
+	KindPeerDelta
+	KindPeerChunk
 )
 
 var kindNames = map[Kind]string{
@@ -103,6 +110,10 @@ var kindNames = map[Kind]string{
 	KindTreeHead:      "TREE_HEAD",
 	KindTreeDiff:      "TREE_DIFF",
 	KindBatchNotify:   "BATCH_NOTIFY",
+	KindPeerHello:     "PEER_HELLO",
+	KindPeerNotify:    "PEER_NOTIFY",
+	KindPeerDelta:     "PEER_DELTA",
+	KindPeerChunk:     "PEER_CHUNK",
 }
 
 // String returns the protocol name of the kind.
@@ -364,6 +375,14 @@ func newMessage(k Kind) Message {
 		return &TreeDiff{}
 	case KindBatchNotify:
 		return &BatchNotify{}
+	case KindPeerHello:
+		return &PeerHello{}
+	case KindPeerNotify:
+		return &PeerNotify{}
+	case KindPeerDelta:
+		return &PeerDelta{}
+	case KindPeerChunk:
+		return &PeerChunk{}
 	default:
 		return nil
 	}

@@ -80,6 +80,14 @@ func sampleMessages() []Message {
 			Removed: []FileRef{{Domain: "nfs.purdue", FileID: "arthur:/u/comer/old.f"}},
 		},
 		&BatchNotify{Notifies: []NotifyEntry{}, Removed: []FileRef{}},
+		&PeerHello{Instance: "shadow-b"},
+		&PeerNotify{File: ref, HaveVersion: 6, WantVersion: 7},
+		&PeerDelta{File: ref, BaseVersion: 6, Version: 7, Encoded: []byte{1, 2, 3}, Compressed: true},
+		&PeerDelta{File: ref}, // negative: "can't serve, pull from the client"
+		&PeerChunk{File: ref, Version: 7, Sum: 0xFEEDF00D, Chunks: []ChunkRef{
+			{Hash: [16]byte{1, 2, 3}, Len: 1024},
+			{Hash: [16]byte{4, 5, 6}, Len: 512},
+		}},
 		&Bye{},
 	}
 }
@@ -262,7 +270,7 @@ func TestUnmarshalNeverPanics(t *testing.T) {
 func TestUnmarshalFuzzEveryKindPrefix(t *testing.T) {
 	// Force the body decoder of each kind to run against random bodies.
 	f := func(kindSeed uint8, body []byte) bool {
-		kind := byte(kindSeed%16 + 1)
+		kind := byte(kindSeed%uint8(KindPeerChunk) + 1)
 		_, _ = Unmarshal(append([]byte{kind}, body...))
 		return true
 	}

@@ -48,6 +48,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
@@ -86,6 +87,18 @@ type (
 	// NotifyResult reports a commit-and-notify's outcome: file reference,
 	// new version, bytes on the wire (0 = unchanged, nothing sent).
 	NotifyResult = client.NotifyResult
+	// ClusterClient is a workstation's routed connection to every member of
+	// a shadow-cache cluster (protocol v5); obtain one with
+	// Workstation.ConnectCluster.
+	ClusterClient = client.ClusterClient
+	// ClusterMember names one shadow-cache cluster instance and how to
+	// dial it (for standalone ConnectCluster deployments).
+	ClusterMember = client.ClusterMember
+	// ClusterJob identifies a job within a shadow-cache cluster.
+	ClusterJob = client.ClusterJob
+	// ServerClusterSpec parametrizes Server.JoinCluster for standalone
+	// deployments; the simulated Cluster's EnablePeering builds it itself.
+	ServerClusterSpec = server.ClusterSpec
 	// RetryPolicy shapes the client's reconnection and retry backoff.
 	RetryPolicy = client.RetryPolicy
 	// Server is a shadow server instance.
@@ -336,6 +349,55 @@ func (c *Cluster) AddServer(name string, scfg ServerConfig) (*Server, error) {
 	return srv, nil
 }
 
+// EnablePeering joins the named servers (all of them, when none are named)
+// into one shadow-cache cluster: server hosts are connected pairwise with
+// link (zero value: LAN, the realistic topology — instances of one site
+// share a machine room even when clients reach them over long-haul lines),
+// and each instance joins the placement ring under its host name. Call it
+// after the servers exist and before clients connect; clients reach the
+// cluster with Workstation.ConnectCluster naming the same members.
+func (c *Cluster) EnablePeering(link LinkSpec, names ...string) error {
+	if link.BitsPerSecond == 0 {
+		link = LAN
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if len(names) == 0 {
+		for name := range c.servers {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+	}
+	entries := make([]*serverEntry, len(names))
+	for i, name := range names {
+		e, ok := c.servers[name]
+		if !ok {
+			return fmt.Errorf("shadow: no server %q", name)
+		}
+		entries[i] = e
+	}
+	for i := range entries {
+		for j := i + 1; j < len(entries); j++ {
+			c.Network.Connect(entries[i].host, entries[j].host, link)
+		}
+	}
+	members := append([]string(nil), names...)
+	for i, name := range names {
+		host := entries[i].host
+		entries[i].srv.JoinCluster(server.ClusterSpec{
+			Instance: name,
+			Members:  members,
+			Dial: func(member string) (wire.Conn, error) {
+				return host.Dial(member, serverPort)
+			},
+		})
+	}
+	return nil
+}
+
 // Server returns the cluster's default shadow server.
 func (c *Cluster) Server() *Server { return c.ServerNamed(c.defaultName) }
 
@@ -356,6 +418,24 @@ func (c *Cluster) ServerHost() *netsim.Host {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.servers[c.defaultName].host
+}
+
+// StopServer shuts one server down — listener and all sessions — for
+// failover experiments. The simulated host and its links remain, so dials
+// to it fail fast with connection-refused rather than no-route.
+func (c *Cluster) StopServer(name string) error {
+	c.mu.Lock()
+	e, ok := c.servers[name]
+	if ok {
+		delete(c.servers, name)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("shadow: no server %q", name)
+	}
+	_ = e.listener.Close()
+	e.srv.Close()
+	return nil
 }
 
 // Close shuts the deployment down.
@@ -551,6 +631,46 @@ func (w *Workstation) ConnectSession(ctx context.Context, cfg SessionConfig) (*C
 		return nil, err
 	}
 	return cl, nil
+}
+
+// ConnectCluster opens a routed session to a shadow-cache cluster: one
+// connection per named member, all sharing a version store and job
+// database, with each file's traffic routed to its placement-ring owner.
+// The member names must match the server names passed to EnablePeering or
+// placement disagrees. Cluster sessions always auto-reconnect (backoff
+// advances the workstation's virtual clock); cfg.Retry and cfg.RPCTimeout
+// shape the policy, and a member that stays unreachable past its retry
+// budget is routed around via the ring's successor list.
+func (w *Workstation) ConnectCluster(ctx context.Context, cfg SessionConfig, members ...string) (*ClusterClient, error) {
+	if len(members) == 0 {
+		return nil, errors.New("shadow: ConnectCluster needs at least one member name")
+	}
+	ccfg := client.Config{
+		User:        cfg.Env.User,
+		Universe:    w.cluster.Universe,
+		Host:        w.name,
+		Env:         cfg.Env,
+		Tilde:       cfg.Tilde,
+		Store:       cfg.Store,
+		Jobs:        cfg.Jobs,
+		Clock:       w.host,
+		PerFileSync: cfg.PerFileSync,
+		Retry:       cfg.Retry,
+		RPCTimeout:  cfg.RPCTimeout,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			w.host.Process(d)
+			return ctx.Err()
+		},
+	}
+	cms := make([]client.ClusterMember, len(members))
+	for i, name := range members {
+		name := name
+		cms[i] = client.ClusterMember{
+			Name: name,
+			Dial: func() (wire.Conn, error) { return w.host.Dial(name, serverPort) },
+		}
+	}
+	return client.ConnectCluster(ctx, cms, ccfg)
 }
 
 // ConnectRJE opens a conventional (full-transfer) baseline session to the

@@ -2,7 +2,9 @@ package shadow
 
 import (
 	"context"
+	"fmt"
 	"net"
+	"sort"
 	"time"
 
 	"shadowedit/internal/client"
@@ -46,4 +48,62 @@ func DialTCP(ctx context.Context, addr string, cfg ClientConfig) (*Client, error
 		return nil, err
 	}
 	return cl, nil
+}
+
+// dialTCPConn dials one TCP peer and wraps it for the wire layer.
+func dialTCPConn(addr string) (wire.Conn, error) {
+	d := net.Dialer{Timeout: 30 * time.Second}
+	conn, err := d.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return wire.NewStreamConn(conn), nil
+}
+
+// sortedMemberNames returns the map's keys sorted, so every instance and
+// client derives the identical placement ring from the identical name set.
+func sortedMemberNames(members map[string]string) []string {
+	names := make([]string, 0, len(members))
+	for name := range members {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// JoinClusterTCP joins a server to a shadow-cache cluster over real TCP:
+// members maps every instance name (this one included) to its shadowd
+// address. All instances must be started with the same member set, and the
+// instance name must match what clients pass to DialClusterTCP, or
+// placement disagrees. Used by cmd/shadowd's -peers flag.
+func JoinClusterTCP(srv *Server, instance string, members map[string]string) {
+	srv.JoinCluster(ServerClusterSpec{
+		Instance: instance,
+		Members:  sortedMemberNames(members),
+		Dial: func(member string) (wire.Conn, error) {
+			addr, ok := members[member]
+			if !ok {
+				return nil, fmt.Errorf("shadow: unknown cluster member %q", member)
+			}
+			return dialTCPConn(addr)
+		},
+	})
+}
+
+// DialClusterTCP opens a routed session to every member of a shadow-cache
+// cluster over real TCP (name -> address, same names the servers were
+// started with). Each member session gets a redialing Dial, so cluster TCP
+// sessions are fault tolerant; a member that stays down is routed around
+// via the placement ring's successor list. Used by cmd/shadow's -cluster
+// flag.
+func DialClusterTCP(ctx context.Context, members map[string]string, cfg ClientConfig) (*ClusterClient, error) {
+	cms := make([]client.ClusterMember, 0, len(members))
+	for _, name := range sortedMemberNames(members) {
+		addr := members[name]
+		cms = append(cms, client.ClusterMember{
+			Name: name,
+			Dial: func() (wire.Conn, error) { return dialTCPConn(addr) },
+		})
+	}
+	return client.ConnectCluster(ctx, cms, cfg)
 }
