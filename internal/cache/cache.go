@@ -133,6 +133,13 @@ type Cache struct {
 	// unbounded Puts never take it.
 	evictMu sync.Mutex
 
+	// onEvict, when set, observes every entry that leaves the cache —
+	// policy eviction, explicit Evict, a rejected Put dropping its stale
+	// predecessor, Flush. Replacement by a newer version is not a removal
+	// and is not reported. Called after the shard lock is dropped, so the
+	// hook may take its own locks; set it once, before concurrent use.
+	onEvict func(naming.ShadowID)
+
 	logicalBytes atomic.Int64
 	seq          atomic.Int64
 
@@ -187,6 +194,21 @@ func New(capacity int64, policy Policy) *Cache {
 // directly: resolving a manifest's refs against resident chunks, pinning
 // chunks for in-flight assemblies, and storing arriving chunk data.
 func (c *Cache) ChunkStore() *chunk.Store { return c.store }
+
+// SetEvictHook installs fn to observe every entry removal (see onEvict).
+// Holders that key side state by entry — the server's retained peer deltas —
+// use it to drop that state in lockstep with the cache, so their footprint
+// can never outgrow the cache's own. Must be called before the cache sees
+// concurrent use; a nil fn removes the hook.
+func (c *Cache) SetEvictHook(fn func(naming.ShadowID)) { c.onEvict = fn }
+
+// evicted reports one removed entry to the hook. Callers must have dropped
+// every shard lock first.
+func (c *Cache) evicted(id naming.ShadowID) {
+	if c.onEvict != nil {
+		c.onEvict(id)
+	}
+}
 
 // Params returns the chunking parameters the cache splits content with.
 func (c *Cache) Params() chunk.Params { return c.params }
@@ -349,13 +371,18 @@ func (c *Cache) reject(id naming.ShadowID) {
 	sh := c.shardOf(id)
 	sh.mu.Lock()
 	var old chunk.Manifest
+	removed := false
 	if s, ok := sh.entries[id]; ok && s.pins == 0 {
 		c.logicalBytes.Add(-s.size)
 		old = s.manifest
 		delete(sh.entries, id)
+		removed = true
 	}
 	sh.mu.Unlock()
 	c.store.ReleaseManifest(old)
+	if removed {
+		c.evicted(id)
+	}
 }
 
 // storeLocked installs the manifest under sh.mu, which must be held, and
@@ -432,6 +459,7 @@ func (c *Cache) evictOne(keep naming.ShadowID) bool {
 			victimShard.mu.Unlock()
 			c.store.ReleaseManifest(m)
 			c.evictions.Add(1)
+			c.evicted(victim)
 			return true
 		}
 		victimShard.mu.Unlock()
@@ -480,6 +508,7 @@ func (c *Cache) Evict(id naming.ShadowID) bool {
 	sh.mu.Unlock()
 	c.store.ReleaseManifest(m)
 	c.evictions.Add(1)
+	c.evicted(id)
 	return true
 }
 
@@ -489,14 +518,19 @@ func (c *Cache) Flush() {
 		sh := &c.shards[i]
 		sh.mu.Lock()
 		manifests := make([]chunk.Manifest, 0, len(sh.entries))
+		ids := make([]naming.ShadowID, 0, len(sh.entries))
 		for id, s := range sh.entries {
 			c.logicalBytes.Add(-s.size)
 			manifests = append(manifests, s.manifest)
+			ids = append(ids, id)
 			delete(sh.entries, id)
 		}
 		sh.mu.Unlock()
 		for _, m := range manifests {
 			c.store.ReleaseManifest(m)
+		}
+		for _, id := range ids {
+			c.evicted(id)
 		}
 	}
 }

@@ -440,3 +440,54 @@ func TestOversizedPutDoesNotEvictOthers(t *testing.T) {
 		t.Fatalf("evictions = %d, want 0", c.Stats().Evictions)
 	}
 }
+
+func TestEvictHookObservesEveryRemoval(t *testing.T) {
+	c := New(250, LRU)
+	var gone []naming.ShadowID
+	c.SetEvictHook(func(id naming.ShadowID) { gone = append(gone, id) })
+
+	// Installs are not removals.
+	if err := c.Put(1, 1, content(100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(2, 1, content(100, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if len(gone) != 0 {
+		t.Fatalf("hook fired on install: %v", gone)
+	}
+	// Replacement by a newer version is not a removal either.
+	if err := c.Put(2, 2, content(100, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if len(gone) != 0 {
+		t.Fatalf("hook fired on replacement: %v", gone)
+	}
+
+	// Capacity pressure evicts the LRU entry (1).
+	if err := c.Put(3, 1, content(100, 4)); err != nil {
+		t.Fatal(err)
+	}
+	// An oversized replacement drops its stale predecessor (3).
+	if err := c.Put(3, 2, content(500, 5)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized Put = %v, want ErrTooLarge", err)
+	}
+	// Explicit removal (2), then Flush for whatever remains.
+	if !c.Evict(2) {
+		t.Fatal("Evict(2) reported the entry missing")
+	}
+	if err := c.Put(4, 1, content(50, 6)); err != nil {
+		t.Fatal(err)
+	}
+	c.Flush()
+
+	want := []naming.ShadowID{1, 3, 2, 4}
+	if len(gone) != len(want) {
+		t.Fatalf("hook saw %v, want %v", gone, want)
+	}
+	for i, id := range want {
+		if gone[i] != id {
+			t.Fatalf("hook saw %v, want %v", gone, want)
+		}
+	}
+}

@@ -8,8 +8,11 @@ package client
 // later both see the same versions — any session can serve any file.
 //
 // The client and the servers must agree on placement: both hash the file's
-// canonical reference string onto the same ring (same member list, same
-// virtual-node count), so no placement metadata ever crosses the wire.
+// canonical reference string onto the same ring — same member list, and a
+// virtual-node count fixed at cluster.DefaultVirtualNodes on every node (it
+// is deliberately not configurable: a count either side could get wrong
+// would silently place files on the wrong owner) — so no placement metadata
+// ever crosses the wire.
 
 import (
 	"context"

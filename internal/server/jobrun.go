@@ -304,7 +304,11 @@ func (s *Server) repullPending(deadID uint64, pending []cache.PendingFetch) {
 			if target == nil {
 				// No live session for any waiter: the fetch is
 				// dropped here, and the owner's next hello re-pulls
-				// it (repullWaitingInputs).
+				// it (repullWaitingInputs). Peers parked on the
+				// abandoned flight are declined now — their links are
+				// healthy, so no teardown would ever answer them —
+				// and fall back to pulling from their own clients.
+				s.declinePeerWaiters(id)
 				break
 			}
 			if target.pullFile(p.Ref, p.Want, p.TC) == nil {

@@ -52,12 +52,14 @@ type ClusterSpec struct {
 	Instance string
 	// Members are all cluster member names, including Instance. Every
 	// instance must be configured with the same member list: the ring is
-	// deterministic, so identical lists mean identical placement.
+	// deterministic, so identical lists mean identical placement. The
+	// virtual-node count is fixed at cluster.DefaultVirtualNodes on every
+	// node — servers and clients build their rings independently, and a
+	// configurable count either side could get wrong would silently break
+	// the "no placement metadata crosses the wire" contract.
 	Members []string
 	// Dial opens a transport to a remote member, by name.
 	Dial func(member string) (wire.Conn, error)
-	// VirtualNodes overrides the ring's virtual-node count (0 = default).
-	VirtualNodes int
 }
 
 // clusterState is the immutable cluster view installed by JoinCluster.
@@ -71,25 +73,17 @@ type clusterState struct {
 // before Serve; a server that never joins behaves exactly as before (every
 // file is "owned" locally and no peer traffic exists).
 func (s *Server) JoinCluster(spec ClusterSpec) {
-	vn := spec.VirtualNodes
-	if vn <= 0 {
-		vn = cluster.DefaultVirtualNodes
-	}
-	s.peerMu.Lock()
-	s.peerLinks = make(map[string]*peerLink)
-	s.peerMu.Unlock()
-	s.peerWaitMu.Lock()
-	s.peerWaiters = make(map[naming.ShadowID][]peerWant)
-	s.peerWaitMu.Unlock()
-	s.deltaMu.Lock()
-	s.lastDeltas = make(map[naming.ShadowID]*storedDelta)
-	s.deltaMu.Unlock()
+	// The peer maps themselves were already initialized by New, so peer
+	// frames are map-safe even on a server that never joins. Dropping each
+	// retained peer delta in lockstep with its cache entry bounds the
+	// forwarding state by the cache's own footprint.
+	s.cache.SetEvictHook(s.dropPeerDelta)
 	s.clusterCfg.Store(&clusterState{
-		ring:     cluster.NewRing(vn, spec.Members...),
+		ring:     cluster.NewRing(cluster.DefaultVirtualNodes, spec.Members...),
 		instance: spec.Instance,
 		dial:     spec.Dial,
 	})
-	s.logf("joined cluster as %s (%d members, %d vnodes)", spec.Instance, len(spec.Members), vn)
+	s.logf("joined cluster as %s (%d members, %d vnodes)", spec.Instance, len(spec.Members), cluster.DefaultVirtualNodes)
 }
 
 // Clustered reports whether the server has joined a cluster.
@@ -148,6 +142,15 @@ func (s *Server) peerDeltaFor(id naming.ShadowID) *storedDelta {
 	return d
 }
 
+// dropPeerDelta is the cache's eviction hook: a file leaving the cache takes
+// its retained forwarding delta with it, so lastDeltas can never outlive (or
+// outgrow) the cache contents it shadows.
+func (s *Server) dropPeerDelta(id naming.ShadowID) {
+	s.deltaMu.Lock()
+	delete(s.lastDeltas, id)
+	s.deltaMu.Unlock()
+}
+
 // peerWant is one parked peer request: a peer session awaiting a version
 // the owner is still fetching itself.
 type peerWant struct {
@@ -166,6 +169,10 @@ func (s *Server) addPeerWaiter(id naming.ShadowID, w peerWant) {
 
 // feedPeerWaiters answers parked peer requests that an arrival satisfies.
 // Called from feedWaitingJobs, so it rides the same arrival path jobs do.
+// Waiters the arrival falls short of stay parked only while a fetch still
+// covers their want; otherwise they are declined on the spot — a parked
+// request must always end in an answer, or the requester's jobs hang on a
+// healthy link forever.
 func (s *Server) feedPeerWaiters(id naming.ShadowID, version uint64) {
 	if s.clusterCfg.Load() == nil {
 		return
@@ -176,16 +183,24 @@ func (s *Server) feedPeerWaiters(id naming.ShadowID, version uint64) {
 		s.peerWaitMu.Unlock()
 		return
 	}
-	var ready []peerWant
+	pending, inFlight := s.flights.Pending(id)
+	var ready, stranded []peerWant
 	remaining := list[:0]
 	for _, w := range list {
-		if version >= w.want {
+		switch {
+		case version >= w.want:
 			ready = append(ready, w)
-		} else {
+		case inFlight && pending >= w.want:
 			remaining = append(remaining, w)
+		default:
+			stranded = append(stranded, w)
 		}
 	}
-	s.peerWaiters[id] = remaining
+	if len(remaining) == 0 {
+		delete(s.peerWaiters, id)
+	} else {
+		s.peerWaiters[id] = remaining
+	}
 	s.peerWaitMu.Unlock()
 	for _, w := range ready {
 		if !s.answerPeer(w.ss, id, w.ref, w.have, w.want, w.tc) {
@@ -195,12 +210,68 @@ func (s *Server) feedPeerWaiters(id naming.ShadowID, version uint64) {
 			_ = w.ss.sendTraced(&wire.PeerDelta{File: w.ref}, w.tc)
 		}
 	}
+	for _, w := range stranded {
+		// The arrival fell short and no in-flight fetch covers the want any
+		// more: decline now rather than park on a fetch that will never run.
+		s.counters.AddPeerNegative()
+		_ = w.ss.sendTraced(&wire.PeerDelta{File: w.ref}, w.tc)
+	}
+}
+
+// declinePeerWaiters negatively answers every parked peer request for id.
+// Called when the fetch the waiters were parked on is abandoned with no
+// replacement (repullPending finding no live session): the requesters' own
+// links are healthy, so nothing else would ever answer them, and a negative
+// delta sends each one back to its client pull — the documented degradation.
+func (s *Server) declinePeerWaiters(id naming.ShadowID) {
+	if s.clusterCfg.Load() == nil {
+		return
+	}
+	s.peerWaitMu.Lock()
+	list := s.peerWaiters[id]
+	delete(s.peerWaiters, id)
+	s.peerWaitMu.Unlock()
+	for _, w := range list {
+		s.counters.AddPeerNegative()
+		_ = w.ss.sendTraced(&wire.PeerDelta{File: w.ref}, w.tc)
+	}
+}
+
+// purgePeerWaiters drops a dead peer session's parked requests (its own
+// server re-homes the fetches the link owned; an answer to a dead session
+// would go nowhere).
+func (s *Server) purgePeerWaiters(dead *session) {
+	if s.clusterCfg.Load() == nil || !dead.peer.Load() {
+		return
+	}
+	s.peerWaitMu.Lock()
+	for id, list := range s.peerWaiters {
+		kept := list[:0]
+		for _, w := range list {
+			if w.ss != dead {
+				kept = append(kept, w)
+			}
+		}
+		if len(kept) == 0 {
+			delete(s.peerWaiters, id)
+		} else {
+			s.peerWaiters[id] = kept
+		}
+	}
+	s.peerWaitMu.Unlock()
 }
 
 // handlePeerHello marks the session server-to-server. The protocol version
 // was already negotiated by the ordinary HELLO exchange.
 func (ss *session) handlePeerHello(m *wire.PeerHello) error {
 	ss.srv.counters.AddControl(0)
+	if !ss.srv.Clustered() {
+		// A server that never joined a cluster has no ring and no peers.
+		// Refuse the handshake (any v5 client can emit the frame) so the
+		// session never gains peer standing and the peer-only handlers
+		// below keep rejecting its frames.
+		return fmt.Errorf("PEER_HELLO on an unclustered server")
+	}
 	ss.mu.Lock()
 	ss.peerInstance = m.Instance
 	ss.mu.Unlock()
@@ -243,8 +314,15 @@ func (ss *session) handlePeerNotify(m *wire.PeerNotify, tc wire.TraceContext) er
 // the rest.
 func (s *Server) answerPeer(ss *session, id naming.ShadowID, ref wire.FileRef, have, want uint64, tc wire.TraceContext) bool {
 	if d := s.peerDeltaFor(id); d != nil && have != 0 && d.base == have && d.version >= want {
+		// A delta can encode larger than the content it produces (tiny
+		// files, incompressible edits); the saved-bytes counter is a fleet
+		// observable and must never go backwards, so clamp at zero.
+		saved := d.fullLen - len(d.encoded)
+		if saved < 0 {
+			saved = 0
+		}
 		s.counters.AddPeerDelta(len(d.encoded))
-		s.counters.AddPeerForward(d.fullLen - len(d.encoded))
+		s.counters.AddPeerForward(saved)
 		_ = ss.sendTraced(&wire.PeerDelta{
 			File:        ref,
 			BaseVersion: d.base,

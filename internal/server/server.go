@@ -278,11 +278,13 @@ type Server struct {
 	flightMu    sync.Mutex
 	flightDumps []FlightDump
 
-	// Cluster peering (see peer.go; all nil/empty outside a cluster):
-	// the immutable cluster view installed by JoinCluster, the outbound
+	// Cluster peering (see peer.go; all empty outside a cluster): the
+	// immutable cluster view installed by JoinCluster, the outbound
 	// peer links by member name, peer requests parked on in-flight
 	// fetches, and the last client delta per file kept for verbatim
-	// peer forwarding.
+	// peer forwarding. The maps are initialized by New — never nil while
+	// the server runs — so a stray peer frame on an unclustered server
+	// can be refused without ever touching a nil map.
 	clusterCfg  atomic.Pointer[clusterState]
 	peerMu      sync.Mutex
 	peerLinks   map[string]*peerLink
@@ -406,6 +408,9 @@ func New(cfg Config) *Server {
 		routed:      make(map[string][]uint64),
 		undelivered: make(map[identity][]uint64),
 		submitTags:  make(map[identity]map[uint64]uint64),
+		peerLinks:   make(map[string]*peerLink),
+		peerWaiters: make(map[naming.ShadowID][]peerWant),
+		lastDeltas:  make(map[naming.ShadowID]*storedDelta),
 	}
 	s.sessions.init()
 	s.jobs.init()
@@ -568,6 +573,7 @@ func (s *Server) dropSession(sess *session) {
 	if !s.sessions.remove(sess.id) {
 		return
 	}
+	s.purgePeerWaiters(sess)
 	if pending := s.flights.ReleaseOwner(sess.id); len(pending) > 0 {
 		s.repullPending(sess.id, pending)
 	}
