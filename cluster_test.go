@@ -8,10 +8,18 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"shadowedit/internal/admin"
 	"shadowedit/internal/jobs"
+	"shadowedit/internal/netsim"
+	"shadowedit/internal/obs"
+	"shadowedit/internal/trace"
+	"shadowedit/internal/wire"
 	"shadowedit/internal/workload"
 )
 
@@ -318,5 +326,192 @@ func TestClusterChaosDeterministicOutput(t *testing.T) {
 	second := runClusterChaosWorkload(t, 97)
 	if !bytes.Equal(first, second) {
 		t.Fatal("same seed produced different client-visible output")
+	}
+}
+
+// newTracedPeeredCluster builds a peered cluster whose members and client
+// all share ONE tracer, each observer stamping spans with its own host's
+// virtual clock — the setup under which a cross-member cycle must produce
+// a single causal trace.
+func newTracedPeeredCluster(t *testing.T, n int) (*Cluster, *Workstation, *ClusterClient, []string, *trace.Tracer) {
+	t.Helper()
+	tracer := trace.New(trace.Config{})
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("super%d", i+1)
+	}
+	// Server observers need their host clocks before the hosts exist (the
+	// cluster creates them), so the closures late-bind through the map;
+	// until a host is registered the clock reads a deterministic zero.
+	var mu sync.Mutex
+	hosts := make(map[string]*netsim.Host, n)
+	obsFor := func(name string) *obs.Observer {
+		o := obs.New(nil, func() time.Duration {
+			mu.Lock()
+			h := hosts[name]
+			mu.Unlock()
+			if h == nil {
+				return 0
+			}
+			return h.Now()
+		})
+		o.SetTracer(tracer)
+		return o
+	}
+	scfg := DefaultServerConfig(names[0])
+	scfg.Obs = obsFor(names[0])
+	cluster, err := NewCluster(ClusterConfig{ServerName: names[0], Link: LAN, Server: &scfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	for _, name := range names[1:] {
+		cfg := DefaultServerConfig(name)
+		cfg.Obs = obsFor(name)
+		if _, err := cluster.AddServer(name, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	for _, name := range names {
+		hosts[name] = cluster.Network.Host(name)
+	}
+	mu.Unlock()
+	if err := cluster.EnablePeering(LAN); err != nil {
+		t.Fatal(err)
+	}
+	ws := cluster.NewWorkstation("ws1")
+	cobs := obs.New(nil, ws.Host().Now)
+	cobs.SetTracer(tracer)
+	cc, err := ws.ConnectCluster(context.Background(), SessionConfig{Env: DefaultEnvironment("u"), Obs: cobs}, names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cc.Close() })
+	return cluster, ws, cc, names, tracer
+}
+
+func TestClusterPeerTracePropagation(t *testing.T) {
+	// The observability tentpole's acceptance: a cycle whose job input is
+	// owned by a different member than its script must yield ONE trace
+	// spanning both instances — the executing member's peer.fetch span and,
+	// stitched under it by the trace context carried on the peer frames,
+	// the owner's peer.serve span.
+	cluster, ws, cc, names, tracer := newTracedPeeredCluster(t, 3)
+
+	script := "/u/u/run.job"
+	write(t, ws, script, []byte("checksum d.dat\n"))
+	dataPath := nonOwnedDataPath(t, cc, script)
+
+	gen := workload.NewGenerator(41)
+	content := gen.File(32 * 1024)
+	for cyc := 0; cyc < 3; cyc++ {
+		if cyc > 0 {
+			content = gen.Modify(content, 2, workload.EditMixed)
+		}
+		write(t, ws, dataPath, content)
+		job, err := cc.Submit(context.Background(), script, []string{dataPath}, SubmitOptions{})
+		if err != nil {
+			t.Fatalf("cycle %d submit: %v", cyc, err)
+		}
+		if _, err := cc.Wait(context.Background(), job); err != nil {
+			t.Fatalf("cycle %d wait: %v", cyc, err)
+		}
+	}
+	// The /peerz surfaces populated along the way: the executing member's
+	// links counted inbound answers, the owner's peer sessions counted what
+	// they served, and tracing being on gave each link a flight recorder.
+	var answersIn, served int64
+	var flights int
+	for _, name := range names {
+		srv := cluster.ServerNamed(name)
+		for _, l := range srv.PeerLinks() {
+			answersIn += l.DeltasIn + l.ChunksIn
+			if l.Protocol != int(wire.PeerProtocolVersion) {
+				t.Fatalf("link %s -> %s negotiated protocol v%d, want v%d", name, l.Member, l.Protocol, wire.PeerProtocolVersion)
+			}
+		}
+		for _, ps := range srv.PeerSessions() {
+			served += ps.Served
+		}
+		flights += len(srv.PeerFlights())
+	}
+	if answersIn == 0 {
+		t.Fatal("no peer link recorded an inbound delta or chunk answer")
+	}
+	if served == 0 {
+		t.Fatal("no peer session recorded a served fetch")
+	}
+	if flights == 0 {
+		t.Fatal("tracing is on but no peer link has a flight recorder")
+	}
+
+	// Quiesce: peer spans finish on server goroutines; closing the client
+	// and the cluster drains every session and peer link first.
+	_ = cc.Close()
+	cluster.Close()
+
+	recs := tracer.Slowest(0)
+	var hit *trace.Record
+	for i := range recs {
+		var fetch, serve *trace.Span
+		for j := range recs[i].Spans {
+			sp := &recs[i].Spans[j]
+			switch sp.Name {
+			case "peer.fetch":
+				fetch = sp
+			case "peer.serve":
+				serve = sp
+			}
+		}
+		if fetch == nil || serve == nil {
+			continue
+		}
+		if serve.Parent != fetch.ID {
+			t.Fatalf("trace %d: peer.serve parent = %d, want the peer.fetch span id %d",
+				recs[i].ID, serve.Parent, fetch.ID)
+		}
+		if fetch.Parent == 0 {
+			t.Fatalf("trace %d: peer.fetch is a root — it must hang off the requester's cycle", recs[i].ID)
+		}
+		// The fetch's parent must itself be a span of this trace (the job's
+		// input-gathering path on the executing member), proving one causal
+		// chain rather than two parallel traces.
+		parentInTrace := false
+		for j := range recs[i].Spans {
+			if recs[i].Spans[j].ID == fetch.Parent {
+				parentInTrace = true
+			}
+		}
+		if !parentInTrace {
+			t.Fatalf("trace %d: peer.fetch parent %d is not a span of the trace", recs[i].ID, fetch.Parent)
+		}
+		hit = &recs[i]
+		break
+	}
+	if hit == nil {
+		t.Fatalf("no trace contains both peer.fetch and peer.serve (%d traces completed)", len(recs))
+	}
+
+	// The stitched trace must survive the Chrome export: both span names
+	// present in /tracez?id=N&format=chrome served by any member.
+	h := admin.NewHandler(admin.Options{Server: cluster.ServerNamed(names[0])})
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", fmt.Sprintf("/tracez?id=%d&format=chrome", hit.ID), nil))
+	if rr.Code != 200 {
+		t.Fatalf("chrome export = %d:\n%s", rr.Code, rr.Body.String())
+	}
+	if body := rr.Body.String(); !strings.Contains(body, "peer.fetch") || !strings.Contains(body, "peer.serve") {
+		t.Fatalf("chrome export missing peer spans:\n%s", body)
+	}
+
+	// Ring heat rode along with the cycles: every member counted demand,
+	// and the executing member's links report peer fetch traffic.
+	var touches int64
+	for _, name := range names {
+		touches += cluster.ServerNamed(name).Metrics().FileTouches
+	}
+	if touches == 0 {
+		t.Fatal("no file touches recorded across the cluster")
 	}
 }

@@ -9,6 +9,7 @@
 //	        [-admin :9090] [-log-level info] [-log-format text|json]
 //	        [-trace off|all|N]
 //	        [-peers super1=h1:4217,super2=h2:4217] [-instance super1]
+//	        [-peer-admin super1=h1:9090,super2=h2:9090]
 //
 // With -peers set, the instance joins a shadow-cache cluster (protocol v5):
 // files are owned by consistent-hash placement, non-owned inputs are
@@ -17,8 +18,10 @@
 // cluster chapter.
 //
 // With -admin set, an operator HTTP endpoint serves /healthz, /metrics
-// (Prometheus text), /cachez, /sessionz, /tracez, /flightz and /debug/pprof
-// on that address; see OBSERVABILITY.md for the full reference. -log-level
+// (Prometheus text), /cachez, /sessionz, /tracez, /flightz, /peerz,
+// /clusterz and /debug/pprof on that address; see OBSERVABILITY.md for the
+// full reference. -peer-admin names the other members' admin endpoints so
+// /clusterz can scrape and merge the whole fleet from any one member. -log-level
 // enables structured event logging (slog) at the given level. -trace turns
 // on cycle tracing and the per-session flight recorders: "all" traces every
 // cycle, an integer N samples one cycle in N, "off" (the default) disables
@@ -70,6 +73,7 @@ func run(args []string) error {
 		traceMode   = fs.String("trace", "off", "cycle tracing: off, all, or an integer N to trace one cycle in N")
 		peers       = fs.String("peers", "", "shadow-cache cluster members as name=addr pairs, comma-separated and including this instance; empty runs standalone")
 		instance    = fs.String("instance", "", "this instance's cluster member name (default: -name)")
+		peerAdmin   = fs.String("peer-admin", "", "peer admin endpoints as name=host:port pairs for /clusterz fleet aggregation; exclude this instance")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -162,13 +166,31 @@ func run(args []string) error {
 			return fmt.Errorf("shadowd: -admin: %w", err)
 		}
 		defer adminLn.Close()
+		var peerURLs map[string]string
+		if *peerAdmin != "" {
+			endpoints, err := parsePeers(*peerAdmin)
+			if err != nil {
+				return fmt.Errorf("shadowd: -peer-admin: %w", err)
+			}
+			self := *instance
+			if self == "" {
+				self = *name
+			}
+			peerURLs = make(map[string]string, len(endpoints))
+			for member, addr := range endpoints {
+				if member == self {
+					continue // this member answers for itself locally
+				}
+				peerURLs[member] = "http://" + addr
+			}
+		}
 		go func() {
-			h := admin.NewHandler(admin.Options{Server: srv})
+			h := admin.NewHandler(admin.Options{Server: srv, Peers: peerURLs})
 			if serr := http.Serve(adminLn, h); serr != nil && !errors.Is(serr, net.ErrClosed) {
 				log.Printf("shadowd: admin endpoint: %v", serr)
 			}
 		}()
-		log.Printf("shadowd: admin endpoint on %s (/healthz /metrics /cachez /sessionz /tracez /flightz /debug/pprof)", adminLn.Addr())
+		log.Printf("shadowd: admin endpoint on %s (/healthz /metrics /cachez /sessionz /tracez /flightz /peerz /clusterz /debug/pprof)", adminLn.Addr())
 	}
 
 	// Graceful shutdown: on SIGINT/SIGTERM stop accepting, drain the live

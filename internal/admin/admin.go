@@ -13,15 +13,25 @@
 //   - /tracez    — completed cycle traces, slowest first; ?id=N shows one
 //     trace's span timeline, and ?id=N&format=chrome exports it as Chrome
 //     trace-event JSON (loadable in Perfetto)
-//   - /flightz   — per-session flight recorders (recent protocol events)
-//     and the dumps retained from sessions that disconnected, faulted, or
-//     had a job fail
+//   - /flightz   — per-session and per-peer-link flight recorders (recent
+//     protocol events) and the dumps retained from sessions that
+//     disconnected, faulted, or had a job fail — and from peer links that
+//     died or fell back to the client path
+//   - /peerz     — this member's peer mesh: outbound links with protocol
+//     version and per-link fetch counters, inbound peer sessions with
+//     served/declined counts
+//   - /clusterz  — the whole fleet: every member's health, merged counters
+//     and latency histograms, the hash ring with per-owner heat and the
+//     imbalance gauge; /clusterz.json is the JSON alias, and
+//     ?scope=self answers with just this member's snapshot (the unit the
+//     aggregation is built from)
 //   - /debug/pprof/* — the standard Go profiler endpoints
 //
-// /cachez, /sessionz, /tracez and /flightz render text for eyes and, with
-// ?format=json, JSON for tooling. The package depends only on the server's
-// read-side accessors (Sessions, JobCounts, Metrics, Cache, Directory,
-// Observer, SessionFlights, FlightDumps), so serving it never perturbs the
+// /cachez, /sessionz, /tracez, /flightz, /peerz and /clusterz render text
+// for eyes and, with ?format=json, JSON for tooling. The package depends
+// only on the server's read-side accessors (Sessions, JobCounts, Metrics,
+// Cache, Directory, Observer, SessionFlights, FlightDumps, PeerLinks,
+// PeerSessions, PeerFlights, HeatStats), so serving it never perturbs the
 // message hot paths beyond the cost of those snapshots.
 package admin
 
@@ -52,6 +62,15 @@ type Options struct {
 	Obs *obs.Observer
 	// Start anchors the uptime gauge; the zero value means "now".
 	Start time.Time
+	// Peers maps cluster member names to the base URL of their admin
+	// endpoints (e.g. "http://super2:9090"). /clusterz scrapes each
+	// peer's /clusterz.json?scope=self and merges; empty means this
+	// member renders a single-member fleet.
+	Peers map[string]string
+	// FetchMember overrides how /clusterz fetches a peer snapshot —
+	// tests inject httptest round-trips here. Nil uses a plain HTTP GET
+	// with a short timeout.
+	FetchMember func(member, url string) ([]byte, error)
 }
 
 // handler holds the resolved options.
@@ -59,11 +78,13 @@ type handler struct {
 	srv   *server.Server
 	obs   *obs.Observer
 	start time.Time
+	peers map[string]string
+	fetch func(member, url string) ([]byte, error)
 }
 
 // NewHandler builds the admin endpoint's HTTP handler.
 func NewHandler(opts Options) http.Handler {
-	h := &handler{srv: opts.Server, obs: opts.Obs, start: opts.Start}
+	h := &handler{srv: opts.Server, obs: opts.Obs, start: opts.Start, peers: opts.Peers, fetch: opts.FetchMember}
 	if h.obs == nil && h.srv != nil {
 		h.obs = h.srv.Observer()
 	}
@@ -77,6 +98,9 @@ func NewHandler(opts Options) http.Handler {
 	mux.HandleFunc("/sessionz", h.sessionz)
 	mux.HandleFunc("/tracez", h.tracez)
 	mux.HandleFunc("/flightz", h.flightz)
+	mux.HandleFunc("/peerz", h.peerz)
+	mux.HandleFunc("/clusterz", h.clusterz)
+	mux.HandleFunc("/clusterz.json", h.clusterz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -173,6 +197,7 @@ func counterSpecs(s metrics.Snapshot) []counterSpec {
 		{"shadow_delta_bytes_saved_total", "Full-content bytes peer forwarding avoided re-pulling from clients.", s.DeltaBytesSaved},
 		{"shadow_owner_misses_total", "Requests that fell through a file's ring owner to a successor.", s.OwnerMisses},
 		{"shadow_ring_rebalances_total", "Flights re-homed after a peer link died.", s.RingRebalances},
+		{"shadow_file_touches_total", "File demand events feeding the ring heat view (notifies and job inputs).", s.FileTouches},
 	}
 }
 
@@ -213,6 +238,7 @@ func (h *handler) writeGauges(b *strings.Builder) {
 		gauge("shadow_goroutines_per_session", "Process goroutines divided by attached sessions.", float64(goroutines)/float64(n))
 		gauge("shadow_heap_inuse_bytes_per_session", "Resident heap bytes divided by attached sessions.", float64(mem.HeapInuse)/float64(n))
 	}
+	gauge("shadow_ring_imbalance", "Hottest ring owner's file demand over the mean (1 = even, 0 = idle).", h.srv.HeatStats(0).Imbalance)
 	counts := h.srv.JobCounts()
 	fmt.Fprintf(b, "# HELP shadow_jobs Submitted jobs by lifecycle state.\n# TYPE shadow_jobs gauge\n")
 	for _, state := range []wire.JobState{wire.JobQueued, wire.JobFetching, wire.JobRunning, wire.JobDone, wire.JobFailed} {
@@ -548,13 +574,15 @@ func renderTrace(rec trace.Record) string {
 // flightzView is /flightz's JSON shape.
 type flightzView struct {
 	Live  []server.SessionFlight `json:"live"`
+	Peers []server.SessionFlight `json:"peer_links"`
 	Dumps []server.FlightDump    `json:"dumps"`
 }
 
-// flightz shows each live session's flight recorder and the dumps retained
-// from sessions that disconnected, faulted, or had a job fail.
+// flightz shows each live session's flight recorder, each live peer link's
+// recorder, and the dumps retained from sessions or links that died,
+// faulted, or fell back to the client path.
 func (h *handler) flightz(w http.ResponseWriter, r *http.Request) {
-	v := flightzView{Live: h.srv.SessionFlights(), Dumps: h.srv.FlightDumps()}
+	v := flightzView{Live: h.srv.SessionFlights(), Peers: h.srv.PeerFlights(), Dumps: h.srv.FlightDumps()}
 	if wantJSON(r) {
 		writeJSON(w, v)
 		return
@@ -563,9 +591,13 @@ func (h *handler) flightz(w http.ResponseWriter, r *http.Request) {
 	if h.tracer() == nil {
 		b.WriteString("flight recorders off (tracing disabled)\n")
 	}
-	fmt.Fprintf(&b, "%d live session recorders, %d retained dumps\n", len(v.Live), len(v.Dumps))
+	fmt.Fprintf(&b, "%d live session recorders, %d retained dumps, %d peer-link recorders\n", len(v.Live), len(v.Dumps), len(v.Peers))
 	for _, f := range v.Live {
 		fmt.Fprintf(&b, "\nsession %d (%s@%s): %d events\n", f.Session, f.User, f.Host, len(f.Events))
+		writeFlightEvents(&b, f.Events)
+	}
+	for _, f := range v.Peers {
+		fmt.Fprintf(&b, "\npeer link %d -> %s: %d events\n", f.Session, f.Host, len(f.Events))
 		writeFlightEvents(&b, f.Events)
 	}
 	for _, d := range v.Dumps {

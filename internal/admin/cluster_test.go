@@ -1,0 +1,242 @@
+package admin
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"shadowedit/internal/metrics"
+	"shadowedit/internal/obs"
+	"shadowedit/internal/server"
+)
+
+// cannedMember fabricates the scope=self answer a remote member would give.
+func cannedMember(t *testing.T, name string, messages int64, cycles []time.Duration, loads map[string]int64, hot []server.HeatEntry) []byte {
+	t.Helper()
+	var h obs.Histogram
+	for _, d := range cycles {
+		h.Observe(d)
+	}
+	var touches int64
+	for _, n := range loads {
+		touches += n
+	}
+	m := memberStatus{
+		Member:     name,
+		Server:     name,
+		Healthy:    true,
+		Sessions:   1,
+		Counters:   metrics.Snapshot{Messages: messages},
+		Histograms: map[string]obs.HistogramSnapshot{"cycle": h.Snapshot()},
+		Heat:       server.HeatStats{Touches: touches, Top: hot, OwnerLoads: loads},
+	}
+	body, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func newClusterHandler(t *testing.T, fetch func(member, url string) ([]byte, error)) (*server.Server, http.Handler) {
+	t.Helper()
+	cfg := server.Defaults("super1")
+	cfg.Obs = obs.New(nil, nil)
+	srv := server.New(cfg)
+	t.Cleanup(func() { srv.Close() })
+	h := NewHandler(Options{
+		Server:      srv,
+		Peers:       map[string]string{"super2": "http://h2:9090", "super3": "http://h3:9090"},
+		FetchMember: fetch,
+	})
+	return srv, h
+}
+
+func TestClusterzScopeSelf(t *testing.T) {
+	srv, h := newClusterHandler(t, func(member, url string) ([]byte, error) {
+		t.Fatalf("scope=self must not scrape peers (asked for %s)", member)
+		return nil, nil
+	})
+	srv.Observer().Cycle.Observe(40 * time.Millisecond)
+	code, body, _ := get(t, h, "/clusterz.json?scope=self")
+	if code != http.StatusOK {
+		t.Fatalf("scope=self status = %d", code)
+	}
+	var m memberStatus
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		t.Fatalf("scope=self not a memberStatus: %v\n%s", err, body)
+	}
+	if m.Member != "super1" || !m.Healthy {
+		t.Fatalf("self snapshot = %+v", m)
+	}
+	if m.Histograms["cycle"].Count != 1 {
+		t.Fatalf("self cycle histogram count = %d, want 1", m.Histograms["cycle"].Count)
+	}
+}
+
+func TestClusterzFleetMerge(t *testing.T) {
+	peers := map[string][]byte{}
+	_, h := newClusterHandler(t, func(member, url string) ([]byte, error) {
+		if !strings.Contains(url, "/clusterz.json?scope=self") {
+			return nil, errors.New("wrong scrape path: " + url)
+		}
+		body, ok := peers[member]
+		if !ok {
+			return nil, errors.New("unknown member " + member)
+		}
+		return body, nil
+	})
+	peers["super2"] = cannedMember(t, "super2", 10,
+		[]time.Duration{20 * time.Millisecond, 30 * time.Millisecond},
+		map[string]int64{"super2": 6},
+		[]server.HeatEntry{{File: "d/ws:/u/a.f", Owner: "super2", Touches: 6}})
+	peers["super3"] = cannedMember(t, "super3", 7,
+		[]time.Duration{25 * time.Millisecond},
+		map[string]int64{"super2": 2, "super3": 4},
+		[]server.HeatEntry{
+			{File: "d/ws:/u/a.f", Owner: "super2", Touches: 2},
+			{File: "d/ws:/u/b.f", Owner: "super3", Touches: 4},
+		})
+
+	code, body, _ := get(t, h, "/clusterz.json")
+	if code != http.StatusOK {
+		t.Fatalf("/clusterz.json status = %d", code)
+	}
+	var v clusterView
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatalf("/clusterz.json: %v\n%s", err, body)
+	}
+	if v.Self != "super1" || v.Fleet.Members != 3 || v.Fleet.Healthy != 3 {
+		t.Fatalf("fleet header = self=%q members=%d healthy=%d", v.Self, v.Fleet.Members, v.Fleet.Healthy)
+	}
+	// The merged counter must be exactly the member sum (self contributes 0).
+	var sum int64
+	for _, m := range v.Members {
+		sum += m.Counters.Messages
+	}
+	if v.Fleet.Counters.Messages != 17 || sum != 17 {
+		t.Fatalf("merged messages = %d (member sum %d), want 17", v.Fleet.Counters.Messages, sum)
+	}
+	// Histograms merge bucket-by-bucket: three cycle samples total.
+	if v.Fleet.Latencies["cycle"].Count != 3 {
+		t.Fatalf("merged cycle count = %d, want 3", v.Fleet.Latencies["cycle"].Count)
+	}
+	if p50 := v.Fleet.Latencies["cycle"].P50NS; p50 < int64(15*time.Millisecond) || p50 > int64(40*time.Millisecond) {
+		t.Fatalf("merged cycle p50 = %v", time.Duration(p50))
+	}
+	// Heat: owner loads sum across members, hot files dedup by name.
+	if v.Ring.OwnerLoads["super2"] != 8 || v.Ring.OwnerLoads["super3"] != 4 {
+		t.Fatalf("owner loads = %v", v.Ring.OwnerLoads)
+	}
+	if v.Fleet.Imbalance <= 1 {
+		t.Fatalf("imbalance = %v, want > 1 for uneven loads", v.Fleet.Imbalance)
+	}
+	if len(v.Fleet.HotFiles) != 2 || v.Fleet.HotFiles[0].File != "d/ws:/u/a.f" || v.Fleet.HotFiles[0].Touches != 8 {
+		t.Fatalf("hot files = %+v", v.Fleet.HotFiles)
+	}
+
+	// The text rendering names every member and the imbalance gauge.
+	code, text, _ := get(t, h, "/clusterz")
+	if code != http.StatusOK {
+		t.Fatalf("/clusterz status = %d", code)
+	}
+	for _, want := range []string{"super1", "super2", "super3", "imbalance", "fleet latency", "hot files"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/clusterz text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestClusterzUnreachableMember(t *testing.T) {
+	good := cannedMember(t, "super2", 5, nil, nil, nil)
+	_, h := newClusterHandler(t, func(member, url string) ([]byte, error) {
+		if member == "super2" {
+			return good, nil
+		}
+		return nil, errors.New("connection refused")
+	})
+	code, body, _ := get(t, h, "/clusterz.json")
+	if code != http.StatusOK {
+		t.Fatalf("/clusterz.json status = %d", code)
+	}
+	var v clusterView
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Fleet.Members != 3 || v.Fleet.Healthy != 2 {
+		t.Fatalf("members=%d healthy=%d, want 3/2", v.Fleet.Members, v.Fleet.Healthy)
+	}
+	var down *memberStatus
+	for i := range v.Members {
+		if v.Members[i].Member == "super3" {
+			down = &v.Members[i]
+		}
+	}
+	if down == nil || down.Healthy || !strings.Contains(down.Error, "connection refused") {
+		t.Fatalf("down row = %+v", down)
+	}
+	// The dead member is a row, not a poisoned sum.
+	if v.Fleet.Counters.Messages != 5 {
+		t.Fatalf("merged messages = %d, want 5", v.Fleet.Counters.Messages)
+	}
+	code, text, _ := get(t, h, "/clusterz")
+	if code != http.StatusOK || !strings.Contains(text, "DOWN") {
+		t.Fatalf("/clusterz text must mark the dead member:\n%s", text)
+	}
+}
+
+func TestClusterzUnclustered(t *testing.T) {
+	_, h := newTestHandler(t)
+	code, body, _ := get(t, h, "/clusterz.json")
+	if code != http.StatusOK {
+		t.Fatalf("/clusterz.json status = %d", code)
+	}
+	var v clusterView
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Fleet.Members != 1 || v.Fleet.Healthy != 1 {
+		t.Fatalf("standalone fleet = %d/%d, want 1/1", v.Fleet.Members, v.Fleet.Healthy)
+	}
+	if len(v.Ring.Members) != 1 || v.Ring.Members[0] != "admin-test" {
+		t.Fatalf("standalone ring = %v", v.Ring.Members)
+	}
+}
+
+func TestPeerz(t *testing.T) {
+	_, h := newTestHandler(t)
+	code, body, _ := get(t, h, "/peerz")
+	if code != http.StatusOK || !strings.Contains(body, "not clustered") {
+		t.Fatalf("/peerz = %d:\n%s", code, body)
+	}
+	code, body, _ = get(t, h, "/peerz?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("/peerz json = %d", code)
+	}
+	var v peerzView
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatalf("/peerz json: %v", err)
+	}
+	if len(v.Links) != 0 || len(v.Sessions) != 0 {
+		t.Fatalf("unclustered peerz = %+v", v)
+	}
+}
+
+func TestMetricsHeatSeries(t *testing.T) {
+	_, h := newTestHandler(t)
+	code, body, _ := get(t, h, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, want := range []string{
+		"shadow_file_touches_total 0",
+		"# TYPE shadow_ring_imbalance gauge",
+		"shadow_ring_imbalance 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+)
+
+// Heat counts demand per file so an operator can see which files are hot
+// and whether the placement ring spreads that demand evenly. Keys are the
+// server's numeric shadow ids (not file-ref strings) so a touch on the
+// notify/gather hot paths is a map increment with no allocation; callers
+// resolve ids to names and ring owners only at render time.
+//
+// All methods are safe for concurrent use and nil-safe: a nil *Heat
+// absorbs every call, so servers without telemetry pay one pointer test.
+type Heat struct {
+	mu      sync.Mutex
+	touches map[uint64]int64
+	total   int64
+}
+
+// NewHeat builds an empty tracker.
+func NewHeat() *Heat {
+	return &Heat{touches: make(map[uint64]int64)}
+}
+
+// Touch records one unit of demand against a file id.
+func (h *Heat) Touch(id uint64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.touches[id]++
+	h.total++
+	h.mu.Unlock()
+}
+
+// Total returns the number of touches recorded across all files.
+func (h *Heat) Total() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// FileHeat is one file's accumulated demand.
+type FileHeat struct {
+	ID      uint64
+	Touches int64
+}
+
+// Top returns the n hottest files, most-touched first; ties break on id so
+// the order is deterministic. n <= 0 returns every file.
+func (h *Heat) Top(n int) []FileHeat {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	out := make([]FileHeat, 0, len(h.touches))
+	for id, c := range h.touches {
+		out = append(out, FileHeat{ID: id, Touches: c})
+	}
+	h.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Touches != out[b].Touches {
+			return out[a].Touches > out[b].Touches
+		}
+		return out[a].ID < out[b].ID
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Imbalance summarizes how unevenly demand lands across owners: max
+// per-owner load over mean per-owner load. 1.0 is perfectly even; 0 means
+// no demand (or no owners). loads maps each owner to its accumulated
+// touch count — the caller resolves files to owners, since only it holds
+// the ring.
+func Imbalance(loads map[string]int64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	var total, max int64
+	for _, l := range loads {
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(loads))
+	return float64(max) / mean
+}

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHeatTopAndTotal(t *testing.T) {
+	h := NewHeat()
+	for i := 0; i < 5; i++ {
+		h.Touch(1)
+	}
+	for i := 0; i < 3; i++ {
+		h.Touch(2)
+	}
+	h.Touch(3)
+	if got := h.Total(); got != 9 {
+		t.Fatalf("Total = %d, want 9", got)
+	}
+	top := h.Top(2)
+	if len(top) != 2 || top[0].ID != 1 || top[0].Touches != 5 || top[1].ID != 2 {
+		t.Fatalf("Top(2) = %+v", top)
+	}
+	if all := h.Top(0); len(all) != 3 {
+		t.Fatalf("Top(0) = %+v, want 3 entries", all)
+	}
+}
+
+func TestHeatTieBreakDeterministic(t *testing.T) {
+	h := NewHeat()
+	for _, id := range []uint64{9, 4, 7} {
+		h.Touch(id)
+	}
+	top := h.Top(0)
+	if top[0].ID != 4 || top[1].ID != 7 || top[2].ID != 9 {
+		t.Fatalf("tied entries not ordered by id: %+v", top)
+	}
+}
+
+func TestHeatNilSafe(t *testing.T) {
+	var h *Heat
+	h.Touch(1)
+	if h.Total() != 0 || h.Top(5) != nil {
+		t.Fatal("nil Heat should absorb calls")
+	}
+}
+
+func TestHeatConcurrent(t *testing.T) {
+	h := NewHeat()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Touch(uint64(g % 4))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Total(); got != 8000 {
+		t.Fatalf("Total = %d, want 8000", got)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	if got := Imbalance(nil); got != 0 {
+		t.Fatalf("Imbalance(nil) = %v", got)
+	}
+	if got := Imbalance(map[string]int64{"a": 0, "b": 0}); got != 0 {
+		t.Fatalf("Imbalance(all zero) = %v", got)
+	}
+	if got := Imbalance(map[string]int64{"a": 10, "b": 10}); got != 1 {
+		t.Fatalf("even Imbalance = %v, want 1", got)
+	}
+	if got := Imbalance(map[string]int64{"a": 30, "b": 0, "c": 0}); got != 3 {
+		t.Fatalf("skewed Imbalance = %v, want 3", got)
+	}
+}

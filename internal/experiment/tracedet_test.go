@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"shadowedit/internal/admin"
+	"shadowedit/internal/cluster"
 	"shadowedit/internal/diff"
 	"shadowedit/internal/netsim"
 	"shadowedit/internal/obs"
@@ -186,6 +187,211 @@ func TestTracezDeterministicUnderNetsimChaos(t *testing.T) {
 		t.Fatalf("slowest timeline missing expected spans:\n%s", detail1)
 	}
 
+	if list1 != list2 {
+		t.Fatalf("/tracez list differs between same-seed runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", list1, list2)
+	}
+	if detail1 != detail2 {
+		t.Fatalf("/tracez timeline differs between same-seed runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", detail1, detail2)
+	}
+}
+
+// runTracedPeerChaosSession extends the lockstep chaos driver across the
+// peer hop: two peered members, with every job input owned by the member
+// the job does NOT run on, so each cycle forces an instance-to-instance
+// fetch whose peer frames carry the trace context. The client drives both
+// members at the wire level in lockstep (the concurrency argument above
+// applies unchanged); the peer link's own traffic is protocol-forced —
+// notify, then the owner's answer, then any chunk fill — because the
+// client is blocked waiting for the job output while it happens. Faults
+// are seeded latency spikes on both the client link and the peer link.
+func runTracedPeerChaosSession(t *testing.T, cycles int) (list, detail string) {
+	t.Helper()
+	nw := netsim.New()
+	hostA := nw.Host("superA") // the executing member
+	hostB := nw.Host("superB") // the data file's ring owner
+	ws := nw.Host("ws0")
+	linkA := nw.Connect(ws, hostA, netsim.LAN)
+	nw.Connect(ws, hostB, netsim.LAN)
+	peerLink := nw.Connect(hostA, hostB, netsim.LAN)
+	linkA.SetFaults(netsim.FaultSpec{Seed: 7, SpikeRate: 0.25, SpikeExtra: 4 * time.Millisecond})
+	peerLink.SetFaults(netsim.FaultSpec{Seed: 11, SpikeRate: 0.25, SpikeExtra: 2 * time.Millisecond})
+
+	tracer := trace.New(trace.Config{})
+	members := []string{"superA", "superB"}
+	mkServer := func(name string, host *netsim.Host) *server.Server {
+		scfg := server.Defaults(name)
+		scfg.Clock = host
+		scfg.Obs = obs.New(nil, host.Now)
+		scfg.Obs.SetTracer(tracer)
+		srv := server.New(scfg)
+		srv.JoinCluster(server.ClusterSpec{
+			Instance: name,
+			Members:  members,
+			Dial:     func(member string) (wire.Conn, error) { return host.Dial(member, 1) },
+		})
+		lst, err := host.Listen(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = lst.Close() })
+		go func() { _ = srv.Serve(server.AcceptorFunc(func() (wire.Conn, error) { return lst.Accept() })) }()
+		return srv
+	}
+	srvA := mkServer("superA", hostA)
+	srvB := mkServer("superB", hostB)
+	defer srvA.Close()
+	defer srvB.Close()
+
+	// A file whose ring owner is superB — submitted to superA, every cycle
+	// crosses the peer link. The client builds the same ring the servers do.
+	ring := cluster.NewRing(cluster.DefaultVirtualNodes, members...)
+	var ref wire.FileRef
+	for i := 0; ; i++ {
+		ref = wire.FileRef{Domain: "d", FileID: fmt.Sprintf("ws0:/u/u0/d%d.dat", i)}
+		if ring.Owner(ref.String()) == "superB" {
+			break
+		}
+		if i > 64 {
+			t.Fatal("no superB-owned file in 64 tries")
+		}
+	}
+
+	cobs := obs.New(nil, ws.Now)
+	cobs.SetTracer(tracer)
+
+	dial := func(name string) wire.Conn {
+		conn, err := ws.Dial(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wire.Send(conn, &wire.Hello{Protocol: wire.ProtocolVersion, User: "u0", Domain: "d", ClientHost: "ws0"}); err != nil {
+			t.Fatal(err)
+		}
+		return conn
+	}
+	recv := func(conn wire.Conn) (wire.Message, wire.TraceContext) {
+		t.Helper()
+		type result struct {
+			m   wire.Message
+			tc  wire.TraceContext
+			err error
+		}
+		ch := make(chan result, 1)
+		go func() {
+			m, tc, err := wire.RecvTraced(conn)
+			ch <- result{m, tc, err}
+		}()
+		select {
+		case r := <-ch:
+			if r.err != nil {
+				t.Fatalf("recv: %v", r.err)
+			}
+			return r.m, r.tc
+		case <-time.After(5 * time.Second):
+			t.Fatal("no message within 5s")
+			return nil, wire.TraceContext{}
+		}
+	}
+	connA, connB := dial("superA"), dial("superB")
+	defer connA.Close()
+	defer connB.Close()
+	for _, c := range []wire.Conn{connA, connB} {
+		if m, _ := recv(c); m.Kind() != wire.KindHelloOK {
+			t.Fatalf("hello reply = %#v", m)
+		}
+	}
+
+	gen := workload.NewGenerator(1987)
+	content := gen.File(4 * 1024)
+	for cyc := 0; cyc < cycles; cyc++ {
+		if cyc > 0 {
+			content = gen.Modify(content, 5, workload.EditReplace)
+		}
+		version := uint64(cyc + 1)
+		root := cobs.StartTrace("cycle")
+		// Edit leg: the owner learns the new version and pulls it.
+		if err := wire.SendTraced(connB, &wire.Notify{File: ref, Version: version, Size: int64(len(content)), Sum: diff.Checksum(content)}, root.Context()); err != nil {
+			t.Fatal(err)
+		}
+		m, tc := recv(connB)
+		if m.Kind() != wire.KindPull {
+			t.Fatalf("cycle %d: expected pull from owner, got %#v", cyc, m)
+		}
+		asp := cobs.StartSpan(tc, "client.answer-pull").SetFile(ref.String()).Annotate("full")
+		if err := wire.SendTraced(connB, &wire.FileFull{File: ref, Version: version, Content: content, Sum: diff.Checksum(content)}, asp.Context()); err != nil {
+			t.Fatal(err)
+		}
+		asp.Finish()
+		if m, _ := recv(connB); m.Kind() != wire.KindFileAck {
+			t.Fatalf("cycle %d: expected file ack, got %#v", cyc, m)
+		}
+		// Run leg: submit to the non-owner; it must peer-fetch the input.
+		if err := wire.SendTraced(connA, &wire.Submit{
+			Script: []byte("checksum d\n"),
+			Inputs: []wire.JobInput{{File: ref, Version: version, As: "d"}},
+		}, root.Context()); err != nil {
+			t.Fatal(err)
+		}
+		m, _ = recv(connA)
+		okMsg, ok := m.(*wire.SubmitOK)
+		if !ok {
+			t.Fatalf("cycle %d: expected submit ok, got %#v", cyc, m)
+		}
+		root.SetJob(okMsg.Job)
+		m, otc := recv(connA)
+		out, ok := m.(*wire.Output)
+		if !ok || out.State != wire.JobDone {
+			t.Fatalf("cycle %d: expected done output, got %#v", cyc, m)
+		}
+		cobs.StartSpan(otc, "client.deliver").SetJob(out.Job).Finish()
+		root.Annotate("delivered").Finish()
+		cobs.EndTrace(root.Context())
+	}
+
+	// Every cycle crossed the peer link: the owner forwarded, never a
+	// client-path fallback.
+	if srvB.Metrics().PeerForwards == 0 {
+		t.Fatal("owner never forwarded to the executing member")
+	}
+
+	_ = connA.Close()
+	_ = connB.Close()
+	srvA.Close()
+	srvB.Close()
+
+	h := admin.NewHandler(admin.Options{Server: srvA})
+	get := func(url string) string {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", url, nil))
+		if rr.Code != 200 {
+			t.Fatalf("GET %s = %d:\n%s", url, rr.Code, rr.Body.String())
+		}
+		return rr.Body.String()
+	}
+	list = get("/tracez?n=0")
+	slowest := tracer.Slowest(1)
+	if len(slowest) == 0 {
+		t.Fatal("no completed traces")
+	}
+	detail = get(fmt.Sprintf("/tracez?id=%d", slowest[0].ID))
+	return list, detail
+}
+
+// TestTracezPeerDeterministicUnderNetsimChaos extends the determinism
+// guarantee to the peer hop: two runs of the same seeded chaos workload on
+// separate two-member clusters must render byte-identical /tracez bodies,
+// with the cross-instance peer spans included in the timeline.
+func TestTracezPeerDeterministicUnderNetsimChaos(t *testing.T) {
+	const cycles = 5
+	list1, detail1 := runTracedPeerChaosSession(t, cycles)
+	list2, detail2 := runTracedPeerChaosSession(t, cycles)
+
+	if !strings.Contains(list1, fmt.Sprintf("cycle traces: %d completed, 0 active", cycles)) {
+		t.Fatalf("/tracez header unexpected:\n%s", list1)
+	}
+	if !strings.Contains(detail1, "peer.fetch") || !strings.Contains(detail1, "peer.serve") {
+		t.Fatalf("slowest timeline missing peer spans:\n%s", detail1)
+	}
 	if list1 != list2 {
 		t.Fatalf("/tracez list differs between same-seed runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", list1, list2)
 	}

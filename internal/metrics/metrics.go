@@ -7,6 +7,7 @@ package metrics
 
 import (
 	"fmt"
+	"reflect"
 	"sync/atomic"
 	"time"
 )
@@ -217,6 +218,12 @@ type Snapshot struct {
 	DeltaBytesSaved   int64
 	OwnerMisses       int64
 	RingRebalances    int64
+
+	// Ring heat (server-side fill-in): file-demand touches recorded by the
+	// heat tracker — one per notify or job input examined. The per-file and
+	// per-owner breakdown lives on the admin /clusterz surface; this total
+	// makes fleet-wide demand summable like every other counter.
+	FileTouches int64
 }
 
 // TotalBytes sums all payload bytes.
@@ -247,6 +254,21 @@ func (s Snapshot) FaultString() string {
 func (s Snapshot) CacheString() string {
 	return fmt.Sprintf("cache: %d hits, %d misses, %d evictions; pulls: %d issued, %d deferred, %d coalesced",
 		s.CacheHits, s.CacheMisses, s.CacheEvictions, s.PullsIssued, s.PullsDeferred, s.PullsCoalesced)
+}
+
+// Merge returns the field-wise sum of two snapshots. Every Snapshot field
+// is a monotonic total with send-side-only accounting on the peer paths, so
+// summing across cluster members never double-counts a transfer; the admin
+// /clusterz view uses this to read the fleet as one shadow cache.
+// Implemented by reflection over the struct so a newly added counter can
+// never be silently dropped from fleet sums.
+func Merge(a, b Snapshot) Snapshot {
+	va, vb := reflect.ValueOf(&a).Elem(), reflect.ValueOf(b)
+	for i := 0; i < va.NumField(); i++ {
+		f := va.Field(i)
+		f.SetInt(f.Int() + vb.Field(i).Int())
+	}
+	return a
 }
 
 // Snapshot returns the current totals.

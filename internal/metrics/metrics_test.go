@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -73,5 +74,23 @@ func TestConcurrentUpdates(t *testing.T) {
 	s := c.Snapshot()
 	if s.DeltaBytes != 8000 || s.ControlBytes != 8000 || s.Messages != 16000 {
 		t.Fatalf("lost updates: %+v", s)
+	}
+}
+
+// TestMergeSumsEveryField fills every Snapshot field with a distinct value
+// via reflection and asserts Merge doubles all of them — so a counter added
+// later cannot silently fall out of fleet sums.
+func TestMergeSumsEveryField(t *testing.T) {
+	var a Snapshot
+	v := reflect.ValueOf(&a).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		v.Field(i).SetInt(int64(i + 1))
+	}
+	m := Merge(a, a)
+	mv := reflect.ValueOf(m)
+	for i := 0; i < mv.NumField(); i++ {
+		if got, want := mv.Field(i).Int(), int64(2*(i+1)); got != want {
+			t.Errorf("field %s: merged = %d, want %d", mv.Type().Field(i).Name, got, want)
+		}
 	}
 }

@@ -31,10 +31,22 @@ package server
 // answers on arrival — a file hot on many instances crosses the
 // client-server edge exactly once.
 
+// Peer traffic is traced like client traffic: PEER_NOTIFY, PEER_DELTA,
+// PEER_CHUNK and the gap-fill CHUNK_REQ/CHUNK_DATA frames all carry the v2
+// trace-context header when the triggering cycle is traced, so a cycle
+// whose input lives on another member renders as one causal trace — the
+// requester's peer.fetch span parenting the owner's peer.serve (and
+// peer.chunks) spans. Untraced cycles carry a zero context, which encodes
+// to the exact pre-trace bytes. Each link also keeps a session-style
+// flight-recorder ring, dumped when the link dies or a fetch degrades to
+// the client-pull path.
+
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"shadowedit/internal/cache"
 	"shadowedit/internal/chunk"
@@ -42,6 +54,7 @@ import (
 	"shadowedit/internal/core"
 	"shadowedit/internal/diff"
 	"shadowedit/internal/naming"
+	"shadowedit/internal/trace"
 	"shadowedit/internal/wire"
 )
 
@@ -152,13 +165,15 @@ func (s *Server) dropPeerDelta(id naming.ShadowID) {
 }
 
 // peerWant is one parked peer request: a peer session awaiting a version
-// the owner is still fetching itself.
+// the owner is still fetching itself. sp is the owner-side peer.serve span,
+// held open across the park so its duration covers the whole wait.
 type peerWant struct {
 	ss   *session
 	ref  wire.FileRef
 	have uint64
 	want uint64
 	tc   wire.TraceContext
+	sp   *trace.Span
 }
 
 func (s *Server) addPeerWaiter(id naming.ShadowID, w peerWant) {
@@ -203,19 +218,31 @@ func (s *Server) feedPeerWaiters(id naming.ShadowID, version uint64) {
 	}
 	s.peerWaitMu.Unlock()
 	for _, w := range ready {
-		if !s.answerPeer(w.ss, id, w.ref, w.have, w.want, w.tc) {
+		if s.answerPeer(w.ss, id, w.ref, w.have, w.want, w.tc, w.sp) {
+			w.ss.peerServed.Add(1)
+			w.sp.Finish()
+			s.cfg.Obs.EndTrace(w.tc)
+		} else {
 			// The arrival satisfied the wait but the content has already
 			// moved on or out of the cache; decline, the peer re-pulls.
-			s.counters.AddPeerNegative()
-			_ = w.ss.sendTraced(&wire.PeerDelta{File: w.ref}, w.tc)
+			s.declinePeer(w.ss, w.ref, w.tc, w.sp)
 		}
 	}
 	for _, w := range stranded {
 		// The arrival fell short and no in-flight fetch covers the want any
 		// more: decline now rather than park on a fetch that will never run.
-		s.counters.AddPeerNegative()
-		_ = w.ss.sendTraced(&wire.PeerDelta{File: w.ref}, w.tc)
+		s.declinePeer(w.ss, w.ref, w.tc, w.sp)
 	}
+}
+
+// declinePeer sends the negative answer and closes the serve span, with the
+// per-session and fleet counters that go with it.
+func (s *Server) declinePeer(ss *session, ref wire.FileRef, tc wire.TraceContext, sp *trace.Span) {
+	s.counters.AddPeerNegative()
+	ss.peerDeclined.Add(1)
+	sp.Annotate("declined").Finish()
+	_ = ss.sendTraced(&wire.PeerDelta{File: ref}, ctxOr(sp, tc))
+	s.cfg.Obs.EndTrace(tc)
 }
 
 // declinePeerWaiters negatively answers every parked peer request for id.
@@ -232,8 +259,7 @@ func (s *Server) declinePeerWaiters(id naming.ShadowID) {
 	delete(s.peerWaiters, id)
 	s.peerWaitMu.Unlock()
 	for _, w := range list {
-		s.counters.AddPeerNegative()
-		_ = w.ss.sendTraced(&wire.PeerDelta{File: w.ref}, w.tc)
+		s.declinePeer(w.ss, w.ref, w.tc, w.sp)
 	}
 }
 
@@ -245,11 +271,14 @@ func (s *Server) purgePeerWaiters(dead *session) {
 		return
 	}
 	s.peerWaitMu.Lock()
+	var dropped []peerWant
 	for id, list := range s.peerWaiters {
 		kept := list[:0]
 		for _, w := range list {
 			if w.ss != dead {
 				kept = append(kept, w)
+			} else {
+				dropped = append(dropped, w)
 			}
 		}
 		if len(kept) == 0 {
@@ -259,6 +288,10 @@ func (s *Server) purgePeerWaiters(dead *session) {
 		}
 	}
 	s.peerWaitMu.Unlock()
+	for _, w := range dropped {
+		w.sp.Annotate("requester-gone").Finish()
+		s.cfg.Obs.EndTrace(w.tc)
+	}
 }
 
 // handlePeerHello marks the session server-to-server. The protocol version
@@ -280,7 +313,10 @@ func (ss *session) handlePeerHello(m *wire.PeerHello) error {
 	return nil
 }
 
-// handlePeerNotify serves a peer's version request (owner side).
+// handlePeerNotify serves a peer's version request (owner side). The whole
+// decision — answer, park, or decline — lives under one peer.serve span
+// stitched into the requester's trace by the propagated context, so a
+// cross-instance fetch is not a black hole in the cycle timeline.
 func (ss *session) handlePeerNotify(m *wire.PeerNotify, tc wire.TraceContext) error {
 	ss.srv.counters.AddControl(0)
 	if !ss.peer.Load() {
@@ -288,14 +324,29 @@ func (ss *session) handlePeerNotify(m *wire.PeerNotify, tc wire.TraceContext) er
 	}
 	s := ss.srv
 	id := s.dir.Intern(m.File)
-	if s.answerPeer(ss, id, m.File, m.HaveVersion, m.WantVersion, tc) {
+	s.heat.Touch(uint64(id)) // peer demand heats the file like client demand
+	sp := s.cfg.Obs.StartSpan(tc, "peer.serve").SetSession(ss.id)
+	if sp != nil {
+		sp.SetFile(m.File.String())
+	}
+	if s.answerPeer(ss, id, m.File, m.HaveVersion, m.WantVersion, tc, sp) {
+		ss.peerServed.Add(1)
+		sp.Finish()
+		// The owner's share of a propagated trace is done once the answer is
+		// out (a chunk gap-fill lands as late spans); without this the record
+		// never completes on an owner with its own tracer, since only the
+		// executing member reaches the job-delivery EndTrace. Idempotent, so
+		// a shared tracer (netsim) is unaffected beyond completing earlier.
+		s.cfg.Obs.EndTrace(tc)
 		return nil
 	}
 	// Not servable right now. If a fetch covering the want is already in
 	// flight here, park the request on the arrival instead of declining —
-	// the cross-cluster half of flight coalescing.
+	// the cross-cluster half of flight coalescing. The span parks with it:
+	// its duration then covers the wait the requester actually experienced.
 	if want, ok := s.flights.Pending(id); ok && want >= m.WantVersion {
-		s.addPeerWaiter(id, peerWant{ss: ss, ref: m.File, have: m.HaveVersion, want: m.WantVersion, tc: tc})
+		sp.Annotate("parked")
+		s.addPeerWaiter(id, peerWant{ss: ss, ref: m.File, have: m.HaveVersion, want: m.WantVersion, tc: tc, sp: sp})
 		// The arrival may have beaten the registration; re-check so the
 		// request cannot park forever on a retired flight.
 		if v, ok := s.cache.Version(id); ok && v >= m.WantVersion {
@@ -304,15 +355,21 @@ func (ss *session) handlePeerNotify(m *wire.PeerNotify, tc wire.TraceContext) er
 		return nil
 	}
 	s.counters.AddPeerNegative()
-	return ss.sendTraced(&wire.PeerDelta{File: m.File}, tc)
+	ss.peerDeclined.Add(1)
+	sp.Annotate("declined").Finish()
+	err := ss.sendTraced(&wire.PeerDelta{File: m.File}, ctxOr(sp, tc))
+	s.cfg.Obs.EndTrace(tc)
+	return err
 }
 
 // answerPeer tries to serve (have → want-or-newer) of id to a peer session
 // from local state, reporting whether an answer went out. Preference order:
 // forward the client's delta verbatim, else send a chunk manifest. Send
 // failures still count as answered — the dying session's teardown handles
-// the rest.
-func (s *Server) answerPeer(ss *session, id naming.ShadowID, ref wire.FileRef, have, want uint64, tc wire.TraceContext) bool {
+// the rest. sp is the caller's peer.serve span: the answer frame carries
+// its context (so the requester's downstream spans nest under it) and the
+// annotation records which answer form won; the caller finishes it.
+func (s *Server) answerPeer(ss *session, id naming.ShadowID, ref wire.FileRef, have, want uint64, tc wire.TraceContext, sp *trace.Span) bool {
 	if d := s.peerDeltaFor(id); d != nil && have != 0 && d.base == have && d.version >= want {
 		// A delta can encode larger than the content it produces (tiny
 		// files, incompressible edits); the saved-bytes counter is a fleet
@@ -323,13 +380,14 @@ func (s *Server) answerPeer(ss *session, id naming.ShadowID, ref wire.FileRef, h
 		}
 		s.counters.AddPeerDelta(len(d.encoded))
 		s.counters.AddPeerForward(saved)
+		sp.Annotate("delta-forward")
 		_ = ss.sendTraced(&wire.PeerDelta{
 			File:        ref,
 			BaseVersion: d.base,
 			Version:     d.version,
 			Encoded:     d.encoded,
 			Compressed:  d.compressed,
-		}, tc)
+		}, ctxOr(sp, tc))
 		return true
 	}
 	ver, man, ok := s.cache.Manifest(id)
@@ -347,7 +405,8 @@ func (s *Server) answerPeer(ss *session, id naming.ShadowID, ref wire.FileRef, h
 	pc := &wire.PeerChunk{File: ref, Version: ver, Sum: diff.Checksum(e.Content), Chunks: refs}
 	s.counters.AddPeerManifest(pc.PayloadLen())
 	s.counters.AddPeerForward(len(e.Content))
-	_ = ss.sendTraced(pc, tc)
+	sp.Annotate("manifest")
+	_ = ss.sendTraced(pc, ctxOr(sp, tc))
 	return true
 }
 
@@ -359,6 +418,10 @@ func (ss *session) handlePeerChunkReq(m *wire.ChunkReq, tc wire.TraceContext) er
 		return fmt.Errorf("CHUNK_REQ on a client session")
 	}
 	ss.srv.counters.AddControl(0)
+	sp := ss.srv.cfg.Obs.StartSpan(tc, "peer.chunks").SetSession(ss.id)
+	if sp != nil {
+		sp.SetFile(m.File.String())
+	}
 	store := ss.srv.cache.ChunkStore()
 	reply := &wire.ChunkData{File: m.File, Version: m.Version}
 	for _, h := range m.Hashes {
@@ -366,8 +429,13 @@ func (ss *session) handlePeerChunkReq(m *wire.ChunkReq, tc wire.TraceContext) er
 			reply.Chunks = append(reply.Chunks, wire.ChunkBlob{Hash: h, Data: data})
 		}
 	}
+	if sp != nil {
+		sp.Annotate(fmt.Sprintf("%d/%d chunks", len(reply.Chunks), len(m.Hashes)))
+	}
 	ss.srv.counters.AddPeerChunkData(reply.PayloadLen())
-	return ss.sendTraced(reply, tc)
+	err := ss.sendTraced(reply, ctxOr(sp, tc))
+	sp.Finish()
+	return err
 }
 
 // fetchInput retrieves a job input: from the file's ring owner over a peer
@@ -411,9 +479,19 @@ func (s *Server) peerFetch(fallback *session, ref wire.FileRef, want uint64, tc 
 		s.pullsCoalesced.Add(1)
 		return nil
 	}
+	// The requester-side half of the cross-instance trace: peer.fetch opens
+	// when the flight is won and closes when the answer lands (handleDelta /
+	// finishAssembly) or the fetch degrades to a client pull. The PEER_NOTIFY
+	// carries its context, so the owner's peer.serve nests under it.
+	sp := s.cfg.Obs.StartSpan(tc, "peer.fetch")
+	if sp != nil {
+		sp.SetFile(ref.String())
+		link.trackSpan(id, sp)
+	}
 	s.pullsIssued.Add(1)
 	s.counters.AddControl(0)
-	if err := link.send(&wire.PeerNotify{File: ref, HaveVersion: have, WantVersion: want}, tc); err != nil {
+	if err := link.send(&wire.PeerNotify{File: ref, HaveVersion: have, WantVersion: want}, ctxOr(sp, tc)); err != nil {
+		link.takeSpan(id).Annotate("send failed").Finish()
 		s.flights.Release(id, link.id)
 		s.counters.AddOwnerMiss()
 		return fallback.pullFile(ref, want, tc)
@@ -429,11 +507,78 @@ type peerLink struct {
 	srv    *Server
 	member string
 	id     uint64
+	proto  int // remote's negotiated protocol version
 
 	mu       sync.Mutex
 	conn     wire.Conn
 	dead     bool
 	fetching map[naming.ShadowID]*peerAssembly
+	spans    map[naming.ShadowID]*trace.Span // open peer.fetch spans by file
+
+	// rec is the link's flight recorder (nil when tracing is off): the same
+	// 256-entry wire-event ring sessions keep, dumped when the link dies or
+	// a fetch falls back to the client path.
+	rec *trace.Ring
+
+	// Per-link answer accounting for /peerz (the fleet-summed counters on
+	// the server cannot say which link a forward came over).
+	deltasIn    atomic.Int64 // positive PEER_DELTA answers received
+	chunksIn    atomic.Int64 // PEER_CHUNK manifest answers received
+	negativesIn atomic.Int64 // negative PEER_DELTA answers received
+	fallbacks   atomic.Int64 // fetches degraded to the client-pull path
+}
+
+// trackSpan registers an open peer.fetch span for a file in flight on the
+// link; takeSpan removes and returns it (nil when none or the link already
+// tore down). The map rides l.mu with the assembly table.
+func (l *peerLink) trackSpan(id naming.ShadowID, sp *trace.Span) {
+	l.mu.Lock()
+	if l.spans == nil {
+		l.spans = make(map[naming.ShadowID]*trace.Span)
+	}
+	l.spans[id] = sp
+	l.mu.Unlock()
+}
+
+func (l *peerLink) takeSpan(id naming.ShadowID) *trace.Span {
+	l.mu.Lock()
+	sp := l.spans[id]
+	delete(l.spans, id)
+	l.mu.Unlock()
+	return sp
+}
+
+// record appends a flight-recorder event; a no-op when tracing is off.
+func (l *peerLink) record(kind, name string, tc wire.TraceContext, detail string) {
+	if l.rec == nil {
+		return
+	}
+	l.rec.Record(trace.Event{
+		At:     int64(l.srv.cfg.Obs.Now()),
+		Kind:   kind,
+		Name:   name,
+		Trace:  tc.TraceID,
+		Detail: detail,
+	})
+}
+
+// dumpFlight retains the link's ring under the session dump list, with the
+// member name standing in for the client identity. Unlike a session's
+// once-per-life dump, a link dumps on every fallback and on death — the
+// global dump bound caps the cost.
+func (l *peerLink) dumpFlight(reason string) {
+	if l.rec == nil {
+		return
+	}
+	l.srv.appendFlightDump(FlightDump{
+		Session: l.id,
+		User:    "peer",
+		Host:    l.member,
+		Reason:  reason,
+		At:      l.srv.cfg.Obs.Now(),
+		Events:  l.rec.Snapshot(),
+	})
+	l.srv.logf("peer %s: flight recorder dumped (%s)", l.member, reason)
 }
 
 // errNotClustered reports peer operations on an unclustered server.
@@ -496,8 +641,12 @@ func (s *Server) peerLinkTo(member string) (*peerLink, error) {
 		srv:      s,
 		member:   member,
 		id:       s.nextSession.Add(1),
+		proto:    int(ok.Protocol),
 		conn:     conn,
 		fetching: make(map[naming.ShadowID]*peerAssembly),
+	}
+	if s.cfg.Obs.Tracer() != nil {
+		l.rec = trace.NewRing(flightRingSize)
 	}
 	s.peerLinks[member] = l
 	go l.readLoop()
@@ -509,6 +658,9 @@ func (s *Server) peerLinkTo(member string) (*peerLink, error) {
 // Concurrent senders (sessions issuing peer fetches, the read loop issuing
 // chunk requests) serialize on l.mu.
 func (l *peerLink) send(m wire.Message, tc wire.TraceContext) error {
+	// Recorded before the bytes hit the wire, like session sends: a frame
+	// the owner received is guaranteed to be in the ring.
+	l.record("send", m.Kind().String(), tc, "")
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.dead {
@@ -538,6 +690,7 @@ func (l *peerLink) readLoop() {
 			l.down(err)
 			return
 		}
+		l.record("recv", msg.Kind().String(), tc, "")
 		switch m := msg.(type) {
 		case *wire.PeerDelta:
 			l.handleDelta(m, tc)
@@ -559,10 +712,13 @@ func (l *peerLink) readLoop() {
 // session. Runs only on the read-loop goroutine.
 func (l *peerLink) down(err error) {
 	s := l.srv
+	l.record("fault", "link", wire.TraceContext{}, err.Error())
 	l.mu.Lock()
 	l.dead = true
 	fetching := l.fetching
 	l.fetching = nil
+	spans := l.spans
+	l.spans = nil
 	l.mu.Unlock()
 	_ = l.conn.Close()
 	s.peerMu.Lock()
@@ -570,6 +726,12 @@ func (l *peerLink) down(err error) {
 		delete(s.peerLinks, l.member)
 	}
 	s.peerMu.Unlock()
+	// Every open peer.fetch closes here; the re-homed client pulls mint
+	// their own spans under the original context.
+	for _, sp := range spans {
+		sp.Annotate("link-down").Finish()
+	}
+	l.dumpFlight(fmt.Sprintf("link down: %v", err))
 	for _, pa := range fetching {
 		s.releasePeerHeld(pa)
 	}
@@ -586,15 +748,24 @@ func (l *peerLink) down(err error) {
 
 // fallbackToClient re-homes one flight the peer could not serve onto a
 // client pull. Harmless if the flight has since completed or changed owner:
-// repullPending's pull coalesces onto whatever is in flight.
+// repullPending's pull coalesces onto whatever is in flight. The open
+// peer.fetch span closes here with the fallback reason, and the re-homed
+// pull inherits its context so the degradation stays inside the one trace;
+// the link's ring is dumped so the frames leading up to the fallback are
+// inspectable on /flightz.
 func (s *Server) fallbackToClient(l *peerLink, id naming.ShadowID, ref wire.FileRef, tc wire.TraceContext, why string) {
+	sp := l.takeSpan(id)
+	sp.Annotate("fallback: " + why).Finish()
+	l.fallbacks.Add(1)
+	l.record("fault", "fallback", tc, why)
+	l.dumpFlight("fallback: " + why)
 	want, ok := s.flights.Pending(id)
 	if !ok {
 		return
 	}
 	s.flights.Release(id, l.id)
 	s.logf("peer %s: cannot serve %s v%d (%s); pulling from client", l.member, ref, want, why)
-	s.repullPending(l.id, []cache.PendingFetch{{Ref: ref, Want: want, TC: tc}})
+	s.repullPending(l.id, []cache.PendingFetch{{Ref: ref, Want: want, TC: ctxOr(sp, tc)}})
 }
 
 // handleDelta applies a peer-forwarded delta (requester side).
@@ -602,11 +773,14 @@ func (l *peerLink) handleDelta(m *wire.PeerDelta, tc wire.TraceContext) {
 	s := l.srv
 	id := s.dir.Intern(m.File)
 	if m.Negative() {
+		l.negativesIn.Add(1)
 		s.fallbackToClient(l, id, m.File, tc, "declined")
 		return
 	}
+	l.deltasIn.Add(1)
 	entry, ok := s.cache.Get(id)
 	if ok && entry.Version >= m.Version {
+		l.takeSpan(id).Annotate("already current").Finish()
 		s.flights.Done(id, m.Version)
 		s.feedWaitingJobs(id, entry.Version, entry.Content)
 		return
@@ -630,6 +804,7 @@ func (l *peerLink) handleDelta(m *wire.PeerDelta, tc wire.TraceContext) {
 		s.fallbackToClient(l, id, m.File, tc, err.Error())
 		return
 	}
+	l.takeSpan(id).Annotate("delta").Finish()
 	s.flights.Done(id, m.Version)
 	s.feedWaitingJobs(id, m.Version, content)
 }
@@ -661,7 +836,9 @@ func (s *Server) releasePeerHeld(pa *peerAssembly) {
 func (l *peerLink) handleChunk(m *wire.PeerChunk, tc wire.TraceContext) {
 	s := l.srv
 	id := s.dir.Intern(m.File)
+	l.chunksIn.Add(1)
 	if v, ok := s.cache.Version(id); ok && v >= m.Version {
+		l.takeSpan(id).Annotate("already current").Finish()
 		s.flights.Done(id, m.Version)
 		return
 	}
@@ -757,8 +934,121 @@ func (l *peerLink) finishAssembly(id naming.ShadowID, pa *peerAssembly) {
 	}
 	s.cache.PutManifest(id, pa.version, pa.manifest)
 	pa.held = nil // references now belong to the cache entry
+	l.takeSpan(id).Annotate("chunks").Finish()
 	s.flights.Done(id, pa.version)
 	s.feedWaitingJobs(id, pa.version, content)
+}
+
+// ClusterMembers returns the cluster's member names in sorted order, or nil
+// when the server is not clustered. The admin /clusterz view uses it to
+// render the placement ring and find the peers to scrape.
+func (s *Server) ClusterMembers() []string {
+	cs := s.clusterCfg.Load()
+	if cs == nil {
+		return nil
+	}
+	return cs.ring.Members()
+}
+
+// PeerLinkInfo is one outbound peer link's admin-visible state (/peerz).
+type PeerLinkInfo struct {
+	// Member is the remote instance name; ID the link's pseudo-session id.
+	Member string
+	ID     uint64
+	// State is "up" or "dead"; Protocol the remote's negotiated version.
+	State    string
+	Protocol int
+	// Fetching counts manifest assemblies awaiting a chunk answer.
+	Fetching int
+	// Answer accounting, requester side: positive deltas, chunk manifests
+	// and negative answers received, plus fetches that degraded to the
+	// client-pull path.
+	DeltasIn, ChunksIn, NegativesIn, Fallbacks int64
+}
+
+// PeerLinks returns a point-in-time view of every outbound peer link,
+// sorted by member name.
+func (s *Server) PeerLinks() []PeerLinkInfo {
+	s.peerMu.Lock()
+	links := make([]*peerLink, 0, len(s.peerLinks))
+	for _, l := range s.peerLinks {
+		links = append(links, l)
+	}
+	s.peerMu.Unlock()
+	out := make([]PeerLinkInfo, 0, len(links))
+	for _, l := range links {
+		info := PeerLinkInfo{
+			Member:      l.member,
+			ID:          l.id,
+			Protocol:    l.proto,
+			DeltasIn:    l.deltasIn.Load(),
+			ChunksIn:    l.chunksIn.Load(),
+			NegativesIn: l.negativesIn.Load(),
+			Fallbacks:   l.fallbacks.Load(),
+		}
+		l.mu.Lock()
+		info.Fetching = len(l.fetching)
+		if l.dead {
+			info.State = "dead"
+		} else {
+			info.State = "up"
+		}
+		l.mu.Unlock()
+		out = append(out, info)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Member < out[b].Member })
+	return out
+}
+
+// PeerSessionInfo is one inbound peer session's admin-visible state
+// (/peerz, owner side): requests served and declined over it.
+type PeerSessionInfo struct {
+	Session          uint64
+	Instance         string
+	Served, Declined int64
+}
+
+// PeerSessions returns a point-in-time view of every inbound peer session,
+// sorted by session id.
+func (s *Server) PeerSessions() []PeerSessionInfo {
+	live := s.sessions.snapshot()
+	out := make([]PeerSessionInfo, 0, 2)
+	for _, ss := range live {
+		if !ss.peer.Load() {
+			continue
+		}
+		info := PeerSessionInfo{
+			Session:  ss.id,
+			Served:   ss.peerServed.Load(),
+			Declined: ss.peerDeclined.Load(),
+		}
+		ss.mu.Lock()
+		info.Instance = ss.peerInstance
+		ss.mu.Unlock()
+		out = append(out, info)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Session < out[b].Session })
+	return out
+}
+
+// PeerFlights snapshots the live flight recorders of the outbound peer
+// links, sorted by member name (/flightz). Empty when tracing is off.
+func (s *Server) PeerFlights() []SessionFlight {
+	s.peerMu.Lock()
+	links := make([]*peerLink, 0, len(s.peerLinks))
+	for _, l := range s.peerLinks {
+		links = append(links, l)
+	}
+	s.peerMu.Unlock()
+	out := make([]SessionFlight, 0, len(links))
+	for _, l := range links {
+		if l.rec == nil {
+			continue
+		}
+		out = append(out, SessionFlight{Session: l.id, User: "peer", Host: l.member, Events: l.rec.Snapshot()})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Host < out[b].Host })
+	return out
 }
 
 // closePeerLinks tears down every outbound peer link (server shutdown).

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"shadowedit/internal/cache"
+	"shadowedit/internal/cluster"
 	"shadowedit/internal/core"
 	"shadowedit/internal/diff"
 	"shadowedit/internal/jobs"
@@ -293,6 +294,10 @@ type Server struct {
 	deltaMu     sync.Mutex
 	lastDeltas  map[naming.ShadowID]*storedDelta
 
+	// heat counts per-file demand (notifies received, job inputs gathered,
+	// peer requests served) for the ring-heat telemetry on /clusterz.
+	heat *cluster.Heat
+
 	wg sync.WaitGroup
 }
 
@@ -328,13 +333,19 @@ func (s *Server) recordFlightDump(ss *session, reason string) {
 	s.deliverMu.Lock()
 	d.User, d.Host = ss.user, ss.clientHost
 	s.deliverMu.Unlock()
+	s.appendFlightDump(d)
+	s.logf("session %d: flight recorder dumped (%s, %d events)", ss.id, reason, len(d.Events))
+}
+
+// appendFlightDump retains one captured dump, oldest falling off past the
+// bound. Shared by session dumps and peer-link dumps (peer.go).
+func (s *Server) appendFlightDump(d FlightDump) {
 	s.flightMu.Lock()
 	s.flightDumps = append(s.flightDumps, d)
 	if len(s.flightDumps) > maxFlightDumps {
 		s.flightDumps = s.flightDumps[len(s.flightDumps)-maxFlightDumps:]
 	}
 	s.flightMu.Unlock()
-	s.logf("session %d: flight recorder dumped (%s, %d events)", ss.id, reason, len(d.Events))
 }
 
 // FlightDumps returns the retained dumps, oldest first.
@@ -411,6 +422,7 @@ func New(cfg Config) *Server {
 		peerLinks:   make(map[string]*peerLink),
 		peerWaiters: make(map[naming.ShadowID][]peerWant),
 		lastDeltas:  make(map[naming.ShadowID]*storedDelta),
+		heat:        cluster.NewHeat(),
 	}
 	s.sessions.init()
 	s.jobs.init()
@@ -439,7 +451,61 @@ func (s *Server) Metrics() metrics.Snapshot {
 	snap.PullsIssued = s.pullsIssued.Load()
 	snap.PullsDeferred = s.pullsDeferred.Load()
 	snap.PullsCoalesced = s.pullsCoalesced.Load()
+	snap.FileTouches = s.heat.Total()
 	return snap
+}
+
+// HeatEntry is one hot file resolved for display: its reference key, the
+// ring member that owns it ("self"'s name when unclustered) and the demand
+// it has accumulated.
+type HeatEntry struct {
+	File    string
+	Owner   string
+	Touches int64
+}
+
+// HeatStats summarizes the server's file-demand accounting for the admin
+// ring-heat view.
+type HeatStats struct {
+	// Touches is the total demand recorded across all files.
+	Touches int64
+	// Top lists the n hottest files, most-touched first.
+	Top []HeatEntry
+	// OwnerLoads maps each ring member to the demand landing on files it
+	// owns — as seen from this instance.
+	OwnerLoads map[string]int64
+	// Imbalance is max over mean of OwnerLoads (1.0 = perfectly even,
+	// 0 = no demand).
+	Imbalance float64
+}
+
+// HeatStats resolves the heat tracker's id-keyed counts into names and ring
+// owners (render time only — the touch path never builds a string). n bounds
+// the hot-file list; owner loads and imbalance always cover every file.
+func (s *Server) HeatStats(n int) HeatStats {
+	cs := s.clusterCfg.Load()
+	owner := func(key string) string {
+		if cs != nil {
+			return cs.ring.Owner(key)
+		}
+		return s.cfg.Name
+	}
+	all := s.heat.Top(0)
+	hs := HeatStats{Touches: s.heat.Total(), OwnerLoads: make(map[string]int64)}
+	for _, fh := range all {
+		ref, ok := s.dir.RefOf(naming.ShadowID(fh.ID))
+		if !ok {
+			continue
+		}
+		key := ref.String()
+		own := owner(key)
+		hs.OwnerLoads[own] += fh.Touches
+		if n <= 0 || len(hs.Top) < n {
+			hs.Top = append(hs.Top, HeatEntry{File: key, Owner: own, Touches: fh.Touches})
+		}
+	}
+	hs.Imbalance = cluster.Imbalance(hs.OwnerLoads)
+	return hs
 }
 
 // Load returns the job queue length and running count.

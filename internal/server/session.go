@@ -102,8 +102,12 @@ type session struct {
 	dead       atomic.Bool
 	// peer marks a server-to-server session (a PEER_HELLO arrived);
 	// peerInstance (under mu) is the remote's cluster member name.
+	// peerServed/peerDeclined count the peer requests this session
+	// answered positively and negatively (/peerz, owner side).
 	peer         atomic.Bool
 	peerInstance string
+	peerServed   atomic.Int64
+	peerDeclined atomic.Int64
 	// vt is non-nil when conn is a virtual-time transport; outbound
 	// messages are then stamped at enqueue (see outbound.stamp).
 	vt wire.ScheduledSender
@@ -521,6 +525,9 @@ func (ss *session) handleNotify(m *wire.Notify, tc wire.TraceContext) error {
 		sp.SetFile(m.File.String())
 	}
 	defer sp.Finish()
+	// Every notify is one unit of demand for the ring-heat telemetry,
+	// whether the pull happens now or is deferred.
+	ss.srv.heat.Touch(uint64(ss.srv.dir.Intern(m.File)))
 	// In a cluster, a notify for a file another instance owns is deferred
 	// rather than pulled: the client routes the file's traffic to its
 	// owner, so the owner is (or will be) fetching it, and this instance
@@ -904,6 +911,9 @@ func (ss *session) handleSubmit(m *wire.Submit, tc wire.TraceContext) error {
 func (ss *session) gatherInputs(j *job, tc wire.TraceContext) error {
 	for _, in := range j.inputs {
 		id := ss.srv.dir.Intern(in.File)
+		// A job referencing a file is demand on it, whether or not a pull
+		// results — that is exactly what ring-heat placement cares about.
+		ss.srv.heat.Touch(uint64(id))
 		j.mu.Lock()
 		j.byRef[id] = in.As
 		if _, have := j.snapshot[in.As]; have {

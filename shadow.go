@@ -60,6 +60,7 @@ import (
 	"shadowedit/internal/metrics"
 	"shadowedit/internal/naming"
 	"shadowedit/internal/netsim"
+	"shadowedit/internal/obs"
 	"shadowedit/internal/rje"
 	"shadowedit/internal/server"
 	"shadowedit/internal/vcs"
@@ -573,6 +574,11 @@ type SessionConfig struct {
 	// file path even when the server speaks protocol v4 (comparison and
 	// diagnosis; tree reconciliation is otherwise used automatically).
 	PerFileSync bool
+	// Obs, when set, gives the client an observer: cycle latency lands in
+	// its histogram and, when its tracer is set, the client mints the
+	// cycle traces that sessions — and, in a cluster, peer fetches on
+	// other members — attach their spans to.
+	Obs *obs.Observer
 
 	// AutoReconnect makes the session fault tolerant: a lost connection
 	// is re-dialed with backoff (advancing the workstation's virtual
@@ -610,6 +616,7 @@ func (w *Workstation) ConnectSession(ctx context.Context, cfg SessionConfig) (*C
 		Jobs:        cfg.Jobs,
 		Clock:       w.host,
 		PerFileSync: cfg.PerFileSync,
+		Obs:         cfg.Obs,
 	}
 	if cfg.AutoReconnect {
 		ccfg.Dial = func() (wire.Conn, error) {
@@ -655,6 +662,7 @@ func (w *Workstation) ConnectCluster(ctx context.Context, cfg SessionConfig, mem
 		Jobs:        cfg.Jobs,
 		Clock:       w.host,
 		PerFileSync: cfg.PerFileSync,
+		Obs:         cfg.Obs,
 		Retry:       cfg.Retry,
 		RPCTimeout:  cfg.RPCTimeout,
 		Sleep: func(ctx context.Context, d time.Duration) error {
